@@ -1,0 +1,34 @@
+//! Criterion benches for Figure 4(g)–(i): the corner-case queries (double,
+//! fourstar, deepdup) over the four Table-1 datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foxq_bench::{compile, query_source, run_engine, Engine};
+use foxq_gen::Dataset;
+
+fn bench_corner(criterion: &mut Criterion) {
+    let bytes: usize = std::env::var("FOXQ_BENCH_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512 << 10);
+    for (fig, qname) in [("4g", "double"), ("4h", "fourstar"), ("4i", "deepdup")] {
+        let c = compile(qname, query_source(qname));
+        let mut group = criterion.benchmark_group(format!("fig{fig}_{qname}"));
+        group.sample_size(10);
+        for dataset in Dataset::ALL {
+            let input = foxq_gen::generate(dataset, bytes, 0xF0E5);
+            for engine in [Engine::MftOpt, Engine::Gcx] {
+                if run_engine(engine, &c, &input).is_none() {
+                    continue;
+                }
+                let id = format!("{}_{}", engine.name(), dataset.name().replace(' ', "_"));
+                group.bench_with_input(BenchmarkId::from_parameter(id), &c, |b, c| {
+                    b.iter(|| run_engine(engine, c, &input).unwrap())
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_corner);
+criterion_main!(benches);

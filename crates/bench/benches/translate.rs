@@ -1,0 +1,25 @@
+//! Criterion bench for Theorem 1: translation (and optimization) time per
+//! benchmark query — linear in |P| and far below any execution time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foxq_bench::QUERIES;
+use foxq_core::opt::optimize;
+use foxq_core::translate::translate;
+use foxq_xquery::parse_query;
+
+fn bench_translate(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("translate");
+    for (name, src) in QUERIES {
+        let q = parse_query(src).unwrap();
+        group.bench_with_input(BenchmarkId::new("translate", name), &q, |b, q| {
+            b.iter(|| translate(q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("translate_optimize", name), &q, |b, q| {
+            b.iter(|| optimize(translate(q).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate);
+criterion_main!(benches);

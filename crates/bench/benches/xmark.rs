@@ -1,0 +1,34 @@
+//! Criterion benches for Figure 4(a)–(f): the XMark queries, one group per
+//! panel, engines side by side at a fixed input size (default 1 MiB;
+//! override with FOXQ_BENCH_BYTES).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foxq_bench::{compile, query_source, run_engine, Engine};
+use foxq_gen::Dataset;
+
+fn bench_figures(criterion: &mut Criterion) {
+    let bytes: usize = std::env::var("FOXQ_BENCH_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
+    let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
+    for (fig, qname) in
+        [("4a", "Q1"), ("4b", "Q2"), ("4c", "Q4"), ("4d", "Q13"), ("4e", "Q16"), ("4f", "Q17")]
+    {
+        let c = compile(qname, query_source(qname));
+        let mut group = criterion.benchmark_group(format!("fig{fig}_{qname}"));
+        group.sample_size(10);
+        for engine in Engine::ALL {
+            if run_engine(engine, &c, &input).is_none() {
+                continue; // GCX N/A on Q4
+            }
+            group.bench_with_input(BenchmarkId::from_parameter(engine.name()), &c, |b, c| {
+                b.iter(|| run_engine(engine, c, &input).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

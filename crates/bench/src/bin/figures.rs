@@ -1,0 +1,231 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p foxq-bench --release --bin figures            # everything
+//! cargo run -p foxq-bench --release --bin figures -- --fig 4a
+//! cargo run -p foxq-bench --release --bin figures -- --table 1
+//! cargo run -p foxq-bench --release --bin figures -- --ablation
+//! cargo run -p foxq-bench --release --bin figures -- --compose
+//! ```
+//!
+//! Input sizes default to 1, 2, 4, 8 MiB (the paper sweeps 100 MB – 100 GB
+//! on server hardware; the *shapes* — who wins, what stays flat, what grows
+//! — are size-independent). Override with `FOXQ_SIZES=1,4,16` (MiB) or
+//! `--sizes 1,4,16`.
+
+use foxq_bench::{
+    compile, figure_inputs, figure_query, query_source, run_engine, Engine, FIGURES,
+};
+use foxq_forest::ForestStats;
+use foxq_gen::Dataset;
+use foxq_tt::{compose_tt_tt, compose_tt_tt_naive, Mtt, TNode};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sizes = parse_sizes(&args);
+    let mut did_something = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                i += 1;
+                let fig = args.get(i).expect("--fig needs an argument (4a..4i|all)");
+                if fig == "all" {
+                    for f in FIGURES {
+                        figure(f, &sizes);
+                    }
+                } else {
+                    figure(fig, &sizes);
+                }
+                did_something = true;
+            }
+            "--table" => {
+                i += 1;
+                table1(&sizes);
+                did_something = true;
+            }
+            "--ablation" => {
+                ablation(&sizes);
+                did_something = true;
+            }
+            "--compose" => {
+                compose_table();
+                did_something = true;
+            }
+            "--sizes" => {
+                i += 1; // parsed in parse_sizes
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    if !did_something {
+        table1(&sizes);
+        for f in FIGURES {
+            figure(f, &sizes);
+        }
+        ablation(&sizes);
+        compose_table();
+    }
+}
+
+fn parse_sizes(args: &[String]) -> Vec<usize> {
+    let spec = args
+        .iter()
+        .position(|a| a == "--sizes")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("FOXQ_SIZES").ok())
+        .unwrap_or_else(|| "1,2,4,8".to_string());
+    spec.split(',')
+        .map(|s| {
+            let mib: f64 = s.trim().parse().expect("sizes are MiB numbers");
+            (mib * (1 << 20) as f64) as usize
+        })
+        .collect()
+}
+
+/// One panel of Figure 4.
+fn figure(fig: &str, sizes: &[usize]) {
+    let qname = figure_query(fig);
+    let c = compile(qname, query_source(qname));
+    let corner = matches!(fig, "4g" | "4h" | "4i");
+    println!();
+    if corner {
+        println!(
+            "== Figure 4({}): `{}` query over the Table-1 datasets ==",
+            &fig[1..],
+            qname
+        );
+    } else {
+        println!("== Figure 4({}): XMark {} — series vs input size ==", &fig[1..], qname);
+    }
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "input", "noopt.ms", "opt.ms", "gcx.ms", "noopt.mem", "opt.mem", "gcx.mem"
+    );
+    for (label, input) in figure_inputs(fig, sizes, 0xF0E5) {
+        let cell = |e| match run_engine(e, &c, &input) {
+            Some(r) => (format!("{:.1}", r.elapsed.as_secs_f64() * 1e3), format!("{}", r.peak_nodes)),
+            None => ("N/A".to_string(), "N/A".to_string()),
+        };
+        let (t_no, m_no) = cell(Engine::MftNoOpt);
+        let (t_opt, m_opt) = cell(Engine::MftOpt);
+        let (t_gcx, m_gcx) = cell(Engine::Gcx);
+        println!(
+            "{label:<22} {t_no:>12} {t_opt:>12} {t_gcx:>12} {m_no:>12} {m_opt:>12} {m_gcx:>12}"
+        );
+    }
+    println!("(mem = engine-internal peak buffered nodes; the paper plots MB — shapes match)");
+}
+
+/// Table 1: the input files.
+fn table1(sizes: &[usize]) {
+    let bytes = sizes.last().copied().unwrap_or(1 << 20);
+    println!("\n== Table 1: input XML files (generated at ~{} MiB) ==", bytes >> 20);
+    println!("{:<26} {:>12} {:>8} {:>12}", "dataset", "size(bytes)", "depth", "nodes");
+    for d in Dataset::ALL {
+        let f = foxq_gen::generate(d, bytes, 0xF0E5);
+        let s = ForestStats::of_forest(&f);
+        println!("{:<26} {:>12} {:>8} {:>12}", d.name(), s.xml_bytes, s.depth, s.nodes);
+    }
+    println!("(paper: XMark depth 13, TreeBank depth 37, Medline/Protein depth 8;");
+    println!(" all attribute nodes encoded as element nodes)");
+}
+
+/// §4.1 ablation: effect of the optimizations per query.
+fn ablation(sizes: &[usize]) {
+    let bytes = sizes.first().copied().unwrap_or(1 << 20);
+    let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
+    println!(
+        "\n== Section 4.1 ablation: unoptimized vs optimized MFT (XMark, {:.1} MiB) ==",
+        bytes as f64 / (1 << 20) as f64
+    );
+    println!(
+        "{:<9} {:>7} {:>7} {:>7} {:>7} {:>10} {:>10} {:>11} {:>11}",
+        "query", "st.un", "st.opt", "pm.un", "pm.opt", "t.un(ms)", "t.opt(ms)", "mem.un", "mem.opt"
+    );
+    for (name, src) in foxq_bench::QUERIES {
+        let c = compile(name, src);
+        let un = run_engine(Engine::MftNoOpt, &c, &input).unwrap();
+        let op = run_engine(Engine::MftOpt, &c, &input).unwrap();
+        println!(
+            "{:<9} {:>7} {:>7} {:>7} {:>7} {:>10.1} {:>10.1} {:>11} {:>11}",
+            name,
+            c.unopt.state_count(),
+            c.opt.state_count(),
+            c.unopt.max_params(),
+            c.opt.max_params(),
+            un.elapsed.as_secs_f64() * 1e3,
+            op.elapsed.as_secs_f64() * 1e3,
+            un.peak_nodes,
+            op.peak_nodes,
+        );
+    }
+    println!("(st = states, pm = max parameters; the paper reports ~1 order of magnitude)");
+}
+
+/// §4.2 / Lemma 2: stay-move composition is quadratic, the classical
+/// construction exponential.
+fn compose_table() {
+    println!("\n== Lemma 2: TT∘TT composition — stay moves vs classical (Rounds/Baker) ==");
+    println!(
+        "{:<4} {:>10} {:>12} {:>12} {:>14}",
+        "k", "stay.size", "stay.μs", "naive.size", "naive.μs"
+    );
+    for k in [2usize, 4, 6, 8, 10, 12, 14] {
+        let (m1, m2) = chain_pair(k);
+        let t0 = Instant::now();
+        let stay = compose_tt_tt(&m1, &m2);
+        let stay_t = t0.elapsed();
+        let t1 = Instant::now();
+        let naive = compose_tt_tt_naive(&m1, &m2, 100_000_000);
+        let naive_t = t1.elapsed();
+        match naive {
+            Some(n) => println!(
+                "{:<4} {:>10} {:>12.1} {:>12} {:>14.1}",
+                k,
+                stay.size(),
+                stay_t.as_secs_f64() * 1e6,
+                n.size(),
+                naive_t.as_secs_f64() * 1e6
+            ),
+            None => println!(
+                "{:<4} {:>10} {:>12.1} {:>12} {:>14}",
+                k,
+                stay.size(),
+                stay_t.as_secs_f64() * 1e6,
+                "fuel-out",
+                "-"
+            ),
+        }
+    }
+    println!("(M1: a→b^k chain; M2: b→c(·,·) spawner — the paper's §4.2 example family)");
+}
+
+/// The paper's composition example family: M1 rewrites each `a` into a chain
+/// of k `b`s; M2 spawns two copies per `b`.
+fn chain_pair(k: usize) -> (Mtt, Mtt) {
+    use foxq_core::mft::XVar;
+    let mut m1 = Mtt::new();
+    let a = m1.alphabet.intern_elem("a");
+    let b = m1.alphabet.intern_elem("b");
+    let q0 = m1.add_state("q0", 0);
+    m1.initial = q0;
+    let mut rhs = TNode::call(q0, XVar::X1, vec![]);
+    for _ in 0..k {
+        rhs = TNode::sym(b, rhs, TNode::Eps);
+    }
+    m1.rules[q0.idx()].by_sym.insert(a, rhs);
+
+    let mut m2 = Mtt::new();
+    let b2 = m2.alphabet.intern_elem("b");
+    let c = m2.alphabet.intern_elem("c");
+    let p0 = m2.add_state("p0", 0);
+    m2.initial = p0;
+    m2.rules[p0.idx()].by_sym.insert(
+        b2,
+        TNode::sym(c, TNode::call(p0, XVar::X1, vec![]), TNode::call(p0, XVar::X1, vec![])),
+    );
+    (m1, m2)
+}

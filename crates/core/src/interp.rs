@@ -1,0 +1,274 @@
+//! In-memory (denotational) MFT interpreter.
+//!
+//! Implements the semantics of §2.2 directly: every state `q` of rank m+1
+//! realizes `[[q]] : F^{m+1} → F`, defined by structural recursion over the
+//! input forest; parameters are forest values. This interpreter materializes
+//! the whole input and output and serves as the reference implementation the
+//! streaming engine (and all optimizations) are tested against.
+//!
+//! The paper only deals with *terminating* MFTs; since stay moves can loop,
+//! the interpreter enforces a configurable step budget and reports
+//! [`RunError::StepLimit`] on exhaustion.
+
+use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+use foxq_forest::{Forest, Label, Tree};
+use std::rc::Rc;
+
+/// Limits for one interpreter run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Maximum number of rule applications.
+    pub max_steps: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_steps: 200_000_000 }
+    }
+}
+
+/// Runtime failure of an interpreter run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget was exhausted (almost always a non-terminating
+    /// stay-move loop).
+    StepLimit { max_steps: u64 },
+    /// `%t` was required in a context with no current node (an ε-rule);
+    /// [`Mft::validate`] rejects such transducers statically.
+    CurrentLabelAtEps { state: String },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::StepLimit { max_steps } => {
+                write!(f, "step limit of {max_steps} exceeded (non-terminating stay moves?)")
+            }
+            RunError::CurrentLabelAtEps { state } => {
+                write!(f, "%t used with no current node in state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Run `mft` on `input`, producing `[[q0]](input)`.
+pub fn run_mft(mft: &Mft, input: &[Tree]) -> Result<Forest, RunError> {
+    run_mft_with_limits(mft, input, RunLimits::default())
+}
+
+/// [`run_mft`] with an explicit step budget.
+pub fn run_mft_with_limits(
+    mft: &Mft,
+    input: &[Tree],
+    limits: RunLimits,
+) -> Result<Forest, RunError> {
+    let mut ctx = Ctx { mft, steps: 0, limits };
+    let mut out = Vec::new();
+    ctx.eval_state(mft.initial, input, &[], &mut out)?;
+    Ok(out)
+}
+
+struct Ctx<'a> {
+    mft: &'a Mft,
+    steps: u64,
+    limits: RunLimits,
+}
+
+/// Variable bindings while evaluating one rhs.
+struct Bind<'a> {
+    /// x0: the full current forest.
+    x0: &'a [Tree],
+    /// x1/x2 and the current label; `None` in ε context.
+    node: Option<(&'a Label, &'a [Tree], &'a [Tree])>,
+    params: &'a [Rc<Forest>],
+}
+
+impl<'a> Ctx<'a> {
+    fn eval_state(
+        &mut self,
+        q: StateId,
+        g0: &[Tree],
+        params: &[Rc<Forest>],
+        out: &mut Forest,
+    ) -> Result<(), RunError> {
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            return Err(RunError::StepLimit { max_steps: self.limits.max_steps });
+        }
+        let rules = &self.mft.rules[q.idx()];
+        match g0.split_first() {
+            None => {
+                let bind = Bind { x0: g0, node: None, params };
+                self.eval_rhs(q, &rules.eps, &bind, out)
+            }
+            Some((t, rest)) => {
+                let rhs = match self.mft.alphabet.lookup(&t.label) {
+                    Some(sym) if rules.by_sym.contains_key(&sym) => &rules.by_sym[&sym],
+                    _ if t.is_text() && rules.text_default.is_some() => {
+                        rules.text_default.as_ref().unwrap()
+                    }
+                    _ => &rules.default,
+                };
+                let bind = Bind { x0: g0, node: Some((&t.label, &t.children, rest)), params };
+                self.eval_rhs(q, rhs, &bind, out)
+            }
+        }
+    }
+
+    fn eval_rhs(
+        &mut self,
+        q: StateId,
+        rhs: &Rhs,
+        bind: &Bind<'_>,
+        out: &mut Forest,
+    ) -> Result<(), RunError> {
+        for node in rhs {
+            match node {
+                RhsNode::Param(i) => out.extend_from_slice(&bind.params[*i]),
+                RhsNode::Out { label, children } => {
+                    let label = match label {
+                        OutLabel::Sym(s) => self.mft.alphabet.label(*s).clone(),
+                        OutLabel::Current => match bind.node {
+                            Some((l, _, _)) => l.clone(),
+                            None => {
+                                return Err(RunError::CurrentLabelAtEps {
+                                    state: self.mft.name_of(q).to_string(),
+                                })
+                            }
+                        },
+                    };
+                    let mut kids = Vec::new();
+                    self.eval_rhs(q, children, bind, &mut kids)?;
+                    out.push(Tree { label, children: kids });
+                }
+                RhsNode::Call { state, input, args } => {
+                    let g = match input {
+                        XVar::X0 => bind.x0,
+                        XVar::X1 => bind.node.map(|(_, x1, _)| x1).unwrap_or(&[]),
+                        XVar::X2 => bind.node.map(|(_, _, x2)| x2).unwrap_or(&[]),
+                    };
+                    let mut arg_vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        let mut v = Vec::new();
+                        self.eval_rhs(q, a, bind, &mut v)?;
+                        arg_vals.push(Rc::new(v));
+                    }
+                    self.eval_state(*state, g, &arg_vals, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mft::rhs::*;
+    use foxq_forest::term::{forest_to_term, parse_forest};
+
+    /// Identity transducer: qcopy(%t(x1)x2) → %t(qcopy(x1)) qcopy(x2).
+    fn identity() -> Mft {
+        let mut m = Mft::new();
+        let q = m.add_state("qcopy", 0);
+        m.initial = q;
+        m.set_default_rule(
+            q,
+            vec![
+                out_current(vec![call(q, XVar::X1, vec![])]),
+                call(q, XVar::X2, vec![]),
+            ],
+        );
+        m.validate().unwrap();
+        m
+    }
+
+    #[test]
+    fn identity_copies_any_forest() {
+        let m = identity();
+        for src in ["", "a", "a(b(\"t\") c) d(e)"] {
+            let f = parse_forest(src).unwrap();
+            assert_eq!(run_mft(&m, &f).unwrap(), f, "on {src:?}");
+        }
+    }
+
+    #[test]
+    fn doubling_ft_has_exponential_output() {
+        // §4.2: q(a(x1)x2) → q(x2)q(x2); q(ε) → a. Forest of n a's → 2^n a's.
+        let mut m = Mft::new();
+        let a = m.alphabet.intern_elem("a");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(q, a, vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_eps_rule(q, vec![out(a, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest("a a a a").unwrap();
+        let out = run_mft(&m, &f).unwrap();
+        assert_eq!(out.len(), 16);
+    }
+
+    #[test]
+    fn parameters_accumulate() {
+        // rev(σ(x1)x2, y) → rev(x2, σ(ε) y); rev(ε, y) → y — reverses a flat
+        // forest using an accumulating parameter.
+        let mut m = Mft::new();
+        let q0 = m.add_state("q0", 0);
+        let rev = m.add_state("rev", 1);
+        m.initial = q0;
+        m.set_default_rule(q0, vec![call(rev, XVar::X0, vec![vec![]])]);
+        m.set_eps_rule(q0, vec![call(rev, XVar::X0, vec![vec![]])]);
+        m.set_default_rule(
+            rev,
+            vec![call(rev, XVar::X2, vec![vec![out_current(vec![]), param(0)]])],
+        );
+        m.set_eps_rule(rev, vec![param(0)]);
+        m.validate().unwrap();
+        let f = parse_forest("a b c").unwrap();
+        assert_eq!(forest_to_term(&run_mft(&m, &f).unwrap()), "c() b() a()");
+    }
+
+    #[test]
+    fn stay_loop_hits_step_limit() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_eps_rule(q, vec![call(q, XVar::X0, vec![])]);
+        m.validate().unwrap();
+        let r = run_mft_with_limits(&m, &[], RunLimits { max_steps: 1000 });
+        assert_eq!(r, Err(RunError::StepLimit { max_steps: 1000 }));
+    }
+
+    #[test]
+    fn text_default_rule_takes_precedence_for_text() {
+        // q matches text nodes via %ttext, everything else via default.
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_text_rule(q, vec![out_current(vec![]), call(q, XVar::X2, vec![])]);
+        m.set_default_rule(q, vec![call(q, XVar::X1, vec![]), call(q, XVar::X2, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest(r#"a("x" b("y"))"#).unwrap();
+        let out = run_mft(&m, &f).unwrap();
+        assert_eq!(forest_to_term(&out), r#""x" "y""#);
+    }
+
+    #[test]
+    fn sym_rule_beats_text_default() {
+        // A (q,"person0")-rule fires on exactly that text constant.
+        let mut m = Mft::new();
+        let person0 = m.alphabet.intern_text("person0");
+        let yes = m.alphabet.intern_elem("yes");
+        let no = m.alphabet.intern_elem("no");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(q, person0, vec![out(yes, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_text_rule(q, vec![out(no, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_default_rule(q, vec![call(q, XVar::X2, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest(r#""person0" "person1" e "person0""#).unwrap();
+        let out = run_mft(&m, &f).unwrap();
+        assert_eq!(forest_to_term(&out), "yes() no() yes()");
+    }
+}

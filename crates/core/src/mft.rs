@@ -1,0 +1,495 @@
+//! Macro forest transducers (Definition 2 of the paper).
+//!
+//! An MFT is a tuple `(Q, Σ, q0, R)`:
+//!
+//! * `Q` — finite ranked set of states; a state of rank *m+1* takes the input
+//!   forest plus *m* accumulating parameters `y1..ym`;
+//! * `Σ` — finite alphabet of labels of interest (element names and string
+//!   constants), interned in an [`Alphabet`];
+//! * for every state and input symbol σ at most one *(q,σ)-rule*
+//!   `q(σ(x1)x2, y1..ym) → rhs`; exactly one *default rule*
+//!   `q(%t(x1)x2, …) → rhs` applicable to any node; exactly one *ε-rule*
+//!   `q(ε, …) → rhs`. We additionally support the paper's `%ttext` pattern
+//!   (see the `Mperson` example in §2.2): an optional *text-default rule*
+//!   that matches any text node, taking precedence over the default rule.
+//!
+//! Right-hand sides are forests over `Σ ∪ Q ∪ {x0,x1,x2} ∪ {y1..ym}` where
+//! x-variables appear exactly as the first argument of a state call
+//! ([`RhsNode::Call`]) and parameters only at leaves ([`RhsNode::Param`]).
+//! A call on `x0` is a **stay move**. `%t` in a right-hand side
+//! ([`OutLabel::Current`]) copies the current input node's label.
+//!
+//! Transducers built through [`Mft::add_state`] are total and deterministic
+//! by construction: every state starts with `default → ε` and `ε → ε` rules.
+
+use foxq_forest::{Alphabet, FxHashMap, SymId};
+use std::fmt;
+
+/// Index of a state in [`Mft::states`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Which part of the input a state call recurses on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum XVar {
+    /// The current position itself — a *stay move*.
+    X0,
+    /// The children forest of the current node.
+    X1,
+    /// The following-sibling forest of the current node.
+    X2,
+}
+
+/// The label of an output node in a right-hand side.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OutLabel {
+    /// A fixed symbol σ ∈ Σ (element or text constant).
+    Sym(SymId),
+    /// `%t` — the label of the current input node (only meaningful in
+    /// default / text-default / (q,σ) rules, not in ε-rules).
+    Current,
+}
+
+/// One node of a right-hand-side forest.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RhsNode {
+    /// An output node with a forest of children.
+    Out { label: OutLabel, children: Rhs },
+    /// A state call `q(xi, a1, …, am)`.
+    Call { state: StateId, input: XVar, args: Vec<Rhs> },
+    /// A context parameter `y_{i+1}` (stored 0-based).
+    Param(usize),
+}
+
+/// A right-hand side: a forest of [`RhsNode`]s.
+pub type Rhs = Vec<RhsNode>;
+
+/// Convenience constructors for right-hand sides.
+pub mod rhs {
+    use super::*;
+
+    pub fn out(sym: SymId, children: Rhs) -> RhsNode {
+        RhsNode::Out { label: OutLabel::Sym(sym), children }
+    }
+
+    pub fn out_current(children: Rhs) -> RhsNode {
+        RhsNode::Out { label: OutLabel::Current, children }
+    }
+
+    pub fn call(state: StateId, input: XVar, args: Vec<Rhs>) -> RhsNode {
+        RhsNode::Call { state, input, args }
+    }
+
+    pub fn param(i: usize) -> RhsNode {
+        RhsNode::Param(i)
+    }
+}
+
+/// The rule set of one state.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateRules {
+    /// `(q,σ)`-rules.
+    pub by_sym: FxHashMap<SymId, Rhs>,
+    /// Optional text-default rule (`%ttext` pattern): applies to any text
+    /// node that has no `(q,σ)`-rule.
+    pub text_default: Option<Rhs>,
+    /// Default rule (`%t` pattern): applies to any remaining node.
+    pub default: Rhs,
+    /// ε-rule.
+    pub eps: Rhs,
+}
+
+/// Metadata of a state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateInfo {
+    /// Human-readable name (used by the printer and in errors).
+    pub name: String,
+    /// Number of accumulating parameters (the paper's rank is `params + 1`).
+    pub params: usize,
+}
+
+/// A macro forest transducer.
+#[derive(Clone, Default)]
+pub struct Mft {
+    // (Debug is implemented via the textual printer, see below.)
+    pub alphabet: Alphabet,
+    pub states: Vec<StateInfo>,
+    pub rules: Vec<StateRules>,
+    pub initial: StateId,
+}
+
+impl Mft {
+    pub fn new() -> Self {
+        Mft::default()
+    }
+
+    /// Add a state with `params` accumulating parameters. Its default and
+    /// ε-rules start as `→ ε`, keeping the transducer total.
+    pub fn add_state(&mut self, name: impl Into<String>, params: usize) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateInfo { name: name.into(), params });
+        self.rules.push(StateRules::default());
+        id
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn params_of(&self, q: StateId) -> usize {
+        self.states[q.idx()].params
+    }
+
+    pub fn name_of(&self, q: StateId) -> &str {
+        &self.states[q.idx()].name
+    }
+
+    pub fn set_sym_rule(&mut self, q: StateId, sym: SymId, rhs: Rhs) {
+        self.rules[q.idx()].by_sym.insert(sym, rhs);
+    }
+
+    pub fn set_text_rule(&mut self, q: StateId, rhs: Rhs) {
+        self.rules[q.idx()].text_default = Some(rhs);
+    }
+
+    pub fn set_default_rule(&mut self, q: StateId, rhs: Rhs) {
+        self.rules[q.idx()].default = rhs;
+    }
+
+    pub fn set_eps_rule(&mut self, q: StateId, rhs: Rhs) {
+        self.rules[q.idx()].eps = rhs;
+    }
+
+    /// The paper's `q(%, …) → f` shorthand: sets both the default and the
+    /// ε-rule to `f`. The rhs must not use `x1`/`x2` or `%t`
+    /// (checked by [`Mft::validate`]; such states are *stay states* and can
+    /// be inlined by the optimizer).
+    pub fn set_stay_rule(&mut self, q: StateId, rhs: Rhs) {
+        self.rules[q.idx()].default = rhs.clone();
+        self.rules[q.idx()].eps = rhs;
+    }
+
+    /// Whether `q`'s rules form a `%`-shorthand stay state
+    /// (default == ε rule, no `x1`/`x2`, no `%t`, no symbol rules).
+    pub fn is_stay_state(&self, q: StateId) -> bool {
+        let r = &self.rules[q.idx()];
+        r.by_sym.is_empty()
+            && r.text_default.is_none()
+            && r.default == r.eps
+            && rhs_iter(&r.default).all(|n| match n {
+                RhsNode::Call { input, .. } => *input == XVar::X0,
+                RhsNode::Out { label, .. } => *label != OutLabel::Current,
+                RhsNode::Param(_) => true,
+            })
+    }
+
+    /// A *forest transducer* (FT) is an MFT in which no state has parameters.
+    pub fn is_ft(&self) -> bool {
+        self.states.iter().all(|s| s.params == 0)
+    }
+
+    /// Size |M| as defined in the paper: |Σ| plus the sizes of all left- and
+    /// right-hand sides. An lhs `q(σ(x1)x2, y1..ym)` counts `4 + m` (state,
+    /// symbol, x1, x2, parameters); an ε-lhs counts `2 + m`. Rhs nodes count
+    /// 1 each, with calls adding 1 for their x-argument.
+    pub fn size(&self) -> usize {
+        let mut n = self.alphabet.len();
+        for (info, rules) in self.states.iter().zip(&self.rules) {
+            let m = info.params;
+            let mut rule_count = rules.by_sym.len() + 1; // + default
+            if rules.text_default.is_some() {
+                rule_count += 1;
+            }
+            n += rule_count * (4 + m); // binary lhs patterns
+            n += 2 + m; // ε lhs
+            for r in rules.by_sym.values() {
+                n += rhs_size(r);
+            }
+            if let Some(r) = &rules.text_default {
+                n += rhs_size(r);
+            }
+            n += rhs_size(&rules.default);
+            n += rhs_size(&rules.eps);
+        }
+        n
+    }
+
+    /// Total number of rules (symbol + text-default + default + ε).
+    pub fn rule_count(&self) -> usize {
+        self.rules
+            .iter()
+            .map(|r| r.by_sym.len() + usize::from(r.text_default.is_some()) + 2)
+            .sum()
+    }
+
+    /// Maximum number of parameters over all states.
+    pub fn max_params(&self) -> usize {
+        self.states.iter().map(|s| s.params).max().unwrap_or(0)
+    }
+
+    /// Structural well-formedness (Definition 2 restrictions).
+    pub fn validate(&self) -> Result<(), MftError> {
+        if self.states.is_empty() {
+            return Err(MftError::new("transducer has no states"));
+        }
+        if self.initial.idx() >= self.states.len() {
+            return Err(MftError::new("initial state out of range"));
+        }
+        if self.params_of(self.initial) != 0 {
+            return Err(MftError::new(format!(
+                "initial state {} must have rank 1 (no parameters)",
+                self.name_of(self.initial)
+            )));
+        }
+        for (i, rules) in self.rules.iter().enumerate() {
+            let q = StateId(i as u32);
+            let m = self.params_of(q);
+            for (sym, r) in &rules.by_sym {
+                if sym.0 as usize >= self.alphabet.len() {
+                    return Err(self.rule_err(q, "symbol out of range"));
+                }
+                self.validate_rhs(q, m, r, RuleKind::Sym)?;
+            }
+            if let Some(r) = &rules.text_default {
+                self.validate_rhs(q, m, r, RuleKind::TextDefault)?;
+            }
+            self.validate_rhs(q, m, &rules.default, RuleKind::Default)?;
+            self.validate_rhs(q, m, &rules.eps, RuleKind::Eps)?;
+        }
+        Ok(())
+    }
+
+    fn validate_rhs(&self, q: StateId, m: usize, r: &Rhs, kind: RuleKind) -> Result<(), MftError> {
+        for node in rhs_iter(r) {
+            match node {
+                RhsNode::Param(i) => {
+                    if *i >= m {
+                        return Err(self.rule_err(
+                            q,
+                            format!("parameter y{} exceeds rank (m = {m})", i + 1),
+                        ));
+                    }
+                }
+                RhsNode::Out { label, .. } => {
+                    if kind == RuleKind::Eps && *label == OutLabel::Current {
+                        return Err(self.rule_err(q, "%t output label in ε-rule"));
+                    }
+                    if let OutLabel::Sym(s) = label {
+                        if s.0 as usize >= self.alphabet.len() {
+                            return Err(self.rule_err(q, "output symbol out of range"));
+                        }
+                    }
+                }
+                RhsNode::Call { state, input, args } => {
+                    if state.idx() >= self.states.len() {
+                        return Err(self.rule_err(q, "call to undefined state"));
+                    }
+                    if kind == RuleKind::Eps && *input != XVar::X0 {
+                        return Err(self.rule_err(q, "ε-rule may only use x0"));
+                    }
+                    if args.len() != self.params_of(*state) {
+                        return Err(self.rule_err(
+                            q,
+                            format!(
+                                "call to {} with {} arguments, expected {}",
+                                self.name_of(*state),
+                                args.len(),
+                                self.params_of(*state)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rule_err(&self, q: StateId, msg: impl Into<String>) -> MftError {
+        MftError::new(format!("state {}: {}", self.name_of(q), msg.into()))
+    }
+}
+
+impl fmt::Debug for Mft {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::text::print_mft(self))
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum RuleKind {
+    Sym,
+    TextDefault,
+    Default,
+    Eps,
+}
+
+/// Validation / construction error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MftError {
+    pub msg: String,
+}
+
+impl MftError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        MftError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for MftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for MftError {}
+
+/// Number of nodes in a rhs forest (calls add one for the x-argument).
+pub fn rhs_size(r: &Rhs) -> usize {
+    rhs_iter(r)
+        .map(|n| if matches!(n, RhsNode::Call { .. }) { 2 } else { 1 })
+        .sum()
+}
+
+/// Iterate over every node of a rhs, including nodes nested in output
+/// children and call arguments.
+pub fn rhs_iter(r: &Rhs) -> RhsIter<'_> {
+    RhsIter { stack: r.iter().rev().collect() }
+}
+
+pub struct RhsIter<'a> {
+    stack: Vec<&'a RhsNode>,
+}
+
+impl<'a> Iterator for RhsIter<'a> {
+    type Item = &'a RhsNode;
+
+    fn next(&mut self) -> Option<&'a RhsNode> {
+        let n = self.stack.pop()?;
+        match n {
+            RhsNode::Out { children, .. } => self.stack.extend(children.iter().rev()),
+            RhsNode::Call { args, .. } => {
+                for a in args.iter().rev() {
+                    self.stack.extend(a.iter().rev());
+                }
+            }
+            RhsNode::Param(_) => {}
+        }
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhs::*;
+
+    /// The doubling FT from §4.2: q(a(x1)x2) → q(x2)q(x2); q(ε) → a.
+    fn doubler() -> (Mft, StateId) {
+        let mut m = Mft::new();
+        let a = m.alphabet.intern_elem("a");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(q, a, vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_eps_rule(q, vec![out(a, vec![])]);
+        (m, q)
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let (m, _) = doubler();
+        m.validate().unwrap();
+        assert!(m.is_ft());
+        assert_eq!(m.rule_count(), 3); // a-rule + default + ε
+    }
+
+    #[test]
+    fn validation_catches_bad_param() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_default_rule(q, vec![param(0)]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_arity_mismatch() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        let p = m.add_state("p", 2);
+        m.initial = q;
+        m.set_default_rule(q, vec![call(p, XVar::X1, vec![vec![]])]); // needs 2 args
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_x1_in_eps_rule() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_eps_rule(q, vec![call(q, XVar::X1, vec![])]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_current_label_in_eps_rule() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_eps_rule(q, vec![out_current(vec![])]);
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validation_requires_rank1_initial() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 1);
+        m.initial = q;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn stay_state_detection() {
+        let mut m = Mft::new();
+        let q = m.add_state("q", 1);
+        let p = m.add_state("p", 0);
+        m.set_stay_rule(q, vec![call(p, XVar::X0, vec![]), param(0)]);
+        assert!(m.is_stay_state(q));
+        // p has default ε / eps ε — also a stay state (trivially).
+        assert!(m.is_stay_state(p));
+        m.set_default_rule(p, vec![call(p, XVar::X2, vec![])]);
+        assert!(!m.is_stay_state(p));
+    }
+
+    #[test]
+    fn size_metric_counts_alphabet_and_rules() {
+        let (m, _) = doubler();
+        // |Σ| = 1; a-rule lhs 4 + rhs 4 (two calls à 2); default lhs 4 + rhs 0;
+        // ε lhs 2 + rhs 1.
+        assert_eq!(m.size(), 1 + 4 + 4 + 4 + 2 + 1);
+    }
+
+    #[test]
+    fn rhs_iter_visits_nested() {
+        let (m, q) = doubler();
+        let r = vec![out(
+            SymId(0),
+            vec![call(q, XVar::X1, vec![]), param(0)],
+        )];
+        let kinds: Vec<_> = rhs_iter(&r).collect();
+        assert_eq!(kinds.len(), 3);
+        let _ = m;
+    }
+}

@@ -1,0 +1,723 @@
+//! MFT optimizations (Section 4.1 of the paper).
+//!
+//! Four rewrites, applied repeatedly until a fixpoint (they interact):
+//!
+//! 1. **Unused parameter reduction** — a parameter that never contributes to
+//!    output is dropped; computed as the complement of the *necessary* set
+//!    `S ⊆ Q × ℕ`, the least fixpoint of the paper's algorithm over bare
+//!    occurrences.
+//! 2. **Constant parameter reduction** — a parameter instantiated with the
+//!    same constant forest at every (non-self) call site is substituted away.
+//! 3. **Stay-move removal** — a state whose rules form the `q(%,…) → f`
+//!    shorthand (no `x1`/`x2`, no `%t`) is inlined at its call sites.
+//! 4. **Unreachable state removal** — states not reachable from `q0` are
+//!    dropped and ids compacted.
+//!
+//! The translation of §3 introduces parameters for every in-scope variable;
+//! most are removed here, which is what makes streaming effective: an
+//! unoptimized transducer holds `qcopy(x0)` — a copy of the whole input —
+//! in a parameter, so it cannot run in bounded memory (see the experiments).
+
+use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+use foxq_forest::FxHashSet;
+
+/// Statistics of one [`optimize_with_stats`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Parameters removed as unused.
+    pub unused_params_removed: usize,
+    /// Parameters removed as constant.
+    pub const_params_removed: usize,
+    /// Stay states inlined.
+    pub stay_states_inlined: usize,
+    /// Unreachable states removed.
+    pub states_removed: usize,
+}
+
+/// Apply all four optimizations to a fixpoint.
+pub fn optimize(m: Mft) -> Mft {
+    optimize_with_stats(m).0
+}
+
+/// [`optimize`], also reporting what was done.
+pub fn optimize_with_stats(mut m: Mft) -> (Mft, OptStats) {
+    let mut stats = OptStats::default();
+    // Generous cap; every enabled rewrite strictly shrinks params + states.
+    for _ in 0..10_000 {
+        stats.rounds += 1;
+        let mut changed = false;
+        changed |= remove_unused_params(&mut m, &mut stats);
+        changed |= remove_constant_params(&mut m, &mut stats);
+        changed |= remove_stay_states(&mut m, &mut stats);
+        changed |= remove_unreachable(&mut m, &mut stats);
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
+    (m, stats)
+}
+
+// ---------------------------------------------------------------------------
+// 1. Unused parameter reduction
+// ---------------------------------------------------------------------------
+
+/// Visit rhs nodes together with the call-argument context: `f(node, arg_of)`
+/// where `arg_of` is `Some((callee, j))` when the node sits (directly) inside
+/// the j-th argument of a call to `callee`, `None` when it is *bare*.
+fn visit_with_ctx<'a>(
+    rhs: &'a Rhs,
+    arg_of: Option<(StateId, usize)>,
+    f: &mut impl FnMut(&'a RhsNode, Option<(StateId, usize)>),
+) {
+    for n in rhs {
+        f(n, arg_of);
+        match n {
+            RhsNode::Out { children, .. } => visit_with_ctx(children, arg_of, f),
+            RhsNode::Call { state, args, .. } => {
+                for (j, a) in args.iter().enumerate() {
+                    visit_with_ctx(a, Some((*state, j)), f);
+                }
+            }
+            RhsNode::Param(_) => {}
+        }
+    }
+}
+
+fn all_rhs(m: &Mft, q: StateId) -> impl Iterator<Item = &Rhs> {
+    let r = &m.rules[q.idx()];
+    r.by_sym
+        .values()
+        .chain(r.text_default.as_ref())
+        .chain([&r.default, &r.eps])
+}
+
+fn remove_unused_params(m: &mut Mft, stats: &mut OptStats) -> bool {
+    let nq = m.states.len();
+    let mut needed: Vec<Vec<bool>> = m.states.iter().map(|s| vec![false; s.params]).collect();
+    // Seed: bare occurrences.
+    for q in 0..nq {
+        for rhs in all_rhs(m, StateId(q as u32)) {
+            visit_with_ctx(rhs, None, &mut |n, ctx| {
+                if let (RhsNode::Param(i), None) = (n, ctx) {
+                    needed[q][*i] = true;
+                }
+            });
+        }
+    }
+    // Fixpoint: a param is needed if it occurs bare inside an argument whose
+    // callee parameter is needed.
+    loop {
+        let mut grew = false;
+        for q in 0..nq {
+            for rhs in all_rhs(m, StateId(q as u32)) {
+                let mut hits: Vec<(usize, usize, usize)> = Vec::new();
+                visit_with_ctx(rhs, None, &mut |n, ctx| {
+                    if let (RhsNode::Param(i), Some((callee, j))) = (n, ctx) {
+                        hits.push((callee.idx(), j, *i));
+                    }
+                });
+                for (callee, j, i) in hits {
+                    if needed[callee][j] && !needed[q][i] {
+                        needed[q][i] = true;
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let total_unused: usize =
+        needed.iter().map(|v| v.iter().filter(|&&b| !b).count()).sum();
+    if total_unused == 0 {
+        return false;
+    }
+    stats.unused_params_removed += total_unused;
+    apply_param_removal(m, &needed);
+    true
+}
+
+/// Drop every parameter whose `keep` flag is false: reindex `Param` nodes in
+/// the owning state's rules and drop the argument at every call site.
+fn apply_param_removal(m: &mut Mft, keep: &[Vec<bool>]) {
+    // old index → new index per state.
+    let remap: Vec<Vec<Option<usize>>> = keep
+        .iter()
+        .map(|ks| {
+            let mut next = 0;
+            ks.iter()
+                .map(|&k| {
+                    if k {
+                        let i = next;
+                        next += 1;
+                        Some(i)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for (q, ks) in keep.iter().enumerate() {
+        m.states[q].params = ks.iter().filter(|&&k| k).count();
+    }
+    for q in 0..m.states.len() {
+        let mut rules = std::mem::take(&mut m.rules[q]);
+        for r in rules.by_sym.values_mut() {
+            rewrite_params(r, q, &remap);
+        }
+        if let Some(r) = rules.text_default.as_mut() {
+            rewrite_params(r, q, &remap);
+        }
+        rewrite_params(&mut rules.default, q, &remap);
+        rewrite_params(&mut rules.eps, q, &remap);
+        m.rules[q] = rules;
+    }
+}
+
+fn rewrite_params(rhs: &mut Rhs, owner: usize, remap: &[Vec<Option<usize>>]) {
+    for n in rhs.iter_mut() {
+        match n {
+            RhsNode::Param(i) => {
+                *i = remap[owner][*i].expect("kept parameters only");
+            }
+            RhsNode::Out { children, .. } => rewrite_params(children, owner, remap),
+            RhsNode::Call { state, args, .. } => {
+                let callee = state.idx();
+                let mut kept = Vec::with_capacity(args.len());
+                for (j, mut a) in std::mem::take(args).into_iter().enumerate() {
+                    if remap[callee][j].is_some() {
+                        rewrite_params(&mut a, owner, remap);
+                        kept.push(a);
+                    }
+                }
+                *args = kept;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Constant parameter reduction
+// ---------------------------------------------------------------------------
+
+/// Is this rhs a ground constant forest (symbols only — no calls, params, or
+/// `%t`)?
+fn is_ground(rhs: &Rhs) -> bool {
+    rhs.iter().all(|n| match n {
+        RhsNode::Out { label: OutLabel::Sym(_), children } => is_ground(children),
+        _ => false,
+    })
+}
+
+fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
+    let nq = m.states.len();
+    #[derive(Clone)]
+    enum Info {
+        Unseen,
+        Const(Rhs),
+        Varying,
+    }
+    let mut info: Vec<Vec<Info>> =
+        m.states.iter().map(|s| vec![Info::Unseen; s.params]).collect();
+    for q in 0..nq {
+        for rhs in all_rhs(m, StateId(q as u32)) {
+            let mut stack: Vec<&Rhs> = vec![rhs];
+            while let Some(r) = stack.pop() {
+                for n in r {
+                    match n {
+                        RhsNode::Out { children, .. } => stack.push(children),
+                        RhsNode::Param(_) => {}
+                        RhsNode::Call { state, args, .. } => {
+                            for (j, a) in args.iter().enumerate() {
+                                stack.push(a);
+                                let self_pass = state.idx() == q
+                                    && matches!(a.as_slice(), [RhsNode::Param(i)] if *i == j);
+                                if self_pass {
+                                    continue;
+                                }
+                                let slot = &mut info[state.idx()][j];
+                                if is_ground(a) {
+                                    match slot {
+                                        Info::Unseen => *slot = Info::Const(a.clone()),
+                                        Info::Const(w) if w == a => {}
+                                        _ => *slot = Info::Varying,
+                                    }
+                                } else {
+                                    *slot = Info::Varying;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut keep: Vec<Vec<bool>> = m.states.iter().map(|s| vec![true; s.params]).collect();
+    let mut subst: Vec<Vec<Option<Rhs>>> =
+        m.states.iter().map(|s| vec![None; s.params]).collect();
+    let mut count = 0;
+    for q in 0..nq {
+        for j in 0..m.states[q].params {
+            if let Info::Const(w) = &info[q][j] {
+                keep[q][j] = false;
+                subst[q][j] = Some(w.clone());
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        return false;
+    }
+    stats.const_params_removed += count;
+    // First substitute the constants for the params in the owner's rules…
+    for q in 0..nq {
+        let mut rules = std::mem::take(&mut m.rules[q]);
+        for r in rules.by_sym.values_mut() {
+            substitute_params(r, &subst[q]);
+        }
+        if let Some(r) = rules.text_default.as_mut() {
+            substitute_params(r, &subst[q]);
+        }
+        substitute_params(&mut rules.default, &subst[q]);
+        substitute_params(&mut rules.eps, &subst[q]);
+        m.rules[q] = rules;
+    }
+    // …then drop the parameter slots and call arguments.
+    apply_param_removal(m, &keep);
+    true
+}
+
+/// Replace `Param(i)` with `subst[i]` (splicing) where set.
+fn substitute_params(rhs: &mut Rhs, subst: &[Option<Rhs>]) {
+    let mut out = Vec::with_capacity(rhs.len());
+    for mut n in std::mem::take(rhs) {
+        match &mut n {
+            RhsNode::Param(i) => {
+                if let Some(w) = subst.get(*i).and_then(|s| s.as_ref()) {
+                    out.extend(w.iter().cloned());
+                } else {
+                    out.push(n);
+                }
+            }
+            RhsNode::Out { children, .. } => {
+                substitute_params(children, subst);
+                out.push(n);
+            }
+            RhsNode::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    substitute_params(a, subst);
+                }
+                out.push(n);
+            }
+        }
+    }
+    *rhs = out;
+}
+
+// ---------------------------------------------------------------------------
+// 3. Stay-move removal
+// ---------------------------------------------------------------------------
+
+fn remove_stay_states(m: &mut Mft, stats: &mut OptStats) -> bool {
+    // Find one inlinable stay state (not initial, not self-recursive).
+    let target = (0..m.states.len() as u32).map(StateId).find(|&q| {
+        q != m.initial
+            && m.is_stay_state(q)
+            && !rhs_calls_state(&m.rules[q.idx()].default, q)
+    });
+    let Some(q) = target else {
+        return false;
+    };
+    let body = m.rules[q.idx()].default.clone();
+    stats.stay_states_inlined += 1;
+    for r in 0..m.states.len() {
+        let mut rules = std::mem::take(&mut m.rules[r]);
+        for rr in rules.by_sym.values_mut() {
+            inline_stay(rr, q, &body);
+        }
+        if let Some(rr) = rules.text_default.as_mut() {
+            inline_stay(rr, q, &body);
+        }
+        inline_stay(&mut rules.default, q, &body);
+        inline_stay(&mut rules.eps, q, &body);
+        m.rules[r] = rules;
+    }
+    // q is now uncalled; unreachable-removal collects it.
+    true
+}
+
+fn rhs_calls_state(rhs: &Rhs, q: StateId) -> bool {
+    crate::mft::rhs_iter(rhs).any(|n| matches!(n, RhsNode::Call { state, .. } if *state == q))
+}
+
+/// Replace calls `q(x, a1..am)` with `body[x0 ↦ x, y_i ↦ a_i]`.
+fn inline_stay(rhs: &mut Rhs, q: StateId, body: &Rhs) {
+    let mut out = Vec::with_capacity(rhs.len());
+    for mut n in std::mem::take(rhs) {
+        match &mut n {
+            RhsNode::Call { state, input, args } if *state == q => {
+                for a in args.iter_mut() {
+                    inline_stay(a, q, body); // nested calls to q first
+                }
+                out.extend(subst_stay_body(body, *input, args));
+                continue;
+            }
+            RhsNode::Call { args, .. } => {
+                for a in args.iter_mut() {
+                    inline_stay(a, q, body);
+                }
+            }
+            RhsNode::Out { children, .. } => inline_stay(children, q, body),
+            RhsNode::Param(_) => {}
+        }
+        out.push(n);
+    }
+    *rhs = out;
+}
+
+/// `body[x0 ↦ x, y_i ↦ args[i]]` — stay bodies contain only x0 calls, so the
+/// substitution retargets every call's input.
+fn subst_stay_body(body: &Rhs, x: XVar, args: &[Rhs]) -> Rhs {
+    let mut out = Vec::with_capacity(body.len());
+    for n in body {
+        match n {
+            RhsNode::Param(i) => out.extend(args[*i].iter().cloned()),
+            RhsNode::Out { label, children } => out.push(RhsNode::Out {
+                label: *label,
+                children: subst_stay_body(children, x, args),
+            }),
+            RhsNode::Call { state, input, args: cargs } => {
+                debug_assert_eq!(*input, XVar::X0, "stay bodies only contain x0 calls");
+                out.push(RhsNode::Call {
+                    state: *state,
+                    input: x,
+                    args: cargs.iter().map(|a| subst_stay_body(a, x, args)).collect(),
+                });
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// 4. Unreachable state removal
+// ---------------------------------------------------------------------------
+
+fn remove_unreachable(m: &mut Mft, stats: &mut OptStats) -> bool {
+    let mut reachable: FxHashSet<StateId> = FxHashSet::default();
+    let mut work = vec![m.initial];
+    while let Some(q) = work.pop() {
+        if !reachable.insert(q) {
+            continue;
+        }
+        for rhs in all_rhs(m, q) {
+            for n in crate::mft::rhs_iter(rhs) {
+                if let RhsNode::Call { state, .. } = n {
+                    if !reachable.contains(state) {
+                        work.push(*state);
+                    }
+                }
+            }
+        }
+    }
+    if reachable.len() == m.states.len() {
+        return false;
+    }
+    stats.states_removed += m.states.len() - reachable.len();
+    // Compact ids.
+    let mut remap: Vec<Option<StateId>> = vec![None; m.states.len()];
+    let mut next = 0u32;
+    for (q, slot) in remap.iter_mut().enumerate() {
+        if reachable.contains(&StateId(q as u32)) {
+            *slot = Some(StateId(next));
+            next += 1;
+        }
+    }
+    let old_states = std::mem::take(&mut m.states);
+    let old_rules = std::mem::take(&mut m.rules);
+    for (q, (info, r)) in old_states.into_iter().zip(old_rules).enumerate() {
+        if remap[q].is_some() {
+            m.states.push(info);
+            m.rules.push(r);
+        }
+    }
+    m.initial = remap[m.initial.idx()].unwrap();
+    for q in 0..m.states.len() {
+        let mut rs = std::mem::take(&mut m.rules[q]);
+        for r in rs.by_sym.values_mut() {
+            remap_states(r, &remap);
+        }
+        if let Some(r) = rs.text_default.as_mut() {
+            remap_states(r, &remap);
+        }
+        remap_states(&mut rs.default, &remap);
+        remap_states(&mut rs.eps, &remap);
+        m.rules[q] = rs;
+    }
+    true
+}
+
+fn remap_states(rhs: &mut Rhs, remap: &[Option<StateId>]) {
+    for n in rhs.iter_mut() {
+        match n {
+            RhsNode::Call { state, args, .. } => {
+                *state = remap[state.idx()].expect("reachable states only");
+                for a in args.iter_mut() {
+                    remap_states(a, remap);
+                }
+            }
+            RhsNode::Out { children, .. } => remap_states(children, remap),
+            RhsNode::Param(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_mft;
+    use crate::translate::translate;
+    use foxq_forest::term::{forest_to_term, parse_forest};
+    use foxq_xquery::{eval_query, parse_query};
+
+    /// Optimized transducer must stay equivalent to the reference semantics.
+    fn check_opt(query: &str, docs: &[&str]) -> (Mft, OptStats) {
+        let q = parse_query(query).unwrap();
+        let m0 = translate(&q).unwrap();
+        let (m1, stats) = optimize_with_stats(m0.clone());
+        m1.validate().unwrap();
+        for doc in docs {
+            let f = parse_forest(doc).unwrap();
+            let expected = eval_query(&q, &f).unwrap();
+            let a0 = run_mft(&m0, &f).unwrap();
+            let a1 = run_mft(&m1, &f).unwrap();
+            assert_eq!(forest_to_term(&a0), forest_to_term(&expected), "unopt {query}");
+            assert_eq!(forest_to_term(&a1), forest_to_term(&expected), "opt {query}");
+        }
+        assert!(m1.state_count() <= m0.state_count());
+        (m1, stats)
+    }
+
+    #[test]
+    fn optimization_preserves_pperson() {
+        let (m, stats) = check_opt(
+            r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+               return let $r := $b/name/text() return $r }</out>"#,
+            &[
+                r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+                r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#,
+                r#"person(p_id("x"))"#,
+                "",
+            ],
+        );
+        // The paper's hand-optimized Mperson has 6 states and max rank 3
+        // (2 parameters). Ours should land in the same region.
+        assert!(m.state_count() <= 10, "{} states", m.state_count());
+        assert!(m.max_params() <= 2, "max params {}", m.max_params());
+        assert!(stats.unused_params_removed > 0);
+        assert!(stats.stay_states_inlined > 0);
+    }
+
+    #[test]
+    fn theorem2_predicate_free_queries_become_fts() {
+        // Q2-style: nested for loops, no predicates, output variables only
+        // from the nearest for ⇒ all parameters removable (Theorem 2).
+        let (m, _) = check_opt(
+            "<q2>{ for $o in $input/site/open_auctions/open_auction return
+                   <increase>{ for $i in $o/bidder/increase return
+                       <bid>{$i/text()}</bid> }</increase> }</q2>",
+            &[r#"site(open_auctions(open_auction(bidder(increase("1")) bidder(increase("2")))))"#],
+        );
+        assert!(m.is_ft(), "expected an FT, got max rank {}", m.max_params() + 1);
+    }
+
+    #[test]
+    fn theorem2_reconstruction_query_becomes_ft() {
+        // Q13-style reconstruction.
+        let (m, _) = check_opt(
+            "<q13>{ for $item in $input/site/regions/australia/item return
+                <item><name>{$item/name/text()}</name>
+                <description>{$item/description}</description></item> }</q13>",
+            &[r#"site(regions(australia(item(name("N") description(parlist(listitem("x")))))))"#],
+        );
+        assert!(m.is_ft(), "expected an FT, got max rank {}", m.max_params() + 1);
+    }
+
+    #[test]
+    fn predicates_keep_parameters() {
+        // With a predicate, rank-3 states (2 params) must survive — they are
+        // the if-then-else branches.
+        let (m, _) = check_opt(
+            r#"<o>{$input/r/p[./id/text()="1"]}</o>"#,
+            &[r#"r(p(id("1")) p(id("2")))"#],
+        );
+        assert!(!m.is_ft());
+        assert_eq!(m.max_params(), 2);
+    }
+
+    #[test]
+    fn unused_param_fixpoint_is_transitive() {
+        // q passes y1 to p which passes it to r which discards it: all three
+        // parameter slots must be removed.
+        let src = "
+            q0(%t(x1) x2) -> q(x1, a());
+            q0(eps) -> eps;
+            q(%t(x1) x2, y1) -> p(x1, y1);
+            q(eps, y1) -> eps;
+            p(%t(x1) x2, y1) -> r(x2, y1);
+            p(eps, y1) -> eps;
+            r(%t(x1) x2, y1) -> done();
+            r(eps, y1) -> eps;
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m.clone());
+        assert_eq!(stats.unused_params_removed, 3);
+        assert!(opt.is_ft());
+        let f = parse_forest("x(y)").unwrap();
+        assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap());
+    }
+
+    #[test]
+    fn used_params_survive_unused_analysis() {
+        let src = "
+            q0(%t(x1) x2) -> q(x1, hold());
+            q0(eps) -> eps;
+            q(%t(x1) x2, y1) -> q(x2, y1);
+            q(eps, y1) -> y1;
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, _) = optimize_with_stats(m.clone());
+        // y1 is emitted at ε — but it is *constant* (always hold()), so the
+        // constant-parameter pass may still remove the slot while preserving
+        // semantics.
+        for doc in ["", "x(y z)"] {
+            let f = parse_forest(doc).unwrap();
+            assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn constant_params_are_substituted() {
+        // y1 of q is always c() — except for the self pass-through.
+        let src = "
+            q0(%t(x1) x2) -> q(x1, c());
+            q0(eps) -> q(x0, c());
+            q(%t(x1) x2, y1) -> q(x2, y1);
+            q(eps, y1) -> y1;
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m.clone());
+        assert_eq!(stats.const_params_removed, 1);
+        assert!(opt.is_ft());
+        for doc in ["", "a", "a b c"] {
+            let f = parse_forest(doc).unwrap();
+            assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap());
+        }
+    }
+
+    #[test]
+    fn varying_params_are_not_substituted() {
+        let src = "
+            q0(%t(x1) x2) -> q(x1, c()) q(x1, d());
+            q0(eps) -> eps;
+            q(%t(x1) x2, y1) -> q(x2, y1);
+            q(eps, y1) -> y1;
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m.clone());
+        assert_eq!(stats.const_params_removed, 0);
+        let f = parse_forest("a(b)").unwrap();
+        assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap());
+    }
+
+    #[test]
+    fn stay_states_are_inlined() {
+        let src = "
+            q0(%t(x1) x2) -> wrap(mid(x0));
+            q0(eps) -> wrap(mid(x0));
+            mid(%) -> inner(x0) tail();
+            inner(%t(x1) x2) -> %t() inner(x2);
+            inner(eps) -> eps;
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m.clone());
+        assert!(stats.stay_states_inlined >= 1);
+        assert!(opt.state_count() < m.state_count());
+        let f = parse_forest("a b").unwrap();
+        assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap());
+    }
+
+    #[test]
+    fn self_recursive_stay_states_are_not_inlined() {
+        // loop(%)→loop(x0) is non-terminating; the optimizer must leave it
+        // alone (and not loop itself). It is unreachable here, so it gets
+        // collected by the reachability pass instead.
+        let src = "
+            q0(%t(x1) x2) -> a();
+            q0(eps) -> eps;
+            loop(%) -> loop(x0);
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m);
+        assert_eq!(stats.stay_states_inlined, 0);
+        assert_eq!(stats.states_removed, 1);
+        let f = parse_forest("x").unwrap();
+        assert_eq!(forest_to_term(&run_mft(&opt, &f).unwrap()), "a()");
+    }
+
+    #[test]
+    fn unreachable_states_are_removed() {
+        let src = "
+            q0(%t(x1) x2) -> a();
+            q0(eps) -> eps;
+            dead(%t(x1) x2) -> b() dead2(x1);
+            dead2(%t(x1) x2) -> c();
+        ";
+        let m = crate::text::parse_mft(src).unwrap();
+        let (opt, stats) = optimize_with_stats(m);
+        assert_eq!(stats.states_removed, 2);
+        assert_eq!(opt.state_count(), 1);
+    }
+
+    #[test]
+    fn optimizing_twice_is_idempotent() {
+        let q = parse_query(
+            r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+               return let $r := $b/name/text() return $r }</out>"#,
+        )
+        .unwrap();
+        let m1 = optimize(translate(&q).unwrap());
+        let (m2, stats) = optimize_with_stats(m1.clone());
+        assert_eq!(m1.state_count(), m2.state_count());
+        assert_eq!(stats.unused_params_removed, 0);
+        assert_eq!(stats.const_params_removed, 0);
+        assert_eq!(stats.stay_states_inlined, 0);
+        assert_eq!(stats.states_removed, 0);
+    }
+
+    #[test]
+    fn size_reduction_on_benchmark_queries() {
+        for query in [
+            "<o>{ for $p in $input/site/people/person return $p/name/text() }</o>",
+            "<o>{$input//*//*}</o>",
+            "<double><r1>{$input/*}</r1>{$input/*}</double>",
+        ] {
+            let q = parse_query(query).unwrap();
+            let m0 = translate(&q).unwrap();
+            let (m1, _) = optimize_with_stats(m0.clone());
+            assert!(m1.size() <= m0.size(), "{query}: {} > {}", m1.size(), m0.size());
+            // and still correct:
+            let f = parse_forest(r#"site(people(person(name("N") a(b()))))"#).unwrap();
+            let qq = parse_query(query).unwrap();
+            assert_eq!(
+                forest_to_term(&run_mft(&m1, &f).unwrap()),
+                forest_to_term(&eval_query(&qq, &f).unwrap())
+            );
+        }
+    }
+}

@@ -1,0 +1,862 @@
+//! Streaming MFT execution — the engine of §1 contribution (1).
+//!
+//! The paper streams MFTs with Nakano & Mu's pushdown machine, obtained by
+//! composing the transducer with an XML parsing transducer. This module
+//! implements the same computational model directly:
+//!
+//! * The not-yet-seen part of the input is a set of **locations**: one for
+//!   the forest that starts at the current parse position, one per open
+//!   element for the forest after its closing tag. An `open` event defines
+//!   the current location as `label(child)·sib` (two fresh locations); a
+//!   `close`/end-of-input event defines it as ε.
+//! * The output under construction is a **reference-counted expression
+//!   graph**: ground nodes, forests, and *pending* state calls. A pending
+//!   call subscribes to the location it reads; when the location is defined,
+//!   the call is rewritten in place to the instantiated right-hand side of
+//!   the applicable rule. Stay moves (`x0`) expand immediately within the
+//!   same event (with a fuel bound, since stay loops do not terminate).
+//! * Parameters are **shared, not copied**: a parameter used k times costs
+//!   k−1 reference-count increments. Dropping a branch (e.g. the losing arm
+//!   of an XPath predicate) releases its subgraph. This mirrors the sharing
+//!   the OCaml engine gets from immutable values plus garbage collection.
+//! * After every event the **emitter** walks the leftmost frontier of the
+//!   graph and pushes everything ground to the [`XmlSink`] — destructively
+//!   where the engine holds the only reference, by cursor where the subgraph
+//!   is shared (it will be emitted again for another copy).
+//!
+//! Peak live graph size is the engine's memory measure, reported in
+//! [`StreamStats`] — it is exactly the "buffer" the paper's evaluation
+//! plots: constant for optimized streamable queries, linear in the input for
+//! the unoptimized translation (which holds `qcopy(x0)` in a parameter).
+
+use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+use foxq_forest::{Label, Tree};
+use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::BufRead;
+use std::rc::Rc;
+
+/// Resource limits for a streaming run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamLimits {
+    /// Maximum rule expansions per input event (guards stay-move loops).
+    pub max_expansions_per_event: u64,
+}
+
+impl Default for StreamLimits {
+    fn default() -> Self {
+        StreamLimits { max_expansions_per_event: 10_000_000 }
+    }
+}
+
+/// Failure of a streaming run.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The input XML was malformed.
+    Xml(XmlError),
+    /// Expansion fuel exhausted — almost certainly a stay-move loop.
+    Fuel { state: String },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Xml(e) => write!(f, "{e}"),
+            StreamError::Fuel { state } => {
+                write!(f, "expansion fuel exhausted in state {state} (stay-move loop?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<XmlError> for StreamError {
+    fn from(e: XmlError) -> Self {
+        StreamError::Xml(e)
+    }
+}
+
+/// Statistics of one streaming run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Input events processed (open + close pairs + eof).
+    pub events: u64,
+    /// Rule expansions performed.
+    pub expansions: u64,
+    /// Peak number of live expression nodes (the buffer measure).
+    pub peak_live_nodes: usize,
+    /// Peak approximate bytes of live expression nodes.
+    pub peak_live_bytes: usize,
+    /// Maximum element nesting depth seen.
+    pub max_depth: usize,
+    /// Output events pushed to the sink.
+    pub output_events: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Expression arena
+// ---------------------------------------------------------------------------
+
+/// Generational index into the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct ExprId {
+    idx: u32,
+    gen: u32,
+}
+
+enum Expr {
+    /// A forest of sub-expressions (also the result of an expansion).
+    Forest(VecDeque<ExprId>),
+    /// A ground output node (element or text).
+    Node { label: Label, children: VecDeque<ExprId> },
+    /// A state call waiting for its input location to be defined.
+    Pending { state: StateId, args: Vec<ExprId> },
+}
+
+struct Slot {
+    gen: u32,
+    rc: u32,
+    expr: Option<Expr>,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Arena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    live_bytes: usize,
+    peak_live: usize,
+    peak_bytes: usize,
+}
+
+impl Arena {
+    fn alloc(&mut self, expr: Expr) -> ExprId {
+        let bytes = approx_bytes(&expr);
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.rc = 1;
+                slot.expr = Some(expr);
+                slot.bytes = bytes;
+                i
+            }
+            None => {
+                self.slots.push(Slot { gen: 0, rc: 1, expr: Some(expr), bytes });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.live_bytes += bytes;
+        if self.live > self.peak_live {
+            self.peak_live = self.live;
+        }
+        if self.live_bytes > self.peak_bytes {
+            self.peak_bytes = self.live_bytes;
+        }
+        ExprId { idx, gen: self.slots[idx as usize].gen }
+    }
+
+    fn alive(&self, id: ExprId) -> bool {
+        let slot = &self.slots[id.idx as usize];
+        slot.gen == id.gen && slot.expr.is_some()
+    }
+
+    fn get(&self, id: ExprId) -> &Expr {
+        debug_assert!(self.alive(id));
+        self.slots[id.idx as usize].expr.as_ref().unwrap()
+    }
+
+    fn get_mut(&mut self, id: ExprId) -> &mut Expr {
+        debug_assert!(self.alive(id));
+        self.slots[id.idx as usize].expr.as_mut().unwrap()
+    }
+
+    fn rc(&self, id: ExprId) -> u32 {
+        self.slots[id.idx as usize].rc
+    }
+
+    fn inc_rc(&mut self, id: ExprId) {
+        debug_assert!(self.alive(id));
+        self.slots[id.idx as usize].rc += 1;
+    }
+
+    /// Decrement a reference count, freeing recursively at zero.
+    fn release(&mut self, id: ExprId) {
+        let mut stack = vec![id];
+        while let Some(id) = stack.pop() {
+            let slot = &mut self.slots[id.idx as usize];
+            debug_assert!(slot.gen == id.gen && slot.expr.is_some(), "release of dead node");
+            slot.rc -= 1;
+            if slot.rc > 0 {
+                continue;
+            }
+            let expr = slot.expr.take().unwrap();
+            slot.gen = slot.gen.wrapping_add(1);
+            self.live -= 1;
+            self.live_bytes -= slot.bytes;
+            self.free.push(id.idx);
+            match expr {
+                Expr::Forest(children) | Expr::Node { children, .. } => {
+                    stack.extend(children);
+                }
+                Expr::Pending { args, .. } => stack.extend(args),
+            }
+        }
+    }
+
+    /// Refresh the slot's byte estimate after an in-place rewrite.
+    fn rebytes(&mut self, id: ExprId) {
+        let slot = &mut self.slots[id.idx as usize];
+        let new = slot.expr.as_ref().map(approx_bytes).unwrap_or(0);
+        self.live_bytes = self.live_bytes - slot.bytes + new;
+        slot.bytes = new;
+        if self.live_bytes > self.peak_bytes {
+            self.peak_bytes = self.live_bytes;
+        }
+    }
+}
+
+fn approx_bytes(e: &Expr) -> usize {
+    const BASE: usize = 48;
+    match e {
+        Expr::Forest(c) => BASE + 8 * c.len(),
+        Expr::Node { label, children } => BASE + label.name.len() + 8 * children.len(),
+        Expr::Pending { args, .. } => BASE + 8 * args.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Locations
+// ---------------------------------------------------------------------------
+
+/// A location: the subscriber list of pending calls waiting on it.
+type LocRef = Rc<RefCell<Vec<ExprId>>>;
+
+fn new_loc() -> LocRef {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// The definition applied to a location by one input event.
+enum Ctx {
+    Open { label: Label, child: LocRef, sib: LocRef },
+    Eps,
+}
+
+// ---------------------------------------------------------------------------
+// Emitter frames
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    node: ExprId,
+    /// Cursor for shared (non-destructive) traversal.
+    idx: usize,
+    /// Whether this frame holds a reference to `node` (released on pop).
+    holds_ref: bool,
+    /// For `Node` frames: has the start tag been emitted?
+    opened: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Incremental streaming executor. Feed events with [`Engine::open`] /
+/// [`Engine::close`], then call [`Engine::finish`].
+pub struct Engine<'m, S> {
+    mft: &'m Mft,
+    sink: S,
+    arena: Arena,
+    /// The location beginning at the current parse position.
+    current: LocRef,
+    /// Locations for the forests after each open element's closing tag.
+    stack: Vec<LocRef>,
+    frames: Vec<Frame>,
+    limits: StreamLimits,
+    stats: StreamStats,
+    finished: bool,
+}
+
+impl<'m, S: XmlSink> Engine<'m, S> {
+    pub fn new(mft: &'m Mft, sink: S) -> Self {
+        Self::with_limits(mft, sink, StreamLimits::default())
+    }
+
+    pub fn with_limits(mft: &'m Mft, sink: S, limits: StreamLimits) -> Self {
+        let mut arena = Arena::default();
+        let current = new_loc();
+        let root = arena.alloc(Expr::Pending { state: mft.initial, args: Vec::new() });
+        current.borrow_mut().push(root);
+        let frames = vec![Frame { node: root, idx: 0, holds_ref: true, opened: false }];
+        Engine {
+            mft,
+            sink,
+            arena,
+            current,
+            stack: Vec::new(),
+            frames,
+            limits,
+            stats: StreamStats::default(),
+            finished: false,
+        }
+    }
+
+    /// Feed an opening event (element or text node).
+    pub fn open(&mut self, label: &Label) -> Result<(), StreamError> {
+        debug_assert!(!self.finished);
+        self.stats.events += 1;
+        let child = new_loc();
+        let sib = new_loc();
+        let ctx = Ctx::Open { label: label.clone(), child: child.clone(), sib: sib.clone() };
+        let subs = std::mem::take(&mut *self.current.borrow_mut());
+        self.expand_all(subs, &ctx)?;
+        self.stack.push(sib);
+        self.stats.max_depth = self.stats.max_depth.max(self.stack.len());
+        self.current = child;
+        self.flush();
+        self.sync_peaks();
+        Ok(())
+    }
+
+    fn sync_peaks(&mut self) {
+        self.stats.peak_live_nodes = self.arena.peak_live;
+        self.stats.peak_live_bytes = self.arena.peak_bytes;
+    }
+
+    /// Feed the closing event of the most recently opened node.
+    pub fn close(&mut self) -> Result<(), StreamError> {
+        debug_assert!(!self.finished);
+        self.stats.events += 1;
+        let subs = std::mem::take(&mut *self.current.borrow_mut());
+        self.expand_all(subs, &Ctx::Eps)?;
+        self.current = self.stack.pop().expect("close without matching open");
+        self.flush();
+        self.sync_peaks();
+        Ok(())
+    }
+
+    /// Signal end of input and retrieve the sink and run statistics.
+    pub fn finish(mut self) -> Result<(S, StreamStats), StreamError> {
+        debug_assert!(self.stack.is_empty(), "unclosed elements at finish");
+        self.stats.events += 1;
+        let subs = std::mem::take(&mut *self.current.borrow_mut());
+        self.expand_all(subs, &Ctx::Eps)?;
+        self.flush();
+        self.sync_peaks();
+        debug_assert!(
+            self.frames.is_empty(),
+            "output frontier not ground after end of input"
+        );
+        self.finished = true;
+        Ok((self.sink, self.stats))
+    }
+
+    /// Access the sink mid-run (e.g. to inspect counters).
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Current number of live expression nodes (the buffer size).
+    pub fn live_nodes(&self) -> usize {
+        self.arena.live
+    }
+
+    // ---- expansion ----------------------------------------------------
+
+    fn expand_all(&mut self, subs: Vec<ExprId>, ctx: &Ctx) -> Result<(), StreamError> {
+        let mut work: VecDeque<ExprId> = subs.into();
+        let mut fuel = self.limits.max_expansions_per_event;
+        while let Some(id) = work.pop_front() {
+            if !self.arena.alive(id) {
+                continue; // dropped branch
+            }
+            if fuel == 0 {
+                let state = match self.arena.get(id) {
+                    Expr::Pending { state, .. } => self.mft.name_of(*state).to_string(),
+                    _ => "?".to_string(),
+                };
+                return Err(StreamError::Fuel { state });
+            }
+            fuel -= 1;
+            self.expand_one(id, ctx, &mut work);
+        }
+        Ok(())
+    }
+
+    /// Rewrite one pending call in place using the rule selected by `ctx`.
+    fn expand_one(&mut self, id: ExprId, ctx: &Ctx, work: &mut VecDeque<ExprId>) {
+        self.stats.expansions += 1;
+        let (state, args) = match self.arena.get_mut(id) {
+            Expr::Pending { state, args } => (*state, std::mem::take(args)),
+            _ => unreachable!("expand target must be pending"),
+        };
+        let rules = &self.mft.rules[state.idx()];
+        let rhs: &Rhs = match ctx {
+            Ctx::Eps => &rules.eps,
+            Ctx::Open { label, .. } => match self.mft.alphabet.lookup(label) {
+                Some(sym) if rules.by_sym.contains_key(&sym) => &rules.by_sym[&sym],
+                _ if label.is_text() && rules.text_default.is_some() => {
+                    rules.text_default.as_ref().unwrap()
+                }
+                _ => &rules.default,
+            },
+        };
+        let mut used = vec![false; args.len()];
+        let children = self.instantiate(rhs, ctx, &args, &mut used, work);
+        // Arguments the rule dropped: release their subgraphs.
+        for (arg, used) in args.iter().zip(&used) {
+            if !used {
+                self.arena.release(*arg);
+            }
+        }
+        *self.arena.get_mut(id) = Expr::Forest(children);
+        self.arena.rebytes(id);
+    }
+
+    /// Instantiate a rhs forest: allocate output nodes, share parameters,
+    /// create pending calls (subscribing or scheduling them).
+    fn instantiate(
+        &mut self,
+        rhs: &Rhs,
+        ctx: &Ctx,
+        args: &[ExprId],
+        used: &mut [bool],
+        work: &mut VecDeque<ExprId>,
+    ) -> VecDeque<ExprId> {
+        let mut out = VecDeque::with_capacity(rhs.len());
+        for node in rhs {
+            match node {
+                RhsNode::Param(i) => {
+                    let arg = args[*i];
+                    if used[*i] {
+                        self.arena.inc_rc(arg);
+                    } else {
+                        used[*i] = true;
+                    }
+                    out.push_back(arg);
+                }
+                RhsNode::Out { label, children } => {
+                    let label = match label {
+                        OutLabel::Sym(s) => self.mft.alphabet.label(*s).clone(),
+                        OutLabel::Current => match ctx {
+                            Ctx::Open { label, .. } => label.clone(),
+                            Ctx::Eps => unreachable!("%t in ε context (validated)"),
+                        },
+                    };
+                    let kids = self.instantiate(children, ctx, args, used, work);
+                    out.push_back(self.arena.alloc(Expr::Node { label, children: kids }));
+                }
+                RhsNode::Call { state, input, args: cargs } => {
+                    let mut new_args = Vec::with_capacity(cargs.len());
+                    for a in cargs {
+                        let f = self.instantiate(a, ctx, args, used, work);
+                        new_args.push(self.arena.alloc(Expr::Forest(f)));
+                    }
+                    let pid =
+                        self.arena.alloc(Expr::Pending { state: *state, args: new_args });
+                    match (input, ctx) {
+                        (XVar::X0, _) => work.push_back(pid), // stay move: same event
+                        (XVar::X1, Ctx::Open { child, .. }) => {
+                            child.borrow_mut().push(pid);
+                        }
+                        (XVar::X2, Ctx::Open { sib, .. }) => {
+                            sib.borrow_mut().push(pid);
+                        }
+                        // ε-rules may only use x0 (validated), so x1/x2 in an
+                        // Eps context cannot occur.
+                        (_, Ctx::Eps) => unreachable!("x1/x2 in ε context (validated)"),
+                    }
+                    out.push_back(pid);
+                }
+            }
+        }
+        out
+    }
+
+    // ---- emission -------------------------------------------------------
+
+    /// Emit everything ground on the leftmost frontier.
+    fn flush(&mut self) {
+        while let Some(top) = self.frames.last_mut() {
+            let node = top.node;
+            let destructive = top.holds_ref && self.arena.rc(node) == 1;
+            // What to do depends on the node's current kind.
+            enum Step {
+                Stall,
+                Descend(ExprId),
+                PopForest,
+                OpenNode(Label),
+                PopNode(Label),
+            }
+            let step = match self.arena.get_mut(node) {
+                Expr::Pending { .. } => Step::Stall,
+                Expr::Forest(children) => {
+                    if destructive {
+                        match children.pop_front() {
+                            Some(c) => Step::Descend(c),
+                            None => Step::PopForest,
+                        }
+                    } else {
+                        match children.get(top.idx) {
+                            Some(&c) => {
+                                top.idx += 1;
+                                Step::Descend(c)
+                            }
+                            None => Step::PopForest,
+                        }
+                    }
+                }
+                Expr::Node { label, children } => {
+                    if !top.opened {
+                        top.opened = true;
+                        Step::OpenNode(label.clone())
+                    } else if destructive {
+                        match children.pop_front() {
+                            Some(c) => Step::Descend(c),
+                            None => Step::PopNode(label.clone()),
+                        }
+                    } else {
+                        match children.get(top.idx) {
+                            Some(&c) => {
+                                top.idx += 1;
+                                Step::Descend(c)
+                            }
+                            None => Step::PopNode(label.clone()),
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Stall => return,
+                Step::Descend(c) => {
+                    // Tail-call elimination: sibling continuations expand
+                    // *nested* inside the previous forest, so without this a
+                    // frame per sibling would accumulate. If a destructive
+                    // forest just yielded its last child, retire it now.
+                    if destructive
+                        && matches!(self.arena.get(node), Expr::Forest(ch) if ch.is_empty())
+                    {
+                        let f = self.frames.pop().unwrap();
+                        self.arena.release(f.node);
+                    }
+                    // In destructive mode the parent's reference moved into
+                    // this frame; in shared mode the parent keeps it.
+                    self.frames.push(Frame {
+                        node: c,
+                        idx: 0,
+                        holds_ref: destructive,
+                        opened: false,
+                    });
+                }
+                Step::PopForest => {
+                    let f = self.frames.pop().unwrap();
+                    if f.holds_ref {
+                        self.arena.release(f.node);
+                    }
+                }
+                Step::OpenNode(label) => {
+                    self.stats.output_events += 1;
+                    self.sink.open(&label);
+                }
+                Step::PopNode(label) => {
+                    self.stats.output_events += 1;
+                    self.sink.close(&label);
+                    let f = self.frames.pop().unwrap();
+                    if f.holds_ref {
+                        self.arena.release(f.node);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Run an MFT over an XML byte stream, pushing output into `sink`.
+pub fn run_streaming<R: BufRead, S: XmlSink>(
+    mft: &Mft,
+    mut reader: XmlReader<R>,
+    sink: S,
+) -> Result<(S, StreamStats), StreamError> {
+    let mut engine = Engine::new(mft, sink);
+    loop {
+        match reader.next_event()? {
+            XmlEvent::Open(label) => engine.open(&label)?,
+            XmlEvent::Close(_) => engine.close()?,
+            XmlEvent::Eof => return engine.finish(),
+        }
+    }
+}
+
+/// Drive the engine from an in-memory forest (no XML parsing involved) —
+/// used by tests and benchmarks that want to isolate transducer cost.
+pub fn run_streaming_on_forest<S: XmlSink>(
+    mft: &Mft,
+    forest: &[Tree],
+    sink: S,
+) -> Result<(S, StreamStats), StreamError> {
+    let mut engine = Engine::new(mft, sink);
+    fn feed<S: XmlSink>(engine: &mut Engine<'_, S>, t: &Tree) -> Result<(), StreamError> {
+        engine.open(&t.label)?;
+        for c in &t.children {
+            feed(engine, c)?;
+        }
+        engine.close()
+    }
+    for t in forest {
+        feed(&mut engine, t)?;
+    }
+    engine.finish()
+}
+
+/// Output and statistics of [`run_streaming_to_string`].
+pub struct StreamRunOutput {
+    /// Serialized XML output.
+    pub output: String,
+    pub stats: StreamStats,
+}
+
+/// Convenience driver: parse `input` as XML, run `mft`, serialize the output.
+pub fn run_streaming_to_string(mft: &Mft, input: &[u8]) -> Result<StreamRunOutput, StreamError> {
+    let reader = XmlReader::new(input);
+    let sink = foxq_xml::WriterSink::new(Vec::new());
+    let (sink, stats) = run_streaming(mft, reader, sink)?;
+    let buf = sink.finish().expect("writing to Vec cannot fail");
+    Ok(StreamRunOutput {
+        output: String::from_utf8(buf).expect("output is UTF-8"),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_mft;
+    use crate::opt::optimize;
+    use crate::text::parse_mft;
+    use crate::translate::translate;
+    use foxq_forest::term::parse_forest;
+    use foxq_xml::{forest_to_xml_string, ForestSink};
+    use foxq_xquery::parse_query;
+
+    /// Streaming output must equal the in-memory interpreter's output.
+    fn check_stream(m: &Mft, doc: &str) -> StreamStats {
+        let f = parse_forest(doc).unwrap();
+        let expected = run_mft(m, &f).unwrap();
+        let (sink, stats) = run_streaming_on_forest(m, &f, ForestSink::new()).unwrap();
+        let got = sink.into_forest();
+        assert_eq!(
+            forest_to_xml_string(&got),
+            forest_to_xml_string(&expected),
+            "stream vs interp on {doc}"
+        );
+        stats
+    }
+
+    #[test]
+    fn identity_streams() {
+        let m = parse_mft(
+            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
+        )
+        .unwrap();
+        for doc in ["", "a", r#"a(b("t") c) d(e(f))"#] {
+            let stats = check_stream(&m, doc);
+            // Identity is fully incremental: nothing accumulates.
+            assert!(stats.peak_live_nodes < 32, "{}", stats.peak_live_nodes);
+        }
+    }
+
+    #[test]
+    fn mperson_streams_like_interp() {
+        let m = parse_mft(crate::text::MPERSON).unwrap();
+        check_stream(&m, r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#);
+        check_stream(&m, r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#);
+        check_stream(&m, r#"person(p_id("x") name("Jim"))"#);
+        check_stream(&m, "");
+    }
+
+    #[test]
+    fn translated_queries_stream_correctly() {
+        let cases = [
+            ("<o>{$input/a}</o>", "a(\"1\") b() a(\"2\")"),
+            ("<o>{$input//c}</o>", "doc(a(b(c(c()) d())))"),
+            (
+                r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+                   return let $r := $b/name/text() return $r }</out>"#,
+                r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+            ),
+            (
+                "<deepdup>{ for $x in $input/* return
+                   <r> { for $y in $x/* return <r1><r2>{$y}</r2>{$y}</r1> } </r> }</deepdup>",
+                "site(a(b(\"1\")) c())",
+            ),
+            ("<double><r1>{$input/*}</r1>{$input/*}</double>", "site(a(\"x\") b())"),
+            ("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f())) d2())) g())"),
+            (
+                r#"<o>{$input/r/x[./b[./n/text()="1"]/following-sibling::b/n/text()="2"]}</o>"#,
+                r#"r(x(b(n("1")) b(n("2"))) x(b(n("2")) b(n("1"))))"#,
+            ),
+        ];
+        for (query, doc) in cases {
+            let q = parse_query(query).unwrap();
+            let unopt = translate(&q).unwrap();
+            let opt = optimize(unopt.clone());
+            check_stream(&unopt, doc);
+            check_stream(&opt, doc);
+        }
+    }
+
+    #[test]
+    fn xml_to_xml_pipeline() {
+        let q = parse_query(
+            r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+               return let $r := $b/name/text() return $r }</out>"#,
+        )
+        .unwrap();
+        let m = optimize(translate(&q).unwrap());
+        let doc = "<person><p_id><a/>person0</p_id><name>Jim</name><c/><name>Li</name></person>";
+        let out = run_streaming_to_string(&m, doc.as_bytes()).unwrap();
+        // The paper's §2.2 result: <out>JimLi</out>.
+        assert_eq!(out.output, "<out>JimLi</out>");
+    }
+
+    #[test]
+    fn optimized_memory_is_constant_but_unoptimized_grows() {
+        // The headline experiment shape (Fig. 4): on a streamable query the
+        // optimized MFT runs in O(1) buffer, the unoptimized one in O(n).
+        let q = parse_query(
+            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
+        )
+        .unwrap();
+        let unopt = translate(&q).unwrap();
+        let opt = optimize(unopt.clone());
+
+        let doc_of = |n: usize| {
+            let mut s = String::from("people(");
+            for i in 0..n {
+                s.push_str(&format!(r#"person(name("p{i}") junk("x"))"#));
+            }
+            s.push(')');
+            parse_forest(&s).unwrap()
+        };
+        let peak = |m: &Mft, n: usize| {
+            let (_, stats) =
+                run_streaming_on_forest(m, &doc_of(n), foxq_xml::CountingSink::default())
+                    .unwrap();
+            stats.peak_live_nodes
+        };
+        let (opt_small, opt_big) = (peak(&opt, 10), peak(&opt, 200));
+        let (unopt_small, unopt_big) = (peak(&unopt, 10), peak(&unopt, 200));
+        // Optimized: flat (allow small slack for arena jitter).
+        assert!(
+            opt_big <= opt_small + 8,
+            "optimized engine buffered: {opt_small} -> {opt_big}"
+        );
+        // Unoptimized: grows roughly linearly (it retains qcopy($input)).
+        assert!(
+            unopt_big > unopt_small * 5,
+            "unoptimized engine did not grow: {unopt_small} -> {unopt_big}"
+        );
+    }
+
+    #[test]
+    fn predicate_buffering_is_local() {
+        // Buffering for a predicate is bounded by the candidate subtree, not
+        // by the whole input: persons after the match don't accumulate.
+        let q = parse_query(
+            r#"<o>{ for $p in $input/people/person[./id/text()="yes"]
+                 return $p/name/text() }</o>"#,
+        )
+        .unwrap();
+        let m = optimize(translate(&q).unwrap());
+        let doc_of = |n: usize| {
+            let mut s = String::from("people(");
+            for i in 0..n {
+                s.push_str(&format!(r#"person(id("no{i}") name("p{i}"))"#));
+            }
+            s.push(')');
+            parse_forest(&s).unwrap()
+        };
+        let peak = |n: usize| {
+            let (_, stats) =
+                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default())
+                    .unwrap();
+            stats.peak_live_nodes
+        };
+        assert!(peak(200) <= peak(10) + 8, "{} vs {}", peak(200), peak(10));
+    }
+
+    #[test]
+    fn double_query_buffers_the_input_copy() {
+        // Fig. 4(g): the double query *must* buffer the input for the second
+        // copy — memory grows with input even for the optimized MFT.
+        let q = parse_query("<double><r1>{$input/*}</r1>{$input/*}</double>").unwrap();
+        let m = optimize(translate(&q).unwrap());
+        let doc_of = |n: usize| {
+            let mut s = String::from("site(");
+            for i in 0..n {
+                s.push_str(&format!("item(v(\"i{i}\"))"));
+            }
+            s.push(')');
+            parse_forest(&s).unwrap()
+        };
+        let peak = |n: usize| {
+            let (_, stats) =
+                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default())
+                    .unwrap();
+            stats.peak_live_nodes
+        };
+        assert!(peak(200) > peak(10) * 4, "{} vs {}", peak(200), peak(10));
+        check_stream(&m, "site(a(\"x\") b())");
+    }
+
+    #[test]
+    fn stay_loop_exhausts_fuel() {
+        let m = parse_mft("q0(%) -> q0(x0);").unwrap();
+        let f = parse_forest("a").unwrap();
+        let r = run_streaming_on_forest(&m, &f, foxq_xml::NullSink);
+        assert!(matches!(r, Err(StreamError::Fuel { .. })));
+    }
+
+    #[test]
+    fn output_streams_before_input_ends() {
+        // After opening <a>, the constant prefix of the output must already
+        // be at the sink even though the document is still open.
+        let q = parse_query("<o><head/>{$input//x}</o>").unwrap();
+        let m = optimize(translate(&q).unwrap());
+        let mut engine = Engine::new(&m, foxq_xml::CountingSink::default());
+        engine.open(&Label::elem("a")).unwrap();
+        assert!(
+            engine.sink().nodes >= 2,
+            "expected <o><head/> prefix to be emitted, saw {} nodes",
+            engine.sink().nodes
+        );
+        engine.close().unwrap();
+        let (sink, _) = engine.finish().unwrap();
+        assert_eq!(sink.nodes, 2); // <o> and <head/>
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let m = parse_mft(
+            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
+        )
+        .unwrap();
+        let f = parse_forest("a(b(c))").unwrap();
+        let (_, stats) = run_streaming_on_forest(&m, &f, foxq_xml::NullSink).unwrap();
+        assert_eq!(stats.events, 7); // 3 opens + 3 closes + eof
+        assert_eq!(stats.max_depth, 3);
+        assert!(stats.expansions > 0);
+        assert_eq!(stats.output_events, 6);
+    }
+}

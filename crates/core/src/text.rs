@@ -1,0 +1,786 @@
+//! Textual notation for MFTs — the paper's rule syntax.
+//!
+//! This lets tests and examples state transducers exactly as the paper
+//! prints them, e.g. the `Mperson` transducer of §2.2:
+//!
+//! ```text
+//! q0(%t(x1) x2)          -> out(q1(x0));
+//! q1(person(x1) x2)      -> q2(x1, q4(x1)) q1(x2);
+//! q1(%t(x1) x2)          -> q1(x1) q1(x2);
+//! q2(p_id(x1) x2, y1)    -> q3(x1, y1, q2(x2, y1));
+//! q2(%t(x1) x2, y1)      -> q2(x2, y1);
+//! q3("person0"(x1) x2, y1, y2) -> y1;
+//! q3(%t(x1) x2, y1, y2)  -> q3(x2, y1, y2);
+//! q3(eps, y1, y2)        -> y2;
+//! ...
+//! ```
+//!
+//! Grammar (`;` separates rules; `//` starts a line comment):
+//!
+//! ```text
+//! rule    := state '(' pattern { ',' yk } ')' '->' forest
+//! pattern := sym '(' 'x1' ')' 'x2'   -- (q,σ)-rule, sym = NAME | STRING
+//!          | '%t' '(' 'x1' ')' 'x2'  -- default rule
+//!          | '%text' '(' 'x1' ')' 'x2' -- text-default rule (also '%ttext')
+//!          | '%'                     -- stay shorthand: default AND ε rule
+//!          | 'eps'                   -- ε-rule
+//! forest  := { item } | 'eps'
+//! item    := NAME '(' xvar { ',' forest } ')'   -- state call
+//!          | NAME '(' forest ')' | NAME          -- output element
+//!          | STRING                              -- output text node
+//!          | '%t' '(' forest ')'                 -- copy current label
+//!          | yk                                  -- parameter
+//! ```
+//!
+//! A call is distinguished from an output node by its first argument being
+//! `x0`/`x1`/`x2`. The state of the first rule is the initial state. Names
+//! `x0..x2`, `y1..`, `eps` and `%`-forms are reserved.
+
+use crate::mft::{rhs, Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+use foxq_forest::{FxHashMap, Label, NodeKind};
+use std::fmt::Write as _;
+
+/// Parse error with line/column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MftTextError {
+    pub line: usize,
+    pub col: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for MftTextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MFT syntax error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for MftTextError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),
+    Str(String),
+    LPar,
+    RPar,
+    Comma,
+    Semi,
+    Arrow,
+    Pct,     // %
+    PctT,    // %t
+    PctText, // %text / %ttext
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, MftTextError> {
+        Err(MftTextError { line: self.line, col: self.col, msg: msg.into() })
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next_tok(&mut self) -> Result<(Tok, usize, usize), MftTextError> {
+        loop {
+            // Skip whitespace and // comments.
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let (line, col) = (self.line, self.col);
+        let tok = match self.peek() {
+            None => Tok::Eof,
+            Some(b'(') => {
+                self.bump();
+                Tok::LPar
+            }
+            Some(b')') => {
+                self.bump();
+                Tok::RPar
+            }
+            Some(b',') => {
+                self.bump();
+                Tok::Comma
+            }
+            Some(b';') => {
+                self.bump();
+                Tok::Semi
+            }
+            Some(b'-') => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Tok::Arrow
+                } else {
+                    return self.err("expected '->'");
+                }
+            }
+            Some(b'%') => {
+                self.bump();
+                let mut word = Vec::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        word.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                match word.as_slice() {
+                    b"" => Tok::Pct,
+                    b"t" => Tok::PctT,
+                    b"text" | b"ttext" => Tok::PctText,
+                    _ => return self.err("unknown %-pattern (expected %, %t, %text)"),
+                }
+            }
+            Some(b'"') => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        None => return self.err("unterminated string"),
+                        Some(b'"') => break,
+                        Some(b'\\') => match self.bump() {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'r') => s.push('\r'),
+                            _ => return self.err("bad escape"),
+                        },
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                Tok::Str(s)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b':' | b'-') {
+                        // '-' only continues a name if not part of '->'
+                        if c == b'-' && self.src.get(self.pos + 1) == Some(&b'>') {
+                            break;
+                        }
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Name(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+            }
+            Some(c) => return self.err(format!("unexpected character {:?}", c as char)),
+        };
+        Ok((tok, line, col))
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+    line: usize,
+    col: usize,
+    mft: Mft,
+    state_names: FxHashMap<String, StateId>,
+    /// States whose rank is only inferred from calls so far.
+    inferred_only: FxHashMap<StateId, bool>,
+}
+
+enum Pattern {
+    Sym(Label),
+    Default,
+    TextDefault,
+    Stay,
+    Eps,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, MftTextError> {
+        let mut lexer = Lexer::new(src);
+        let (tok, line, col) = lexer.next_tok()?;
+        Ok(Parser {
+            lexer,
+            tok,
+            line,
+            col,
+            mft: Mft::new(),
+            state_names: FxHashMap::default(),
+            inferred_only: FxHashMap::default(),
+        })
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, MftTextError> {
+        Err(MftTextError { line: self.line, col: self.col, msg: msg.into() })
+    }
+
+    fn advance(&mut self) -> Result<(), MftTextError> {
+        let (tok, line, col) = self.lexer.next_tok()?;
+        self.tok = tok;
+        self.line = line;
+        self.col = col;
+        Ok(())
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), MftTextError> {
+        if self.tok == t {
+            self.advance()
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.tok))
+        }
+    }
+
+    fn state_of(&mut self, name: &str, rank_hint: Option<usize>) -> Result<StateId, MftTextError> {
+        if let Some(&id) = self.state_names.get(name) {
+            if let Some(r) = rank_hint {
+                if self.mft.params_of(id) != r {
+                    // Rank conflicts with earlier inference: only allowed to
+                    // fix states that were inferred from calls.
+                    return self.err(format!(
+                        "state {name} used with {r} parameter(s) but earlier with {}",
+                        self.mft.params_of(id)
+                    ));
+                }
+            }
+            return Ok(id);
+        }
+        let rank = rank_hint.unwrap_or(0);
+        let id = self.mft.add_state(name.to_string(), rank);
+        self.state_names.insert(name.to_string(), id);
+        self.inferred_only.insert(id, rank_hint.is_none());
+        Ok(id)
+    }
+
+    fn parse(mut self) -> Result<Mft, MftTextError> {
+        let mut first = true;
+        while self.tok != Tok::Eof {
+            let q = self.rule()?;
+            if first {
+                self.mft.initial = q;
+                first = false;
+            }
+            while self.tok == Tok::Semi {
+                self.advance()?;
+            }
+        }
+        if first {
+            return self.err("no rules");
+        }
+        // States only ever called, never defined: keep default ε-rules
+        // (total by construction), nothing to do.
+        self.mft
+            .validate()
+            .map_err(|e| MftTextError { line: 0, col: 0, msg: e.msg })?;
+        Ok(self.mft)
+    }
+
+    /// Parse one rule; returns its lhs state.
+    fn rule(&mut self) -> Result<StateId, MftTextError> {
+        let name = match &self.tok {
+            Tok::Name(n) => n.clone(),
+            t => return self.err(format!("expected state name, found {t:?}")),
+        };
+        self.advance()?;
+        self.expect(Tok::LPar, "'('")?;
+        let pat = self.pattern()?;
+        // Parameters y1..ym.
+        let mut m = 0usize;
+        while self.tok == Tok::Comma {
+            self.advance()?;
+            match &self.tok {
+                Tok::Name(n) if parse_y(n) == Some(m) => {
+                    m += 1;
+                    self.advance()?;
+                }
+                t => return self.err(format!("expected y{} in lhs, found {t:?}", m + 1)),
+            }
+        }
+        self.expect(Tok::RPar, "')'")?;
+        self.expect(Tok::Arrow, "'->'")?;
+
+        let q = self.state_of(&name, Some(m))?;
+        // Seeing an lhs fixes the rank authoritatively.
+        if self.inferred_only.get(&q) == Some(&true) {
+            if self.mft.params_of(q) != m {
+                return self.err(format!(
+                    "state {name} defined with {m} parameter(s) but called with {}",
+                    self.mft.params_of(q)
+                ));
+            }
+            self.inferred_only.insert(q, false);
+        }
+
+        let body = self.forest(m)?;
+        match pat {
+            Pattern::Sym(label) => {
+                let sym = self.mft.alphabet.intern(label);
+                self.mft.set_sym_rule(q, sym, body);
+            }
+            Pattern::Default => self.mft.set_default_rule(q, body),
+            Pattern::TextDefault => self.mft.set_text_rule(q, body),
+            Pattern::Stay => self.mft.set_stay_rule(q, body),
+            Pattern::Eps => self.mft.set_eps_rule(q, body),
+        }
+        Ok(q)
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, MftTextError> {
+        let head = match self.tok.clone() {
+            Tok::Pct => {
+                self.advance()?;
+                return Ok(Pattern::Stay);
+            }
+            Tok::Name(n) if n == "eps" => {
+                self.advance()?;
+                return Ok(Pattern::Eps);
+            }
+            Tok::PctT => {
+                self.advance()?;
+                Pattern::Default
+            }
+            Tok::PctText => {
+                self.advance()?;
+                Pattern::TextDefault
+            }
+            Tok::Name(n) => {
+                self.advance()?;
+                Pattern::Sym(Label::elem(n))
+            }
+            Tok::Str(s) => {
+                self.advance()?;
+                Pattern::Sym(Label::text(s))
+            }
+            t => return self.err(format!("expected pattern, found {t:?}")),
+        };
+        // σ(x1) x2
+        self.expect(Tok::LPar, "'(' in pattern")?;
+        match &self.tok {
+            Tok::Name(n) if n == "x1" => self.advance()?,
+            t => return self.err(format!("expected x1 in pattern, found {t:?}")),
+        }
+        self.expect(Tok::RPar, "')' in pattern")?;
+        match &self.tok {
+            Tok::Name(n) if n == "x2" => self.advance()?,
+            t => return self.err(format!("expected x2 in pattern, found {t:?}")),
+        }
+        Ok(head)
+    }
+
+    /// Parse a rhs forest in a rank-`m` context; stops at `)` `,` `;` or a
+    /// token that starts a new rule is impossible to detect, so forests end
+    /// only at those delimiters.
+    fn forest(&mut self, m: usize) -> Result<Rhs, MftTextError> {
+        let mut out = Vec::new();
+        loop {
+            match self.tok.clone() {
+                Tok::RPar | Tok::Comma | Tok::Semi | Tok::Eof => return Ok(out),
+                Tok::Name(n) if n == "eps" => {
+                    self.advance()?;
+                }
+                Tok::Name(n) => {
+                    self.advance()?;
+                    if let Some(i) = parse_y(&n) {
+                        if i >= m {
+                            return self.err(format!("{n} out of range (rank is {m})"));
+                        }
+                        out.push(RhsNode::Param(i));
+                    } else if self.tok == Tok::LPar {
+                        self.advance()?;
+                        out.push(self.call_or_out(n, m)?);
+                    } else {
+                        // Leaf output element.
+                        let sym = self.mft.alphabet.intern(Label::elem(n));
+                        out.push(rhs::out(sym, vec![]));
+                    }
+                }
+                Tok::Str(s) => {
+                    self.advance()?;
+                    let sym = self.mft.alphabet.intern(Label::text(s));
+                    if self.tok == Tok::LPar {
+                        self.advance()?;
+                        let children = self.forest(m)?;
+                        self.expect(Tok::RPar, "')'")?;
+                        out.push(rhs::out(sym, children));
+                    } else {
+                        out.push(rhs::out(sym, vec![]));
+                    }
+                }
+                Tok::PctT => {
+                    self.advance()?;
+                    self.expect(Tok::LPar, "'(' after %t")?;
+                    let children = self.forest(m)?;
+                    self.expect(Tok::RPar, "')'")?;
+                    out.push(rhs::out_current(children));
+                }
+                t => return self.err(format!("unexpected {t:?} in rhs")),
+            }
+        }
+    }
+
+    /// After `name(`: a state call if the first token is an x-variable,
+    /// otherwise an output element.
+    fn call_or_out(&mut self, name: String, m: usize) -> Result<RhsNode, MftTextError> {
+        let xvar = match &self.tok {
+            Tok::Name(n) if n == "x0" => Some(XVar::X0),
+            Tok::Name(n) if n == "x1" => Some(XVar::X1),
+            Tok::Name(n) if n == "x2" => Some(XVar::X2),
+            _ => None,
+        };
+        match xvar {
+            Some(x) => {
+                self.advance()?;
+                let mut args = Vec::new();
+                while self.tok == Tok::Comma {
+                    self.advance()?;
+                    args.push(self.forest(m)?);
+                }
+                self.expect(Tok::RPar, "')' after call")?;
+                let q = self.state_of(&name, None)?;
+                if self.inferred_only.get(&q) == Some(&true)
+                    && self.mft.params_of(q) != args.len()
+                {
+                    // First call fixed an arity; allow widening only if the
+                    // state was never used before (params_of default 0).
+                    let never_used = self.mft.params_of(q) == 0
+                        && !self
+                            .mft
+                            .rules
+                            .iter()
+                            .flat_map(|r| {
+                                r.by_sym
+                                    .values()
+                                    .chain(r.text_default.as_ref())
+                                    .chain([&r.default, &r.eps])
+                            })
+                            .flat_map(|r| crate::mft::rhs_iter(r))
+                            .any(|n| matches!(n, RhsNode::Call { state, .. } if *state == q));
+                    if never_used {
+                        self.mft.states[q.idx()].params = args.len();
+                    } else {
+                        return self.err(format!(
+                            "state {name} called with {} argument(s), expected {}",
+                            args.len(),
+                            self.mft.params_of(q)
+                        ));
+                    }
+                }
+                if self.mft.params_of(q) != args.len() && self.inferred_only.get(&q) != Some(&true)
+                {
+                    return self.err(format!(
+                        "state {name} called with {} argument(s), expected {}",
+                        args.len(),
+                        self.mft.params_of(q)
+                    ));
+                }
+                if !self.inferred_only.contains_key(&q) {
+                    self.inferred_only.insert(q, true);
+                    self.mft.states[q.idx()].params = args.len();
+                }
+                Ok(rhs::call(q, x, args))
+            }
+            None => {
+                let children = self.forest(m)?;
+                self.expect(Tok::RPar, "')'")?;
+                let sym = self.mft.alphabet.intern(Label::elem(name));
+                Ok(rhs::out(sym, children))
+            }
+        }
+    }
+}
+
+fn parse_y(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix('y')?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let n: usize = rest.parse().ok()?;
+    if n == 0 {
+        return None;
+    }
+    Some(n - 1)
+}
+
+/// Parse an MFT from the textual rule notation.
+pub fn parse_mft(src: &str) -> Result<Mft, MftTextError> {
+    Parser::new(src)?.parse()
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+/// Render an MFT in the textual rule notation (parsable by [`parse_mft`]).
+///
+/// The initial state's rules are printed first so that re-parsing preserves
+/// the initial state.
+pub fn print_mft(m: &Mft) -> String {
+    let mut out = String::new();
+    let mut order: Vec<StateId> = (0..m.states.len() as u32).map(StateId).collect();
+    order.sort_by_key(|&q| (q != m.initial, q.0));
+    for q in order {
+        let rules = &m.rules[q.idx()];
+        let mut syms: Vec<_> = rules.by_sym.keys().copied().collect();
+        syms.sort();
+        for sym in syms {
+            print_rule(m, q, &format!("{}(x1) x2", sym_str(m, sym)), &rules.by_sym[&sym], &mut out);
+        }
+        if let Some(r) = &rules.text_default {
+            print_rule(m, q, "%text(x1) x2", r, &mut out);
+        }
+        print_rule(m, q, "%t(x1) x2", &rules.default, &mut out);
+        print_rule(m, q, "eps", &rules.eps, &mut out);
+    }
+    out
+}
+
+fn sym_str(m: &Mft, sym: foxq_forest::SymId) -> String {
+    let label = m.alphabet.label(sym);
+    match label.kind {
+        NodeKind::Element => label.name.to_string(),
+        NodeKind::Text => format!("{:?}", &*label.name),
+    }
+}
+
+fn print_rule(m: &Mft, q: StateId, pat: &str, rhs: &Rhs, out: &mut String) {
+    let _ = write!(out, "{}({}", m.name_of(q), pat);
+    for i in 0..m.params_of(q) {
+        let _ = write!(out, ", y{}", i + 1);
+    }
+    let _ = write!(out, ") -> ");
+    print_forest(m, rhs, out);
+    out.push_str(";\n");
+}
+
+fn print_forest(m: &Mft, f: &Rhs, out: &mut String) {
+    if f.is_empty() {
+        out.push_str("eps");
+        return;
+    }
+    for (i, n) in f.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        print_node(m, n, out);
+    }
+}
+
+fn print_node(m: &Mft, n: &RhsNode, out: &mut String) {
+    match n {
+        RhsNode::Param(i) => {
+            let _ = write!(out, "y{}", i + 1);
+        }
+        RhsNode::Out { label, children } => {
+            match label {
+                OutLabel::Sym(s) => {
+                    let _ = write!(out, "{}", sym_str(m, *s));
+                }
+                OutLabel::Current => out.push_str("%t"),
+            }
+            // Text leaves print without parens; everything else with.
+            let is_text_leaf = matches!(label, OutLabel::Sym(s)
+                if m.alphabet.label(*s).kind == NodeKind::Text) && children.is_empty();
+            if !is_text_leaf {
+                out.push('(');
+                if !children.is_empty() {
+                    print_forest(m, children, out);
+                }
+                out.push(')');
+            }
+        }
+        RhsNode::Call { state, input, args } => {
+            let x = match input {
+                XVar::X0 => "x0",
+                XVar::X1 => "x1",
+                XVar::X2 => "x2",
+            };
+            let _ = write!(out, "{}({}", m.name_of(*state), x);
+            for a in args {
+                out.push_str(", ");
+                print_forest(m, a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+/// The full `Mperson` transducer from §2.2 of the paper, in rule notation —
+/// selects the text of `name`-children of persons whose `p_id` is
+/// `"person0"`. Kept public for examples and cross-module tests.
+pub const MPERSON: &str = r#"
+        q0(%t(x1) x2) -> out(q1(x0));
+        q0(eps) -> out(q1(x0));
+        q1(person(x1) x2) -> q2(x1, q4(x1)) q1(x2);
+        q1(%t(x1) x2) -> q1(x1) q1(x2);
+        q1(eps) -> eps;
+        q2(p_id(x1) x2, y1) -> q3(x1, y1, q2(x2, y1));
+        q2(%t(x1) x2, y1) -> q2(x2, y1);
+        q2(eps, y1) -> eps;
+        q3("person0"(x1) x2, y1, y2) -> y1;
+        q3(%t(x1) x2, y1, y2) -> q3(x2, y1, y2);
+        q3(eps, y1, y2) -> y2;
+        q4(name(x1) x2) -> q5(x1) q4(x2);
+        q4(%t(x1) x2) -> q4(x2);
+        q4(eps) -> eps;
+        q5(%text(x1) x2) -> %t() q5(x2);
+        q5(%t(x1) x2) -> q5(x2);
+        q5(eps) -> eps;
+    "#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_mft;
+    use foxq_forest::term::{forest_to_term, parse_forest};
+
+    const MPERSON: &str = super::MPERSON;
+    const _UNUSED: &str = r#"
+        q0(%t(x1) x2) -> out(q1(x0));
+        q1(person(x1) x2) -> q2(x1, q4(x1)) q1(x2);
+        q1(%t(x1) x2) -> q1(x1) q1(x2);
+        q1(eps) -> eps;
+        q2(p_id(x1) x2, y1) -> q3(x1, y1, q2(x2, y1));
+        q2(%t(x1) x2, y1) -> q2(x2, y1);
+        q2(eps, y1) -> eps;
+        q3("person0"(x1) x2, y1, y2) -> y1;
+        q3(%t(x1) x2, y1, y2) -> q3(x2, y1, y2);
+        q3(eps, y1, y2) -> y2;
+        q4(name(x1) x2) -> q5(x1) q4(x2);
+        q4(%t(x1) x2) -> q4(x2);
+        q4(eps) -> eps;
+        q5(%text(x1) x2) -> %t() q5(x2);
+        q5(%t(x1) x2) -> q5(x2);
+        q5(eps) -> eps;
+    "#;
+
+    fn state_by_name(m: &Mft, name: &str) -> StateId {
+        (0..m.state_count() as u32)
+            .map(StateId)
+            .find(|&q| m.name_of(q) == name)
+            .unwrap_or_else(|| panic!("no state {name}"))
+    }
+
+    #[test]
+    fn parses_mperson() {
+        let m = parse_mft(MPERSON).unwrap();
+        assert_eq!(m.state_count(), 6);
+        assert_eq!(m.params_of(state_by_name(&m, "q3")), 2); // q3 has y1,y2
+        assert_eq!(m.params_of(state_by_name(&m, "q2")), 1);
+        assert_eq!(m.params_of(state_by_name(&m, "q4")), 0);
+        assert_eq!(m.initial, state_by_name(&m, "q0"));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn mperson_runs_like_the_paper() {
+        let m = parse_mft(MPERSON).unwrap();
+        // <person><p_id><a/>person0</p_id><name>Jim</name><c/><name>Li</name></person>
+        let doc = parse_forest(
+            r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+        )
+        .unwrap();
+        let out = run_mft(&m, &doc).unwrap();
+        assert_eq!(forest_to_term(&out), r#"out("Jim" "Li")"#);
+    }
+
+    #[test]
+    fn mperson_filter_false_selects_else_branch() {
+        let m = parse_mft(MPERSON).unwrap();
+        // First p_id has "perso7" (filter false there), second has "person0".
+        let doc = parse_forest(
+            r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#,
+        )
+        .unwrap();
+        let out = run_mft(&m, &doc).unwrap();
+        assert_eq!(forest_to_term(&out), r#"out("Jim")"#);
+    }
+
+    #[test]
+    fn mperson_no_match_outputs_empty() {
+        let m = parse_mft(MPERSON).unwrap();
+        let doc = parse_forest(r#"person(p_id("nobody") name("Jim"))"#).unwrap();
+        let out = run_mft(&m, &doc).unwrap();
+        assert_eq!(forest_to_term(&out), "out()");
+    }
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let m = parse_mft(MPERSON).unwrap();
+        let printed = print_mft(&m);
+        let m2 = parse_mft(&printed).unwrap();
+        // Equivalence on a sample input (structural equality would require
+        // symbol-id alignment; behavioural check is the real invariant).
+        let doc = parse_forest(
+            r#"person(p_id("person0") name("A") name("B")) person(p_id("x") name("C"))"#,
+        )
+        .unwrap();
+        assert_eq!(run_mft(&m, &doc).unwrap(), run_mft(&m2, &doc).unwrap());
+        assert_eq!(m.state_count(), m2.state_count());
+    }
+
+    #[test]
+    fn stay_shorthand_sets_both_rules() {
+        let m = parse_mft("q(%) -> a(); ").unwrap();
+        let out = run_mft(&m, &[]).unwrap();
+        assert_eq!(forest_to_term(&out), "a()");
+        let f = parse_forest("b").unwrap();
+        assert_eq!(forest_to_term(&run_mft(&m, &f).unwrap()), "a()");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse_mft("q(%t(x1) x2) -> (").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.col > 10);
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        // y1 out of range in a rank-1 state:
+        assert!(parse_mft("q(%t(x1) x2) -> y1;").is_err());
+        // p called with 1 arg then defined with 0 params:
+        let src = "q(%t(x1) x2) -> p(x1, a()); p(%t(x1) x2) -> eps;";
+        assert!(parse_mft(src).is_err());
+    }
+
+    #[test]
+    fn string_constants_are_text_symbols() {
+        let m = parse_mft(r#"q("hit"(x1) x2) -> yes(); q(%t(x1) x2) -> q(x2); q(eps) -> eps;"#)
+            .unwrap();
+        let f = parse_forest(r#"e() "hit""#).unwrap();
+        assert_eq!(forest_to_term(&run_mft(&m, &f).unwrap()), "yes()");
+        // An *element* named "hit" must not match the text symbol.
+        let f2 = parse_forest("hit()").unwrap();
+        assert_eq!(forest_to_term(&run_mft(&m, &f2).unwrap()), "");
+    }
+}

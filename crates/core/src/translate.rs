@@ -1,0 +1,877 @@
+//! MinXQuery → MFT compilation (Section 3 of the paper, Theorem 1).
+//!
+//! The compilation function `T(e, ρ, q)` is implemented case by case exactly
+//! as in §3: `ρ` maps in-scope variables to parameter positions, `q` is the
+//! state whose rules are being defined. The initial rules are
+//!
+//! ```text
+//! q0(%) → q'0(x0, qcopy(x0))         with ρ0 = {$input ↦ 1}
+//! ```
+//!
+//! so the unoptimized transducer carries a copy of the whole input in a
+//! parameter — precisely the redundancy §4.1's optimizations remove.
+//!
+//! The path-scan rules `F(p, q, q')` satisfy the paper's equation (1):
+//! for each subtree `tᵢ` matching `p`, the body state `q'` is called once,
+//! at position `tᵢ sᵢ`, with a fresh copy of `tᵢ` appended as the last
+//! parameter. We realize `F` with a subset construction over the path's
+//! steps (the linear-path specialization of the Green et al. DFA the paper
+//! cites): a scan state is a set `S` of *active* steps; a node matching the
+//! final step is *selected*. Two template infelicities in the paper's prose
+//! are resolved the way its own worked example (`Mperson`) and equation (1)
+//! demand: scanning always continues through following siblings of a match,
+//! and nested matches below a selected node are found exactly when a
+//! `descendant` step remains active.
+//!
+//! XPath predicates become CPS states with two parameters `(then, else)` —
+//! the paper's `q_{p'}` construction ("the two parameters are used as two
+//! branches of a if-then-else statement", §2.2). `empty(p)` swaps the
+//! branches; comparisons resolve at text-node symbols of the alphabet.
+
+use crate::mft::{rhs, Mft, Rhs, StateId, XVar};
+use foxq_forest::FxHashMap;
+use foxq_xquery::ast::{Axis, NodeTest, Path, Pred, Query, Step};
+use std::collections::BTreeSet;
+
+/// Error produced by [`translate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A path starts at a variable that is not in scope.
+    Unbound { var: String },
+    /// A path must start with the nearest enclosing `for` variable (or
+    /// `$input` if there is none) — the §2.1 streamability restriction.
+    NotNearestFor { var: String, expected: String },
+    /// A path starts at a `let`-bound variable.
+    PathFromLet { var: String },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::Unbound { var } => write!(f, "unbound variable ${var}"),
+            TranslateError::NotNearestFor { var, expected } => write!(
+                f,
+                "path starts at ${var}; MinXQuery requires the nearest enclosing for-variable \
+                 (${expected}) or $input outside any for"
+            ),
+            TranslateError::PathFromLet { var } => {
+                write!(f, "path starts at let-bound variable ${var}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translate a MinXQuery program into an (unoptimized) MFT.
+///
+/// The result is total, deterministic, and semantically equal to the
+/// program: `[[M_P]](f) = [[P]](f)` for every input forest `f` (Theorem 1).
+/// Run [`crate::opt::optimize`] afterwards to obtain the transducer the
+/// paper actually streams.
+pub fn translate(query: &Query) -> Result<Mft, TranslateError> {
+    let mut tr = Tr::new();
+    let q0 = tr.mft.add_state("q0", 0);
+    tr.mft.initial = q0;
+    let qi = tr.mft.add_state("qI", 1);
+    let qcopy = tr.qcopy();
+    // q0(%) → qI(x0, qcopy(x0))
+    tr.mft.set_stay_rule(
+        q0,
+        vec![rhs::call(qi, XVar::X0, vec![vec![rhs::call(qcopy, XVar::X0, vec![])]])],
+    );
+    let scope = Scope {
+        rho: vec![("input".to_string(), 0)],
+        nearest_for: None,
+        let_vars: Vec::new(),
+    };
+    tr.compile(query, &scope, qi)?;
+    debug_assert!(tr.mft.validate().is_ok(), "{:?}", tr.mft.validate());
+    Ok(tr.mft)
+}
+
+/// Compilation scope: ρ plus streamability bookkeeping.
+#[derive(Clone)]
+struct Scope {
+    /// ρ: variable name → 0-based parameter index.
+    rho: Vec<(String, usize)>,
+    /// The variable of the nearest enclosing `for`, if any.
+    nearest_for: Option<String>,
+    /// Variables bound by `let` (paths may not start at these).
+    let_vars: Vec<String>,
+}
+
+impl Scope {
+    fn rank(&self) -> usize {
+        self.rho.len()
+    }
+
+    fn lookup(&self, var: &str) -> Option<usize> {
+        self.rho.iter().rev().find(|(n, _)| n == var).map(|(_, i)| *i)
+    }
+
+    /// Check a path start against the §2.1 restriction.
+    fn check_path_start(&self, var: &str) -> Result<(), TranslateError> {
+        if self.lookup(var).is_none() {
+            return Err(TranslateError::Unbound { var: var.to_string() });
+        }
+        if self.let_vars.iter().any(|v| v == var) {
+            return Err(TranslateError::PathFromLet { var: var.to_string() });
+        }
+        let expected = self.nearest_for.as_deref().unwrap_or("input");
+        if var != expected {
+            return Err(TranslateError::NotNearestFor {
+                var: var.to_string(),
+                expected: expected.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// How a path scan acts on matches of the final step.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Mode {
+    /// Call the body state with a copy of the match (eq. (1)); carries the
+    /// environment parameters through.
+    Select { body: StateId, env: usize },
+    /// Existential check: reaching the final step selects `then`.
+    Exists,
+    /// Comparison against a string constant at a final `text()` step.
+    Compare { value: String, negate: bool },
+}
+
+impl Mode {
+    fn params(&self) -> usize {
+        match self {
+            Mode::Select { env, .. } => *env,
+            _ => 2, // (then, else)
+        }
+    }
+}
+
+/// Memo key for scan states.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct ScanKey {
+    steps: Vec<Step>,
+    mode: Mode,
+    active: Vec<usize>,
+}
+
+/// Which rule of a scan state is being generated.
+#[derive(Clone, PartialEq)]
+enum LabelCase {
+    /// A `(q,σ)`-rule for an element name.
+    Elem(String),
+    /// The default rule — elements not covered by a symbol rule.
+    ElemDefault,
+    /// A `(q,σ)`-rule for a text constant (comparisons).
+    TextConst(String),
+    /// The text-default rule — all remaining text nodes.
+    TextDefault,
+}
+
+struct Tr {
+    mft: Mft,
+    qcopy: Option<StateId>,
+    scan_memo: FxHashMap<ScanKey, StateId>,
+    counter: usize,
+}
+
+impl Tr {
+    fn new() -> Self {
+        Tr { mft: Mft::new(), qcopy: None, scan_memo: FxHashMap::default(), counter: 0 }
+    }
+
+    /// The shared identity state:
+    /// `qcopy(%t(x1)x2) → %t(qcopy(x1)) qcopy(x2); qcopy(ε) → ε`.
+    fn qcopy(&mut self) -> StateId {
+        if let Some(q) = self.qcopy {
+            return q;
+        }
+        let q = self.mft.add_state("qcopy", 0);
+        self.mft.set_default_rule(
+            q,
+            vec![
+                rhs::out_current(vec![rhs::call(q, XVar::X1, vec![])]),
+                rhs::call(q, XVar::X2, vec![]),
+            ],
+        );
+        self.qcopy = Some(q);
+        q
+    }
+
+    fn fresh(&mut self, prefix: &str, params: usize) -> StateId {
+        self.counter += 1;
+        self.mft.add_state(format!("{prefix}{}", self.counter), params)
+    }
+
+    /// Pass-through arguments `y1..ym`.
+    fn env_args(&self, m: usize) -> Vec<Rhs> {
+        (0..m).map(|i| vec![rhs::param(i)]).collect()
+    }
+
+    // ----------------------------------------------------------------
+    // T(e, ρ, q)
+    // ----------------------------------------------------------------
+
+    fn compile(&mut self, e: &Query, scope: &Scope, q: StateId) -> Result<(), TranslateError> {
+        let m = scope.rank();
+        debug_assert_eq!(self.mft.params_of(q), m);
+        match e {
+            // e = e1 … en
+            Query::Seq(items) => {
+                let mut body = Vec::with_capacity(items.len());
+                let mut subs = Vec::with_capacity(items.len());
+                for _ in items {
+                    let qi = self.fresh("q", m);
+                    body.push(rhs::call(qi, XVar::X0, self.env_args(m)));
+                    subs.push(qi);
+                }
+                self.mft.set_stay_rule(q, body);
+                for (item, qi) in items.iter().zip(subs) {
+                    self.compile(item, scope, qi)?;
+                }
+                Ok(())
+            }
+            // e = <σ>e'</σ>
+            Query::Element { name, content } => {
+                let sym = self.mft.alphabet.intern_elem(name);
+                let inner = self.fresh("q", m);
+                self.mft.set_stay_rule(
+                    q,
+                    vec![rhs::out(sym, vec![rhs::call(inner, XVar::X0, self.env_args(m))])],
+                );
+                match content.len() {
+                    1 => self.compile(&content[0], scope, inner),
+                    _ => self.compile(&Query::Seq(content.clone()), scope, inner),
+                }
+            }
+            // e = σ (string constant)
+            Query::Text(s) => {
+                let sym = self.mft.alphabet.intern_text(s);
+                self.mft.set_stay_rule(q, vec![rhs::out(sym, vec![])]);
+                Ok(())
+            }
+            Query::Path(p) if p.steps.is_empty() => {
+                // e = $v — output the variable's parameter.
+                let idx = scope
+                    .lookup(&p.start)
+                    .ok_or_else(|| TranslateError::Unbound { var: p.start.clone() })?;
+                self.mft.set_stay_rule(q, vec![rhs::param(idx)]);
+                Ok(())
+            }
+            // e = p — emit a copy of each selected subtree.
+            Query::Path(p) => {
+                scope.check_path_start(&p.start)?;
+                // q'(%, y1..ym+1) → ym+1
+                let sel = self.fresh("q", m + 1);
+                self.mft.set_stay_rule(sel, vec![rhs::param(m)]);
+                self.scan_entry(p, scope, q, sel)
+            }
+            // e = for $v in p return e'
+            Query::For { var, path, body } => {
+                scope.check_path_start(&path.start)?;
+                let body_state = self.fresh("q", m + 1);
+                let mut inner = scope.clone();
+                inner.rho.push((var.clone(), m));
+                inner.nearest_for = Some(var.clone());
+                self.compile(body, &inner, body_state)?;
+                self.scan_entry(path, scope, q, body_state)
+            }
+            // e = let $v := ev return e'
+            Query::Let { var, value, body } => {
+                let qv = self.fresh("q", m);
+                let qb = self.fresh("q", m + 1);
+                let mut args = self.env_args(m);
+                args.push(vec![rhs::call(qv, XVar::X0, self.env_args(m))]);
+                self.mft.set_stay_rule(q, vec![rhs::call(qb, XVar::X0, args)]);
+                self.compile(value, scope, qv)?;
+                let mut inner = scope.clone();
+                inner.rho.push((var.clone(), m));
+                inner.let_vars.push(var.clone());
+                self.compile(body, &inner, qb)
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // F(p, q, q') — path scans
+    // ----------------------------------------------------------------
+
+    /// Install entry rules on `q` so that scanning starts at the right
+    /// position, then delegate to the scan-state machinery.
+    fn scan_entry(
+        &mut self,
+        p: &Path,
+        scope: &Scope,
+        q: StateId,
+        body: StateId,
+    ) -> Result<(), TranslateError> {
+        let m = scope.rank();
+        let mode = Mode::Select { body, env: m };
+        let qcopy = self.qcopy();
+        if p.steps.is_empty() {
+            // `for $v in $w` — a single iteration at the current position.
+            let mut args = self.env_args(m);
+            if p.start == "input" && scope.nearest_for.is_none() {
+                // The document node: its "copy" is the whole forest.
+                args.push(vec![rhs::call(qcopy, XVar::X0, vec![])]);
+                self.mft.set_stay_rule(q, vec![rhs::call(body, XVar::X0, args)]);
+            } else {
+                args.push(vec![rhs::out_current(vec![rhs::call(qcopy, XVar::X1, vec![])])]);
+                self.mft.set_default_rule(q, vec![rhs::call(body, XVar::X0, args)]);
+                self.mft.set_eps_rule(q, vec![]);
+            }
+            return Ok(());
+        }
+        let s0: BTreeSet<usize> = [0].into_iter().collect();
+        let scan = self.scan_state(&p.steps, &mode, &s0);
+        let args = self.env_args(m);
+        if p.start == "input" && scope.nearest_for.is_none() {
+            // $input is the document node: its children are the top-level
+            // forest, so the scan runs over x0 directly.
+            if p.steps[0].axis == Axis::FollowingSibling {
+                // The document node has no siblings.
+                self.mft.set_stay_rule(q, vec![]);
+            } else {
+                self.mft.set_stay_rule(q, vec![rhs::call(scan, XVar::X0, args)]);
+            }
+        } else {
+            // Variable-rooted: the origin node is the first tree of the
+            // current position; scan its children (or following siblings).
+            let input = match p.steps[0].axis {
+                Axis::FollowingSibling => XVar::X2,
+                _ => XVar::X1,
+            };
+            self.mft.set_default_rule(q, vec![rhs::call(scan, input, args)]);
+            self.mft.set_eps_rule(q, vec![]);
+        }
+        Ok(())
+    }
+
+    /// Get or create the scan state for active-step set `S`.
+    fn scan_state(&mut self, steps: &[Step], mode: &Mode, s: &BTreeSet<usize>) -> StateId {
+        let key = ScanKey {
+            steps: steps.to_vec(),
+            mode: mode.clone(),
+            active: s.iter().copied().collect(),
+        };
+        if let Some(&q) = self.scan_memo.get(&key) {
+            return q;
+        }
+        let prefix = match mode {
+            Mode::Select { .. } => "s",
+            Mode::Exists => "e",
+            Mode::Compare { .. } => "c",
+        };
+        let q = self.fresh(prefix, mode.params());
+        self.scan_memo.insert(key, q);
+        self.build_scan_rules(steps, mode, s, q);
+        q
+    }
+
+    fn build_scan_rules(&mut self, steps: &[Step], mode: &Mode, s: &BTreeSet<usize>, q: StateId) {
+        // Symbol rules: every element name tested in the path, plus the
+        // comparison constant in Compare mode.
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        collect_names(steps, &mut names);
+        let default_rhs = self.case_rhs(steps, mode, s, &LabelCase::ElemDefault);
+        for name in &names {
+            let r = self.case_rhs(steps, mode, s, &LabelCase::Elem(name.clone()));
+            if r != default_rhs {
+                let sym = self.mft.alphabet.intern_elem(name);
+                self.mft.set_sym_rule(q, sym, r);
+            }
+        }
+        let text_rhs = self.case_rhs(steps, mode, s, &LabelCase::TextDefault);
+        if let Mode::Compare { value, .. } = mode {
+            let r = self.case_rhs(steps, mode, s, &LabelCase::TextConst(value.clone()));
+            if r != text_rhs {
+                let sym = self.mft.alphabet.intern_text(value);
+                self.mft.set_sym_rule(q, sym, r);
+            }
+        }
+        // Text nodes must never fall through to the element-default rule
+        // (`*` must not match text), so scan states always carry one.
+        self.mft.set_text_rule(q, text_rhs);
+        self.mft.set_default_rule(q, default_rhs);
+        let eps = match mode {
+            Mode::Select { .. } => vec![],
+            _ => vec![rhs::param(1)], // else-branch
+        };
+        self.mft.set_eps_rule(q, eps);
+    }
+
+    /// The rhs of one rule: resolve predicates into a conditional tree, then
+    /// build the leaf actions.
+    fn case_rhs(
+        &mut self,
+        steps: &[Step],
+        mode: &Mode,
+        s: &BTreeSet<usize>,
+        case: &LabelCase,
+    ) -> Rhs {
+        // Steps whose node test accepts this label.
+        let matched: Vec<usize> =
+            s.iter().copied().filter(|&i| test_accepts(&steps[i].test, case)).collect();
+        let (plain, with_preds): (Vec<usize>, Vec<usize>) =
+            matched.iter().partition(|&&i| steps[i].preds.is_empty());
+        let base: BTreeSet<usize> = plain.into_iter().collect();
+        // Factor the sibling continuation out of the conditional whenever no
+        // predicate-guarded step activates a following-sibling successor —
+        // this keeps predicate buffering local to one node. (Only meaningful
+        // in Select mode; the existential modes chain through siblings.)
+        let sib_factorable = matches!(mode, Mode::Select { .. })
+            && with_preds
+                .iter()
+                .all(|&i| i + 1 >= steps.len() || steps[i + 1].axis != Axis::FollowingSibling);
+        let mut out =
+            self.cond_tree(steps, mode, s, case, &with_preds, base.clone(), sib_factorable);
+        if sib_factorable {
+            if let Some(mut sib) = self.sib_part(steps, mode, s, &base) {
+                out.append(&mut sib);
+            }
+        }
+        out
+    }
+
+    /// Recursive decision tree over predicate-guarded matched steps.
+    #[allow(clippy::too_many_arguments)]
+    fn cond_tree(
+        &mut self,
+        steps: &[Step],
+        mode: &Mode,
+        s: &BTreeSet<usize>,
+        case: &LabelCase,
+        pending: &[usize],
+        acc: BTreeSet<usize>,
+        sib_factored: bool,
+    ) -> Rhs {
+        match pending.split_first() {
+            None => self.leaf_rhs(steps, mode, s, case, &acc, sib_factored),
+            Some((&i, rest)) => {
+                let mut with = acc.clone();
+                with.insert(i);
+                let then_rhs = self.cond_tree(steps, mode, s, case, rest, with, sib_factored);
+                let else_rhs = self.cond_tree(steps, mode, s, case, rest, acc, sib_factored);
+                self.pred_conjunction(&steps[i].preds, then_rhs, else_rhs)
+            }
+        }
+    }
+
+    /// Wrap `then`/`else` in predicate-state calls, one per predicate
+    /// (conjunction).
+    fn pred_conjunction(&mut self, preds: &[Pred], then_rhs: Rhs, else_rhs: Rhs) -> Rhs {
+        let mut acc = then_rhs;
+        for p in preds.iter().rev() {
+            acc = self.pred_call(p, acc, else_rhs.clone());
+        }
+        acc
+    }
+
+    /// One predicate test as a call to a CPS predicate state.
+    fn pred_call(&mut self, pred: &Pred, then_rhs: Rhs, else_rhs: Rhs) -> Rhs {
+        let (rel, mode, swap) = match pred {
+            Pred::Exists(rel) => (rel.clone(), Mode::Exists, false),
+            Pred::Empty(rel) => (rel.clone(), Mode::Exists, true),
+            Pred::Eq(rel, v) => {
+                (rel.clone(), Mode::Compare { value: v.clone(), negate: false }, false)
+            }
+            Pred::Neq(rel, v) => {
+                (rel.clone(), Mode::Compare { value: v.clone(), negate: true }, false)
+            }
+        };
+        let mut steps = rel.steps;
+        if matches!(mode, Mode::Compare { .. })
+            && steps.last().map(|s| s.test != NodeTest::Text).unwrap_or(false)
+        {
+            // Desugar `p = "s"` to `p/text() = "s"` (the fragment compares
+            // text and attribute values; attributes are text children here).
+            steps.push(Step { axis: Axis::Child, test: NodeTest::Text, preds: vec![] });
+        }
+        let s0: BTreeSet<usize> = [0].into_iter().collect();
+        let scan = self.scan_state(&steps, &mode, &s0);
+        let input = match steps[0].axis {
+            Axis::FollowingSibling => XVar::X2,
+            _ => XVar::X1,
+        };
+        let args = if swap { vec![else_rhs, then_rhs] } else { vec![then_rhs, else_rhs] };
+        vec![rhs::call(scan, input, args)]
+    }
+
+    /// Leaf action for effective matched set `M`.
+    fn leaf_rhs(
+        &mut self,
+        steps: &[Step],
+        mode: &Mode,
+        s: &BTreeSet<usize>,
+        case: &LabelCase,
+        m_set: &BTreeSet<usize>,
+        sib_factored: bool,
+    ) -> Rhs {
+        let k = steps.len() - 1;
+        let final_hit = m_set.contains(&k) && self.final_step_hits(mode, case);
+        match mode {
+            Mode::Select { body, env } => {
+                let mut out = Vec::new();
+                if final_hit {
+                    let qcopy = self.qcopy();
+                    let mut args = self.env_args(*env);
+                    args.push(vec![rhs::out_current(vec![rhs::call(qcopy, XVar::X1, vec![])])]);
+                    out.push(rhs::call(*body, XVar::X0, args));
+                }
+                if let Some(c) = self.child_set(steps, s, m_set) {
+                    let cs = self.scan_state(steps, mode, &c);
+                    out.push(rhs::call(cs, XVar::X1, self.env_args(*env)));
+                }
+                if !sib_factored {
+                    if let Some(mut sib) = self.sib_part(steps, mode, s, m_set) {
+                        out.append(&mut sib);
+                    }
+                }
+                out
+            }
+            Mode::Exists | Mode::Compare { .. } => {
+                if final_hit {
+                    return vec![rhs::param(0)]; // then — short-circuit
+                }
+                let b = self.sib_set(steps, s, m_set);
+                let sib_call = vec![rhs::call(
+                    self.scan_state(steps, mode, &b),
+                    XVar::X2,
+                    vec![vec![rhs::param(0)], vec![rhs::param(1)]],
+                )];
+                match self.child_set(steps, s, m_set) {
+                    Some(c) => {
+                        let cs = self.scan_state(steps, mode, &c);
+                        vec![rhs::call(cs, XVar::X1, vec![vec![rhs::param(0)], sib_call])]
+                    }
+                    None => sib_call,
+                }
+            }
+        }
+    }
+
+    /// Does a match of the final step count as a hit in this rule case?
+    fn final_step_hits(&self, mode: &Mode, case: &LabelCase) -> bool {
+        match mode {
+            Mode::Select { .. } | Mode::Exists => true,
+            Mode::Compare { value, negate } => match case {
+                LabelCase::TextConst(c) => (c == value) != *negate,
+                LabelCase::TextDefault => *negate,
+                // Final steps of comparisons are text() after desugaring, so
+                // element cases never reach the final step.
+                _ => false,
+            },
+        }
+    }
+
+    /// C(M): active steps for the children forest.
+    fn child_set(
+        &self,
+        steps: &[Step],
+        s: &BTreeSet<usize>,
+        m_set: &BTreeSet<usize>,
+    ) -> Option<BTreeSet<usize>> {
+        let mut c = BTreeSet::new();
+        for &i in s {
+            if steps[i].axis == Axis::Descendant {
+                c.insert(i); // descendant steps persist downward
+            }
+        }
+        for &i in m_set {
+            if i + 1 < steps.len() && matches!(steps[i + 1].axis, Axis::Child | Axis::Descendant)
+            {
+                c.insert(i + 1);
+            }
+        }
+        (!c.is_empty()).then_some(c)
+    }
+
+    /// B(M): active steps for the following-sibling forest.
+    fn sib_set(
+        &self,
+        steps: &[Step],
+        s: &BTreeSet<usize>,
+        m_set: &BTreeSet<usize>,
+    ) -> BTreeSet<usize> {
+        let mut b = s.clone();
+        for &i in m_set {
+            if i + 1 < steps.len() && steps[i + 1].axis == Axis::FollowingSibling {
+                b.insert(i + 1);
+            }
+        }
+        b
+    }
+
+    /// The sibling continuation call (Select mode).
+    fn sib_part(
+        &mut self,
+        steps: &[Step],
+        mode: &Mode,
+        s: &BTreeSet<usize>,
+        m_set: &BTreeSet<usize>,
+    ) -> Option<Rhs> {
+        let b = self.sib_set(steps, s, m_set);
+        if b.is_empty() {
+            return None;
+        }
+        let env = match mode {
+            Mode::Select { env, .. } => *env,
+            _ => unreachable!("sib_part is only used for Select"),
+        };
+        let q = self.scan_state(steps, mode, &b);
+        Some(vec![rhs::call(q, XVar::X2, self.env_args(env))])
+    }
+}
+
+/// Does this node test accept the label case?
+fn test_accepts(test: &NodeTest, case: &LabelCase) -> bool {
+    match (test, case) {
+        (NodeTest::Name(n), LabelCase::Elem(e)) => n == e,
+        (NodeTest::Name(_), _) => false,
+        (NodeTest::AnyElem, LabelCase::Elem(_) | LabelCase::ElemDefault) => true,
+        (NodeTest::AnyElem, _) => false,
+        (NodeTest::Text, LabelCase::TextConst(_) | LabelCase::TextDefault) => true,
+        (NodeTest::Text, _) => false,
+        (NodeTest::AnyNode, _) => true,
+    }
+}
+
+/// All element names tested in these steps (top level; nested predicate
+/// paths get their own scan states with their own name sets).
+fn collect_names(steps: &[Step], out: &mut BTreeSet<String>) {
+    for s in steps {
+        if let NodeTest::Name(n) = &s.test {
+            out.insert(n.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_mft;
+    use foxq_forest::term::{forest_to_term, parse_forest};
+    use foxq_xquery::{eval_query, parse_query};
+
+    /// Check `[[M_P]](f) = [[P]](f)` on one query/document pair.
+    fn check(query: &str, doc: &str) {
+        let q = parse_query(query).unwrap();
+        let f = parse_forest(doc).unwrap();
+        let expected = eval_query(&q, &f).unwrap();
+        let mft = translate(&q).unwrap();
+        mft.validate().unwrap();
+        let actual = run_mft(&mft, &f).unwrap();
+        assert_eq!(
+            forest_to_term(&actual),
+            forest_to_term(&expected),
+            "query {query} on {doc}"
+        );
+    }
+
+    #[test]
+    fn constant_queries() {
+        check("<a/>", "x()");
+        check("<a>hello</a>", "x()");
+        check("<a><b/><c>t</c></a>", "x()");
+    }
+
+    #[test]
+    fn bare_input_variable() {
+        check("<d>{$input}</d>", "a(b()) c()");
+    }
+
+    #[test]
+    fn simple_child_paths() {
+        check("<o>{$input/a}</o>", "a(\"1\") b() a(\"2\")");
+        check("<o>{$input/a/b}</o>", "a(b(\"x\") c() b(\"y\")) b(\"z\")");
+        check("<o>{$input/r/a}</o>", "r(a(a(b())) b())"); // nested a NOT selected
+    }
+
+    #[test]
+    fn descendant_paths_select_nested_matches() {
+        // The §2.1 example: nested c's both selected.
+        check("<o>{$input/descendant::c}</o>", "doc(a(b(c(c()) d())))");
+        check("<o>{$input//a}</o>", "r(a(a(b())) b(a()))");
+    }
+
+    #[test]
+    fn text_and_star_tests() {
+        check("<o>{$input/a/text()}</o>", r#"a("x" b("y") "z") a("w")"#);
+        check("<o>{$input/r/*}</o>", r#"r(a() "text" b(c()))"#); // * skips text
+        check("<o>{$input/r/node()}</o>", r#"r(a() "text" b(c()))"#);
+        check("<o>{$input//text()}</o>", r#"r(a("x") "y")"#);
+    }
+
+    #[test]
+    fn following_sibling_paths() {
+        check("<o>{$input/r/a/following-sibling::b}</o>", "r(a() x() b(\"1\") a() b(\"2\"))");
+        check(
+            "for $a in $input/r/a return <hit>{$a/following-sibling::c}</hit>",
+            "r(a() b() c(\"1\") a() c(\"2\"))",
+        );
+    }
+
+    #[test]
+    fn nested_for_loops() {
+        check(
+            "for $v1 in $input/descendant::a return
+             for $v2 in $v1/descendant::b return
+             let $v3 := $v2/descendant::c return
+             let $v4 := $v2/descendant::d return
+             ($v1,$v2,$v3,$v4)",
+            "doc(a(b(c(c()) d() d()) b(d())))",
+        );
+    }
+
+    #[test]
+    fn pperson_equals_reference() {
+        let q = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+                   return let $r := $b/name/text() return $r }</out>"#;
+        check(q, r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#);
+        check(q, r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#);
+        check(q, r#"person(p_id("nope") name("Jim"))"#);
+        check(q, "x()");
+    }
+
+    #[test]
+    fn exists_and_empty_predicates() {
+        let doc = r#"r(p(id("1") h()) p(id("2")) p(h()))"#;
+        check("<o>{$input/r/p[./h]}</o>", doc);
+        check("<o>{$input/r/p[empty(./h)]}</o>", doc);
+        check("<o>{$input/r/p[./id]}</o>", doc);
+        check("<o>{$input/r/p[empty(./id/text())]}</o>", doc);
+    }
+
+    #[test]
+    fn comparison_predicates() {
+        let doc = r#"r(p(id("1") n("A")) p(id("2") n("B")) p(id("1")))"#;
+        check(r#"<o>{$input/r/p[./id/text()="1"]}</o>"#, doc);
+        check(r#"<o>{$input/r/p[./id/text()!="1"]}</o>"#, doc);
+        // Multiple id children: existential semantics.
+        let doc2 = r#"r(p(id("x") id("1")))"#;
+        check(r#"<o>{$input/r/p[./id/text()="1"]}</o>"#, doc2);
+        check(r#"<o>{$input/r/p[./id/text()!="1"]}</o>"#, doc2);
+    }
+
+    #[test]
+    fn predicate_on_descendant_path() {
+        check(
+            r#"<o>{$input//p[./id/text()="1"]}</o>"#,
+            r#"r(p(id("1") p(id("2"))) q(p(id("1"))))"#,
+        );
+    }
+
+    #[test]
+    fn multiple_predicates_are_conjunctive() {
+        check(
+            r#"<o>{$input/r/p[./a][./b/text()="1"]}</o>"#,
+            r#"r(p(a() b("1")) p(a()) p(b("1")))"#,
+        );
+    }
+
+    #[test]
+    fn nested_predicates() {
+        // p nodes with a child `a` that itself has a `b` child.
+        check("<o>{$input/r/p[./a[./b]]}</o>", "r(p(a(b())) p(a()) p(b()))");
+    }
+
+    #[test]
+    fn following_sibling_inside_predicate() {
+        // Q4-style: an x whose matching b has a matching b after it.
+        check(
+            r#"<o>{$input/r/x[./b[./n/text()="1"]/following-sibling::b/n/text()="2"]}</o>"#,
+            r#"r(x(b(n("1")) b(n("2"))) x(b(n("2")) b(n("1"))) x(b(n("1"))))"#,
+        );
+    }
+
+    #[test]
+    fn descendant_inside_predicate() {
+        check(
+            r#"<o>{$input/r/p[.//k/text()="hit"]}</o>"#,
+            r#"r(p(a(b(k("hit")))) p(k("miss")) p())"#,
+        );
+    }
+
+    #[test]
+    fn lets_and_sequences() {
+        check("let $x := $input/r/a return ($x, $x)", "r(a(\"1\") a(\"2\"))");
+        check("<o>{let $x := <w/> return ($x, $x, $input/r/a)}</o>", "r(a())");
+    }
+
+    #[test]
+    fn deep_duplication_query() {
+        check(
+            "<deepdup>{ for $x in $input/* return
+               <r> { for $y in $x/* return <r1><r2>{$y}</r2>{$y}</r1> } </r>
+             }</deepdup>",
+            "site(a(b(\"1\")) c())",
+        );
+    }
+
+    #[test]
+    fn double_query() {
+        check("<double><r1>{$input/*}</r1>{$input/*}</double>", "site(a(\"x\") b())");
+    }
+
+    #[test]
+    fn fourstar_query() {
+        check("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f())) d2())) g())");
+    }
+
+    #[test]
+    fn element_comparison_is_desugared_to_text_child() {
+        // `[./id = "1"]` behaves like `[./id/text() = "1"]`.
+        check(r#"<o>{$input/r/p[./id="1"]}</o>"#, r#"r(p(id("1")) p(id("x")))"#);
+    }
+
+    #[test]
+    fn scope_violations_are_rejected() {
+        let q = parse_query("for $a in $input/x return $input/y").unwrap();
+        assert!(matches!(translate(&q), Err(TranslateError::NotNearestFor { .. })));
+        let q2 = parse_query("let $a := $input/x return $a/y").unwrap();
+        assert!(matches!(translate(&q2), Err(TranslateError::PathFromLet { .. })));
+        let q3 = parse_query("$undefined/a").unwrap();
+        assert!(matches!(translate(&q3), Err(TranslateError::Unbound { .. })));
+        // Outer-variable *output* (not a path root) is fine:
+        let q4 =
+            parse_query("for $a in $input/x return for $b in $a/y return ($a, $b)").unwrap();
+        translate(&q4).unwrap();
+    }
+
+    #[test]
+    fn unoptimized_transducer_shape() {
+        // The paper reports 14 states for Pperson before optimization; our
+        // construction is systematic rather than hand-derived, so we pin
+        // bounds and structure instead of the exact count.
+        let q = parse_query(
+            r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+               return let $r := $b/name/text() return $r }</out>"#,
+        )
+        .unwrap();
+        let m = translate(&q).unwrap();
+        assert!(m.state_count() >= 10 && m.state_count() <= 24, "{} states", m.state_count());
+        assert!(!m.is_ft()); // parameters present before optimization
+    }
+
+    #[test]
+    fn empty_document_and_empty_results() {
+        check("<o>{$input/a}</o>", "");
+        check("for $x in $input/nothing return <hit/>", "a(b())");
+    }
+
+    #[test]
+    fn zero_step_for_over_input() {
+        check("for $d in $input return <doc>{$d}</doc>", "a() b()");
+    }
+
+    #[test]
+    fn zero_step_for_over_variable() {
+        check(
+            "for $a in $input/r/a return for $b in $a return <w>{$b}</w>",
+            "r(a(\"1\") a(\"2\"))",
+        );
+    }
+}

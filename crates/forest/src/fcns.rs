@@ -1,0 +1,119 @@
+//! First-child/next-sibling binary encoding (Section 4.2, "Expressive Power").
+//!
+//! `fcns(ε) = ε` and `fcns(σ(f1) f2) = σ(fcns(f1), fcns(f2))`: the left child
+//! of a binary node encodes the children forest, the right child encodes the
+//! following siblings. [`BinTree`] is also the input/output type of the
+//! binary-tree transducers in `foxq-tt`.
+
+use crate::label::Label;
+use crate::tree::{Forest, Tree};
+
+/// A binary XML tree: internal nodes have exactly two children; leaves are ε.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum BinTree {
+    /// The empty tree ε.
+    Leaf,
+    /// A labelled binary node.
+    Node(Label, Box<BinTree>, Box<BinTree>),
+}
+
+impl BinTree {
+    pub fn node(label: Label, l: BinTree, r: BinTree) -> Self {
+        BinTree::Node(label, Box::new(l), Box::new(r))
+    }
+
+    /// Number of labelled nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            BinTree::Leaf => 0,
+            BinTree::Node(_, l, r) => 1 + l.size() + r.size(),
+        }
+    }
+
+    /// Height counting labelled nodes (ε has height 0).
+    pub fn height(&self) -> usize {
+        match self {
+            BinTree::Leaf => 0,
+            BinTree::Node(_, l, r) => 1 + l.height().max(r.height()),
+        }
+    }
+}
+
+impl std::fmt::Debug for BinTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinTree::Leaf => write!(f, "ε"),
+            BinTree::Node(l, a, b) => write!(f, "{:?}({:?},{:?})", l, a, b),
+        }
+    }
+}
+
+/// Encode a forest as a binary tree.
+pub fn fcns(f: &[Tree]) -> BinTree {
+    // Build right-to-left so each step is O(1).
+    let mut acc = BinTree::Leaf;
+    for t in f.iter().rev() {
+        acc = BinTree::node(t.label.clone(), fcns(&t.children), acc);
+    }
+    acc
+}
+
+/// Decode a binary tree back to a forest. Inverse of [`fcns`].
+pub fn unfcns(b: &BinTree) -> Forest {
+    let mut out = Vec::new();
+    let mut cur = b;
+    while let BinTree::Node(label, l, r) = cur {
+        out.push(Tree { label: label.clone(), children: unfcns(l) });
+        cur = r;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_forest;
+
+    #[test]
+    fn encodes_paper_shape() {
+        // fcns(σ(f1) f2) = σ(fcns(f1), fcns(f2))
+        let f = parse_forest("a(b c) d").unwrap();
+        let b = fcns(&f);
+        match &b {
+            BinTree::Node(l, left, right) => {
+                assert_eq!(&*l.name, "a");
+                // left = fcns(b c), right = fcns(d)
+                match left.as_ref() {
+                    BinTree::Node(lb, _, sib) => {
+                        assert_eq!(&*lb.name, "b");
+                        assert!(matches!(sib.as_ref(), BinTree::Node(lc, _, _) if &*lc.name == "c"));
+                    }
+                    BinTree::Leaf => panic!("expected node"),
+                }
+                assert!(matches!(right.as_ref(), BinTree::Node(ld, _, _) if &*ld.name == "d"));
+            }
+            BinTree::Leaf => panic!("expected node"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for src in ["", "a", "a(b(c) d) e(f)", r#"p("t1" q("t2"))"#] {
+            let f = parse_forest(src).unwrap();
+            assert_eq!(unfcns(&fcns(&f)), f, "roundtrip failed for {src:?}");
+        }
+    }
+
+    #[test]
+    fn size_is_preserved() {
+        let f = parse_forest("a(b(c) d) e(f)").unwrap();
+        assert_eq!(fcns(&f).size(), crate::tree::forest_size(&f));
+    }
+
+    #[test]
+    fn height_of_list_becomes_linear() {
+        // A flat forest of n trees becomes a right spine of height n.
+        let f = parse_forest("a b c d").unwrap();
+        assert_eq!(fcns(&f).height(), 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Forest statistics: the quantities reported in the paper's Table 1
+//! (serialized size and document depth), plus node counts.
+
+use crate::label::NodeKind;
+use crate::tree::Tree;
+
+/// Summary statistics of a forest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ForestStats {
+    /// Total number of nodes (element + text).
+    pub nodes: usize,
+    /// Number of element nodes.
+    pub elements: usize,
+    /// Number of text nodes.
+    pub text_nodes: usize,
+    /// Total bytes of text content.
+    pub text_bytes: usize,
+    /// Maximum depth (a root-only tree has depth 1).
+    pub depth: usize,
+    /// Estimated serialized XML size in bytes
+    /// (`<name>` + `</name>` per element + text content).
+    pub xml_bytes: usize,
+}
+
+impl ForestStats {
+    /// Compute statistics over a forest.
+    pub fn of_forest(f: &[Tree]) -> Self {
+        let mut s = ForestStats::default();
+        for t in f {
+            s.add_tree(t, 1);
+        }
+        s
+    }
+
+    fn add_tree(&mut self, t: &Tree, depth: usize) {
+        self.nodes += 1;
+        self.depth = self.depth.max(depth);
+        match t.label.kind {
+            NodeKind::Element => {
+                self.elements += 1;
+                // <name> ... </name>
+                self.xml_bytes += 2 * t.label.name.len() + 5;
+            }
+            NodeKind::Text => {
+                self.text_nodes += 1;
+                self.text_bytes += t.label.name.len();
+                self.xml_bytes += t.label.name.len();
+            }
+        }
+        for c in &t.children {
+            self.add_tree(c, depth + 1);
+        }
+    }
+}
+
+impl std::fmt::Display for ForestStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes ({} elem, {} text), depth {}, ~{} XML bytes",
+            self.nodes, self.elements, self.text_nodes, self.depth, self.xml_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::parse_forest;
+
+    #[test]
+    fn counts_are_consistent() {
+        let f = parse_forest(r#"book(isbn("123") author("Knuth"))"#).unwrap();
+        let s = ForestStats::of_forest(&f);
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.text_nodes, 2);
+        assert_eq!(s.text_bytes, 8);
+        assert_eq!(s.depth, 3);
+    }
+
+    #[test]
+    fn empty_forest() {
+        let s = ForestStats::of_forest(&[]);
+        assert_eq!(s, ForestStats::default());
+    }
+
+    #[test]
+    fn xml_bytes_matches_simple_serialization() {
+        // <a></a> is 7 bytes
+        let f = parse_forest("a").unwrap();
+        assert_eq!(ForestStats::of_forest(&f).xml_bytes, 7);
+    }
+}

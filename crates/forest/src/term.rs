@@ -1,0 +1,264 @@
+//! Term notation for forests.
+//!
+//! The paper writes forests as terms: `a(b() c())` is the tree `a` with
+//! children `b` and `c`; juxtaposition is forest concatenation. We write text
+//! nodes as double-quoted strings (`person("Jim")` is a `person` element with
+//! one text child). The empty forest ε is the empty string.
+//!
+//! The grammar accepted by [`parse_forest`]:
+//!
+//! ```text
+//! forest ::= (tree)*
+//! tree   ::= NAME '(' forest ')' | NAME | STRING
+//! NAME   ::= [A-Za-z_][A-Za-z0-9_.:-]*
+//! STRING ::= '"' ([^"\\] | \\["\\nrt])* '"'
+//! ```
+//!
+//! `NAME` without parentheses abbreviates `NAME()` (a leaf element).
+
+use crate::label::NodeKind;
+use crate::tree::{elem, text, Forest, Tree};
+use std::fmt::Write as _;
+
+/// Error produced by [`parse_forest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for TermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "term syntax error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for TermError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, TermError> {
+        Err(TermError { pos: self.pos, msg: msg.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn forest(&mut self) -> Result<Forest, TermError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None | Some(b')') => return Ok(out),
+                Some(b'"') => out.push(self.string_node()?),
+                Some(c) if is_name_start(c) => out.push(self.elem_node()?),
+                Some(c) => return self.err(format!("unexpected character {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string_node(&mut self) -> Result<Tree, TermError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(text(&s));
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; operate bytewise for speed.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.src[start..self.pos]).map_err(
+                        |_| TermError { pos: start, msg: "invalid UTF-8".into() },
+                    )?);
+                }
+            }
+        }
+    }
+
+    fn elem_node(&mut self) -> Result<Tree, TermError> {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_name_cont(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| TermError { pos: start, msg: "invalid UTF-8".into() })?;
+        self.skip_ws();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            let children = self.forest()?;
+            self.skip_ws();
+            if self.peek() != Some(b')') {
+                return self.err("expected ')'");
+            }
+            self.pos += 1;
+            Ok(elem(name, children))
+        } else {
+            Ok(elem(name, Vec::new()))
+        }
+    }
+}
+
+fn is_name_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_name_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'_' | b'.' | b':' | b'-')
+}
+
+/// Parse a forest from term notation.
+pub fn parse_forest(src: &str) -> Result<Forest, TermError> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let f = p.forest()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return p.err("trailing input");
+    }
+    Ok(f)
+}
+
+/// Parse a single tree from term notation.
+pub fn parse_tree(src: &str) -> Result<Tree, TermError> {
+    let f = parse_forest(src)?;
+    if f.len() != 1 {
+        return Err(TermError { pos: 0, msg: format!("expected 1 tree, found {}", f.len()) });
+    }
+    Ok(f.into_iter().next().unwrap())
+}
+
+/// Render a forest in term notation.
+pub fn forest_to_term(f: &[Tree]) -> String {
+    let mut out = String::new();
+    for (i, t) in f.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        write_tree(t, &mut out);
+    }
+    out
+}
+
+/// Render a single tree in term notation.
+pub fn tree_to_term(t: &Tree) -> String {
+    let mut out = String::new();
+    write_tree(t, &mut out);
+    out
+}
+
+fn write_tree(t: &Tree, out: &mut String) {
+    match t.label.kind {
+        NodeKind::Text => {
+            out.push('"');
+            for c in t.label.name.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        NodeKind::Element => {
+            let _ = write!(out, "{}", t.label.name);
+            out.push('(');
+            for (i, c) in t.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                write_tree(c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // The paper's example: a(b()) is parsed as a(b(ε)ε)ε.
+        let f = parse_forest("a(b())").unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(&*f[0].label.name, "a");
+        assert_eq!(f[0].children.len(), 1);
+        assert!(f[0].children[0].children.is_empty());
+    }
+
+    #[test]
+    fn leaf_abbreviation() {
+        assert_eq!(parse_forest("a").unwrap(), parse_forest("a()").unwrap());
+    }
+
+    #[test]
+    fn roundtrip_book() {
+        let src = r#"book(isbn("123") price("$99") author("Knuth") title("Art of Programming"))"#;
+        let f = parse_forest(src).unwrap();
+        assert_eq!(forest_to_term(&f), src);
+    }
+
+    #[test]
+    fn multi_tree_forest() {
+        let f = parse_forest("a(b) c \"x\"").unwrap();
+        assert_eq!(f.len(), 3);
+        assert!(f[2].is_text());
+    }
+
+    #[test]
+    fn empty_is_epsilon() {
+        assert!(parse_forest("").unwrap().is_empty());
+        assert!(parse_forest("   ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let e = parse_forest("a(b").unwrap_err();
+        assert!(e.msg.contains("')'"), "{e}");
+        assert!(parse_forest("a)").is_err());
+        assert!(parse_forest("\"unterminated").is_err());
+        assert!(parse_tree("a b").is_err());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let f = parse_forest(r#""line\nbreak \"q\" \\ tab\t""#).unwrap();
+        assert_eq!(&*f[0].label.name, "line\nbreak \"q\" \\ tab\t");
+        let rendered = forest_to_term(&f);
+        assert_eq!(parse_forest(&rendered).unwrap(), f);
+    }
+}

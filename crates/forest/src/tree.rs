@@ -1,0 +1,142 @@
+//! Unranked trees and forests (Definition 1 of the paper).
+//!
+//! ```text
+//! forest ::= ε | tree forest
+//! tree   ::= label(forest)
+//! ```
+//!
+//! A [`Forest`] is a `Vec<Tree>`; the empty vector is the empty forest ε.
+
+use crate::label::{Label, NodeKind};
+
+/// An unranked tree: a labelled root node with a forest of children.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tree {
+    pub label: Label,
+    pub children: Forest,
+}
+
+/// A forest: a (possibly empty) sequence of trees.
+pub type Forest = Vec<Tree>;
+
+/// Build an element node.
+pub fn elem(name: &str, children: Forest) -> Tree {
+    Tree { label: Label::elem(name), children }
+}
+
+/// Build a text node (always a leaf).
+pub fn text(content: &str) -> Tree {
+    Tree { label: Label::text(content), children: Vec::new() }
+}
+
+impl Tree {
+    /// Number of nodes in this tree.
+    pub fn size(&self) -> usize {
+        1 + forest_size(&self.children)
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(Tree::depth).max().unwrap_or(0)
+    }
+
+    /// Whether this node is a text node.
+    pub fn is_text(&self) -> bool {
+        self.label.kind == NodeKind::Text
+    }
+
+    /// Pre-order iterator over all nodes of the tree (root first).
+    pub fn preorder(&self) -> Preorder<'_> {
+        Preorder { stack: vec![self] }
+    }
+
+    /// The concatenation of all text-node contents in document order
+    /// (the XPath *string value* of an element).
+    pub fn string_value(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        if self.is_text() {
+            out.push_str(&self.label.name);
+        }
+        for c in &self.children {
+            c.collect_text(out);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", crate::term::tree_to_term(self))
+    }
+}
+
+/// Number of nodes in a forest.
+pub fn forest_size(f: &[Tree]) -> usize {
+    f.iter().map(Tree::size).sum()
+}
+
+/// Pre-order traversal over a single tree.
+pub struct Preorder<'a> {
+    stack: Vec<&'a Tree>,
+}
+
+impl<'a> Iterator for Preorder<'a> {
+    type Item = &'a Tree;
+
+    fn next(&mut self) -> Option<&'a Tree> {
+        let t = self.stack.pop()?;
+        // Push children in reverse so the leftmost child is visited first.
+        for c in t.children.iter().rev() {
+            self.stack.push(c);
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        // book(isbn("123") author("Knuth"))
+        elem(
+            "book",
+            vec![
+                elem("isbn", vec![text("123")]),
+                elem("author", vec![text("Knuth")]),
+            ],
+        )
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = sample();
+        assert_eq!(t.size(), 5);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(forest_size(&[t.clone(), t]), 10);
+    }
+
+    #[test]
+    fn preorder_visits_document_order() {
+        let t = sample();
+        let names: Vec<String> = t.preorder().map(|n| n.label.name.to_string()).collect();
+        assert_eq!(names, ["book", "isbn", "123", "author", "Knuth"]);
+    }
+
+    #[test]
+    fn string_value_concatenates_text() {
+        assert_eq!(sample().string_value(), "123Knuth");
+        assert_eq!(text("x").string_value(), "x");
+        assert_eq!(elem("e", vec![]).string_value(), "");
+    }
+
+    #[test]
+    fn empty_forest_is_epsilon() {
+        let f: Forest = vec![];
+        assert_eq!(forest_size(&f), 0);
+    }
+}

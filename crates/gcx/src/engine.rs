@@ -1,0 +1,749 @@
+//! The GCX-substitute streaming engine.
+//!
+//! Architecture (modelled on GCX's published design — static projection plus
+//! dynamic buffer minimization):
+//!
+//! 1. **Compile** the query into an output *plan* (the constant constructor
+//!    skeleton) with *slots* — the top-level `for`-loops and paths. Queries
+//!    outside the supported fragment are rejected with
+//!    [`GcxError::Unsupported`]; notably `following-sibling` (the paper's
+//!    Fig. 4(c): "GCX fails to run because the following-sibling axis is not
+//!    supported").
+//! 2. **Match** each slot's binding path over the event stream with a
+//!    set-of-active-steps automaton; a match opens a *candidate*.
+//! 3. **Buffer** for each open candidate a projected copy of its subtree
+//!    (see [`crate::proj`]) — this is GCX's "buffer only what later
+//!    evaluation can still need".
+//! 4. On the candidate's closing tag, check the binding predicates on the
+//!    buffer, evaluate the body on it (nested for/let run here), and either
+//!    stream the result out (first slot in document order) or hold it until
+//!    the plan reaches that slot at end of input.
+//!
+//! The buffer-size statistics ([`GcxStats`]) count live projected nodes plus
+//! held results — the quantity plotted in the paper's memory graphs.
+
+use crate::proj::{build_projection, Projection};
+use foxq_forest::{Forest, Label, NodeKind, Tree};
+use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
+use foxq_xquery::ast::{Axis, NodeTest, Path, Pred, Query, Step};
+use foxq_xquery::eval::{eval_on_doc, node_satisfies, Doc};
+use foxq_xquery::XqRunError;
+use std::collections::BTreeSet;
+use std::io::BufRead;
+
+/// Failure of a GCX-substitute run.
+#[derive(Debug)]
+pub enum GcxError {
+    /// The query is outside the supported fragment (as with real GCX).
+    Unsupported(String),
+    Xml(XmlError),
+    Run(XqRunError),
+}
+
+impl std::fmt::Display for GcxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GcxError::Unsupported(m) => write!(f, "unsupported by the GCX baseline: {m}"),
+            GcxError::Xml(e) => write!(f, "{e}"),
+            GcxError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GcxError {}
+
+impl From<XmlError> for GcxError {
+    fn from(e: XmlError) -> Self {
+        GcxError::Xml(e)
+    }
+}
+
+impl From<XqRunError> for GcxError {
+    fn from(e: XqRunError) -> Self {
+        GcxError::Run(e)
+    }
+}
+
+/// Statistics of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GcxStats {
+    /// Input events processed.
+    pub events: u64,
+    /// Peak buffered nodes (projected candidate fragments + held results).
+    pub peak_buffered_nodes: usize,
+    /// Output events pushed to the sink.
+    pub output_events: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Query plan
+// ---------------------------------------------------------------------------
+
+enum OutItem {
+    Open(Label),
+    Close(Label),
+    Text(String),
+    Slot(usize),
+}
+
+struct Slot {
+    /// Binding path steps (top-level, rooted at `$input`).
+    steps: Vec<Step>,
+    /// Predicates of the final step, checked on the buffered candidate.
+    final_preds: Vec<Pred>,
+    var: String,
+    body: Query,
+    proj: Projection,
+}
+
+struct Plan {
+    items: Vec<OutItem>,
+    slots: Vec<Slot>,
+}
+
+fn compile(q: &Query) -> Result<Plan, GcxError> {
+    // GCX-wide restriction: no following-sibling anywhere.
+    let mut fsib = false;
+    q.visit_paths(&mut |p: &Path| fsib |= p.uses_axis(Axis::FollowingSibling));
+    if fsib {
+        return Err(GcxError::Unsupported("the following-sibling axis".into()));
+    }
+    let mut plan = Plan { items: Vec::new(), slots: Vec::new() };
+    compile_into(q, &mut plan)?;
+    Ok(plan)
+}
+
+fn compile_into(q: &Query, plan: &mut Plan) -> Result<(), GcxError> {
+    match q {
+        Query::Element { name, content } => {
+            plan.items.push(OutItem::Open(Label::elem(name.clone())));
+            for c in content {
+                compile_into(c, plan)?;
+            }
+            plan.items.push(OutItem::Close(Label::elem(name.clone())));
+            Ok(())
+        }
+        Query::Text(t) => {
+            plan.items.push(OutItem::Text(t.clone()));
+            Ok(())
+        }
+        Query::Seq(items) => {
+            for c in items {
+                compile_into(c, plan)?;
+            }
+            Ok(())
+        }
+        Query::For { var, path, body } => {
+            add_slot(plan, path, var.clone(), (**body).clone())
+        }
+        Query::Path(p) => {
+            // A bare top-level path: emit a copy of every match.
+            let var = "#match".to_string();
+            let body = Query::Path(Path { start: var.clone(), steps: vec![] });
+            add_slot(plan, p, var, body)
+        }
+        Query::Let { .. } => Err(GcxError::Unsupported(
+            "top-level let (GCX evaluates lets only inside for bodies)".into(),
+        )),
+    }
+}
+
+fn add_slot(plan: &mut Plan, path: &Path, var: String, body: Query) -> Result<(), GcxError> {
+    if path.start != "input" {
+        return Err(GcxError::Unsupported(format!(
+            "top-level path rooted at ${} (must be $input)",
+            path.start
+        )));
+    }
+    if path.steps.is_empty() {
+        return Err(GcxError::Unsupported("bare $input at top level".into()));
+    }
+    // Predicates are supported on the final step only: the candidate buffer
+    // is complete exactly when the binding node closes.
+    let k = path.steps.len() - 1;
+    for (i, s) in path.steps.iter().enumerate() {
+        if i != k && !s.preds.is_empty() {
+            return Err(GcxError::Unsupported(
+                "predicates on non-final binding steps".into(),
+            ));
+        }
+    }
+    let mut steps = path.steps.clone();
+    let final_preds = std::mem::take(&mut steps[k].preds);
+    let mut proj = build_projection(&var, &body);
+    for p in &final_preds {
+        proj.mark_pred_public(&[0], p);
+    }
+    plan.items.push(OutItem::Slot(plan.slots.len()));
+    plan.slots.push(Slot { steps, final_preds, var, body, proj });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Path matcher (set of active steps, as in the MFT translation)
+// ---------------------------------------------------------------------------
+
+struct Matcher {
+    stack: Vec<BTreeSet<usize>>,
+}
+
+impl Matcher {
+    fn new() -> Self {
+        Matcher { stack: vec![[0].into_iter().collect()] }
+    }
+
+    /// Push one open event; returns whether this node is a binding match.
+    fn open(&mut self, label: &Label, steps: &[Step]) -> bool {
+        let top = self.stack.last().unwrap();
+        let matched: Vec<usize> = top
+            .iter()
+            .copied()
+            .filter(|&i| test_matches(&steps[i].test, label))
+            .collect();
+        let is_binding = matched.contains(&(steps.len() - 1));
+        let mut child: BTreeSet<usize> = top
+            .iter()
+            .copied()
+            .filter(|&i| steps[i].axis == Axis::Descendant)
+            .collect();
+        for &i in &matched {
+            if i + 1 < steps.len() {
+                child.insert(i + 1);
+            }
+        }
+        self.stack.push(child);
+        is_binding
+    }
+
+    fn close(&mut self) {
+        self.stack.pop();
+    }
+}
+
+fn test_matches(test: &NodeTest, label: &Label) -> bool {
+    match test {
+        NodeTest::Name(n) => label.kind == NodeKind::Element && &*label.name == n.as_str(),
+        NodeTest::AnyElem => label.kind == NodeKind::Element,
+        NodeTest::Text => label.kind == NodeKind::Text,
+        NodeTest::AnyNode => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidates
+// ---------------------------------------------------------------------------
+
+/// Projection cursor during buffering.
+enum Cursor {
+    KeepAll,
+    Nodes(Vec<usize>),
+    /// Below an unkept node: nothing is kept, only depth is tracked.
+    Skip,
+}
+
+struct Candidate {
+    slot: usize,
+    /// Partially-built kept subtrees; `None` for skipped nodes.
+    node_stack: Vec<Option<Tree>>,
+    cursor_stack: Vec<Cursor>,
+    /// Number of buffered nodes (for accounting).
+    size: usize,
+    root: Option<Tree>,
+    /// Results of already-completed *descendant* candidates of the same
+    /// slot, to be emitted after this candidate's own result (document
+    /// order: ancestors' bindings precede descendants' in preorder).
+    deferred: Vec<Forest>,
+}
+
+impl Candidate {
+    fn new(slot: usize, label: &Label) -> Self {
+        Candidate {
+            slot,
+            node_stack: vec![Some(Tree { label: label.clone(), children: Vec::new() })],
+            cursor_stack: vec![Cursor::Nodes(vec![0])],
+            size: 1,
+            root: None,
+            deferred: Vec::new(),
+        }
+    }
+
+    fn open(&mut self, label: &Label, proj: &Projection) {
+        let keep = match self.cursor_stack.last().unwrap() {
+            Cursor::Skip => None,
+            Cursor::KeepAll => Some(Cursor::KeepAll),
+            Cursor::Nodes(active) => {
+                if active.iter().any(|&p| proj.nodes[p].keep_all) {
+                    Some(Cursor::KeepAll)
+                } else if label.kind == NodeKind::Text {
+                    active
+                        .iter()
+                        .any(|&p| proj.nodes[p].text)
+                        .then_some(Cursor::Nodes(Vec::new()))
+                } else {
+                    let mut next = Vec::new();
+                    for &p in active {
+                        if let Some(&c) = proj.nodes[p].by_name.get(&*label.name) {
+                            next.push(c);
+                        }
+                        if let Some(c) = proj.nodes[p].star {
+                            next.push(c);
+                        }
+                    }
+                    (!next.is_empty()).then(|| {
+                        if next.iter().any(|&c| proj.nodes[c].keep_all) {
+                            Cursor::KeepAll
+                        } else {
+                            Cursor::Nodes(next)
+                        }
+                    })
+                }
+            }
+        };
+        match keep {
+            Some(cursor) => {
+                self.node_stack
+                    .push(Some(Tree { label: label.clone(), children: Vec::new() }));
+                self.cursor_stack.push(cursor);
+                self.size += 1;
+            }
+            None => {
+                self.node_stack.push(None);
+                self.cursor_stack.push(Cursor::Skip);
+            }
+        }
+    }
+
+    /// Returns `true` when the candidate just completed.
+    fn close(&mut self) -> bool {
+        let done = self.node_stack.pop().unwrap();
+        self.cursor_stack.pop();
+        match self.node_stack.last_mut() {
+            Some(Some(parent)) => {
+                if let Some(t) = done {
+                    parent.children.push(t);
+                }
+                false
+            }
+            Some(None) => false, // skipped region
+            None => {
+                self.root = done;
+                true
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// Run the GCX-substitute engine over an XML byte stream.
+pub fn run_gcx<R: BufRead, S: XmlSink>(
+    query: &Query,
+    mut reader: XmlReader<R>,
+    sink: S,
+) -> Result<(S, GcxStats), GcxError> {
+    let mut engine = GcxEngine::new(query, sink)?;
+    loop {
+        match reader.next_event()? {
+            XmlEvent::Open(label) => engine.open(&label)?,
+            XmlEvent::Close(_) => engine.close()?,
+            XmlEvent::Eof => return engine.finish(),
+        }
+    }
+}
+
+/// Drive the engine from an in-memory forest (tests/benchmarks).
+pub fn run_gcx_on_forest<S: XmlSink>(
+    query: &Query,
+    forest: &[Tree],
+    sink: S,
+) -> Result<(S, GcxStats), GcxError> {
+    let mut engine = GcxEngine::new(query, sink)?;
+    fn feed<S: XmlSink>(e: &mut GcxEngine<S>, t: &Tree) -> Result<(), GcxError> {
+        e.open(&t.label)?;
+        for c in &t.children {
+            feed(e, c)?;
+        }
+        e.close()
+    }
+    for t in forest {
+        feed(&mut engine, t)?;
+    }
+    engine.finish()
+}
+
+/// The streaming engine (see the module docs for the architecture).
+pub struct GcxEngine<S> {
+    plan: Plan,
+    sink: S,
+    matchers: Vec<Matcher>,
+    candidates: Vec<Candidate>,
+    /// Buffered results per slot (for slots after the live one).
+    held: Vec<Vec<Forest>>,
+    held_nodes: usize,
+    /// Index into `plan.items`: everything before it has been emitted.
+    cursor: usize,
+    /// The slot currently allowed to stream, if the cursor sits on one.
+    live_slot: Option<usize>,
+    stats: GcxStats,
+    buffered_now: usize,
+}
+
+impl<S: XmlSink> GcxEngine<S> {
+    pub fn new(query: &Query, sink: S) -> Result<Self, GcxError> {
+        let plan = compile(query)?;
+        let matchers = plan.slots.iter().map(|_| Matcher::new()).collect();
+        let held = plan.slots.iter().map(|_| Vec::new()).collect();
+        let mut engine = GcxEngine {
+            plan,
+            sink,
+            matchers,
+            candidates: Vec::new(),
+            held,
+            held_nodes: 0,
+            cursor: 0,
+            live_slot: None,
+            stats: GcxStats::default(),
+            buffered_now: 0,
+        };
+        engine.advance_plan();
+        Ok(engine)
+    }
+
+    /// Emit constant plan items until hitting a slot (or the end).
+    fn advance_plan(&mut self) {
+        self.live_slot = None;
+        while self.cursor < self.plan.items.len() {
+            match &self.plan.items[self.cursor] {
+                OutItem::Open(l) => {
+                    self.sink.open(l);
+                    self.stats.output_events += 1;
+                }
+                OutItem::Close(l) => {
+                    self.sink.close(l);
+                    self.stats.output_events += 1;
+                }
+                OutItem::Text(t) => {
+                    let label = Label::text(t.clone());
+                    self.sink.open(&label);
+                    self.sink.close(&label);
+                    self.stats.output_events += 2;
+                }
+                OutItem::Slot(k) => {
+                    self.live_slot = Some(*k);
+                    return;
+                }
+            }
+            self.cursor += 1;
+        }
+    }
+
+    pub fn open(&mut self, label: &Label) -> Result<(), GcxError> {
+        self.stats.events += 1;
+        // 1. Advance matchers; remember which slots bind here.
+        let mut bindings = Vec::new();
+        for (k, m) in self.matchers.iter_mut().enumerate() {
+            if m.open(label, &self.plan.slots[k].steps) {
+                bindings.push(k);
+            }
+        }
+        // 2. Feed existing candidates.
+        for c in &mut self.candidates {
+            let before = c.size;
+            c.open(label, &self.plan.slots[c.slot].proj);
+            self.buffered_now += c.size - before;
+        }
+        // 3. Open new candidates.
+        for k in bindings {
+            self.candidates.push(Candidate::new(k, label));
+            self.buffered_now += 1;
+        }
+        self.track_peak();
+        Ok(())
+    }
+
+    pub fn close(&mut self) -> Result<(), GcxError> {
+        self.stats.events += 1;
+        let mut completed = Vec::new();
+        let mut idx = 0;
+        while idx < self.candidates.len() {
+            if self.candidates[idx].close() {
+                completed.push(self.candidates.remove(idx));
+            } else {
+                idx += 1;
+            }
+        }
+        for m in &mut self.matchers {
+            m.close();
+        }
+        for cand in completed {
+            self.buffered_now -= cand.size;
+            self.finish_candidate(cand)?;
+        }
+        self.track_peak();
+        Ok(())
+    }
+
+    fn finish_candidate(&mut self, cand: Candidate) -> Result<(), GcxError> {
+        let mut block: Vec<Forest> = Vec::new();
+        if let Some(root) = &cand.root {
+            let slot = &self.plan.slots[cand.slot];
+            let doc = Doc::index(std::slice::from_ref(root));
+            // Binding node is preorder index 1 (0 is the virtual document
+            // node).
+            if node_satisfies(&doc, 1, &slot.final_preds) {
+                let result = eval_on_doc(&slot.body, &doc, &[(slot.var.clone(), 1)])?;
+                self.held_nodes += foxq_forest::forest_size(&result);
+                block.push(result);
+            }
+        }
+        block.extend(cand.deferred);
+        // Document order: if a same-slot ancestor candidate is still open
+        // (nested matches of a descendant path), our block must come after
+        // its result — defer.
+        if let Some(anc) =
+            self.candidates.iter_mut().rev().find(|c| c.slot == cand.slot)
+        {
+            anc.deferred.extend(block);
+            self.track_peak();
+            return Ok(());
+        }
+        for f in block {
+            self.held_nodes -= foxq_forest::forest_size(&f);
+            if self.live_slot == Some(cand.slot) {
+                self.emit_forest(&f);
+            } else {
+                self.held_nodes += foxq_forest::forest_size(&f);
+                self.held[cand.slot].push(f);
+            }
+        }
+        self.track_peak();
+        Ok(())
+    }
+
+    fn emit_forest(&mut self, forest: &[Tree]) {
+        for t in forest {
+            self.emit_tree(t);
+        }
+    }
+
+    fn emit_tree(&mut self, t: &Tree) {
+        self.sink.open(&t.label);
+        self.stats.output_events += 1;
+        for c in &t.children {
+            self.emit_tree(c);
+        }
+        self.sink.close(&t.label);
+        self.stats.output_events += 1;
+    }
+
+    pub fn finish(mut self) -> Result<(S, GcxStats), GcxError> {
+        self.stats.events += 1;
+        // No more input: flush the rest of the plan in order. The slot that
+        // was live already streamed its results; every other slot's held
+        // results are emitted at its plan position.
+        let streamed = self.live_slot;
+        while self.cursor < self.plan.items.len() {
+            match &self.plan.items[self.cursor] {
+                OutItem::Open(l) => {
+                    self.sink.open(l);
+                    self.stats.output_events += 1;
+                }
+                OutItem::Close(l) => {
+                    self.sink.close(l);
+                    self.stats.output_events += 1;
+                }
+                OutItem::Text(t) => {
+                    let label = Label::text(t.clone());
+                    self.sink.open(&label);
+                    self.sink.close(&label);
+                    self.stats.output_events += 2;
+                }
+                OutItem::Slot(k) => {
+                    if streamed != Some(*k) {
+                        let held = std::mem::take(&mut self.held[*k]);
+                        for f in held {
+                            self.held_nodes -= foxq_forest::forest_size(&f);
+                            self.emit_forest(&f);
+                        }
+                    }
+                }
+            }
+            self.cursor += 1;
+        }
+        Ok((self.sink, self.stats))
+    }
+
+    fn track_peak(&mut self) {
+        let now = self.buffered_now + self.held_nodes;
+        if now > self.stats.peak_buffered_nodes {
+            self.stats.peak_buffered_nodes = now;
+        }
+    }
+
+    /// Current buffered node count.
+    pub fn buffered_nodes(&self) -> usize {
+        self.buffered_now + self.held_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_forest::term::parse_forest;
+    use foxq_xml::{forest_to_xml_string, ForestSink};
+    use foxq_xquery::{eval_query, parse_query};
+
+    fn check(query: &str, doc: &str) -> GcxStats {
+        let q = parse_query(query).unwrap();
+        let f = parse_forest(doc).unwrap();
+        let expected = eval_query(&q, &f).unwrap();
+        let (sink, stats) = run_gcx_on_forest(&q, &f, ForestSink::new()).unwrap();
+        assert_eq!(
+            forest_to_xml_string(&sink.into_forest()),
+            forest_to_xml_string(&expected),
+            "gcx vs reference on {query}"
+        );
+        stats
+    }
+
+    #[test]
+    fn q1_style_query() {
+        check(
+            r#"<q1>{ for $p in $input/site/people/person[./p_id/text()="person0"]
+                 return $p/name/text() }</q1>"#,
+            r#"site(people(person(p_id("person0") name("Jim")) person(p_id("x") name("No"))))"#,
+        );
+    }
+
+    #[test]
+    fn q2_style_nested_loops() {
+        check(
+            "<q2>{ for $o in $input/site/open_auctions/open_auction return
+               <increase>{ for $i in $o/bidder/increase return <bid>{$i/text()}</bid> }</increase>
+             }</q2>",
+            r#"site(open_auctions(open_auction(bidder(increase("1")) bidder(increase("2")))
+                                  open_auction(bidder(increase("3")))))"#,
+        );
+    }
+
+    #[test]
+    fn q17_style_empty_predicate() {
+        check(
+            r#"<o>{ for $p in $input/people/person[empty(./homepage/text())]
+                 return <person><name>{$p/name/text()}</name></person> }</o>"#,
+            r#"people(person(name("A") homepage("h")) person(name("B")))"#,
+        );
+    }
+
+    #[test]
+    fn double_query_buffers_second_copy() {
+        let stats = check(
+            "<double><r1>{$input/*}</r1>{$input/*}</double>",
+            r#"site(a("1") b("2") c("3"))"#,
+        );
+        // The second {$input/*} must be buffered until EOF.
+        assert!(stats.peak_buffered_nodes >= 6, "{}", stats.peak_buffered_nodes);
+    }
+
+    #[test]
+    fn fourstar_query() {
+        check("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f)) g)) h)");
+    }
+
+    #[test]
+    fn deepdup_query() {
+        check(
+            "<deepdup>{ for $x in $input/* return
+               <r> { for $y in $x/* return <r1><r2>{$y}</r2>{$y}</r1> } </r> }</deepdup>",
+            "site(a(b(\"1\")) c(d))",
+        );
+    }
+
+    #[test]
+    fn following_sibling_is_rejected_like_gcx() {
+        let q = parse_query(
+            r#"for $b in $input/site/open_auctions/open_auction
+                 [./bidder[./p/text()="x"]/following-sibling::bidder/p/text()="y"]
+               return <history>{$b/reserve/text()}</history>"#,
+        )
+        .unwrap();
+        let f = parse_forest("site()").unwrap();
+        assert!(matches!(
+            run_gcx_on_forest(&q, &f, ForestSink::new()),
+            Err(GcxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn projection_keeps_buffers_small() {
+        // Only name/text is projected; the junk subtrees must not be
+        // buffered.
+        let q = parse_query(
+            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
+        )
+        .unwrap();
+        let doc_of = |junk: usize| {
+            let mut s = String::from("people(");
+            for i in 0..10 {
+                s.push_str(&format!("person(name(\"p{i}\") junk("));
+                for j in 0..junk {
+                    s.push_str(&format!("x{j}() "));
+                }
+                s.push_str("))");
+            }
+            s.push(')');
+            parse_forest(&s).unwrap()
+        };
+        let q2 = parse_query(
+            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
+        )
+        .unwrap();
+        let peak = |junk: usize| {
+            let (_, stats) =
+                run_gcx_on_forest(&q2, &doc_of(junk), foxq_xml::CountingSink::default())
+                    .unwrap();
+            stats.peak_buffered_nodes
+        };
+        // Junk size must not affect the buffer.
+        assert_eq!(peak(2), peak(50));
+        check(
+            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
+            r#"people(person(name("A") junk(x())) person(name("B")))"#,
+        );
+        let _ = q;
+    }
+
+    #[test]
+    fn interleaved_constant_content() {
+        check(
+            "<o><head/>{$input/a}<sep/>{$input/b}<tail/></o>",
+            "a(\"1\") b(\"2\") a(\"3\")",
+        );
+    }
+
+    #[test]
+    fn streaming_emits_first_slot_early() {
+        let q = parse_query("<o>{$input/a}{$input/b}</o>").unwrap();
+        let mut e = GcxEngine::new(&q, foxq_xml::CountingSink::default()).unwrap();
+        e.open(&Label::elem("a")).unwrap();
+        e.close().unwrap();
+        // <o> + the copy of <a/> already emitted.
+        assert!(e.sink.nodes >= 2, "{}", e.sink.nodes);
+        let (sink, _) = e.finish().unwrap();
+        assert_eq!(sink.nodes, 2); // <o>, <a/> — no b matches
+    }
+
+    #[test]
+    fn unsupported_top_level_forms() {
+        let f = parse_forest("x").unwrap();
+        for src in ["let $a := $input/x return <o>{$a}</o>", "<o>{$input}</o>"] {
+            let q = parse_query(src).unwrap();
+            assert!(
+                matches!(run_gcx_on_forest(&q, &f, ForestSink::new()), Err(GcxError::Unsupported(_))),
+                "{src}"
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! GCX-substitute baseline: a projection-based streaming XQuery engine with
+//! explicit buffer management.
+//!
+//! The paper's evaluation (§5) compares the MFT engine against **GCX**
+//! (Koch, Scherzinger, Schmidt; VLDB'07) — "the fastest XQuery streaming
+//! engine we know", built on static path projection and dynamic buffer
+//! minimization. GCX is closed C++ software; this crate implements a
+//! behaviourally faithful substitute with the same architecture and the
+//! same *limitations*, so the evaluation's qualitative shapes carry over:
+//!
+//! * static **projection** of the paths a query can touch ([`proj`]);
+//! * per-candidate **buffers** holding only projected nodes, freed as soon
+//!   as a binding is evaluated ([`engine`]);
+//! * **no `following-sibling`** axis — Q4 fails with
+//!   [`GcxError::Unsupported`], reproducing the paper's Fig. 4(c) "N/A";
+//! * queries whose output needs the input twice (the `double` query) force
+//!   buffering of the whole document, as observed in Fig. 4(g).
+
+pub mod engine;
+pub mod proj;
+
+pub use engine::{run_gcx, run_gcx_on_forest, GcxEngine, GcxError, GcxStats};
+pub use proj::{build_projection, Projection};

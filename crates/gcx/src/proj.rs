@@ -1,0 +1,292 @@
+//! Static projection — the analysis that gives GCX its memory edge.
+//!
+//! For each `for`-binding the engine buffers a *projected* copy of the
+//! candidate subtree: only nodes lying on paths the body (or the binding
+//! predicates) can reach are retained. A `descendant` step or an output use
+//! of a variable (`{$v}`, constructor content) conservatively keeps the
+//! whole region (`keep_all`).
+
+use foxq_forest::FxHashMap;
+use foxq_xquery::ast::{Axis, NodeTest, Pred, Query, Step};
+
+/// One node of the projection tree.
+#[derive(Default, Debug, Clone)]
+pub struct ProjNode {
+    /// Keep the entire subtree below nodes at this position.
+    pub keep_all: bool,
+    /// Keep text children.
+    pub text: bool,
+    /// Element children by name.
+    pub by_name: FxHashMap<String, usize>,
+    /// `*` / `node()` children.
+    pub star: Option<usize>,
+}
+
+/// Projection tree (arena); node 0 is the binding root.
+#[derive(Debug, Clone)]
+pub struct Projection {
+    pub nodes: Vec<ProjNode>,
+}
+
+impl Projection {
+    fn new() -> Self {
+        Projection { nodes: vec![ProjNode::default()] }
+    }
+
+    fn child_by_name(&mut self, at: usize, name: &str) -> usize {
+        if let Some(&c) = self.nodes[at].by_name.get(name) {
+            return c;
+        }
+        let c = self.nodes.len();
+        self.nodes.push(ProjNode::default());
+        self.nodes[at].by_name.insert(name.to_string(), c);
+        c
+    }
+
+    fn star_child(&mut self, at: usize) -> usize {
+        if let Some(c) = self.nodes[at].star {
+            return c;
+        }
+        let c = self.nodes.len();
+        self.nodes.push(ProjNode::default());
+        self.nodes[at].star = Some(c);
+        c
+    }
+
+    /// Follow one step from `positions`; marks whatever the step needs and
+    /// returns the resulting positions.
+    fn step(&mut self, positions: &[usize], step: &Step) -> Vec<usize> {
+        let mut out = Vec::new();
+        match step.axis {
+            Axis::Descendant => {
+                // Conservative: keep everything below; all further navigation
+                // is covered.
+                for &p in positions {
+                    self.nodes[p].keep_all = true;
+                    out.push(p);
+                }
+            }
+            Axis::Child => {
+                for &p in positions {
+                    match &step.test {
+                        NodeTest::Name(n) => {
+                            let n = n.clone();
+                            out.push(self.child_by_name(p, &n));
+                        }
+                        NodeTest::AnyElem => out.push(self.star_child(p)),
+                        NodeTest::AnyNode => {
+                            self.nodes[p].text = true;
+                            out.push(self.star_child(p));
+                        }
+                        NodeTest::Text => {
+                            self.nodes[p].text = true;
+                            // Text nodes have no children; no new position.
+                        }
+                    }
+                }
+            }
+            Axis::FollowingSibling => {
+                // Rejected earlier by the engine (GCX does not support it).
+                unreachable!("following-sibling reaches projection builder")
+            }
+        }
+        for pred in &step.preds {
+            self.mark_pred(&out_or(positions, &out, step), pred);
+        }
+        out
+    }
+
+    /// Mark the nodes a predicate needs (public for the engine, which
+    /// strips binding predicates off the path before projection).
+    pub fn mark_pred_public(&mut self, positions: &[usize], pred: &Pred) {
+        self.mark_pred(positions, pred);
+    }
+
+    fn mark_pred(&mut self, positions: &[usize], pred: &Pred) {
+        let (rel, needs_text) = match pred {
+            Pred::Exists(r) | Pred::Empty(r) => (r, false),
+            Pred::Eq(r, _) | Pred::Neq(r, _) => (r, true),
+        };
+        let mut pos = positions.to_vec();
+        for s in &rel.steps {
+            pos = self.step(&pos, s);
+        }
+        if needs_text {
+            for &p in &pos {
+                self.nodes[p].text = true;
+            }
+        }
+    }
+
+    /// Mark positions as output-used: the full subtree is needed.
+    fn mark_output(&mut self, positions: &[usize]) {
+        for &p in positions {
+            self.nodes[p].keep_all = true;
+        }
+    }
+}
+
+fn out_or<'v>(prev: &'v [usize], next: &'v [usize], step: &Step) -> Vec<usize> {
+    // Predicates qualify the nodes *matched by* the step; for text() steps
+    // there is no projection node, so they qualify nothing further.
+    if matches!(step.test, NodeTest::Text) {
+        let _ = prev;
+        Vec::new()
+    } else {
+        next.to_vec()
+    }
+}
+
+/// Build the projection a slot body needs below its binding variable.
+pub fn build_projection(var: &str, body: &Query) -> Projection {
+    let mut proj = Projection::new();
+    let mut env: Vec<(String, Vec<usize>)> = vec![(var.to_string(), vec![0])];
+    walk(&mut proj, &mut env, body, true);
+    proj
+}
+
+fn walk(
+    proj: &mut Projection,
+    env: &mut Vec<(String, Vec<usize>)>,
+    q: &Query,
+    output: bool,
+) {
+    match q {
+        Query::Text(_) => {}
+        Query::Element { content, .. } => {
+            for c in content {
+                walk(proj, env, c, true);
+            }
+        }
+        Query::Seq(items) => {
+            for c in items {
+                walk(proj, env, c, output);
+            }
+        }
+        Query::Path(p) => {
+            let Some(base) = lookup(env, &p.start) else { return };
+            if p.steps.is_empty() {
+                // Bare variable output: whole candidate subtree needed.
+                let base = base.clone();
+                proj.mark_output(&base);
+                return;
+            }
+            let mut pos = base.clone();
+            let mut text_out = false;
+            for s in &p.steps {
+                text_out = matches!(s.test, NodeTest::Text);
+                pos = proj.step(&pos, s);
+            }
+            if output && !text_out {
+                proj.mark_output(&pos);
+            }
+            // text() outputs are covered by the `text` flag set in `step`.
+        }
+        Query::For { var, path, body } => {
+            let positions = match lookup(env, &path.start) {
+                Some(base) => {
+                    let mut pos = base.clone();
+                    for s in &path.steps {
+                        pos = proj.step(&pos, s);
+                    }
+                    pos
+                }
+                None => Vec::new(),
+            };
+            env.push((var.clone(), positions));
+            walk(proj, env, body, output);
+            env.pop();
+        }
+        Query::Let { var, value, body } => {
+            // The let value is (potentially) emitted: mark as output.
+            walk(proj, env, value, true);
+            let positions = match value.as_ref() {
+                Query::Path(p) => match lookup(env, &p.start) {
+                    Some(base) => {
+                        // Re-walk without marking output to obtain positions.
+                        let mut pos = base.clone();
+                        for s in &p.steps {
+                            pos = proj.step(&pos, s);
+                        }
+                        pos
+                    }
+                    None => Vec::new(),
+                },
+                _ => Vec::new(),
+            };
+            env.push((var.clone(), positions));
+            walk(proj, env, body, output);
+            env.pop();
+        }
+    }
+}
+
+fn lookup<'e>(env: &'e [(String, Vec<usize>)], var: &str) -> Option<&'e Vec<usize>> {
+    env.iter().rev().find(|(n, _)| n == var).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_xquery::parse_query;
+
+    fn proj_for(body_src: &str) -> Projection {
+        // Wrap as a for over $input/x so $v is bound.
+        let q = parse_query(&format!("for $v in $input/x return {body_src}")).unwrap();
+        let Query::For { var, body, .. } = q else { panic!() };
+        build_projection(&var, &body)
+    }
+
+    #[test]
+    fn name_paths_project_narrowly() {
+        let p = proj_for("<o>{$v/name/text()}</o>");
+        // root → name (with text flag), nothing else.
+        assert!(!p.nodes[0].keep_all);
+        let name = p.nodes[0].by_name["name"];
+        assert!(p.nodes[name].text);
+        assert!(!p.nodes[name].keep_all);
+        assert!(p.nodes[0].by_name.len() == 1 && p.nodes[0].star.is_none());
+    }
+
+    #[test]
+    fn bare_variable_keeps_everything() {
+        let p = proj_for("<o>{$v}</o>");
+        assert!(p.nodes[0].keep_all);
+    }
+
+    #[test]
+    fn element_path_output_keeps_subtree() {
+        let p = proj_for("<o>{$v/description}</o>");
+        let d = p.nodes[0].by_name["description"];
+        assert!(p.nodes[d].keep_all);
+    }
+
+    #[test]
+    fn descendant_keeps_region() {
+        let p = proj_for("<o>{$v/a//k}</o>");
+        let a = p.nodes[0].by_name["a"];
+        assert!(p.nodes[a].keep_all);
+    }
+
+    #[test]
+    fn nested_for_extends_projection() {
+        let p = proj_for("<o>{ for $y in $v/b return $y/c/text() }</o>");
+        let b = p.nodes[0].by_name["b"];
+        let c = p.nodes[b].by_name["c"];
+        assert!(p.nodes[c].text);
+        assert!(!p.nodes[0].keep_all && !p.nodes[b].keep_all);
+    }
+
+    #[test]
+    fn predicates_mark_their_paths() {
+        let q = parse_query(r#"for $v in $input/x[./id/text()="1"] return <hit/>"#).unwrap();
+        let Query::For { var, path, body } = q else { panic!() };
+        let mut p = build_projection(&var, &body);
+        // The engine marks binding predicates explicitly:
+        for pred in &path.steps.last().unwrap().preds {
+            p.mark_pred(&[0], pred);
+        }
+        let id = p.nodes[0].by_name["id"];
+        assert!(p.nodes[id].text);
+    }
+}

@@ -1,0 +1,361 @@
+//! Lemma 1: `mft = mtt ∘ eval` — conversions between forest transducers and
+//! binary-tree transducers.
+//!
+//! * [`mft_to_mtt`] replaces every concatenation in the right-hand sides by
+//!   the binary symbol `@` (e.g. `q(x1) y1 b(ε)` becomes
+//!   `@(q(x1), @(y1, b(ε,ε)))`), yielding an MTT whose outputs denote
+//!   fcns-encoded forests under [`eval_btree`];
+//! * [`eval_btree`] / [`eval_mtt`] interpret `@` as forest concatenation —
+//!   the *evaluation mapping* `eval`, which is itself realizable as a
+//!   one-parameter MTT (Lemma 1(3));
+//! * [`mtt_to_mft`] is the converse direction: `@`-symbols are removed
+//!   syntactically, turning an MTT-plus-eval back into an MFT.
+//!
+//! Together these give, for every MFT `M` and forest `f`:
+//!
+//! ```text
+//! fcns([[M]](f)) = eval([[mft_to_mtt(M)]](fcns(f)))
+//! [[mtt_to_mft(N)]](f) = unfcns(eval([[N]](fcns(f))))
+//! ```
+
+use crate::mtt::{cat_label, Mtt, TNode};
+use foxq_core::mft::{Mft, OutLabel, Rhs, RhsNode, XVar};
+use foxq_forest::{BinTree, SymId};
+
+/// Encode an MFT as an MTT over `Σ ∪ {@}` (Lemma 1, ⊆ direction).
+///
+/// States, ranks and rule structure are preserved; only right-hand sides are
+/// re-bracketed. Runs in linear time.
+pub fn mft_to_mtt(m: &Mft) -> Mtt {
+    let mut out = Mtt::new();
+    out.alphabet = m.alphabet.clone();
+    let cat = out.alphabet.intern(cat_label());
+    for info in &m.states {
+        out.add_state(info.name.clone(), info.params);
+    }
+    out.initial = m.initial;
+    for (q, rules) in m.rules.iter().enumerate() {
+        let tr = &mut out.rules[q];
+        for (sym, rhs) in &rules.by_sym {
+            tr.by_sym.insert(*sym, enc_forest(rhs, cat));
+        }
+        tr.text_default = rules.text_default.as_ref().map(|r| enc_forest(r, cat));
+        tr.default = enc_forest(&rules.default, cat);
+        tr.eps = enc_forest(&rules.eps, cat);
+    }
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+fn enc_forest(rhs: &Rhs, cat: SymId) -> TNode {
+    match rhs.split_first() {
+        None => TNode::Eps,
+        Some((n, rest)) if rest.is_empty() => enc_node(n, cat),
+        Some((n, rest)) => {
+            TNode::sym(cat, enc_node(n, cat), enc_forest(&rest.to_vec(), cat))
+        }
+    }
+}
+
+fn enc_node(n: &RhsNode, cat: SymId) -> TNode {
+    match n {
+        RhsNode::Param(i) => TNode::Param(*i),
+        RhsNode::Out { label, children } => {
+            TNode::out(*label, enc_forest(children, cat), TNode::Eps)
+        }
+        RhsNode::Call { state, input, args } => TNode::Call {
+            state: *state,
+            input: *input,
+            args: args.iter().map(|a| enc_forest(a, cat)).collect(),
+        },
+    }
+}
+
+/// Decode an MTT back into an MFT by interpreting `@` as concatenation
+/// (Lemma 1, ⊇ direction). Linear time.
+pub fn mtt_to_mft(m: &Mtt) -> Mft {
+    let mut out = Mft::new();
+    out.alphabet = m.alphabet.clone();
+    let cat = out.alphabet.lookup(&cat_label());
+    for info in &m.states {
+        out.add_state(info.name.clone(), info.params);
+    }
+    out.initial = m.initial;
+    for (q, rules) in m.rules.iter().enumerate() {
+        let fr = &mut out.rules[q];
+        for (sym, rhs) in &rules.by_sym {
+            fr.by_sym.insert(*sym, dec(rhs, cat));
+        }
+        fr.text_default = rules.text_default.as_ref().map(|r| dec(r, cat));
+        fr.default = dec(&rules.default, cat);
+        fr.eps = dec(&rules.eps, cat);
+    }
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+fn dec(t: &TNode, cat: Option<SymId>) -> Rhs {
+    let mut out = Vec::new();
+    dec_into(t, cat, &mut out);
+    out
+}
+
+fn dec_into(t: &TNode, cat: Option<SymId>, out: &mut Rhs) {
+    match t {
+        TNode::Eps => {}
+        TNode::Param(i) => out.push(RhsNode::Param(*i)),
+        TNode::Out { label: OutLabel::Sym(s), left, right } if Some(*s) == cat => {
+            dec_into(left, cat, out);
+            dec_into(right, cat, out);
+        }
+        TNode::Out { label, left, right } => {
+            out.push(RhsNode::Out { label: *label, children: dec(left, cat) });
+            dec_into(right, cat, out);
+        }
+        TNode::Call { state, input, args } => {
+            out.push(RhsNode::Call {
+                state: *state,
+                input: *input,
+                args: args.iter().map(|a| dec(a, cat)).collect(),
+            });
+        }
+    }
+}
+
+/// Turn a forest transducer (an MFT without parameters) into an *equivalent,
+/// `@`-free* MTT — the paper's "any FT can be turned in linear time into an
+/// equivalent MTT" (§4.2, before Theorem 3).
+///
+/// Each state receives one accumulating parameter holding the fcns-encoded
+/// continuation: `[[q̂]](t, y)` is `fcns([[q]](t))` with `y` grafted onto the
+/// rightmost spine. Concatenation in right-hand sides becomes continuation
+/// passing, so outputs are proper binary trees with no `@` symbols — which
+/// is what lets an FT act as the *first* transducer of Theorem 3.
+pub fn ft_to_mtt_acc(m: &Mft) -> Mtt {
+    assert!(m.is_ft(), "ft_to_mtt_acc requires a parameterless MFT");
+    let mut out = Mtt::new();
+    out.alphabet = m.alphabet.clone();
+    for info in &m.states {
+        out.add_state(format!("{}^", info.name), 1);
+    }
+    for (q, rules) in m.rules.iter().enumerate() {
+        let tr = &mut out.rules[q];
+        for (sym, rhs) in &rules.by_sym {
+            tr.by_sym.insert(*sym, acc_forest(rhs, TNode::Param(0)));
+        }
+        tr.text_default =
+            rules.text_default.as_ref().map(|r| acc_forest(r, TNode::Param(0)));
+        tr.default = acc_forest(&rules.default, TNode::Param(0));
+        tr.eps = acc_forest(&rules.eps, TNode::Param(0));
+    }
+    // Fresh rank-1 initial state: q̂0 with an empty continuation.
+    let init = out.add_state("init^", 0);
+    let call = TNode::call(StateId(m.initial.0), XVar::X0, vec![TNode::Eps]);
+    out.rules[init.idx()].default = call.clone();
+    out.rules[init.idx()].eps = call;
+    out.initial = init;
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+use foxq_core::mft::StateId;
+
+fn acc_forest(rhs: &[RhsNode], k: TNode) -> TNode {
+    match rhs.split_first() {
+        None => k,
+        Some((n, rest)) => {
+            let cont = acc_forest(rest, k);
+            match n {
+                RhsNode::Param(_) => unreachable!("FTs have no parameters"),
+                RhsNode::Out { label, children } => {
+                    TNode::out(*label, acc_forest(children, TNode::Eps), cont)
+                }
+                RhsNode::Call { state, input, .. } => {
+                    TNode::call(*state, *input, vec![cont])
+                }
+            }
+        }
+    }
+}
+
+/// The paper's headline FT composition: two forest transducers compose into
+/// one **MFT** (via `ft_to_mtt_acc` + Theorem 3).
+pub fn compose_ft_ft(m1: &Mft, m2: &Mft) -> Mft {
+    assert!(m1.is_ft() && m2.is_ft());
+    let m1_acc = ft_to_mtt_acc(m1);
+    crate::compose::compose_mtt_then_ft(&m1_acc, m2)
+}
+
+/// Evaluate `@`-symbols in a binary tree: `eval(@(t1,t2)) = eval(t1)eval(t2)`
+/// (grafting onto the rightmost spine), identity on other labels.
+pub fn eval_btree(b: &BinTree) -> BinTree {
+    let cat = cat_label();
+    ev(b, BinTree::Leaf, &cat)
+}
+
+fn ev(b: &BinTree, k: BinTree, cat: &foxq_forest::Label) -> BinTree {
+    match b {
+        BinTree::Leaf => k,
+        BinTree::Node(l, x, y) if l == cat => {
+            let rest = ev(y, k, cat);
+            ev(x, rest, cat)
+        }
+        BinTree::Node(l, x, y) => BinTree::node(
+            l.clone(),
+            ev(x, BinTree::Leaf, cat),
+            ev(y, k, cat),
+        ),
+    }
+}
+
+/// The evaluation mapping as a one-parameter MTT (Lemma 1(3): eval ⊊ mtt).
+///
+/// ```text
+/// e0(%)            → e(x0, ε)
+/// e(@(x1,x2), y)   → e(x1, e(x2, y))
+/// e(%t(x1,x2), y)  → %t(e(x1,ε), e(x2,y))
+/// e(ε, y)          → y
+/// ```
+pub fn eval_mtt(alphabet: &foxq_forest::Alphabet) -> Mtt {
+    let mut m = Mtt::new();
+    m.alphabet = alphabet.clone();
+    let cat = m.alphabet.intern(cat_label());
+    let e0 = m.add_state("e0", 0);
+    let e = m.add_state("e", 1);
+    m.initial = e0;
+    let stay = TNode::call(e, XVar::X0, vec![TNode::Eps]);
+    m.rules[e0.idx()].default = stay.clone();
+    m.rules[e0.idx()].eps = stay;
+    m.rules[e.idx()].by_sym.insert(
+        cat,
+        TNode::call(e, XVar::X1, vec![TNode::call(e, XVar::X2, vec![TNode::Param(0)])]),
+    );
+    m.rules[e.idx()].default = TNode::out(
+        OutLabel::Current,
+        TNode::call(e, XVar::X1, vec![TNode::Eps]),
+        TNode::call(e, XVar::X2, vec![TNode::Param(0)]),
+    );
+    m.rules[e.idx()].eps = TNode::Param(0);
+    debug_assert!(m.validate().is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mtt::run_mtt;
+    use foxq_core::interp::run_mft;
+    use foxq_core::text::parse_mft;
+    use foxq_forest::fcns::{fcns, unfcns};
+    use foxq_forest::term::{forest_to_term, parse_forest};
+
+    fn check_lemma1(mft_src: &str, docs: &[&str]) {
+        let m = parse_mft(mft_src).unwrap();
+        let n = mft_to_mtt(&m);
+        let back = mtt_to_mft(&n);
+        for doc in docs {
+            let f = parse_forest(doc).unwrap();
+            let expected = fcns(&run_mft(&m, &f).unwrap());
+            // fcns([[M]](f)) = eval([[mft_to_mtt(M)]](fcns f))
+            let via_mtt = eval_btree(&run_mtt(&n, &fcns(&f)).unwrap());
+            assert_eq!(via_mtt, expected, "Lemma 1 ⊆ on {doc}");
+            // and the decoded transducer agrees with the original.
+            let back_out = fcns(&run_mft(&back, &f).unwrap());
+            assert_eq!(back_out, expected, "Lemma 1 ⊇ on {doc}");
+        }
+    }
+
+    #[test]
+    fn lemma1_on_identity() {
+        check_lemma1(
+            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
+            &["", "a", r#"a(b("t") c) d(e)"#],
+        );
+    }
+
+    #[test]
+    fn lemma1_on_mperson() {
+        check_lemma1(
+            foxq_core::text::MPERSON,
+            &[
+                r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+                r#"person(p_id("x") name("Jim"))"#,
+            ],
+        );
+    }
+
+    #[test]
+    fn lemma1_with_parameters_and_concatenation() {
+        // Accumulating reversal — heavy concatenation in parameter position.
+        check_lemma1(
+            "q0(%) -> rev(x0, eps);
+             rev(%t(x1) x2, y1) -> rev(x2, %t(rev(x1, eps)) y1);
+             rev(eps, y1) -> y1;",
+            &["", "a b c", "a(b c(d)) e"],
+        );
+    }
+
+    #[test]
+    fn eval_btree_concatenates() {
+        let f1 = parse_forest("a(b)").unwrap();
+        let f2 = parse_forest("c d").unwrap();
+        let cat = cat_label();
+        let b = BinTree::node(cat, fcns(&f1), fcns(&f2));
+        let joined = unfcns(&eval_btree(&b));
+        assert_eq!(forest_to_term(&joined), "a(b()) c() d()");
+    }
+
+    #[test]
+    fn eval_btree_handles_nested_cats() {
+        let cat = cat_label();
+        let a = fcns(&parse_forest("a").unwrap());
+        let b = fcns(&parse_forest("b").unwrap());
+        let c = fcns(&parse_forest("c").unwrap());
+        // @(@(a,b),c) and @(a,@(b,c)) both flatten to a b c.
+        let left = BinTree::node(cat.clone(), BinTree::node(cat.clone(), a.clone(), b.clone()), c.clone());
+        let right = BinTree::node(cat.clone(), a, BinTree::node(cat, b, c));
+        assert_eq!(eval_btree(&left), eval_btree(&right));
+        assert_eq!(forest_to_term(&unfcns(&eval_btree(&left))), "a() b() c()");
+    }
+
+    #[test]
+    fn eval_mtt_agrees_with_eval_btree() {
+        let mut alpha = foxq_forest::Alphabet::new();
+        for n in ["a", "b", "c"] {
+            alpha.intern_elem(n);
+        }
+        let e = eval_mtt(&alpha);
+        let cat = cat_label();
+        let cases = [
+            BinTree::Leaf,
+            fcns(&parse_forest("a(b) c").unwrap()),
+            BinTree::node(
+                cat.clone(),
+                fcns(&parse_forest("a(b)").unwrap()),
+                fcns(&parse_forest("c").unwrap()),
+            ),
+            BinTree::node(
+                cat.clone(),
+                BinTree::node(cat.clone(), fcns(&parse_forest("a").unwrap()), BinTree::Leaf),
+                BinTree::node(
+                    cat,
+                    fcns(&parse_forest("b(c)").unwrap()),
+                    fcns(&parse_forest("a c").unwrap()),
+                ),
+            ),
+        ];
+        for b in &cases {
+            assert_eq!(run_mtt(&e, b).unwrap(), eval_btree(b), "on {b:?}");
+        }
+    }
+
+    #[test]
+    fn conversion_preserves_state_structure() {
+        let m = parse_mft(foxq_core::text::MPERSON).unwrap();
+        let n = mft_to_mtt(&m);
+        assert_eq!(n.state_count(), m.state_count());
+        assert!(!n.is_tt()); // q3 has parameters
+        let ft = parse_mft("q(%t(x1) x2) -> %t(q(x1)) q(x2); q(eps) -> eps;").unwrap();
+        assert!(mft_to_mtt(&ft).is_tt());
+    }
+}

@@ -1,0 +1,21 @@
+//! Binary-tree transducers and the composition theory of §4.2.
+//!
+//! * [`mtt`] — macro tree transducers (MTT) and top-down tree transducers
+//!   (TT) over binary XML trees, with stay moves and default rules;
+//! * [`convert`] — Lemma 1: `mft = mtt ∘ eval` in both directions, plus the
+//!   evaluation mapping as a one-parameter MTT;
+//! * [`compose`] — the stay-move product constructions: Lemma 2 (TT∘TT,
+//!   quadratic), Lemma 3 (MTT/TT both orders), Theorems 3–5 (compositions
+//!   with forest transducers), and the classical exponential construction
+//!   as a baseline for the complexity experiments.
+
+pub mod compose;
+pub mod convert;
+pub mod mtt;
+
+pub use compose::{
+    compose_ft_then_tt, compose_mtt_then_ft, compose_mtt_then_tt, compose_tt_then_ft,
+    compose_tt_then_mtt, compose_tt_tt, compose_tt_tt_naive,
+};
+pub use convert::{compose_ft_ft, eval_btree, eval_mtt, ft_to_mtt_acc, mft_to_mtt, mtt_to_mft};
+pub use mtt::{cat_label, run_mtt, run_mtt_with_limit, Mtt, RuleKey, TNode, TtRules};

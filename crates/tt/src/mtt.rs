@@ -1,0 +1,463 @@
+//! Macro tree transducers over binary trees (§4.2, "Expressive Power").
+//!
+//! An MTT here is, as in the paper, an MFT whose right-hand sides are
+//! *trees* with binary output nodes; inputs and outputs are binary XML trees
+//! ([`BinTree`], the fcns encoding of forests). Rules follow the same
+//! pattern discipline as MFTs — `(q,σ)`-rules, an optional text-default, a
+//! `%t` default, an ε-rule — including **stay moves** (`x0`), which are what
+//! make the quadratic composition constructions possible.
+//!
+//! A **TT** (top-down tree transducer) is an MTT whose states have no
+//! parameters ([`Mtt::is_tt`]).
+//!
+//! The concatenation symbol `@` of the `mft = mtt ∘ eval` decomposition
+//! (Lemma 1) is an ordinary binary symbol with the reserved label
+//! [`cat_label`] (`@` cannot occur in XML names, so there is no collision).
+
+use foxq_core::mft::{OutLabel, StateId, StateInfo, XVar};
+use foxq_forest::{Alphabet, BinTree, FxHashMap, Label, SymId};
+use std::rc::Rc;
+
+/// The reserved label of the `@` concatenation symbol.
+pub fn cat_label() -> Label {
+    Label::elem("@")
+}
+
+/// One node of an MTT right-hand side (a binary tree term).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TNode {
+    /// The leaf ε.
+    Eps,
+    /// A binary output node.
+    Out { label: OutLabel, left: Box<TNode>, right: Box<TNode> },
+    /// A state call `q(xi, t1, …, tm)`.
+    Call { state: StateId, input: XVar, args: Vec<TNode> },
+    /// A context parameter `y_{i+1}` (0-based).
+    Param(usize),
+}
+
+impl TNode {
+    pub fn out(label: OutLabel, left: TNode, right: TNode) -> TNode {
+        TNode::Out { label, left: Box::new(left), right: Box::new(right) }
+    }
+
+    pub fn sym(sym: SymId, left: TNode, right: TNode) -> TNode {
+        TNode::out(OutLabel::Sym(sym), left, right)
+    }
+
+    pub fn call(state: StateId, input: XVar, args: Vec<TNode>) -> TNode {
+        TNode::Call { state, input, args }
+    }
+
+    /// Number of nodes (calls count their x-argument as in the MFT metric).
+    pub fn size(&self) -> usize {
+        match self {
+            TNode::Eps => 1,
+            TNode::Param(_) => 1,
+            TNode::Out { left, right, .. } => 1 + left.size() + right.size(),
+            TNode::Call { args, .. } => {
+                2 + args.iter().map(TNode::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+/// Rule set of one state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TtRules {
+    pub by_sym: FxHashMap<SymId, TNode>,
+    /// Optional `%ttext` rule: any text node without a symbol rule.
+    pub text_default: Option<TNode>,
+    /// `%t` rule: any remaining node.
+    pub default: TNode,
+    /// ε-rule.
+    pub eps: TNode,
+}
+
+impl Default for TtRules {
+    fn default() -> Self {
+        TtRules {
+            by_sym: FxHashMap::default(),
+            text_default: None,
+            default: TNode::Eps,
+            eps: TNode::Eps,
+        }
+    }
+}
+
+/// Which rule of a state (used to address rules in compositions).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RuleKey {
+    Sym(SymId),
+    TextDefault,
+    Default,
+    Eps,
+}
+
+/// A macro tree transducer over binary trees.
+#[derive(Clone, Default)]
+pub struct Mtt {
+    pub alphabet: Alphabet,
+    pub states: Vec<StateInfo>,
+    pub rules: Vec<TtRules>,
+    pub initial: StateId,
+}
+
+impl Mtt {
+    pub fn new() -> Self {
+        Mtt::default()
+    }
+
+    pub fn add_state(&mut self, name: impl Into<String>, params: usize) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(StateInfo { name: name.into(), params });
+        self.rules.push(TtRules::default());
+        id
+    }
+
+    pub fn params_of(&self, q: StateId) -> usize {
+        self.states[q.idx()].params
+    }
+
+    pub fn name_of(&self, q: StateId) -> &str {
+        &self.states[q.idx()].name
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// A top-down tree transducer: no parameters anywhere.
+    pub fn is_tt(&self) -> bool {
+        self.states.iter().all(|s| s.params == 0)
+    }
+
+    /// Size |M|: |Σ| plus rule sizes (lhs + rhs), as for MFTs.
+    pub fn size(&self) -> usize {
+        let mut n = self.alphabet.len();
+        for (info, rules) in self.states.iter().zip(&self.rules) {
+            let m = info.params;
+            let mut count = rules.by_sym.len() + 1;
+            if rules.text_default.is_some() {
+                count += 1;
+            }
+            n += count * (4 + m) + (2 + m);
+            n += rules.by_sym.values().map(TNode::size).sum::<usize>();
+            n += rules.text_default.as_ref().map(TNode::size).unwrap_or(0);
+            n += rules.default.size() + rules.eps.size();
+        }
+        n
+    }
+
+    pub fn rule(&self, q: StateId, key: RuleKey) -> &TNode {
+        let r = &self.rules[q.idx()];
+        match key {
+            RuleKey::Sym(s) => &r.by_sym[&s],
+            RuleKey::TextDefault => r.text_default.as_ref().unwrap(),
+            RuleKey::Default => &r.default,
+            RuleKey::Eps => &r.eps,
+        }
+    }
+
+    /// Which rule of `q` fires on a node labelled `label`?
+    pub fn key_for_label(&self, q: StateId, label: &Label) -> RuleKey {
+        let rules = &self.rules[q.idx()];
+        match self.alphabet.lookup(label) {
+            Some(sym) if rules.by_sym.contains_key(&sym) => RuleKey::Sym(sym),
+            _ if label.is_text() && rules.text_default.is_some() => RuleKey::TextDefault,
+            _ => RuleKey::Default,
+        }
+    }
+
+    /// Structural validation (mirrors `Mft::validate`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.states.is_empty() {
+            return Err("no states".into());
+        }
+        if self.params_of(self.initial) != 0 {
+            return Err("initial state must have rank 1".into());
+        }
+        for (i, rules) in self.rules.iter().enumerate() {
+            let q = StateId(i as u32);
+            let m = self.params_of(q);
+            let check = |t: &TNode, is_eps: bool| self.validate_node(q, m, t, is_eps);
+            for t in rules.by_sym.values() {
+                check(t, false)?;
+            }
+            if let Some(t) = &rules.text_default {
+                check(t, false)?;
+            }
+            check(&rules.default, false)?;
+            check(&rules.eps, true)?;
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, q: StateId, m: usize, t: &TNode, is_eps: bool) -> Result<(), String> {
+        match t {
+            TNode::Eps => Ok(()),
+            TNode::Param(i) => {
+                if *i >= m {
+                    Err(format!("{}: parameter y{} out of range", self.name_of(q), i + 1))
+                } else {
+                    Ok(())
+                }
+            }
+            TNode::Out { label, left, right } => {
+                if is_eps && *label == OutLabel::Current {
+                    return Err(format!("{}: %t in ε-rule", self.name_of(q)));
+                }
+                self.validate_node(q, m, left, is_eps)?;
+                self.validate_node(q, m, right, is_eps)
+            }
+            TNode::Call { state, input, args } => {
+                if state.idx() >= self.states.len() {
+                    return Err(format!("{}: call to undefined state", self.name_of(q)));
+                }
+                if is_eps && *input != XVar::X0 {
+                    return Err(format!("{}: x1/x2 in ε-rule", self.name_of(q)));
+                }
+                if args.len() != self.params_of(*state) {
+                    return Err(format!(
+                        "{}: call to {} with {} args, expected {}",
+                        self.name_of(q),
+                        self.name_of(*state),
+                        args.len(),
+                        self.params_of(*state)
+                    ));
+                }
+                args.iter().try_for_each(|a| self.validate_node(q, m, a, is_eps))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mtt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, info) in self.states.iter().enumerate() {
+            writeln!(f, "state {} (params {})", info.name, info.params)?;
+            let _ = i;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+/// Runtime error (step budget, as for MFTs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MttRunError {
+    pub msg: String,
+}
+
+impl std::fmt::Display for MttRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for MttRunError {}
+
+/// Run an MTT on a binary tree.
+pub fn run_mtt(m: &Mtt, input: &BinTree) -> Result<BinTree, MttRunError> {
+    run_mtt_with_limit(m, input, 200_000_000)
+}
+
+/// [`run_mtt`] with an explicit step budget.
+pub fn run_mtt_with_limit(
+    m: &Mtt,
+    input: &BinTree,
+    max_steps: u64,
+) -> Result<BinTree, MttRunError> {
+    let mut ctx = Ctx { m, steps: 0, max_steps };
+    ctx.eval(m.initial, input, &[])
+}
+
+struct Ctx<'a> {
+    m: &'a Mtt,
+    steps: u64,
+    max_steps: u64,
+}
+
+impl<'a> Ctx<'a> {
+    fn eval(
+        &mut self,
+        q: StateId,
+        t: &BinTree,
+        params: &[Rc<BinTree>],
+    ) -> Result<BinTree, MttRunError> {
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Err(MttRunError { msg: format!("step limit {} exceeded", self.max_steps) });
+        }
+        match t {
+            BinTree::Leaf => {
+                let rhs = &self.m.rules[q.idx()].eps;
+                self.eval_rhs(rhs, t, None, params)
+            }
+            BinTree::Node(label, l, r) => {
+                let key = self.m.key_for_label(q, label);
+                let rhs = self.m.rule(q, key);
+                self.eval_rhs(rhs, t, Some((label, l, r)), params)
+            }
+        }
+    }
+
+    fn eval_rhs(
+        &mut self,
+        rhs: &TNode,
+        x0: &BinTree,
+        node: Option<(&Label, &BinTree, &BinTree)>,
+        params: &[Rc<BinTree>],
+    ) -> Result<BinTree, MttRunError> {
+        match rhs {
+            TNode::Eps => Ok(BinTree::Leaf),
+            TNode::Param(i) => Ok((*params[*i]).clone()),
+            TNode::Out { label, left, right } => {
+                let label = match label {
+                    OutLabel::Sym(s) => self.m.alphabet.label(*s).clone(),
+                    OutLabel::Current => match node {
+                        Some((l, _, _)) => l.clone(),
+                        None => {
+                            return Err(MttRunError { msg: "%t at ε".into() });
+                        }
+                    },
+                };
+                Ok(BinTree::node(
+                    label,
+                    self.eval_rhs(left, x0, node, params)?,
+                    self.eval_rhs(right, x0, node, params)?,
+                ))
+            }
+            TNode::Call { state, input, args } => {
+                let target = match input {
+                    XVar::X0 => x0,
+                    XVar::X1 => node.map(|(_, l, _)| l).unwrap_or(&BinTree::Leaf),
+                    XVar::X2 => node.map(|(_, _, r)| r).unwrap_or(&BinTree::Leaf),
+                };
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(Rc::new(self.eval_rhs(a, x0, node, params)?));
+                }
+                self.eval(*state, target, &vals)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_forest::fcns::{fcns, unfcns};
+    use foxq_forest::term::{forest_to_term, parse_forest};
+
+    /// The height-doubling TT of §4.2: q0(a(x1)) → b(b(b(b(q0(x1))))) in
+    /// binary form: a-rule rewrites to a chain of b's over x1.
+    fn chain_tt(k: usize) -> Mtt {
+        let mut m = Mtt::new();
+        let a = m.alphabet.intern_elem("a");
+        let b = m.alphabet.intern_elem("b");
+        let q = m.add_state("q0", 0);
+        m.initial = q;
+        let mut rhs = TNode::call(q, XVar::X1, vec![]);
+        for _ in 0..k {
+            rhs = TNode::sym(b, rhs, TNode::Eps);
+        }
+        m.rules[q.idx()].by_sym.insert(a, rhs);
+        m.validate().unwrap();
+        m
+    }
+
+    #[test]
+    fn chain_tt_rewrites_a_to_bk() {
+        let m = chain_tt(4);
+        let input = fcns(&parse_forest("a(a)").unwrap());
+        let out = run_mtt(&m, &input).unwrap();
+        // a(a) → b(b(b(b( b(b(b(b(ε)))) )))) : 8 b's in a chain.
+        assert_eq!(out.size(), 8);
+        let f = unfcns(&out);
+        assert_eq!(forest_to_term(&f), "b(b(b(b(b(b(b(b())))))))");
+    }
+
+    #[test]
+    fn spawning_tt_duplicates() {
+        // p0(b(x1)) → c(p0(x1), p0(x1)): 2^k leaves on a b-chain of length k.
+        let mut m = Mtt::new();
+        let b = m.alphabet.intern_elem("b");
+        let c = m.alphabet.intern_elem("c");
+        let p = m.add_state("p0", 0);
+        m.initial = p;
+        m.rules[p.idx()].by_sym.insert(
+            b,
+            TNode::sym(c, TNode::call(p, XVar::X1, vec![]), TNode::call(p, XVar::X1, vec![])),
+        );
+        m.validate().unwrap();
+        let input = fcns(&parse_forest("b(b(b()))").unwrap());
+        let out = run_mtt(&m, &input).unwrap();
+        assert_eq!(out.size(), 1 + 2 + 4); // complete binary tree of height 3
+    }
+
+    #[test]
+    fn params_accumulate() {
+        // Reverse a right spine using an accumulator.
+        let mut m = Mtt::new();
+        let q0 = m.add_state("q0", 0);
+        let rev = m.add_state("rev", 1);
+        m.initial = q0;
+        m.rules[q0.idx()].default = TNode::call(rev, XVar::X0, vec![TNode::Eps]);
+        m.rules[q0.idx()].eps = TNode::call(rev, XVar::X0, vec![TNode::Eps]);
+        m.rules[rev.idx()].default = TNode::call(
+            rev,
+            XVar::X2,
+            vec![TNode::out(OutLabel::Current, TNode::Eps, TNode::Param(0))],
+        );
+        m.rules[rev.idx()].eps = TNode::Param(0);
+        m.validate().unwrap();
+        let input = fcns(&parse_forest("a b c").unwrap());
+        let out = run_mtt(&m, &input).unwrap();
+        assert_eq!(forest_to_term(&unfcns(&out)), "c() b() a()");
+    }
+
+    #[test]
+    fn stay_loop_hits_limit() {
+        let mut m = Mtt::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.rules[q.idx()].eps = TNode::call(q, XVar::X0, vec![]);
+        assert!(run_mtt_with_limit(&m, &BinTree::Leaf, 100).is_err());
+    }
+
+    #[test]
+    fn validation_catches_errors() {
+        let mut m = Mtt::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.rules[q.idx()].default = TNode::Param(0);
+        assert!(m.validate().is_err());
+
+        let mut m2 = Mtt::new();
+        let q2 = m2.add_state("q", 0);
+        m2.initial = q2;
+        m2.rules[q2.idx()].eps = TNode::call(q2, XVar::X1, vec![]);
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn text_default_dispatch() {
+        let mut m = Mtt::new();
+        let t = m.alphabet.intern_elem("t");
+        let e = m.alphabet.intern_elem("e");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.rules[q.idx()].text_default =
+            Some(TNode::sym(t, TNode::Eps, TNode::call(q, XVar::X2, vec![])));
+        m.rules[q.idx()].default =
+            Some(TNode::sym(e, TNode::Eps, TNode::call(q, XVar::X2, vec![]))).unwrap();
+        m.validate().unwrap();
+        let input = fcns(&parse_forest(r#"x() "hello" y()"#).unwrap());
+        let out = run_mtt(&m, &input).unwrap();
+        assert_eq!(forest_to_term(&unfcns(&out)), "e() t() e()");
+    }
+}

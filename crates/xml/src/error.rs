@@ -1,0 +1,53 @@
+//! XML parse errors.
+
+use std::fmt;
+
+/// An error produced while reading or writing XML.
+#[derive(Debug)]
+pub enum XmlError {
+    /// Malformed input at the given byte offset.
+    Syntax { offset: u64, msg: String },
+    /// The input ended inside an open element.
+    UnexpectedEof { offset: u64, open_elements: usize },
+    /// A closing tag did not match the innermost open element.
+    MismatchedClose { offset: u64, expected: String, found: String },
+    /// Input was not valid UTF-8.
+    Utf8 { offset: u64 },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, msg } => {
+                write!(f, "XML syntax error at byte {offset}: {msg}")
+            }
+            XmlError::UnexpectedEof { offset, open_elements } => write!(
+                f,
+                "unexpected end of input at byte {offset} with {open_elements} unclosed element(s)"
+            ),
+            XmlError::MismatchedClose { offset, expected, found } => write!(
+                f,
+                "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XmlError::Utf8 { offset } => write!(f, "invalid UTF-8 near byte {offset}"),
+            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XmlError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for XmlError {
+    fn from(e: std::io::Error) -> Self {
+        XmlError::Io(e)
+    }
+}

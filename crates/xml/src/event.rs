@@ -1,0 +1,19 @@
+//! Forest-structured parse events.
+//!
+//! The event stream corresponds one-to-one with the term structure of the
+//! forest (Definition 1): `Open(l)` starts the tree `l(…)`, the matching
+//! `Close(l)` ends it, and `Eof` is the ε closing the top-level forest. Text
+//! nodes appear as an `Open`/`Close` pair with a text label.
+
+use foxq_forest::Label;
+
+/// One parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    /// A node begins; for text nodes the label carries the content.
+    Open(Label),
+    /// The most recently opened node ends.
+    Close(Label),
+    /// End of the document.
+    Eof,
+}

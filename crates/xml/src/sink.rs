@@ -1,0 +1,178 @@
+//! Output sinks for the streaming transducer engine.
+//!
+//! The engine emits output as soon as its leftmost frontier is ground; an
+//! [`XmlSink`] consumes that emission. Text nodes arrive as an `open`/`close`
+//! pair carrying a text label, mirroring the input event model.
+
+use crate::writer::XmlWriter;
+use foxq_forest::{Forest, Label, NodeKind, Tree};
+use std::io::Write;
+
+/// Consumer of streamed output events.
+pub trait XmlSink {
+    fn open(&mut self, label: &Label);
+    fn close(&mut self, label: &Label);
+}
+
+/// Discards everything (for pure timing runs).
+#[derive(Default)]
+pub struct NullSink;
+
+impl XmlSink for NullSink {
+    fn open(&mut self, _: &Label) {}
+    fn close(&mut self, _: &Label) {}
+}
+
+/// Counts output nodes and bytes without buffering anything.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct CountingSink {
+    pub nodes: u64,
+    pub bytes: u64,
+}
+
+impl XmlSink for CountingSink {
+    fn open(&mut self, label: &Label) {
+        self.nodes += 1;
+        self.bytes += match label.kind {
+            NodeKind::Element => 2 * label.name.len() as u64 + 5,
+            NodeKind::Text => label.name.len() as u64,
+        };
+    }
+
+    fn close(&mut self, _: &Label) {}
+}
+
+/// Builds an in-memory [`Forest`] (used by tests to compare engines).
+pub struct ForestSink {
+    roots: Forest,
+    stack: Vec<Tree>,
+}
+
+impl ForestSink {
+    pub fn new() -> Self {
+        ForestSink { roots: Vec::new(), stack: Vec::new() }
+    }
+
+    pub fn into_forest(mut self) -> Forest {
+        // Tolerate unbalanced input by closing anything left open.
+        while let Some(t) = self.stack.pop() {
+            self.push_done(t);
+        }
+        self.roots
+    }
+
+    fn push_done(&mut self, t: Tree) {
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(t),
+            None => self.roots.push(t),
+        }
+    }
+}
+
+impl Default for ForestSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl XmlSink for ForestSink {
+    fn open(&mut self, label: &Label) {
+        self.stack.push(Tree { label: label.clone(), children: Vec::new() });
+    }
+
+    fn close(&mut self, _label: &Label) {
+        if let Some(t) = self.stack.pop() {
+            self.push_done(t);
+        }
+    }
+}
+
+/// Streams serialized XML into any `Write`.
+pub struct WriterSink<W: Write> {
+    writer: XmlWriter<W>,
+    /// First I/O error encountered (checked at the end of a run; the sink
+    /// trait itself is infallible to keep the hot path simple).
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> WriterSink<W> {
+    pub fn new(out: W) -> Self {
+        WriterSink { writer: XmlWriter::new(out), error: None }
+    }
+
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.bytes_written()
+    }
+
+    /// Finish, returning the underlying writer or the first I/O error.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer.into_inner())
+    }
+
+    fn record(&mut self, r: std::io::Result<()>) {
+        if self.error.is_none() {
+            if let Err(e) = r {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> XmlSink for WriterSink<W> {
+    fn open(&mut self, label: &Label) {
+        let r = match label.kind {
+            NodeKind::Element => self.writer.start_elem(&label.name),
+            NodeKind::Text => self.writer.text(&label.name),
+        };
+        self.record(r);
+    }
+
+    fn close(&mut self, label: &Label) {
+        if label.kind == NodeKind::Element {
+            let r = self.writer.end_elem(&label.name);
+            self.record(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed<S: XmlSink>(sink: &mut S) {
+        let out = Label::elem("out");
+        let jim = Label::text("Jim");
+        sink.open(&out);
+        sink.open(&jim);
+        sink.close(&jim);
+        sink.close(&out);
+    }
+
+    #[test]
+    fn forest_sink_builds_tree() {
+        let mut s = ForestSink::new();
+        feed(&mut s);
+        let f = s.into_forest();
+        assert_eq!(foxq_forest::term::forest_to_term(&f), r#"out("Jim")"#);
+    }
+
+    #[test]
+    fn writer_sink_serializes() {
+        let mut s = WriterSink::new(Vec::new());
+        feed(&mut s);
+        let buf = s.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "<out>Jim</out>");
+    }
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut s = CountingSink::default();
+        feed(&mut s);
+        assert_eq!(s.nodes, 2);
+        assert!(s.bytes > 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! XML serialization with text escaping.
+
+use foxq_forest::{NodeKind, Tree};
+use std::io::{self, Write};
+
+/// An incremental XML writer (start/end/text API).
+///
+/// Escaping: `&`, `<`, `>` in character data. Element names are written
+/// verbatim (they come from parsed XML or from query constructors, both of
+/// which restrict names). Since the data model encodes attributes as child
+/// elements, no attribute syntax is produced.
+pub struct XmlWriter<W> {
+    out: W,
+    /// Total bytes written (for benchmark reporting).
+    bytes: u64,
+}
+
+impl<W: Write> XmlWriter<W> {
+    pub fn new(out: W) -> Self {
+        XmlWriter { out, bytes: 0 }
+    }
+
+    pub fn start_elem(&mut self, name: &str) -> io::Result<()> {
+        self.bytes += name.len() as u64 + 2;
+        self.out.write_all(b"<")?;
+        self.out.write_all(name.as_bytes())?;
+        self.out.write_all(b">")
+    }
+
+    pub fn end_elem(&mut self, name: &str) -> io::Result<()> {
+        self.bytes += name.len() as u64 + 3;
+        self.out.write_all(b"</")?;
+        self.out.write_all(name.as_bytes())?;
+        self.out.write_all(b">")
+    }
+
+    pub fn text(&mut self, content: &str) -> io::Result<()> {
+        let bytes = content.as_bytes();
+        let mut start = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            let esc: &[u8] = match b {
+                b'&' => b"&amp;",
+                b'<' => b"&lt;",
+                b'>' => b"&gt;",
+                _ => continue,
+            };
+            self.out.write_all(&bytes[start..i])?;
+            self.out.write_all(esc)?;
+            self.bytes += (i - start + esc.len()) as u64;
+            start = i + 1;
+        }
+        self.out.write_all(&bytes[start..])?;
+        self.bytes += (bytes.len() - start) as u64;
+        Ok(())
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Serialize a forest to a writer.
+pub fn write_forest<W: Write>(forest: &[Tree], out: W) -> io::Result<W> {
+    let mut w = XmlWriter::new(out);
+    for t in forest {
+        write_tree(t, &mut w)?;
+    }
+    w.flush()?;
+    Ok(w.into_inner())
+}
+
+fn write_tree<W: Write>(t: &Tree, w: &mut XmlWriter<W>) -> io::Result<()> {
+    match t.label.kind {
+        NodeKind::Text => w.text(&t.label.name),
+        NodeKind::Element => {
+            w.start_elem(&t.label.name)?;
+            for c in &t.children {
+                write_tree(c, w)?;
+            }
+            w.end_elem(&t.label.name)
+        }
+    }
+}
+
+/// Serialize a forest to a `String`.
+pub fn forest_to_xml_string(forest: &[Tree]) -> String {
+    let buf = write_forest(forest, Vec::new()).expect("writing to Vec cannot fail");
+    String::from_utf8(buf).expect("serialized XML is UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_forest::term::parse_forest;
+
+    #[test]
+    fn escapes_text() {
+        let f = parse_forest(r#"a("x < y & z > w")"#).unwrap();
+        assert_eq!(forest_to_xml_string(&f), "<a>x &lt; y &amp; z &gt; w</a>");
+    }
+
+    #[test]
+    fn nested_structure() {
+        let f = parse_forest(r#"out(person(name("Jim")) person(name("Li")))"#).unwrap();
+        assert_eq!(
+            forest_to_xml_string(&f),
+            "<out><person><name>Jim</name></person><person><name>Li</name></person></out>"
+        );
+    }
+
+    #[test]
+    fn adjacent_text_concatenates() {
+        // The paper's Mperson example outputs <out>JimLi</out>.
+        let f = parse_forest(r#"out("Jim" "Li")"#).unwrap();
+        assert_eq!(forest_to_xml_string(&f), "<out>JimLi</out>");
+    }
+
+    #[test]
+    fn byte_count_matches_output() {
+        let f = parse_forest(r#"a(b("x&y"))"#).unwrap();
+        let mut w = XmlWriter::new(Vec::new());
+        for t in &f {
+            super::write_tree(t, &mut w).unwrap();
+        }
+        let n = w.bytes_written();
+        assert_eq!(n as usize, w.into_inner().len());
+    }
+
+    #[test]
+    fn roundtrip_with_parser() {
+        let xml = "<a><b>1 &amp; 2</b><c></c></a>";
+        let f = crate::parse_document(xml.as_bytes()).unwrap();
+        let back = forest_to_xml_string(&f);
+        let f2 = crate::parse_document(back.as_bytes()).unwrap();
+        assert_eq!(f, f2);
+    }
+}

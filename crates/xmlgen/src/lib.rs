@@ -1,0 +1,561 @@
+//! Deterministic XML dataset generators for the paper's evaluation (§5).
+//!
+//! The paper benchmarks on XMark documents (100 MB – 100 GB) plus three
+//! real datasets characterized only by size and depth (Table 1): TreeBank
+//! (very deep, depth 37), Medline (flat, depth 8) and the Protein Sequence
+//! DB (flat, depth 8). This crate generates shape-matched synthetic
+//! equivalents, seeded and fully deterministic, with size targeting.
+//!
+//! All attribute-like data is generated as element children, matching the
+//! paper's adapted data ("All attribute nodes are encoded as element
+//! nodes").
+
+use foxq_forest::{elem, text, Forest, ForestStats, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Which synthetic dataset to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// XMark-like auction site (the element vocabulary used by Fig. 3).
+    Xmark,
+    /// TreeBank-like: small tags, very deep skewed trees (depth ≈ 37).
+    Treebank,
+    /// Medline-like: large flat sequence of citation records (depth 8).
+    Medline,
+    /// Protein-Sequence-like: flat records with long sequence text (depth 8).
+    Protein,
+}
+
+impl Dataset {
+    pub const ALL: [Dataset; 4] =
+        [Dataset::Xmark, Dataset::Treebank, Dataset::Medline, Dataset::Protein];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Xmark => "XMark",
+            Dataset::Treebank => "TreeBank",
+            Dataset::Medline => "Medline DB",
+            Dataset::Protein => "Protein Sequence DB",
+        }
+    }
+}
+
+/// Generate a dataset of approximately `target_bytes` serialized size.
+pub fn generate(kind: Dataset, target_bytes: usize, seed: u64) -> Forest {
+    match kind {
+        Dataset::Xmark => xmark_bytes(target_bytes, seed),
+        Dataset::Treebank => treebank_bytes(target_bytes, seed),
+        Dataset::Medline => medline_bytes(target_bytes, seed),
+        Dataset::Protein => protein_bytes(target_bytes, seed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared text machinery
+// ---------------------------------------------------------------------------
+
+const WORDS: &[&str] = &[
+    "stream", "forest", "auction", "gold", "green", "query", "river", "market", "quiet",
+    "silver", "tree", "node", "paper", "winter", "maple", "harbor", "stone", "cloud",
+    "amber", "raven", "delta", "spark", "crest", "violet", "meadow", "north", "ember",
+];
+
+fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+fn wtext(rng: &mut SmallRng, n: usize) -> Tree {
+    text(&words(rng, n))
+}
+
+// ---------------------------------------------------------------------------
+// XMark-like
+// ---------------------------------------------------------------------------
+
+/// Size knobs for the XMark-like generator.
+#[derive(Debug, Clone, Copy)]
+pub struct XmarkConfig {
+    pub persons: usize,
+    pub open_auctions: usize,
+    pub closed_auctions: usize,
+    pub items_per_region: usize,
+    pub seed: u64,
+}
+
+impl XmarkConfig {
+    /// Roughly `n` "units"; ratios follow the XMark schema proportions.
+    pub fn with_scale(n: usize, seed: u64) -> Self {
+        XmarkConfig {
+            persons: n.max(1),
+            open_auctions: (n / 2).max(1),
+            closed_auctions: (n / 2).max(1),
+            items_per_region: (n / 4).max(1),
+            seed,
+        }
+    }
+}
+
+/// Generate an XMark-like document (root element `site`).
+pub fn xmark(config: &XmarkConfig) -> Forest {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let regions = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let region_nodes: Vec<Tree> = regions
+        .iter()
+        .map(|r| {
+            let items = (0..config.items_per_region).map(|i| item(&mut rng, r, i)).collect();
+            elem(r, items)
+        })
+        .collect();
+    let people = (0..config.persons).map(|i| person(&mut rng, i)).collect();
+    let opens = (0..config.open_auctions)
+        .map(|i| open_auction(&mut rng, i, config.persons))
+        .collect();
+    let closed = (0..config.closed_auctions)
+        .map(|i| closed_auction(&mut rng, i, config.persons))
+        .collect();
+    vec![elem(
+        "site",
+        vec![
+            elem("regions", region_nodes),
+            elem("people", people),
+            elem("open_auctions", opens),
+            elem("closed_auctions", closed),
+        ],
+    )]
+}
+
+/// XMark-like document of approximately `target_bytes`.
+pub fn xmark_bytes(target_bytes: usize, seed: u64) -> Forest {
+    calibrated(target_bytes, seed, |n, s| xmark(&XmarkConfig::with_scale(n, s)))
+}
+
+fn person(rng: &mut SmallRng, i: usize) -> Tree {
+    let mut kids = vec![
+        elem("person_id", vec![text(&format!("person{i}"))]),
+        elem("name", vec![wtext(rng, 2)]),
+        elem("emailaddress", vec![text(&format!("mailto:{}@example.org", i))]),
+    ];
+    if rng.gen_bool(0.5) {
+        kids.push(elem("homepage", vec![text(&format!("http://example.org/~p{i}"))]));
+    }
+    if rng.gen_bool(0.3) {
+        kids.push(elem("creditcard", vec![text(&format!("{:04} 9999", i % 10_000))]));
+    }
+    kids.push(elem(
+        "profile",
+        vec![
+            elem("interest", vec![elem("interest_category", vec![wtext(rng, 1)])]),
+            elem("income", vec![text(&format!("{}", 20_000 + (i * 97) % 80_000))]),
+        ],
+    ));
+    elem("person", kids)
+}
+
+fn open_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
+    let nbidders = rng.gen_range(1..=4);
+    let mut kids = vec![elem("initial", vec![text(&format!("{}.{:02}", i % 300, i % 100))])];
+    for b in 0..nbidders {
+        kids.push(elem(
+            "bidder",
+            vec![
+                elem("date", vec![text(&format!("0{}/1{}/2001", b % 9 + 1, b % 9))]),
+                elem(
+                    "personref",
+                    vec![elem(
+                        "personref_person",
+                        vec![text(&format!("person{}", rng.gen_range(0..persons.max(1))))],
+                    )],
+                ),
+                elem("increase", vec![text(&format!("{}.00", (b + 1) * 3))]),
+            ],
+        ));
+    }
+    if rng.gen_bool(0.6) {
+        kids.push(elem("reserve", vec![text(&format!("{}.00", 100 + i % 900))]));
+    }
+    kids.push(elem("current", vec![text(&format!("{}.00", 10 + i % 90))]));
+    kids.push(elem(
+        "seller",
+        vec![elem("seller_person", vec![text(&format!("person{}", i % persons.max(1)))])],
+    ));
+    kids.push(elem("quantity", vec![text("1")]));
+    elem("open_auction", kids)
+}
+
+fn closed_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
+    // ~40% carry the deep annotation chain Q16 looks for.
+    let description = if rng.gen_bool(0.4) {
+        elem(
+            "description",
+            vec![elem(
+                "parlist",
+                vec![elem(
+                    "listitem",
+                    vec![elem(
+                        "parlist",
+                        vec![elem(
+                            "listitem",
+                            vec![elem(
+                                "text",
+                                vec![elem(
+                                    "emph",
+                                    vec![elem("keyword", vec![wtext(rng, 1)])],
+                                )],
+                            )],
+                        )],
+                    )],
+                )],
+            )],
+        )
+    } else {
+        elem("description", vec![elem("parlist", vec![elem("listitem", vec![wtext(rng, 4)])])])
+    };
+    elem(
+        "closed_auction",
+        vec![
+            elem(
+                "seller",
+                vec![elem("seller_person", vec![text(&format!("person{}", i % persons.max(1)))])],
+            ),
+            elem(
+                "buyer",
+                vec![elem(
+                    "buyer_person",
+                    vec![text(&format!("person{}", (i + 1) % persons.max(1)))],
+                )],
+            ),
+            elem("price", vec![text(&format!("{}.00", 40 + i % 200))]),
+            elem("date", vec![text("10/12/2001")]),
+            elem("quantity", vec![text("1")]),
+            elem("annotation", vec![elem("author", vec![wtext(rng, 2)]), description]),
+        ],
+    )
+}
+
+fn item(rng: &mut SmallRng, region: &str, i: usize) -> Tree {
+    elem(
+        "item",
+        vec![
+            elem("item_id", vec![text(&format!("item_{region}_{i}"))]),
+            elem("location", vec![wtext(rng, 1)]),
+            elem("name", vec![wtext(rng, 2)]),
+            elem("payment", vec![text("Creditcard")]),
+            elem(
+                "description",
+                vec![elem(
+                    "parlist",
+                    vec![
+                        elem("listitem", vec![wtext(rng, 6)]),
+                        elem("listitem", vec![elem("text", vec![wtext(rng, 4)])]),
+                    ],
+                )],
+            ),
+            elem("quantity", vec![text("1")]),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// TreeBank-like (deep)
+// ---------------------------------------------------------------------------
+
+const TB_TAGS: &[&str] = &["S", "NP", "VP", "PP", "DT", "NN", "VB", "IN", "JJ", "SBAR", "ADJP"];
+
+/// TreeBank-like: sentences as deeply nested phrase-structure trees;
+/// target depth ≈ 37 like the paper's Table 1.
+pub fn treebank(sentences: usize, seed: u64) -> Forest {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let trees = (0..sentences)
+        .map(|_| {
+            let depth = rng.gen_range(20..=36);
+            tb_tree(&mut rng, depth)
+        })
+        .collect();
+    vec![elem("FILE", vec![elem("EMPTY", trees)])]
+}
+
+fn tb_tree(rng: &mut SmallRng, depth: usize) -> Tree {
+    let tag = TB_TAGS[rng.gen_range(0..TB_TAGS.len())];
+    if depth == 0 {
+        return elem(tag, vec![wtext(rng, 1)]);
+    }
+    let mut kids = Vec::new();
+    // One deep spine child plus a few shallow ones — skewed like parse trees.
+    kids.push(tb_tree(rng, depth - 1));
+    for _ in 0..rng.gen_range(0..2) {
+        let shallow = depth.saturating_sub(rng.gen_range(3..8)).min(3);
+        kids.push(tb_tree(rng, shallow));
+    }
+    elem(TB_TAGS[rng.gen_range(0..TB_TAGS.len())], kids)
+}
+
+/// TreeBank-like document of approximately `target_bytes`.
+pub fn treebank_bytes(target_bytes: usize, seed: u64) -> Forest {
+    calibrated(target_bytes, seed, treebank)
+}
+
+// ---------------------------------------------------------------------------
+// Medline-like (flat)
+// ---------------------------------------------------------------------------
+
+/// Medline-like: many flat citation records, depth 8.
+pub fn medline(records: usize, seed: u64) -> Forest {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let recs = (0..records)
+        .map(|i| {
+            elem(
+                "MedlineCitation",
+                vec![
+                    elem("PMID", vec![text(&format!("{}", 10_000_000 + i))]),
+                    elem(
+                        "DateCreated",
+                        vec![
+                            elem("Year", vec![text("2001")]),
+                            elem("Month", vec![text(&format!("{:02}", i % 12 + 1))]),
+                        ],
+                    ),
+                    elem(
+                        "Article",
+                        vec![
+                            elem("ArticleTitle", vec![wtext(&mut rng, 8)]),
+                            elem("Abstract", vec![elem("AbstractText", vec![wtext(&mut rng, 40)])]),
+                            elem(
+                                "AuthorList",
+                                (0..rng.gen_range(1..=4))
+                                    .map(|_| {
+                                        elem(
+                                            "Author",
+                                            vec![
+                                                elem("LastName", vec![wtext(&mut rng, 1)]),
+                                                elem("ForeName", vec![wtext(&mut rng, 1)]),
+                                            ],
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ],
+                    ),
+                    elem(
+                        "MeshHeadingList",
+                        (0..rng.gen_range(2..=6))
+                            .map(|_| {
+                                elem(
+                                    "MeshHeading",
+                                    vec![elem("DescriptorName", vec![wtext(&mut rng, 2)])],
+                                )
+                            })
+                            .collect(),
+                    ),
+                ],
+            )
+        })
+        .collect();
+    vec![elem("MedlineCitationSet", recs)]
+}
+
+/// Medline-like document of approximately `target_bytes`.
+pub fn medline_bytes(target_bytes: usize, seed: u64) -> Forest {
+    calibrated(target_bytes, seed, medline)
+}
+
+// ---------------------------------------------------------------------------
+// Protein-Sequence-like (flat, text-heavy)
+// ---------------------------------------------------------------------------
+
+/// Protein-Sequence-DB-like: flat records with long sequence text, depth 8.
+pub fn protein(entries: usize, seed: u64) -> Forest {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let recs = (0..entries)
+        .map(|i| {
+            let seq: String = (0..rng.gen_range(120..400))
+                .map(|_| b"ACDEFGHIKLMNPQRSTVWY"[rng.gen_range(0..20)] as char)
+                .collect();
+            elem(
+                "ProteinEntry",
+                vec![
+                    elem(
+                        "header",
+                        vec![
+                            elem("uid", vec![text(&format!("PRF{i:07}"))]),
+                            elem("accession", vec![text(&format!("A{i:06}"))]),
+                        ],
+                    ),
+                    elem("protein", vec![elem("name", vec![wtext(&mut rng, 3)])]),
+                    elem("organism", vec![elem("source", vec![wtext(&mut rng, 2)])]),
+                    elem(
+                        "reference",
+                        vec![elem(
+                            "refinfo",
+                            vec![
+                                elem(
+                                    "authors",
+                                    (0..rng.gen_range(1..=3))
+                                        .map(|_| elem("author", vec![wtext(&mut rng, 1)]))
+                                        .collect(),
+                                ),
+                                elem("year", vec![text("1999")]),
+                            ],
+                        )],
+                    ),
+                    elem("sequence", vec![text(&seq)]),
+                ],
+            )
+        })
+        .collect();
+    vec![elem("ProteinDatabase", recs)]
+}
+
+/// Protein-like document of approximately `target_bytes`.
+pub fn protein_bytes(target_bytes: usize, seed: u64) -> Forest {
+    calibrated(target_bytes, seed, protein)
+}
+
+// ---------------------------------------------------------------------------
+// Size calibration
+// ---------------------------------------------------------------------------
+
+/// Generate with a unit count calibrated so the serialized size approaches
+/// `target_bytes` (within ~20% for non-trivial targets).
+fn calibrated(
+    target_bytes: usize,
+    seed: u64,
+    gen: impl Fn(usize, u64) -> Forest,
+) -> Forest {
+    const PROBE: usize = 8;
+    let sample = gen(PROBE, seed);
+    let per_unit = (ForestStats::of_forest(&sample).xml_bytes / PROBE).max(1);
+    let n = (target_bytes / per_unit).max(1);
+    gen(n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_forest::ForestStats;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in Dataset::ALL {
+            let a = generate(kind, 40_000, 42);
+            let b = generate(kind, 40_000, 42);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            let c = generate(kind, 40_000, 43);
+            assert_ne!(a, c, "{kind:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn size_targeting_is_roughly_right() {
+        for kind in Dataset::ALL {
+            for target in [50_000usize, 400_000] {
+                let f = generate(kind, target, 7);
+                let got = ForestStats::of_forest(&f).xml_bytes;
+                let ratio = got as f64 / target as f64;
+                assert!(
+                    (0.5..2.0).contains(&ratio),
+                    "{kind:?} target {target} got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_profile_matches_table1() {
+        // Table 1: TreeBank depth 37 (deep), Medline/Protein depth 8 (flat).
+        let tb = ForestStats::of_forest(&treebank(20, 1));
+        assert!(tb.depth >= 20, "treebank too shallow: {}", tb.depth);
+        let ml = ForestStats::of_forest(&medline(50, 1));
+        assert!(ml.depth <= 9, "medline too deep: {}", ml.depth);
+        let pr = ForestStats::of_forest(&protein(50, 1));
+        assert!(pr.depth <= 9, "protein too deep: {}", pr.depth);
+        let xm = ForestStats::of_forest(&xmark(&XmarkConfig::with_scale(20, 1)));
+        assert!((6..=13).contains(&xm.depth), "xmark depth {}", xm.depth);
+    }
+
+    #[test]
+    fn xmark_supports_the_benchmark_queries() {
+        use foxq_xquery_check::*;
+        let f = xmark(&XmarkConfig::with_scale(40, 3));
+        // Q1: person0 must exist and have a name.
+        assert!(has(&f, &["site", "people", "person", "person_id"], Some("person0")));
+        // Q2: bidder increases exist.
+        assert!(has(&f, &["site", "open_auctions", "open_auction", "bidder", "increase"], None));
+        // Q4: personref path and reserve exist.
+        assert!(has(
+            &f,
+            &["site", "open_auctions", "open_auction", "bidder", "personref", "personref_person"],
+            None
+        ));
+        // Q13: australia items with name and description.
+        assert!(has(&f, &["site", "regions", "australia", "item", "name"], None));
+        // Q16: the deep keyword chain appears.
+        assert!(has(
+            &f,
+            &[
+                "site",
+                "closed_auctions",
+                "closed_auction",
+                "annotation",
+                "description",
+                "parlist",
+                "listitem",
+                "parlist",
+                "listitem",
+                "text",
+                "emph",
+                "keyword"
+            ],
+            None
+        ));
+        // Q17: some person lacks a homepage.
+        let people = find_all(&f, &["site", "people", "person"]);
+        assert!(people
+            .iter()
+            .any(|p| !p.children.iter().any(|c| &*c.label.name == "homepage")));
+    }
+
+    /// Minimal path probing used by the test above (kept out of the public
+    /// API; the real engines are tested elsewhere).
+    mod foxq_xquery_check {
+        use foxq_forest::Tree;
+
+        pub fn find_all<'t>(f: &'t [Tree], path: &[&str]) -> Vec<&'t Tree> {
+            let mut cur: Vec<&Tree> =
+                f.iter().filter(|t| &*t.label.name == path[0]).collect();
+            for name in &path[1..] {
+                cur = cur
+                    .iter()
+                    .flat_map(|t| t.children.iter())
+                    .filter(|c| &*c.label.name == *name)
+                    .collect();
+            }
+            cur
+        }
+
+        pub fn has(f: &[Tree], path: &[&str], text_eq: Option<&str>) -> bool {
+            // Roots must match path[0].
+            let roots: Vec<&Tree> =
+                f.iter().filter(|t| &*t.label.name == path[0]).collect();
+            let mut cur = roots;
+            for name in &path[1..] {
+                cur = cur
+                    .iter()
+                    .flat_map(|t| t.children.iter())
+                    .filter(|c| &*c.label.name == *name)
+                    .collect();
+            }
+            match text_eq {
+                None => !cur.is_empty(),
+                Some(s) => cur.iter().any(|t| t.string_value() == s),
+            }
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Abstract syntax of MinXQuery (Figure 2 of the paper).
+//!
+//! ```text
+//! query    ::= element | clause
+//! element  ::= <name> {element | string | {clause}}* </name>
+//! clause   ::= for $v in ordpath return query
+//!            | let $v := query return query
+//!            | ordpath
+//!            | (query {, query}+)
+//! ordpath  ::= $v {pathstep}*
+//! pathstep ::= /axis::nodetest {[predicate]}*
+//! axis     ::= child | descendant | following-sibling
+//! nodetest ::= name | * | text() | node()
+//! predicate::= predpath | empty(predpath) | predpath="s" | predpath!="s"
+//! predpath ::= . {pathstep}*
+//! ```
+//!
+//! Extensions the paper's implementation also accepts (§5): the `//`
+//! abbreviation for `descendant`, a bare leading `/` for `$input`, and string
+//! literals in element content.
+
+use std::fmt;
+
+/// A MinXQuery expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Direct element constructor `<name>…</name>`.
+    Element { name: String, content: Vec<Query> },
+    /// Literal text content inside a constructor.
+    Text(String),
+    /// `for $var in path return body`.
+    For { var: String, path: Path, body: Box<Query> },
+    /// `let $var := value return body`.
+    Let { var: String, value: Box<Query>, body: Box<Query> },
+    /// An `ordpath`: a variable with zero or more steps.
+    Path(Path),
+    /// A sequence `(q1, q2, …)`.
+    Seq(Vec<Query>),
+}
+
+/// An XPath expression rooted at a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Variable name without the `$` (the document variable is `input`).
+    pub start: String,
+    pub steps: Vec<Step>,
+}
+
+/// One path step `/axis::test[preds]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub preds: Vec<Pred>,
+}
+
+/// Navigation axes of the fragment (all downward or rightward — the
+/// prerequisite for streaming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+    FollowingSibling,
+}
+
+/// Node tests.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// An element name.
+    Name(String),
+    /// `*` — any element.
+    AnyElem,
+    /// `text()` — any text node.
+    Text,
+    /// `node()` — any node.
+    AnyNode,
+}
+
+/// An XPath predicate (existential semantics).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `[./p]` — some node matches `p`.
+    Exists(RelPath),
+    /// `[empty(./p)]` — no node matches `p`.
+    Empty(RelPath),
+    /// `[./p = "s"]` — some node matching `p` has string value `s`.
+    Eq(RelPath, String),
+    /// `[./p != "s"]` — some node matching `p` has string value ≠ `s`.
+    Neq(RelPath, String),
+}
+
+/// A relative path inside a predicate (`.` followed by steps).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RelPath {
+    pub steps: Vec<Step>,
+}
+
+impl Query {
+    /// Size |P|: number of nodes in the parse tree (used by Theorem 1).
+    pub fn size(&self) -> usize {
+        match self {
+            Query::Element { content, .. } => 1 + content.iter().map(Query::size).sum::<usize>(),
+            Query::Text(_) => 1,
+            Query::For { path, body, .. } => 1 + path.size() + body.size(),
+            Query::Let { value, body, .. } => 1 + value.size() + body.size(),
+            Query::Path(p) => 1 + p.size(),
+            Query::Seq(qs) => 1 + qs.iter().map(Query::size).sum::<usize>(),
+        }
+    }
+
+    /// All paths appearing anywhere in the query (for static analyses such
+    /// as the GCX-style projection).
+    pub fn visit_paths<'a>(&'a self, f: &mut impl FnMut(&'a Path)) {
+        match self {
+            Query::Element { content, .. } => content.iter().for_each(|q| q.visit_paths(f)),
+            Query::Text(_) => {}
+            Query::For { path, body, .. } => {
+                f(path);
+                body.visit_paths(f);
+            }
+            Query::Let { value, body, .. } => {
+                value.visit_paths(f);
+                body.visit_paths(f);
+            }
+            Query::Path(p) => f(p),
+            Query::Seq(qs) => qs.iter().for_each(|q| q.visit_paths(f)),
+        }
+    }
+}
+
+impl Path {
+    pub fn size(&self) -> usize {
+        1 + self.steps.iter().map(Step::size).sum::<usize>()
+    }
+
+    /// Does any step of this path (or its predicates) use the given axis?
+    pub fn uses_axis(&self, axis: Axis) -> bool {
+        fn step_uses(s: &Step, axis: Axis) -> bool {
+            s.axis == axis
+                || s.preds.iter().any(|p| {
+                    let rel = match p {
+                        Pred::Exists(r) | Pred::Empty(r) | Pred::Eq(r, _) | Pred::Neq(r, _) => r,
+                    };
+                    rel.steps.iter().any(|s| step_uses(s, axis))
+                })
+        }
+        self.steps.iter().any(|s| step_uses(s, axis))
+    }
+
+    /// Does any step carry a predicate?
+    pub fn has_predicates(&self) -> bool {
+        self.steps.iter().any(|s| !s.preds.is_empty())
+    }
+}
+
+impl Step {
+    pub fn size(&self) -> usize {
+        1 + self
+            .preds
+            .iter()
+            .map(|p| {
+                let rel = match p {
+                    Pred::Exists(r) | Pred::Empty(r) | Pred::Eq(r, _) | Pred::Neq(r, _) => r,
+                };
+                1 + rel.steps.iter().map(Step::size).sum::<usize>()
+            })
+            .sum::<usize>()
+    }
+}
+
+// --------------------------------------------------------------------------
+// Pretty printer (round-trips through the parser).
+// --------------------------------------------------------------------------
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Element { name, content } => {
+                write!(f, "<{name}>")?;
+                for c in content {
+                    match c {
+                        Query::Element { .. } => write!(f, "{c}")?,
+                        Query::Text(t) => write!(f, "{t}")?,
+                        _ => write!(f, "{{{c}}}")?,
+                    }
+                }
+                write!(f, "</{name}>")
+            }
+            Query::Text(t) => write!(f, "{t}"),
+            Query::For { var, path, body } => {
+                write!(f, "for ${var} in {path} return {body}")
+            }
+            Query::Let { var, value, body } => {
+                write!(f, "let ${var} := {value} return {body}")
+            }
+            Query::Path(p) => write!(f, "{p}"),
+            Query::Seq(qs) => {
+                write!(f, "(")?;
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{q}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.start)?;
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let axis = match self.axis {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::FollowingSibling => "following-sibling",
+        };
+        write!(f, "/{axis}::{}", self.test)?;
+        for p in &self.preds {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::AnyElem => write!(f, "*"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::AnyNode => write!(f, "node()"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::Exists(r) => write!(f, "{r}"),
+            Pred::Empty(r) => write!(f, "empty({r})"),
+            Pred::Eq(r, s) => write!(f, "{r}=\"{}\"", escape_str(s)),
+            Pred::Neq(r, s) => write!(f, "{r}!=\"{}\"", escape_str(s)),
+        }
+    }
+}
+
+impl fmt::Display for RelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".")?;
+        for s in &self.steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+fn escape_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_parse_tree_nodes() {
+        let q = Query::For {
+            var: "v".into(),
+            path: Path {
+                start: "input".into(),
+                steps: vec![Step { axis: Axis::Child, test: NodeTest::Name("a".into()), preds: vec![] }],
+            },
+            body: Box::new(Query::Path(Path { start: "v".into(), steps: vec![] })),
+        };
+        assert_eq!(q.size(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let q = Query::Element {
+            name: "out".into(),
+            content: vec![Query::Path(Path {
+                start: "v".into(),
+                steps: vec![Step {
+                    axis: Axis::Descendant,
+                    test: NodeTest::Text,
+                    preds: vec![],
+                }],
+            })],
+        };
+        assert_eq!(q.to_string(), "<out>{$v/descendant::text()}</out>");
+    }
+
+    #[test]
+    fn uses_axis_looks_into_predicates() {
+        let p = Path {
+            start: "input".into(),
+            steps: vec![Step {
+                axis: Axis::Child,
+                test: NodeTest::Name("a".into()),
+                preds: vec![Pred::Exists(RelPath {
+                    steps: vec![Step {
+                        axis: Axis::FollowingSibling,
+                        test: NodeTest::AnyElem,
+                        preds: vec![],
+                    }],
+                })],
+            }],
+        };
+        assert!(p.uses_axis(Axis::FollowingSibling));
+        assert!(!p.uses_axis(Axis::Descendant));
+        assert!(p.has_predicates());
+    }
+}

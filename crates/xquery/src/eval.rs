@@ -1,0 +1,499 @@
+//! Ground-truth in-memory evaluator for MinXQuery.
+//!
+//! This is the reference semantics `[[P]]` every other engine (translated
+//! MFTs, the streaming machine, the GCX-style baseline) is tested against.
+//! It indexes the document in preorder (so `descendant` is a contiguous
+//! range) and evaluates paths step by step with XPath node-set semantics:
+//! document order, no duplicates, existential predicates.
+
+use crate::ast::{Axis, NodeTest, Path, Pred, Query, RelPath, Step};
+use foxq_forest::{Forest, Label, NodeKind, Tree};
+use std::rc::Rc;
+
+/// Runtime error of the evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XqRunError {
+    /// A variable was used before being bound.
+    Unbound(String),
+    /// A path starts at a variable bound to constructed (non-input) content;
+    /// MinXQuery's restrictions exclude this (§2.1).
+    PathFromConstructed(String),
+}
+
+impl std::fmt::Display for XqRunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XqRunError::Unbound(v) => write!(f, "unbound variable ${v}"),
+            XqRunError::PathFromConstructed(v) => {
+                write!(f, "path starts at ${v}, which is bound to constructed content")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XqRunError {}
+
+/// A preorder-indexed document.
+///
+/// Node 0 is a virtual *document node* whose children are the input forest;
+/// the `$input` variable is bound to it, so `$input/site` selects the root
+/// element.
+pub struct Doc {
+    labels: Vec<Label>,
+    /// Exclusive end of each node's subtree in preorder.
+    end: Vec<usize>,
+    /// Preorder index of the next sibling, if any.
+    next_sib: Vec<Option<usize>>,
+}
+
+impl Doc {
+    /// Index an input forest.
+    pub fn index(forest: &[Tree]) -> Doc {
+        let mut doc = Doc {
+            labels: vec![Label::elem("#document")],
+            end: vec![0],
+            next_sib: vec![None],
+        };
+        let mut prev: Option<usize> = None;
+        for t in forest {
+            let id = doc.add(t);
+            if let Some(p) = prev {
+                doc.next_sib[p] = Some(id);
+            }
+            prev = Some(id);
+        }
+        doc.end[0] = doc.labels.len();
+        doc
+    }
+
+    fn add(&mut self, t: &Tree) -> usize {
+        let id = self.labels.len();
+        self.labels.push(t.label.clone());
+        self.end.push(0);
+        self.next_sib.push(None);
+        let mut prev: Option<usize> = None;
+        for c in &t.children {
+            let cid = self.add(c);
+            if let Some(p) = prev {
+                self.next_sib[p] = Some(cid);
+            }
+            prev = Some(cid);
+        }
+        self.end[id] = self.labels.len();
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.len() <= 1
+    }
+
+    pub fn label(&self, n: usize) -> &Label {
+        &self.labels[n]
+    }
+
+    /// Children of `n` in document order.
+    pub fn children(&self, n: usize) -> ChildIter<'_> {
+        let first = if n + 1 < self.end[n] { Some(n + 1) } else { None };
+        ChildIter { doc: self, cur: first }
+    }
+
+    /// Descendants of `n` (excluding `n`) in document order.
+    pub fn descendants(&self, n: usize) -> std::ops::Range<usize> {
+        n + 1..self.end[n]
+    }
+
+    /// Following siblings of `n` in document order.
+    pub fn following_siblings(&self, n: usize) -> ChildIter<'_> {
+        ChildIter { doc: self, cur: self.next_sib[n] }
+    }
+
+    /// XPath string value: concatenated text content of the subtree.
+    pub fn string_value(&self, n: usize) -> String {
+        let mut s = String::new();
+        if self.labels[n].kind == NodeKind::Text {
+            s.push_str(&self.labels[n].name);
+        }
+        for d in self.descendants(n) {
+            if self.labels[d].kind == NodeKind::Text {
+                s.push_str(&self.labels[d].name);
+            }
+        }
+        s
+    }
+
+    /// Rebuild the subtree rooted at `n` as an owned [`Tree`].
+    pub fn materialize(&self, n: usize) -> Tree {
+        Tree {
+            label: self.labels[n].clone(),
+            children: self.children(n).map(|c| self.materialize(c)).collect(),
+        }
+    }
+}
+
+/// Iterator over a sibling chain.
+pub struct ChildIter<'a> {
+    doc: &'a Doc,
+    cur: Option<usize>,
+}
+
+impl Iterator for ChildIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let n = self.cur?;
+        self.cur = self.doc.next_sib[n];
+        Some(n)
+    }
+}
+
+/// A value: a sequence of items, each an input node or constructed content.
+#[derive(Clone)]
+pub enum Item {
+    /// A node of the input document (by preorder index).
+    Node(usize),
+    /// Constructed content (from element constructors / copies).
+    Tree(Rc<Tree>),
+}
+
+pub type Value = Vec<Item>;
+
+/// Evaluate a MinXQuery program on an input forest, producing the output
+/// forest.
+pub fn eval_query(q: &Query, input: &[Tree]) -> Result<Forest, XqRunError> {
+    let doc = Doc::index(input);
+    let mut env: Vec<(String, Value)> = vec![("input".to_string(), vec![Item::Node(0)])];
+    let v = eval(q, &doc, &mut env)?;
+    let mut out = Vec::new();
+    value_to_forest(&doc, &v, &mut out);
+    Ok(out)
+}
+
+/// Evaluate a query against an already-indexed document with extra variable
+/// bindings (each bound to one input node). Used by engines that buffer
+/// document fragments and evaluate sub-queries on them (e.g. the GCX-style
+/// baseline).
+pub fn eval_on_doc(
+    q: &Query,
+    doc: &Doc,
+    bindings: &[(String, usize)],
+) -> Result<Forest, XqRunError> {
+    let mut env: Vec<(String, Value)> = vec![("input".to_string(), vec![Item::Node(0)])];
+    for (name, node) in bindings {
+        env.push((name.clone(), vec![Item::Node(*node)]));
+    }
+    let v = eval(q, doc, &mut env)?;
+    let mut out = Vec::new();
+    value_to_forest(doc, &v, &mut out);
+    Ok(out)
+}
+
+/// Do all `preds` hold at node `n` (existential XPath semantics)?
+pub fn node_satisfies(doc: &Doc, n: usize, preds: &[Pred]) -> bool {
+    preds_hold(doc, n, preds)
+}
+
+fn eval(q: &Query, doc: &Doc, env: &mut Vec<(String, Value)>) -> Result<Value, XqRunError> {
+    match q {
+        Query::Text(t) => Ok(vec![Item::Tree(Rc::new(Tree {
+            label: Label::text(t.clone()),
+            children: vec![],
+        }))]),
+        Query::Element { name, content } => {
+            let mut children = Vec::new();
+            for c in content {
+                let v = eval(c, doc, env)?;
+                value_to_forest(doc, &v, &mut children);
+            }
+            Ok(vec![Item::Tree(Rc::new(Tree { label: Label::elem(name.clone()), children }))])
+        }
+        Query::Seq(qs) => {
+            let mut out = Vec::new();
+            for sub in qs {
+                out.extend(eval(sub, doc, env)?);
+            }
+            Ok(out)
+        }
+        Query::Path(p) => {
+            if p.steps.is_empty() {
+                return lookup(env, &p.start).cloned();
+            }
+            let nodes = eval_path(p, doc, env)?;
+            Ok(nodes.into_iter().map(Item::Node).collect())
+        }
+        Query::For { var, path, body } => {
+            let nodes = eval_path_allow_empty_steps(path, doc, env)?;
+            let mut out = Vec::new();
+            for n in nodes {
+                env.push((var.clone(), vec![Item::Node(n)]));
+                let r = eval(body, doc, env);
+                env.pop();
+                out.extend(r?);
+            }
+            Ok(out)
+        }
+        Query::Let { var, value, body } => {
+            let v = eval(value, doc, env)?;
+            env.push((var.clone(), v));
+            let r = eval(body, doc, env);
+            env.pop();
+            r
+        }
+    }
+}
+
+fn lookup<'e>(env: &'e [(String, Value)], var: &str) -> Result<&'e Value, XqRunError> {
+    env.iter()
+        .rev()
+        .find(|(n, _)| n == var)
+        .map(|(_, v)| v)
+        .ok_or_else(|| XqRunError::Unbound(var.to_string()))
+}
+
+/// Evaluate a path; the start variable must be bound to input nodes.
+fn eval_path(
+    p: &Path,
+    doc: &Doc,
+    env: &[(String, Value)],
+) -> Result<Vec<usize>, XqRunError> {
+    let base = lookup(env, &p.start)?;
+    let mut cur: Vec<usize> = Vec::with_capacity(base.len());
+    for item in base {
+        match item {
+            Item::Node(n) => cur.push(*n),
+            Item::Tree(_) => return Err(XqRunError::PathFromConstructed(p.start.clone())),
+        }
+    }
+    for step in &p.steps {
+        cur = apply_step(doc, &cur, step);
+    }
+    Ok(cur)
+}
+
+fn eval_path_allow_empty_steps(
+    p: &Path,
+    doc: &Doc,
+    env: &[(String, Value)],
+) -> Result<Vec<usize>, XqRunError> {
+    // `for $x in $y` (no steps) iterates the nodes bound to $y.
+    eval_path(p, doc, env)
+}
+
+fn apply_step(doc: &Doc, nodes: &[usize], step: &Step) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for &n in nodes {
+        match step.axis {
+            Axis::Child => {
+                for c in doc.children(n) {
+                    if test_matches(doc, c, &step.test) && preds_hold(doc, c, &step.preds) {
+                        out.push(c);
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for d in doc.descendants(n) {
+                    if test_matches(doc, d, &step.test) && preds_hold(doc, d, &step.preds) {
+                        out.push(d);
+                    }
+                }
+            }
+            Axis::FollowingSibling => {
+                for s in doc.following_siblings(n) {
+                    if test_matches(doc, s, &step.test) && preds_hold(doc, s, &step.preds) {
+                        out.push(s);
+                    }
+                }
+            }
+        }
+    }
+    // Node-set semantics: document order, no duplicates.
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn test_matches(doc: &Doc, n: usize, test: &NodeTest) -> bool {
+    let label = doc.label(n);
+    match test {
+        NodeTest::Name(name) => label.kind == NodeKind::Element && &*label.name == name.as_str(),
+        NodeTest::AnyElem => label.kind == NodeKind::Element,
+        NodeTest::Text => label.kind == NodeKind::Text,
+        NodeTest::AnyNode => true,
+    }
+}
+
+fn preds_hold(doc: &Doc, n: usize, preds: &[Pred]) -> bool {
+    preds.iter().all(|p| pred_holds(doc, n, p))
+}
+
+fn pred_holds(doc: &Doc, n: usize, pred: &Pred) -> bool {
+    match pred {
+        Pred::Exists(rel) => !eval_rel(doc, n, rel).is_empty(),
+        Pred::Empty(rel) => eval_rel(doc, n, rel).is_empty(),
+        Pred::Eq(rel, s) => eval_rel(doc, n, rel)
+            .iter()
+            .any(|&m| doc.string_value(m) == *s),
+        Pred::Neq(rel, s) => eval_rel(doc, n, rel)
+            .iter()
+            .any(|&m| doc.string_value(m) != *s),
+    }
+}
+
+fn eval_rel(doc: &Doc, n: usize, rel: &RelPath) -> Vec<usize> {
+    let mut cur = vec![n];
+    for step in &rel.steps {
+        cur = apply_step(doc, &cur, step);
+        if cur.is_empty() {
+            break;
+        }
+    }
+    cur
+}
+
+fn value_to_forest(doc: &Doc, v: &Value, out: &mut Forest) {
+    for item in v {
+        match item {
+            Item::Node(0) => {
+                // The virtual document node: splice its children.
+                for c in doc.children(0) {
+                    out.push(doc.materialize(c));
+                }
+            }
+            Item::Node(n) => out.push(doc.materialize(*n)),
+            Item::Tree(t) => out.push((**t).clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use foxq_forest::term::{forest_to_term, parse_forest};
+
+    fn run(query: &str, doc: &str) -> String {
+        let q = parse_query(query).unwrap();
+        let f = parse_forest(doc).unwrap();
+        forest_to_term(&eval_query(&q, &f).unwrap())
+    }
+
+    #[test]
+    fn pperson_semantics() {
+        let q = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+                   return let $r := $b/name/text() return $r }</out>"#;
+        let doc = r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#;
+        assert_eq!(run(q, doc), r#"out("Jim" "Li")"#);
+
+        let doc2 = r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#;
+        assert_eq!(run(q, doc2), r#"out("Jim")"#);
+    }
+
+    #[test]
+    fn section2_nested_for_example_preorder() {
+        // The §2.1 example query and document; checks output order (a1 b1 c1
+        // c2 d1 d2, then a1 b2 d3).
+        let q = "for $v1 in $input/descendant::a return
+                 for $v2 in $v1/descendant::b return
+                 let $v3 := $v2/descendant::c return
+                 let $v4 := $v2/descendant::d return
+                 ($v1,$v2,$v3,$v4)";
+        let doc = "doc(a(b(c(c()) d() d()) b(d())))";
+        let out = run(q, doc);
+        // $v1 = the a node (twice, once per b); $v3/$v4 concatenate all c/d
+        // descendants. Nested c matches both c1 and c2.
+        let expected = concat!(
+            // iteration for b1:
+            "a(b(c(c()) d() d()) b(d())) ", // $v1
+            "b(c(c()) d() d()) ",           // $v2 = b1
+            "c(c()) c() ",                  // $v3 = c1, c2
+            "d() d() ",                     // $v4 = d1, d2
+            // iteration for b2:
+            "a(b(c(c()) d() d()) b(d())) ", // $v1
+            "b(d()) ",                      // $v2 = b2
+            "d()"                           // $v4 = d3 ($v3 empty)
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn child_vs_descendant() {
+        let doc = "r(a(a(b())) b())";
+        assert_eq!(run("$input/r/a", doc), "a(a(b()))");
+        assert_eq!(run("$input/r/descendant::a", doc), "a(a(b())) a(b())");
+        assert_eq!(run("$input//b", doc), "b() b()");
+    }
+
+    #[test]
+    fn following_sibling() {
+        let doc = "r(a() b(x()) a() c())";
+        assert_eq!(run("$input/r/a/following-sibling::a", doc), "a()");
+        assert_eq!(run("$input/r/b/following-sibling::*", doc), "a() c()");
+        // No duplicates even though two a's have overlapping following axes.
+        assert_eq!(run("$input/r/a/following-sibling::c", doc), "c()");
+    }
+
+    #[test]
+    fn predicates_existential() {
+        let doc = r#"r(p(id("1") h()) p(id("2")) p(h()))"#;
+        assert_eq!(run("$input/r/p[./h]", doc), r#"p(id("1") h()) p(h())"#);
+        assert_eq!(run("$input/r/p[empty(./h)]", doc), r#"p(id("2"))"#);
+        assert_eq!(run(r#"$input/r/p[./id/text()="1"]"#, doc), r#"p(id("1") h())"#);
+        assert_eq!(
+            run(r#"$input/r/p[./id/text()!="1"]"#, doc),
+            r#"p(id("2"))"#
+        );
+    }
+
+    #[test]
+    fn string_value_of_elements() {
+        // Eq compares the *string value* (concatenated text).
+        let doc = r#"r(p(name("Jo" e("h") "n")))"#;
+        assert_eq!(run(r#"$input/r/p[./name="John"]"#, doc), r#"p(name("Jo" e("h") "n"))"#);
+    }
+
+    #[test]
+    fn constructors_copy_content() {
+        let doc = "r(a(\"x\"))";
+        assert_eq!(
+            run("<o><i>{$input/r/a}</i><i>{$input/r/a}</i></o>", doc),
+            r#"o(i(a("x")) i(a("x")))"#
+        );
+    }
+
+    #[test]
+    fn lets_bind_sequences() {
+        let doc = "r(a() a())";
+        assert_eq!(run("let $x := $input/r/a return ($x, $x)", doc), "a() a() a() a()");
+    }
+
+    #[test]
+    fn bare_input_splices_document() {
+        assert_eq!(run("<d>{$input}</d>", "a(b()) c()"), "d(a(b()) c())");
+    }
+
+    #[test]
+    fn path_from_constructed_errors() {
+        let q = parse_query("let $x := <a/> return $x/b").unwrap();
+        let f = parse_forest("r()").unwrap();
+        assert!(matches!(
+            eval_query(&q, &f),
+            Err(XqRunError::PathFromConstructed(_))
+        ));
+    }
+
+    #[test]
+    fn doc_index_navigation() {
+        let f = parse_forest("a(b(c()) d()) e()").unwrap();
+        let doc = Doc::index(&f);
+        // 0=#document 1=a 2=b 3=c 4=d 5=e
+        assert_eq!(doc.len(), 6);
+        assert_eq!(doc.children(0).collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(doc.children(1).collect::<Vec<_>>(), vec![2, 4]);
+        assert_eq!(doc.descendants(1), 2..5);
+        assert_eq!(doc.following_siblings(2).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(forest_to_term(&[doc.materialize(1)]), "a(b(c()) d())");
+    }
+}

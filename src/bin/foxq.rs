@@ -1,0 +1,123 @@
+//! `foxq` — command-line XQuery streaming by forest transducers.
+//!
+//! ```text
+//! foxq run   <query.xq> [input.xml]     # stream input (or stdin) through the query
+//! foxq compile <query.xq>               # print the optimized MFT rules
+//! foxq compile --no-opt <query.xq>      # print the raw §3 translation
+//! foxq stats <query.xq> [input.xml]     # run and report engine statistics
+//! ```
+//!
+//! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
+
+use foxq::core::opt::optimize_with_stats;
+use foxq::core::stream::{run_streaming, StreamStats};
+use foxq::core::translate::translate;
+use foxq::core::{print_mft, Mft};
+use foxq::xml::{WriterSink, XmlReader};
+use foxq::xquery::parse_query;
+use std::io::{BufReader, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("foxq: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], false),
+        Some("stats") => cmd_run(&args[1..], true),
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  foxq run <query.xq> [input.xml]       stream input (default stdin) through the query
+  foxq stats <query.xq> [input.xml]     run and report engine statistics to stderr
+  foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
+";
+
+fn load_query(path: &str) -> Result<Mft, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read query {path}: {e}"))?;
+    let query = parse_query(&src).map_err(|e| e.to_string())?;
+    let unopt = translate(&query).map_err(|e| e.to_string())?;
+    let (opt, _) = optimize_with_stats(unopt);
+    Ok(opt)
+}
+
+fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
+    let query_path = args.first().ok_or("missing query file")?;
+    let mft = load_query(query_path)?;
+    let stdin;
+    let input: Box<dyn Read> = match args.get(1) {
+        Some(path) => Box::new(
+            std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+        ),
+        None => {
+            stdin = std::io::stdin();
+            Box::new(stdin.lock())
+        }
+    };
+    let reader = XmlReader::new(BufReader::new(input));
+    let stdout = std::io::stdout();
+    let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
+    let (sink, stats) = run_streaming(&mft, reader, sink).map_err(|e| e.to_string())?;
+    let mut out = sink.finish().map_err(|e| e.to_string())?;
+    out.write_all(b"\n").and_then(|_| out.flush()).map_err(|e| e.to_string())?;
+    if report {
+        report_stats(&stats);
+    }
+    Ok(())
+}
+
+fn report_stats(stats: &StreamStats) {
+    eprintln!("events:            {}", stats.events);
+    eprintln!("rule expansions:   {}", stats.expansions);
+    eprintln!("peak live nodes:   {}", stats.peak_live_nodes);
+    eprintln!("peak live bytes:   {}", stats.peak_live_bytes);
+    eprintln!("max input depth:   {}", stats.max_depth);
+    eprintln!("output events:     {}", stats.output_events);
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let (no_opt, path) = match args {
+        [flag, path] if flag == "--no-opt" => (true, path),
+        [path] => (false, path),
+        _ => return Err("usage: foxq compile [--no-opt] <query.xq>".to_string()),
+    };
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read query {path}: {e}"))?;
+    let query = parse_query(&src).map_err(|e| e.to_string())?;
+    let unopt = translate(&query).map_err(|e| e.to_string())?;
+    let m = if no_opt {
+        unopt
+    } else {
+        let (opt, stats) = optimize_with_stats(unopt);
+        eprintln!(
+            "// optimized: {} states, size {}; removed {} unused + {} constant parameters, \
+             inlined {} stay states, dropped {} unreachable states",
+            opt.state_count(),
+            opt.size(),
+            stats.unused_params_removed,
+            stats.const_params_removed,
+            stats.stay_states_inlined,
+            stats.states_removed
+        );
+        opt
+    };
+    print!("{}", print_mft(&m));
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! # foxq — Streaming XQuery by Forest Transducers
+//!
+//! A from-scratch Rust reproduction of *"XQuery Streaming by Forest
+//! Transducers"* (Hakuta, Maneth, Nakano, Iwasaki; ICDE 2014).
+//!
+//! The pipeline, end to end:
+//!
+//! 1. Parse a **MinXQuery** program ([`xquery::parse_query`]).
+//! 2. Translate it to a **macro forest transducer** ([`core::translate`],
+//!    Section 3 of the paper, Theorem 1).
+//! 3. Optimize the transducer ([`core::opt::optimize`], Section 4.1:
+//!    unused/constant parameter reduction, stay-move removal, unreachable
+//!    state removal).
+//! 4. Run it over an XML event stream with constant-factor buffering
+//!    ([`core::stream`], the Nakano–Mu style engine).
+//!
+//! The crates are re-exported here under short names:
+//!
+//! * [`forest`] — unranked forests, labels, term notation, fcns encoding;
+//! * [`xml`] — streaming XML parser / serializer;
+//! * [`core`] — MFT model, interpreter, streaming engine, translation,
+//!   optimizations;
+//! * [`xquery`] — MinXQuery AST, parser, ground-truth evaluator;
+//! * [`tt`] — binary-tree transducers and the composition constructions of
+//!   Section 4.2 (Lemmas 1–3, Theorems 3–5);
+//! * [`gcx`] — the GCX-substitute streaming baseline used in the evaluation;
+//! * [`gen`] — deterministic XMark/TreeBank/Medline/Protein-like generators.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use foxq::prelude::*;
+//!
+//! // A MinXQuery program: all name-texts of persons with p_id "person0".
+//! let q = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+//!            return let $r := $b/name/text() return $r }</out>"#;
+//! let program = foxq::xquery::parse_query(q).unwrap();
+//! let mft = foxq::core::translate::translate(&program).unwrap();
+//! let mft = foxq::core::opt::optimize(mft);
+//!
+//! let doc = "<person><p_id>person0</p_id><name>Jim</name><name>Li</name></person>";
+//! let out = foxq::core::stream::run_streaming_to_string(&mft, doc.as_bytes()).unwrap();
+//! assert_eq!(out.output, "<out>JimLi</out>");
+//! ```
+
+pub use foxq_core as core;
+pub use foxq_forest as forest;
+pub use foxq_gcx as gcx;
+pub use foxq_gen as gen;
+pub use foxq_tt as tt;
+pub use foxq_xml as xml;
+pub use foxq_xquery as xquery;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude {
+    pub use foxq_core::interp::run_mft;
+    pub use foxq_core::mft::Mft;
+    pub use foxq_core::opt::optimize;
+    pub use foxq_core::stream::{run_streaming_to_string, StreamStats};
+    pub use foxq_core::translate::translate;
+    pub use foxq_forest::{Forest, Label, NodeKind, Tree};
+    pub use foxq_xml::{parse_document, write_forest};
+    pub use foxq_xquery::parse_query;
+}
