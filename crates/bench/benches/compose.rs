@@ -24,7 +24,11 @@ fn chain_pair(k: usize) -> (Mtt, Mtt) {
     m2.initial = p0;
     m2.rules[p0.idx()].by_sym.insert(
         b2,
-        TNode::sym(c, TNode::call(p0, XVar::X1, vec![]), TNode::call(p0, XVar::X1, vec![])),
+        TNode::sym(
+            c,
+            TNode::call(p0, XVar::X1, vec![]),
+            TNode::call(p0, XVar::X1, vec![]),
+        ),
     );
     (m1, m2)
 }

@@ -12,9 +12,14 @@ fn bench_figures(criterion: &mut Criterion) {
         .and_then(|s| s.parse().ok())
         .unwrap_or(1 << 20);
     let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
-    for (fig, qname) in
-        [("4a", "Q1"), ("4b", "Q2"), ("4c", "Q4"), ("4d", "Q13"), ("4e", "Q16"), ("4f", "Q17")]
-    {
+    for (fig, qname) in [
+        ("4a", "Q1"),
+        ("4b", "Q2"),
+        ("4c", "Q4"),
+        ("4d", "Q13"),
+        ("4e", "Q16"),
+        ("4f", "Q17"),
+    ] {
         let c = compile(qname, query_source(qname));
         let mut group = criterion.benchmark_group(format!("fig{fig}_{qname}"));
         group.sample_size(10);

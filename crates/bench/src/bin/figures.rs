@@ -13,9 +13,7 @@
 //! — are size-independent). Override with `FOXQ_SIZES=1,4,16` (MiB) or
 //! `--sizes 1,4,16`.
 
-use foxq_bench::{
-    compile, figure_inputs, figure_query, query_source, run_engine, Engine, FIGURES,
-};
+use foxq_bench::{compile, figure_inputs, figure_query, query_source, run_engine, Engine, FIGURES};
 use foxq_forest::ForestStats;
 use foxq_gen::Dataset;
 use foxq_tt::{compose_tt_tt, compose_tt_tt_naive, Mtt, TNode};
@@ -98,7 +96,11 @@ fn figure(fig: &str, sizes: &[usize]) {
             qname
         );
     } else {
-        println!("== Figure 4({}): XMark {} — series vs input size ==", &fig[1..], qname);
+        println!(
+            "== Figure 4({}): XMark {} — series vs input size ==",
+            &fig[1..],
+            qname
+        );
     }
     println!(
         "{:<22} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
@@ -106,7 +108,10 @@ fn figure(fig: &str, sizes: &[usize]) {
     );
     for (label, input) in figure_inputs(fig, sizes, 0xF0E5) {
         let cell = |e| match run_engine(e, &c, &input) {
-            Some(r) => (format!("{:.1}", r.elapsed.as_secs_f64() * 1e3), format!("{}", r.peak_nodes)),
+            Some(r) => (
+                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                format!("{}", r.peak_nodes),
+            ),
             None => ("N/A".to_string(), "N/A".to_string()),
         };
         let (t_no, m_no) = cell(Engine::MftNoOpt);
@@ -122,12 +127,24 @@ fn figure(fig: &str, sizes: &[usize]) {
 /// Table 1: the input files.
 fn table1(sizes: &[usize]) {
     let bytes = sizes.last().copied().unwrap_or(1 << 20);
-    println!("\n== Table 1: input XML files (generated at ~{} MiB) ==", bytes >> 20);
-    println!("{:<26} {:>12} {:>8} {:>12}", "dataset", "size(bytes)", "depth", "nodes");
+    println!(
+        "\n== Table 1: input XML files (generated at ~{} MiB) ==",
+        bytes >> 20
+    );
+    println!(
+        "{:<26} {:>12} {:>8} {:>12}",
+        "dataset", "size(bytes)", "depth", "nodes"
+    );
     for d in Dataset::ALL {
         let f = foxq_gen::generate(d, bytes, 0xF0E5);
         let s = ForestStats::of_forest(&f);
-        println!("{:<26} {:>12} {:>8} {:>12}", d.name(), s.xml_bytes, s.depth, s.nodes);
+        println!(
+            "{:<26} {:>12} {:>8} {:>12}",
+            d.name(),
+            s.xml_bytes,
+            s.depth,
+            s.nodes
+        );
     }
     println!("(paper: XMark depth 13, TreeBank depth 37, Medline/Protein depth 8;");
     println!(" all attribute nodes encoded as element nodes)");
@@ -225,7 +242,11 @@ fn chain_pair(k: usize) -> (Mtt, Mtt) {
     m2.initial = p0;
     m2.rules[p0.idx()].by_sym.insert(
         b2,
-        TNode::sym(c, TNode::call(p0, XVar::X1, vec![]), TNode::call(p0, XVar::X1, vec![])),
+        TNode::sym(
+            c,
+            TNode::call(p0, XVar::X1, vec![]),
+            TNode::call(p0, XVar::X1, vec![]),
+        ),
     );
     (m1, m2)
 }

@@ -81,7 +81,13 @@ pub fn compile(name: &str, src: &str) -> Compiled {
     let query = parse_query(src).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
     let unopt = translate(&query).unwrap_or_else(|e| panic!("translating {name}: {e}"));
     let (opt, opt_stats) = optimize_with_stats(unopt.clone());
-    Compiled { name: name.to_string(), query, unopt, opt, opt_stats }
+    Compiled {
+        name: name.to_string(),
+        query,
+        unopt,
+        opt,
+        opt_stats,
+    }
 }
 
 /// Compile all nine benchmark queries.
@@ -104,10 +110,13 @@ pub struct RunResult {
 pub fn run_engine(engine: Engine, c: &Compiled, input: &Forest) -> Option<RunResult> {
     match engine {
         Engine::MftNoOpt | Engine::MftOpt => {
-            let m = if engine == Engine::MftOpt { &c.opt } else { &c.unopt };
+            let m = if engine == Engine::MftOpt {
+                &c.opt
+            } else {
+                &c.unopt
+            };
             let start = Instant::now();
-            let (sink, stats) =
-                run_streaming_on_forest(m, input, CountingSink::default()).ok()?;
+            let (sink, stats) = run_streaming_on_forest(m, input, CountingSink::default()).ok()?;
             Some(RunResult {
                 elapsed: start.elapsed(),
                 peak_nodes: stats.peak_live_nodes,
@@ -154,8 +163,10 @@ pub fn figure_inputs(fig: &str, sizes: &[usize], seed: u64) -> Vec<(String, Fore
         _ => sizes
             .iter()
             .map(|&b| {
-                (format!("{:.1}MiB", b as f64 / (1 << 20) as f64),
-                 foxq_gen::generate(Dataset::Xmark, b, seed))
+                (
+                    format!("{:.1}MiB", b as f64 / (1 << 20) as f64),
+                    foxq_gen::generate(Dataset::Xmark, b, seed),
+                )
             })
             .collect(),
     }

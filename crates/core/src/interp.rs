@@ -23,7 +23,9 @@ pub struct RunLimits {
 
 impl Default for RunLimits {
     fn default() -> Self {
-        RunLimits { max_steps: 200_000_000 }
+        RunLimits {
+            max_steps: 200_000_000,
+        }
     }
 }
 
@@ -42,7 +44,10 @@ impl std::fmt::Display for RunError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RunError::StepLimit { max_steps } => {
-                write!(f, "step limit of {max_steps} exceeded (non-terminating stay moves?)")
+                write!(
+                    f,
+                    "step limit of {max_steps} exceeded (non-terminating stay moves?)"
+                )
             }
             RunError::CurrentLabelAtEps { state } => {
                 write!(f, "%t used with no current node in state {state}")
@@ -64,7 +69,11 @@ pub fn run_mft_with_limits(
     input: &[Tree],
     limits: RunLimits,
 ) -> Result<Forest, RunError> {
-    let mut ctx = Ctx { mft, steps: 0, limits };
+    let mut ctx = Ctx {
+        mft,
+        steps: 0,
+        limits,
+    };
     let mut out = Vec::new();
     ctx.eval_state(mft.initial, input, &[], &mut out)?;
     Ok(out)
@@ -95,12 +104,18 @@ impl<'a> Ctx<'a> {
     ) -> Result<(), RunError> {
         self.steps += 1;
         if self.steps > self.limits.max_steps {
-            return Err(RunError::StepLimit { max_steps: self.limits.max_steps });
+            return Err(RunError::StepLimit {
+                max_steps: self.limits.max_steps,
+            });
         }
         let rules = &self.mft.rules[q.idx()];
         match g0.split_first() {
             None => {
-                let bind = Bind { x0: g0, node: None, params };
+                let bind = Bind {
+                    x0: g0,
+                    node: None,
+                    params,
+                };
                 self.eval_rhs(q, &rules.eps, &bind, out)
             }
             Some((t, rest)) => {
@@ -111,7 +126,11 @@ impl<'a> Ctx<'a> {
                     }
                     _ => &rules.default,
                 };
-                let bind = Bind { x0: g0, node: Some((&t.label, &t.children, rest)), params };
+                let bind = Bind {
+                    x0: g0,
+                    node: Some((&t.label, &t.children, rest)),
+                    params,
+                };
                 self.eval_rhs(q, rhs, &bind, out)
             }
         }
@@ -141,7 +160,10 @@ impl<'a> Ctx<'a> {
                     };
                     let mut kids = Vec::new();
                     self.eval_rhs(q, children, bind, &mut kids)?;
-                    out.push(Tree { label, children: kids });
+                    out.push(Tree {
+                        label,
+                        children: kids,
+                    });
                 }
                 RhsNode::Call { state, input, args } => {
                     let g = match input {
@@ -201,7 +223,11 @@ mod tests {
         let a = m.alphabet.intern_elem("a");
         let q = m.add_state("q", 0);
         m.initial = q;
-        m.set_sym_rule(q, a, vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_sym_rule(
+            q,
+            a,
+            vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])],
+        );
         m.set_eps_rule(q, vec![out(a, vec![])]);
         m.validate().unwrap();
         let f = parse_forest("a a a a").unwrap();
@@ -221,7 +247,11 @@ mod tests {
         m.set_eps_rule(q0, vec![call(rev, XVar::X0, vec![vec![]])]);
         m.set_default_rule(
             rev,
-            vec![call(rev, XVar::X2, vec![vec![out_current(vec![]), param(0)]])],
+            vec![call(
+                rev,
+                XVar::X2,
+                vec![vec![out_current(vec![]), param(0)]],
+            )],
         );
         m.set_eps_rule(rev, vec![param(0)]);
         m.validate().unwrap();
@@ -247,7 +277,10 @@ mod tests {
         let q = m.add_state("q", 0);
         m.initial = q;
         m.set_text_rule(q, vec![out_current(vec![]), call(q, XVar::X2, vec![])]);
-        m.set_default_rule(q, vec![call(q, XVar::X1, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_default_rule(
+            q,
+            vec![call(q, XVar::X1, vec![]), call(q, XVar::X2, vec![])],
+        );
         m.validate().unwrap();
         let f = parse_forest(r#"a("x" b("y"))"#).unwrap();
         let out = run_mft(&m, &f).unwrap();
@@ -263,7 +296,11 @@ mod tests {
         let no = m.alphabet.intern_elem("no");
         let q = m.add_state("q", 0);
         m.initial = q;
-        m.set_sym_rule(q, person0, vec![out(yes, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_sym_rule(
+            q,
+            person0,
+            vec![out(yes, vec![]), call(q, XVar::X2, vec![])],
+        );
         m.set_text_rule(q, vec![out(no, vec![]), call(q, XVar::X2, vec![])]);
         m.set_default_rule(q, vec![call(q, XVar::X2, vec![])]);
         m.validate().unwrap();

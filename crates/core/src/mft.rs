@@ -69,7 +69,11 @@ pub enum RhsNode {
     /// An output node with a forest of children.
     Out { label: OutLabel, children: Rhs },
     /// A state call `q(xi, a1, …, am)`.
-    Call { state: StateId, input: XVar, args: Vec<Rhs> },
+    Call {
+        state: StateId,
+        input: XVar,
+        args: Vec<Rhs>,
+    },
     /// A context parameter `y_{i+1}` (stored 0-based).
     Param(usize),
 }
@@ -82,11 +86,17 @@ pub mod rhs {
     use super::*;
 
     pub fn out(sym: SymId, children: Rhs) -> RhsNode {
-        RhsNode::Out { label: OutLabel::Sym(sym), children }
+        RhsNode::Out {
+            label: OutLabel::Sym(sym),
+            children,
+        }
     }
 
     pub fn out_current(children: Rhs) -> RhsNode {
-        RhsNode::Out { label: OutLabel::Current, children }
+        RhsNode::Out {
+            label: OutLabel::Current,
+            children,
+        }
     }
 
     pub fn call(state: StateId, input: XVar, args: Vec<Rhs>) -> RhsNode {
@@ -140,7 +150,10 @@ impl Mft {
     /// ε-rules start as `→ ε`, keeping the transducer total.
     pub fn add_state(&mut self, name: impl Into<String>, params: usize) -> StateId {
         let id = StateId(self.states.len() as u32);
-        self.states.push(StateInfo { name: name.into(), params });
+        self.states.push(StateInfo {
+            name: name.into(),
+            params,
+        });
         self.rules.push(StateRules::default());
         id
     }
@@ -277,10 +290,8 @@ impl Mft {
             match node {
                 RhsNode::Param(i) => {
                     if *i >= m {
-                        return Err(self.rule_err(
-                            q,
-                            format!("parameter y{} exceeds rank (m = {m})", i + 1),
-                        ));
+                        return Err(self
+                            .rule_err(q, format!("parameter y{} exceeds rank (m = {m})", i + 1)));
                     }
                 }
                 RhsNode::Out { label, .. } => {
@@ -359,14 +370,22 @@ impl std::error::Error for MftError {}
 /// Number of nodes in a rhs forest (calls add one for the x-argument).
 pub fn rhs_size(r: &Rhs) -> usize {
     rhs_iter(r)
-        .map(|n| if matches!(n, RhsNode::Call { .. }) { 2 } else { 1 })
+        .map(|n| {
+            if matches!(n, RhsNode::Call { .. }) {
+                2
+            } else {
+                1
+            }
+        })
         .sum()
 }
 
 /// Iterate over every node of a rhs, including nodes nested in output
 /// children and call arguments.
 pub fn rhs_iter(r: &Rhs) -> RhsIter<'_> {
-    RhsIter { stack: r.iter().rev().collect() }
+    RhsIter {
+        stack: r.iter().rev().collect(),
+    }
 }
 
 pub struct RhsIter<'a> {
@@ -402,7 +421,11 @@ mod tests {
         let a = m.alphabet.intern_elem("a");
         let q = m.add_state("q", 0);
         m.initial = q;
-        m.set_sym_rule(q, a, vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])]);
+        m.set_sym_rule(
+            q,
+            a,
+            vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])],
+        );
         m.set_eps_rule(q, vec![out(a, vec![])]);
         (m, q)
     }
@@ -484,10 +507,7 @@ mod tests {
     #[test]
     fn rhs_iter_visits_nested() {
         let (m, q) = doubler();
-        let r = vec![out(
-            SymId(0),
-            vec![call(q, XVar::X1, vec![]), param(0)],
-        )];
+        let r = vec![out(SymId(0), vec![call(q, XVar::X1, vec![]), param(0)])];
         let kinds: Vec<_> = rhs_iter(&r).collect();
         assert_eq!(kinds.len(), 3);
         let _ = m;

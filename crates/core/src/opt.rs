@@ -98,11 +98,11 @@ fn remove_unused_params(m: &mut Mft, stats: &mut OptStats) -> bool {
     let nq = m.states.len();
     let mut needed: Vec<Vec<bool>> = m.states.iter().map(|s| vec![false; s.params]).collect();
     // Seed: bare occurrences.
-    for q in 0..nq {
+    for (q, needed_q) in needed.iter_mut().enumerate() {
         for rhs in all_rhs(m, StateId(q as u32)) {
             visit_with_ctx(rhs, None, &mut |n, ctx| {
                 if let (RhsNode::Param(i), None) = (n, ctx) {
-                    needed[q][*i] = true;
+                    needed_q[*i] = true;
                 }
             });
         }
@@ -131,8 +131,10 @@ fn remove_unused_params(m: &mut Mft, stats: &mut OptStats) -> bool {
             break;
         }
     }
-    let total_unused: usize =
-        needed.iter().map(|v| v.iter().filter(|&&b| !b).count()).sum();
+    let total_unused: usize = needed
+        .iter()
+        .map(|v| v.iter().filter(|&&b| !b).count())
+        .sum();
     if total_unused == 0 {
         return false;
     }
@@ -209,7 +211,10 @@ fn rewrite_params(rhs: &mut Rhs, owner: usize, remap: &[Vec<Option<usize>>]) {
 /// `%t`)?
 fn is_ground(rhs: &Rhs) -> bool {
     rhs.iter().all(|n| match n {
-        RhsNode::Out { label: OutLabel::Sym(_), children } => is_ground(children),
+        RhsNode::Out {
+            label: OutLabel::Sym(_),
+            children,
+        } => is_ground(children),
         _ => false,
     })
 }
@@ -222,8 +227,11 @@ fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
         Const(Rhs),
         Varying,
     }
-    let mut info: Vec<Vec<Info>> =
-        m.states.iter().map(|s| vec![Info::Unseen; s.params]).collect();
+    let mut info: Vec<Vec<Info>> = m
+        .states
+        .iter()
+        .map(|s| vec![Info::Unseen; s.params])
+        .collect();
     for q in 0..nq {
         for rhs in all_rhs(m, StateId(q as u32)) {
             let mut stack: Vec<&Rhs> = vec![rhs];
@@ -258,8 +266,7 @@ fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
         }
     }
     let mut keep: Vec<Vec<bool>> = m.states.iter().map(|s| vec![true; s.params]).collect();
-    let mut subst: Vec<Vec<Option<Rhs>>> =
-        m.states.iter().map(|s| vec![None; s.params]).collect();
+    let mut subst: Vec<Vec<Option<Rhs>>> = m.states.iter().map(|s| vec![None; s.params]).collect();
     let mut count = 0;
     for q in 0..nq {
         for j in 0..m.states[q].params {
@@ -275,16 +282,16 @@ fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
     }
     stats.const_params_removed += count;
     // First substitute the constants for the params in the owner's rules…
-    for q in 0..nq {
+    for (q, subst_q) in subst.iter().enumerate() {
         let mut rules = std::mem::take(&mut m.rules[q]);
         for r in rules.by_sym.values_mut() {
-            substitute_params(r, &subst[q]);
+            substitute_params(r, subst_q);
         }
         if let Some(r) = rules.text_default.as_mut() {
-            substitute_params(r, &subst[q]);
+            substitute_params(r, subst_q);
         }
-        substitute_params(&mut rules.default, &subst[q]);
-        substitute_params(&mut rules.eps, &subst[q]);
+        substitute_params(&mut rules.default, subst_q);
+        substitute_params(&mut rules.eps, subst_q);
         m.rules[q] = rules;
     }
     // …then drop the parameter slots and call arguments.
@@ -326,9 +333,7 @@ fn substitute_params(rhs: &mut Rhs, subst: &[Option<Rhs>]) {
 fn remove_stay_states(m: &mut Mft, stats: &mut OptStats) -> bool {
     // Find one inlinable stay state (not initial, not self-recursive).
     let target = (0..m.states.len() as u32).map(StateId).find(|&q| {
-        q != m.initial
-            && m.is_stay_state(q)
-            && !rhs_calls_state(&m.rules[q.idx()].default, q)
+        q != m.initial && m.is_stay_state(q) && !rhs_calls_state(&m.rules[q.idx()].default, q)
     });
     let Some(q) = target else {
         return false;
@@ -391,7 +396,11 @@ fn subst_stay_body(body: &Rhs, x: XVar, args: &[Rhs]) -> Rhs {
                 label: *label,
                 children: subst_stay_body(children, x, args),
             }),
-            RhsNode::Call { state, input, args: cargs } => {
+            RhsNode::Call {
+                state,
+                input,
+                args: cargs,
+            } => {
                 debug_assert_eq!(*input, XVar::X0, "stay bodies only contain x0 calls");
                 out.push(RhsNode::Call {
                     state: *state,
@@ -496,8 +505,16 @@ mod tests {
             let expected = eval_query(&q, &f).unwrap();
             let a0 = run_mft(&m0, &f).unwrap();
             let a1 = run_mft(&m1, &f).unwrap();
-            assert_eq!(forest_to_term(&a0), forest_to_term(&expected), "unopt {query}");
-            assert_eq!(forest_to_term(&a1), forest_to_term(&expected), "opt {query}");
+            assert_eq!(
+                forest_to_term(&a0),
+                forest_to_term(&expected),
+                "unopt {query}"
+            );
+            assert_eq!(
+                forest_to_term(&a1),
+                forest_to_term(&expected),
+                "opt {query}"
+            );
         }
         assert!(m1.state_count() <= m0.state_count());
         (m1, stats)
@@ -533,7 +550,11 @@ mod tests {
                        <bid>{$i/text()}</bid> }</increase> }</q2>",
             &[r#"site(open_auctions(open_auction(bidder(increase("1")) bidder(increase("2")))))"#],
         );
-        assert!(m.is_ft(), "expected an FT, got max rank {}", m.max_params() + 1);
+        assert!(
+            m.is_ft(),
+            "expected an FT, got max rank {}",
+            m.max_params() + 1
+        );
     }
 
     #[test]
@@ -545,7 +566,11 @@ mod tests {
                 <description>{$item/description}</description></item> }</q13>",
             &[r#"site(regions(australia(item(name("N") description(parlist(listitem("x")))))))"#],
         );
-        assert!(m.is_ft(), "expected an FT, got max rank {}", m.max_params() + 1);
+        assert!(
+            m.is_ft(),
+            "expected an FT, got max rank {}",
+            m.max_params() + 1
+        );
     }
 
     #[test]
@@ -597,7 +622,11 @@ mod tests {
         // semantics.
         for doc in ["", "x(y z)"] {
             let f = parse_forest(doc).unwrap();
-            assert_eq!(run_mft(&m, &f).unwrap(), run_mft(&opt, &f).unwrap(), "{doc}");
+            assert_eq!(
+                run_mft(&m, &f).unwrap(),
+                run_mft(&opt, &f).unwrap(),
+                "{doc}"
+            );
         }
     }
 
@@ -710,7 +739,12 @@ mod tests {
             let q = parse_query(query).unwrap();
             let m0 = translate(&q).unwrap();
             let (m1, _) = optimize_with_stats(m0.clone());
-            assert!(m1.size() <= m0.size(), "{query}: {} > {}", m1.size(), m0.size());
+            assert!(
+                m1.size() <= m0.size(),
+                "{query}: {} > {}",
+                m1.size(),
+                m0.size()
+            );
             // and still correct:
             let f = parse_forest(r#"site(people(person(name("N") a(b()))))"#).unwrap();
             let qq = parse_query(query).unwrap();

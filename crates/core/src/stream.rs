@@ -46,7 +46,9 @@ pub struct StreamLimits {
 
 impl Default for StreamLimits {
     fn default() -> Self {
-        StreamLimits { max_expansions_per_event: 10_000_000 }
+        StreamLimits {
+            max_expansions_per_event: 10_000_000,
+        }
     }
 }
 
@@ -64,7 +66,10 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::Xml(e) => write!(f, "{e}"),
             StreamError::Fuel { state } => {
-                write!(f, "expansion fuel exhausted in state {state} (stay-move loop?)")
+                write!(
+                    f,
+                    "expansion fuel exhausted in state {state} (stay-move loop?)"
+                )
             }
         }
     }
@@ -110,7 +115,10 @@ enum Expr {
     /// A forest of sub-expressions (also the result of an expansion).
     Forest(VecDeque<ExprId>),
     /// A ground output node (element or text).
-    Node { label: Label, children: VecDeque<ExprId> },
+    Node {
+        label: Label,
+        children: VecDeque<ExprId>,
+    },
     /// A state call waiting for its input location to be defined.
     Pending { state: StateId, args: Vec<ExprId> },
 }
@@ -144,7 +152,12 @@ impl Arena {
                 i
             }
             None => {
-                self.slots.push(Slot { gen: 0, rc: 1, expr: Some(expr), bytes });
+                self.slots.push(Slot {
+                    gen: 0,
+                    rc: 1,
+                    expr: Some(expr),
+                    bytes,
+                });
                 (self.slots.len() - 1) as u32
             }
         };
@@ -156,7 +169,10 @@ impl Arena {
         if self.live_bytes > self.peak_bytes {
             self.peak_bytes = self.live_bytes;
         }
-        ExprId { idx, gen: self.slots[idx as usize].gen }
+        ExprId {
+            idx,
+            gen: self.slots[idx as usize].gen,
+        }
     }
 
     fn alive(&self, id: ExprId) -> bool {
@@ -188,7 +204,10 @@ impl Arena {
         let mut stack = vec![id];
         while let Some(id) = stack.pop() {
             let slot = &mut self.slots[id.idx as usize];
-            debug_assert!(slot.gen == id.gen && slot.expr.is_some(), "release of dead node");
+            debug_assert!(
+                slot.gen == id.gen && slot.expr.is_some(),
+                "release of dead node"
+            );
             slot.rc -= 1;
             if slot.rc > 0 {
                 continue;
@@ -241,7 +260,11 @@ fn new_loc() -> LocRef {
 
 /// The definition applied to a location by one input event.
 enum Ctx {
-    Open { label: Label, child: LocRef, sib: LocRef },
+    Open {
+        label: Label,
+        child: LocRef,
+        sib: LocRef,
+    },
     Eps,
 }
 
@@ -287,9 +310,17 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     pub fn with_limits(mft: &'m Mft, sink: S, limits: StreamLimits) -> Self {
         let mut arena = Arena::default();
         let current = new_loc();
-        let root = arena.alloc(Expr::Pending { state: mft.initial, args: Vec::new() });
+        let root = arena.alloc(Expr::Pending {
+            state: mft.initial,
+            args: Vec::new(),
+        });
         current.borrow_mut().push(root);
-        let frames = vec![Frame { node: root, idx: 0, holds_ref: true, opened: false }];
+        let frames = vec![Frame {
+            node: root,
+            idx: 0,
+            holds_ref: true,
+            opened: false,
+        }];
         Engine {
             mft,
             sink,
@@ -309,7 +340,11 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.stats.events += 1;
         let child = new_loc();
         let sib = new_loc();
-        let ctx = Ctx::Open { label: label.clone(), child: child.clone(), sib: sib.clone() };
+        let ctx = Ctx::Open {
+            label: label.clone(),
+            child: child.clone(),
+            sib: sib.clone(),
+        };
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &ctx)?;
         self.stack.push(sib);
@@ -451,16 +486,25 @@ impl<'m, S: XmlSink> Engine<'m, S> {
                         },
                     };
                     let kids = self.instantiate(children, ctx, args, used, work);
-                    out.push_back(self.arena.alloc(Expr::Node { label, children: kids }));
+                    out.push_back(self.arena.alloc(Expr::Node {
+                        label,
+                        children: kids,
+                    }));
                 }
-                RhsNode::Call { state, input, args: cargs } => {
+                RhsNode::Call {
+                    state,
+                    input,
+                    args: cargs,
+                } => {
                     let mut new_args = Vec::with_capacity(cargs.len());
                     for a in cargs {
                         let f = self.instantiate(a, ctx, args, used, work);
                         new_args.push(self.arena.alloc(Expr::Forest(f)));
                     }
-                    let pid =
-                        self.arena.alloc(Expr::Pending { state: *state, args: new_args });
+                    let pid = self.arena.alloc(Expr::Pending {
+                        state: *state,
+                        args: new_args,
+                    });
                     match (input, ctx) {
                         (XVar::X0, _) => work.push_back(pid), // stay move: same event
                         (XVar::X1, Ctx::Open { child, .. }) => {
@@ -665,10 +709,8 @@ mod tests {
 
     #[test]
     fn identity_streams() {
-        let m = parse_mft(
-            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
-        )
-        .unwrap();
+        let m =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
         for doc in ["", "a", r#"a(b("t") c) d(e(f))"#] {
             let stats = check_stream(&m, doc);
             // Identity is fully incremental: nothing accumulates.
@@ -679,8 +721,14 @@ mod tests {
     #[test]
     fn mperson_streams_like_interp() {
         let m = parse_mft(crate::text::MPERSON).unwrap();
-        check_stream(&m, r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#);
-        check_stream(&m, r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#);
+        check_stream(
+            &m,
+            r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+        );
+        check_stream(
+            &m,
+            r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#,
+        );
         check_stream(&m, r#"person(p_id("x") name("Jim"))"#);
         check_stream(&m, "");
     }
@@ -700,8 +748,14 @@ mod tests {
                    <r> { for $y in $x/* return <r1><r2>{$y}</r2>{$y}</r1> } </r> }</deepdup>",
                 "site(a(b(\"1\")) c())",
             ),
-            ("<double><r1>{$input/*}</r1>{$input/*}</double>", "site(a(\"x\") b())"),
-            ("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f())) d2())) g())"),
+            (
+                "<double><r1>{$input/*}</r1>{$input/*}</double>",
+                "site(a(\"x\") b())",
+            ),
+            (
+                "<fourstar>{$input//*//*//*//*}</fourstar>",
+                "a(b(c(d(e(f())) d2())) g())",
+            ),
             (
                 r#"<o>{$input/r/x[./b[./n/text()="1"]/following-sibling::b/n/text()="2"]}</o>"#,
                 r#"r(x(b(n("1")) b(n("2"))) x(b(n("2")) b(n("1"))))"#,
@@ -734,10 +788,9 @@ mod tests {
     fn optimized_memory_is_constant_but_unoptimized_grows() {
         // The headline experiment shape (Fig. 4): on a streamable query the
         // optimized MFT runs in O(1) buffer, the unoptimized one in O(n).
-        let q = parse_query(
-            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
-        )
-        .unwrap();
+        let q =
+            parse_query("<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>")
+                .unwrap();
         let unopt = translate(&q).unwrap();
         let opt = optimize(unopt.clone());
 
@@ -751,8 +804,7 @@ mod tests {
         };
         let peak = |m: &Mft, n: usize| {
             let (_, stats) =
-                run_streaming_on_forest(m, &doc_of(n), foxq_xml::CountingSink::default())
-                    .unwrap();
+                run_streaming_on_forest(m, &doc_of(n), foxq_xml::CountingSink::default()).unwrap();
             stats.peak_live_nodes
         };
         let (opt_small, opt_big) = (peak(&opt, 10), peak(&opt, 200));
@@ -789,8 +841,7 @@ mod tests {
         };
         let peak = |n: usize| {
             let (_, stats) =
-                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default())
-                    .unwrap();
+                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default()).unwrap();
             stats.peak_live_nodes
         };
         assert!(peak(200) <= peak(10) + 8, "{} vs {}", peak(200), peak(10));
@@ -812,8 +863,7 @@ mod tests {
         };
         let peak = |n: usize| {
             let (_, stats) =
-                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default())
-                    .unwrap();
+                run_streaming_on_forest(&m, &doc_of(n), foxq_xml::CountingSink::default()).unwrap();
             stats.peak_live_nodes
         };
         assert!(peak(200) > peak(10) * 4, "{} vs {}", peak(200), peak(10));
@@ -848,10 +898,8 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let m = parse_mft(
-            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
-        )
-        .unwrap();
+        let m =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
         let f = parse_forest("a(b(c))").unwrap();
         let (_, stats) = run_streaming_on_forest(&m, &f, foxq_xml::NullSink).unwrap();
         assert_eq!(stats.events, 7); // 3 opens + 3 closes + eof

@@ -50,7 +50,11 @@ pub struct MftTextError {
 
 impl std::fmt::Display for MftTextError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MFT syntax error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "MFT syntax error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 
@@ -80,11 +84,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, MftTextError> {
-        Err(MftTextError { line: self.line, col: self.col, msg: msg.into() })
+        Err(MftTextError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        })
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -242,7 +255,11 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, MftTextError> {
-        Err(MftTextError { line: self.line, col: self.col, msg: msg.into() })
+        Err(MftTextError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        })
     }
 
     fn advance(&mut self) -> Result<(), MftTextError> {
@@ -299,9 +316,11 @@ impl<'a> Parser<'a> {
         }
         // States only ever called, never defined: keep default ε-rules
         // (total by construction), nothing to do.
-        self.mft
-            .validate()
-            .map_err(|e| MftTextError { line: 0, col: 0, msg: e.msg })?;
+        self.mft.validate().map_err(|e| MftTextError {
+            line: 0,
+            col: 0,
+            msg: e.msg,
+        })?;
         Ok(self.mft)
     }
 
@@ -467,8 +486,7 @@ impl<'a> Parser<'a> {
                 }
                 self.expect(Tok::RPar, "')' after call")?;
                 let q = self.state_of(&name, None)?;
-                if self.inferred_only.get(&q) == Some(&true)
-                    && self.mft.params_of(q) != args.len()
+                if self.inferred_only.get(&q) == Some(&true) && self.mft.params_of(q) != args.len()
                 {
                     // First call fixed an arity; allow widening only if the
                     // state was never used before (params_of default 0).
@@ -503,8 +521,8 @@ impl<'a> Parser<'a> {
                         self.mft.params_of(q)
                     ));
                 }
-                if !self.inferred_only.contains_key(&q) {
-                    self.inferred_only.insert(q, true);
+                if let std::collections::hash_map::Entry::Vacant(e) = self.inferred_only.entry(q) {
+                    e.insert(true);
                     self.mft.states[q.idx()].params = args.len();
                 }
                 Ok(rhs::call(q, x, args))
@@ -553,7 +571,13 @@ pub fn print_mft(m: &Mft) -> String {
         let mut syms: Vec<_> = rules.by_sym.keys().copied().collect();
         syms.sort();
         for sym in syms {
-            print_rule(m, q, &format!("{}(x1) x2", sym_str(m, sym)), &rules.by_sym[&sym], &mut out);
+            print_rule(
+                m,
+                q,
+                &format!("{}(x1) x2", sym_str(m, sym)),
+                &rules.by_sym[&sym],
+                &mut out,
+            );
         }
         if let Some(r) = &rules.text_default {
             print_rule(m, q, "%text(x1) x2", r, &mut out);
@@ -609,7 +633,8 @@ fn print_node(m: &Mft, n: &RhsNode, out: &mut String) {
             }
             // Text leaves print without parens; everything else with.
             let is_text_leaf = matches!(label, OutLabel::Sym(s)
-                if m.alphabet.label(*s).kind == NodeKind::Text) && children.is_empty();
+                if m.alphabet.label(*s).kind == NodeKind::Text)
+                && children.is_empty();
             if !is_text_leaf {
                 out.push('(');
                 if !children.is_empty() {
@@ -705,10 +730,8 @@ mod tests {
     fn mperson_runs_like_the_paper() {
         let m = parse_mft(MPERSON).unwrap();
         // <person><p_id><a/>person0</p_id><name>Jim</name><c/><name>Li</name></person>
-        let doc = parse_forest(
-            r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
-        )
-        .unwrap();
+        let doc =
+            parse_forest(r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#).unwrap();
         let out = run_mft(&m, &doc).unwrap();
         assert_eq!(forest_to_term(&out), r#"out("Jim" "Li")"#);
     }
@@ -717,10 +740,8 @@ mod tests {
     fn mperson_filter_false_selects_else_branch() {
         let m = parse_mft(MPERSON).unwrap();
         // First p_id has "perso7" (filter false there), second has "person0".
-        let doc = parse_forest(
-            r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#,
-        )
-        .unwrap();
+        let doc =
+            parse_forest(r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#).unwrap();
         let out = run_mft(&m, &doc).unwrap();
         assert_eq!(forest_to_term(&out), r#"out("Jim")"#);
     }

@@ -78,7 +78,11 @@ pub fn translate(query: &Query) -> Result<Mft, TranslateError> {
     // q0(%) → qI(x0, qcopy(x0))
     tr.mft.set_stay_rule(
         q0,
-        vec![rhs::call(qi, XVar::X0, vec![vec![rhs::call(qcopy, XVar::X0, vec![])]])],
+        vec![rhs::call(
+            qi,
+            XVar::X0,
+            vec![vec![rhs::call(qcopy, XVar::X0, vec![])]],
+        )],
     );
     let scope = Scope {
         rho: vec![("input".to_string(), 0)],
@@ -107,16 +111,24 @@ impl Scope {
     }
 
     fn lookup(&self, var: &str) -> Option<usize> {
-        self.rho.iter().rev().find(|(n, _)| n == var).map(|(_, i)| *i)
+        self.rho
+            .iter()
+            .rev()
+            .find(|(n, _)| n == var)
+            .map(|(_, i)| *i)
     }
 
     /// Check a path start against the §2.1 restriction.
     fn check_path_start(&self, var: &str) -> Result<(), TranslateError> {
         if self.lookup(var).is_none() {
-            return Err(TranslateError::Unbound { var: var.to_string() });
+            return Err(TranslateError::Unbound {
+                var: var.to_string(),
+            });
         }
         if self.let_vars.iter().any(|v| v == var) {
-            return Err(TranslateError::PathFromLet { var: var.to_string() });
+            return Err(TranslateError::PathFromLet {
+                var: var.to_string(),
+            });
         }
         let expected = self.nearest_for.as_deref().unwrap_or("input");
         if var != expected {
@@ -180,7 +192,12 @@ struct Tr {
 
 impl Tr {
     fn new() -> Self {
-        Tr { mft: Mft::new(), qcopy: None, scan_memo: FxHashMap::default(), counter: 0 }
+        Tr {
+            mft: Mft::new(),
+            qcopy: None,
+            scan_memo: FxHashMap::default(),
+            counter: 0,
+        }
     }
 
     /// The shared identity state:
@@ -203,7 +220,8 @@ impl Tr {
 
     fn fresh(&mut self, prefix: &str, params: usize) -> StateId {
         self.counter += 1;
-        self.mft.add_state(format!("{prefix}{}", self.counter), params)
+        self.mft
+            .add_state(format!("{prefix}{}", self.counter), params)
     }
 
     /// Pass-through arguments `y1..ym`.
@@ -240,7 +258,10 @@ impl Tr {
                 let inner = self.fresh("q", m);
                 self.mft.set_stay_rule(
                     q,
-                    vec![rhs::out(sym, vec![rhs::call(inner, XVar::X0, self.env_args(m))])],
+                    vec![rhs::out(
+                        sym,
+                        vec![rhs::call(inner, XVar::X0, self.env_args(m))],
+                    )],
                 );
                 match content.len() {
                     1 => self.compile(&content[0], scope, inner),
@@ -257,7 +278,9 @@ impl Tr {
                 // e = $v — output the variable's parameter.
                 let idx = scope
                     .lookup(&p.start)
-                    .ok_or_else(|| TranslateError::Unbound { var: p.start.clone() })?;
+                    .ok_or_else(|| TranslateError::Unbound {
+                        var: p.start.clone(),
+                    })?;
                 self.mft.set_stay_rule(q, vec![rhs::param(idx)]);
                 Ok(())
             }
@@ -285,7 +308,8 @@ impl Tr {
                 let qb = self.fresh("q", m + 1);
                 let mut args = self.env_args(m);
                 args.push(vec![rhs::call(qv, XVar::X0, self.env_args(m))]);
-                self.mft.set_stay_rule(q, vec![rhs::call(qb, XVar::X0, args)]);
+                self.mft
+                    .set_stay_rule(q, vec![rhs::call(qb, XVar::X0, args)]);
                 self.compile(value, scope, qv)?;
                 let mut inner = scope.clone();
                 inner.rho.push((var.clone(), m));
@@ -317,10 +341,16 @@ impl Tr {
             if p.start == "input" && scope.nearest_for.is_none() {
                 // The document node: its "copy" is the whole forest.
                 args.push(vec![rhs::call(qcopy, XVar::X0, vec![])]);
-                self.mft.set_stay_rule(q, vec![rhs::call(body, XVar::X0, args)]);
+                self.mft
+                    .set_stay_rule(q, vec![rhs::call(body, XVar::X0, args)]);
             } else {
-                args.push(vec![rhs::out_current(vec![rhs::call(qcopy, XVar::X1, vec![])])]);
-                self.mft.set_default_rule(q, vec![rhs::call(body, XVar::X0, args)]);
+                args.push(vec![rhs::out_current(vec![rhs::call(
+                    qcopy,
+                    XVar::X1,
+                    vec![],
+                )])]);
+                self.mft
+                    .set_default_rule(q, vec![rhs::call(body, XVar::X0, args)]);
                 self.mft.set_eps_rule(q, vec![]);
             }
             return Ok(());
@@ -335,7 +365,8 @@ impl Tr {
                 // The document node has no siblings.
                 self.mft.set_stay_rule(q, vec![]);
             } else {
-                self.mft.set_stay_rule(q, vec![rhs::call(scan, XVar::X0, args)]);
+                self.mft
+                    .set_stay_rule(q, vec![rhs::call(scan, XVar::X0, args)]);
             }
         } else {
             // Variable-rooted: the origin node is the first tree of the
@@ -344,7 +375,8 @@ impl Tr {
                 Axis::FollowingSibling => XVar::X2,
                 _ => XVar::X1,
             };
-            self.mft.set_default_rule(q, vec![rhs::call(scan, input, args)]);
+            self.mft
+                .set_default_rule(q, vec![rhs::call(scan, input, args)]);
             self.mft.set_eps_rule(q, vec![]);
         }
         Ok(())
@@ -413,8 +445,11 @@ impl Tr {
         case: &LabelCase,
     ) -> Rhs {
         // Steps whose node test accepts this label.
-        let matched: Vec<usize> =
-            s.iter().copied().filter(|&i| test_accepts(&steps[i].test, case)).collect();
+        let matched: Vec<usize> = s
+            .iter()
+            .copied()
+            .filter(|&i| test_accepts(&steps[i].test, case))
+            .collect();
         let (plain, with_preds): (Vec<usize>, Vec<usize>) =
             matched.iter().partition(|&&i| steps[i].preds.is_empty());
         let base: BTreeSet<usize> = plain.into_iter().collect();
@@ -426,8 +461,15 @@ impl Tr {
             && with_preds
                 .iter()
                 .all(|&i| i + 1 >= steps.len() || steps[i + 1].axis != Axis::FollowingSibling);
-        let mut out =
-            self.cond_tree(steps, mode, s, case, &with_preds, base.clone(), sib_factorable);
+        let mut out = self.cond_tree(
+            steps,
+            mode,
+            s,
+            case,
+            &with_preds,
+            base.clone(),
+            sib_factorable,
+        );
         if sib_factorable {
             if let Some(mut sib) = self.sib_part(steps, mode, s, &base) {
                 out.append(&mut sib);
@@ -475,20 +517,37 @@ impl Tr {
         let (rel, mode, swap) = match pred {
             Pred::Exists(rel) => (rel.clone(), Mode::Exists, false),
             Pred::Empty(rel) => (rel.clone(), Mode::Exists, true),
-            Pred::Eq(rel, v) => {
-                (rel.clone(), Mode::Compare { value: v.clone(), negate: false }, false)
-            }
-            Pred::Neq(rel, v) => {
-                (rel.clone(), Mode::Compare { value: v.clone(), negate: true }, false)
-            }
+            Pred::Eq(rel, v) => (
+                rel.clone(),
+                Mode::Compare {
+                    value: v.clone(),
+                    negate: false,
+                },
+                false,
+            ),
+            Pred::Neq(rel, v) => (
+                rel.clone(),
+                Mode::Compare {
+                    value: v.clone(),
+                    negate: true,
+                },
+                false,
+            ),
         };
         let mut steps = rel.steps;
         if matches!(mode, Mode::Compare { .. })
-            && steps.last().map(|s| s.test != NodeTest::Text).unwrap_or(false)
+            && steps
+                .last()
+                .map(|s| s.test != NodeTest::Text)
+                .unwrap_or(false)
         {
             // Desugar `p = "s"` to `p/text() = "s"` (the fragment compares
             // text and attribute values; attributes are text children here).
-            steps.push(Step { axis: Axis::Child, test: NodeTest::Text, preds: vec![] });
+            steps.push(Step {
+                axis: Axis::Child,
+                test: NodeTest::Text,
+                preds: vec![],
+            });
         }
         let s0: BTreeSet<usize> = [0].into_iter().collect();
         let scan = self.scan_state(&steps, &mode, &s0);
@@ -496,7 +555,11 @@ impl Tr {
             Axis::FollowingSibling => XVar::X2,
             _ => XVar::X1,
         };
-        let args = if swap { vec![else_rhs, then_rhs] } else { vec![then_rhs, else_rhs] };
+        let args = if swap {
+            vec![else_rhs, then_rhs]
+        } else {
+            vec![then_rhs, else_rhs]
+        };
         vec![rhs::call(scan, input, args)]
     }
 
@@ -518,7 +581,11 @@ impl Tr {
                 if final_hit {
                     let qcopy = self.qcopy();
                     let mut args = self.env_args(*env);
-                    args.push(vec![rhs::out_current(vec![rhs::call(qcopy, XVar::X1, vec![])])]);
+                    args.push(vec![rhs::out_current(vec![rhs::call(
+                        qcopy,
+                        XVar::X1,
+                        vec![],
+                    )])]);
                     out.push(rhs::call(*body, XVar::X0, args));
                 }
                 if let Some(c) = self.child_set(steps, s, m_set) {
@@ -581,8 +648,7 @@ impl Tr {
             }
         }
         for &i in m_set {
-            if i + 1 < steps.len() && matches!(steps[i + 1].axis, Axis::Child | Axis::Descendant)
-            {
+            if i + 1 < steps.len() && matches!(steps[i + 1].axis, Axis::Child | Axis::Descendant) {
                 c.insert(i + 1);
             }
         }
@@ -707,7 +773,10 @@ mod tests {
 
     #[test]
     fn following_sibling_paths() {
-        check("<o>{$input/r/a/following-sibling::b}</o>", "r(a() x() b(\"1\") a() b(\"2\"))");
+        check(
+            "<o>{$input/r/a/following-sibling::b}</o>",
+            "r(a() x() b(\"1\") a() b(\"2\"))",
+        );
         check(
             "for $a in $input/r/a return <hit>{$a/following-sibling::c}</hit>",
             "r(a() b() c(\"1\") a() c(\"2\"))",
@@ -730,8 +799,14 @@ mod tests {
     fn pperson_equals_reference() {
         let q = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
                    return let $r := $b/name/text() return $r }</out>"#;
-        check(q, r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#);
-        check(q, r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#);
+        check(
+            q,
+            r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+        );
+        check(
+            q,
+            r#"person(p_id(a() "perso7") name("Jim") c() p_id("person0"))"#,
+        );
         check(q, r#"person(p_id("nope") name("Jim"))"#);
         check(q, "x()");
     }
@@ -775,7 +850,10 @@ mod tests {
     #[test]
     fn nested_predicates() {
         // p nodes with a child `a` that itself has a `b` child.
-        check("<o>{$input/r/p[./a[./b]]}</o>", "r(p(a(b())) p(a()) p(b()))");
+        check(
+            "<o>{$input/r/p[./a[./b]]}</o>",
+            "r(p(a(b())) p(a()) p(b()))",
+        );
     }
 
     #[test]
@@ -797,8 +875,14 @@ mod tests {
 
     #[test]
     fn lets_and_sequences() {
-        check("let $x := $input/r/a return ($x, $x)", "r(a(\"1\") a(\"2\"))");
-        check("<o>{let $x := <w/> return ($x, $x, $input/r/a)}</o>", "r(a())");
+        check(
+            "let $x := $input/r/a return ($x, $x)",
+            "r(a(\"1\") a(\"2\"))",
+        );
+        check(
+            "<o>{let $x := <w/> return ($x, $x, $input/r/a)}</o>",
+            "r(a())",
+        );
     }
 
     #[test]
@@ -813,31 +897,48 @@ mod tests {
 
     #[test]
     fn double_query() {
-        check("<double><r1>{$input/*}</r1>{$input/*}</double>", "site(a(\"x\") b())");
+        check(
+            "<double><r1>{$input/*}</r1>{$input/*}</double>",
+            "site(a(\"x\") b())",
+        );
     }
 
     #[test]
     fn fourstar_query() {
-        check("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f())) d2())) g())");
+        check(
+            "<fourstar>{$input//*//*//*//*}</fourstar>",
+            "a(b(c(d(e(f())) d2())) g())",
+        );
     }
 
     #[test]
     fn element_comparison_is_desugared_to_text_child() {
         // `[./id = "1"]` behaves like `[./id/text() = "1"]`.
-        check(r#"<o>{$input/r/p[./id="1"]}</o>"#, r#"r(p(id("1")) p(id("x")))"#);
+        check(
+            r#"<o>{$input/r/p[./id="1"]}</o>"#,
+            r#"r(p(id("1")) p(id("x")))"#,
+        );
     }
 
     #[test]
     fn scope_violations_are_rejected() {
         let q = parse_query("for $a in $input/x return $input/y").unwrap();
-        assert!(matches!(translate(&q), Err(TranslateError::NotNearestFor { .. })));
+        assert!(matches!(
+            translate(&q),
+            Err(TranslateError::NotNearestFor { .. })
+        ));
         let q2 = parse_query("let $a := $input/x return $a/y").unwrap();
-        assert!(matches!(translate(&q2), Err(TranslateError::PathFromLet { .. })));
+        assert!(matches!(
+            translate(&q2),
+            Err(TranslateError::PathFromLet { .. })
+        ));
         let q3 = parse_query("$undefined/a").unwrap();
-        assert!(matches!(translate(&q3), Err(TranslateError::Unbound { .. })));
+        assert!(matches!(
+            translate(&q3),
+            Err(TranslateError::Unbound { .. })
+        ));
         // Outer-variable *output* (not a path root) is fine:
-        let q4 =
-            parse_query("for $a in $input/x return for $b in $a/y return ($a, $b)").unwrap();
+        let q4 = parse_query("for $a in $input/x return for $b in $a/y return ($a, $b)").unwrap();
         translate(&q4).unwrap();
     }
 
@@ -852,7 +953,11 @@ mod tests {
         )
         .unwrap();
         let m = translate(&q).unwrap();
-        assert!(m.state_count() >= 10 && m.state_count() <= 24, "{} states", m.state_count());
+        assert!(
+            m.state_count() >= 10 && m.state_count() <= 24,
+            "{} states",
+            m.state_count()
+        );
         assert!(!m.is_ft()); // parameters present before optimization
     }
 

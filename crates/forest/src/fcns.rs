@@ -63,7 +63,10 @@ pub fn unfcns(b: &BinTree) -> Forest {
     let mut out = Vec::new();
     let mut cur = b;
     while let BinTree::Node(label, l, r) = cur {
-        out.push(Tree { label: label.clone(), children: unfcns(l) });
+        out.push(Tree {
+            label: label.clone(),
+            children: unfcns(l),
+        });
         cur = r;
     }
     out
@@ -86,7 +89,9 @@ mod tests {
                 match left.as_ref() {
                     BinTree::Node(lb, _, sib) => {
                         assert_eq!(&*lb.name, "b");
-                        assert!(matches!(sib.as_ref(), BinTree::Node(lc, _, _) if &*lc.name == "c"));
+                        assert!(
+                            matches!(sib.as_ref(), BinTree::Node(lc, _, _) if &*lc.name == "c")
+                        );
                     }
                     BinTree::Leaf => panic!("expected node"),
                 }

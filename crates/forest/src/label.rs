@@ -30,12 +30,18 @@ pub struct Label {
 impl Label {
     /// An element label.
     pub fn elem(name: impl Into<Arc<str>>) -> Self {
-        Label { kind: NodeKind::Element, name: name.into() }
+        Label {
+            kind: NodeKind::Element,
+            name: name.into(),
+        }
     }
 
     /// A text label; `name` is the text content.
     pub fn text(content: impl Into<Arc<str>>) -> Self {
-        Label { kind: NodeKind::Text, name: content.into() }
+        Label {
+            kind: NodeKind::Text,
+            name: content.into(),
+        }
     }
 
     /// Whether this is a text-node label.

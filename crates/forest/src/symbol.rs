@@ -61,7 +61,12 @@ impl Alphabet {
     pub fn lookup_parts(&self, kind: NodeKind, name: &str) -> Option<SymId> {
         // Label construction is cheap enough here (Arc from &str allocates),
         // but this is only used on cold paths; hot paths pre-resolve SymIds.
-        self.index.get(&Label { kind, name: name.into() }).copied()
+        self.index
+            .get(&Label {
+                kind,
+                name: name.into(),
+            })
+            .copied()
     }
 
     /// The label of an interned symbol.
@@ -80,7 +85,10 @@ impl Alphabet {
 
     /// Iterate over `(SymId, &Label)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (SymId, &Label)> {
-        self.labels.iter().enumerate().map(|(i, l)| (SymId(i as u32), l))
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (SymId(i as u32), l))
     }
 }
 

@@ -42,7 +42,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, TermError> {
-        Err(TermError { pos: self.pos, msg: msg.into() })
+        Err(TermError {
+            pos: self.pos,
+            msg: msg.into(),
+        })
     }
 
     fn skip_ws(&mut self) {
@@ -98,9 +101,12 @@ impl<'a> Parser<'a> {
                     while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    s.push_str(std::str::from_utf8(&self.src[start..self.pos]).map_err(
-                        |_| TermError { pos: start, msg: "invalid UTF-8".into() },
-                    )?);
+                    s.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| TermError {
+                            pos: start,
+                            msg: "invalid UTF-8".into(),
+                        })?,
+                    );
                 }
             }
         }
@@ -111,8 +117,10 @@ impl<'a> Parser<'a> {
         while self.pos < self.src.len() && is_name_cont(self.src[self.pos]) {
             self.pos += 1;
         }
-        let name = std::str::from_utf8(&self.src[start..self.pos])
-            .map_err(|_| TermError { pos: start, msg: "invalid UTF-8".into() })?;
+        let name = std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| TermError {
+            pos: start,
+            msg: "invalid UTF-8".into(),
+        })?;
         self.skip_ws();
         if self.peek() == Some(b'(') {
             self.pos += 1;
@@ -139,7 +147,10 @@ fn is_name_cont(c: u8) -> bool {
 
 /// Parse a forest from term notation.
 pub fn parse_forest(src: &str) -> Result<Forest, TermError> {
-    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     let f = p.forest()?;
     p.skip_ws();
     if p.pos != p.src.len() {
@@ -152,7 +163,10 @@ pub fn parse_forest(src: &str) -> Result<Forest, TermError> {
 pub fn parse_tree(src: &str) -> Result<Tree, TermError> {
     let f = parse_forest(src)?;
     if f.len() != 1 {
-        return Err(TermError { pos: 0, msg: format!("expected 1 tree, found {}", f.len()) });
+        return Err(TermError {
+            pos: 0,
+            msg: format!("expected 1 tree, found {}", f.len()),
+        });
     }
     Ok(f.into_iter().next().unwrap())
 }

@@ -21,12 +21,18 @@ pub type Forest = Vec<Tree>;
 
 /// Build an element node.
 pub fn elem(name: &str, children: Forest) -> Tree {
-    Tree { label: Label::elem(name), children }
+    Tree {
+        label: Label::elem(name),
+        children,
+    }
 }
 
 /// Build a text node (always a leaf).
 pub fn text(content: &str) -> Tree {
-    Tree { label: Label::text(content), children: Vec::new() }
+    Tree {
+        label: Label::text(content),
+        children: Vec::new(),
+    }
 }
 
 impl Tree {

@@ -108,7 +108,10 @@ fn compile(q: &Query) -> Result<Plan, GcxError> {
     if fsib {
         return Err(GcxError::Unsupported("the following-sibling axis".into()));
     }
-    let mut plan = Plan { items: Vec::new(), slots: Vec::new() };
+    let mut plan = Plan {
+        items: Vec::new(),
+        slots: Vec::new(),
+    };
     compile_into(q, &mut plan)?;
     Ok(plan)
 }
@@ -133,13 +136,14 @@ fn compile_into(q: &Query, plan: &mut Plan) -> Result<(), GcxError> {
             }
             Ok(())
         }
-        Query::For { var, path, body } => {
-            add_slot(plan, path, var.clone(), (**body).clone())
-        }
+        Query::For { var, path, body } => add_slot(plan, path, var.clone(), (**body).clone()),
         Query::Path(p) => {
             // A bare top-level path: emit a copy of every match.
             let var = "#match".to_string();
-            let body = Query::Path(Path { start: var.clone(), steps: vec![] });
+            let body = Query::Path(Path {
+                start: var.clone(),
+                steps: vec![],
+            });
             add_slot(plan, p, var, body)
         }
         Query::Let { .. } => Err(GcxError::Unsupported(
@@ -175,7 +179,13 @@ fn add_slot(plan: &mut Plan, path: &Path, var: String, body: Query) -> Result<()
         proj.mark_pred_public(&[0], p);
     }
     plan.items.push(OutItem::Slot(plan.slots.len()));
-    plan.slots.push(Slot { steps, final_preds, var, body, proj });
+    plan.slots.push(Slot {
+        steps,
+        final_preds,
+        var,
+        body,
+        proj,
+    });
     Ok(())
 }
 
@@ -189,7 +199,9 @@ struct Matcher {
 
 impl Matcher {
     fn new() -> Self {
-        Matcher { stack: vec![[0].into_iter().collect()] }
+        Matcher {
+            stack: vec![[0].into_iter().collect()],
+        }
     }
 
     /// Push one open event; returns whether this node is a binding match.
@@ -259,7 +271,10 @@ impl Candidate {
     fn new(slot: usize, label: &Label) -> Self {
         Candidate {
             slot,
-            node_stack: vec![Some(Tree { label: label.clone(), children: Vec::new() })],
+            node_stack: vec![Some(Tree {
+                label: label.clone(),
+                children: Vec::new(),
+            })],
             cursor_stack: vec![Cursor::Nodes(vec![0])],
             size: 1,
             root: None,
@@ -301,8 +316,10 @@ impl Candidate {
         };
         match keep {
             Some(cursor) => {
-                self.node_stack
-                    .push(Some(Tree { label: label.clone(), children: Vec::new() }));
+                self.node_stack.push(Some(Tree {
+                    label: label.clone(),
+                    children: Vec::new(),
+                }));
                 self.cursor_stack.push(cursor);
                 self.size += 1;
             }
@@ -502,8 +519,11 @@ impl<S: XmlSink> GcxEngine<S> {
         // Document order: if a same-slot ancestor candidate is still open
         // (nested matches of a descendant path), our block must come after
         // its result — defer.
-        if let Some(anc) =
-            self.candidates.iter_mut().rev().find(|c| c.slot == cand.slot)
+        if let Some(anc) = self
+            .candidates
+            .iter_mut()
+            .rev()
+            .find(|c| c.slot == cand.slot)
         {
             anc.deferred.extend(block);
             self.track_peak();
@@ -644,12 +664,19 @@ mod tests {
             r#"site(a("1") b("2") c("3"))"#,
         );
         // The second {$input/*} must be buffered until EOF.
-        assert!(stats.peak_buffered_nodes >= 6, "{}", stats.peak_buffered_nodes);
+        assert!(
+            stats.peak_buffered_nodes >= 6,
+            "{}",
+            stats.peak_buffered_nodes
+        );
     }
 
     #[test]
     fn fourstar_query() {
-        check("<fourstar>{$input//*//*//*//*}</fourstar>", "a(b(c(d(e(f)) g)) h)");
+        check(
+            "<fourstar>{$input//*//*//*//*}</fourstar>",
+            "a(b(c(d(e(f)) g)) h)",
+        );
     }
 
     #[test]
@@ -680,10 +707,9 @@ mod tests {
     fn projection_keeps_buffers_small() {
         // Only name/text is projected; the junk subtrees must not be
         // buffered.
-        let q = parse_query(
-            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
-        )
-        .unwrap();
+        let q =
+            parse_query("<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>")
+                .unwrap();
         let doc_of = |junk: usize| {
             let mut s = String::from("people(");
             for i in 0..10 {
@@ -696,14 +722,12 @@ mod tests {
             s.push(')');
             parse_forest(&s).unwrap()
         };
-        let q2 = parse_query(
-            "<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>")
+                .unwrap();
         let peak = |junk: usize| {
             let (_, stats) =
-                run_gcx_on_forest(&q2, &doc_of(junk), foxq_xml::CountingSink::default())
-                    .unwrap();
+                run_gcx_on_forest(&q2, &doc_of(junk), foxq_xml::CountingSink::default()).unwrap();
             stats.peak_buffered_nodes
         };
         // Junk size must not affect the buffer.
@@ -741,7 +765,10 @@ mod tests {
         for src in ["let $a := $input/x return <o>{$a}</o>", "<o>{$input}</o>"] {
             let q = parse_query(src).unwrap();
             assert!(
-                matches!(run_gcx_on_forest(&q, &f, ForestSink::new()), Err(GcxError::Unsupported(_))),
+                matches!(
+                    run_gcx_on_forest(&q, &f, ForestSink::new()),
+                    Err(GcxError::Unsupported(_))
+                ),
                 "{src}"
             );
         }

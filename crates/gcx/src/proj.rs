@@ -30,7 +30,9 @@ pub struct Projection {
 
 impl Projection {
     fn new() -> Self {
-        Projection { nodes: vec![ProjNode::default()] }
+        Projection {
+            nodes: vec![ProjNode::default()],
+        }
     }
 
     fn child_by_name(&mut self, at: usize, name: &str) -> usize {
@@ -145,12 +147,7 @@ pub fn build_projection(var: &str, body: &Query) -> Projection {
     proj
 }
 
-fn walk(
-    proj: &mut Projection,
-    env: &mut Vec<(String, Vec<usize>)>,
-    q: &Query,
-    output: bool,
-) {
+fn walk(proj: &mut Projection, env: &mut Vec<(String, Vec<usize>)>, q: &Query, output: bool) {
     match q {
         Query::Text(_) => {}
         Query::Element { content, .. } => {
@@ -164,7 +161,9 @@ fn walk(
             }
         }
         Query::Path(p) => {
-            let Some(base) = lookup(env, &p.start) else { return };
+            let Some(base) = lookup(env, &p.start) else {
+                return;
+            };
             if p.steps.is_empty() {
                 // Bare variable output: whole candidate subtree needed.
                 let base = base.clone();
@@ -233,7 +232,9 @@ mod tests {
     fn proj_for(body_src: &str) -> Projection {
         // Wrap as a for over $input/x so $v is bound.
         let q = parse_query(&format!("for $v in $input/x return {body_src}")).unwrap();
-        let Query::For { var, body, .. } = q else { panic!() };
+        let Query::For { var, body, .. } = q else {
+            panic!()
+        };
         build_projection(&var, &body)
     }
 
@@ -280,7 +281,9 @@ mod tests {
     #[test]
     fn predicates_mark_their_paths() {
         let q = parse_query(r#"for $v in $input/x[./id/text()="1"] return <hit/>"#).unwrap();
-        let Query::For { var, path, body } = q else { panic!() };
+        let Query::For { var, path, body } = q else {
+            panic!()
+        };
         let mut p = build_projection(&var, &body);
         // The engine marks binding predicates explicitly:
         for pred in &path.steps.last().unwrap().preds {

@@ -34,8 +34,7 @@ use foxq_core::mft::{Mft, OutLabel, StateId, XVar};
 use foxq_forest::{FxHashMap, Label, NodeKind};
 
 /// How parameters flow through the composition.
-#[derive(Clone, Copy, PartialEq, Eq)]
-#[derive(Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum ParamMode {
     /// Both transducers are TTs (Lemma 2).
     None,
@@ -230,7 +229,11 @@ impl<'a> Composer<'a> {
         let node = node_at(self.m1.rule(q, rk), u).clone();
         let is_eps_rule = rk == RuleKey::Eps;
         let rhs = match &node {
-            TNode::Call { state: q1, input, args } => {
+            TNode::Call {
+                state: q1,
+                input,
+                args,
+            } => {
                 // u = q'(xi,…): switch to the pair state on the same input.
                 let pair = self.state(CKey::Pair(*q1, p));
                 let new_args = match self.mode {
@@ -243,8 +246,7 @@ impl<'a> Composer<'a> {
                         let mut arg_pos = u + 1;
                         for a in args {
                             for i in 0..self.n2() as u32 {
-                                let st =
-                                    self.state(CKey::Node(q, rk, arg_pos, StateId(i)));
+                                let st = self.state(CKey::Node(q, rk, arg_pos, StateId(i)));
                                 let pass = self.passthrough(&CKey::Node(q, rk, u, p));
                                 v.push(TNode::call(st, XVar::X0, pass));
                             }
@@ -331,7 +333,11 @@ impl<'a> Composer<'a> {
                 debug_assert_eq!(self.mode, ParamMode::SecondMacro);
                 TNode::Param(*j)
             }
-            TNode::Out { label, left: a, right: b } => {
+            TNode::Out {
+                label,
+                left: a,
+                right: b,
+            } => {
                 let label = match label {
                     OutLabel::Sym(s) => {
                         OutLabel::Sym(self.out.alphabet.intern(self.m2.alphabet.label(*s).clone()))
@@ -349,7 +355,11 @@ impl<'a> Composer<'a> {
                     right: Box::new(self.translate_m2(b, q, rk, u, left, right, known)),
                 }
             }
-            TNode::Call { state: p1, input, args } => {
+            TNode::Call {
+                state: p1,
+                input,
+                args,
+            } => {
                 let target_u = match input {
                     XVar::X0 => u,
                     XVar::X1 => left,
@@ -361,9 +371,7 @@ impl<'a> Composer<'a> {
                         .iter()
                         .map(|a| self.translate_m2(a, q, rk, u, left, right, known))
                         .collect(),
-                    ParamMode::FirstMacro => {
-                        self.passthrough(&CKey::Node(q, rk, u, *p1))
-                    }
+                    ParamMode::FirstMacro => self.passthrough(&CKey::Node(q, rk, u, *p1)),
                     ParamMode::None => Vec::new(),
                 };
                 TNode::call(st, XVar::X0, new_args)
@@ -390,9 +398,7 @@ fn node_at(t: &TNode, u: usize) -> &TNode {
         *pos += 1;
         match t {
             TNode::Eps | TNode::Param(_) => None,
-            TNode::Out { left, right, .. } => {
-                walk(left, u, pos).or_else(|| walk(right, u, pos))
-            }
+            TNode::Out { left, right, .. } => walk(left, u, pos).or_else(|| walk(right, u, pos)),
             TNode::Call { args, .. } => args.iter().find_map(|a| walk(a, u, pos)),
         }
     }
@@ -406,10 +412,9 @@ fn specialize_first(m1: &Mtt, m2: &Mtt) -> Mtt {
     let mut out = m1.clone();
     // If M2 distinguishes text nodes, M1 needs an explicit text-default.
     let m2_text_sensitive = m2.rules.iter().any(|r| r.text_default.is_some())
-        || m2
-            .alphabet
-            .iter()
-            .any(|(s, l)| l.kind == NodeKind::Text && m2.rules.iter().any(|r| r.by_sym.contains_key(&s)));
+        || m2.alphabet.iter().any(|(s, l)| {
+            l.kind == NodeKind::Text && m2.rules.iter().any(|r| r.by_sym.contains_key(&s))
+        });
     if m2_text_sensitive {
         for q in 0..out.states.len() {
             if out.rules[q].text_default.is_none() {
@@ -431,7 +436,10 @@ fn specialize_first(m1: &Mtt, m2: &Mtt) -> Mtt {
                 continue;
             }
             let base = if label.kind == NodeKind::Text {
-                out.rules[q].text_default.clone().unwrap_or_else(|| out.rules[q].default.clone())
+                out.rules[q]
+                    .text_default
+                    .clone()
+                    .unwrap_or_else(|| out.rules[q].default.clone())
             } else {
                 out.rules[q].default.clone()
             };
@@ -485,17 +493,17 @@ pub fn compose_tt_tt_naive(m1: &Mtt, m2: &Mtt, fuel: u64) -> Option<Mtt> {
     let mut map: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
     let mut work: Vec<(StateId, StateId)> = Vec::new();
     let mut fuel = fuel;
-    let state =
-        |c: &mut Mtt, map: &mut FxHashMap<(StateId, StateId), StateId>, work: &mut Vec<_>, q: StateId, p: StateId| {
-            *map.entry((q, p)).or_insert_with(|| {
-                let id = c.add_state(
-                    format!("<{},{}>", m1s.name_of(q), m2.name_of(p)),
-                    0,
-                );
-                work.push((q, p));
-                id
-            })
-        };
+    let state = |c: &mut Mtt,
+                 map: &mut FxHashMap<(StateId, StateId), StateId>,
+                 work: &mut Vec<_>,
+                 q: StateId,
+                 p: StateId| {
+        *map.entry((q, p)).or_insert_with(|| {
+            let id = c.add_state(format!("<{},{}>", m1s.name_of(q), m2.name_of(p)), 0);
+            work.push((q, p));
+            id
+        })
+    };
     let init = state(&mut out, &mut map, &mut work, m1s.initial, m2.initial);
     out.initial = init;
     while let Some((q, p)) = work.pop() {
@@ -546,10 +554,11 @@ fn trans_naive(
     }
     *fuel -= 1;
     Some(match t {
-        TNode::Call { state: q1, input, .. } => {
+        TNode::Call {
+            state: q1, input, ..
+        } => {
             let id = *map.entry((*q1, p)).or_insert_with(|| {
-                let id =
-                    out.add_state(format!("<{},{}>", m1s.name_of(*q1), m2.name_of(p)), 0);
+                let id = out.add_state(format!("<{},{}>", m1s.name_of(*q1), m2.name_of(p)), 0);
                 work.push((*q1, p));
                 id
             });
@@ -570,15 +579,15 @@ fn trans_naive(
             };
             let rule2 = match &known {
                 Some(l) => m2.key_for_label(p, l),
-                None if rk == RuleKey::TextDefault
-                    && m2.rules[p.idx()].text_default.is_some() =>
-                {
+                None if rk == RuleKey::TextDefault && m2.rules[p.idx()].text_default.is_some() => {
                     RuleKey::TextDefault
                 }
                 None => RuleKey::Default,
             };
             let t2 = m2.rule(p, rule2).clone();
-            subst_naive(m1s, m2, out, map, work, &t2, t, left, right, rk, &known, fuel)?
+            subst_naive(
+                m1s, m2, out, map, work, &t2, t, left, right, rk, &known, fuel,
+            )?
         }
     })
 }
@@ -603,9 +612,15 @@ fn subst_naive(
     Some(match t2 {
         TNode::Eps => TNode::Eps,
         TNode::Param(_) => unreachable!("TTs have no parameters"),
-        TNode::Out { label, left: a, right: b } => {
+        TNode::Out {
+            label,
+            left: a,
+            right: b,
+        } => {
             let label = match label {
-                OutLabel::Sym(s) => OutLabel::Sym(out.alphabet.intern(m2.alphabet.label(*s).clone())),
+                OutLabel::Sym(s) => {
+                    OutLabel::Sym(out.alphabet.intern(m2.alphabet.label(*s).clone()))
+                }
                 OutLabel::Current => match known {
                     Some(l) => OutLabel::Sym(out.alphabet.intern(l.clone())),
                     None => OutLabel::Current,
@@ -621,7 +636,9 @@ fn subst_naive(
                 )?),
             }
         }
-        TNode::Call { state: p1, input, .. } => {
+        TNode::Call {
+            state: p1, input, ..
+        } => {
             let target = match input {
                 XVar::X0 => whole,
                 XVar::X1 => left,
@@ -666,7 +683,11 @@ mod tests {
         m2.initial = p0;
         m2.rules[p0.idx()].by_sym.insert(
             b2,
-            TNode::sym(c, TNode::call(p0, XVar::X1, vec![]), TNode::call(p0, XVar::X1, vec![])),
+            TNode::sym(
+                c,
+                TNode::call(p0, XVar::X1, vec![]),
+                TNode::call(p0, XVar::X1, vec![]),
+            ),
         );
         (m1, m2)
     }
@@ -706,7 +727,10 @@ mod tests {
             let inputs = if k <= 4 {
                 sample_inputs()
             } else {
-                ["", "a", "a a"].iter().map(|s| fcns(&parse_forest(s).unwrap())).collect()
+                ["", "a", "a a"]
+                    .iter()
+                    .map(|s| fcns(&parse_forest(s).unwrap()))
+                    .collect()
             };
             check_equiv(&stay, &m1, &m2, &inputs);
             check_equiv(&naive, &m1, &m2, &inputs);
@@ -781,7 +805,11 @@ mod tests {
         m2.initial = p;
         m2.rules[p.idx()].by_sym.insert(
             b,
-            TNode::sym(c, TNode::call(p, XVar::X1, vec![]), TNode::call(p, XVar::X2, vec![])),
+            TNode::sym(
+                c,
+                TNode::call(p, XVar::X1, vec![]),
+                TNode::call(p, XVar::X2, vec![]),
+            ),
         );
         m2.rules[p.idx()].default = TNode::out(
             foxq_core::mft::OutLabel::Current,
@@ -811,7 +839,11 @@ mod tests {
         m1.initial = q;
         m1.rules[q.idx()].by_sym.insert(
             a,
-            TNode::sym(b, TNode::call(q, XVar::X1, vec![]), TNode::call(q, XVar::X2, vec![])),
+            TNode::sym(
+                b,
+                TNode::call(q, XVar::X1, vec![]),
+                TNode::call(q, XVar::X2, vec![]),
+            ),
         );
         m1.rules[q.idx()].default = TNode::out(
             foxq_core::mft::OutLabel::Current,
@@ -854,7 +886,11 @@ mod tests {
         m1.initial = q;
         m1.rules[q.idx()].by_sym.insert(
             a,
-            TNode::sym(b, TNode::call(q, XVar::X1, vec![]), TNode::call(q, XVar::X2, vec![])),
+            TNode::sym(
+                b,
+                TNode::call(q, XVar::X1, vec![]),
+                TNode::call(q, XVar::X2, vec![]),
+            ),
         );
         m1.rules[q.idx()].default = TNode::out(
             foxq_core::mft::OutLabel::Current,
@@ -946,7 +982,11 @@ mod tests {
         m2.initial = p;
         m2.rules[p.idx()].by_sym.insert(
             a,
-            TNode::sym(b, TNode::call(p, XVar::X1, vec![]), TNode::call(p, XVar::X2, vec![])),
+            TNode::sym(
+                b,
+                TNode::call(p, XVar::X1, vec![]),
+                TNode::call(p, XVar::X2, vec![]),
+            ),
         );
         m2.rules[p.idx()].default = TNode::out(
             foxq_core::mft::OutLabel::Current,
@@ -975,7 +1015,10 @@ mod tests {
         )
         .unwrap();
         let composed = crate::convert::compose_ft_ft(&d, &d);
-        assert!(!composed.is_ft(), "the composition genuinely needs parameters");
+        assert!(
+            !composed.is_ft(),
+            "the composition genuinely needs parameters"
+        );
         let f = parse_forest("a a").unwrap();
         let once = run_mft(&d, &f).unwrap();
         assert_eq!(once.len(), 4);

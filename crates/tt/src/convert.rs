@@ -50,10 +50,8 @@ pub fn mft_to_mtt(m: &Mft) -> Mtt {
 fn enc_forest(rhs: &Rhs, cat: SymId) -> TNode {
     match rhs.split_first() {
         None => TNode::Eps,
-        Some((n, rest)) if rest.is_empty() => enc_node(n, cat),
-        Some((n, rest)) => {
-            TNode::sym(cat, enc_node(n, cat), enc_forest(&rest.to_vec(), cat))
-        }
+        Some((n, [])) => enc_node(n, cat),
+        Some((n, rest)) => TNode::sym(cat, enc_node(n, cat), enc_forest(&rest.to_vec(), cat)),
     }
 }
 
@@ -104,12 +102,19 @@ fn dec_into(t: &TNode, cat: Option<SymId>, out: &mut Rhs) {
     match t {
         TNode::Eps => {}
         TNode::Param(i) => out.push(RhsNode::Param(*i)),
-        TNode::Out { label: OutLabel::Sym(s), left, right } if Some(*s) == cat => {
+        TNode::Out {
+            label: OutLabel::Sym(s),
+            left,
+            right,
+        } if Some(*s) == cat => {
             dec_into(left, cat, out);
             dec_into(right, cat, out);
         }
         TNode::Out { label, left, right } => {
-            out.push(RhsNode::Out { label: *label, children: dec(left, cat) });
+            out.push(RhsNode::Out {
+                label: *label,
+                children: dec(left, cat),
+            });
             dec_into(right, cat, out);
         }
         TNode::Call { state, input, args } => {
@@ -143,8 +148,10 @@ pub fn ft_to_mtt_acc(m: &Mft) -> Mtt {
         for (sym, rhs) in &rules.by_sym {
             tr.by_sym.insert(*sym, acc_forest(rhs, TNode::Param(0)));
         }
-        tr.text_default =
-            rules.text_default.as_ref().map(|r| acc_forest(r, TNode::Param(0)));
+        tr.text_default = rules
+            .text_default
+            .as_ref()
+            .map(|r| acc_forest(r, TNode::Param(0)));
         tr.default = acc_forest(&rules.default, TNode::Param(0));
         tr.eps = acc_forest(&rules.eps, TNode::Param(0));
     }
@@ -170,9 +177,7 @@ fn acc_forest(rhs: &[RhsNode], k: TNode) -> TNode {
                 RhsNode::Out { label, children } => {
                     TNode::out(*label, acc_forest(children, TNode::Eps), cont)
                 }
-                RhsNode::Call { state, input, .. } => {
-                    TNode::call(*state, *input, vec![cont])
-                }
+                RhsNode::Call { state, input, .. } => TNode::call(*state, *input, vec![cont]),
             }
         }
     }
@@ -200,11 +205,9 @@ fn ev(b: &BinTree, k: BinTree, cat: &foxq_forest::Label) -> BinTree {
             let rest = ev(y, k, cat);
             ev(x, rest, cat)
         }
-        BinTree::Node(l, x, y) => BinTree::node(
-            l.clone(),
-            ev(x, BinTree::Leaf, cat),
-            ev(y, k, cat),
-        ),
+        BinTree::Node(l, x, y) => {
+            BinTree::node(l.clone(), ev(x, BinTree::Leaf, cat), ev(y, k, cat))
+        }
     }
 }
 
@@ -228,7 +231,11 @@ pub fn eval_mtt(alphabet: &foxq_forest::Alphabet) -> Mtt {
     m.rules[e0.idx()].eps = stay;
     m.rules[e.idx()].by_sym.insert(
         cat,
-        TNode::call(e, XVar::X1, vec![TNode::call(e, XVar::X2, vec![TNode::Param(0)])]),
+        TNode::call(
+            e,
+            XVar::X1,
+            vec![TNode::call(e, XVar::X2, vec![TNode::Param(0)])],
+        ),
     );
     m.rules[e.idx()].default = TNode::out(
         OutLabel::Current,
@@ -312,7 +319,11 @@ mod tests {
         let b = fcns(&parse_forest("b").unwrap());
         let c = fcns(&parse_forest("c").unwrap());
         // @(@(a,b),c) and @(a,@(b,c)) both flatten to a b c.
-        let left = BinTree::node(cat.clone(), BinTree::node(cat.clone(), a.clone(), b.clone()), c.clone());
+        let left = BinTree::node(
+            cat.clone(),
+            BinTree::node(cat.clone(), a.clone(), b.clone()),
+            c.clone(),
+        );
         let right = BinTree::node(cat.clone(), a, BinTree::node(cat, b, c));
         assert_eq!(eval_btree(&left), eval_btree(&right));
         assert_eq!(forest_to_term(&unfcns(&eval_btree(&left))), "a() b() c()");
@@ -336,7 +347,11 @@ mod tests {
             ),
             BinTree::node(
                 cat.clone(),
-                BinTree::node(cat.clone(), fcns(&parse_forest("a").unwrap()), BinTree::Leaf),
+                BinTree::node(
+                    cat.clone(),
+                    fcns(&parse_forest("a").unwrap()),
+                    BinTree::Leaf,
+                ),
                 BinTree::node(
                     cat,
                     fcns(&parse_forest("b(c)").unwrap()),

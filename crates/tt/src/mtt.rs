@@ -29,16 +29,28 @@ pub enum TNode {
     /// The leaf ε.
     Eps,
     /// A binary output node.
-    Out { label: OutLabel, left: Box<TNode>, right: Box<TNode> },
+    Out {
+        label: OutLabel,
+        left: Box<TNode>,
+        right: Box<TNode>,
+    },
     /// A state call `q(xi, t1, …, tm)`.
-    Call { state: StateId, input: XVar, args: Vec<TNode> },
+    Call {
+        state: StateId,
+        input: XVar,
+        args: Vec<TNode>,
+    },
     /// A context parameter `y_{i+1}` (0-based).
     Param(usize),
 }
 
 impl TNode {
     pub fn out(label: OutLabel, left: TNode, right: TNode) -> TNode {
-        TNode::Out { label, left: Box::new(left), right: Box::new(right) }
+        TNode::Out {
+            label,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub fn sym(sym: SymId, left: TNode, right: TNode) -> TNode {
@@ -55,9 +67,7 @@ impl TNode {
             TNode::Eps => 1,
             TNode::Param(_) => 1,
             TNode::Out { left, right, .. } => 1 + left.size() + right.size(),
-            TNode::Call { args, .. } => {
-                2 + args.iter().map(TNode::size).sum::<usize>()
-            }
+            TNode::Call { args, .. } => 2 + args.iter().map(TNode::size).sum::<usize>(),
         }
     }
 }
@@ -110,7 +120,10 @@ impl Mtt {
 
     pub fn add_state(&mut self, name: impl Into<String>, params: usize) -> StateId {
         let id = StateId(self.states.len() as u32);
-        self.states.push(StateInfo { name: name.into(), params });
+        self.states.push(StateInfo {
+            name: name.into(),
+            params,
+        });
         self.rules.push(TtRules::default());
         id
     }
@@ -198,7 +211,11 @@ impl Mtt {
             TNode::Eps => Ok(()),
             TNode::Param(i) => {
                 if *i >= m {
-                    Err(format!("{}: parameter y{} out of range", self.name_of(q), i + 1))
+                    Err(format!(
+                        "{}: parameter y{} out of range",
+                        self.name_of(q),
+                        i + 1
+                    ))
                 } else {
                     Ok(())
                 }
@@ -226,7 +243,8 @@ impl Mtt {
                         self.params_of(*state)
                     ));
                 }
-                args.iter().try_for_each(|a| self.validate_node(q, m, a, is_eps))
+                args.iter()
+                    .try_for_each(|a| self.validate_node(q, m, a, is_eps))
             }
         }
     }
@@ -271,7 +289,11 @@ pub fn run_mtt_with_limit(
     input: &BinTree,
     max_steps: u64,
 ) -> Result<BinTree, MttRunError> {
-    let mut ctx = Ctx { m, steps: 0, max_steps };
+    let mut ctx = Ctx {
+        m,
+        steps: 0,
+        max_steps,
+    };
     ctx.eval(m.initial, input, &[])
 }
 
@@ -290,7 +312,9 @@ impl<'a> Ctx<'a> {
     ) -> Result<BinTree, MttRunError> {
         self.steps += 1;
         if self.steps > self.max_steps {
-            return Err(MttRunError { msg: format!("step limit {} exceeded", self.max_steps) });
+            return Err(MttRunError {
+                msg: format!("step limit {} exceeded", self.max_steps),
+            });
         }
         match t {
             BinTree::Leaf => {
@@ -321,7 +345,9 @@ impl<'a> Ctx<'a> {
                     OutLabel::Current => match node {
                         Some((l, _, _)) => l.clone(),
                         None => {
-                            return Err(MttRunError { msg: "%t at ε".into() });
+                            return Err(MttRunError {
+                                msg: "%t at ε".into(),
+                            });
                         }
                     },
                 };
@@ -391,7 +417,11 @@ mod tests {
         m.initial = p;
         m.rules[p.idx()].by_sym.insert(
             b,
-            TNode::sym(c, TNode::call(p, XVar::X1, vec![]), TNode::call(p, XVar::X1, vec![])),
+            TNode::sym(
+                c,
+                TNode::call(p, XVar::X1, vec![]),
+                TNode::call(p, XVar::X1, vec![]),
+            ),
         );
         m.validate().unwrap();
         let input = fcns(&parse_forest("b(b(b()))").unwrap());
@@ -453,8 +483,7 @@ mod tests {
         m.initial = q;
         m.rules[q.idx()].text_default =
             Some(TNode::sym(t, TNode::Eps, TNode::call(q, XVar::X2, vec![])));
-        m.rules[q.idx()].default =
-            Some(TNode::sym(e, TNode::Eps, TNode::call(q, XVar::X2, vec![]))).unwrap();
+        m.rules[q.idx()].default = TNode::sym(e, TNode::Eps, TNode::call(q, XVar::X2, vec![]));
         m.validate().unwrap();
         let input = fcns(&parse_forest(r#"x() "hello" y()"#).unwrap());
         let out = run_mtt(&m, &input).unwrap();

@@ -10,7 +10,11 @@ pub enum XmlError {
     /// The input ended inside an open element.
     UnexpectedEof { offset: u64, open_elements: usize },
     /// A closing tag did not match the innermost open element.
-    MismatchedClose { offset: u64, expected: String, found: String },
+    MismatchedClose {
+        offset: u64,
+        expected: String,
+        found: String,
+    },
     /// Input was not valid UTF-8.
     Utf8 { offset: u64 },
     /// Underlying I/O failure.
@@ -23,11 +27,18 @@ impl fmt::Display for XmlError {
             XmlError::Syntax { offset, msg } => {
                 write!(f, "XML syntax error at byte {offset}: {msg}")
             }
-            XmlError::UnexpectedEof { offset, open_elements } => write!(
+            XmlError::UnexpectedEof {
+                offset,
+                open_elements,
+            } => write!(
                 f,
                 "unexpected end of input at byte {offset} with {open_elements} unclosed element(s)"
             ),
-            XmlError::MismatchedClose { offset, expected, found } => write!(
+            XmlError::MismatchedClose {
+                offset,
+                expected,
+                found,
+            } => write!(
                 f,
                 "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
             ),

@@ -60,8 +60,8 @@ mod tests {
 
     #[test]
     fn attributes_become_children() {
-        let f = parse_document(br#"<book isbn="123" price="$99"><title>Art</title></book>"#)
-            .unwrap();
+        let f =
+            parse_document(br#"<book isbn="123" price="$99"><title>Art</title></book>"#).unwrap();
         assert_eq!(
             forest_to_term(&f),
             r#"book(isbn("123") price("$99") title("Art"))"#

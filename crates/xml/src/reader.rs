@@ -142,7 +142,10 @@ impl<R: BufRead> XmlReader<R> {
     }
 
     fn syntax<T>(&self, msg: impl Into<String>) -> Result<T, XmlError> {
-        Err(XmlError::Syntax { offset: self.offset, msg: msg.into() })
+        Err(XmlError::Syntax {
+            offset: self.offset,
+            msg: msg.into(),
+        })
     }
 
     // ---- markup --------------------------------------------------------
@@ -178,7 +181,9 @@ impl<R: BufRead> XmlReader<R> {
                 None => break,
             }
         }
-        String::from_utf8(name).map_err(|_| XmlError::Utf8 { offset: self.offset })
+        String::from_utf8(name).map_err(|_| XmlError::Utf8 {
+            offset: self.offset,
+        })
     }
 
     fn skip_ws(&mut self) -> Result<(), XmlError> {
@@ -259,8 +264,9 @@ impl<R: BufRead> XmlReader<R> {
                 raw.push(c);
             }
         }
-        let value =
-            String::from_utf8(raw).map_err(|_| XmlError::Utf8 { offset: self.offset })?;
+        let value = String::from_utf8(raw).map_err(|_| XmlError::Utf8 {
+            offset: self.offset,
+        })?;
         Ok((name, value))
     }
 
@@ -318,8 +324,9 @@ impl<R: BufRead> XmlReader<R> {
                     tail[0] = tail[1];
                     tail[1] = c;
                 }
-                let content = String::from_utf8(raw)
-                    .map_err(|_| XmlError::Utf8 { offset: self.offset })?;
+                let content = String::from_utf8(raw).map_err(|_| XmlError::Utf8 {
+                    offset: self.offset,
+                })?;
                 if !content.is_empty() {
                     let label = Label::text(content);
                     self.queue.push_back(XmlEvent::Open(label.clone()));
@@ -393,8 +400,9 @@ impl<R: BufRead> XmlReader<R> {
             }
         }
         let raw = std::mem::take(&mut self.scratch);
-        let content = String::from_utf8(raw)
-            .map_err(|_| XmlError::Utf8 { offset: self.offset })?;
+        let content = String::from_utf8(raw).map_err(|_| XmlError::Utf8 {
+            offset: self.offset,
+        })?;
         let content = match self.ws {
             WhitespaceMode::Preserve => content,
             WhitespaceMode::SkipWhitespaceOnly => {
@@ -436,10 +444,10 @@ impl<R: BufRead> XmlReader<R> {
             b"apos" => out.push(b'\''),
             b"quot" => out.push(b'"'),
             n if n.first() == Some(&b'#') => {
-                let s = std::str::from_utf8(&n[1..])
-                    .map_err(|_| XmlError::Utf8 { offset: self.offset })?;
-                let code = if let Some(hex) = s.strip_prefix('x').or_else(|| s.strip_prefix('X'))
-                {
+                let s = std::str::from_utf8(&n[1..]).map_err(|_| XmlError::Utf8 {
+                    offset: self.offset,
+                })?;
+                let code = if let Some(hex) = s.strip_prefix('x').or_else(|| s.strip_prefix('X')) {
                     u32::from_str_radix(hex, 16)
                 } else {
                     s.parse::<u32>()
@@ -517,7 +525,13 @@ mod tests {
     fn text_and_whitespace_modes() {
         assert_eq!(
             events("<a> hi </a>"),
-            vec![open("a"), topen(" hi "), tclose(" hi "), close("a"), XmlEvent::Eof]
+            vec![
+                open("a"),
+                topen(" hi "),
+                tclose(" hi "),
+                close("a"),
+                XmlEvent::Eof
+            ]
         );
         assert_eq!(
             events("<a>  \n </a>"),
@@ -525,11 +539,23 @@ mod tests {
         );
         assert_eq!(
             events_mode("<a> hi </a>", WhitespaceMode::Trim),
-            vec![open("a"), topen("hi"), tclose("hi"), close("a"), XmlEvent::Eof]
+            vec![
+                open("a"),
+                topen("hi"),
+                tclose("hi"),
+                close("a"),
+                XmlEvent::Eof
+            ]
         );
         assert_eq!(
             events_mode("<a> </a>", WhitespaceMode::Preserve),
-            vec![open("a"), topen(" "), tclose(" "), close("a"), XmlEvent::Eof]
+            vec![
+                open("a"),
+                topen(" "),
+                tclose(" "),
+                close("a"),
+                XmlEvent::Eof
+            ]
         );
     }
 
@@ -592,7 +618,10 @@ mod tests {
     fn mismatched_close_is_an_error() {
         let mut r = XmlReader::new("<a></b>".as_bytes());
         r.next_event().unwrap();
-        assert!(matches!(r.next_event(), Err(XmlError::MismatchedClose { .. })));
+        assert!(matches!(
+            r.next_event(),
+            Err(XmlError::MismatchedClose { .. })
+        ));
     }
 
     #[test]
@@ -600,7 +629,10 @@ mod tests {
         let mut r = XmlReader::new("<a><b>".as_bytes());
         r.next_event().unwrap();
         r.next_event().unwrap();
-        assert!(matches!(r.next_event(), Err(XmlError::UnexpectedEof { .. })));
+        assert!(matches!(
+            r.next_event(),
+            Err(XmlError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

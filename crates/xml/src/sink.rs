@@ -50,7 +50,10 @@ pub struct ForestSink {
 
 impl ForestSink {
     pub fn new() -> Self {
-        ForestSink { roots: Vec::new(), stack: Vec::new() }
+        ForestSink {
+            roots: Vec::new(),
+            stack: Vec::new(),
+        }
     }
 
     pub fn into_forest(mut self) -> Forest {
@@ -77,7 +80,10 @@ impl Default for ForestSink {
 
 impl XmlSink for ForestSink {
     fn open(&mut self, label: &Label) {
-        self.stack.push(Tree { label: label.clone(), children: Vec::new() });
+        self.stack.push(Tree {
+            label: label.clone(),
+            children: Vec::new(),
+        });
     }
 
     fn close(&mut self, _label: &Label) {
@@ -97,7 +103,10 @@ pub struct WriterSink<W: Write> {
 
 impl<W: Write> WriterSink<W> {
     pub fn new(out: W) -> Self {
-        WriterSink { writer: XmlWriter::new(out), error: None }
+        WriterSink {
+            writer: XmlWriter::new(out),
+            error: None,
+        }
     }
 
     pub fn bytes_written(&self) -> u64 {

@@ -28,8 +28,12 @@ pub enum Dataset {
 }
 
 impl Dataset {
-    pub const ALL: [Dataset; 4] =
-        [Dataset::Xmark, Dataset::Treebank, Dataset::Medline, Dataset::Protein];
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Xmark,
+        Dataset::Treebank,
+        Dataset::Medline,
+        Dataset::Protein,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -56,9 +60,9 @@ pub fn generate(kind: Dataset, target_bytes: usize, seed: u64) -> Forest {
 // ---------------------------------------------------------------------------
 
 const WORDS: &[&str] = &[
-    "stream", "forest", "auction", "gold", "green", "query", "river", "market", "quiet",
-    "silver", "tree", "node", "paper", "winter", "maple", "harbor", "stone", "cloud",
-    "amber", "raven", "delta", "spark", "crest", "violet", "meadow", "north", "ember",
+    "stream", "forest", "auction", "gold", "green", "query", "river", "market", "quiet", "silver",
+    "tree", "node", "paper", "winter", "maple", "harbor", "stone", "cloud", "amber", "raven",
+    "delta", "spark", "crest", "violet", "meadow", "north", "ember",
 ];
 
 fn words(rng: &mut SmallRng, n: usize) -> String {
@@ -106,11 +110,20 @@ impl XmarkConfig {
 /// Generate an XMark-like document (root element `site`).
 pub fn xmark(config: &XmarkConfig) -> Forest {
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let regions = ["africa", "asia", "australia", "europe", "namerica", "samerica"];
+    let regions = [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ];
     let region_nodes: Vec<Tree> = regions
         .iter()
         .map(|r| {
-            let items = (0..config.items_per_region).map(|i| item(&mut rng, r, i)).collect();
+            let items = (0..config.items_per_region)
+                .map(|i| item(&mut rng, r, i))
+                .collect();
             elem(r, items)
         })
         .collect();
@@ -134,26 +147,43 @@ pub fn xmark(config: &XmarkConfig) -> Forest {
 
 /// XMark-like document of approximately `target_bytes`.
 pub fn xmark_bytes(target_bytes: usize, seed: u64) -> Forest {
-    calibrated(target_bytes, seed, |n, s| xmark(&XmarkConfig::with_scale(n, s)))
+    calibrated(target_bytes, seed, |n, s| {
+        xmark(&XmarkConfig::with_scale(n, s))
+    })
 }
 
 fn person(rng: &mut SmallRng, i: usize) -> Tree {
     let mut kids = vec![
         elem("person_id", vec![text(&format!("person{i}"))]),
         elem("name", vec![wtext(rng, 2)]),
-        elem("emailaddress", vec![text(&format!("mailto:{}@example.org", i))]),
+        elem(
+            "emailaddress",
+            vec![text(&format!("mailto:{}@example.org", i))],
+        ),
     ];
     if rng.gen_bool(0.5) {
-        kids.push(elem("homepage", vec![text(&format!("http://example.org/~p{i}"))]));
+        kids.push(elem(
+            "homepage",
+            vec![text(&format!("http://example.org/~p{i}"))],
+        ));
     }
     if rng.gen_bool(0.3) {
-        kids.push(elem("creditcard", vec![text(&format!("{:04} 9999", i % 10_000))]));
+        kids.push(elem(
+            "creditcard",
+            vec![text(&format!("{:04} 9999", i % 10_000))],
+        ));
     }
     kids.push(elem(
         "profile",
         vec![
-            elem("interest", vec![elem("interest_category", vec![wtext(rng, 1)])]),
-            elem("income", vec![text(&format!("{}", 20_000 + (i * 97) % 80_000))]),
+            elem(
+                "interest",
+                vec![elem("interest_category", vec![wtext(rng, 1)])],
+            ),
+            elem(
+                "income",
+                vec![text(&format!("{}", 20_000 + (i * 97) % 80_000))],
+            ),
         ],
     ));
     elem("person", kids)
@@ -161,12 +191,18 @@ fn person(rng: &mut SmallRng, i: usize) -> Tree {
 
 fn open_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
     let nbidders = rng.gen_range(1..=4);
-    let mut kids = vec![elem("initial", vec![text(&format!("{}.{:02}", i % 300, i % 100))])];
+    let mut kids = vec![elem(
+        "initial",
+        vec![text(&format!("{}.{:02}", i % 300, i % 100))],
+    )];
     for b in 0..nbidders {
         kids.push(elem(
             "bidder",
             vec![
-                elem("date", vec![text(&format!("0{}/1{}/2001", b % 9 + 1, b % 9))]),
+                elem(
+                    "date",
+                    vec![text(&format!("0{}/1{}/2001", b % 9 + 1, b % 9))],
+                ),
                 elem(
                     "personref",
                     vec![elem(
@@ -179,12 +215,18 @@ fn open_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
         ));
     }
     if rng.gen_bool(0.6) {
-        kids.push(elem("reserve", vec![text(&format!("{}.00", 100 + i % 900))]));
+        kids.push(elem(
+            "reserve",
+            vec![text(&format!("{}.00", 100 + i % 900))],
+        ));
     }
     kids.push(elem("current", vec![text(&format!("{}.00", 10 + i % 90))]));
     kids.push(elem(
         "seller",
-        vec![elem("seller_person", vec![text(&format!("person{}", i % persons.max(1)))])],
+        vec![elem(
+            "seller_person",
+            vec![text(&format!("person{}", i % persons.max(1)))],
+        )],
     ));
     kids.push(elem("quantity", vec![text("1")]));
     elem("open_auction", kids)
@@ -205,10 +247,7 @@ fn closed_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
                             "listitem",
                             vec![elem(
                                 "text",
-                                vec![elem(
-                                    "emph",
-                                    vec![elem("keyword", vec![wtext(rng, 1)])],
-                                )],
+                                vec![elem("emph", vec![elem("keyword", vec![wtext(rng, 1)])])],
                             )],
                         )],
                     )],
@@ -216,14 +255,20 @@ fn closed_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
             )],
         )
     } else {
-        elem("description", vec![elem("parlist", vec![elem("listitem", vec![wtext(rng, 4)])])])
+        elem(
+            "description",
+            vec![elem("parlist", vec![elem("listitem", vec![wtext(rng, 4)])])],
+        )
     };
     elem(
         "closed_auction",
         vec![
             elem(
                 "seller",
-                vec![elem("seller_person", vec![text(&format!("person{}", i % persons.max(1)))])],
+                vec![elem(
+                    "seller_person",
+                    vec![text(&format!("person{}", i % persons.max(1)))],
+                )],
             ),
             elem(
                 "buyer",
@@ -235,7 +280,10 @@ fn closed_auction(rng: &mut SmallRng, i: usize, persons: usize) -> Tree {
             elem("price", vec![text(&format!("{}.00", 40 + i % 200))]),
             elem("date", vec![text("10/12/2001")]),
             elem("quantity", vec![text("1")]),
-            elem("annotation", vec![elem("author", vec![wtext(rng, 2)]), description]),
+            elem(
+                "annotation",
+                vec![elem("author", vec![wtext(rng, 2)]), description],
+            ),
         ],
     )
 }
@@ -267,7 +315,9 @@ fn item(rng: &mut SmallRng, region: &str, i: usize) -> Tree {
 // TreeBank-like (deep)
 // ---------------------------------------------------------------------------
 
-const TB_TAGS: &[&str] = &["S", "NP", "VP", "PP", "DT", "NN", "VB", "IN", "JJ", "SBAR", "ADJP"];
+const TB_TAGS: &[&str] = &[
+    "S", "NP", "VP", "PP", "DT", "NN", "VB", "IN", "JJ", "SBAR", "ADJP",
+];
 
 /// TreeBank-like: sentences as deeply nested phrase-structure trees;
 /// target depth ≈ 37 like the paper's Table 1.
@@ -326,7 +376,10 @@ pub fn medline(records: usize, seed: u64) -> Forest {
                         "Article",
                         vec![
                             elem("ArticleTitle", vec![wtext(&mut rng, 8)]),
-                            elem("Abstract", vec![elem("AbstractText", vec![wtext(&mut rng, 40)])]),
+                            elem(
+                                "Abstract",
+                                vec![elem("AbstractText", vec![wtext(&mut rng, 40)])],
+                            ),
                             elem(
                                 "AuthorList",
                                 (0..rng.gen_range(1..=4))
@@ -424,11 +477,7 @@ pub fn protein_bytes(target_bytes: usize, seed: u64) -> Forest {
 
 /// Generate with a unit count calibrated so the serialized size approaches
 /// `target_bytes` (within ~20% for non-trivial targets).
-fn calibrated(
-    target_bytes: usize,
-    seed: u64,
-    gen: impl Fn(usize, u64) -> Forest,
-) -> Forest {
+fn calibrated(target_bytes: usize, seed: u64, gen: impl Fn(usize, u64) -> Forest) -> Forest {
     const PROBE: usize = 8;
     let sample = gen(PROBE, seed);
     let per_unit = (ForestStats::of_forest(&sample).xml_bytes / PROBE).max(1);
@@ -485,17 +534,42 @@ mod tests {
         use foxq_xquery_check::*;
         let f = xmark(&XmarkConfig::with_scale(40, 3));
         // Q1: person0 must exist and have a name.
-        assert!(has(&f, &["site", "people", "person", "person_id"], Some("person0")));
+        assert!(has(
+            &f,
+            &["site", "people", "person", "person_id"],
+            Some("person0")
+        ));
         // Q2: bidder increases exist.
-        assert!(has(&f, &["site", "open_auctions", "open_auction", "bidder", "increase"], None));
+        assert!(has(
+            &f,
+            &[
+                "site",
+                "open_auctions",
+                "open_auction",
+                "bidder",
+                "increase"
+            ],
+            None
+        ));
         // Q4: personref path and reserve exist.
         assert!(has(
             &f,
-            &["site", "open_auctions", "open_auction", "bidder", "personref", "personref_person"],
+            &[
+                "site",
+                "open_auctions",
+                "open_auction",
+                "bidder",
+                "personref",
+                "personref_person"
+            ],
             None
         ));
         // Q13: australia items with name and description.
-        assert!(has(&f, &["site", "regions", "australia", "item", "name"], None));
+        assert!(has(
+            &f,
+            &["site", "regions", "australia", "item", "name"],
+            None
+        ));
         // Q16: the deep keyword chain appears.
         assert!(has(
             &f,
@@ -528,8 +602,7 @@ mod tests {
         use foxq_forest::Tree;
 
         pub fn find_all<'t>(f: &'t [Tree], path: &[&str]) -> Vec<&'t Tree> {
-            let mut cur: Vec<&Tree> =
-                f.iter().filter(|t| &*t.label.name == path[0]).collect();
+            let mut cur: Vec<&Tree> = f.iter().filter(|t| &*t.label.name == path[0]).collect();
             for name in &path[1..] {
                 cur = cur
                     .iter()
@@ -542,8 +615,7 @@ mod tests {
 
         pub fn has(f: &[Tree], path: &[&str], text_eq: Option<&str>) -> bool {
             // Roots must match path[0].
-            let roots: Vec<&Tree> =
-                f.iter().filter(|t| &*t.label.name == path[0]).collect();
+            let roots: Vec<&Tree> = f.iter().filter(|t| &*t.label.name == path[0]).collect();
             let mut cur = roots;
             for name in &path[1..] {
                 cur = cur

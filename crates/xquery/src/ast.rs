@@ -29,9 +29,17 @@ pub enum Query {
     /// Literal text content inside a constructor.
     Text(String),
     /// `for $var in path return body`.
-    For { var: String, path: Path, body: Box<Query> },
+    For {
+        var: String,
+        path: Path,
+        body: Box<Query>,
+    },
     /// `let $var := value return body`.
-    Let { var: String, value: Box<Query>, body: Box<Query> },
+    Let {
+        var: String,
+        value: Box<Query>,
+        body: Box<Query>,
+    },
     /// An `ordpath`: a variable with zero or more steps.
     Path(Path),
     /// A sequence `(q1, q2, …)`.
@@ -279,9 +287,16 @@ mod tests {
             var: "v".into(),
             path: Path {
                 start: "input".into(),
-                steps: vec![Step { axis: Axis::Child, test: NodeTest::Name("a".into()), preds: vec![] }],
+                steps: vec![Step {
+                    axis: Axis::Child,
+                    test: NodeTest::Name("a".into()),
+                    preds: vec![],
+                }],
             },
-            body: Box::new(Query::Path(Path { start: "v".into(), steps: vec![] })),
+            body: Box::new(Query::Path(Path {
+                start: "v".into(),
+                steps: vec![],
+            })),
         };
         assert_eq!(q.size(), 1 + 2 + 2);
     }

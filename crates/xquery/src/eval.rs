@@ -25,7 +25,10 @@ impl std::fmt::Display for XqRunError {
         match self {
             XqRunError::Unbound(v) => write!(f, "unbound variable ${v}"),
             XqRunError::PathFromConstructed(v) => {
-                write!(f, "path starts at ${v}, which is bound to constructed content")
+                write!(
+                    f,
+                    "path starts at ${v}, which is bound to constructed content"
+                )
             }
         }
     }
@@ -97,8 +100,15 @@ impl Doc {
 
     /// Children of `n` in document order.
     pub fn children(&self, n: usize) -> ChildIter<'_> {
-        let first = if n + 1 < self.end[n] { Some(n + 1) } else { None };
-        ChildIter { doc: self, cur: first }
+        let first = if n + 1 < self.end[n] {
+            Some(n + 1)
+        } else {
+            None
+        };
+        ChildIter {
+            doc: self,
+            cur: first,
+        }
     }
 
     /// Descendants of `n` (excluding `n`) in document order.
@@ -108,7 +118,10 @@ impl Doc {
 
     /// Following siblings of `n` in document order.
     pub fn following_siblings(&self, n: usize) -> ChildIter<'_> {
-        ChildIter { doc: self, cur: self.next_sib[n] }
+        ChildIter {
+            doc: self,
+            cur: self.next_sib[n],
+        }
     }
 
     /// XPath string value: concatenated text content of the subtree.
@@ -208,7 +221,10 @@ fn eval(q: &Query, doc: &Doc, env: &mut Vec<(String, Value)>) -> Result<Value, X
                 let v = eval(c, doc, env)?;
                 value_to_forest(doc, &v, &mut children);
             }
-            Ok(vec![Item::Tree(Rc::new(Tree { label: Label::elem(name.clone()), children }))])
+            Ok(vec![Item::Tree(Rc::new(Tree {
+                label: Label::elem(name.clone()),
+                children,
+            }))])
         }
         Query::Seq(qs) => {
             let mut out = Vec::new();
@@ -254,11 +270,7 @@ fn lookup<'e>(env: &'e [(String, Value)], var: &str) -> Result<&'e Value, XqRunE
 }
 
 /// Evaluate a path; the start variable must be bound to input nodes.
-fn eval_path(
-    p: &Path,
-    doc: &Doc,
-    env: &[(String, Value)],
-) -> Result<Vec<usize>, XqRunError> {
+fn eval_path(p: &Path, doc: &Doc, env: &[(String, Value)]) -> Result<Vec<usize>, XqRunError> {
     let base = lookup(env, &p.start)?;
     let mut cur: Vec<usize> = Vec::with_capacity(base.len());
     for item in base {
@@ -440,18 +452,21 @@ mod tests {
         let doc = r#"r(p(id("1") h()) p(id("2")) p(h()))"#;
         assert_eq!(run("$input/r/p[./h]", doc), r#"p(id("1") h()) p(h())"#);
         assert_eq!(run("$input/r/p[empty(./h)]", doc), r#"p(id("2"))"#);
-        assert_eq!(run(r#"$input/r/p[./id/text()="1"]"#, doc), r#"p(id("1") h())"#);
         assert_eq!(
-            run(r#"$input/r/p[./id/text()!="1"]"#, doc),
-            r#"p(id("2"))"#
+            run(r#"$input/r/p[./id/text()="1"]"#, doc),
+            r#"p(id("1") h())"#
         );
+        assert_eq!(run(r#"$input/r/p[./id/text()!="1"]"#, doc), r#"p(id("2"))"#);
     }
 
     #[test]
     fn string_value_of_elements() {
         // Eq compares the *string value* (concatenated text).
         let doc = r#"r(p(name("Jo" e("h") "n")))"#;
-        assert_eq!(run(r#"$input/r/p[./name="John"]"#, doc), r#"p(name("Jo" e("h") "n"))"#);
+        assert_eq!(
+            run(r#"$input/r/p[./name="John"]"#, doc),
+            r#"p(name("Jo" e("h") "n"))"#
+        );
     }
 
     #[test]
@@ -466,7 +481,10 @@ mod tests {
     #[test]
     fn lets_bind_sequences() {
         let doc = "r(a() a())";
-        assert_eq!(run("let $x := $input/r/a return ($x, $x)", doc), "a() a() a() a()");
+        assert_eq!(
+            run("let $x := $input/r/a return ($x, $x)", doc),
+            "a() a() a() a()"
+        );
     }
 
     #[test]

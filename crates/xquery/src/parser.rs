@@ -19,7 +19,11 @@ pub struct XqSyntaxError {
 
 impl std::fmt::Display for XqSyntaxError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "XQuery syntax error at {}:{}: {}", self.line, self.col, self.msg)
+        write!(
+            f,
+            "XQuery syntax error at {}:{}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 
@@ -27,7 +31,10 @@ impl std::error::Error for XqSyntaxError {}
 
 /// Parse a complete MinXQuery program.
 pub fn parse_query(src: &str) -> Result<Query, XqSyntaxError> {
-    let mut p = P { src: src.as_bytes(), pos: 0 };
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
     p.ws();
     let q = p.query()?;
     p.ws();
@@ -55,7 +62,11 @@ impl<'a> P<'a> {
                 col += 1;
             }
         }
-        Err(XqSyntaxError { line, col, msg: msg.into() })
+        Err(XqSyntaxError {
+            line,
+            col,
+            msg: msg.into(),
+        })
     }
 
     fn peek(&self) -> Option<u8> {
@@ -186,7 +197,9 @@ impl<'a> P<'a> {
     fn query(&mut self) -> Result<Query, XqSyntaxError> {
         self.ws();
         if self.peek() == Some(b'<')
-            && self.peek2().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+            && self
+                .peek2()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
         {
             self.element()
         } else {
@@ -199,7 +212,10 @@ impl<'a> P<'a> {
         let name = self.name()?;
         self.ws();
         if self.eat("/>") {
-            return Ok(Query::Element { name, content: vec![] });
+            return Ok(Query::Element {
+                name,
+                content: vec![],
+            });
         }
         self.expect(">")?;
         let mut content = Vec::new();
@@ -260,7 +276,11 @@ impl<'a> P<'a> {
                 return self.err("expected 'return' in for clause");
             }
             let body = self.query()?;
-            return Ok(Query::For { var, path, body: Box::new(body) });
+            return Ok(Query::For {
+                var,
+                path,
+                body: Box::new(body),
+            });
         }
         if self.keyword("let") {
             self.ws();
@@ -273,7 +293,11 @@ impl<'a> P<'a> {
                 return self.err("expected 'return' in let clause");
             }
             let body = self.query()?;
-            return Ok(Query::Let { var, value: Box::new(value), body: Box::new(body) });
+            return Ok(Query::Let {
+                var,
+                value: Box::new(value),
+                body: Box::new(body),
+            });
         }
         if self.peek() == Some(b'(') {
             self.pos += 1;
@@ -284,7 +308,11 @@ impl<'a> P<'a> {
                 self.ws();
             }
             self.expect(")")?;
-            return Ok(if qs.len() == 1 { qs.pop().unwrap() } else { Query::Seq(qs) });
+            return Ok(if qs.len() == 1 {
+                qs.pop().unwrap()
+            } else {
+                Query::Seq(qs)
+            });
         }
         Ok(Query::Path(self.ordpath()?))
     }
@@ -417,8 +445,7 @@ impl<'a> P<'a> {
             }
         } else {
             // A bare step (no slash): `[name]`, `[text()="x"]`.
-            if self.peek() != Some(b']') && self.peek() != Some(b'=') && self.peek() != Some(b'!')
-            {
+            if self.peek() != Some(b']') && self.peek() != Some(b'=') && self.peek() != Some(b'!') {
                 let test = self.node_test()?;
                 let mut preds = Vec::new();
                 loop {
@@ -431,7 +458,11 @@ impl<'a> P<'a> {
                         break;
                     }
                 }
-                steps.push(Step { axis: Axis::Child, test, preds });
+                steps.push(Step {
+                    axis: Axis::Child,
+                    test,
+                    preds,
+                });
             }
         }
         if steps.is_empty() {
@@ -456,8 +487,8 @@ mod tests {
     fn roundtrip(src: &str) -> Query {
         let q = parse_query(src).unwrap();
         let printed = q.to_string();
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
         assert_eq!(q, q2, "printer/parser mismatch for {src}");
         q
     }
@@ -486,9 +517,13 @@ mod tests {
             r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
                  return let $r := $b/name/text() return $r }</out>"#,
         );
-        let Query::Element { name, content } = &q else { panic!() };
+        let Query::Element { name, content } = &q else {
+            panic!()
+        };
         assert_eq!(name, "out");
-        let Query::For { path, .. } = &content[0] else { panic!() };
+        let Query::For { path, .. } = &content[0] else {
+            panic!()
+        };
         assert_eq!(path.steps.len(), 1);
         assert_eq!(path.steps[0].preds.len(), 1);
         match &path.steps[0].preds[0] {
@@ -505,13 +540,22 @@ mod tests {
     fn abbreviations() {
         // `//` as descendant; bare `/` as $input; abbreviated child steps.
         let q = parse_query("<fourstar>{$input//*//*//*//*}</fourstar>").unwrap();
-        let Query::Element { content, .. } = &q else { panic!() };
-        let Query::Path(p) = &content[0] else { panic!() };
+        let Query::Element { content, .. } = &q else {
+            panic!()
+        };
+        let Query::Path(p) = &content[0] else {
+            panic!()
+        };
         assert_eq!(p.steps.len(), 4);
-        assert!(p.steps.iter().all(|s| s.axis == Axis::Descendant && s.test == NodeTest::AnyElem));
+        assert!(p
+            .steps
+            .iter()
+            .all(|s| s.axis == Axis::Descendant && s.test == NodeTest::AnyElem));
 
         let q2 = parse_query("for $x in /site/regions return $x").unwrap();
-        let Query::For { path, .. } = &q2 else { panic!() };
+        let Query::For { path, .. } = &q2 else {
+            panic!()
+        };
         assert_eq!(path.start, "input");
         assert_eq!(path.steps[0].test, NodeTest::Name("site".into()));
     }
@@ -524,7 +568,9 @@ mod tests {
                   /following-sibling::bidder/personref/personref_person/text()="personYY"]
                return <history>{$b/reserve/text()}</history>"#,
         );
-        let Query::For { path, .. } = &q else { panic!() };
+        let Query::For { path, .. } = &q else {
+            panic!()
+        };
         let pred = &path.steps[2].preds[0];
         match pred {
             Pred::Eq(rel, s) => {
@@ -543,22 +589,30 @@ mod tests {
             r#"for $p in $input/site/people/person[empty(./homepage/text())]
                return <person><name>{$p/name/text()}</name></person>"#,
         );
-        let Query::For { path, .. } = &q else { panic!() };
+        let Query::For { path, .. } = &q else {
+            panic!()
+        };
         assert!(matches!(&path.steps[2].preds[0], Pred::Empty(_)));
     }
 
     #[test]
     fn sequences_and_lets() {
         let q = roundtrip("let $a := $input/x return ($a, $a, <e/>)");
-        let Query::Let { body, .. } = &q else { panic!() };
-        let Query::Seq(items) = body.as_ref() else { panic!() };
+        let Query::Let { body, .. } = &q else {
+            panic!()
+        };
+        let Query::Seq(items) = body.as_ref() else {
+            panic!()
+        };
         assert_eq!(items.len(), 3);
     }
 
     #[test]
     fn raw_text_and_brace_escapes() {
         let q = parse_query("<a>hello {{world}} {$input/x}</a>").unwrap();
-        let Query::Element { content, .. } = &q else { panic!() };
+        let Query::Element { content, .. } = &q else {
+            panic!()
+        };
         assert_eq!(content[0], Query::Text("hello {world}".into()));
         assert!(matches!(content[1], Query::Path(_)));
     }
@@ -592,6 +646,12 @@ mod tests {
     #[test]
     fn self_closing_constructor() {
         let q = parse_query("<empty/>").unwrap();
-        assert_eq!(q, Query::Element { name: "empty".into(), content: vec![] });
+        assert_eq!(
+            q,
+            Query::Element {
+                name: "empty".into(),
+                content: vec![]
+            }
+        );
     }
 }

@@ -6,8 +6,11 @@
 //! the accumulator encoding).
 //!
 //! ```text
-//! cargo run --release --example compose
+//! cargo run --release --example compose [-- <max-k>]
 //! ```
+//!
+//! The optional argument caps the chain length k (default 12; the naive
+//! construction is exponential in k, so small caps keep debug runs fast).
 
 use foxq::core::interp::run_mft;
 use foxq::core::mft::XVar;
@@ -16,17 +19,24 @@ use foxq::forest::term::parse_forest;
 use foxq::tt::{compose_ft_ft, compose_tt_tt, compose_tt_tt_naive, run_mtt, Mtt, TNode};
 
 fn main() {
+    let max_k: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     // --- Lemma 2: size of the composed TT, stay vs naive -----------------
     println!("Lemma 2 — composing a→b^k with the b→c(·,·) spawner:");
     println!("{:>4} {:>12} {:>12}", "k", "stay size", "naive size");
-    for k in [2usize, 4, 8, 12] {
+    for k in [2usize, 4, 8, 12].into_iter().filter(|&k| k <= max_k) {
         let (m1, m2) = chain_pair(k);
         let stay = compose_tt_tt(&m1, &m2);
         let naive = compose_tt_tt_naive(&m1, &m2, 50_000_000).unwrap();
         println!("{k:>4} {:>12} {:>12}", stay.size(), naive.size());
         // Both are equivalent:
         let input = foxq::forest::fcns::fcns(&parse_forest("a(a)").unwrap());
-        assert_eq!(run_mtt(&stay, &input).unwrap(), run_mtt(&naive, &input).unwrap());
+        assert_eq!(
+            run_mtt(&stay, &input).unwrap(),
+            run_mtt(&naive, &input).unwrap()
+        );
     }
 
     // --- FT ∘ FT = MFT ----------------------------------------------------
@@ -46,8 +56,12 @@ fn main() {
     let once = run_mft(&doubler, &f).unwrap();
     let twice = run_mft(&doubler, &once).unwrap();
     let direct = run_mft(&composed, &f).unwrap();
-    println!("|input| = 3, |once| = {}, |twice| = {}, |composed(input)| = {}",
-        once.len(), twice.len(), direct.len());
+    println!(
+        "|input| = 3, |once| = {}, |twice| = {}, |composed(input)| = {}",
+        once.len(),
+        twice.len(),
+        direct.len()
+    );
     assert_eq!(direct, twice);
     println!("single-pass composition avoids materializing the intermediate forest ✓");
 }
@@ -70,7 +84,11 @@ fn chain_pair(k: usize) -> (Mtt, Mtt) {
     m2.initial = p0;
     m2.rules[p0.idx()].by_sym.insert(
         b2,
-        TNode::sym(c, TNode::call(p0, XVar::X1, vec![]), TNode::call(p0, XVar::X1, vec![])),
+        TNode::sym(
+            c,
+            TNode::call(p0, XVar::X1, vec![]),
+            TNode::call(p0, XVar::X1, vec![]),
+        ),
     );
     (m1, m2)
 }

@@ -19,7 +19,11 @@ use foxq::xquery::parse_query;
 
 fn main() {
     let mperson = parse_mft(MPERSON).expect("the paper's rules parse");
-    println!("Mperson: {} states, size {}\n", mperson.state_count(), mperson.size());
+    println!(
+        "Mperson: {} states, size {}\n",
+        mperson.state_count(),
+        mperson.size()
+    );
 
     // Document 1 (§2.2): the filter holds at the first p_id.
     let doc1 = "<person><p_id><a/>person0</p_id><name>Jim</name><c/><name>Li</name></person>";

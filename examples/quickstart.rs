@@ -6,9 +6,9 @@
 //! ```
 
 use foxq::core::opt::optimize_with_stats;
+use foxq::core::print_mft;
 use foxq::core::stream::run_streaming_to_string;
 use foxq::core::translate::translate;
-use foxq::core::print_mft;
 use foxq::xquery::parse_query;
 
 fn main() {

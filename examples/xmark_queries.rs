@@ -23,12 +23,21 @@ const QUERIES: [(&str, &str); 9] = [
     ("Q16", include_str!("../crates/bench/queries/query16.xq")),
     ("Q17", include_str!("../crates/bench/queries/query17.xq")),
     ("double", include_str!("../crates/bench/queries/double.xq")),
-    ("fourstar", include_str!("../crates/bench/queries/fourstar.xq")),
-    ("deepdup", include_str!("../crates/bench/queries/deepdup.xq")),
+    (
+        "fourstar",
+        include_str!("../crates/bench/queries/fourstar.xq"),
+    ),
+    (
+        "deepdup",
+        include_str!("../crates/bench/queries/deepdup.xq"),
+    ),
 ];
 
 fn main() {
-    let kib: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let kib: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
     let input = generate(Dataset::Xmark, kib << 10, 42);
     let stats = ForestStats::of_forest(&input);
     println!("input: XMark-like, {stats}\n");
@@ -43,8 +52,7 @@ fn main() {
         let expected = forest_to_xml_string(&eval_query(&query, &input).unwrap());
 
         let t0 = Instant::now();
-        let (sink, sstats) =
-            run_streaming_on_forest(&mft, &input, ForestSink::new()).unwrap();
+        let (sink, sstats) = run_streaming_on_forest(&mft, &input, ForestSink::new()).unwrap();
         let mft_ms = t0.elapsed().as_secs_f64() * 1e3;
         let mft_out = forest_to_xml_string(&sink.into_forest());
         assert_eq!(mft_out, expected, "MFT output differs on {name}");
@@ -58,7 +66,11 @@ fn main() {
                 let agree = gcx_out == expected;
                 println!(
                     "{:<9} {:>9.1} {:>9.1} {:>10} {:>10} {:>8}",
-                    name, mft_ms, gcx_ms, sstats.peak_live_nodes, gstats.peak_buffered_nodes,
+                    name,
+                    mft_ms,
+                    gcx_ms,
+                    sstats.peak_live_nodes,
+                    gstats.peak_buffered_nodes,
                     if agree { "yes" } else { "NO" }
                 );
                 assert!(agree, "GCX output differs on {name}");

@@ -50,8 +50,8 @@ usage:
 ";
 
 fn load_query(path: &str) -> Result<Mft, String> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read query {path}: {e}"))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read query {path}: {e}"))?;
     let query = parse_query(&src).map_err(|e| e.to_string())?;
     let unopt = translate(&query).map_err(|e| e.to_string())?;
     let (opt, _) = optimize_with_stats(unopt);
@@ -63,9 +63,9 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let mft = load_query(query_path)?;
     let stdin;
     let input: Box<dyn Read> = match args.get(1) {
-        Some(path) => Box::new(
-            std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
-        ),
+        Some(path) => {
+            Box::new(std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
+        }
         None => {
             stdin = std::io::stdin();
             Box::new(stdin.lock())
@@ -76,7 +76,9 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
     let (sink, stats) = run_streaming(&mft, reader, sink).map_err(|e| e.to_string())?;
     let mut out = sink.finish().map_err(|e| e.to_string())?;
-    out.write_all(b"\n").and_then(|_| out.flush()).map_err(|e| e.to_string())?;
+    out.write_all(b"\n")
+        .and_then(|_| out.flush())
+        .map_err(|e| e.to_string())?;
     if report {
         report_stats(&stats);
     }
@@ -98,8 +100,8 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         [path] => (false, path),
         _ => return Err("usage: foxq compile [--no-opt] <query.xq>".to_string()),
     };
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read query {path}: {e}"))?;
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read query {path}: {e}"))?;
     let query = parse_query(&src).map_err(|e| e.to_string())?;
     let unopt = translate(&query).map_err(|e| e.to_string())?;
     let m = if no_opt {

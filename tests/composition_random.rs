@@ -39,7 +39,11 @@ fn random_tt(rng: &mut SmallRng) -> Mtt {
 }
 
 fn random_rhs(rng: &mut SmallRng, nstates: usize, depth: usize, calls: bool) -> TNode {
-    let choice = if depth >= 3 { rng.gen_range(0..2) } else { rng.gen_range(0..4) };
+    let choice = if depth >= 3 {
+        rng.gen_range(0..2)
+    } else {
+        rng.gen_range(0..4)
+    };
     match choice {
         0 => TNode::Eps,
         1 => {
@@ -61,7 +65,11 @@ fn random_rhs(rng: &mut SmallRng, nstates: usize, depth: usize, calls: bool) -> 
             )
         }
         _ if calls => {
-            let x = if rng.gen_bool(0.5) { XVar::X1 } else { XVar::X2 };
+            let x = if rng.gen_bool(0.5) {
+                XVar::X1
+            } else {
+                XVar::X2
+            };
             TNode::call(StateId(rng.gen_range(0..nstates) as u32), x, vec![])
         }
         _ => TNode::Eps,
@@ -73,7 +81,11 @@ fn random_input(rng: &mut SmallRng) -> BinTree {
         let mut out = Vec::new();
         while *budget > 0 && out.len() < 3 && rng.gen_bool(0.7) {
             *budget -= 1;
-            let children = if depth < 4 { tree(rng, budget, depth + 1) } else { vec![] };
+            let children = if depth < 4 {
+                tree(rng, budget, depth + 1)
+            } else {
+                vec![]
+            };
             out.push(foxq::forest::Tree {
                 label: foxq::forest::Label::elem(SYMS[rng.gen_range(0..SYMS.len())]),
                 children,
@@ -98,14 +110,24 @@ fn check_tt_composition(seed: u64) {
     for _ in 0..5 {
         let t = random_input(&mut rng);
         // Skip samples whose sequential output is already huge.
-        let Ok(mid) = run_mtt_with_limit(&m1, &t, 100_000) else { continue };
-        let Ok(expected) = run_mtt_with_limit(&m2, &mid, 100_000) else { continue };
+        let Ok(mid) = run_mtt_with_limit(&m1, &t, 100_000) else {
+            continue;
+        };
+        let Ok(expected) = run_mtt_with_limit(&m2, &mid, 100_000) else {
+            continue;
+        };
         // The composed run takes more steps (stay chains); generous margin.
         let got = run_mtt_with_limit(&stay, &t, 50_000_000).unwrap();
-        assert_eq!(got, expected, "stay composition differs (seed {seed}) on {t:?}");
+        assert_eq!(
+            got, expected,
+            "stay composition differs (seed {seed}) on {t:?}"
+        );
         if let Some(n) = &naive {
             let got_naive = run_mtt_with_limit(n, &t, 50_000_000).unwrap();
-            assert_eq!(got_naive, expected, "naive composition differs (seed {seed})");
+            assert_eq!(
+                got_naive, expected,
+                "naive composition differs (seed {seed})"
+            );
         }
     }
 }
@@ -153,11 +175,17 @@ fn ft_composition_body() {
         let f1 = foxq::tt::mtt_to_mft(&random_tt(&mut rng));
         let f2 = foxq::tt::mtt_to_mft(&random_tt(&mut rng));
         let composed = compose_ft_ft(&f1, &f2);
-        let limits = RunLimits { max_steps: 5_000_000 };
+        let limits = RunLimits {
+            max_steps: 5_000_000,
+        };
         for _ in 0..4 {
             let input = foxq::forest::fcns::unfcns(&random_input(&mut rng));
-            let Ok(mid) = run_mft_with_limits(&f1, &input, limits) else { continue };
-            let Ok(expected) = run_mft_with_limits(&f2, &mid, limits) else { continue };
+            let Ok(mid) = run_mft_with_limits(&f1, &input, limits) else {
+                continue;
+            };
+            let Ok(expected) = run_mft_with_limits(&f2, &mid, limits) else {
+                continue;
+            };
             let got = run_mft_with_limits(&composed, &input, limits).unwrap();
             assert_eq!(got, expected, "FT∘FT differs (seed {seed})");
         }

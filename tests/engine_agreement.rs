@@ -70,7 +70,11 @@ fn random_step(rng: &mut SmallRng, allow_preds: bool) -> Step {
     if allow_preds && rng.gen_bool(0.35) && test != NodeTest::Text {
         let rel = RelPath {
             steps: vec![Step {
-                axis: if rng.gen_bool(0.7) { Axis::Child } else { Axis::Descendant },
+                axis: if rng.gen_bool(0.7) {
+                    Axis::Child
+                } else {
+                    Axis::Descendant
+                },
                 test: if rng.gen_bool(0.5) {
                     NodeTest::Name(NAMES[rng.gen_range(0..NAMES.len())].to_string())
                 } else {
@@ -132,14 +136,21 @@ fn random_query_in(
     depth: usize,
     in_content: bool,
 ) -> Query {
-    let choice = if depth >= 3 { rng.gen_range(0..4) } else { rng.gen_range(0..7) };
+    let choice = if depth >= 3 {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..7)
+    };
     match choice {
         0 if in_content => Query::Text(TEXTS[rng.gen_range(0..TEXTS.len())].to_string()),
         0 => Query::Path(random_path(rng, nearest)),
         1 => Query::Path(random_path(rng, nearest)),
         2 if !outs.is_empty() => {
             let v = &outs[rng.gen_range(0..outs.len())];
-            Query::Path(Path { start: v.clone(), steps: vec![] })
+            Query::Path(Path {
+                start: v.clone(),
+                steps: vec![],
+            })
         }
         2 => Query::Path(random_path(rng, nearest)),
         3 => {
@@ -181,7 +192,11 @@ fn random_query_in(
                 outs2.push(var.clone());
                 random_query_in(rng, nearest, &outs2, depth + 1, false)
             };
-            Query::Let { var, value: Box::new(value), body: Box::new(body) }
+            Query::Let {
+                var,
+                value: Box::new(value),
+                body: Box::new(body),
+            }
         }
         _ => Query::Seq(
             (0..rng.gen_range(2..4usize))
@@ -204,10 +219,16 @@ fn check_sample(seed: u64) {
     let opt = optimize(unopt.clone());
     for (label, m) in [("unopt", &unopt), ("opt", &opt)] {
         let interp = forest_to_xml_string(&foxq::core::run_mft(m, &doc).unwrap());
-        assert_eq!(interp, expected, "{label} interp (seed {seed})\nquery: {query}");
+        assert_eq!(
+            interp, expected,
+            "{label} interp (seed {seed})\nquery: {query}"
+        );
         let (sink, _) = run_streaming_on_forest(m, &doc, ForestSink::new()).unwrap();
         let streamed = forest_to_xml_string(&sink.into_forest());
-        assert_eq!(streamed, expected, "{label} stream (seed {seed})\nquery: {query}");
+        assert_eq!(
+            streamed, expected,
+            "{label} stream (seed {seed})\nquery: {query}"
+        );
     }
     match run_gcx_on_forest(&query, &doc, ForestSink::new()) {
         Ok((sink, _)) => {

@@ -29,14 +29,22 @@ fn random_query(rng: &mut SmallRng, nearest: &str, depth: usize) -> Query {
             } else {
                 Pred::Eq(
                     RelPath {
-                        steps: vec![Step { axis: Axis::Child, test: NodeTest::Text, preds: vec![] }],
+                        steps: vec![Step {
+                            axis: Axis::Child,
+                            test: NodeTest::Text,
+                            preds: vec![],
+                        }],
                     },
                     "t1".into(),
                 )
             });
         }
         Step {
-            axis: if rng.gen_bool(0.7) { Axis::Child } else { Axis::Descendant },
+            axis: if rng.gen_bool(0.7) {
+                Axis::Child
+            } else {
+                Axis::Descendant
+            },
             test: NodeTest::Name(NAMES[rng.gen_range(0..4)].into()),
             preds,
         }
@@ -56,7 +64,11 @@ fn random_query(rng: &mut SmallRng, nearest: &str, depth: usize) -> Query {
         1 => {
             let var = format!("v{depth}");
             let body = random_query(rng, &var, depth + 1);
-            Query::For { var, path: path(rng, nearest), body: Box::new(body) }
+            Query::For {
+                var,
+                path: path(rng, nearest),
+                body: Box::new(body),
+            }
         }
         _ => Query::Path(path(rng, nearest)),
     }
@@ -116,7 +128,10 @@ fn optimization_is_idempotent_on_random_queries() {
         assert_eq!(m1.state_count(), m2.state_count(), "seed {seed}");
         assert_eq!(
             stats,
-            OptStats { rounds: stats.rounds, ..OptStats::default() },
+            OptStats {
+                rounds: stats.rounds,
+                ..OptStats::default()
+            },
             "seed {seed}: second optimization still changed something"
         );
     }
@@ -131,7 +146,12 @@ fn optimization_shrinks_and_stays_valid() {
         let m0 = translate(&q).unwrap();
         let (m1, _) = optimize_with_stats(m0.clone());
         m1.validate().unwrap();
-        assert!(m1.size() <= m0.size(), "seed {seed}: {} > {}", m1.size(), m0.size());
+        assert!(
+            m1.size() <= m0.size(),
+            "seed {seed}: {} > {}",
+            m1.size(),
+            m0.size()
+        );
         assert!(m1.state_count() <= m0.state_count(), "seed {seed}");
     }
 }

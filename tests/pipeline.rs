@@ -5,7 +5,7 @@
 use foxq::core::opt::optimize;
 use foxq::core::stream::{run_streaming, run_streaming_to_string};
 use foxq::core::translate::translate;
-use foxq::xml::{parse_document, XmlReader, WriterSink};
+use foxq::xml::{parse_document, WriterSink, XmlReader};
 use foxq::xquery::{eval_query, parse_query};
 
 fn pipeline(query: &str, xml: &str) -> String {
@@ -61,8 +61,12 @@ fn streaming_into_a_writer_sink_matches_string_driver() {
     let q = "<o>{$input//b}</o>";
     let parsed = parse_query(q).unwrap();
     let m = optimize(translate(&parsed).unwrap());
-    let (sink, stats) =
-        run_streaming(&m, XmlReader::new(xml.as_bytes()), WriterSink::new(Vec::new())).unwrap();
+    let (sink, stats) = run_streaming(
+        &m,
+        XmlReader::new(xml.as_bytes()),
+        WriterSink::new(Vec::new()),
+    )
+    .unwrap();
     let bytes = sink.finish().unwrap();
     assert_eq!(String::from_utf8(bytes).unwrap(), "<o><b>x</b><b>y</b></o>");
     assert!(stats.events > 0 && stats.output_events > 0);
@@ -77,8 +81,7 @@ fn all_benchmark_queries_run_through_real_xml() {
         let q = parse_query(src).unwrap();
         let m = optimize(translate(&q).unwrap());
         let streamed = run_streaming_to_string(&m, xml.as_bytes()).unwrap().output;
-        let expect =
-            foxq::xml::forest_to_xml_string(&eval_query(&q, &forest).unwrap());
+        let expect = foxq::xml::forest_to_xml_string(&eval_query(&q, &forest).unwrap());
         assert_eq!(streamed, expect, "{name} through the byte pipeline");
     }
 }

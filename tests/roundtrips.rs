@@ -11,10 +11,8 @@ use proptest::prelude::*;
 /// strings so XML whitespace handling cannot drop nodes.
 fn arb_tree() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
-        prop::sample::select(vec!["a", "b", "c", "site", "x-y.z"])
-            .prop_map(|n| elem(n, vec![])),
-        prop::sample::select(vec!["t", "42", "hello world", "<&>\"'", "päper"])
-            .prop_map(text),
+        prop::sample::select(vec!["a", "b", "c", "site", "x-y.z"]).prop_map(|n| elem(n, vec![])),
+        prop::sample::select(vec!["t", "42", "hello world", "<&>\"'", "päper"]).prop_map(text),
     ];
     leaf.prop_recursive(4, 48, 5, |inner| {
         (

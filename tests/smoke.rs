@@ -1,0 +1,200 @@
+//! Smoke tests for the `foxq` CLI binary and the `examples/` programs: run
+//! each on a tiny document and assert exit status plus golden output.
+//!
+//! The examples are compiled by `cargo test` alongside the test binaries;
+//! they are located relative to the test executable
+//! (`target/<profile>/examples/…`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const QUERY: &str = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+   return let $r := $b/name/text() return $r }</out>"#;
+const DOC: &str = "<person><p_id>person0</p_id><name>Jim</name><name>Li</name></person>";
+
+/// A per-test scratch directory under the target dir.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("foxq-smoke-{test}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+// ---------------------------------------------------------------------------
+
+fn foxq() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_foxq"))
+}
+
+#[test]
+fn cli_run_streams_a_document() {
+    let dir = scratch("run");
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "in.xml", DOC);
+    let out = foxq().arg("run").arg(&q).arg(&x).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(stdout_of(&out), "<out>JimLi</out>\n");
+}
+
+#[test]
+fn cli_run_reads_stdin_by_default() {
+    let dir = scratch("stdin");
+    let q = write(&dir, "q.xq", QUERY);
+    let mut child = foxq()
+        .arg("run")
+        .arg(&q)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(DOC.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(stdout_of(&out), "<out>JimLi</out>\n");
+}
+
+#[test]
+fn cli_compile_prints_rules_and_opt_report() {
+    let dir = scratch("compile");
+    let q = write(&dir, "q.xq", QUERY);
+    let out = foxq().arg("compile").arg(&q).output().unwrap();
+    assert!(out.status.success());
+    let rules = stdout_of(&out);
+    // Rule notation: at least an initial rule with the paper's arrow.
+    assert!(rules.contains("->"), "no rules printed:\n{rules}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("optimized:"));
+
+    let noopt = foxq()
+        .args(["compile", "--no-opt"])
+        .arg(&q)
+        .output()
+        .unwrap();
+    assert!(noopt.status.success());
+    // The raw §3 translation is strictly larger than the optimized MFT.
+    assert!(stdout_of(&noopt).len() > rules.len());
+}
+
+#[test]
+fn cli_stats_reports_engine_counters() {
+    let dir = scratch("stats");
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "in.xml", DOC);
+    let out = foxq().arg("stats").arg(&q).arg(&x).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(stdout_of(&out), "<out>JimLi</out>\n");
+    let err = String::from_utf8_lossy(&out.stderr);
+    for counter in ["events:", "rule expansions:", "peak live nodes:"] {
+        assert!(err.contains(counter), "missing {counter} in:\n{err}");
+    }
+}
+
+#[test]
+fn cli_errors_exit_nonzero() {
+    let dir = scratch("errors");
+    // Missing query file.
+    let out = foxq().args(["run", "no-such-file.xq"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Syntactically invalid query.
+    let bad = write(&dir, "bad.xq", "for $x return $x");
+    let out = foxq().arg("run").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("syntax error"));
+    // Malformed XML.
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "bad.xml", "<person><p_id>person0</p_id>");
+    let out = foxq().arg("run").arg(&q).arg(&x).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Unknown command.
+    let out = foxq().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn cli_help_succeeds() {
+    for args in [vec!["--help"], vec![]] {
+        let out = foxq().args(&args).output().unwrap();
+        assert!(out.status.success(), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "{args:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Examples
+// ---------------------------------------------------------------------------
+
+/// `target/<profile>/examples/<name>`, located relative to the test binary
+/// (which lives in `target/<profile>/deps/`).
+fn example(name: &str) -> Command {
+    let mut dir = std::env::current_exe().unwrap();
+    dir.pop(); // the test binary
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join("examples").join(name);
+    assert!(path.exists(), "example binary missing: {}", path.display());
+    Command::new(path)
+}
+
+#[test]
+fn example_quickstart_produces_the_papers_result() {
+    let out = example("quickstart").output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("output: <out>JimLi</out>"));
+}
+
+#[test]
+fn example_paper_person_agrees_with_hand_written_mft() {
+    let out = example("paper_person").output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("translation agrees with the paper's hand-written transducer"));
+}
+
+#[test]
+fn example_compose_demonstrates_lemma2() {
+    // Cap the chain length: the naive construction is exponential in k and
+    // debug builds of k=12 take tens of seconds.
+    let out = example("compose").arg("8").output().unwrap();
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("single-pass composition avoids materializing"));
+    assert!(text.contains("Lemma 2"));
+}
+
+#[test]
+fn example_xmark_queries_all_engines_agree() {
+    // 16 KiB keeps the debug-mode DOM reference evaluation fast.
+    let out = example("xmark_queries").arg("16").output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout_of(&out);
+    assert!(text.contains("all supported engines agree with the reference semantics"));
+    // Q4 must show the paper's GCX N/A.
+    assert!(text.contains("N/A"), "expected a GCX N/A row:\n{text}");
+}
