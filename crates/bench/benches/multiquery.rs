@@ -1,0 +1,71 @@
+//! The serving-layer claim behind `foxq-service`: answering N queries with
+//! one `MultiQueryEngine` pass beats N separate passes, because the input
+//! scan (and its event dispatch) is paid once. Groups compare `solo` (N
+//! passes) vs `multi` (one pass, N lanes) for growing N, plus the
+//! prepared-query cache against from-scratch compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foxq_core::stream::run_streaming_on_forest;
+use foxq_core::Mft;
+use foxq_gen::Dataset;
+use foxq_service::{run_multi_on_forest, PreparedQuery, QueryCache};
+use foxq_xml::NullSink;
+
+/// Streamable XMark-style queries with distinct hot paths.
+const QUERIES: [&str; 4] = [
+    "<o>{ for $p in $input/site/people/person return <n>{$p/name/text()}</n> }</o>",
+    "<o>{ for $a in $input/site/open_auctions/open_auction return
+       <b>{ for $i in $a/bidder/increase return <i>{$i/text()}</i> }</b> }</o>",
+    "<o>{$input/site/regions/*}</o>",
+    "<o>{$input//keyword}</o>",
+];
+
+fn bench_multiquery(criterion: &mut Criterion) {
+    let bytes: usize = std::env::var("FOXQ_BENCH_BYTES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 20);
+    let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
+    let prepared: Vec<PreparedQuery> = QUERIES
+        .iter()
+        .map(|q| PreparedQuery::compile(q).unwrap())
+        .collect();
+
+    let mut group = criterion.benchmark_group("multiquery_one_pass");
+    group.sample_size(10);
+    for n in [1usize, 2, 4] {
+        let mfts: Vec<&Mft> = prepared.iter().take(n).map(|p| p.mft()).collect();
+        group.bench_with_input(BenchmarkId::new("solo_passes", n), &mfts, |b, mfts| {
+            b.iter(|| {
+                for m in mfts {
+                    run_streaming_on_forest(m, &input, NullSink).unwrap();
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("multi_single_pass", n),
+            &mfts,
+            |b, mfts| {
+                b.iter(|| {
+                    let sinks: Vec<_> = (0..mfts.len()).map(|_| NullSink).collect();
+                    run_multi_on_forest(mfts, &input, sinks)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = criterion.benchmark_group("prepared_query_cache");
+    group.bench_function("compile_uncached", |b| {
+        b.iter(|| PreparedQuery::compile(QUERIES[1]).unwrap())
+    });
+    group.bench_function("compile_cached", |b| {
+        let mut cache = QueryCache::new(QUERIES.len());
+        cache.get_or_compile(QUERIES[1]).unwrap();
+        b.iter(|| cache.get_or_compile(QUERIES[1]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiquery);
+criterion_main!(benches);

@@ -12,16 +12,27 @@
 //! on server hardware; the *shapes* — who wins, what stays flat, what grows
 //! — are size-independent). Override with `FOXQ_SIZES=1,4,16` (MiB) or
 //! `--sizes 1,4,16`.
+//!
+//! `--csv <path>` additionally appends one machine-readable row per engine
+//! run (`section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes`)
+//! for offline statistics — variance, outlier filtering, plotting. Rows
+//! cover the sections that run engines over inputs — the figure panels and
+//! the ablation; `--table 1` (dataset shapes) and `--compose` (composition
+//! construction timings) print to stdout only.
 
-use foxq_bench::{compile, figure_inputs, figure_query, query_source, run_engine, Engine, FIGURES};
-use foxq_forest::ForestStats;
+use foxq_bench::{
+    compile, figure_inputs, figure_query, query_source, run_engine, Engine, RunResult, FIGURES,
+};
+use foxq_forest::{Forest, ForestStats};
 use foxq_gen::Dataset;
 use foxq_tt::{compose_tt_tt, compose_tt_tt_naive, Mtt, TNode};
+use std::io::Write;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sizes = parse_sizes(&args);
+    let mut csv = CsvLog::from_args(&args);
     let mut did_something = false;
     let mut i = 0;
     while i < args.len() {
@@ -31,10 +42,10 @@ fn main() {
                 let fig = args.get(i).expect("--fig needs an argument (4a..4i|all)");
                 if fig == "all" {
                     for f in FIGURES {
-                        figure(f, &sizes);
+                        figure(f, &sizes, &mut csv);
                     }
                 } else {
-                    figure(fig, &sizes);
+                    figure(fig, &sizes, &mut csv);
                 }
                 did_something = true;
             }
@@ -44,15 +55,15 @@ fn main() {
                 did_something = true;
             }
             "--ablation" => {
-                ablation(&sizes);
+                ablation(&sizes, &mut csv);
                 did_something = true;
             }
             "--compose" => {
                 compose_table();
                 did_something = true;
             }
-            "--sizes" => {
-                i += 1; // parsed in parse_sizes
+            "--sizes" | "--csv" => {
+                i += 1; // value parsed up front
             }
             other => panic!("unknown argument {other}"),
         }
@@ -61,10 +72,79 @@ fn main() {
     if !did_something {
         table1(&sizes);
         for f in FIGURES {
-            figure(f, &sizes);
+            figure(f, &sizes, &mut csv);
         }
-        ablation(&sizes);
+        ablation(&sizes, &mut csv);
         compose_table();
+    }
+}
+
+/// Per-run CSV sink behind `--csv <path>`; a no-op when absent.
+struct CsvLog {
+    out: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl CsvLog {
+    fn from_args(args: &[String]) -> CsvLog {
+        let path = args
+            .iter()
+            .position(|a| a == "--csv")
+            .map(|i| args.get(i + 1).expect("--csv needs a path").clone());
+        let out = path.map(|p| {
+            let mut f = std::io::BufWriter::new(
+                std::fs::File::create(&p).unwrap_or_else(|e| panic!("cannot create {p}: {e}")),
+            );
+            writeln!(
+                f,
+                "section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes"
+            )
+            .expect("csv write");
+            f
+        });
+        CsvLog { out }
+    }
+
+    fn enabled(&self) -> bool {
+        self.out.is_some()
+    }
+
+    fn row(
+        &mut self,
+        section: &str,
+        query: &str,
+        engine: Engine,
+        input: &str,
+        input_bytes: usize,
+        result: Option<&RunResult>,
+    ) {
+        let Some(out) = self.out.as_mut() else {
+            return;
+        };
+        match result {
+            Some(r) => writeln!(
+                out,
+                "{section},{query},{},{input},{input_bytes},{},{},{}",
+                engine.name(),
+                r.elapsed.as_nanos(),
+                r.peak_nodes,
+                r.output_nodes
+            ),
+            None => writeln!(
+                out,
+                "{section},{query},{},{input},{input_bytes},NA,NA,NA",
+                engine.name()
+            ),
+        }
+        .expect("csv write");
+    }
+}
+
+/// Serialized size of an input (only computed when the CSV log is active).
+fn input_bytes(csv: &CsvLog, input: &Forest) -> usize {
+    if csv.enabled() {
+        ForestStats::of_forest(input).xml_bytes
+    } else {
+        0
     }
 }
 
@@ -84,7 +164,7 @@ fn parse_sizes(args: &[String]) -> Vec<usize> {
 }
 
 /// One panel of Figure 4.
-fn figure(fig: &str, sizes: &[usize]) {
+fn figure(fig: &str, sizes: &[usize], csv: &mut CsvLog) {
     let qname = figure_query(fig);
     let c = compile(qname, query_source(qname));
     let corner = matches!(fig, "4g" | "4h" | "4i");
@@ -107,12 +187,17 @@ fn figure(fig: &str, sizes: &[usize]) {
         "input", "noopt.ms", "opt.ms", "gcx.ms", "noopt.mem", "opt.mem", "gcx.mem"
     );
     for (label, input) in figure_inputs(fig, sizes, 0xF0E5) {
-        let cell = |e| match run_engine(e, &c, &input) {
-            Some(r) => (
-                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
-                format!("{}", r.peak_nodes),
-            ),
-            None => ("N/A".to_string(), "N/A".to_string()),
+        let bytes = input_bytes(csv, &input);
+        let mut cell = |e| {
+            let r = run_engine(e, &c, &input);
+            csv.row(fig, qname, e, &label, bytes, r.as_ref());
+            match r {
+                Some(r) => (
+                    format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                    format!("{}", r.peak_nodes),
+                ),
+                None => ("N/A".to_string(), "N/A".to_string()),
+            }
         };
         let (t_no, m_no) = cell(Engine::MftNoOpt);
         let (t_opt, m_opt) = cell(Engine::MftOpt);
@@ -151,9 +236,10 @@ fn table1(sizes: &[usize]) {
 }
 
 /// §4.1 ablation: effect of the optimizations per query.
-fn ablation(sizes: &[usize]) {
+fn ablation(sizes: &[usize], csv: &mut CsvLog) {
     let bytes = sizes.first().copied().unwrap_or(1 << 20);
     let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
+    let in_bytes = input_bytes(csv, &input);
     println!(
         "\n== Section 4.1 ablation: unoptimized vs optimized MFT (XMark, {:.1} MiB) ==",
         bytes as f64 / (1 << 20) as f64
@@ -166,6 +252,22 @@ fn ablation(sizes: &[usize]) {
         let c = compile(name, src);
         let un = run_engine(Engine::MftNoOpt, &c, &input).unwrap();
         let op = run_engine(Engine::MftOpt, &c, &input).unwrap();
+        csv.row(
+            "ablation",
+            name,
+            Engine::MftNoOpt,
+            "xmark",
+            in_bytes,
+            Some(&un),
+        );
+        csv.row(
+            "ablation",
+            name,
+            Engine::MftOpt,
+            "xmark",
+            in_bytes,
+            Some(&op),
+        );
         println!(
             "{:<9} {:>7} {:>7} {:>7} {:>7} {:>10.1} {:>10.1} {:>11} {:>11}",
             name,

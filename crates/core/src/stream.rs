@@ -88,6 +88,10 @@ impl From<XmlError> for StreamError {
 pub struct StreamStats {
     /// Input events processed (open + close pairs + eof).
     pub events: u64,
+    /// Opening events consumed (elements and text nodes).
+    pub open_events: u64,
+    /// Closing events consumed.
+    pub close_events: u64,
     /// Rule expansions performed.
     pub expansions: u64,
     /// Peak number of live expression nodes (the buffer measure).
@@ -338,6 +342,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     pub fn open(&mut self, label: &Label) -> Result<(), StreamError> {
         debug_assert!(!self.finished);
         self.stats.events += 1;
+        self.stats.open_events += 1;
         let child = new_loc();
         let sib = new_loc();
         let ctx = Ctx::Open {
@@ -364,6 +369,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     pub fn close(&mut self) -> Result<(), StreamError> {
         debug_assert!(!self.finished);
         self.stats.events += 1;
+        self.stats.close_events += 1;
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &Ctx::Eps)?;
         self.current = self.stack.pop().expect("close without matching open");
@@ -903,6 +909,8 @@ mod tests {
         let f = parse_forest("a(b(c))").unwrap();
         let (_, stats) = run_streaming_on_forest(&m, &f, foxq_xml::NullSink).unwrap();
         assert_eq!(stats.events, 7); // 3 opens + 3 closes + eof
+        assert_eq!(stats.open_events, 3);
+        assert_eq!(stats.close_events, 3);
         assert_eq!(stats.max_depth, 3);
         assert!(stats.expansions > 0);
         assert_eq!(stats.output_events, 6);

@@ -146,9 +146,196 @@ fn compile_into(q: &Query, plan: &mut Plan) -> Result<(), GcxError> {
             });
             add_slot(plan, p, var, body)
         }
-        Query::Let { .. } => Err(GcxError::Unsupported(
-            "top-level let (GCX evaluates lets only inside for bodies)".into(),
+        // Top-level let: inline the bound value at every use site. The
+        // fragment is pure, so substitution preserves semantics; the paper's
+        // GCX only evaluates lets inside for-bodies, but rejecting the form
+        // outright was leaving easy queries on the table (ROADMAP item).
+        Query::Let { var, value, body } => {
+            // Substitution clones the value once per use, which across
+            // nested lets is exponential; predict the size (an upper bound
+            // on the result) and reject rather than blow up. The check runs
+            // per let, so every intermediate query stays under the cap.
+            let uses = count_var_uses(body, var);
+            let predicted = body.size() + uses.saturating_mul(value.size());
+            if predicted > MAX_INLINED_SIZE {
+                return Err(GcxError::Unsupported(format!(
+                    "let inlining would grow the query past {MAX_INLINED_SIZE} nodes"
+                )));
+            }
+            let mut value_free = BTreeSet::new();
+            free_path_vars(value, &mut Vec::new(), &mut value_free);
+            let inlined = substitute(body, var, value, &value_free)?;
+            compile_into(&inlined, plan)
+        }
+    }
+}
+
+/// Upper bound on the size of a query produced by let inlining.
+const MAX_INLINED_SIZE: usize = 4096;
+
+/// Uses of `$var` in `q` (path starts, respecting shadowing) — each one
+/// clones the let value during substitution.
+fn count_var_uses(q: &Query, var: &str) -> usize {
+    match q {
+        Query::Text(_) => 0,
+        Query::Element { content, .. } => content.iter().map(|c| count_var_uses(c, var)).sum(),
+        Query::Seq(qs) => qs.iter().map(|c| count_var_uses(c, var)).sum(),
+        Query::Path(p) => usize::from(p.start == var),
+        Query::For { var: v, path, body } => {
+            usize::from(path.start == var)
+                + if v == var {
+                    0
+                } else {
+                    count_var_uses(body, var)
+                }
+        }
+        Query::Let {
+            var: v,
+            value,
+            body,
+        } => {
+            count_var_uses(value, var)
+                + if v == var {
+                    0
+                } else {
+                    count_var_uses(body, var)
+                }
+        }
+    }
+}
+
+/// Replace every use of `$var` in `q` by `value`. Capture-avoiding:
+/// substitution stops at a rebinding of `$var` itself, and descending under
+/// a binder that shadows a *free variable of the value* (`value_free`) is
+/// rejected rather than silently capturing it. Paths *continuing* from the
+/// variable (`$v/a/b`) concatenate onto a path-valued binding and are
+/// unsupported for constructed values — as in the reference semantics, where
+/// a path from constructed content is an error.
+fn substitute(
+    q: &Query,
+    var: &str,
+    value: &Query,
+    value_free: &BTreeSet<String>,
+) -> Result<Query, GcxError> {
+    let guard_capture = |v: &str| {
+        if value_free.contains(v) {
+            Err(GcxError::Unsupported(format!(
+                "let inlining would capture ${v} under a shadowing binder"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match q {
+        Query::Text(t) => Query::Text(t.clone()),
+        Query::Element { name, content } => Query::Element {
+            name: name.clone(),
+            content: content
+                .iter()
+                .map(|c| substitute(c, var, value, value_free))
+                .collect::<Result<_, _>>()?,
+        },
+        Query::Seq(qs) => Query::Seq(
+            qs.iter()
+                .map(|c| substitute(c, var, value, value_free))
+                .collect::<Result<_, _>>()?,
+        ),
+        Query::Path(p) => return subst_path(p, var, value),
+        Query::For { var: v, path, body } => {
+            let path = match subst_path(path, var, value)? {
+                Query::Path(p) => p,
+                _ => {
+                    return Err(GcxError::Unsupported(
+                        "for over a let variable bound to non-path content".into(),
+                    ))
+                }
+            };
+            let body = if v == var {
+                (**body).clone() // shadowed: no substitution below
+            } else {
+                guard_capture(v)?;
+                substitute(body, var, value, value_free)?
+            };
+            Query::For {
+                var: v.clone(),
+                path,
+                body: Box::new(body),
+            }
+        }
+        Query::Let {
+            var: v,
+            value: inner,
+            body,
+        } => {
+            let inner = substitute(inner, var, value, value_free)?;
+            let body = if v == var {
+                (**body).clone()
+            } else {
+                guard_capture(v)?;
+                substitute(body, var, value, value_free)?
+            };
+            Query::Let {
+                var: v.clone(),
+                value: Box::new(inner),
+                body: Box::new(body),
+            }
+        }
+    })
+}
+
+/// Substitute into one path. `$v` alone becomes the value; `$v/steps…`
+/// concatenates onto a path-valued binding.
+fn subst_path(p: &Path, var: &str, value: &Query) -> Result<Query, GcxError> {
+    if p.start != var {
+        return Ok(Query::Path(p.clone()));
+    }
+    if p.steps.is_empty() {
+        return Ok(value.clone());
+    }
+    match value {
+        Query::Path(vp) => Ok(Query::Path(Path {
+            start: vp.start.clone(),
+            steps: vp.steps.iter().chain(&p.steps).cloned().collect(),
+        })),
+        _ => Err(GcxError::Unsupported(
+            "path from a let variable bound to constructed content".into(),
         )),
+    }
+}
+
+/// Path-start variables free in `q` (not bound by an enclosing for/let
+/// within `q` itself).
+fn free_path_vars(q: &Query, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+    let record = |p: &Path, bound: &Vec<String>, out: &mut BTreeSet<String>| {
+        if !bound.iter().any(|b| b == &p.start) {
+            out.insert(p.start.clone());
+        }
+    };
+    match q {
+        Query::Text(_) => {}
+        Query::Element { content, .. } => {
+            for c in content {
+                free_path_vars(c, bound, out);
+            }
+        }
+        Query::Seq(qs) => {
+            for c in qs {
+                free_path_vars(c, bound, out);
+            }
+        }
+        Query::Path(p) => record(p, bound, out),
+        Query::For { var, path, body } => {
+            record(path, bound, out);
+            bound.push(var.clone());
+            free_path_vars(body, bound, out);
+            bound.pop();
+        }
+        Query::Let { var, value, body } => {
+            free_path_vars(value, bound, out);
+            bound.push(var.clone());
+            free_path_vars(body, bound, out);
+            bound.pop();
+        }
     }
 }
 
@@ -171,6 +358,16 @@ fn add_slot(plan: &mut Plan, path: &Path, var: String, body: Query) -> Result<()
                 "predicates on non-final binding steps".into(),
             ));
         }
+    }
+    // The body runs on the buffered candidate with only `var` bound; a free
+    // reference to anything else (notably $input) would silently resolve
+    // against the candidate fragment and disagree with the reference.
+    let mut free = BTreeSet::new();
+    free_path_vars(&body, &mut vec![var.clone()], &mut free);
+    if let Some(v) = free.into_iter().next() {
+        return Err(GcxError::Unsupported(format!(
+            "binding body references ${v}, which is not the binding variable"
+        )));
     }
     let mut steps = path.steps.clone();
     let final_preds = std::mem::take(&mut steps[k].preds);
@@ -762,7 +959,19 @@ mod tests {
     #[test]
     fn unsupported_top_level_forms() {
         let f = parse_forest("x").unwrap();
-        for src in ["let $a := $input/x return <o>{$a}</o>", "<o>{$input}</o>"] {
+        for src in [
+            "<o>{$input}</o>",
+            // A path continuing from constructed content (the reference
+            // semantics rejects this too).
+            "let $a := <x/> return <o>{$a/b}</o>",
+            // The slot body references $input, which is not buffered.
+            "for $p in $input/a return $input/b",
+            // Inlining $a under a binder that shadows $input would capture
+            // it (rewriting $input/r/a against the inner binding) — must be
+            // rejected, not silently mis-evaluated.
+            "let $a := $input/r/a return let $input := $input/r/y return <o>{$a}</o>",
+            "let $q := $input/r/a return for $input in $input/r return <o>{$q}</o>",
+        ] {
             let q = parse_query(src).unwrap();
             assert!(
                 matches!(
@@ -772,5 +981,50 @@ mod tests {
                 "{src}"
             );
         }
+    }
+
+    #[test]
+    fn exponential_let_nesting_is_rejected_not_materialized() {
+        // Each let doubles the uses of the previous variable; inlining all
+        // of them would build a 2^30-node query. The per-let size cap must
+        // reject this instantly instead.
+        let mut src = String::from("let $a0 := $input/r/a return ");
+        for i in 1..=30 {
+            let p = i - 1;
+            src.push_str(&format!("let $a{i} := <x>{{$a{p}}}{{$a{p}}}</x> return "));
+        }
+        src.push_str("<o>{$a30}</o>");
+        let q = parse_query(&src).unwrap();
+        let f = parse_forest("r(a())").unwrap();
+        let t0 = std::time::Instant::now();
+        let r = run_gcx_on_forest(&q, &f, ForestSink::new());
+        assert!(matches!(r, Err(GcxError::Unsupported(_))));
+        assert!(t0.elapsed().as_secs() < 5, "cap did not bound inlining");
+    }
+
+    #[test]
+    fn top_level_let_is_inlined() {
+        // Regression for the ROADMAP "GCX baseline gaps" item: top-level let
+        // used to be rejected outright.
+        let doc = r#"r(a(b("1")) a(b("2")) c())"#;
+        check("let $a := $input/r/a return <o>{$a}</o>", doc);
+        // Path continuation concatenates onto the bound path.
+        check("let $a := $input/r/a return <o>{$a/b}</o>", doc);
+        // The value may be constructed content when used bare.
+        check("let $a := <k>x</k> return <o>{$a}{$a}</o>", doc);
+        // Nested lets and shadowing.
+        check(
+            "let $a := $input/r/a return let $b := $a/b return <o>{$b}</o>",
+            doc,
+        );
+        check(
+            "let $a := $input/r/c return let $a := $input/r/a return <o>{$a}</o>",
+            doc,
+        );
+        // Lets interleaved with for-slots still stream.
+        check(
+            "let $t := <hdr/> return <o>{$t}{ for $x in $input/r/a return $x/b }</o>",
+            doc,
+        );
     }
 }

@@ -1,0 +1,300 @@
+//! Parallel batch evaluation: M documents × N queries across scoped threads.
+//!
+//! Documents are independent units of work, so the driver shards *documents*
+//! across `std::thread::scope` workers (no extra dependencies, no `'static`
+//! bounds); within one document all N queries share a single pass of the
+//! event stream via [`crate::MultiQueryEngine`]. Work is claimed from an
+//! atomic counter, but results are written back by document index, so the
+//! report is **deterministic**: byte-for-byte identical whatever the thread
+//! count or scheduling (proven by `tests/service.rs`).
+
+use crate::multi::run_multi_with_limits;
+use crate::prepared::PreparedQuery;
+use foxq_core::stream::{StreamLimits, StreamStats};
+use foxq_xml::{WriterSink, XmlReader};
+use std::io::BufRead;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One (document, query) cell of a batch report.
+#[derive(Debug, Clone)]
+pub struct BatchCell {
+    /// Serialized XML output, or the per-query error message.
+    pub output: Result<String, String>,
+    /// Engine statistics; present exactly when the cell succeeded.
+    pub stats: Option<StreamStats>,
+}
+
+/// Aggregate outcome of [`BatchDriver::run`].
+#[derive(Debug)]
+pub struct BatchReport {
+    /// `cells[d][q]` is document `d` evaluated under query `q`, in the
+    /// order both were supplied.
+    pub cells: Vec<Vec<BatchCell>>,
+    /// Input events consumed, summed over successfully parsed documents
+    /// (each parsed once regardless of the query count, and counted even
+    /// when every query of the document failed). Documents whose parse
+    /// aborted (malformed XML, unreadable file) contribute 0.
+    pub input_events: u64,
+    /// Output events pushed, summed over all successful cells.
+    pub output_events: u64,
+    /// Cells that ended in an error.
+    pub failures: usize,
+}
+
+impl BatchReport {
+    /// Convenience accessor: the output of document `d` under query `q`.
+    pub fn output(&self, d: usize, q: usize) -> &Result<String, String> {
+        &self.cells[d][q].output
+    }
+}
+
+/// Evaluate documents × queries across a bounded pool of scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchDriver {
+    threads: usize,
+    limits: StreamLimits,
+}
+
+impl BatchDriver {
+    /// A driver using up to `threads` worker threads (min 1).
+    pub fn new(threads: usize) -> Self {
+        BatchDriver {
+            threads: threads.max(1),
+            limits: StreamLimits::default(),
+        }
+    }
+
+    /// Override the per-engine stream limits.
+    pub fn with_limits(mut self, limits: StreamLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run every query over every in-memory document; one parse per
+    /// document.
+    pub fn run(&self, docs: &[Vec<u8>], queries: &[Arc<PreparedQuery>]) -> BatchReport {
+        self.run_with(docs.len(), |d| {
+            run_one_doc(&docs[d][..], queries, self.limits)
+        })
+    }
+
+    /// Run every query over every document *file*, opened and streamed by
+    /// the worker that claims it — peak memory stays O(threads × buffer),
+    /// not O(total corpus), whatever the batch size.
+    pub fn run_files(
+        &self,
+        paths: &[impl AsRef<Path> + Sync],
+        queries: &[Arc<PreparedQuery>],
+    ) -> BatchReport {
+        self.run_with(paths.len(), |d| {
+            match std::fs::File::open(paths[d].as_ref()) {
+                Ok(file) => run_one_doc(std::io::BufReader::new(file), queries, self.limits),
+                Err(e) => DocRow {
+                    cells: all_cells_failed(
+                        &format!("cannot open {}: {e}", paths[d].as_ref().display()),
+                        queries,
+                    ),
+                    input_events: 0,
+                },
+            }
+        })
+    }
+
+    /// Shared scheduling core: shard `count` document indices across the
+    /// workers, writing rows back by index (deterministic whatever the
+    /// thread scheduling).
+    fn run_with(&self, count: usize, job: impl Fn(usize) -> DocRow + Sync) -> BatchReport {
+        let mut rows: Vec<Option<DocRow>> = (0..count).map(|_| None).collect();
+        let workers = self.threads.min(count).max(1);
+        if workers <= 1 {
+            for (d, row) in rows.iter_mut().enumerate() {
+                *row = Some(job(d));
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let job = &job;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut produced = Vec::new();
+                            loop {
+                                let d = next.fetch_add(1, Ordering::Relaxed);
+                                if d >= count {
+                                    return produced;
+                                }
+                                produced.push((d, job(d)));
+                            }
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    for (d, row) in handle.join().expect("batch worker panicked") {
+                        rows[d] = Some(row);
+                    }
+                }
+            });
+        }
+        let mut report = BatchReport {
+            cells: Vec::with_capacity(count),
+            input_events: 0,
+            output_events: 0,
+            failures: 0,
+        };
+        for row in rows {
+            let row = row.expect("every document processed");
+            report.input_events += row.input_events;
+            for cell in &row.cells {
+                match (&cell.output, cell.stats) {
+                    (Ok(_), Some(stats)) => report.output_events += stats.output_events,
+                    _ => report.failures += 1,
+                }
+            }
+            report.cells.push(row.cells);
+        }
+        report
+    }
+}
+
+/// One document's worth of results plus its shared parse cost.
+struct DocRow {
+    cells: Vec<BatchCell>,
+    input_events: u64,
+}
+
+/// All queries over one readable document, single pass.
+fn run_one_doc<R: BufRead>(
+    reader: R,
+    queries: &[Arc<PreparedQuery>],
+    limits: StreamLimits,
+) -> DocRow {
+    let mfts: Vec<_> = queries.iter().map(|q| q.mft()).collect();
+    let sinks: Vec<_> = queries
+        .iter()
+        .map(|_| WriterSink::new(Vec::new()))
+        .collect();
+    match run_multi_with_limits(&mfts, XmlReader::new(reader), sinks, limits) {
+        Ok(run) => DocRow {
+            cells: run
+                .results
+                .into_iter()
+                .map(|r| match r {
+                    Ok((sink, stats)) => match sink.finish() {
+                        Ok(buf) => BatchCell {
+                            output: Ok(String::from_utf8(buf).expect("output is UTF-8")),
+                            stats: Some(stats),
+                        },
+                        Err(e) => BatchCell {
+                            output: Err(e.to_string()),
+                            stats: None,
+                        },
+                    },
+                    Err(e) => BatchCell {
+                        output: Err(e.to_string()),
+                        stats: None,
+                    },
+                })
+                .collect(),
+            input_events: run.input_events,
+        },
+        // Malformed input fails every cell of this document.
+        Err(e) => DocRow {
+            cells: all_cells_failed(&e.to_string(), queries),
+            input_events: 0,
+        },
+    }
+}
+
+fn all_cells_failed(msg: &str, queries: &[Arc<PreparedQuery>]) -> Vec<BatchCell> {
+    queries
+        .iter()
+        .map(|_| BatchCell {
+            output: Err(msg.to_string()),
+            stats: None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prepared(src: &str) -> Arc<PreparedQuery> {
+        Arc::new(PreparedQuery::compile(src).unwrap())
+    }
+
+    fn docs() -> Vec<Vec<u8>> {
+        (0..7)
+            .map(|i| format!("<r><a>{i}</a><b x=\"{i}\"/></r>").into_bytes())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let queries = vec![
+            prepared("<o>{$input/r/a}</o>"),
+            prepared("<o>{$input//b}</o>"),
+        ];
+        let serial = BatchDriver::new(1).run(&docs(), &queries);
+        let parallel = BatchDriver::new(4).run(&docs(), &queries);
+        assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            for (sc, pc) in s.iter().zip(p) {
+                assert_eq!(sc.output, pc.output);
+            }
+        }
+        assert_eq!(serial.failures, 0);
+        assert_eq!(serial.output(0, 0).as_ref().unwrap(), "<o><a>0</a></o>");
+    }
+
+    #[test]
+    fn malformed_document_fails_only_its_row() {
+        let queries = vec![prepared("<o>{$input/r/a}</o>")];
+        let mut ds = docs();
+        ds[1] = b"<r><unclosed>".to_vec();
+        let report = BatchDriver::new(3).run(&ds, &queries);
+        assert_eq!(report.failures, 1);
+        assert!(report.output(1, 0).is_err());
+        assert!(report.output(0, 0).is_ok());
+        assert!(report.output(2, 0).is_ok());
+    }
+
+    #[test]
+    fn run_files_streams_each_document_lazily() {
+        let dir = std::env::temp_dir().join(format!("foxq-batch-files-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut paths = Vec::new();
+        for (i, doc) in docs().iter().enumerate() {
+            let p = dir.join(format!("d{i}.xml"));
+            std::fs::write(&p, doc).unwrap();
+            paths.push(p);
+        }
+        paths.push(dir.join("missing.xml")); // unreadable: fails its row only
+        let queries = vec![prepared("<o>{$input/r/a}</o>")];
+        let report = BatchDriver::new(3).run_files(&paths, &queries);
+        assert_eq!(report.failures, 1);
+        assert!(report.output(paths.len() - 1, 0).is_err());
+        // Identical to the in-memory driver on the same documents.
+        let in_memory = BatchDriver::new(1).run(&docs(), &queries);
+        for (d, row) in in_memory.cells.iter().enumerate() {
+            assert_eq!(&row[0].output, report.output(d, 0));
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let report = BatchDriver::new(4).run(&[], &[prepared("<o>{$input/a}</o>")]);
+        assert!(report.cells.is_empty());
+        let report = BatchDriver::new(4).run(&[b"<a/>".to_vec()], &[]);
+        assert_eq!(report.cells.len(), 1);
+        assert!(report.cells[0].is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # foxq-service — the serving layer over the streaming pipeline
+//!
+//! The library crates reproduce the paper's pipeline for *one* query over
+//! *one* document, recompiling from scratch on every call. This crate turns
+//! that pipeline into something a server can sit on:
+//!
+//! * [`PreparedQuery`] — parse → translate → §4.1-optimize **once**, keep
+//!   the optimized [`foxq_core::Mft`] plus metadata (state/rule counts,
+//!   GCX-baseline support);
+//! * [`QueryCache`] — hash-keyed LRU over prepared queries, so repeated
+//!   query texts never recompile (hits/misses/compiles are observable via
+//!   [`CacheStats`]);
+//! * [`MultiQueryEngine`] — N queries answered in a **single pass** of the
+//!   input event stream, with per-query statistics and error isolation;
+//! * [`BatchDriver`] — M documents × N queries across `std::thread::scope`
+//!   workers, with a deterministic report.
+//!
+//! The same engine drives the `foxq batch` CLI subcommand.
+//!
+//! ## Quick start: three queries, one document, one pass
+//!
+//! ```
+//! use foxq_service::{run_multi_to_strings, QueryCache};
+//!
+//! let mut cache = QueryCache::new(16);
+//! let queries: Vec<_> = [
+//!     "<names>{$input/site/people/person/name/text()}</names>",
+//!     "<ids>{$input/site/people/person/p_id/text()}</ids>",
+//!     "<regions>{$input/site/regions/*}</regions>",
+//! ]
+//! .iter()
+//! .map(|src| cache.get_or_compile(src).unwrap())
+//! .collect();
+//!
+//! let doc = "<site><regions><asia/><europe/></regions><people>\
+//!            <person><p_id>p0</p_id><name>Jim</name></person>\
+//!            <person><p_id>p1</p_id><name>Li</name></person>\
+//!            </people></site>";
+//!
+//! // One parse of `doc` answers all three queries.
+//! let run = run_multi_to_strings(&queries, doc.as_bytes()).unwrap();
+//! let outputs: Vec<&str> = run
+//!     .results
+//!     .iter()
+//!     .map(|r| r.as_ref().unwrap().0.as_str())
+//!     .collect();
+//! assert_eq!(outputs[0], "<names>JimLi</names>");
+//! assert_eq!(outputs[1], "<ids>p0p1</ids>");
+//! assert_eq!(outputs[2], "<regions><asia></asia><europe></europe></regions>");
+//!
+//! // Recompiling the first query is a cache hit — no second translation.
+//! cache.get_or_compile(queries[0].source()).unwrap();
+//! assert_eq!(cache.stats().compiles, 3);
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+pub mod batch;
+pub mod multi;
+pub mod prepared;
+
+pub use batch::{BatchCell, BatchDriver, BatchReport};
+pub use multi::{
+    run_multi, run_multi_on_forest, run_multi_to_strings, run_multi_with_limits, MultiQueryEngine,
+    MultiRun,
+};
+pub use prepared::{CacheStats, PrepareError, PreparedQuery, QueryCache, QueryMeta};

@@ -1,0 +1,318 @@
+//! Multi-query evaluation over a **single pass** of the event stream.
+//!
+//! The event stream is the scarce resource of a streamed tree-query system:
+//! parsing is a full scan of the input, and under serving traffic the same
+//! document is typically interrogated by many queries at once. A
+//! [`MultiQueryEngine`] holds one `core::stream::Engine` lane per prepared
+//! query and fans every `open`/`close` event out to all of them, so N
+//! queries are answered with one parse — the reader's event counter does not
+//! move as N grows (proven by `tests/service.rs`).
+//!
+//! Failure is isolated per lane: a query that exhausts its
+//! [`StreamLimits`] (a stay-move loop, typically) marks only its own lane
+//! failed; the remaining queries keep streaming. Only input-side errors
+//! (malformed XML) abort the whole pass, since every lane shares the input.
+
+use foxq_core::mft::Mft;
+use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamStats};
+use foxq_forest::{Label, Tree};
+use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
+use std::io::BufRead;
+
+/// One query's lane inside the fan-out.
+enum Lane<'m, S> {
+    Running(Engine<'m, S>),
+    Failed(StreamError),
+}
+
+/// Fan one event stream out to N streaming engines.
+pub struct MultiQueryEngine<'m, S> {
+    lanes: Vec<Lane<'m, S>>,
+    running: usize,
+    input_events: u64,
+}
+
+impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
+    /// One lane per `(mft, sink)` pair, with default limits.
+    pub fn new(queries: impl IntoIterator<Item = (&'m Mft, S)>) -> Self {
+        Self::with_limits(queries, StreamLimits::default())
+    }
+
+    /// One lane per `(mft, sink)` pair, sharing `limits`.
+    pub fn with_limits(
+        queries: impl IntoIterator<Item = (&'m Mft, S)>,
+        limits: StreamLimits,
+    ) -> Self {
+        let lanes: Vec<Lane<'m, S>> = queries
+            .into_iter()
+            .map(|(mft, sink)| Lane::Running(Engine::with_limits(mft, sink, limits)))
+            .collect();
+        MultiQueryEngine {
+            running: lanes.len(),
+            lanes,
+            input_events: 0,
+        }
+    }
+
+    /// Number of lanes (queries).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Lanes that have not failed.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Open/close events fed so far, each counted once (not once per lane);
+    /// matches [`XmlReader::events_read`] when driven from a reader. The
+    /// end-of-input tick is not counted — drivers add it when reporting.
+    pub fn input_events(&self) -> u64 {
+        self.input_events
+    }
+
+    fn each_running(&mut self, mut f: impl FnMut(&mut Engine<'m, S>) -> Result<(), StreamError>) {
+        for lane in &mut self.lanes {
+            if let Lane::Running(engine) = lane {
+                if let Err(e) = f(engine) {
+                    *lane = Lane::Failed(e);
+                    self.running -= 1;
+                }
+            }
+        }
+    }
+
+    /// Feed an opening event (element or text node) to every live lane.
+    pub fn open(&mut self, label: &Label) {
+        self.input_events += 1;
+        self.each_running(|e| e.open(label));
+    }
+
+    /// Feed the matching closing event to every live lane.
+    pub fn close(&mut self) {
+        self.input_events += 1;
+        self.each_running(|e| e.close());
+    }
+
+    /// Signal end of input; collect each lane's sink and statistics.
+    pub fn finish(mut self) -> Vec<Result<(S, StreamStats), StreamError>> {
+        self.lanes
+            .drain(..)
+            .map(|lane| match lane {
+                Lane::Running(engine) => engine.finish(),
+                Lane::Failed(e) => Err(e),
+            })
+            .collect()
+    }
+}
+
+/// Result of [`run_multi`]: per-query outcomes plus the shared input cost.
+pub struct MultiRun<S> {
+    /// One result per query, in input order. Per-query failures (e.g. fuel
+    /// exhaustion) appear here; they do not abort the other queries.
+    pub results: Vec<Result<(S, StreamStats), StreamError>>,
+    /// Events consumed from the (single) reader pass, including the
+    /// end-of-input tick — equals each successful lane's `stats.events`.
+    pub input_events: u64,
+}
+
+/// Run N transducers over one pass of an XML byte stream.
+///
+/// Input-side XML errors fail the whole run (every lane reads the same
+/// stream); engine-side errors are isolated per query. Once *every* lane
+/// has failed the rest of the input is not read (so the tail is no longer
+/// checked for well-formedness) — `input_events` then reflects the events
+/// consumed up to the abort.
+pub fn run_multi<R: BufRead, S: XmlSink>(
+    mfts: &[&Mft],
+    reader: XmlReader<R>,
+    sinks: Vec<S>,
+) -> Result<MultiRun<S>, XmlError> {
+    run_multi_with_limits(mfts, reader, sinks, StreamLimits::default())
+}
+
+/// [`run_multi`] with explicit per-lane [`StreamLimits`].
+pub fn run_multi_with_limits<R: BufRead, S: XmlSink>(
+    mfts: &[&Mft],
+    mut reader: XmlReader<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+) -> Result<MultiRun<S>, XmlError> {
+    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_limits(mfts.iter().copied().zip(sinks), limits);
+    loop {
+        if engine.running() == 0 {
+            // Every lane failed: nothing can produce output any more, so
+            // don't pay for parsing the rest of the stream.
+            let input_events = engine.input_events();
+            return Ok(MultiRun {
+                results: engine.finish(),
+                input_events,
+            });
+        }
+        match reader.next_event()? {
+            XmlEvent::Open(label) => engine.open(&label),
+            XmlEvent::Close(_) => engine.close(),
+            XmlEvent::Eof => {
+                let input_events = engine.input_events() + 1;
+                return Ok(MultiRun {
+                    results: engine.finish(),
+                    input_events,
+                });
+            }
+        }
+    }
+}
+
+/// Drive N transducers from an in-memory forest (tests and benchmarks).
+pub fn run_multi_on_forest<S: XmlSink>(
+    mfts: &[&Mft],
+    forest: &[Tree],
+    sinks: Vec<S>,
+) -> MultiRun<S> {
+    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::new(mfts.iter().copied().zip(sinks));
+    fn feed<S: XmlSink>(engine: &mut MultiQueryEngine<'_, S>, t: &Tree) {
+        engine.open(&t.label);
+        for c in &t.children {
+            feed(engine, c);
+        }
+        engine.close();
+    }
+    for t in forest {
+        feed(&mut engine, t);
+    }
+    let input_events = engine.input_events() + 1;
+    MultiRun {
+        results: engine.finish(),
+        input_events,
+    }
+}
+
+/// Convenience driver for [`crate::PreparedQuery`] sets: one pass over
+/// `input`, serialized per-query outputs.
+pub fn run_multi_to_strings(
+    queries: &[std::sync::Arc<crate::PreparedQuery>],
+    input: &[u8],
+) -> Result<MultiRun<String>, XmlError> {
+    let mfts: Vec<&Mft> = queries.iter().map(|q| q.mft()).collect();
+    let sinks: Vec<_> = queries
+        .iter()
+        .map(|_| foxq_xml::WriterSink::new(Vec::new()))
+        .collect();
+    let run = run_multi(&mfts, XmlReader::new(input), sinks)?;
+    Ok(MultiRun {
+        results: run
+            .results
+            .into_iter()
+            .map(|r| {
+                r.map(|(sink, stats)| {
+                    let buf = sink.finish().expect("writing to Vec cannot fail");
+                    (String::from_utf8(buf).expect("output is UTF-8"), stats)
+                })
+            })
+            .collect(),
+        input_events: run.input_events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_core::opt::optimize;
+    use foxq_core::text::parse_mft;
+    use foxq_core::translate::translate;
+    use foxq_forest::term::parse_forest;
+    use foxq_xml::{forest_to_xml_string, ForestSink};
+    use foxq_xquery::parse_query;
+
+    fn mft_of(q: &str) -> Mft {
+        optimize(translate(&parse_query(q).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn lanes_agree_with_solo_runs() {
+        let queries = ["<a>{$input/x}</a>", "<b>{$input//y}</b>", "<c><k/></c>"];
+        let mfts: Vec<Mft> = queries.iter().map(|q| mft_of(q)).collect();
+        let doc = parse_forest(r#"x("1") y(x() y("2"))"#).unwrap();
+        let refs: Vec<&Mft> = mfts.iter().collect();
+        let sinks = vec![ForestSink::new(), ForestSink::new(), ForestSink::new()];
+        let run = run_multi_on_forest(&refs, &doc, sinks);
+        for (m, r) in mfts.iter().zip(run.results) {
+            let (sink, _) = r.unwrap();
+            let (solo, _) =
+                foxq_core::stream::run_streaming_on_forest(m, &doc, ForestSink::new()).unwrap();
+            assert_eq!(
+                forest_to_xml_string(&sink.into_forest()),
+                forest_to_xml_string(&solo.into_forest())
+            );
+        }
+    }
+
+    #[test]
+    fn one_lane_failing_does_not_abort_the_others() {
+        let looping = parse_mft("q0(%) -> q0(x0);").unwrap();
+        let copy =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
+        let doc = parse_forest(r#"a(b("t"))"#).unwrap();
+        let limits = StreamLimits {
+            max_expansions_per_event: 1_000,
+        };
+        let mut engine = MultiQueryEngine::with_limits(
+            vec![
+                (&looping, ForestSink::new()),
+                (&copy, ForestSink::new()),
+                (&looping, ForestSink::new()),
+            ],
+            limits,
+        );
+        fn feed<S: XmlSink>(e: &mut MultiQueryEngine<'_, S>, t: &Tree) {
+            e.open(&t.label);
+            for c in &t.children {
+                feed(e, c);
+            }
+            e.close();
+        }
+        for t in &doc {
+            feed(&mut engine, t);
+        }
+        assert_eq!(engine.running(), 1, "looping lanes should have failed");
+        let results = engine.finish();
+        assert!(matches!(results[0], Err(StreamError::Fuel { .. })));
+        assert!(matches!(results[2], Err(StreamError::Fuel { .. })));
+        let (sink, stats) = results.into_iter().nth(1).unwrap().unwrap();
+        assert_eq!(forest_to_xml_string(&sink.into_forest()), "<a><b>t</b></a>");
+        assert_eq!(stats.events, 7); // 3 opens + 3 closes + eof
+    }
+
+    #[test]
+    fn all_lanes_failing_aborts_the_pass_early() {
+        let looping = parse_mft("q0(%) -> q0(x0);").unwrap();
+        let doc = format!("<a>{}</a>", "<b></b>".repeat(1_000));
+        let run = run_multi_with_limits(
+            &[&looping],
+            XmlReader::new(doc.as_bytes()),
+            vec![foxq_xml::NullSink],
+            StreamLimits {
+                max_expansions_per_event: 100,
+            },
+        )
+        .unwrap();
+        assert!(matches!(run.results[0], Err(StreamError::Fuel { .. })));
+        // The sole lane died on the first open; the other 2001 events were
+        // never pulled from the reader.
+        assert_eq!(run.input_events, 1);
+    }
+
+    #[test]
+    fn input_events_are_counted_once() {
+        let m = mft_of("<o>{$input/a}</o>");
+        let doc = parse_forest("a() b(c())").unwrap();
+        for n in [1usize, 4] {
+            let refs: Vec<&Mft> = vec![&m; n];
+            let sinks: Vec<_> = (0..n).map(|_| foxq_xml::NullSink).collect();
+            let run = run_multi_on_forest(&refs, &doc, sinks);
+            assert_eq!(run.input_events, 7); // 3 opens + 3 closes + eof
+        }
+    }
+}

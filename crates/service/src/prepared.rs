@@ -1,0 +1,355 @@
+//! Compile-once query preparation and the hash-keyed LRU cache.
+//!
+//! The library pipeline (parse → translate → §4.1 optimize) is pure and
+//! deterministic, so a query text compiles to the same [`Mft`] every time.
+//! [`PreparedQuery`] runs the pipeline once and keeps everything a serving
+//! layer needs: both transducers (optimized for execution, unoptimized for
+//! ablation/debugging), the parsed AST, and metadata such as state/rule
+//! counts and whether the GCX baseline accepts the query. [`QueryCache`]
+//! keys prepared queries by an FxHash of the (trimmed) source text with LRU
+//! eviction, so repeated query texts — the common case under serving traffic
+//! — never recompile.
+
+use foxq_core::opt::{optimize_with_stats, OptStats};
+use foxq_core::stream::{run_streaming_to_string, StreamError, StreamRunOutput};
+use foxq_core::translate::{translate, TranslateError};
+use foxq_core::Mft;
+use foxq_forest::fxhash::FxHasher;
+use foxq_forest::FxHashMap;
+use foxq_xquery::{parse_query, Query, XqSyntaxError};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// Failure to compile a query.
+#[derive(Debug)]
+pub enum PrepareError {
+    /// The query text did not parse.
+    Syntax(XqSyntaxError),
+    /// The query parsed but violates the §2.1 translation restrictions.
+    Translate(TranslateError),
+}
+
+impl std::fmt::Display for PrepareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrepareError::Syntax(e) => write!(f, "{e}"),
+            PrepareError::Translate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrepareError {}
+
+impl From<XqSyntaxError> for PrepareError {
+    fn from(e: XqSyntaxError) -> Self {
+        PrepareError::Syntax(e)
+    }
+}
+
+impl From<TranslateError> for PrepareError {
+    fn from(e: TranslateError) -> Self {
+        PrepareError::Translate(e)
+    }
+}
+
+/// Compile-time metadata of a prepared query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMeta {
+    /// States of the optimized MFT.
+    pub states: usize,
+    /// Size (total rule right-hand sides) of the optimized MFT.
+    pub size: usize,
+    /// Maximum parameter count of the optimized MFT (0 ⇒ it is an FT).
+    pub max_params: usize,
+    /// Whether the optimized transducer is parameterless (Theorem 2).
+    pub is_ft: bool,
+    /// What the §4.1 optimizer removed.
+    pub opt_stats: OptStats,
+}
+
+/// A query compiled once: parse → translate → optimize.
+///
+/// `PreparedQuery` is immutable, `Send + Sync`, and cheap to share via
+/// [`Arc`]; the [`crate::BatchDriver`] hands one set of prepared queries to
+/// every worker thread.
+pub struct PreparedQuery {
+    source: String,
+    query: Query,
+    unopt: Mft,
+    opt: Mft,
+    meta: QueryMeta,
+    /// Lazily computed: GCX compilation is not needed on the serving path.
+    gcx_supported: OnceLock<bool>,
+}
+
+impl PreparedQuery {
+    /// Run the full compilation pipeline on `source`.
+    pub fn compile(source: &str) -> Result<PreparedQuery, PrepareError> {
+        let query = parse_query(source)?;
+        let unopt = translate(&query)?;
+        let (opt, opt_stats) = optimize_with_stats(unopt.clone());
+        let meta = QueryMeta {
+            states: opt.state_count(),
+            size: opt.size(),
+            max_params: opt.max_params(),
+            is_ft: opt.is_ft(),
+            opt_stats,
+        };
+        Ok(PreparedQuery {
+            source: source.to_string(),
+            query,
+            unopt,
+            opt,
+            meta,
+            gcx_supported: OnceLock::new(),
+        })
+    }
+
+    /// The query text this was compiled from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The parsed MinXQuery AST.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The optimized transducer (what serving should run).
+    pub fn mft(&self) -> &Mft {
+        &self.opt
+    }
+
+    /// The raw §3 translation, before the §4.1 optimizations.
+    pub fn unoptimized(&self) -> &Mft {
+        &self.unopt
+    }
+
+    /// Compile-time metadata.
+    pub fn meta(&self) -> &QueryMeta {
+        &self.meta
+    }
+
+    /// Whether the GCX-substitute baseline accepts this query. Computed on
+    /// first call and cached (a full GCX compile, which the serving path
+    /// never needs).
+    pub fn gcx_supported(&self) -> bool {
+        *self
+            .gcx_supported
+            .get_or_init(|| foxq_gcx::GcxEngine::new(&self.query, foxq_xml::NullSink).is_ok())
+    }
+
+    /// Convenience: stream one XML document through the optimized MFT.
+    pub fn run_to_string(&self, input: &[u8]) -> Result<StreamRunOutput, StreamError> {
+        run_streaming_to_string(&self.opt, input)
+    }
+}
+
+/// Counters of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no compilation).
+    pub hits: u64,
+    /// Lookups that required a compile.
+    pub misses: u64,
+    /// Successful compilations performed on behalf of the cache.
+    pub compiles: u64,
+    /// Entries evicted to respect the capacity.
+    pub evictions: u64,
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedQuery>,
+    /// Logical timestamp of the last lookup (LRU order).
+    stamp: u64,
+}
+
+/// Hash-keyed LRU cache of [`PreparedQuery`]s.
+///
+/// Keys are the FxHash of the trimmed query text; on a hash hit the stored
+/// source is compared so a collision degrades to a recompile, never a wrong
+/// answer. Failed compilations are not cached (the error propagates and the
+/// next lookup retries).
+pub struct QueryCache {
+    capacity: usize,
+    map: FxHashMap<u64, CacheEntry>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` prepared queries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity: capacity.max(1),
+            map: FxHashMap::default(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn key(source: &str) -> u64 {
+        let mut h = FxHasher::default();
+        source.trim().hash(&mut h);
+        h.finish()
+    }
+
+    /// Look up `source`, compiling (and inserting) on a miss.
+    pub fn get_or_compile(&mut self, source: &str) -> Result<Arc<PreparedQuery>, PrepareError> {
+        let key = Self::key(source);
+        self.tick += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            if entry.prepared.source().trim() == source.trim() {
+                entry.stamp = self.tick;
+                self.stats.hits += 1;
+                return Ok(entry.prepared.clone());
+            }
+            // FxHash collision between different texts: recompile in place.
+        }
+        self.stats.misses += 1;
+        let prepared = Arc::new(PreparedQuery::compile(source)?);
+        self.stats.compiles += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            self.evict_lru();
+        }
+        let replaced = self.map.insert(
+            key,
+            CacheEntry {
+                prepared: prepared.clone(),
+                stamp: self.tick,
+            },
+        );
+        if replaced.is_some() {
+            // A hash collision displaced a different query's entry; count it
+            // so the observable stats stay honest.
+            self.stats.evictions += 1;
+        }
+        Ok(prepared)
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some(&key) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+            self.map.remove(&key);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss/compile/eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "<o>{$input/a}</o>";
+    const Q2: &str = "<o>{$input/b}</o>";
+    const Q3: &str = "<o>{$input/c}</o>";
+
+    #[test]
+    fn prepared_query_compiles_and_runs() {
+        let p = PreparedQuery::compile(Q1).unwrap();
+        assert!(p.meta().states > 0);
+        assert!(p.gcx_supported());
+        assert!(p.mft().size() <= p.unoptimized().size());
+        let out = p.run_to_string(b"<a>x</a><b/>").unwrap();
+        assert_eq!(out.output, "<o><a>x</a></o>");
+    }
+
+    #[test]
+    fn gcx_support_is_detected() {
+        // Top-level bare $input is outside the GCX fragment.
+        let p = PreparedQuery::compile("<o>{$input}</o>").unwrap();
+        assert!(!p.gcx_supported());
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        assert!(matches!(
+            PreparedQuery::compile("for $x return $x"),
+            Err(PrepareError::Syntax(_))
+        ));
+        // $a is a let variable: paths from lets are rejected by translation.
+        assert!(matches!(
+            PreparedQuery::compile("let $a := $input/x return <o>{$a/b}</o>"),
+            Err(PrepareError::Translate(_))
+        ));
+    }
+
+    #[test]
+    fn gcx_probe_hits_the_inlining_cap_on_nested_lets() {
+        // Each let doubles the uses of the previous variable; the GCX
+        // support probe must hit gcx's inlining size cap instead of
+        // materializing a 2^n-node query on the serving path. (n is kept
+        // moderate because the §4.1 optimizer has its own super-linear
+        // behaviour on this family — a ROADMAP item, independent of gcx.)
+        let mut src = String::from("let $a0 := $input/r/a return ");
+        for i in 1..=12 {
+            let p = i - 1;
+            src.push_str(&format!("let $a{i} := <x>{{$a{p}}}{{$a{p}}}</x> return "));
+        }
+        src.push_str("<o>{$a12}</o>");
+        let prepared = PreparedQuery::compile(&src).unwrap();
+        assert!(!prepared.gcx_supported());
+    }
+
+    #[test]
+    fn cache_hits_skip_compilation() {
+        let mut cache = QueryCache::new(4);
+        let a = cache.get_or_compile(Q1).unwrap();
+        let b = cache.get_or_compile(Q1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Whitespace-normalized source maps to the same entry.
+        let c = cache.get_or_compile("  <o>{$input/a}</o>\n").unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.compiles), (2, 1, 1));
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let mut cache = QueryCache::new(2);
+        cache.get_or_compile(Q1).unwrap();
+        cache.get_or_compile(Q2).unwrap();
+        cache.get_or_compile(Q1).unwrap(); // Q1 now more recent than Q2
+        cache.get_or_compile(Q3).unwrap(); // evicts Q2
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let before = cache.stats().compiles;
+        cache.get_or_compile(Q1).unwrap(); // still cached
+        assert_eq!(cache.stats().compiles, before);
+        cache.get_or_compile(Q2).unwrap(); // was evicted: recompiles
+        assert_eq!(cache.stats().compiles, before + 1);
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let mut cache = QueryCache::new(2);
+        assert!(cache.get_or_compile("for $x return $x").is_err());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().compiles, 0);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn prepared_query_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PreparedQuery>();
+    }
+}

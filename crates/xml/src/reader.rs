@@ -42,6 +42,10 @@ pub struct XmlReader<R> {
     /// Names of currently open elements.
     stack: Vec<Label>,
     ws: WhitespaceMode,
+    /// Open/close events returned so far (Eof excluded). Lets callers prove
+    /// single-pass properties: fanning one reader out to N engines must not
+    /// move this counter faster than N = 1 would.
+    events_read: u64,
     /// Set once Eof has been returned.
     finished: bool,
     /// Scratch buffer reused across text nodes.
@@ -61,6 +65,7 @@ impl<R: BufRead> XmlReader<R> {
             queue: VecDeque::new(),
             stack: Vec::new(),
             ws,
+            events_read: 0,
             finished: false,
             scratch: Vec::new(),
         }
@@ -71,9 +76,22 @@ impl<R: BufRead> XmlReader<R> {
         self.stack.len()
     }
 
+    /// Open/close events returned so far (`Eof` excluded).
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
     /// Pull the next event. After `Eof` has been returned, keeps returning
     /// `Eof`.
     pub fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        let ev = self.pull_event()?;
+        if ev != XmlEvent::Eof {
+            self.events_read += 1;
+        }
+        Ok(ev)
+    }
+
+    fn pull_event(&mut self) -> Result<XmlEvent, XmlError> {
         if let Some(ev) = self.queue.pop_front() {
             return Ok(ev);
         }
@@ -640,6 +658,16 @@ mod tests {
         let mut r = XmlReader::new("<a/>".as_bytes());
         while r.next_event().unwrap() != XmlEvent::Eof {}
         assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+    }
+
+    #[test]
+    fn events_read_counts_open_close_only() {
+        let mut r = XmlReader::new("<a><b/>hi</a>".as_bytes());
+        while r.next_event().unwrap() != XmlEvent::Eof {}
+        // a, b, "hi" — 3 opens + 3 closes; sticky Eof does not count.
+        assert_eq!(r.events_read(), 6);
+        let _ = r.next_event().unwrap();
+        assert_eq!(r.events_read(), 6);
     }
 
     #[test]

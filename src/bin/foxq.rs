@@ -5,6 +5,7 @@
 //! foxq compile <query.xq>               # print the optimized MFT rules
 //! foxq compile --no-opt <query.xq>      # print the raw §3 translation
 //! foxq stats <query.xq> [input.xml]     # run and report engine statistics
+//! foxq batch -q a.xq -q b.xq [in.xml …] # N queries, one pass per document
 //! ```
 //!
 //! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
@@ -13,6 +14,7 @@ use foxq::core::opt::optimize_with_stats;
 use foxq::core::stream::{run_streaming, StreamStats};
 use foxq::core::translate::translate;
 use foxq::core::{print_mft, Mft};
+use foxq::service::{run_multi, BatchDriver, QueryCache};
 use foxq::xml::{WriterSink, XmlReader};
 use foxq::xquery::parse_query;
 use std::io::{BufReader, Read, Write};
@@ -34,6 +36,7 @@ fn real_main() -> Result<(), String> {
         Some("run") => cmd_run(&args[1..], false),
         Some("stats") => cmd_run(&args[1..], true),
         Some("compile") => cmd_compile(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             Ok(())
@@ -47,6 +50,10 @@ usage:
   foxq run <query.xq> [input.xml]       stream input (default stdin) through the query
   foxq stats <query.xq> [input.xml]     run and report engine statistics to stderr
   foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
+  foxq batch [-q <query.xq>]... [--threads N] [--stats] [input.xml ...]
+      answer all queries over each input in a single pass per document;
+      with no inputs, one pass over stdin; with several, documents are
+      sharded across worker threads. Outputs are labeled '### doc query'.
 ";
 
 fn load_query(path: &str) -> Result<Mft, String> {
@@ -87,11 +94,176 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
 
 fn report_stats(stats: &StreamStats) {
     eprintln!("events:            {}", stats.events);
+    eprintln!(
+        "  open / close:    {} / {}",
+        stats.open_events, stats.close_events
+    );
     eprintln!("rule expansions:   {}", stats.expansions);
     eprintln!("peak live nodes:   {}", stats.peak_live_nodes);
     eprintln!("peak live bytes:   {}", stats.peak_live_bytes);
     eprintln!("max input depth:   {}", stats.max_depth);
     eprintln!("output events:     {}", stats.output_events);
+}
+
+/// `foxq batch`: N prepared queries, one pass over each input document.
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    let mut query_files: Vec<String> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut threads: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut report_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-q" | "--query-file" => {
+                i += 1;
+                query_files.push(
+                    args.get(i)
+                        .ok_or("-q/--query-file needs a file argument")?
+                        .clone(),
+                );
+            }
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .ok_or("--threads needs a number")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--stats" => report_stats = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown batch flag {other:?}\n{USAGE}"));
+            }
+            other => inputs.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if query_files.is_empty() {
+        return Err(format!("batch needs at least one -q <query.xq>\n{USAGE}"));
+    }
+
+    // Compile through the cache: passing the same query file twice (or two
+    // files with identical text) translates it once.
+    let mut cache = QueryCache::new(query_files.len().max(1));
+    let mut queries = Vec::with_capacity(query_files.len());
+    for path in &query_files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read query {path}: {e}"))?;
+        let prepared = cache
+            .get_or_compile(&src)
+            .map_err(|e| format!("{path}: {e}"))?;
+        queries.push(prepared);
+    }
+    if report_stats {
+        let cs = cache.stats();
+        eprintln!(
+            "queries:           {} ({} compiled, {} cache hits)",
+            queries.len(),
+            cs.compiles,
+            cs.hits
+        );
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut failures = 0usize;
+
+    if inputs.len() <= 1 {
+        // Single document: stream it (stdin or a file) in one pass.
+        let doc_name = inputs.first().map(String::as_str).unwrap_or("stdin");
+        let stdin;
+        let input: Box<dyn Read> = match inputs.first() {
+            Some(path) => {
+                Box::new(std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
+            }
+            None => {
+                stdin = std::io::stdin();
+                Box::new(stdin.lock())
+            }
+        };
+        let mfts: Vec<&Mft> = queries.iter().map(|q| q.mft()).collect();
+        let sinks: Vec<_> = queries
+            .iter()
+            .map(|_| WriterSink::new(Vec::new()))
+            .collect();
+        match run_multi(&mfts, XmlReader::new(BufReader::new(input)), sinks) {
+            Ok(run) => {
+                if report_stats {
+                    eprintln!("input events:      {} (one pass)", run.input_events);
+                }
+                for (qfile, result) in query_files.iter().zip(run.results) {
+                    writeln!(out, "### {doc_name} {qfile}").map_err(|e| e.to_string())?;
+                    match result {
+                        Ok((sink, stats)) => {
+                            let buf = sink.finish().map_err(|e| e.to_string())?;
+                            out.write_all(&buf)
+                                .and_then(|_| out.write_all(b"\n"))
+                                .map_err(|e| e.to_string())?;
+                            if report_stats {
+                                eprintln!(
+                                    "{qfile}: {} output events, peak {} nodes",
+                                    stats.output_events, stats.peak_live_nodes
+                                );
+                            }
+                        }
+                        Err(e) => {
+                            failures += 1;
+                            writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                            eprintln!("foxq: {qfile} on {doc_name}: {e}");
+                        }
+                    }
+                }
+            }
+            // Same labeled-row contract as the multi-document path: a bad
+            // document fails every query's block, not the whole command
+            // format.
+            Err(e) => {
+                for qfile in &query_files {
+                    writeln!(out, "### {doc_name} {qfile}").map_err(|e| e.to_string())?;
+                    writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                    eprintln!("foxq: {qfile} on {doc_name}: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    } else {
+        // Several documents: shard them across worker threads. Each worker
+        // opens and streams the files it claims, so peak memory does not
+        // scale with the corpus size.
+        let report = BatchDriver::new(threads).run_files(&inputs, &queries);
+        if report_stats {
+            eprintln!(
+                "documents:         {} over {} threads",
+                inputs.len(),
+                threads.max(1)
+            );
+            eprintln!(
+                "input events:      {} (one pass per document)",
+                report.input_events
+            );
+            eprintln!("output events:     {}", report.output_events);
+        }
+        failures += report.failures;
+        for (doc_name, row) in inputs.iter().zip(&report.cells) {
+            for (qfile, cell) in query_files.iter().zip(row) {
+                writeln!(out, "### {doc_name} {qfile}").map_err(|e| e.to_string())?;
+                match &cell.output {
+                    Ok(text) => writeln!(out, "{text}").map_err(|e| e.to_string())?,
+                    Err(e) => {
+                        writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                        eprintln!("foxq: {qfile} on {doc_name}: {e}");
+                    }
+                }
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    if failures > 0 {
+        return Err(format!("{failures} query run(s) failed"));
+    }
+    Ok(())
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), String> {

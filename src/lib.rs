@@ -24,7 +24,9 @@
 //! * [`tt`] — binary-tree transducers and the composition constructions of
 //!   Section 4.2 (Lemmas 1–3, Theorems 3–5);
 //! * [`gcx`] — the GCX-substitute streaming baseline used in the evaluation;
-//! * [`gen`] — deterministic XMark/TreeBank/Medline/Protein-like generators.
+//! * [`gen`] — deterministic XMark/TreeBank/Medline/Protein-like generators;
+//! * [`service`] — the serving layer: prepared-query cache, multi-query
+//!   single-pass engine, parallel batch driver (the `foxq batch` command).
 //!
 //! ## Quick start
 //!
@@ -47,6 +49,7 @@ pub use foxq_core as core;
 pub use foxq_forest as forest;
 pub use foxq_gcx as gcx;
 pub use foxq_gen as gen;
+pub use foxq_service as service;
 pub use foxq_tt as tt;
 pub use foxq_xml as xml;
 pub use foxq_xquery as xquery;
@@ -59,6 +62,7 @@ pub mod prelude {
     pub use foxq_core::stream::{run_streaming_to_string, StreamStats};
     pub use foxq_core::translate::translate;
     pub use foxq_forest::{Forest, Label, NodeKind, Tree};
+    pub use foxq_service::{BatchDriver, MultiQueryEngine, PreparedQuery, QueryCache};
     pub use foxq_xml::{parse_document, write_forest};
     pub use foxq_xquery::parse_query;
 }

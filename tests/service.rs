@@ -1,0 +1,181 @@
+//! Integration suite for the `foxq::service` serving layer.
+//!
+//! The two acceptance properties of the subsystem:
+//!
+//! 1. **Single-pass fan-out** — running 1 vs 4 prepared queries over the
+//!    same document consumes the *identical* number of XML events from the
+//!    reader, and every query's multi-run output equals its solo-run output.
+//! 2. **Deterministic parallel batching** — a [`BatchDriver`] with ≥ 2
+//!    threads produces byte-for-byte the same report as a single thread.
+//!
+//! Plus: multi-query agreement against the ground-truth DOM evaluator and
+//! cache hit/eviction behaviour observable through compile counts.
+
+use foxq::forest::Forest;
+use foxq::gen::Dataset;
+use foxq::service::{BatchDriver, MultiQueryEngine, PreparedQuery, QueryCache};
+use foxq::xml::{forest_to_xml_string, ForestSink, XmlEvent, XmlReader};
+use foxq::xquery::eval_query;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Queries with distinct shapes: child/descendant paths, predicates,
+/// nesting, following-sibling, and the buffering `double` corner case.
+const POOL: [&str; 6] = [
+    "<o>{ for $p in $input/site/people/person return <n>{$p/name/text()}</n> }</o>",
+    r#"<o>{ for $p in $input/site/people/person[./p_id/text() = "person0"]
+         return $p/name/text() }</o>"#,
+    "<o>{$input//keyword}</o>",
+    "<o>{ for $a in $input/site/open_auctions/open_auction return
+       <b>{ for $i in $a/bidder/increase return <i>{$i/text()}</i> }</b> }</o>",
+    "<double><r1>{$input/site/regions/*}</r1>{$input/site/regions/*}</double>",
+    "<o>{$input/site/people/person/following-sibling::person}</o>",
+];
+
+fn prepared_pool() -> Vec<Arc<PreparedQuery>> {
+    let mut cache = QueryCache::new(POOL.len());
+    POOL.iter()
+        .map(|q| cache.get_or_compile(q).unwrap())
+        .collect()
+}
+
+fn xmark(bytes: usize, seed: u64) -> Forest {
+    foxq::gen::generate(Dataset::Xmark, bytes, seed)
+}
+
+fn xmark_xml(bytes: usize, seed: u64) -> Vec<u8> {
+    forest_to_xml_string(&xmark(bytes, seed)).into_bytes()
+}
+
+/// Drive a `MultiQueryEngine` from a reader, returning per-query outputs and
+/// the number of events the *reader* produced (the single-pass measure).
+fn drive(queries: &[Arc<PreparedQuery>], doc: &[u8]) -> (Vec<String>, u64) {
+    let mut reader = XmlReader::new(doc);
+    let mut engine = MultiQueryEngine::new(
+        queries
+            .iter()
+            .map(|q| (q.mft(), foxq::xml::WriterSink::new(Vec::new()))),
+    );
+    loop {
+        match reader.next_event().unwrap() {
+            XmlEvent::Open(label) => engine.open(&label),
+            XmlEvent::Close(_) => engine.close(),
+            XmlEvent::Eof => break,
+        }
+    }
+    let events = reader.events_read();
+    let outputs = engine
+        .finish()
+        .into_iter()
+        .map(|r| {
+            let (sink, _) = r.unwrap();
+            String::from_utf8(sink.finish().unwrap()).unwrap()
+        })
+        .collect();
+    (outputs, events)
+}
+
+#[test]
+fn single_pass_fanout_consumes_identical_events() {
+    let doc = xmark_xml(30_000, 0xF0E5);
+    let queries = prepared_pool();
+
+    let (solo_outputs, events_for_1) = drive(&queries[..1], &doc);
+    let (multi_outputs, events_for_4) = drive(&queries[..4], &doc);
+
+    // The reader is consumed exactly once however many queries fan out.
+    assert_eq!(events_for_1, events_for_4, "fan-out re-read the input");
+    assert!(events_for_1 > 0);
+
+    // Every query's multi-run output equals its solo run.
+    assert_eq!(multi_outputs[0], solo_outputs[0]);
+    for (q, out) in queries[..4].iter().zip(&multi_outputs) {
+        let solo = q.run_to_string(&doc).unwrap();
+        assert_eq!(&solo.output, out, "multi vs solo for {}", q.source());
+    }
+}
+
+#[test]
+fn engine_event_counters_match_the_reader() {
+    let doc = xmark_xml(10_000, 3);
+    let queries = prepared_pool();
+    let mut reader = XmlReader::new(&doc[..]);
+    let mut engine = MultiQueryEngine::new(queries.iter().map(|q| (q.mft(), foxq::xml::NullSink)));
+    loop {
+        match reader.next_event().unwrap() {
+            XmlEvent::Open(label) => engine.open(&label),
+            XmlEvent::Close(_) => engine.close(),
+            XmlEvent::Eof => break,
+        }
+    }
+    assert_eq!(engine.input_events(), reader.events_read());
+    for r in engine.finish() {
+        let (_, stats) = r.unwrap();
+        // Each lane consumed every reader event exactly once, split evenly
+        // between opens and closes (plus the eof tick).
+        assert_eq!(stats.open_events + stats.close_events, reader.events_read());
+        assert_eq!(stats.open_events, stats.close_events);
+        assert_eq!(stats.events, reader.events_read() + 1);
+    }
+}
+
+#[test]
+fn multi_query_agrees_with_reference_evaluator() {
+    let queries = prepared_pool();
+    for seed in [1u64, 7, 42] {
+        let input = xmark(15_000, seed);
+        let mfts: Vec<_> = queries.iter().map(|q| q.mft()).collect();
+        let sinks: Vec<_> = queries.iter().map(|_| ForestSink::new()).collect();
+        let run = foxq::service::run_multi_on_forest(&mfts, &input, sinks);
+        for (q, r) in queries.iter().zip(run.results) {
+            let (sink, _) = r.unwrap();
+            let expected = eval_query(q.query(), &input).unwrap();
+            assert_eq!(
+                forest_to_xml_string(&sink.into_forest()),
+                forest_to_xml_string(&expected),
+                "seed {seed}, query {}",
+                q.source()
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_hit_avoids_retranslation() {
+    let mut cache = QueryCache::new(2);
+    cache.get_or_compile(POOL[0]).unwrap();
+    assert_eq!(cache.stats().compiles, 1);
+    // Hit: the compile count is unchanged — no re-translation happened.
+    cache.get_or_compile(POOL[0]).unwrap();
+    assert_eq!(cache.stats().compiles, 1);
+    assert_eq!(cache.stats().hits, 1);
+    // Fill past capacity: the least-recently-used entry is evicted and
+    // compiles again on the next lookup.
+    cache.get_or_compile(POOL[1]).unwrap();
+    cache.get_or_compile(POOL[2]).unwrap();
+    assert_eq!(cache.stats().evictions, 1);
+    cache.get_or_compile(POOL[0]).unwrap();
+    assert_eq!(cache.stats().compiles, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn batch_driver_is_deterministic_across_thread_counts(seed in any::<u64>()) {
+        let queries = prepared_pool();
+        let docs: Vec<Vec<u8>> = (0..5)
+            .map(|i| xmark_xml(4_000 + 2_000 * i, seed.wrapping_add(i as u64)))
+            .collect();
+        let serial = BatchDriver::new(1).run(&docs, &queries);
+        let parallel = BatchDriver::new(4).run(&docs, &queries);
+        prop_assert_eq!(serial.cells.len(), parallel.cells.len());
+        for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+            for (sc, pc) in s.iter().zip(p) {
+                prop_assert_eq!(&sc.output, &pc.output);
+            }
+        }
+        prop_assert_eq!(serial.input_events, parallel.input_events);
+        prop_assert_eq!(serial.output_events, parallel.output_events);
+        prop_assert_eq!(serial.failures, 0);
+    }
+}

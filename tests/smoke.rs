@@ -131,6 +131,117 @@ fn cli_errors_exit_nonzero() {
 }
 
 #[test]
+fn cli_batch_answers_multiple_queries_in_one_pass() {
+    let dir = scratch("batch");
+    let q1 = write(&dir, "q1.xq", QUERY);
+    let q2 = write(&dir, "q2.xq", "<names>{$input/person/name}</names>");
+    let x = write(&dir, "in.xml", DOC);
+    let out = foxq()
+        .args(["batch", "-q"])
+        .arg(&q1)
+        .arg("-q")
+        .arg(&q2)
+        .arg("--stats")
+        .arg(&x)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout_of(&out);
+    // Labeled output blocks, one per query, in -q order.
+    let q1_pos = text.find("q1.xq").expect("q1 label");
+    let q2_pos = text.find("q2.xq").expect("q2 label");
+    assert!(q1_pos < q2_pos, "labels out of order:\n{text}");
+    assert!(text.contains("<out>JimLi</out>"), "{text}");
+    assert!(
+        text.contains("<names><name>Jim</name><name>Li</name></names>"),
+        "{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("one pass"), "missing stats report:\n{err}");
+}
+
+#[test]
+fn cli_batch_reads_stdin_and_shards_multiple_documents() {
+    let dir = scratch("batch-multi");
+    let q = write(&dir, "q.xq", QUERY);
+    // stdin path
+    let mut child = foxq()
+        .arg("batch")
+        .arg("-q")
+        .arg(&q)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    use std::io::Write as _;
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(DOC.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("<out>JimLi</out>"));
+
+    // Multiple documents: threaded batch output must be deterministic.
+    let x1 = write(&dir, "a.xml", DOC);
+    let x2 = write(
+        &dir,
+        "b.xml",
+        "<person><p_id>person0</p_id><name>Bo</name></person>",
+    );
+    let run = |threads: &str| {
+        let out = foxq()
+            .arg("batch")
+            .arg("-q")
+            .arg(&q)
+            .args(["--threads", threads])
+            .arg(&x1)
+            .arg(&x2)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "threads={threads}");
+        stdout_of(&out)
+    };
+    let serial = run("1");
+    assert!(serial.contains("<out>JimLi</out>"), "{serial}");
+    assert!(serial.contains("<out>Bo</out>"), "{serial}");
+    assert_eq!(serial, run("4"), "batch output depends on thread count");
+}
+
+#[test]
+fn cli_batch_errors_exit_nonzero() {
+    let dir = scratch("batch-errors");
+    // No queries at all.
+    let out = foxq().arg("batch").output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    // Malformed XML: exit 1, but the labeled block contract still holds
+    // (same shape as the multi-document path).
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "bad.xml", "<person><p_id>");
+    let out = foxq()
+        .arg("batch")
+        .arg("-q")
+        .arg(&q)
+        .arg(&x)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout_of(&out);
+    assert!(text.contains("### "), "no labeled block:\n{text}");
+    assert!(text.contains("error: "), "no labeled error row:\n{text}");
+    // Unparseable query file.
+    let bad = write(&dir, "bad.xq", "for $x return $x");
+    let out = foxq().arg("batch").arg("-q").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
 fn cli_help_succeeds() {
     for args in [vec!["--help"], vec![]] {
         let out = foxq().args(&args).output().unwrap();
