@@ -14,12 +14,17 @@
 //! `--sizes 1,4,16`.
 //!
 //! `--csv <path>` additionally appends one machine-readable row per engine
-//! run (`section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes`)
-//! for offline statistics — variance, outlier filtering, plotting. Rows
-//! cover the sections that run engines over inputs — the figure panels and
-//! the ablation; `--table 1` (dataset shapes) and `--compose` (composition
-//! construction timings) print to stdout only.
+//! cell (`section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes,
+//! samples,ns_mean,ns_stddev,ns_mad,outliers_dropped`) for offline
+//! statistics and plotting. `--samples N` (default 1) repeats each cell N
+//! times; `ns` is then the median and the trailing columns carry the robust
+//! statistics of the criterion stand-in (mean ± stddev over the samples
+//! surviving a 3.5·MAD outlier cut). Rows cover the sections that run
+//! engines over inputs — the figure panels and the ablation; `--table 1`
+//! (dataset shapes) and `--compose` (composition construction timings)
+//! print to stdout only.
 
+use criterion::Summary;
 use foxq_bench::{
     compile, figure_inputs, figure_query, query_source, run_engine, Engine, RunResult, FIGURES,
 };
@@ -27,11 +32,12 @@ use foxq_forest::{Forest, ForestStats};
 use foxq_gen::Dataset;
 use foxq_tt::{compose_tt_tt, compose_tt_tt_naive, Mtt, TNode};
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sizes = parse_sizes(&args);
+    let samples = parse_samples(&args);
     let mut csv = CsvLog::from_args(&args);
     let mut did_something = false;
     let mut i = 0;
@@ -42,10 +48,10 @@ fn main() {
                 let fig = args.get(i).expect("--fig needs an argument (4a..4i|all)");
                 if fig == "all" {
                     for f in FIGURES {
-                        figure(f, &sizes, &mut csv);
+                        figure(f, &sizes, samples, &mut csv);
                     }
                 } else {
-                    figure(fig, &sizes, &mut csv);
+                    figure(fig, &sizes, samples, &mut csv);
                 }
                 did_something = true;
             }
@@ -55,14 +61,14 @@ fn main() {
                 did_something = true;
             }
             "--ablation" => {
-                ablation(&sizes, &mut csv);
+                ablation(&sizes, samples, &mut csv);
                 did_something = true;
             }
             "--compose" => {
                 compose_table();
                 did_something = true;
             }
-            "--sizes" | "--csv" => {
+            "--sizes" | "--csv" | "--samples" => {
                 i += 1; // value parsed up front
             }
             other => panic!("unknown argument {other}"),
@@ -72,9 +78,9 @@ fn main() {
     if !did_something {
         table1(&sizes);
         for f in FIGURES {
-            figure(f, &sizes, &mut csv);
+            figure(f, &sizes, samples, &mut csv);
         }
-        ablation(&sizes, &mut csv);
+        ablation(&sizes, samples, &mut csv);
         compose_table();
     }
 }
@@ -96,7 +102,8 @@ impl CsvLog {
             );
             writeln!(
                 f,
-                "section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes"
+                "section,query,engine,input,input_bytes,ns,peak_nodes,output_nodes,\
+                 samples,ns_mean,ns_stddev,ns_mad,outliers_dropped"
             )
             .expect("csv write");
             f
@@ -115,23 +122,28 @@ impl CsvLog {
         engine: Engine,
         input: &str,
         input_bytes: usize,
-        result: Option<&RunResult>,
+        cell: Option<&(RunResult, Summary)>,
     ) {
         let Some(out) = self.out.as_mut() else {
             return;
         };
-        match result {
-            Some(r) => writeln!(
+        match cell {
+            Some((r, s)) => writeln!(
                 out,
-                "{section},{query},{},{input},{input_bytes},{},{},{}",
+                "{section},{query},{},{input},{input_bytes},{},{},{},{},{},{},{},{}",
                 engine.name(),
-                r.elapsed.as_nanos(),
+                s.median.as_nanos(),
                 r.peak_nodes,
-                r.output_nodes
+                r.output_nodes,
+                s.samples,
+                s.mean.as_nanos(),
+                s.std_dev.as_nanos(),
+                s.mad.as_nanos(),
+                s.outliers_dropped,
             ),
             None => writeln!(
                 out,
-                "{section},{query},{},{input},{input_bytes},NA,NA,NA",
+                "{section},{query},{},{input},{input_bytes},NA,NA,NA,NA,NA,NA,NA,NA",
                 engine.name()
             ),
         }
@@ -146,6 +158,37 @@ fn input_bytes(csv: &CsvLog, input: &Forest) -> usize {
     } else {
         0
     }
+}
+
+/// Measure one engine cell `samples` times: the run whose time is closest
+/// to the median is the representative (its memory/output counters are
+/// deterministic anyway), the summary carries the timing statistics.
+fn run_cell(
+    engine: Engine,
+    c: &foxq_bench::Compiled,
+    input: &Forest,
+    samples: usize,
+) -> Option<(RunResult, Summary)> {
+    let mut runs = Vec::with_capacity(samples.max(1));
+    for _ in 0..samples.max(1) {
+        runs.push(run_engine(engine, c, input)?);
+    }
+    let durations: Vec<Duration> = runs.iter().map(|r| r.elapsed).collect();
+    let summary = criterion::summarize(&durations).expect("at least one sample");
+    let rep = *runs
+        .iter()
+        .min_by_key(|r| r.elapsed.abs_diff(summary.median))
+        .expect("at least one run");
+    Some((rep, summary))
+}
+
+fn parse_samples(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--samples")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse().expect("--samples needs a positive number"))
+        .map(|n: usize| n.max(1))
+        .unwrap_or(1)
 }
 
 fn parse_sizes(args: &[String]) -> Vec<usize> {
@@ -164,7 +207,7 @@ fn parse_sizes(args: &[String]) -> Vec<usize> {
 }
 
 /// One panel of Figure 4.
-fn figure(fig: &str, sizes: &[usize], csv: &mut CsvLog) {
+fn figure(fig: &str, sizes: &[usize], samples: usize, csv: &mut CsvLog) {
     let qname = figure_query(fig);
     let c = compile(qname, query_source(qname));
     let corner = matches!(fig, "4g" | "4h" | "4i");
@@ -189,11 +232,11 @@ fn figure(fig: &str, sizes: &[usize], csv: &mut CsvLog) {
     for (label, input) in figure_inputs(fig, sizes, 0xF0E5) {
         let bytes = input_bytes(csv, &input);
         let mut cell = |e| {
-            let r = run_engine(e, &c, &input);
+            let r = run_cell(e, &c, &input, samples);
             csv.row(fig, qname, e, &label, bytes, r.as_ref());
             match r {
-                Some(r) => (
-                    format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                Some((r, s)) => (
+                    format!("{:.1}", s.median.as_secs_f64() * 1e3),
                     format!("{}", r.peak_nodes),
                 ),
                 None => ("N/A".to_string(), "N/A".to_string()),
@@ -236,7 +279,7 @@ fn table1(sizes: &[usize]) {
 }
 
 /// §4.1 ablation: effect of the optimizations per query.
-fn ablation(sizes: &[usize], csv: &mut CsvLog) {
+fn ablation(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
     let bytes = sizes.first().copied().unwrap_or(1 << 20);
     let input = foxq_gen::generate(Dataset::Xmark, bytes, 0xF0E5);
     let in_bytes = input_bytes(csv, &input);
@@ -250,8 +293,8 @@ fn ablation(sizes: &[usize], csv: &mut CsvLog) {
     );
     for (name, src) in foxq_bench::QUERIES {
         let c = compile(name, src);
-        let un = run_engine(Engine::MftNoOpt, &c, &input).unwrap();
-        let op = run_engine(Engine::MftOpt, &c, &input).unwrap();
+        let un = run_cell(Engine::MftNoOpt, &c, &input, samples).unwrap();
+        let op = run_cell(Engine::MftOpt, &c, &input, samples).unwrap();
         csv.row(
             "ablation",
             name,
@@ -275,10 +318,10 @@ fn ablation(sizes: &[usize], csv: &mut CsvLog) {
             c.opt.state_count(),
             c.unopt.max_params(),
             c.opt.max_params(),
-            un.elapsed.as_secs_f64() * 1e3,
-            op.elapsed.as_secs_f64() * 1e3,
-            un.peak_nodes,
-            op.peak_nodes,
+            un.1.median.as_secs_f64() * 1e3,
+            op.1.median.as_secs_f64() * 1e3,
+            un.0.peak_nodes,
+            op.0.peak_nodes,
         );
     }
     println!("(st = states, pm = max parameters; the paper reports ~1 order of magnitude)");

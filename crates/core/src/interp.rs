@@ -1,30 +1,60 @@
 //! In-memory (denotational) MFT interpreter.
 //!
-//! Implements the semantics of §2.2 directly: every state `q` of rank m+1
-//! realizes `[[q]] : F^{m+1} → F`, defined by structural recursion over the
-//! input forest; parameters are forest values. This interpreter materializes
-//! the whole input and output and serves as the reference implementation the
-//! streaming engine (and all optimizations) are tested against.
+//! Implements the semantics of §2.2: every state `q` of rank m+1 realizes
+//! `[[q]] : F^{m+1} → F`, defined by structural recursion over the input
+//! forest; parameters are forest values.
+//!
+//! Two evaluators live here:
+//!
+//! * [`run_mft`] / [`run_mft_with_limits`] — the production evaluator.
+//!   Forest values are **shared DAGs** ([`foxq_forest::value::Value`]):
+//!   parameter reuse is O(1), concatenation is O(1), and a memo table keyed
+//!   by `(state, input position, parameter fingerprints)` caches repeated
+//!   sub-evaluations. Because values are hash-consed per run, structurally
+//!   equal parameters have equal fingerprints, so the accumulator-heavy
+//!   transducers of the §4.2 composition constructions evaluate in steps
+//!   linear in the shared graph rather than the unfolded output. The result
+//!   is materialized once, at the output boundary, under
+//!   [`RunLimits::max_output_nodes`].
+//! * [`run_mft_naive`] / [`run_mft_naive_with_limits`] — the original
+//!   copy-everything reference implementation, retained verbatim as the
+//!   oracle the value-based evaluator (and the streaming engine, and all
+//!   optimizations) are property-tested against.
 //!
 //! The paper only deals with *terminating* MFTs; since stay moves can loop,
-//! the interpreter enforces a configurable step budget and reports
+//! both evaluators enforce a configurable step budget and report
 //! [`RunError::StepLimit`] on exhaustion.
 
 use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
-use foxq_forest::{Forest, Label, Tree};
-use std::rc::Rc;
+use foxq_forest::value::{Value, ValueInterner};
+use foxq_forest::{Forest, FxHashMap, Label, Tree};
 
 /// Limits for one interpreter run.
 #[derive(Debug, Clone, Copy)]
 pub struct RunLimits {
     /// Maximum number of rule applications.
     pub max_steps: u64,
+    /// Maximum number of tree nodes the run may materialize as output.
+    /// Shared values make it cheap to *represent* astronomically large
+    /// outputs; this is the guard that refuses to unfold them.
+    pub max_output_nodes: u64,
 }
 
 impl Default for RunLimits {
     fn default() -> Self {
         RunLimits {
             max_steps: 200_000_000,
+            max_output_nodes: 1_000_000_000,
+        }
+    }
+}
+
+impl RunLimits {
+    /// Default limits with a custom step budget.
+    pub fn with_max_steps(max_steps: u64) -> Self {
+        RunLimits {
+            max_steps,
+            ..RunLimits::default()
         }
     }
 }
@@ -38,6 +68,8 @@ pub enum RunError {
     /// `%t` was required in a context with no current node (an ε-rule);
     /// [`Mft::validate`] rejects such transducers statically.
     CurrentLabelAtEps { state: String },
+    /// The output budget was exhausted while materializing the result.
+    OutputLimit { max_output_nodes: u64 },
 }
 
 impl std::fmt::Display for RunError {
@@ -52,6 +84,9 @@ impl std::fmt::Display for RunError {
             RunError::CurrentLabelAtEps { state } => {
                 write!(f, "%t used with no current node in state {state}")
             }
+            RunError::OutputLimit { max_output_nodes } => {
+                write!(f, "output limit of {max_output_nodes} nodes exceeded")
+            }
         }
     }
 }
@@ -63,7 +98,7 @@ pub fn run_mft(mft: &Mft, input: &[Tree]) -> Result<Forest, RunError> {
     run_mft_with_limits(mft, input, RunLimits::default())
 }
 
-/// [`run_mft`] with an explicit step budget.
+/// [`run_mft`] with explicit step and output budgets.
 pub fn run_mft_with_limits(
     mft: &Mft,
     input: &[Tree],
@@ -73,79 +108,150 @@ pub fn run_mft_with_limits(
         mft,
         steps: 0,
         limits,
+        interner: ValueInterner::new(),
+        memo: FxHashMap::default(),
     };
+    let value = ctx.eval_state(mft.initial, input, Vec::new())?;
     let mut out = Vec::new();
-    ctx.eval_state(mft.initial, input, &[], &mut out)?;
+    value
+        .write_into(&mut out, limits.max_output_nodes)
+        .map_err(|e| RunError::OutputLimit {
+            max_output_nodes: e.max_nodes,
+        })?;
     Ok(out)
+}
+
+/// Memo key of one state evaluation.
+///
+/// The input forest is identified by its slice address: `x1`/`x2` always
+/// denote sub-slices of the (immutable, borrowed) input, so equal
+/// `(ptr, len)` implies equal content for the duration of the run.
+/// Parameters are identified by value fingerprints: equal fingerprints
+/// imply structurally equal values (the soundness direction), and the
+/// per-run [`ValueInterner`] — which keeps every produced value alive, so
+/// fingerprints are never reused — makes same-shape re-derivations
+/// pointer-equal, which is where the hit rate comes from.
+#[derive(PartialEq, Eq, Hash)]
+struct MemoKey {
+    state: StateId,
+    input: (usize, usize),
+    params: Box<[usize]>,
 }
 
 struct Ctx<'a> {
     mft: &'a Mft,
     steps: u64,
     limits: RunLimits,
+    interner: ValueInterner,
+    memo: FxHashMap<MemoKey, Value>,
 }
 
-/// Variable bindings while evaluating one rhs.
-struct Bind<'a> {
+/// Variable bindings while evaluating one rhs. `'a` is the input forest's
+/// lifetime; `'p` the (stack-local) parameter slice's.
+struct Bind<'a, 'p> {
     /// x0: the full current forest.
     x0: &'a [Tree],
     /// x1/x2 and the current label; `None` in ε context.
     node: Option<(&'a Label, &'a [Tree], &'a [Tree])>,
-    params: &'a [Rc<Forest>],
+    params: &'p [Value],
 }
 
 impl<'a> Ctx<'a> {
+    /// Evaluate `[[q]](g0, params)`. Single-call right-hand sides (stay
+    /// chains and CPS-style forwarding states, ubiquitous in the §3
+    /// translation and the §4.2 compositions) are executed as a loop, not by
+    /// recursion. A *cyclic* stay loop (the same configuration reached
+    /// again) can never produce a value, so it is reported as
+    /// [`RunError::StepLimit`] immediately — in constant stack and memory —
+    /// rather than after burning the whole step budget.
     fn eval_state(
         &mut self,
-        q: StateId,
-        g0: &[Tree],
-        params: &[Rc<Forest>],
-        out: &mut Forest,
-    ) -> Result<(), RunError> {
-        self.steps += 1;
-        if self.steps > self.limits.max_steps {
-            return Err(RunError::StepLimit {
-                max_steps: self.limits.max_steps,
-            });
-        }
-        let rules = &self.mft.rules[q.idx()];
-        match g0.split_first() {
-            None => {
+        mut q: StateId,
+        mut g0: &'a [Tree],
+        mut params: Vec<Value>,
+    ) -> Result<Value, RunError> {
+        // Configs traversed by tail calls; they all share the final value.
+        // A set: re-reaching a member proves divergence.
+        let mut pending: foxq_forest::FxHashSet<MemoKey> = foxq_forest::FxHashSet::default();
+        loop {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(RunError::StepLimit {
+                    max_steps: self.limits.max_steps,
+                });
+            }
+            let key = MemoKey {
+                state: q,
+                input: (g0.as_ptr() as usize, g0.len()),
+                params: params.iter().map(Value::fingerprint).collect(),
+            };
+            if let Some(v) = self.memo.get(&key) {
+                let v = v.clone();
+                for k in pending {
+                    self.memo.insert(k, v.clone());
+                }
+                return Ok(v);
+            }
+            let rules = &self.mft.rules[q.idx()];
+            let (rhs, node) = match g0.split_first() {
+                None => (&rules.eps, None),
+                Some((t, rest)) => {
+                    let rhs = match self.mft.alphabet.lookup(&t.label) {
+                        Some(sym) if rules.by_sym.contains_key(&sym) => &rules.by_sym[&sym],
+                        _ if t.is_text() && rules.text_default.is_some() => {
+                            rules.text_default.as_ref().unwrap()
+                        }
+                        _ => &rules.default,
+                    };
+                    (rhs, Some((&t.label, t.children.as_slice(), rest)))
+                }
+            };
+            if let [RhsNode::Call { state, input, args }] = rhs.as_slice() {
+                // Tail call: evaluate the arguments, then loop.
                 let bind = Bind {
                     x0: g0,
-                    node: None,
-                    params,
+                    node,
+                    params: &params,
                 };
-                self.eval_rhs(q, &rules.eps, &bind, out)
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval_rhs(q, a, &bind)?);
+                }
+                let g = match input {
+                    XVar::X0 => bind.x0,
+                    XVar::X1 => bind.node.map(|(_, x1, _)| x1).unwrap_or(&[]),
+                    XVar::X2 => bind.node.map(|(_, _, x2)| x2).unwrap_or(&[]),
+                };
+                if !pending.insert(key) {
+                    // The chain closed a cycle: `[[q]]` diverges here.
+                    return Err(RunError::StepLimit {
+                        max_steps: self.limits.max_steps,
+                    });
+                }
+                q = *state;
+                g0 = g;
+                params = arg_vals;
+                continue;
             }
-            Some((t, rest)) => {
-                let rhs = match self.mft.alphabet.lookup(&t.label) {
-                    Some(sym) if rules.by_sym.contains_key(&sym) => &rules.by_sym[&sym],
-                    _ if t.is_text() && rules.text_default.is_some() => {
-                        rules.text_default.as_ref().unwrap()
-                    }
-                    _ => &rules.default,
-                };
-                let bind = Bind {
-                    x0: g0,
-                    node: Some((&t.label, &t.children, rest)),
-                    params,
-                };
-                self.eval_rhs(q, rhs, &bind, out)
+            let bind = Bind {
+                x0: g0,
+                node,
+                params: &params,
+            };
+            let value = self.eval_rhs(q, rhs, &bind)?;
+            self.memo.insert(key, value.clone());
+            for k in pending {
+                self.memo.insert(k, value.clone());
             }
+            return Ok(value);
         }
     }
 
-    fn eval_rhs(
-        &mut self,
-        q: StateId,
-        rhs: &Rhs,
-        bind: &Bind<'_>,
-        out: &mut Forest,
-    ) -> Result<(), RunError> {
+    fn eval_rhs(&mut self, q: StateId, rhs: &Rhs, bind: &Bind<'a, '_>) -> Result<Value, RunError> {
+        let mut acc = self.interner.empty();
         for node in rhs {
-            match node {
-                RhsNode::Param(i) => out.extend_from_slice(&bind.params[*i]),
+            let v = match node {
+                RhsNode::Param(i) => bind.params[*i].clone(),
                 RhsNode::Out { label, children } => {
                     let label = match label {
                         OutLabel::Sym(s) => self.mft.alphabet.label(*s).clone(),
@@ -158,12 +264,8 @@ impl<'a> Ctx<'a> {
                             }
                         },
                     };
-                    let mut kids = Vec::new();
-                    self.eval_rhs(q, children, bind, &mut kids)?;
-                    out.push(Tree {
-                        label,
-                        children: kids,
-                    });
+                    let kids = self.eval_rhs(q, children, bind)?;
+                    self.interner.node(&label, &kids)
                 }
                 RhsNode::Call { state, input, args } => {
                     let g = match input {
@@ -173,15 +275,176 @@ impl<'a> Ctx<'a> {
                     };
                     let mut arg_vals = Vec::with_capacity(args.len());
                     for a in args {
-                        let mut v = Vec::new();
-                        self.eval_rhs(q, a, bind, &mut v)?;
-                        arg_vals.push(Rc::new(v));
+                        arg_vals.push(self.eval_rhs(q, a, bind)?);
                     }
-                    self.eval_state(*state, g, &arg_vals, out)?;
+                    self.eval_state(*state, g, arg_vals)?
+                }
+            };
+            acc = self.interner.concat(&acc, &v);
+        }
+        Ok(acc)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The retained naive reference evaluator
+// ---------------------------------------------------------------------------
+
+/// [`run_mft_naive`]: the original copy-per-use reference evaluator, kept as
+/// the oracle for property tests. Both [`RunLimits`] budgets apply: a
+/// parameter-doubling chain materializes 2^n output nodes in only O(n)
+/// steps, so `max_output_nodes` (counted as nodes are built, arguments
+/// included) is enforced independently of `max_steps`.
+pub fn run_mft_naive(mft: &Mft, input: &[Tree]) -> Result<Forest, RunError> {
+    run_mft_naive_with_limits(mft, input, RunLimits::default())
+}
+
+/// [`run_mft_naive`] with explicit step and output budgets.
+pub fn run_mft_naive_with_limits(
+    mft: &Mft,
+    input: &[Tree],
+    limits: RunLimits,
+) -> Result<Forest, RunError> {
+    let mut ctx = naive::Ctx {
+        mft,
+        steps: 0,
+        produced: 0,
+        limits,
+    };
+    let mut out = Vec::new();
+    ctx.eval_state(mft.initial, input, &[], &mut out)?;
+    Ok(out)
+}
+
+mod naive {
+    //! The pre-sharing evaluator, verbatim: parameters are `Rc<Forest>`
+    //! clones extended via `extend_from_slice`, state evaluation appends
+    //! into a caller-owned `Vec`.
+
+    use super::{RunError, RunLimits};
+    use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+    use foxq_forest::{Forest, Label, Tree};
+    use std::rc::Rc;
+
+    pub(super) struct Ctx<'a> {
+        pub mft: &'a Mft,
+        pub steps: u64,
+        /// Output nodes materialized so far (argument forests included —
+        /// this evaluator copies per use, so every built node counts).
+        pub produced: u64,
+        pub limits: RunLimits,
+    }
+
+    struct Bind<'a> {
+        x0: &'a [Tree],
+        node: Option<(&'a Label, &'a [Tree], &'a [Tree])>,
+        params: &'a [Rc<Forest>],
+    }
+
+    impl<'a> Ctx<'a> {
+        pub fn eval_state(
+            &mut self,
+            q: StateId,
+            g0: &[Tree],
+            params: &[Rc<Forest>],
+            out: &mut Forest,
+        ) -> Result<(), RunError> {
+            self.steps += 1;
+            if self.steps > self.limits.max_steps {
+                return Err(RunError::StepLimit {
+                    max_steps: self.limits.max_steps,
+                });
+            }
+            let rules = &self.mft.rules[q.idx()];
+            match g0.split_first() {
+                None => {
+                    let bind = Bind {
+                        x0: g0,
+                        node: None,
+                        params,
+                    };
+                    self.eval_rhs(q, &rules.eps, &bind, out)
+                }
+                Some((t, rest)) => {
+                    let rhs = match self.mft.alphabet.lookup(&t.label) {
+                        Some(sym) if rules.by_sym.contains_key(&sym) => &rules.by_sym[&sym],
+                        _ if t.is_text() && rules.text_default.is_some() => {
+                            rules.text_default.as_ref().unwrap()
+                        }
+                        _ => &rules.default,
+                    };
+                    let bind = Bind {
+                        x0: g0,
+                        node: Some((&t.label, &t.children, rest)),
+                        params,
+                    };
+                    self.eval_rhs(q, rhs, &bind, out)
                 }
             }
         }
-        Ok(())
+
+        fn count_produced(&mut self, nodes: u64) -> Result<(), RunError> {
+            self.produced = self.produced.saturating_add(nodes);
+            if self.produced > self.limits.max_output_nodes {
+                return Err(RunError::OutputLimit {
+                    max_output_nodes: self.limits.max_output_nodes,
+                });
+            }
+            Ok(())
+        }
+
+        fn eval_rhs(
+            &mut self,
+            q: StateId,
+            rhs: &Rhs,
+            bind: &Bind<'_>,
+            out: &mut Forest,
+        ) -> Result<(), RunError> {
+            for node in rhs {
+                match node {
+                    RhsNode::Param(i) => {
+                        let param = &bind.params[*i];
+                        self.count_produced(foxq_forest::forest_size(param) as u64)?;
+                        out.extend_from_slice(param);
+                    }
+                    RhsNode::Out { label, children } => {
+                        let label = match label {
+                            OutLabel::Sym(s) => self.mft.alphabet.label(*s).clone(),
+                            OutLabel::Current => match bind.node {
+                                Some((l, _, _)) => l.clone(),
+                                None => {
+                                    return Err(RunError::CurrentLabelAtEps {
+                                        state: self.mft.name_of(q).to_string(),
+                                    })
+                                }
+                            },
+                        };
+                        let mut kids = Vec::new();
+                        self.eval_rhs(q, children, bind, &mut kids)?;
+                        self.count_produced(1)?;
+                        out.push(Tree {
+                            label,
+                            children: kids,
+                        });
+                    }
+                    RhsNode::Call { state, input, args } => {
+                        let g = match input {
+                            XVar::X0 => bind.x0,
+                            XVar::X1 => bind.node.map(|(_, x1, _)| x1).unwrap_or(&[]),
+                            XVar::X2 => bind.node.map(|(_, _, x2)| x2).unwrap_or(&[]),
+                        };
+                        let mut arg_vals = Vec::with_capacity(args.len());
+                        for a in args {
+                            let mut v = Vec::new();
+                            self.eval_rhs(q, a, bind, &mut v)?;
+                            arg_vals.push(Rc::new(v));
+                        }
+                        self.eval_state(*state, g, &arg_vals, out)?;
+                    }
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -213,6 +476,7 @@ mod tests {
         for src in ["", "a", "a(b(\"t\") c) d(e)"] {
             let f = parse_forest(src).unwrap();
             assert_eq!(run_mft(&m, &f).unwrap(), f, "on {src:?}");
+            assert_eq!(run_mft_naive(&m, &f).unwrap(), f, "naive on {src:?}");
         }
     }
 
@@ -233,6 +497,47 @@ mod tests {
         let f = parse_forest("a a a a").unwrap();
         let out = run_mft(&m, &f).unwrap();
         assert_eq!(out.len(), 16);
+        assert_eq!(run_mft_naive(&m, &f).unwrap(), out);
+    }
+
+    #[test]
+    fn doubling_output_budget_is_enforced() {
+        // 20 a's → 2^20 output trees; a budget below that must refuse to
+        // materialize — in far fewer than 2^20 steps.
+        let mut m = Mft::new();
+        let a = m.alphabet.intern_elem("a");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(
+            q,
+            a,
+            vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])],
+        );
+        m.set_eps_rule(q, vec![out(a, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest(&"a ".repeat(20)).unwrap();
+        let limits = RunLimits {
+            max_steps: 10_000,
+            max_output_nodes: 1_000,
+        };
+        assert_eq!(
+            run_mft_with_limits(&m, &f, limits),
+            Err(RunError::OutputLimit {
+                max_output_nodes: 1_000
+            })
+        );
+        // With the budget lifted the same run succeeds (sharing keeps the
+        // evaluation itself far below the step limit).
+        let out = run_mft_with_limits(
+            &m,
+            &f,
+            RunLimits {
+                max_steps: 10_000,
+                max_output_nodes: u64::MAX,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1 << 20);
     }
 
     #[test]
@@ -257,6 +562,10 @@ mod tests {
         m.validate().unwrap();
         let f = parse_forest("a b c").unwrap();
         assert_eq!(forest_to_term(&run_mft(&m, &f).unwrap()), "c() b() a()");
+        assert_eq!(
+            forest_to_term(&run_mft_naive(&m, &f).unwrap()),
+            "c() b() a()"
+        );
     }
 
     #[test]
@@ -266,8 +575,90 @@ mod tests {
         m.initial = q;
         m.set_eps_rule(q, vec![call(q, XVar::X0, vec![])]);
         m.validate().unwrap();
-        let r = run_mft_with_limits(&m, &[], RunLimits { max_steps: 1000 });
+        let limits = RunLimits::with_max_steps(1000);
+        let r = run_mft_with_limits(&m, &[], limits);
         assert_eq!(r, Err(RunError::StepLimit { max_steps: 1000 }));
+        // Same behavior from the reference evaluator.
+        let r = run_mft_naive_with_limits(&m, &[], limits);
+        assert_eq!(r, Err(RunError::StepLimit { max_steps: 1000 }));
+    }
+
+    #[test]
+    fn naive_output_budget_stops_param_doubling() {
+        // p_i(x0, y1 y1): 2^40 output nodes in ~42 steps. Both evaluators
+        // must refuse under the same budget with the same error.
+        let mut src = String::from("q0(%) -> p0(x0, a());\n");
+        for i in 0..40 {
+            src.push_str(&format!("p{i}(%, y1) -> p{}(x0, y1 y1);\n", i + 1));
+        }
+        src.push_str("p40(%, y1) -> y1;\n");
+        let m = crate::text::parse_mft(&src).unwrap();
+        let limits = RunLimits {
+            max_steps: 10_000,
+            max_output_nodes: 1_000,
+        };
+        let expected = Err(RunError::OutputLimit {
+            max_output_nodes: 1_000,
+        });
+        assert_eq!(run_mft_naive_with_limits(&m, &[], limits), expected);
+        assert_eq!(run_mft_with_limits(&m, &[], limits), expected);
+    }
+
+    #[test]
+    fn cyclic_stay_loop_fails_fast_under_default_limits() {
+        // A pure stay loop closes a configuration cycle on its second tail
+        // call; with the default 200M-step budget the evaluator must report
+        // divergence immediately (constant memory), not burn the budget.
+        let mut m = Mft::new();
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_eps_rule(q, vec![call(q, XVar::X0, vec![])]);
+        m.validate().unwrap();
+        let start = std::time::Instant::now();
+        let r = run_mft(&m, &[]);
+        assert!(matches!(r, Err(RunError::StepLimit { .. })), "{r:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cycle not detected eagerly: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn memoization_collapses_repeated_subevaluations() {
+        // The doubling FT revisits the same (state, suffix) pair 2^i times;
+        // with memoization the step count stays linear in the input, even
+        // though the output is exponential.
+        let mut m = Mft::new();
+        let a = m.alphabet.intern_elem("a");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(
+            q,
+            a,
+            vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])],
+        );
+        m.set_eps_rule(q, vec![out(a, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest(&"a ".repeat(30)).unwrap();
+        // 2^30 output trees; the naive evaluator would need ≥ 2^30 steps.
+        // 1000 steps suffice for the memoizing evaluator.
+        let r = run_mft_with_limits(
+            &m,
+            &f,
+            RunLimits {
+                max_steps: 1_000,
+                max_output_nodes: 100,
+            },
+        );
+        // It reaches the output boundary (not the step limit) and correctly
+        // refuses to materialize 2^30 nodes.
+        assert_eq!(
+            r,
+            Err(RunError::OutputLimit {
+                max_output_nodes: 100
+            })
+        );
     }
 
     #[test]
@@ -307,5 +698,20 @@ mod tests {
         let f = parse_forest(r#""person0" "person1" e "person0""#).unwrap();
         let out = run_mft(&m, &f).unwrap();
         assert_eq!(forest_to_term(&out), "yes() no() yes()");
+    }
+
+    #[test]
+    fn current_label_at_eps_error_parity() {
+        // Built without validate(): %t in an ε-rule must fail identically in
+        // both evaluators.
+        let mut m = Mft::new();
+        let q = m.add_state("qbad", 0);
+        m.initial = q;
+        m.set_eps_rule(q, vec![out_current(vec![])]);
+        let expected = Err(RunError::CurrentLabelAtEps {
+            state: "qbad".to_string(),
+        });
+        assert_eq!(run_mft(&m, &[]), expected);
+        assert_eq!(run_mft_naive(&m, &[]), expected);
     }
 }

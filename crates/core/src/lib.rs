@@ -19,6 +19,8 @@ pub mod stream;
 pub mod text;
 pub mod translate;
 
-pub use interp::{run_mft, run_mft_with_limits, RunError, RunLimits};
+pub use interp::{
+    run_mft, run_mft_naive, run_mft_naive_with_limits, run_mft_with_limits, RunError, RunLimits,
+};
 pub use mft::{Mft, MftError, OutLabel, Rhs, RhsNode, StateId, XVar};
 pub use text::{parse_mft, print_mft};

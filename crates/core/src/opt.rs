@@ -18,7 +18,7 @@
 //! unoptimized transducer holds `qcopy(x0)` — a copy of the whole input —
 //! in a parameter, so it cannot run in bounded memory (see the experiments).
 
-use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
+use crate::mft::{rhs_size, Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
 use foxq_forest::FxHashSet;
 
 /// Statistics of one [`optimize_with_stats`] run.
@@ -34,6 +34,53 @@ pub struct OptStats {
     pub stay_states_inlined: usize,
     /// Unreachable states removed.
     pub states_removed: usize,
+    /// Rewrites withheld because they would duplicate more than
+    /// [`OptLimits::max_inline_growth`] nodes. Counts *events* per round, so
+    /// a permanently kept candidate is counted once per round that
+    /// reconsiders it; treat as a diagnostic, not a rewrite count.
+    pub inline_budget_skips: usize,
+}
+
+/// Growth bounds for the inlining rewrites.
+///
+/// Constant-parameter substitution and stay-state inlining both *duplicate*
+/// right-hand-side material when a parameter occurs more than once. On
+/// adversarial inputs (nested value-doubling `let`s) unbounded duplication
+/// makes the fixpoint exponential — 15 ms / 200 ms / 5.8 s at 12/16/20
+/// nested lets. Mirroring gcx's `MAX_INLINED_SIZE`, each rewrite estimates
+/// the nodes it would *add beyond moving existing material* and backs off —
+/// keeping the parameter or stay state, which is always semantics-preserving
+/// — when the estimate exceeds the budget. Rewrites that duplicate nothing
+/// (single-use parameters, single-call-site stay states) are never blocked,
+/// so ordinary translated queries optimize exactly as before.
+#[derive(Debug, Clone, Copy)]
+pub struct OptLimits {
+    /// Maximum number of rhs nodes one rewrite may add by duplication.
+    pub max_inline_growth: usize,
+}
+
+impl Default for OptLimits {
+    fn default() -> Self {
+        OptLimits {
+            max_inline_growth: 512,
+        }
+    }
+}
+
+/// The optimizer's adversarial query family: `n` nested value-doubling lets
+/// over a ground constant (`let $ai := <x>{$a(i-1)}{$a(i-1)}</x>`), whose
+/// bound value — and, under unbudgeted substitution, the optimized
+/// transducer — has 2^n nodes. Exported so the optimizer tests, the serving
+/// tests, the `opt_nested_lets` bench, and the `perf_smoke`/CLI guards all
+/// exercise exactly the same input.
+pub fn nested_doubling_lets(n: usize) -> String {
+    let mut src = String::from("let $a0 := <c></c> return ");
+    for i in 1..=n {
+        let p = i - 1;
+        src.push_str(&format!("let $a{i} := <x>{{$a{p}}}{{$a{p}}}</x> return "));
+    }
+    src.push_str(&format!("<o>{{$a{n}}}</o>"));
+    src
 }
 
 /// Apply all four optimizations to a fixpoint.
@@ -42,15 +89,20 @@ pub fn optimize(m: Mft) -> Mft {
 }
 
 /// [`optimize`], also reporting what was done.
-pub fn optimize_with_stats(mut m: Mft) -> (Mft, OptStats) {
+pub fn optimize_with_stats(m: Mft) -> (Mft, OptStats) {
+    optimize_with_limits(m, OptLimits::default())
+}
+
+/// [`optimize_with_stats`] under explicit growth bounds.
+pub fn optimize_with_limits(mut m: Mft, limits: OptLimits) -> (Mft, OptStats) {
     let mut stats = OptStats::default();
     // Generous cap; every enabled rewrite strictly shrinks params + states.
     for _ in 0..10_000 {
         stats.rounds += 1;
         let mut changed = false;
         changed |= remove_unused_params(&mut m, &mut stats);
-        changed |= remove_constant_params(&mut m, &mut stats);
-        changed |= remove_stay_states(&mut m, &mut stats);
+        changed |= remove_constant_params(&mut m, &mut stats, limits);
+        changed |= remove_stay_states(&mut m, &mut stats, limits);
         changed |= remove_unreachable(&mut m, &mut stats);
         if !changed {
             break;
@@ -219,7 +271,16 @@ fn is_ground(rhs: &Rhs) -> bool {
     })
 }
 
-fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
+/// Number of `Param(j)` occurrences (bare or nested) in `q`'s rules — the
+/// count a substitution would copy its replacement into.
+fn param_occurrences(m: &Mft, q: StateId, j: usize) -> usize {
+    all_rhs(m, q)
+        .flat_map(crate::mft::rhs_iter)
+        .filter(|n| matches!(n, RhsNode::Param(i) if *i == j))
+        .count()
+}
+
+fn remove_constant_params(m: &mut Mft, stats: &mut OptStats, limits: OptLimits) -> bool {
     let nq = m.states.len();
     #[derive(Clone)]
     enum Info {
@@ -271,6 +332,16 @@ fn remove_constant_params(m: &mut Mft, stats: &mut OptStats) -> bool {
     for q in 0..nq {
         for j in 0..m.states[q].params {
             if let Info::Const(w) = &info[q][j] {
+                // Substituting copies `w` into every occurrence of the
+                // parameter; one copy merely *moves* the call-site argument,
+                // the rest is duplication. Back off when that exceeds the
+                // growth budget (the parameter stays — always sound).
+                let uses = param_occurrences(m, StateId(q as u32), j);
+                let growth = uses.saturating_sub(1).saturating_mul(rhs_size(w));
+                if growth > limits.max_inline_growth {
+                    stats.inline_budget_skips += 1;
+                    continue;
+                }
                 keep[q][j] = false;
                 subst[q][j] = Some(w.clone());
                 count += 1;
@@ -330,11 +401,56 @@ fn substitute_params(rhs: &mut Rhs, subst: &[Option<Rhs>]) {
 // 3. Stay-move removal
 // ---------------------------------------------------------------------------
 
-fn remove_stay_states(m: &mut Mft, stats: &mut OptStats) -> bool {
-    // Find one inlinable stay state (not initial, not self-recursive).
+/// Estimated node growth of inlining stay state `q`'s body at all its call
+/// sites: duplicated argument material (a parameter occurring k times in the
+/// body copies its argument k−1 extra times) plus extra body copies beyond
+/// the first call site. Zero for the common translated-query shape
+/// (single-use parameters, one call site), so the budget only bites on
+/// adversarial value-doubling nests.
+fn stay_inline_growth(m: &Mft, q: StateId) -> usize {
+    let body = &m.rules[q.idx()].default;
+    let bsize = rhs_size(body);
+    let nparams = m.params_of(q);
+    let mut occ = vec![0usize; nparams];
+    for n in crate::mft::rhs_iter(body) {
+        if let RhsNode::Param(i) = n {
+            occ[*i] += 1;
+        }
+    }
+    let mut sites = 0usize;
+    let mut duplicated = 0usize;
+    for r in 0..m.states.len() {
+        for rhs in all_rhs(m, StateId(r as u32)) {
+            for n in crate::mft::rhs_iter(rhs) {
+                if let RhsNode::Call { state, args, .. } = n {
+                    if *state == q {
+                        sites += 1;
+                        for (a, k) in args.iter().zip(&occ) {
+                            duplicated = duplicated
+                                .saturating_add(k.saturating_sub(1).saturating_mul(rhs_size(a)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    duplicated.saturating_add(bsize.saturating_mul(sites.saturating_sub(1)))
+}
+
+fn remove_stay_states(m: &mut Mft, stats: &mut OptStats, limits: OptLimits) -> bool {
+    // Find one inlinable stay state (not initial, not self-recursive) whose
+    // inlining stays within the duplication budget.
+    let mut skips = 0usize;
     let target = (0..m.states.len() as u32).map(StateId).find(|&q| {
-        q != m.initial && m.is_stay_state(q) && !rhs_calls_state(&m.rules[q.idx()].default, q)
+        let candidate =
+            q != m.initial && m.is_stay_state(q) && !rhs_calls_state(&m.rules[q.idx()].default, q);
+        if candidate && stay_inline_growth(m, q) > limits.max_inline_growth {
+            skips += 1;
+            return false;
+        }
+        candidate
     });
+    stats.inline_budget_skips += skips;
     let Some(q) = target else {
         return false;
     };
@@ -727,6 +843,75 @@ mod tests {
         assert_eq!(stats.const_params_removed, 0);
         assert_eq!(stats.stay_states_inlined, 0);
         assert_eq!(stats.states_removed, 0);
+    }
+
+    #[test]
+    fn inline_budget_keeps_nested_doubling_lets_polynomial() {
+        // Without the growth budget the optimized MFT materializes 2^20
+        // nodes (4.2M size, ~seconds); with it, the transducer stays small
+        // and the fixpoint fast.
+        let q = parse_query(&nested_doubling_lets(20)).unwrap();
+        let m0 = translate(&q).unwrap();
+        let (m1, stats) = optimize_with_stats(m0.clone());
+        m1.validate().unwrap();
+        assert!(stats.inline_budget_skips > 0, "{stats:?}");
+        assert!(
+            m1.size() <= m0.size(),
+            "budgeted optimize grew the MFT: {} > {}",
+            m1.size(),
+            m0.size()
+        );
+        assert!(m1.size() < 100_000, "size {} not polynomial", m1.size());
+    }
+
+    #[test]
+    fn inline_budget_preserves_semantics() {
+        // Same family at a size where the 2^n output is materializable: the
+        // budgeted transducer (params kept) agrees with the unoptimized one
+        // and the reference query semantics.
+        let src = nested_doubling_lets(10);
+        let q = parse_query(&src).unwrap();
+        let m0 = translate(&q).unwrap();
+        let (m1, stats) = optimize_with_stats(m0.clone());
+        assert!(stats.inline_budget_skips > 0, "{stats:?}");
+        let f = parse_forest("r(a)").unwrap();
+        let expected = eval_query(&q, &f).unwrap();
+        assert_eq!(
+            forest_to_term(&run_mft(&m0, &f).unwrap()),
+            forest_to_term(&expected)
+        );
+        assert_eq!(
+            forest_to_term(&run_mft(&m1, &f).unwrap()),
+            forest_to_term(&expected)
+        );
+    }
+
+    #[test]
+    fn tight_budget_still_produces_valid_equivalent_transducers() {
+        // max_inline_growth = 0: only duplication-free rewrites fire.
+        use super::{optimize_with_limits, OptLimits};
+        let query = r#"<out>{ for $b in $input/person[./p_id/text() = "person0"]
+               return let $r := $b/name/text() return $r }</out>"#;
+        let q = parse_query(query).unwrap();
+        let m0 = translate(&q).unwrap();
+        let (m1, _) = optimize_with_limits(
+            m0.clone(),
+            OptLimits {
+                max_inline_growth: 0,
+            },
+        );
+        m1.validate().unwrap();
+        for doc in [
+            r#"person(p_id(a() "person0") name("Jim") c() name("Li"))"#,
+            "",
+        ] {
+            let f = parse_forest(doc).unwrap();
+            assert_eq!(
+                forest_to_term(&run_mft(&m1, &f).unwrap()),
+                forest_to_term(&eval_query(&q, &f).unwrap()),
+                "{doc}"
+            );
+        }
     }
 
     #[test]

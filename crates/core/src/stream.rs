@@ -37,17 +37,40 @@ use std::collections::VecDeque;
 use std::io::BufRead;
 use std::rc::Rc;
 
+/// The output-event budget [`PreparedQuery`](../../foxq_service) serving and
+/// the `foxq` CLI apply by default: generous enough for any legitimate run
+/// (10⁹ events is hundreds of gigabytes of XML), tight enough that a
+/// doubling-transducer bomb over untrusted input fails fast instead of
+/// filling the disk.
+pub const DEFAULT_MAX_OUTPUT_EVENTS: u64 = 1_000_000_000;
+
 /// Resource limits for a streaming run.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamLimits {
     /// Maximum rule expansions per input event (guards stay-move loops).
     pub max_expansions_per_event: u64,
+    /// Maximum output events (open + close) pushed to the sink over the
+    /// whole run (guards output bombs — a transducer can emit output
+    /// exponential in its input). `u64::MAX` (the default) disables the
+    /// check; serving layers should pass [`DEFAULT_MAX_OUTPUT_EVENTS`].
+    pub max_output_events: u64,
 }
 
 impl Default for StreamLimits {
     fn default() -> Self {
         StreamLimits {
             max_expansions_per_event: 10_000_000,
+            max_output_events: u64::MAX,
+        }
+    }
+}
+
+impl StreamLimits {
+    /// Default limits with the standard serving output budget.
+    pub fn serving() -> Self {
+        StreamLimits {
+            max_output_events: DEFAULT_MAX_OUTPUT_EVENTS,
+            ..StreamLimits::default()
         }
     }
 }
@@ -59,6 +82,8 @@ pub enum StreamError {
     Xml(XmlError),
     /// Expansion fuel exhausted — almost certainly a stay-move loop.
     Fuel { state: String },
+    /// The output-event budget was exhausted.
+    OutputLimit { max_output_events: u64 },
 }
 
 impl std::fmt::Display for StreamError {
@@ -70,6 +95,9 @@ impl std::fmt::Display for StreamError {
                     f,
                     "expansion fuel exhausted in state {state} (stay-move loop?)"
                 )
+            }
+            StreamError::OutputLimit { max_output_events } => {
+                write!(f, "output limit of {max_output_events} events exceeded")
             }
         }
     }
@@ -355,7 +383,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.stack.push(sib);
         self.stats.max_depth = self.stats.max_depth.max(self.stack.len());
         self.current = child;
-        self.flush();
+        self.flush()?;
         self.sync_peaks();
         Ok(())
     }
@@ -373,7 +401,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &Ctx::Eps)?;
         self.current = self.stack.pop().expect("close without matching open");
-        self.flush();
+        self.flush()?;
         self.sync_peaks();
         Ok(())
     }
@@ -384,7 +412,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.stats.events += 1;
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &Ctx::Eps)?;
-        self.flush();
+        self.flush()?;
         self.sync_peaks();
         debug_assert!(
             self.frames.is_empty(),
@@ -532,8 +560,19 @@ impl<'m, S: XmlSink> Engine<'m, S> {
 
     // ---- emission -------------------------------------------------------
 
+    /// Record one output event against the budget.
+    fn count_output_event(&mut self) -> Result<(), StreamError> {
+        self.stats.output_events += 1;
+        if self.stats.output_events > self.limits.max_output_events {
+            return Err(StreamError::OutputLimit {
+                max_output_events: self.limits.max_output_events,
+            });
+        }
+        Ok(())
+    }
+
     /// Emit everything ground on the leftmost frontier.
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), StreamError> {
         while let Some(top) = self.frames.last_mut() {
             let node = top.node;
             let destructive = top.holds_ref && self.arena.rc(node) == 1;
@@ -584,7 +623,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
                 }
             };
             match step {
-                Step::Stall => return,
+                Step::Stall => return Ok(()),
                 Step::Descend(c) => {
                     // Tail-call elimination: sibling continuations expand
                     // *nested* inside the previous forest, so without this a
@@ -612,11 +651,11 @@ impl<'m, S: XmlSink> Engine<'m, S> {
                     }
                 }
                 Step::OpenNode(label) => {
-                    self.stats.output_events += 1;
+                    self.count_output_event()?;
                     self.sink.open(&label);
                 }
                 Step::PopNode(label) => {
-                    self.stats.output_events += 1;
+                    self.count_output_event()?;
                     self.sink.close(&label);
                     let f = self.frames.pop().unwrap();
                     if f.holds_ref {
@@ -625,6 +664,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -635,10 +675,20 @@ impl<'m, S: XmlSink> Engine<'m, S> {
 /// Run an MFT over an XML byte stream, pushing output into `sink`.
 pub fn run_streaming<R: BufRead, S: XmlSink>(
     mft: &Mft,
-    mut reader: XmlReader<R>,
+    reader: XmlReader<R>,
     sink: S,
 ) -> Result<(S, StreamStats), StreamError> {
-    let mut engine = Engine::new(mft, sink);
+    run_streaming_with_limits(mft, reader, sink, StreamLimits::default())
+}
+
+/// [`run_streaming`] under explicit resource limits.
+pub fn run_streaming_with_limits<R: BufRead, S: XmlSink>(
+    mft: &Mft,
+    mut reader: XmlReader<R>,
+    sink: S,
+    limits: StreamLimits,
+) -> Result<(S, StreamStats), StreamError> {
+    let mut engine = Engine::with_limits(mft, sink, limits);
     loop {
         match reader.next_event()? {
             XmlEvent::Open(label) => engine.open(&label)?,
@@ -670,6 +720,7 @@ pub fn run_streaming_on_forest<S: XmlSink>(
 }
 
 /// Output and statistics of [`run_streaming_to_string`].
+#[derive(Debug)]
 pub struct StreamRunOutput {
     /// Serialized XML output.
     pub output: String,
@@ -678,9 +729,18 @@ pub struct StreamRunOutput {
 
 /// Convenience driver: parse `input` as XML, run `mft`, serialize the output.
 pub fn run_streaming_to_string(mft: &Mft, input: &[u8]) -> Result<StreamRunOutput, StreamError> {
+    run_streaming_to_string_with_limits(mft, input, StreamLimits::default())
+}
+
+/// [`run_streaming_to_string`] under explicit resource limits.
+pub fn run_streaming_to_string_with_limits(
+    mft: &Mft,
+    input: &[u8],
+    limits: StreamLimits,
+) -> Result<StreamRunOutput, StreamError> {
     let reader = XmlReader::new(input);
     let sink = foxq_xml::WriterSink::new(Vec::new());
-    let (sink, stats) = run_streaming(mft, reader, sink)?;
+    let (sink, stats) = run_streaming_with_limits(mft, reader, sink, limits)?;
     let buf = sink.finish().expect("writing to Vec cannot fail");
     Ok(StreamRunOutput {
         output: String::from_utf8(buf).expect("output is UTF-8"),
@@ -874,6 +934,40 @@ mod tests {
         };
         assert!(peak(200) > peak(10) * 4, "{} vs {}", peak(200), peak(10));
         check_stream(&m, "site(a(\"x\") b())");
+    }
+
+    /// Parameter-doubling chain: p0(x0, a()) … p_i(x0, y1 y1) … p_n → y1.
+    /// n+2 rule expansions build a *shared* graph whose unfolding has 2^n
+    /// trees — the engine's arena stays tiny (parameters are rc-shared), so
+    /// neither the fuel limit nor the memory measure trips; only the output
+    /// budget stands between this and 2^n emitted events.
+    fn param_doubling_bomb(n: usize) -> Mft {
+        let mut src = String::from("q0(%) -> p0(x0, a());\n");
+        for i in 0..n {
+            src.push_str(&format!("p{i}(%, y1) -> p{}(x0, y1 y1);\n", i + 1));
+        }
+        src.push_str(&format!("p{n}(%, y1) -> y1;\n"));
+        parse_mft(&src).unwrap()
+    }
+
+    #[test]
+    fn output_budget_stops_param_doubling_bomb() {
+        let m = param_doubling_bomb(40); // 2^40 output trees
+        let limits = StreamLimits {
+            max_output_events: 10_000,
+            ..StreamLimits::default()
+        };
+        let r = run_streaming_to_string_with_limits(&m, b"<x/>", limits);
+        match r {
+            Err(StreamError::OutputLimit { max_output_events }) => {
+                assert_eq!(max_output_events, 10_000)
+            }
+            other => panic!("expected OutputLimit, got {other:?}"),
+        }
+        // Under the budget, the same shape still runs normally.
+        let out =
+            run_streaming_to_string_with_limits(&param_doubling_bomb(3), b"<x/>", limits).unwrap();
+        assert_eq!(out.output, "<a></a>".repeat(8));
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! Shared forest values: an `Rc`-backed rope/DAG over [`Tree`]s.
+//!
+//! The denotational MFT semantics (§2.2) manipulates forests as *values*:
+//! every accumulating parameter holds one, every state call returns one, and
+//! a parameter used k times contributes its forest k times to the output.
+//! Materializing those values eagerly (as `Vec<Tree>`) makes the
+//! accumulator-heavy transducers produced by the §3 translation and the
+//! §4.2 composition constructions exponentially slow: each parameter reuse
+//! copies the whole forest. Streaming Tree Transducers get linear evaluation
+//! from *copyless* register updates; this module provides the same
+//! discipline for in-memory evaluation:
+//!
+//! * a [`Value`] is an immutable reference-counted node — empty, a single
+//!   output tree over a child value, a pre-materialized forest chunk, or the
+//!   concatenation of two values;
+//! * **concatenation is O(1)** (a new binary node), **reuse is O(1)** (an
+//!   `Rc` clone), and the materialized length/size of every node is cached
+//!   at construction, so budget checks are O(1) too;
+//! * values flatten to a plain [`Forest`] only at the output boundary, in
+//!   time linear in the *materialized* output (each emitted node is built
+//!   exactly once) and under an explicit node budget;
+//! * a [`ValueInterner`] hash-conses construction, so values re-derived by
+//!   the same constructor shape are pointer-equal. Pointer identity
+//!   ([`Value::fingerprint`]) is then a sound, O(1) equality *witness*
+//!   (equal fingerprints ⇒ equal forests; not conversely) — which is what
+//!   makes memoizing evaluators (`foxq_core::interp`) effective: memo keys
+//!   over parameter fingerprints hit whenever parameters are rebuilt the
+//!   same way, not merely when they alias.
+//!
+//! The interner keeps every value it ever produced alive, so fingerprints
+//! are stable for the interner's lifetime (one evaluator run). This is a
+//! deliberate trade: peak memory is proportional to the number of *distinct*
+//! values (bounded by evaluation steps), never to the unfolded output.
+
+use crate::label::Label;
+use crate::tree::{forest_size, Forest, Tree};
+use crate::FxHashMap;
+use std::rc::Rc;
+
+/// A shared, immutable forest value (a rope/DAG of forest nodes).
+///
+/// Cloning is O(1) (an `Rc` bump). Build values through a [`ValueInterner`]
+/// when pointer-equality of structurally equal values matters.
+#[derive(Clone)]
+pub struct Value(Rc<VNode>);
+
+struct VNode {
+    /// Number of top-level trees when materialized.
+    len: u64,
+    /// Total number of tree nodes when materialized (saturating).
+    size: u64,
+    repr: Repr,
+}
+
+enum Repr {
+    /// The empty forest ε.
+    Empty,
+    /// A single tree: a labelled node over a child value.
+    Node { label: Label, children: Value },
+    /// A pre-materialized forest chunk (shared, never copied on reuse).
+    Leaf(Rc<[Tree]>),
+    /// The concatenation of two non-empty values.
+    Concat(Value, Value),
+}
+
+impl VNode {
+    /// Detach child values (leaving this node empty) so they can be dropped
+    /// iteratively.
+    fn take_children(&mut self, stack: &mut Vec<Value>) {
+        match std::mem::replace(&mut self.repr, Repr::Empty) {
+            Repr::Concat(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            Repr::Node { children, .. } => stack.push(children),
+            Repr::Empty | Repr::Leaf(_) => {}
+        }
+    }
+}
+
+/// Long concatenation spines and deep node chains would otherwise recurse
+/// in the compiler-generated drop glue; unlink children iteratively.
+impl Drop for VNode {
+    fn drop(&mut self) {
+        let mut stack = Vec::new();
+        self.take_children(&mut stack);
+        while let Some(v) = stack.pop() {
+            if let Ok(mut sole) = Rc::try_unwrap(v.0) {
+                sole.take_children(&mut stack);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// The empty forest. (Prefer [`ValueInterner::empty`] inside evaluators
+    /// so that all empties share one pointer.)
+    pub fn empty() -> Value {
+        Value(Rc::new(VNode {
+            len: 0,
+            size: 0,
+            repr: Repr::Empty,
+        }))
+    }
+
+    /// A single output tree with `children` as its child forest.
+    pub fn node(label: Label, children: Value) -> Value {
+        let size = children.size().saturating_add(1);
+        Value(Rc::new(VNode {
+            len: 1,
+            size,
+            repr: Repr::Node { label, children },
+        }))
+    }
+
+    /// Wrap an already-materialized forest; the trees are shared from then
+    /// on, never copied per reuse.
+    pub fn from_forest(forest: Forest) -> Value {
+        if forest.is_empty() {
+            return Value::empty();
+        }
+        let len = forest.len() as u64;
+        let size = forest_size(&forest) as u64;
+        Value(Rc::new(VNode {
+            len,
+            size,
+            repr: Repr::Leaf(forest.into()),
+        }))
+    }
+
+    /// O(1) concatenation. Empty operands are elided, so ε is a neutral
+    /// element structurally, not just semantically.
+    pub fn concat(a: Value, b: Value) -> Value {
+        if a.is_empty() {
+            return b;
+        }
+        if b.is_empty() {
+            return a;
+        }
+        let len = a.len().saturating_add(b.len());
+        let size = a.size().saturating_add(b.size());
+        Value(Rc::new(VNode {
+            len,
+            size,
+            repr: Repr::Concat(a, b),
+        }))
+    }
+
+    /// Number of top-level trees of the materialized forest (cached; O(1)).
+    pub fn len(&self) -> u64 {
+        self.0.len
+    }
+
+    /// Whether this value materializes to ε.
+    pub fn is_empty(&self) -> bool {
+        self.0.len == 0
+    }
+
+    /// Total node count of the materialized forest (cached; O(1);
+    /// saturating, since shared doubling DAGs overflow `u64` easily).
+    pub fn size(&self) -> u64 {
+        self.0.size
+    }
+
+    /// Pointer identity of the underlying node: **equal fingerprints imply
+    /// structurally equal forests** (never the converse — e.g. two concat
+    /// bracketings of the same forest are distinct nodes), so fingerprints
+    /// are sound for correctness-bearing equality but only best-effort for
+    /// detecting equality. They stay valid as long as the value (or the
+    /// [`ValueInterner`] that produced it, which keeps every value alive)
+    /// does.
+    pub fn fingerprint(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
+    /// Materialize into `out`, appending at most `max_nodes` tree nodes;
+    /// returns [`BudgetExceeded`] (leaving `out` in a truncated but valid
+    /// state) once the budget is crossed. Iterative — safe for deep DAGs
+    /// and long concatenation spines.
+    pub fn write_into(&self, out: &mut Forest, max_nodes: u64) -> Result<(), BudgetExceeded> {
+        enum Task {
+            Visit(Value),
+            /// Close a `Node`: pop the child sink, push the finished tree.
+            Close(Label),
+        }
+        let mut produced: u64 = 0;
+        let mut sinks: Vec<Forest> = Vec::new();
+        let mut stack = vec![Task::Visit(self.clone())];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Visit(v) => match &v.0.repr {
+                    Repr::Empty => {}
+                    Repr::Leaf(trees) => {
+                        // The node count was cached at construction.
+                        produced = produced.saturating_add(v.0.size);
+                        if produced > max_nodes {
+                            return Err(BudgetExceeded { max_nodes });
+                        }
+                        sinks
+                            .last_mut()
+                            .unwrap_or(&mut *out)
+                            .extend(trees.iter().cloned());
+                    }
+                    Repr::Concat(a, b) => {
+                        stack.push(Task::Visit(b.clone()));
+                        stack.push(Task::Visit(a.clone()));
+                    }
+                    Repr::Node { label, children } => {
+                        produced += 1;
+                        if produced > max_nodes {
+                            return Err(BudgetExceeded { max_nodes });
+                        }
+                        stack.push(Task::Close(label.clone()));
+                        sinks.push(Vec::with_capacity(children.len().min(1024) as usize));
+                        stack.push(Task::Visit(children.clone()));
+                    }
+                },
+                Task::Close(label) => {
+                    let children = sinks.pop().expect("matching child sink");
+                    sinks
+                        .last_mut()
+                        .unwrap_or(&mut *out)
+                        .push(Tree { label, children });
+                }
+            }
+        }
+        debug_assert!(sinks.is_empty());
+        Ok(())
+    }
+
+    /// Materialize the whole value (no budget).
+    pub fn to_forest(&self) -> Forest {
+        let mut out = Vec::with_capacity(self.len().min(1024) as usize);
+        self.write_into(&mut out, u64::MAX)
+            .expect("u64::MAX budget cannot be exceeded");
+        out
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Value(len={}, size={})", self.len(), self.size())
+    }
+}
+
+/// The node budget of [`Value::write_into`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The budget that was in force.
+    pub max_nodes: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "forest value exceeds {} materialized nodes",
+            self.max_nodes
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Hash-consing constructor for [`Value`]s.
+///
+/// Two values built bottom-up through one interner by the *same shape* of
+/// constructor calls share the same `Rc`, so [`Value::fingerprint`] hits
+/// wherever an evaluator re-derives a value the same way. Hash-consing is
+/// shape-sensitive, not fully canonical — differently bracketed
+/// concatenations of the same forest keep distinct fingerprints — so
+/// fingerprint equality *implies* structural equality (what memoization
+/// soundness needs) but never decides it. The interner keeps everything it
+/// produced alive, guaranteeing that fingerprints are never reused while it
+/// exists.
+#[derive(Default)]
+pub struct ValueInterner {
+    empty: Option<Value>,
+    /// (label, children fingerprint) → node value.
+    nodes: FxHashMap<(Label, usize), Value>,
+    /// (left fingerprint, right fingerprint) → concat value.
+    concats: FxHashMap<(usize, usize), Value>,
+}
+
+impl ValueInterner {
+    pub fn new() -> ValueInterner {
+        ValueInterner::default()
+    }
+
+    /// The canonical empty value.
+    pub fn empty(&mut self) -> Value {
+        self.empty.get_or_insert_with(Value::empty).clone()
+    }
+
+    /// The canonical `label(children)` tree value.
+    pub fn node(&mut self, label: &Label, children: &Value) -> Value {
+        self.nodes
+            .entry((label.clone(), children.fingerprint()))
+            .or_insert_with(|| Value::node(label.clone(), children.clone()))
+            .clone()
+    }
+
+    /// The canonical concatenation `a·b` (ε operands elided).
+    pub fn concat(&mut self, a: &Value, b: &Value) -> Value {
+        if a.is_empty() {
+            return b.clone();
+        }
+        if b.is_empty() {
+            return a.clone();
+        }
+        self.concats
+            .entry((a.fingerprint(), b.fingerprint()))
+            .or_insert_with(|| Value::concat(a.clone(), b.clone()))
+            .clone()
+    }
+
+    /// Number of distinct interned values (a live-memory proxy).
+    pub fn interned_count(&self) -> usize {
+        self.nodes.len() + self.concats.len() + usize::from(self.empty.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{forest_to_term, parse_forest};
+    use crate::tree::elem;
+
+    #[test]
+    fn concat_is_o1_and_flattens_in_order() {
+        let a = Value::from_forest(parse_forest("a b").unwrap());
+        let c = Value::from_forest(parse_forest("c").unwrap());
+        let v = Value::concat(a, c);
+        assert_eq!(v.len(), 3);
+        assert_eq!(forest_to_term(&v.to_forest()), "a() b() c()");
+    }
+
+    #[test]
+    fn empty_is_neutral() {
+        let e = Value::empty();
+        let a = Value::from_forest(parse_forest("a").unwrap());
+        let l = Value::concat(e.clone(), a.clone());
+        let r = Value::concat(a.clone(), e);
+        assert_eq!(l.fingerprint(), a.fingerprint());
+        assert_eq!(r.fingerprint(), a.fingerprint());
+    }
+
+    #[test]
+    fn node_wraps_children() {
+        let kids = Value::from_forest(parse_forest("b c").unwrap());
+        let v = Value::node(Label::elem("a"), kids);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.size(), 3);
+        assert_eq!(forest_to_term(&v.to_forest()), "a(b() c())");
+    }
+
+    #[test]
+    fn shared_doubling_sizes_without_materializing() {
+        // v_{i+1} = v_i · v_i : after 40 doublings the materialized size is
+        // ~10^12 nodes, but the DAG has 41 nodes and size() is O(1).
+        let mut interner = ValueInterner::new();
+        let base = Value::from_forest(parse_forest("x").unwrap());
+        let mut v = base;
+        for _ in 0..40 {
+            v = interner.concat(&v.clone(), &v);
+        }
+        assert_eq!(v.len(), 1u64 << 40);
+        assert_eq!(v.size(), 1u64 << 40);
+        // Materializing it is refused cheaply under a budget.
+        let mut out = Vec::new();
+        let err = v.write_into(&mut out, 1_000).unwrap_err();
+        assert_eq!(err.max_nodes, 1_000);
+        assert!(forest_size(&out) as u64 <= 1_000);
+    }
+
+    #[test]
+    fn interner_canonicalizes_structural_equality() {
+        let mut i = ValueInterner::new();
+        let e = i.empty();
+        let a1 = i.node(&Label::elem("a"), &e);
+        let a2 = i.node(&Label::elem("a"), &e);
+        assert_eq!(a1.fingerprint(), a2.fingerprint());
+        let c1 = i.concat(&a1, &a2);
+        let c2 = i.concat(&a2, &a1);
+        assert_eq!(c1.fingerprint(), c2.fingerprint());
+        // Different labels stay distinct.
+        let b = i.node(&Label::elem("b"), &e);
+        assert_ne!(a1.fingerprint(), b.fingerprint());
+        assert!(i.interned_count() >= 3);
+    }
+
+    #[test]
+    fn deep_concat_spine_flattens_iteratively() {
+        // 100k-long left-deep concat spine: recursion would overflow.
+        let leaf = Value::from_forest(vec![elem("x", vec![])]);
+        let mut v = Value::empty();
+        for _ in 0..100_000 {
+            v = Value::concat(v, leaf.clone());
+        }
+        assert_eq!(v.len(), 100_000);
+        assert_eq!(v.to_forest().len(), 100_000);
+    }
+
+    #[test]
+    fn write_into_budget_exact_boundary() {
+        let v = Value::from_forest(parse_forest("a(b) c").unwrap());
+        let mut out = Vec::new();
+        assert!(v.write_into(&mut out, 3).is_ok());
+        assert_eq!(out.len(), 2);
+        let mut out = Vec::new();
+        assert!(v.write_into(&mut out, 2).is_err());
+    }
+}

@@ -58,11 +58,14 @@ pub struct BatchDriver {
 }
 
 impl BatchDriver {
-    /// A driver using up to `threads` worker threads (min 1).
+    /// A driver using up to `threads` worker threads (min 1), under the
+    /// serving stream limits ([`StreamLimits::serving`]): batches run
+    /// *prepared* — possibly untrusted — queries, so no lane may emit
+    /// unbounded output by default.
     pub fn new(threads: usize) -> Self {
         BatchDriver {
             threads: threads.max(1),
-            limits: StreamLimits::default(),
+            limits: StreamLimits::serving(),
         }
     }
 

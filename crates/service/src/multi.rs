@@ -257,6 +257,7 @@ mod tests {
         let doc = parse_forest(r#"a(b("t"))"#).unwrap();
         let limits = StreamLimits {
             max_expansions_per_event: 1_000,
+            ..StreamLimits::default()
         };
         let mut engine = MultiQueryEngine::with_limits(
             vec![
@@ -295,6 +296,7 @@ mod tests {
             vec![foxq_xml::NullSink],
             StreamLimits {
                 max_expansions_per_event: 100,
+                ..StreamLimits::default()
             },
         )
         .unwrap();

@@ -11,7 +11,9 @@
 //! — never recompile.
 
 use foxq_core::opt::{optimize_with_stats, OptStats};
-use foxq_core::stream::{run_streaming_to_string, StreamError, StreamRunOutput};
+use foxq_core::stream::{
+    run_streaming_to_string_with_limits, StreamError, StreamLimits, StreamRunOutput,
+};
 use foxq_core::translate::{translate, TranslateError};
 use foxq_core::Mft;
 use foxq_forest::fxhash::FxHasher;
@@ -20,6 +22,31 @@ use foxq_xquery::{parse_query, Query, XqSyntaxError};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 
+/// Compile-time resource bounds for [`PreparedQuery::compile_with_limits`].
+///
+/// `PreparedQuery::compile` serves *untrusted* query text, so every
+/// compilation stage is bounded: source length up front, translated
+/// transducer size after the (linear) §3 translation. The §4.1 optimizer is
+/// internally bounded by its own inlining growth budget
+/// (`foxq_core::opt::OptLimits`), so a query that passes these two checks
+/// compiles in polynomial time and memory.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileLimits {
+    /// Maximum query source length in bytes.
+    pub max_source_bytes: usize,
+    /// Maximum size `|M|` of the translated (pre-optimization) MFT.
+    pub max_translated_size: usize,
+}
+
+impl Default for CompileLimits {
+    fn default() -> Self {
+        CompileLimits {
+            max_source_bytes: 1 << 20,      // 1 MiB of query text
+            max_translated_size: 4_000_000, // ~paper-size × 10⁴ headroom
+        }
+    }
+}
+
 /// Failure to compile a query.
 #[derive(Debug)]
 pub enum PrepareError {
@@ -27,6 +54,13 @@ pub enum PrepareError {
     Syntax(XqSyntaxError),
     /// The query parsed but violates the §2.1 translation restrictions.
     Translate(TranslateError),
+    /// A [`CompileLimits`] bound was exceeded.
+    TooLarge {
+        /// Which bound tripped (`"query source"` or `"translated MFT"`).
+        what: &'static str,
+        size: usize,
+        limit: usize,
+    },
 }
 
 impl std::fmt::Display for PrepareError {
@@ -34,6 +68,9 @@ impl std::fmt::Display for PrepareError {
         match self {
             PrepareError::Syntax(e) => write!(f, "{e}"),
             PrepareError::Translate(e) => write!(f, "{e}"),
+            PrepareError::TooLarge { what, size, limit } => {
+                write!(f, "{what} too large: {size} exceeds the limit of {limit}")
+            }
         }
     }
 }
@@ -83,10 +120,33 @@ pub struct PreparedQuery {
 }
 
 impl PreparedQuery {
-    /// Run the full compilation pipeline on `source`.
+    /// Run the full compilation pipeline on `source` under the default
+    /// [`CompileLimits`].
     pub fn compile(source: &str) -> Result<PreparedQuery, PrepareError> {
+        PreparedQuery::compile_with_limits(source, CompileLimits::default())
+    }
+
+    /// [`PreparedQuery::compile`] under explicit compile-time bounds.
+    pub fn compile_with_limits(
+        source: &str,
+        limits: CompileLimits,
+    ) -> Result<PreparedQuery, PrepareError> {
+        if source.len() > limits.max_source_bytes {
+            return Err(PrepareError::TooLarge {
+                what: "query source",
+                size: source.len(),
+                limit: limits.max_source_bytes,
+            });
+        }
         let query = parse_query(source)?;
         let unopt = translate(&query)?;
+        if unopt.size() > limits.max_translated_size {
+            return Err(PrepareError::TooLarge {
+                what: "translated MFT",
+                size: unopt.size(),
+                limit: limits.max_translated_size,
+            });
+        }
         let (opt, opt_stats) = optimize_with_stats(unopt.clone());
         let meta = QueryMeta {
             states: opt.state_count(),
@@ -139,9 +199,21 @@ impl PreparedQuery {
             .get_or_init(|| foxq_gcx::GcxEngine::new(&self.query, foxq_xml::NullSink).is_ok())
     }
 
-    /// Convenience: stream one XML document through the optimized MFT.
+    /// Convenience: stream one XML document through the optimized MFT,
+    /// under the serving limits ([`StreamLimits::serving`]) — a prepared
+    /// query may come from untrusted text, so a single run is never allowed
+    /// to materialize unbounded output.
     pub fn run_to_string(&self, input: &[u8]) -> Result<StreamRunOutput, StreamError> {
-        run_streaming_to_string(&self.opt, input)
+        self.run_to_string_with_limits(input, StreamLimits::serving())
+    }
+
+    /// [`PreparedQuery::run_to_string`] under explicit stream limits.
+    pub fn run_to_string_with_limits(
+        &self,
+        input: &[u8],
+        limits: StreamLimits,
+    ) -> Result<StreamRunOutput, StreamError> {
+        run_streaming_to_string_with_limits(&self.opt, input, limits)
     }
 }
 
@@ -307,6 +379,39 @@ mod tests {
         src.push_str("<o>{$a12}</o>");
         let prepared = PreparedQuery::compile(&src).unwrap();
         assert!(!prepared.gcx_supported());
+    }
+
+    use foxq_core::opt::nested_doubling_lets;
+
+    #[test]
+    fn untrusted_doubling_nest_compiles_bounded_and_runs_bounded() {
+        // Compile must stay polynomial (the optimizer's inlining growth
+        // budget keeps the doubled value as a shared parameter)…
+        let p = PreparedQuery::compile(&nested_doubling_lets(40)).unwrap();
+        assert!(p.meta().size < 100_000, "compiled size {}", p.meta().size);
+        // …and a run cannot materialize the 2^40-node output: the output
+        // budget aborts it (the shared-graph engine would otherwise emit
+        // forever from a tiny live arena).
+        let limits = StreamLimits {
+            max_output_events: 10_000,
+            ..StreamLimits::serving()
+        };
+        match p.run_to_string_with_limits(b"<r/>", limits) {
+            Err(StreamError::OutputLimit { max_output_events }) => {
+                assert_eq!(max_output_events, 10_000)
+            }
+            Err(e) => panic!("expected OutputLimit, got {e}"),
+            Ok(out) => panic!("expected OutputLimit, got {} bytes", out.output.len()),
+        }
+    }
+
+    #[test]
+    fn oversized_query_sources_are_rejected() {
+        let big = format!("<o>{}</o>", " ".repeat(2 << 20));
+        match PreparedQuery::compile(&big) {
+            Err(PrepareError::TooLarge { what, .. }) => assert_eq!(what, "query source"),
+            other => panic!("expected TooLarge, got {:?}", other.map(|_| "ok")),
+        }
     }
 
     #[test]

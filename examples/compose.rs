@@ -31,8 +31,10 @@ fn main() {
         let stay = compose_tt_tt(&m1, &m2);
         let naive = compose_tt_tt_naive(&m1, &m2, 50_000_000).unwrap();
         println!("{k:>4} {:>12} {:>12}", stay.size(), naive.size());
-        // Both are equivalent:
-        let input = foxq::forest::fcns::fcns(&parse_forest("a(a)").unwrap());
+        // Both are equivalent. The composed output has 2^(k·depth) nodes, so
+        // use the nested input only while that stays small.
+        let doc = if k <= 8 { "a(a)" } else { "a" };
+        let input = foxq::forest::fcns::fcns(&parse_forest(doc).unwrap());
         assert_eq!(
             run_mtt(&stay, &input).unwrap(),
             run_mtt(&naive, &input).unwrap()
@@ -52,12 +54,12 @@ fn main() {
         composed.state_count(),
         composed.is_ft()
     );
-    let f = parse_forest("x y z").unwrap(); // 3 trees → 8 → 256
+    let f = parse_forest("w x y z").unwrap(); // 4 trees → 16 → 65536
     let once = run_mft(&doubler, &f).unwrap();
     let twice = run_mft(&doubler, &once).unwrap();
     let direct = run_mft(&composed, &f).unwrap();
     println!(
-        "|input| = 3, |once| = {}, |twice| = {}, |composed(input)| = {}",
+        "|input| = 4, |once| = {}, |twice| = {}, |composed(input)| = {}",
         once.len(),
         twice.len(),
         direct.len()

@@ -11,10 +11,12 @@
 //! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
 
 use foxq::core::opt::optimize_with_stats;
-use foxq::core::stream::{run_streaming, StreamStats};
+use foxq::core::stream::{
+    run_streaming_with_limits, StreamLimits, StreamStats, DEFAULT_MAX_OUTPUT_EVENTS,
+};
 use foxq::core::translate::translate;
 use foxq::core::{print_mft, Mft};
-use foxq::service::{run_multi, BatchDriver, QueryCache};
+use foxq::service::{run_multi_with_limits, BatchDriver, QueryCache};
 use foxq::xml::{WriterSink, XmlReader};
 use foxq::xquery::parse_query;
 use std::io::{BufReader, Read, Write};
@@ -54,6 +56,11 @@ usage:
       answer all queries over each input in a single pass per document;
       with no inputs, one pass over stdin; with several, documents are
       sharded across worker threads. Outputs are labeled '### doc query'.
+
+  run/stats/batch also accept --max-output <events>: abort a run (batch: its
+  cell) once its output exceeds that many events (default 1000000000;
+  0 = unlimited) — a transducer can emit output exponential in its input,
+  this bounds a run on hostile pairs.
 ";
 
 fn load_query(path: &str) -> Result<Mft, String> {
@@ -66,10 +73,31 @@ fn load_query(path: &str) -> Result<Mft, String> {
 }
 
 fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
-    let query_path = args.first().ok_or("missing query file")?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut max_output = DEFAULT_MAX_OUTPUT_EVENTS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-output" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .ok_or("--max-output needs a number")?
+                    .parse()
+                    .map_err(|_| "--max-output needs a number".to_string())?;
+                max_output = if n == 0 { u64::MAX } else { n };
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other:?}\n{USAGE}"));
+            }
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let query_path = positional.first().ok_or("missing query file")?;
     let mft = load_query(query_path)?;
     let stdin;
-    let input: Box<dyn Read> = match args.get(1) {
+    let input: Box<dyn Read> = match positional.get(1) {
         Some(path) => {
             Box::new(std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
         }
@@ -78,10 +106,15 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
             Box::new(stdin.lock())
         }
     };
+    let limits = StreamLimits {
+        max_output_events: max_output,
+        ..StreamLimits::default()
+    };
     let reader = XmlReader::new(BufReader::new(input));
     let stdout = std::io::stdout();
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
-    let (sink, stats) = run_streaming(&mft, reader, sink).map_err(|e| e.to_string())?;
+    let (sink, stats) =
+        run_streaming_with_limits(&mft, reader, sink, limits).map_err(|e| e.to_string())?;
     let mut out = sink.finish().map_err(|e| e.to_string())?;
     out.write_all(b"\n")
         .and_then(|_| out.flush())
@@ -113,6 +146,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut report_stats = false;
+    let mut max_output = DEFAULT_MAX_OUTPUT_EVENTS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -133,6 +167,15 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--threads needs a number".to_string())?;
             }
             "--stats" => report_stats = true,
+            "--max-output" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .ok_or("--max-output needs a number")?
+                    .parse()
+                    .map_err(|_| "--max-output needs a number".to_string())?;
+                max_output = if n == 0 { u64::MAX } else { n };
+            }
             other if other.starts_with('-') => {
                 return Err(format!("unknown batch flag {other:?}\n{USAGE}"));
             }
@@ -140,6 +183,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
         i += 1;
     }
+    let limits = StreamLimits {
+        max_output_events: max_output,
+        ..StreamLimits::default()
+    };
     if query_files.is_empty() {
         return Err(format!("batch needs at least one -q <query.xq>\n{USAGE}"));
     }
@@ -188,7 +235,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             .iter()
             .map(|_| WriterSink::new(Vec::new()))
             .collect();
-        match run_multi(&mfts, XmlReader::new(BufReader::new(input)), sinks) {
+        match run_multi_with_limits(&mfts, XmlReader::new(BufReader::new(input)), sinks, limits) {
             Ok(run) => {
                 if report_stats {
                     eprintln!("input events:      {} (one pass)", run.input_events);
@@ -232,7 +279,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         // Several documents: shard them across worker threads. Each worker
         // opens and streams the files it claims, so peak memory does not
         // scale with the corpus size.
-        let report = BatchDriver::new(threads).run_files(&inputs, &queries);
+        let report = BatchDriver::new(threads)
+            .with_limits(limits)
+            .run_files(&inputs, &queries);
         if report_stats {
             eprintln!(
                 "documents:         {} over {} threads",

@@ -168,16 +168,14 @@ fn ft_composition_agrees_on_fixed_seeds() {
 }
 
 fn ft_composition_body() {
-    use foxq::core::run_mft_with_limits;
     use foxq::core::RunLimits;
+    use foxq::core::{run_mft_naive_with_limits, run_mft_with_limits};
     for seed in 0..100u64 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let f1 = foxq::tt::mtt_to_mft(&random_tt(&mut rng));
         let f2 = foxq::tt::mtt_to_mft(&random_tt(&mut rng));
         let composed = compose_ft_ft(&f1, &f2);
-        let limits = RunLimits {
-            max_steps: 5_000_000,
-        };
+        let limits = RunLimits::with_max_steps(5_000_000);
         for _ in 0..4 {
             let input = foxq::forest::fcns::unfcns(&random_input(&mut rng));
             let Ok(mid) = run_mft_with_limits(&f1, &input, limits) else {
@@ -188,6 +186,12 @@ fn ft_composition_body() {
             };
             let got = run_mft_with_limits(&composed, &input, limits).unwrap();
             assert_eq!(got, expected, "FT∘FT differs (seed {seed})");
+            // The accumulator-encoded composition is exactly the shape the
+            // memoizing evaluator accelerates; the naive reference must
+            // still agree wherever it terminates within its step budget.
+            if let Ok(naive) = run_mft_naive_with_limits(&composed, &input, limits) {
+                assert_eq!(naive, expected, "naive vs composed differs (seed {seed})");
+            }
         }
     }
 }

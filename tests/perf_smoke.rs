@@ -1,0 +1,105 @@
+//! Release-mode timing guards for the two hot paths fixed by the
+//! shared-forest value core, so the exponential-interpreter and
+//! exponential-optimizer regressions can never silently return:
+//!
+//! * `examples/compose.rs` was ~18 s release before the memoizing
+//!   value-based evaluator (0.04 s after) — guarded at 10 s wall clock;
+//! * `opt::optimize` on 20 nested value-doubling lets was ~5.8 s before the
+//!   inlining growth budget (~15 ms after) — guarded at 50 ms.
+//!
+//! The bounds are the PR's acceptance criteria; they sit orders of
+//! magnitude below the pre-fix numbers (a regression cannot sneak under
+//! them) while leaving 3–25× headroom over the measured post-fix times for
+//! scheduler noise. All tests no-op in debug builds (debug constant factors
+//! are not what they guard); CI runs them via `cargo test --release`.
+
+use std::time::{Duration, Instant};
+
+/// Skip (returning true) unless this is an optimized build.
+fn debug_build() -> bool {
+    if cfg!(debug_assertions) {
+        eprintln!("perf_smoke: skipped (debug build; run with --release)");
+        return true;
+    }
+    false
+}
+
+#[test]
+fn composed_ft_ft_interpretation_is_subsecond() {
+    if debug_build() {
+        return;
+    }
+    use foxq::core::interp::run_mft;
+    use foxq::core::parse_mft;
+    use foxq::forest::term::parse_forest;
+    let doubler = parse_mft("q(%t(x1) x2) -> q(x2) q(x2); q(eps) -> a();").unwrap();
+    let composed = foxq::tt::compose_ft_ft(&doubler, &doubler);
+    let f = parse_forest("w x y z").unwrap();
+    let start = Instant::now();
+    let direct = run_mft(&composed, &f).unwrap();
+    let elapsed = start.elapsed();
+    assert_eq!(direct.len(), 1 << 16);
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "accumulator-encoded FT∘FT interpretation took {elapsed:?} (was ~18 s \
+         before the memoizing evaluator; must stay well under 1 s)"
+    );
+}
+
+#[test]
+fn optimizer_is_polynomial_on_nested_doubling_lets() {
+    if debug_build() {
+        return;
+    }
+    use foxq::core::opt::{nested_doubling_lets, optimize_with_stats};
+    use foxq::core::translate::translate;
+    use foxq::xquery::parse_query;
+    let q = parse_query(&nested_doubling_lets(20)).unwrap();
+    let m = translate(&q).unwrap();
+    let start = Instant::now();
+    let (opt, stats) = optimize_with_stats(m);
+    let elapsed = start.elapsed();
+    assert!(stats.inline_budget_skips > 0, "{stats:?}");
+    assert!(opt.size() < 100_000, "size {}", opt.size());
+    assert!(
+        elapsed < Duration::from_millis(50),
+        "optimize on the 20-nested-let adversary took {elapsed:?} (was ~5.8 s \
+         before the inlining growth budget; must stay under 50 ms)"
+    );
+}
+
+#[test]
+fn compose_example_completes_under_wall_clock_guard() {
+    if debug_build() {
+        return;
+    }
+    // The example binary sits next to the test binary's profile directory.
+    // `cargo test --release --test perf_smoke` does not build examples, so
+    // build it here if a previous step has not (e.g. a fresh CI runner).
+    let mut dir = std::env::current_exe().unwrap();
+    dir.pop();
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join("examples").join("compose");
+    if !path.exists() {
+        let status = std::process::Command::new(env!("CARGO"))
+            .args(["build", "--release", "--example", "compose"])
+            .status()
+            .unwrap();
+        assert!(status.success(), "building examples/compose failed");
+    }
+    assert!(path.exists(), "example binary missing: {}", path.display());
+    let start = Instant::now();
+    let out = std::process::Command::new(path).output().unwrap();
+    let elapsed = start.elapsed();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("single-pass composition"),
+        "unexpected example output"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "examples/compose took {elapsed:?} (must stay far below the old ~18 s)"
+    );
+}

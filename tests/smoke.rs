@@ -131,6 +131,46 @@ fn cli_errors_exit_nonzero() {
 }
 
 #[test]
+fn cli_run_max_output_bounds_hostile_queries() {
+    // 40 value-doubling lets: the output would be 2^40 trees. The budget
+    // must abort the run with a clear error and exit code 1.
+    let dir = scratch("max-output");
+    let bomb = foxq::core::opt::nested_doubling_lets(40);
+    let q = write(&dir, "bomb.xq", &bomb);
+    let x = write(&dir, "in.xml", "<r/>");
+    let out = foxq()
+        .args(["run", "--max-output", "10000"])
+        .arg(&q)
+        .arg(&x)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("output limit"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The batch path is bounded too: the bomb's cell fails, labeled.
+    let out = foxq()
+        .args(["batch", "--max-output", "10000", "-q"])
+        .arg(&q)
+        .arg(&x)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stdout_of(&out).contains("error: output limit"),
+        "stdout: {}",
+        stdout_of(&out)
+    );
+    // An ordinary run is untouched by the default budget.
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "in.xml", DOC);
+    let out = foxq().arg("run").arg(&q).arg(&x).output().unwrap();
+    assert!(out.status.success());
+}
+
+#[test]
 fn cli_batch_answers_multiple_queries_in_one_pass() {
     let dir = scratch("batch");
     let q1 = write(&dir, "q1.xq", QUERY);

@@ -4,14 +4,75 @@
 //! `sample_size`, `bench_with_input`/`bench_function`, [`BenchmarkId`], and
 //! `Bencher::iter`.
 //!
-//! Measurement is intentionally simple — per sample one timed call, median
-//! and mean over `sample_size` samples, printed to stdout — with none of
-//! criterion's statistics, plotting, or baseline storage. Respect the
-//! standard libtest arguments enough to be driveable: a positional filter
-//! selects benchmarks by substring and `--test`/`--list` do no timing.
+//! Measurement is per sample one timed call over `sample_size` samples,
+//! reported through [`Summary`]: median, a median-absolute-deviation (MAD)
+//! outlier cut, and mean ± standard deviation over the surviving samples —
+//! none of criterion's plotting or baseline storage. Respect the standard
+//! libtest arguments enough to be driveable: a positional filter selects
+//! benchmarks by substring and `--test`/`--list` do no timing.
 
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Robust statistics over one benchmark's samples.
+///
+/// The outlier cut is the classical MAD filter: a sample is dropped when
+/// `|x − median| > 3.5 · MAD` (and MAD > 0); mean and standard deviation are
+/// computed over the survivors, so one descheduled sample cannot poison the
+/// reported mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Samples measured (before the outlier cut).
+    pub samples: usize,
+    /// Median over all samples.
+    pub median: Duration,
+    /// Median absolute deviation over all samples.
+    pub mad: Duration,
+    /// Samples dropped by the MAD cut.
+    pub outliers_dropped: usize,
+    /// Mean over the surviving samples.
+    pub mean: Duration,
+    /// Standard deviation over the surviving samples.
+    pub std_dev: Duration,
+}
+
+/// Summarize a sample set; `None` when empty.
+pub fn summarize(durations: &[Duration]) -> Option<Summary> {
+    if durations.is_empty() {
+        return None;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<Duration> = sorted.iter().map(|&d| d.abs_diff(median)).collect();
+    deviations.sort();
+    let mad = deviations[deviations.len() / 2];
+    // The cut applies uniformly: when MAD is 0 (a zero-spread majority —
+    // common under timer quantization), any sample off the median is an
+    // outlier relative to that majority, so a single wild sample can never
+    // poison the mean.
+    let cutoff = 3.5 * mad.as_secs_f64();
+    let kept: Vec<Duration> = sorted
+        .iter()
+        .copied()
+        .filter(|&d| d.abs_diff(median).as_secs_f64() <= cutoff)
+        .collect();
+    let outliers_dropped = sorted.len() - kept.len();
+    let mean_s = kept.iter().map(Duration::as_secs_f64).sum::<f64>() / kept.len() as f64;
+    let var = kept
+        .iter()
+        .map(|d| (d.as_secs_f64() - mean_s).powi(2))
+        .sum::<f64>()
+        / kept.len() as f64;
+    Some(Summary {
+        samples: sorted.len(),
+        median,
+        mad,
+        outliers_dropped,
+        mean: Duration::from_secs_f64(mean_s),
+        std_dev: Duration::from_secs_f64(var.sqrt()),
+    })
+}
 
 /// Benchmark identifier: `function/parameter`.
 #[derive(Debug, Clone)]
@@ -138,21 +199,19 @@ impl BenchmarkGroup<'_> {
             durations: Vec::new(),
         };
         f(&mut bencher);
-        let mut sorted = bencher.durations.clone();
-        sorted.sort();
         // The closure may never call `iter` (e.g. an engine skipping an
         // unsupported query): report, don't panic.
-        if sorted.is_empty() {
+        let Some(s) = summarize(&bencher.durations) else {
             println!("{full_id:<48} no samples (Bencher::iter never called)");
             return;
-        }
-        let median = sorted[sorted.len() / 2];
-        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        };
         println!(
-            "{full_id:<48} median {:>12} mean {:>12} ({} samples)",
-            fmt_duration(median),
-            fmt_duration(mean),
-            sorted.len()
+            "{full_id:<48} median {:>12} mean {:>12} ± {:>10} ({} samples, {} outliers)",
+            fmt_duration(s.median),
+            fmt_duration(s.mean),
+            fmt_duration(s.std_dev),
+            s.samples,
+            s.outliers_dropped
         );
     }
 
@@ -225,5 +284,42 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("gcx").id, "gcx");
+    }
+
+    #[test]
+    fn summarize_computes_robust_statistics() {
+        let ms = Duration::from_millis;
+        // 10, 11, 12, 13, 14 ms and one wild 500 ms outlier.
+        let s = summarize(&[ms(10), ms(11), ms(12), ms(13), ms(14), ms(500)]).unwrap();
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.median, ms(13)); // sorted[3]
+        assert_eq!(s.outliers_dropped, 1);
+        assert!(s.mean < ms(15), "outlier not filtered: mean {:?}", s.mean);
+        assert!(s.std_dev < ms(3));
+        assert!(s.mad <= ms(2));
+    }
+
+    #[test]
+    fn summarize_handles_degenerate_inputs() {
+        assert!(summarize(&[]).is_none());
+        let one = summarize(&[Duration::from_micros(7)]).unwrap();
+        assert_eq!(one.samples, 1);
+        assert_eq!(one.outliers_dropped, 0);
+        assert_eq!(one.mean, Duration::from_micros(7));
+        // All-equal samples: MAD 0 ⇒ nothing dropped.
+        let eq = summarize(&[Duration::from_millis(5); 4]).unwrap();
+        assert_eq!(eq.outliers_dropped, 0);
+        assert_eq!(eq.std_dev, Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_mad_majority_still_rejects_a_wild_sample() {
+        // Timer quantization: three identical samples plus one descheduled
+        // one. MAD is 0, yet the wild sample must not poison the mean.
+        let ms = Duration::from_millis;
+        let s = summarize(&[ms(5), ms(5), ms(5), ms(500)]).unwrap();
+        assert_eq!(s.median, ms(5));
+        assert_eq!(s.outliers_dropped, 1);
+        assert_eq!(s.mean, ms(5));
     }
 }
