@@ -22,7 +22,7 @@
 //! Transducers built through [`Mft::add_state`] are total and deterministic
 //! by construction: every state starts with `default → ε` and `ε → ε` rules.
 
-use foxq_forest::{Alphabet, FxHashMap, SymId};
+use foxq_forest::{Alphabet, FxHashMap, FxHashSet, Label, SymId};
 use std::fmt;
 
 /// Index of a state in [`Mft::states`].
@@ -253,6 +253,188 @@ impl Mft {
         self.states.iter().map(|s| s.params).max().unwrap_or(0)
     }
 
+    /// Whether `rhs` is the *pure-skip* right-hand side of `q`:
+    /// `q(%t(x1)x2, y1..ym) → q(x2, y1..ym)` — the state ignores the node,
+    /// its subtree, and passes every parameter through unchanged.
+    fn is_pure_skip(&self, q: StateId, rhs: &Rhs) -> bool {
+        match rhs.as_slice() {
+            [RhsNode::Call {
+                state,
+                input: XVar::X2,
+                args,
+            }] if *state == q => {
+                args.len() == self.params_of(q)
+                    && args
+                        .iter()
+                        .enumerate()
+                        .all(|(i, a)| matches!(a.as_slice(), [RhsNode::Param(j)] if *j == i))
+            }
+            _ => false,
+        }
+    }
+
+    /// Static alphabet-projection analysis: which input labels can this
+    /// transducer react to, and is an event carrying any *other* label —
+    /// together with its entire subtree — semantically skippable?
+    ///
+    /// The analysis is conservative. An unmatched-label event is skippable
+    /// when every state that can be *subscribed* at a forest location either
+    ///
+    /// * has a pure-skip default rule (`q(%t(x1)x2, ȳ) → q(x2, ȳ)`): not
+    ///   expanding it and leaving it subscribed until after the skipped
+    ///   subtree is exactly what the rule would have done, or
+    /// * is a `%`-shorthand stay state whose rhs only re-enters skippable
+    ///   states via `x0`: delaying its expansion to the next delivered event
+    ///   selects the same rhs (default = ε-rule, no `(q,σ)`-rules, no `%t`)
+    ///   and the delayed `x0` calls land where the immediate ones would have.
+    ///
+    /// States reachable only through `x1` of a *text* rule are exempt from
+    /// the requirement: they subscribe under a text node, and text nodes are
+    /// leaves in the XML event model (their child location is defined by the
+    /// immediately following close event, which a prefilter must deliver
+    /// because the text open itself was delivered).
+    pub fn projection(&self) -> LabelProjection {
+        let n = self.states.len();
+
+        // Least fixpoint of the two skippability shapes.
+        let mut skippable: Vec<bool> = (0..n)
+            .map(|i| {
+                let q = StateId(i as u32);
+                self.is_pure_skip(q, &self.rules[i].default)
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let q = StateId(i as u32);
+                if !skippable[i]
+                    && self.is_stay_state(q)
+                    && rhs_iter(&self.rules[i].default).all(|node| match node {
+                        RhsNode::Call { state, .. } => skippable[state.idx()],
+                        _ => true,
+                    })
+                {
+                    skippable[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // States that can be *subscribed* at a forest (element-content)
+        // location (`at_risk`), via a mutual fixpoint with the states whose
+        // open-context rules can *fire* at one (`fireable`): the initial
+        // state is both; x1/x2 callees of a fireable state's open rules are
+        // subscribed (hence fireable at the next open), x0 callees are
+        // fireable within the same event. Exception: x1 callees of *text*
+        // rules subscribe under a text node — text nodes are leaves, so the
+        // subscription resolves through the ε-rule at the very next (close)
+        // event and never sees an open. ε-rules themselves only use x0 and
+        // expand in close context, where no subscriptions can form.
+        let mut at_risk = vec![false; n];
+        let mut fireable = vec![false; n];
+        at_risk[self.initial.idx()] = true;
+        fireable[self.initial.idx()] = true;
+        loop {
+            let mut changed = false;
+            let mut mark =
+                |rhs: &Rhs, x1_is_safe: bool, at_risk: &mut Vec<bool>, fireable: &mut Vec<bool>| {
+                    for node in rhs_iter(rhs) {
+                        if let RhsNode::Call { state, input, .. } = node {
+                            let j = state.idx();
+                            let subscribes = match input {
+                                XVar::X0 => false,
+                                XVar::X2 => true,
+                                XVar::X1 => !x1_is_safe,
+                            };
+                            if subscribes && !at_risk[j] {
+                                at_risk[j] = true;
+                                changed = true;
+                            }
+                            // Subscribed and x0 callees alike can fire at this
+                            // location (x1-of-text callees cannot: they resolve
+                            // via ε before any open event).
+                            if (subscribes || *input == XVar::X0) && !fireable[j] {
+                                fireable[j] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                };
+            for i in 0..n {
+                if !fireable[i] {
+                    continue;
+                }
+                let rules = &self.rules[i];
+                for (sym, rhs) in &rules.by_sym {
+                    let x1_safe = self.alphabet.label(*sym).is_text();
+                    mark(rhs, x1_safe, &mut at_risk, &mut fireable);
+                }
+                if let Some(rhs) = &rules.text_default {
+                    mark(rhs, true, &mut at_risk, &mut fireable);
+                }
+                mark(&rules.default, false, &mut at_risk, &mut fireable);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let elements = at_risk
+            .iter()
+            .zip(&skippable)
+            .all(|(risk, skip)| !risk || *skip);
+
+        // Skipping delays a subscribed stay state's expansion into a later
+        // event, and its `x0` calls expand under that event too — so for
+        // *text* events the text-default rule (which preempts the default)
+        // must be pure-skip on the whole x0-closure of the at-risk set.
+        let mut delayed = at_risk.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if delayed[i] && self.is_stay_state(StateId(i as u32)) {
+                    for node in rhs_iter(&self.rules[i].default) {
+                        if let RhsNode::Call { state, .. } = node {
+                            if !delayed[state.idx()] {
+                                delayed[state.idx()] = true;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let texts = elements
+            && delayed.iter().enumerate().all(|(i, risk)| {
+                !risk
+                    || match &self.rules[i].text_default {
+                        None => true,
+                        Some(rhs) => self.is_pure_skip(StateId(i as u32), rhs),
+                    }
+            });
+
+        let mut seen: FxHashSet<SymId> = FxHashSet::default();
+        let mut matched = Vec::new();
+        for rules in &self.rules {
+            for sym in rules.by_sym.keys() {
+                if seen.insert(*sym) {
+                    matched.push(self.alphabet.label(*sym).clone());
+                }
+            }
+        }
+        LabelProjection {
+            matched,
+            elements,
+            texts,
+        }
+    }
+
     /// Structural well-formedness (Definition 2 restrictions).
     pub fn validate(&self) -> Result<(), MftError> {
         if self.states.is_empty() {
@@ -331,6 +513,23 @@ impl Mft {
     fn rule_err(&self, q: StateId, msg: impl Into<String>) -> MftError {
         MftError::new(format!("state {}: {}", self.name_of(q), msg.into()))
     }
+}
+
+/// Result of [`Mft::projection`]: the label alphabet this transducer can
+/// react to, plus whether events outside it are skippable. Consumed by the
+/// multi-query engine's shared start-tag prefilter
+/// (`foxq_service::MultiQueryEngine`).
+#[derive(Debug, Clone)]
+pub struct LabelProjection {
+    /// Labels with a `(q,σ)`-rule in some state (elements *and* text
+    /// constants). Events carrying them must always be delivered.
+    pub matched: Vec<Label>,
+    /// Unmatched **element** events — with their entire subtrees — may be
+    /// withheld from this transducer without changing its output.
+    pub elements: bool,
+    /// Unmatched **text** events may be withheld too. Implies nothing on its
+    /// own; only meaningful when [`LabelProjection::elements`] also holds.
+    pub texts: bool,
 }
 
 impl fmt::Debug for Mft {
@@ -494,6 +693,61 @@ mod tests {
         assert!(m.is_stay_state(p));
         m.set_default_rule(p, vec![call(p, XVar::X2, vec![])]);
         assert!(!m.is_stay_state(p));
+    }
+
+    #[test]
+    fn projection_of_a_child_path_navigator() {
+        // q0 is a stay state producing s(x0); s skips any unmatched node
+        // (pure-skip default and %text rules) and reacts only to `site`.
+        let mut m = Mft::new();
+        let site = m.alphabet.intern_elem("site");
+        let hit = m.alphabet.intern_elem("hit");
+        let q0 = m.add_state("q0", 0);
+        let s = m.add_state("s", 0);
+        m.initial = q0;
+        m.set_stay_rule(q0, vec![call(s, XVar::X0, vec![])]);
+        m.set_sym_rule(s, site, vec![out(hit, vec![]), call(s, XVar::X2, vec![])]);
+        m.set_text_rule(s, vec![call(s, XVar::X2, vec![])]);
+        m.set_default_rule(s, vec![call(s, XVar::X2, vec![])]);
+        m.validate().unwrap();
+        let p = m.projection();
+        assert!(p.elements, "pure-skip navigator must be skippable");
+        assert!(p.texts, "pure-skip %text rule must be skippable");
+        let names: Vec<&str> = p.matched.iter().map(|l| &*l.name).collect();
+        assert_eq!(names, ["site"]);
+    }
+
+    #[test]
+    fn projection_rejects_copying_and_looping_states() {
+        // qcopy recurses into x1 of unmatched nodes: nothing is skippable.
+        let copy = crate::text::parse_mft(
+            "qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;",
+        )
+        .unwrap();
+        assert!(!copy.projection().elements);
+
+        // A stay loop is not skippable either (least fixpoint: delaying the
+        // expansion would suppress the loop).
+        let looping = crate::text::parse_mft("q0(%) -> q0(x0);").unwrap();
+        assert!(!looping.projection().elements);
+    }
+
+    #[test]
+    fn projection_exempts_text_rule_x1_callees() {
+        // qcopy only ever subscribes under a text node (x1 of a %ttext
+        // rule); text nodes are leaves, so the lane stays skippable for
+        // elements while text events must be delivered.
+        let m = crate::text::parse_mft(
+            "s(%ttext(x1) x2) -> %t(qcopy(x1)) s(x2);\
+             s(%t(x1) x2) -> s(x2);\
+             s(eps) -> eps;\
+             qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2);\
+             qcopy(eps) -> eps;",
+        )
+        .unwrap();
+        let p = m.projection();
+        assert!(p.elements);
+        assert!(!p.texts, "the %ttext rule does real work");
     }
 
     #[test]

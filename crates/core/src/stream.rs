@@ -130,6 +130,10 @@ pub struct StreamStats {
     pub max_depth: usize,
     /// Output events pushed to the sink.
     pub output_events: u64,
+    /// Input events an upstream label prefilter withheld on this engine's
+    /// behalf (they were never fed, so they appear in no other counter).
+    /// Always 0 for solo runs; set by `foxq_service::MultiQueryEngine`.
+    pub prefiltered_events: u64,
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,211 @@
+//! A tiny HTTP/1.1 client for exercising `foxq-server`.
+//!
+//! Deliberately minimal — enough for integration tests, benchmarks, and CI
+//! round-trips: `Content-Length` and chunked request bodies, keep-alive
+//! reuse, and response parsing of the server's own wire format (responses
+//! are always `Content-Length`-framed). Not a general-purpose client.
+
+use crate::http::urlencode;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A persistent (keep-alive) connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect, with generous default timeouts (tests override the server
+    /// side; the client side only guards against hangs).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request with an optional `Content-Length` body and read the
+    /// response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<Response> {
+        write!(self.writer, "{method} {target} HTTP/1.1\r\nhost: foxq\r\n")?;
+        for (name, value) in headers {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        if !body.is_empty() || method == "POST" {
+            write!(self.writer, "content-length: {}\r\n", body.len())?;
+        }
+        self.writer.write_all(b"\r\n")?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Send one request with a `Transfer-Encoding: chunked` body (one chunk
+    /// per slice) and read the response.
+    pub fn request_chunked<'a>(
+        &mut self,
+        method: &str,
+        target: &str,
+        chunks: impl IntoIterator<Item = &'a [u8]>,
+    ) -> std::io::Result<Response> {
+        write!(
+            self.writer,
+            "{method} {target} HTTP/1.1\r\nhost: foxq\r\ntransfer-encoding: chunked\r\n\r\n"
+        )?;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            write!(self.writer, "{:x}\r\n", chunk.len())?;
+            self.writer.write_all(chunk)?;
+            self.writer.write_all(b"\r\n")?;
+        }
+        self.writer.write_all(b"0\r\n\r\n")?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Like [`Client::request_chunked`], but tolerates the server replying
+    /// (and resetting the connection) *before* the whole body is sent —
+    /// the expected shape of an over-limit 413. Returns the response and
+    /// the number of body-payload bytes successfully written.
+    pub fn request_chunked_expecting_early_reply<'a>(
+        &mut self,
+        method: &str,
+        target: &str,
+        chunks: impl IntoIterator<Item = &'a [u8]>,
+    ) -> std::io::Result<(Response, u64)> {
+        write!(
+            self.writer,
+            "{method} {target} HTTP/1.1\r\nhost: foxq\r\ntransfer-encoding: chunked\r\n\r\n"
+        )?;
+        let mut sent = 0u64;
+        let mut send_failed = false;
+        for chunk in chunks {
+            if chunk.is_empty() {
+                continue;
+            }
+            let framed = format!("{:x}\r\n", chunk.len());
+            let r = self
+                .writer
+                .write_all(framed.as_bytes())
+                .and_then(|_| self.writer.write_all(chunk))
+                .and_then(|_| self.writer.write_all(b"\r\n"));
+            match r {
+                Ok(()) => sent += chunk.len() as u64,
+                Err(_) => {
+                    // The server already answered and stopped reading.
+                    send_failed = true;
+                    break;
+                }
+            }
+        }
+        if !send_failed {
+            let _ = self.writer.write_all(b"0\r\n\r\n");
+        }
+        let _ = self.writer.flush();
+        Ok((self.read_response()?, sent))
+    }
+
+    /// Low-level access to the write half, for tests that need to send a
+    /// deliberately partial or hand-framed request.
+    pub fn raw_writer(&mut self) -> &mut TcpStream {
+        &mut self.writer
+    }
+
+    /// Read one response off the connection (pairs with [`Client::raw_writer`]).
+    pub fn read_response(&mut self) -> std::io::Result<Response> {
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let mut parts = line.split_ascii_whitespace();
+        let _version = parts.next();
+        let status: u16 = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot `GET`.
+pub fn get(addr: impl ToSocketAddrs, target: &str) -> std::io::Result<Response> {
+    Client::connect(addr)?.request("GET", target, &[], &[])
+}
+
+/// One-shot `POST` with a body.
+pub fn post(addr: impl ToSocketAddrs, target: &str, body: &[u8]) -> std::io::Result<Response> {
+    Client::connect(addr)?.request("POST", target, &[], body)
+}
+
+/// Build a `/query` target for a query text.
+pub fn query_target(query: &str) -> String {
+    format!("/query?q={}", urlencode(query))
+}
+
+/// Build a `/batch` target for a set of query texts.
+pub fn batch_target<'a>(queries: impl IntoIterator<Item = &'a str>) -> String {
+    let params: Vec<String> = queries
+        .into_iter()
+        .map(|q| format!("q={}", urlencode(q)))
+        .collect();
+    format!("/batch?{}", params.join("&"))
+}

@@ -1,0 +1,530 @@
+//! A hand-rolled HTTP/1.1 subset over any `BufRead`/`Write` transport.
+//!
+//! The build environment has no registry access, so there is no hyper and no
+//! tokio; this module implements exactly the slice of RFC 9112 the serving
+//! layer needs — request line, headers, `Content-Length` and `chunked`
+//! bodies, keep-alive — with hard bounds on every buffer it allocates
+//! (request-line/header bytes, header count, chunk-size line length), since
+//! the peer is untrusted by definition.
+//!
+//! The one design rule: **bodies are never buffered**. [`BodyReader`]
+//! implements `BufRead` *borrowing* the connection, so a request body flows
+//! straight through `foxq_xml::XmlReader` into the transducer engines while
+//! the socket is still receiving it.
+
+use std::io::{BufRead, Error, ErrorKind, Read, Write};
+
+/// Upper bound on the request line plus all header bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of request headers.
+pub const MAX_HEADERS: usize = 100;
+
+/// A parse-level failure; mapped to `400 Bad Request` (or `431`) upstream.
+#[derive(Debug)]
+pub struct HttpError(pub String);
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn bad(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, HttpError(msg.into()))
+}
+
+/// How a request frames its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyKind {
+    /// No body (GET and friends, or `Content-Length: 0`).
+    Empty,
+    /// `Content-Length: n`.
+    Sized(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+/// A parsed request head. The body stays on the wire — take it with
+/// [`BodyReader::new`].
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Decoded path component (no query string).
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// False for `HTTP/1.0` (connections then default to close).
+    pub http11: bool,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of the query parameter `name`, in order.
+    pub fn params<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.query
+            .iter()
+            .filter(move |(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The request's body framing, per RFC 9112 §6 (chunked wins over a
+    /// Content-Length; anything else unframed is an empty body).
+    pub fn body_kind(&self) -> Result<BodyKind, Error> {
+        if let Some(te) = self.header("transfer-encoding") {
+            if te.eq_ignore_ascii_case("chunked") {
+                return Ok(BodyKind::Chunked);
+            }
+            return Err(bad(format!("unsupported transfer-encoding {te:?}")));
+        }
+        match self.header("content-length") {
+            None => Ok(BodyKind::Empty),
+            Some(v) => {
+                let n: u64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad content-length {v:?}")))?;
+                Ok(if n == 0 {
+                    BodyKind::Empty
+                } else {
+                    BodyKind::Sized(n)
+                })
+            }
+        }
+    }
+
+    /// Whether the connection may be reused after this exchange.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Read one head line (request line or header), CRLF- or LF-terminated,
+/// within the shared head budget. `Ok(None)` = clean EOF before any byte.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<Option<String>, Error> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = r.fill_buf()?;
+        if buf.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(bad("connection closed mid-line"));
+        }
+        let nl = buf.iter().position(|&b| b == b'\n');
+        let take = nl.map(|i| i + 1).unwrap_or(buf.len());
+        if take > *budget {
+            return Err(bad("request head too large"));
+        }
+        *budget -= take;
+        line.extend_from_slice(&buf[..take]);
+        r.consume(take);
+        if nl.is_some() {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| bad("non-UTF-8 head"));
+        }
+    }
+}
+
+/// Parse one request head off the connection. `Ok(None)` when the peer
+/// closed the connection cleanly between requests (keep-alive end).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, Error> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(request_line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => return Err(bad(format!("unsupported version {v:?}"))),
+    };
+    if parts.next().is_some() {
+        return Err(bad("malformed request line"));
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path).ok_or_else(|| bad("bad percent-encoding in path"))?;
+    let mut query = Vec::new();
+    if let Some(raw) = raw_query {
+        for pair in raw.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = form_decode(k).ok_or_else(|| bad("bad percent-encoding in query"))?;
+            let v = form_decode(v).ok_or_else(|| bad("bad percent-encoding in query"))?;
+            query.push((k, v));
+        }
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?.ok_or_else(|| bad("EOF inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(bad("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed header {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        http11,
+    }))
+}
+
+/// Decode `%XX` escapes (strict: a lone `%` is an error → `None`).
+pub fn percent_decode(s: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = char::from(*bytes.get(i + 1)?).to_digit(16)?;
+                let lo = char::from(*bytes.get(i + 2)?).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Decode an `application/x-www-form-urlencoded` component (`+` = space).
+pub fn form_decode(s: &str) -> Option<String> {
+    percent_decode(&s.replace('+', " "))
+}
+
+/// Percent-encode a string for use inside a query-string value.
+pub fn urlencode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Streaming bodies
+// ---------------------------------------------------------------------------
+
+enum BodyState {
+    /// Bytes left of a sized body.
+    Sized(u64),
+    /// Chunked: bytes left in the current chunk; `first` until the first
+    /// size line has been read.
+    Chunked { in_chunk: u64, first: bool },
+    /// Fully consumed (or empty from the start).
+    Done,
+}
+
+/// Streams a request body off the connection without ever buffering it.
+///
+/// Implements `BufRead` so `XmlReader` can parse straight off the socket
+/// buffer; reports clean EOF at the body's end, leaving the transport
+/// positioned at the next request (keep-alive safe). Chunk-size lines are
+/// bounded; `Transfer-Encoding: chunked` trailers are consumed and dropped.
+pub struct BodyReader<'a, R: BufRead> {
+    inner: &'a mut R,
+    state: BodyState,
+}
+
+impl<'a, R: BufRead> BodyReader<'a, R> {
+    pub fn new(inner: &'a mut R, kind: BodyKind) -> Self {
+        let state = match kind {
+            BodyKind::Empty => BodyState::Done,
+            BodyKind::Sized(n) => BodyState::Sized(n),
+            BodyKind::Chunked => BodyState::Chunked {
+                in_chunk: 0,
+                first: true,
+            },
+        };
+        BodyReader { inner, state }
+    }
+
+    /// Whether the body has been consumed to its framed end (safe to reuse
+    /// the connection).
+    pub fn exhausted(&self) -> bool {
+        matches!(self.state, BodyState::Done)
+    }
+
+    /// Read one CRLF/LF-terminated chunk-framing line (bounded).
+    fn framing_line(&mut self) -> Result<String, Error> {
+        let mut budget = 256usize;
+        read_line(self.inner, &mut budget)?.ok_or_else(|| bad("EOF inside chunked framing"))
+    }
+
+    /// Advance chunked state until data is available or the body ends.
+    fn next_chunk(&mut self) -> Result<(), Error> {
+        let BodyState::Chunked { in_chunk: 0, first } = self.state else {
+            return Ok(());
+        };
+        if !first {
+            // Consume the CRLF that terminates the previous chunk.
+            let sep = self.framing_line()?;
+            if !sep.is_empty() {
+                return Err(bad("missing CRLF after chunk"));
+            }
+        }
+        let line = self.framing_line()?;
+        let size_hex = line.split(';').next().unwrap_or("").trim();
+        let size = u64::from_str_radix(size_hex, 16)
+            .map_err(|_| bad(format!("bad chunk size {size_hex:?}")))?;
+        if size == 0 {
+            // Trailer section: header lines then an empty line. Bounded
+            // like the request head — endless trailers must not wedge a
+            // worker (the framing bytes bypass the body byte budget).
+            for _ in 0..MAX_HEADERS {
+                if self.framing_line()?.is_empty() {
+                    self.state = BodyState::Done;
+                    return Ok(());
+                }
+            }
+            return Err(bad("too many chunked trailers"));
+        }
+        self.state = BodyState::Chunked {
+            in_chunk: size,
+            first: false,
+        };
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Read for BodyReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(buf.len());
+        buf[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for BodyReader<'_, R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.next_chunk()?;
+        let limit = match self.state {
+            BodyState::Done => return Ok(&[]),
+            BodyState::Sized(n) => n,
+            BodyState::Chunked { in_chunk, .. } => in_chunk,
+        };
+        let buf = self.inner.fill_buf()?;
+        if buf.is_empty() {
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof,
+                HttpError("connection closed mid-body".into()),
+            ));
+        }
+        let n = buf.len().min(usize::try_from(limit).unwrap_or(usize::MAX));
+        Ok(&buf[..n])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        if amt == 0 {
+            return;
+        }
+        self.inner.consume(amt);
+        match &mut self.state {
+            BodyState::Sized(n) => {
+                *n -= amt as u64;
+                if *n == 0 {
+                    self.state = BodyState::Done;
+                }
+            }
+            BodyState::Chunked { in_chunk, .. } => *in_chunk -= amt as u64,
+            BodyState::Done => unreachable!("consume on finished body"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Standard reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        422 => "Unprocessable Content",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response with `Content-Length` framing.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(head: &str) -> Request {
+        read_request(&mut BufReader::new(head.as_bytes()))
+            .unwrap()
+            .unwrap()
+    }
+
+    #[test]
+    fn request_line_and_headers() {
+        let r = parse("POST /query?q=%3Co%2F%3E&q=two+words HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/query");
+        assert_eq!(r.params("q").collect::<Vec<_>>(), vec!["<o/>", "two words"]);
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body_kind().unwrap(), BodyKind::Sized(5));
+        assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_none() {
+        assert!(read_request(&mut BufReader::new(&b""[..]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn oversized_head_is_rejected() {
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_HEAD_BYTES));
+        let err = read_request(&mut BufReader::new(huge.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn sized_body_reads_to_clean_eof() {
+        let mut conn = BufReader::new(&b"hello rest-of-stream"[..]);
+        let mut body = BodyReader::new(&mut conn, BodyKind::Sized(5));
+        let mut out = String::new();
+        body.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello");
+        assert!(body.exhausted());
+        // The transport is positioned exactly after the body.
+        let mut rest = String::new();
+        conn.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, " rest-of-stream");
+    }
+
+    #[test]
+    fn chunked_body_decodes_and_leaves_the_stream_positioned() {
+        let wire = b"5\r\nhello\r\n8;ext=1\r\n, chunks\r\n0\r\nTrailer: x\r\n\r\nNEXT";
+        let mut conn = BufReader::new(&wire[..]);
+        let mut body = BodyReader::new(&mut conn, BodyKind::Chunked);
+        let mut out = String::new();
+        body.read_to_string(&mut out).unwrap();
+        assert_eq!(out, "hello, chunks");
+        assert!(body.exhausted());
+        let mut rest = String::new();
+        conn.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "NEXT");
+    }
+
+    #[test]
+    fn truncated_sized_body_is_an_error() {
+        let mut conn = BufReader::new(&b"hel"[..]);
+        let mut body = BodyReader::new(&mut conn, BodyKind::Sized(5));
+        let mut out = Vec::new();
+        let err = body.read_to_end(&mut out).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn bad_chunk_size_is_an_error() {
+        let mut conn = BufReader::new(&b"zz\r\nhello"[..]);
+        let mut body = BodyReader::new(&mut conn, BodyKind::Chunked);
+        let mut out = Vec::new();
+        assert!(body.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn urlencode_roundtrips_through_form_decode() {
+        let q = r#"<o>{$input/site[@id = "x y"]}</o>"#;
+        assert_eq!(form_decode(&urlencode(q)).unwrap(), q);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "text/plain",
+            &[("x-test", "1".to_string())],
+            b"ok",
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("x-test: 1\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Process-wide serving metrics, rendered in the Prometheus text format.
+//!
+//! Plain `AtomicU64` counters behind an `Arc`: workers increment with
+//! `Relaxed` ordering (monotone counters need no synchronization beyond
+//! atomicity), `GET /metrics` renders a snapshot. Cache statistics are not
+//! duplicated here — the render pulls them live from the shared
+//! [`foxq_service::SharedQueryCache`] so the two views can never drift.
+
+use foxq_service::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints broken out in `foxq_requests_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    Healthz,
+    Metrics,
+    Query,
+    Batch,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 6] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Query,
+        Endpoint::Batch,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn idx(self) -> usize {
+        Self::ALL.iter().position(|e| *e == self).unwrap()
+    }
+}
+
+/// Status codes the server can emit (see [`crate::http::reason`]).
+const CODES: [u16; 9] = [200, 400, 404, 405, 408, 413, 422, 500, 503];
+
+/// Counter registry shared by every worker.
+#[derive(Default)]
+pub struct Metrics {
+    /// Connections accepted over the process lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections currently being served (gauge).
+    pub connections_active: AtomicU64,
+    /// Requests received, by endpoint.
+    requests: [AtomicU64; 6],
+    /// Responses sent, by status code.
+    responses: [AtomicU64; 9],
+    /// Request bytes delivered to request processing (heads and bodies; a
+    /// lingering close's discarded tail is excluded by design).
+    pub bytes_in_total: AtomicU64,
+    /// Response bytes written to sockets.
+    pub bytes_out_total: AtomicU64,
+    /// XML input events parsed across /query and /batch runs.
+    pub input_events_total: AtomicU64,
+    /// Output events produced by successful lanes.
+    pub output_events_total: AtomicU64,
+    /// Query lanes run (one per query per request).
+    pub lane_runs_total: AtomicU64,
+    /// Lanes that ended in a per-lane error (fuel, output budget).
+    pub lane_failures_total: AtomicU64,
+    /// Input events the shared label prefilter withheld from eligible lanes.
+    pub prefilter_skipped_total: AtomicU64,
+    /// Requests whose head failed to parse (no endpoint attributable).
+    pub http_errors_total: AtomicU64,
+}
+
+/// Add to a counter (relaxed; all metrics are monotone or gauge-like).
+pub fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Decrement a gauge.
+pub fn sub(counter: &AtomicU64, n: u64) {
+    counter.fetch_sub(n, Ordering::Relaxed);
+}
+
+fn get(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+impl Metrics {
+    pub fn record_request(&self, endpoint: Endpoint) {
+        add(&self.requests[endpoint.idx()], 1);
+    }
+
+    pub fn record_response(&self, status: u16) {
+        if let Some(i) = CODES.iter().position(|&c| c == status) {
+            add(&self.responses[i], 1);
+        }
+    }
+
+    /// Requests seen on one endpoint (used by tests).
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        get(&self.requests[endpoint.idx()])
+    }
+
+    /// Responses sent with one status code (used by tests).
+    pub fn responses(&self, status: u16) -> u64 {
+        CODES
+            .iter()
+            .position(|&c| c == status)
+            .map_or(0, |i| get(&self.responses[i]))
+    }
+
+    /// Render the Prometheus text exposition, splicing in the query cache's
+    /// live counters.
+    pub fn render(&self, cache: CacheStats) -> String {
+        let mut out = String::with_capacity(2048);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            scalar(&mut out, name, help, "counter", value);
+        };
+        counter(
+            "foxq_connections_total",
+            "Connections accepted.",
+            get(&self.connections_total),
+        );
+        counter(
+            "foxq_bytes_in_total",
+            "Request bytes delivered to request processing.",
+            get(&self.bytes_in_total),
+        );
+        counter(
+            "foxq_bytes_out_total",
+            "Response bytes written to sockets.",
+            get(&self.bytes_out_total),
+        );
+        counter(
+            "foxq_http_errors_total",
+            "Requests whose head failed to parse.",
+            get(&self.http_errors_total),
+        );
+        counter(
+            "foxq_input_events_total",
+            "XML input events parsed across query runs.",
+            get(&self.input_events_total),
+        );
+        counter(
+            "foxq_output_events_total",
+            "Output events produced by successful lanes.",
+            get(&self.output_events_total),
+        );
+        counter(
+            "foxq_lane_runs_total",
+            "Query lanes run (one per query per request).",
+            get(&self.lane_runs_total),
+        );
+        counter(
+            "foxq_lane_failures_total",
+            "Lanes that ended in a per-lane error.",
+            get(&self.lane_failures_total),
+        );
+        counter(
+            "foxq_prefilter_skipped_events_total",
+            "Input events withheld from eligible lanes by the label prefilter.",
+            get(&self.prefilter_skipped_total),
+        );
+        counter(
+            "foxq_query_cache_hits_total",
+            "Query cache lookups answered without compiling.",
+            cache.hits,
+        );
+        counter(
+            "foxq_query_cache_misses_total",
+            "Query cache lookups that required a compile.",
+            cache.misses,
+        );
+        counter(
+            "foxq_query_cache_compiles_total",
+            "Successful compilations performed by the cache.",
+            cache.compiles,
+        );
+        counter(
+            "foxq_query_cache_evictions_total",
+            "Cache entries evicted.",
+            cache.evictions,
+        );
+        scalar(
+            &mut out,
+            "foxq_connections_active",
+            "Connections currently being served.",
+            "gauge",
+            get(&self.connections_active),
+        );
+
+        out.push_str("# HELP foxq_requests_total Requests received, by endpoint.\n");
+        out.push_str("# TYPE foxq_requests_total counter\n");
+        for e in Endpoint::ALL {
+            out.push_str(&format!(
+                "foxq_requests_total{{endpoint=\"{}\"}} {}\n",
+                e.name(),
+                get(&self.requests[e.idx()])
+            ));
+        }
+        out.push_str("# HELP foxq_responses_total Responses sent, by status code.\n");
+        out.push_str("# TYPE foxq_responses_total counter\n");
+        for (i, code) in CODES.iter().enumerate() {
+            out.push_str(&format!(
+                "foxq_responses_total{{code=\"{code}\"}} {}\n",
+                get(&self.responses[i])
+            ));
+        }
+        out
+    }
+}
+
+fn scalar(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_every_family() {
+        let m = Metrics::default();
+        m.record_request(Endpoint::Query);
+        m.record_response(200);
+        add(&m.bytes_in_total, 42);
+        let text = m.render(CacheStats {
+            hits: 7,
+            misses: 2,
+            compiles: 2,
+            evictions: 0,
+        });
+        assert!(text.contains("foxq_requests_total{endpoint=\"query\"} 1"));
+        assert!(text.contains("foxq_responses_total{code=\"200\"} 1"));
+        assert!(text.contains("foxq_bytes_in_total 42"));
+        assert!(text.contains("foxq_query_cache_hits_total 7"));
+        assert!(text.contains("# TYPE foxq_connections_active gauge"));
+    }
+}

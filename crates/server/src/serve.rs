@@ -1,0 +1,659 @@
+//! The long-running server: accept loop, worker pool, request routing.
+//!
+//! Runtime architecture (all `std`, no async runtime):
+//!
+//! * the **acceptor** thread polls a non-blocking `TcpListener` and pushes
+//!   accepted connections onto an `mpsc` queue (polling instead of blocking
+//!   so a shutdown signal is noticed without a wake-up connection);
+//! * a fixed pool of **worker** threads pops connections and serves
+//!   HTTP/1.1 keep-alive request loops off them; per-connection read/write
+//!   timeouts bound how long a slow or dead peer can hold a worker;
+//! * request bodies stream straight off the socket through a
+//!   [`foxq_xml::BoundedReader`] into the XML parser and the transducer
+//!   lanes — a request body is **never buffered whole**, and reading stops
+//!   at `max_body_bytes` (413) rather than at the peer's mercy;
+//! * **graceful shutdown**: a flag flips (via [`ServerHandle::shutdown`] or
+//!   `POST /shutdown`), the acceptor stops accepting and drops the queue,
+//!   workers finish the requests they are serving — answering with
+//!   `connection: close` — and exit; [`ServerHandle::join`] returns once
+//!   every in-flight request has been answered.
+
+use crate::http::{read_request, write_response, BodyKind, BodyReader, Request};
+use crate::metrics::{add, sub, Endpoint, Metrics};
+use foxq_core::stream::{StreamError, StreamLimits};
+use foxq_core::Mft;
+use foxq_service::{
+    run_multi_with_limits, CompileLimits, MultiRun, PrepareError, SharedQueryCache,
+};
+use foxq_xml::{byte_limit_exceeded, BoundedReader, WriterSink, XmlError, XmlReader};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:8080"` (`:0` = ephemeral port).
+    pub addr: String,
+    /// Worker threads (each serves one connection at a time).
+    pub threads: usize,
+    /// Maximum *decoded* request-body bytes before a 413.
+    pub max_body_bytes: u64,
+    /// Capacity of the process-wide prepared-query cache.
+    pub cache_capacity: usize,
+    /// Compile-time bounds on untrusted query text.
+    pub compile_limits: CompileLimits,
+    /// Per-lane streaming bounds (defaults to [`StreamLimits::serving`]).
+    pub stream_limits: StreamLimits,
+    /// Socket read timeout (also bounds how long an idle keep-alive
+    /// connection can occupy a worker).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum `q` parameters accepted by `POST /batch`.
+    pub max_queries_per_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_body_bytes: 256 << 20, // 256 MiB of XML per request
+            cache_capacity: 256,
+            compile_limits: CompileLimits::default(),
+            stream_limits: StreamLimits::serving(),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_queries_per_batch: 64,
+        }
+    }
+}
+
+/// State shared by the acceptor, every worker, and the handle.
+struct Shared {
+    config: ServerConfig,
+    cache: SharedQueryCache,
+    metrics: Arc<Metrics>,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-serving server (useful to learn the ephemeral port
+/// before spawning the threads).
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the configured address. No thread is spawned yet.
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let addr =
+            config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidInput, "unresolvable address")
+            })?;
+        let listener = TcpListener::bind(addr)?;
+        let cache = SharedQueryCache::with_limits(config.cache_capacity, config.compile_limits);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                config,
+                cache,
+                metrics: Arc::new(Metrics::default()),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawn the acceptor and the worker pool; returns immediately.
+    pub fn start(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        self.listener.set_nonblocking(true)?;
+        let threads = self.shared.config.threads.max(1);
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = rx.clone();
+            let shared = self.shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("foxq-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &shared))?,
+            );
+        }
+
+        let shared = self.shared.clone();
+        let listener = self.listener;
+        let acceptor = std::thread::Builder::new()
+            .name("foxq-acceptor".to_string())
+            .spawn(move || accept_loop(&listener, &tx, &shared))?;
+
+        Ok(ServerHandle {
+            addr,
+            shared: self.shared,
+            acceptor,
+            workers,
+        })
+    }
+}
+
+/// Handle to a running server: address, shared metrics, shutdown control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics registry (what `GET /metrics` renders).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        self.shared.metrics.clone()
+    }
+
+    /// The process-wide prepared-query cache.
+    pub fn cache(&self) -> SharedQueryCache {
+        self.shared.cache.clone()
+    }
+
+    /// Whether a shutdown has been signalled (locally or via
+    /// `POST /shutdown`).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Signal shutdown and wait for every in-flight request to drain.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.join();
+    }
+
+    /// Wait until the server exits (a shutdown is signalled and all
+    /// in-flight work has drained).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                add(&shared.metrics.connections_total, 1);
+                if tx.send(stream).is_err() {
+                    break; // every worker is gone
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    // Dropping `tx` unblocks every idle worker's recv with an error.
+}
+
+fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
+    loop {
+        // Hold the lock only for the pop, never while serving.
+        let next = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(stream) = next else {
+            return; // queue closed: shutdown drained
+        };
+        add(&shared.metrics.connections_active, 1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = serve_connection(stream, shared);
+        }));
+        sub(&shared.metrics.connections_active, 1);
+        if outcome.is_err() {
+            // A panicking request must not shrink the pool; the connection
+            // is torn down, everything shared is panic-safe (atomics and a
+            // self-healing cache lock).
+            eprintln!("foxq-server: worker recovered from a panicking request");
+        }
+    }
+}
+
+/// One response, ready to write: status, content type, extra headers, body.
+struct Reply {
+    status: u16,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+    /// False when the request body was not consumed to its framed end —
+    /// the connection cannot be reused without desynchronizing, and the
+    /// close must linger so the response outlives the peer's unsent tail.
+    /// Tracks actual body consumption, *not* the status: an error answer
+    /// to a body-free request keeps its keep-alive connection.
+    reusable: bool,
+}
+
+impl Reply {
+    fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Reply {
+        Reply {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body: body.into(),
+            reusable: true,
+        }
+    }
+
+    fn text(status: u16, body: impl Into<String>) -> Reply {
+        Reply::new(
+            status,
+            "text/plain; charset=utf-8",
+            body.into().into_bytes(),
+        )
+    }
+}
+
+/// Counts request bytes into the shared metrics as they stream in.
+struct CountingReader<R> {
+    inner: R,
+    metrics: Arc<Metrics>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        add(&self.metrics.bytes_in_total, n as u64);
+        Ok(n)
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    let cfg = &shared.config;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(CountingReader {
+        inner: stream,
+        metrics: shared.metrics.clone(),
+    });
+
+    loop {
+        if !wait_for_head(&mut reader, &writer, shared)? {
+            return Ok(()); // peer gone, idle timeout, or draining
+        }
+        let request = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean close between requests
+            Err(e) => {
+                // Head-level garbage: answer 400 when the error is a parse
+                // failure, close silently on transport errors (timeouts on
+                // idle keep-alive connections land here by design).
+                if e.kind() == ErrorKind::InvalidData {
+                    add(&shared.metrics.http_errors_total, 1);
+                    shared.metrics.record_response(400);
+                    let _ = respond(
+                        &mut writer,
+                        shared,
+                        Reply::text(400, format!("{e}\n")),
+                        false,
+                    );
+                }
+                return Ok(());
+            }
+        };
+        let keep_alive_requested = request.keep_alive();
+        let reply = route(&request, &mut reader, shared);
+        let draining = shared.shutdown.load(Ordering::SeqCst);
+        let keep = keep_alive_requested && reply.reusable && !draining;
+        shared.metrics.record_response(reply.status);
+        let unread_body = !reply.reusable;
+        respond(&mut writer, shared, reply, keep)?;
+        if !keep {
+            if unread_body {
+                lingering_close(&writer);
+            }
+            return Ok(());
+        }
+    }
+}
+
+/// Wait until the next request's first byte is available, polling in short
+/// slices so an *idle* keep-alive connection notices a shutdown within
+/// ~100 ms instead of holding the drain for a full `read_timeout` (an idle
+/// connection has no in-flight request to finish). Restores the configured
+/// read timeout before returning, so mid-request stalls keep their normal
+/// bound. `Ok(false)` means close: peer gone, idle too long, or draining.
+fn wait_for_head(
+    reader: &mut impl BufRead,
+    stream: &TcpStream,
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    const POLL: Duration = Duration::from_millis(100);
+    let deadline = std::time::Instant::now() + shared.config.read_timeout;
+    stream.set_read_timeout(Some(POLL))?;
+    let ready = loop {
+        match reader.fill_buf() {
+            Ok([]) => break false, // clean close between requests
+            Ok(_) => break true,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutdown.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
+                    break false;
+                }
+            }
+            Err(_) => break false,
+        }
+    };
+    stream.set_read_timeout(Some(shared.config.read_timeout))?;
+    Ok(ready)
+}
+
+/// Close a connection that still has unread request bytes on the wire
+/// without losing the response: an immediate close would make the kernel
+/// answer the peer's in-flight body with an RST, which may destroy the
+/// buffered response before the peer reads it (the classic early-413
+/// problem). Send FIN, then discard a bounded amount of the remaining body.
+/// Reading here goes through the raw stream, *not* the metrics counter:
+/// `foxq_bytes_in_total` keeps meaning "bytes delivered to request
+/// processing", which is what the never-buffers-the-body tests assert on.
+fn lingering_close(stream: &TcpStream) {
+    const DRAIN_CAP: usize = 1 << 20;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut discard = [0u8; 8192];
+    let mut drained = 0usize;
+    while drained < DRAIN_CAP {
+        match (&mut (&*stream)).read(&mut discard) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+fn respond(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    reply: Reply,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut counting = CountingWriter {
+        inner: writer,
+        metrics: &shared.metrics,
+    };
+    write_response(
+        &mut counting,
+        reply.status,
+        reply.content_type,
+        &reply.headers,
+        &reply.body,
+        keep_alive,
+    )
+}
+
+struct CountingWriter<'a> {
+    inner: &'a mut TcpStream,
+    metrics: &'a Arc<Metrics>,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        add(&self.metrics.bytes_out_total, n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+    let endpoint = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Endpoint::Healthz,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("POST", "/query") => Endpoint::Query,
+        ("POST", "/batch") => Endpoint::Batch,
+        ("POST", "/shutdown") => Endpoint::Shutdown,
+        _ => Endpoint::Other,
+    };
+    shared.metrics.record_request(endpoint);
+
+    // Endpoints that ignore the body can only reuse the connection if
+    // there is no body to desynchronize on.
+    let bodyless = |reply: Reply, request: &Request| -> Reply {
+        let mut reply = reply;
+        reply.reusable = reply.reusable && matches!(request.body_kind(), Ok(BodyKind::Empty));
+        reply
+    };
+
+    match endpoint {
+        Endpoint::Healthz => bodyless(Reply::text(200, "ok\n"), request),
+        Endpoint::Metrics => bodyless(
+            Reply::new(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                shared.metrics.render(shared.cache.stats()).into_bytes(),
+            ),
+            request,
+        ),
+        Endpoint::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            bodyless(Reply::text(200, "draining\n"), request)
+        }
+        Endpoint::Query => handle_query(request, conn, shared),
+        Endpoint::Batch => handle_batch(request, conn, shared),
+        Endpoint::Other => {
+            let known = matches!(
+                request.path.as_str(),
+                "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown"
+            );
+            let status = if known { 405 } else { 404 };
+            bodyless(
+                Reply::text(
+                    status,
+                    format!("{} {}\n", status, crate::http::reason(status)),
+                ),
+                request,
+            )
+        }
+    }
+}
+
+/// Classify a compile failure. The request body was not touched yet, so
+/// the reply is marked non-reusable.
+fn prepare_error_reply(e: &PrepareError) -> Reply {
+    reply_unconsumed(match e {
+        PrepareError::TooLarge { .. } => Reply::text(413, format!("query rejected: {e}\n")),
+        _ => Reply::text(400, format!("query rejected: {e}\n")),
+    })
+}
+
+/// Classify an input-side XML failure (shared by /query and /batch).
+fn xml_error_reply(e: &XmlError, limit: u64) -> Reply {
+    if let XmlError::Io { source, .. } = e {
+        if byte_limit_exceeded(source).is_some() {
+            return Reply::text(
+                413,
+                format!("request body exceeded the limit of {limit} bytes\n"),
+            );
+        }
+        // A transport stall is the peer's fault, not the document's.
+        if matches!(source.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            return Reply::text(408, "timed out reading the request body\n".to_string());
+        }
+    }
+    Reply::text(400, format!("malformed XML input: {e}\n"))
+}
+
+/// Stream the request body through `mfts` in one pass; shared by /query
+/// (N = 1) and /batch. The body is read *while* the engines run — it is
+/// never accumulated anywhere.
+fn run_lanes<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    mfts: &[&Mft],
+) -> Result<MultiRun<WriterSink<Vec<u8>>>, Reply> {
+    let kind = request
+        .body_kind()
+        .map_err(|e| reply_unconsumed(Reply::text(400, format!("{e}\n"))))?;
+    if kind == BodyKind::Empty {
+        // Nothing is on the wire: this error keeps its connection.
+        return Err(Reply::text(
+            400,
+            "missing request body (the XML document)\n",
+        ));
+    }
+    let body = BodyReader::new(conn, kind);
+    let bounded = BoundedReader::new(body, shared.config.max_body_bytes);
+    let reader = XmlReader::new(bounded);
+    let sinks: Vec<_> = mfts.iter().map(|_| WriterSink::new(Vec::new())).collect();
+    add(&shared.metrics.lane_runs_total, mfts.len() as u64);
+    run_multi_with_limits(mfts, reader, sinks, shared.config.stream_limits)
+        .map_err(|e| reply_unconsumed(xml_error_reply(&e, shared.config.max_body_bytes)))
+}
+
+fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+    let mut params = request.params("q");
+    let Some(q) = params.next() else {
+        return reply_unconsumed(Reply::text(400, "missing query parameter q\n"));
+    };
+    if params.next().is_some() {
+        return reply_unconsumed(Reply::text(
+            400,
+            "one q per /query request; use /batch for sets\n",
+        ));
+    }
+    let prepared = match shared.cache.get_or_compile(q) {
+        Ok(p) => p,
+        Err(e) => return prepare_error_reply(&e),
+    };
+    let run = match run_lanes(request, conn, shared, &[prepared.mft()]) {
+        Ok(run) => run,
+        Err(reply) => return reply,
+    };
+    add(&shared.metrics.input_events_total, run.input_events);
+    match run.results.into_iter().next().expect("one lane") {
+        Ok((sink, stats)) => {
+            add(&shared.metrics.output_events_total, stats.output_events);
+            add(
+                &shared.metrics.prefilter_skipped_total,
+                stats.prefiltered_events,
+            );
+            let body = sink.finish().expect("writing to Vec cannot fail");
+            let mut reply = Reply::new(200, "application/xml", body);
+            reply.headers = vec![
+                ("x-foxq-input-events", run.input_events.to_string()),
+                ("x-foxq-output-events", stats.output_events.to_string()),
+                (
+                    "x-foxq-prefiltered-events",
+                    stats.prefiltered_events.to_string(),
+                ),
+                ("x-foxq-peak-live-nodes", stats.peak_live_nodes.to_string()),
+            ];
+            reply
+        }
+        Err(e) => {
+            add(&shared.metrics.lane_failures_total, 1);
+            // The lane died before end-of-input: the body was not drained.
+            reply_unconsumed(stream_error_reply(&e))
+        }
+    }
+}
+
+fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+    let queries: Vec<&str> = request.params("q").collect();
+    if queries.is_empty() {
+        return reply_unconsumed(Reply::text(400, "missing query parameters q\n"));
+    }
+    if queries.len() > shared.config.max_queries_per_batch {
+        return reply_unconsumed(Reply::text(
+            400,
+            format!(
+                "{} queries exceed the batch limit of {}\n",
+                queries.len(),
+                shared.config.max_queries_per_batch
+            ),
+        ));
+    }
+    let mut prepared = Vec::with_capacity(queries.len());
+    for (i, q) in queries.iter().enumerate() {
+        match shared.cache.get_or_compile(q) {
+            Ok(p) => prepared.push(p),
+            Err(e) => {
+                let mut reply = prepare_error_reply(&e);
+                reply.body = format!("query {i} rejected: {e}\n").into_bytes();
+                return reply;
+            }
+        }
+    }
+    let mfts: Vec<&Mft> = prepared.iter().map(|p| p.mft()).collect();
+    let run = match run_lanes(request, conn, shared, &mfts) {
+        Ok(run) => run,
+        Err(reply) => return reply,
+    };
+    add(&shared.metrics.input_events_total, run.input_events);
+
+    let mut body = Vec::new();
+    let mut failures = 0u64;
+    let mut any_ok = false;
+    for (i, result) in run.results.into_iter().enumerate() {
+        body.extend_from_slice(format!("### query {i}\n").as_bytes());
+        match result {
+            Ok((sink, stats)) => {
+                any_ok = true;
+                add(&shared.metrics.output_events_total, stats.output_events);
+                add(
+                    &shared.metrics.prefilter_skipped_total,
+                    stats.prefiltered_events,
+                );
+                body.extend_from_slice(&sink.finish().expect("writing to Vec cannot fail"));
+                body.push(b'\n');
+            }
+            Err(e) => {
+                failures += 1;
+                body.extend_from_slice(format!("error: {e}\n").as_bytes());
+            }
+        }
+    }
+    add(&shared.metrics.lane_failures_total, failures);
+    let mut reply = Reply::new(200, "text/plain; charset=utf-8", body);
+    reply.headers = vec![
+        ("x-foxq-input-events", run.input_events.to_string()),
+        ("x-foxq-failed-lanes", failures.to_string()),
+    ];
+    // If every lane failed, the pass aborted early and the body was not
+    // fully read; the connection cannot be reused.
+    reply.reusable = any_ok;
+    reply
+}
+
+fn stream_error_reply(e: &StreamError) -> Reply {
+    match e {
+        StreamError::Xml(xml) => Reply::text(400, format!("malformed XML input: {xml}\n")),
+        _ => Reply::text(422, format!("query run failed: {e}\n")),
+    }
+}
+
+/// Mark a reply as leaving unread body bytes on the wire.
+fn reply_unconsumed(mut reply: Reply) -> Reply {
+    reply.reusable = false;
+    reply
+}

@@ -63,4 +63,6 @@ pub use multi::{
     run_multi, run_multi_on_forest, run_multi_to_strings, run_multi_with_limits, MultiQueryEngine,
     MultiRun,
 };
-pub use prepared::{CacheStats, CompileLimits, PrepareError, PreparedQuery, QueryCache, QueryMeta};
+pub use prepared::{
+    CacheStats, CompileLimits, PrepareError, PreparedQuery, QueryCache, QueryMeta, SharedQueryCache,
+};

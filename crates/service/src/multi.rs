@@ -12,10 +12,23 @@
 //! [`StreamLimits`] (a stay-move loop, typically) marks only its own lane
 //! failed; the remaining queries keep streaming. Only input-side errors
 //! (malformed XML) abort the whole pass, since every lane shares the input.
+//!
+//! ## The shared label prefilter
+//!
+//! Most translated MFTs are child-path navigators: every state either
+//! reacts to a handful of `(q,σ)`-rules or skips the node with a pure
+//! `q(x2)` default. [`foxq_core::mft::Mft::projection`] detects that shape
+//! statically, and the engine unions the **matched label sets of every
+//! eligible lane**: an event whose label no lane can match is withheld —
+//! with its whole subtree — from all eligible lanes at once, so it costs
+//! one hash probe instead of N rule expansions. A lane whose projection is
+//! label-agnostic (descendant axes, subtree copies, stay loops) simply
+//! passes through and keeps receiving every event; the withheld-event count
+//! is reported per lane in [`StreamStats::prefiltered_events`].
 
 use foxq_core::mft::Mft;
 use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamStats};
-use foxq_forest::{Label, Tree};
+use foxq_forest::{FxHashSet, Label, Tree};
 use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
 use std::io::BufRead;
 
@@ -25,9 +38,33 @@ enum Lane<'m, S> {
     Failed(StreamError),
 }
 
+/// Shared start-tag prefilter state over the eligible lanes.
+struct Prefilter {
+    /// Union of every eligible lane's matched labels: events carrying any
+    /// other label are withheld from the eligible lanes.
+    matched: FxHashSet<Label>,
+    /// Every eligible lane may skip unmatched *text* events too.
+    texts: bool,
+    /// Open-depth inside a currently skipped subtree (0 = delivering).
+    skip_depth: u64,
+    /// Events withheld so far (opens + closes).
+    skipped: u64,
+    /// One entry per *delivered* open event: was it a text label?
+    text_parents: Vec<bool>,
+    /// Currently open delivered text nodes. A skip must never start inside
+    /// a text-rooted subtree: `x1`-of-text-rule subscribers are exempt from
+    /// the projection's requirements and propagate freely within one (text
+    /// nodes only have children in hand-built forests, but correctness must
+    /// not depend on the input being XML-shaped).
+    open_texts: u64,
+}
+
 /// Fan one event stream out to N streaming engines.
 pub struct MultiQueryEngine<'m, S> {
     lanes: Vec<Lane<'m, S>>,
+    /// Lane index → participates in the shared prefilter.
+    eligible: Vec<bool>,
+    filter: Option<Prefilter>,
     running: usize,
     input_events: u64,
 }
@@ -43,13 +80,32 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
         queries: impl IntoIterator<Item = (&'m Mft, S)>,
         limits: StreamLimits,
     ) -> Self {
-        let lanes: Vec<Lane<'m, S>> = queries
-            .into_iter()
-            .map(|(mft, sink)| Lane::Running(Engine::with_limits(mft, sink, limits)))
-            .collect();
+        let mut lanes = Vec::new();
+        let mut eligible = Vec::new();
+        let mut matched: FxHashSet<Label> = FxHashSet::default();
+        let mut texts = true;
+        for (mft, sink) in queries {
+            let projection = mft.projection();
+            eligible.push(projection.elements);
+            if projection.elements {
+                matched.extend(projection.matched);
+                texts &= projection.texts;
+            }
+            lanes.push(Lane::Running(Engine::with_limits(mft, sink, limits)));
+        }
+        let filter = eligible.iter().any(|&e| e).then_some(Prefilter {
+            matched,
+            texts,
+            skip_depth: 0,
+            skipped: 0,
+            text_parents: Vec::new(),
+            open_texts: 0,
+        });
         MultiQueryEngine {
             running: lanes.len(),
             lanes,
+            eligible,
+            filter,
             input_events: 0,
         }
     }
@@ -71,8 +127,39 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
         self.input_events
     }
 
-    fn each_running(&mut self, mut f: impl FnMut(&mut Engine<'m, S>) -> Result<(), StreamError>) {
-        for lane in &mut self.lanes {
+    /// Lanes participating in the shared label prefilter.
+    pub fn prefiltered_lanes(&self) -> usize {
+        match self.filter {
+            Some(_) => self.eligible.iter().filter(|&&e| e).count(),
+            None => 0,
+        }
+    }
+
+    /// Events the prefilter withheld from the eligible lanes so far.
+    pub fn prefiltered_events(&self) -> u64 {
+        self.filter.as_ref().map_or(0, |f| f.skipped)
+    }
+
+    /// Turn the shared prefilter off (every lane then receives every
+    /// event). Must be called before the first event is fed; useful for A/B
+    /// measurements.
+    pub fn disable_prefilter(&mut self) {
+        assert_eq!(self.input_events, 0, "disable_prefilter after events fed");
+        self.filter = None;
+        self.eligible.iter_mut().for_each(|e| *e = false);
+    }
+
+    /// Feed an event to live lanes; `eligible_too = false` withholds it
+    /// from the prefiltered lanes.
+    fn each_running(
+        &mut self,
+        eligible_too: bool,
+        mut f: impl FnMut(&mut Engine<'m, S>) -> Result<(), StreamError>,
+    ) {
+        for (lane, &eligible) in self.lanes.iter_mut().zip(&self.eligible) {
+            if !eligible_too && eligible {
+                continue;
+            }
             if let Lane::Running(engine) = lane {
                 if let Err(e) = f(engine) {
                     *lane = Lane::Failed(e);
@@ -85,21 +172,67 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     /// Feed an opening event (element or text node) to every live lane.
     pub fn open(&mut self, label: &Label) {
         self.input_events += 1;
-        self.each_running(|e| e.open(label));
+        let deliver_all = match &mut self.filter {
+            None => true,
+            Some(f) => {
+                if f.skip_depth > 0 {
+                    f.skip_depth += 1;
+                    f.skipped += 1;
+                    false
+                } else {
+                    let kind_ok = !label.is_text() || f.texts;
+                    if f.open_texts == 0 && kind_ok && !f.matched.contains(label) {
+                        f.skip_depth = 1;
+                        f.skipped += 1;
+                        false
+                    } else {
+                        f.text_parents.push(label.is_text());
+                        f.open_texts += u64::from(label.is_text());
+                        true
+                    }
+                }
+            }
+        };
+        self.each_running(deliver_all, |e| e.open(label));
     }
 
     /// Feed the matching closing event to every live lane.
     pub fn close(&mut self) {
         self.input_events += 1;
-        self.each_running(|e| e.close());
+        let deliver_all = match &mut self.filter {
+            None => true,
+            Some(f) => {
+                if f.skip_depth > 0 {
+                    f.skip_depth -= 1;
+                    f.skipped += 1;
+                    false
+                } else {
+                    if let Some(was_text) = f.text_parents.pop() {
+                        f.open_texts -= u64::from(was_text);
+                    }
+                    true
+                }
+            }
+        };
+        self.each_running(deliver_all, |e| e.close());
     }
 
-    /// Signal end of input; collect each lane's sink and statistics.
+    /// Signal end of input; collect each lane's sink and statistics. Lanes
+    /// the prefilter served report the withheld-event count in
+    /// [`StreamStats::prefiltered_events`].
     pub fn finish(mut self) -> Vec<Result<(S, StreamStats), StreamError>> {
+        let skipped = self.prefiltered_events();
+        let eligible = std::mem::take(&mut self.eligible);
         self.lanes
             .drain(..)
-            .map(|lane| match lane {
-                Lane::Running(engine) => engine.finish(),
+            .zip(eligible)
+            .map(|(lane, eligible)| match lane {
+                Lane::Running(engine) => engine.finish().map(|(sink, mut stats)| {
+                    if eligible {
+                        stats.prefiltered_events = skipped;
+                    }
+                    (sink, stats)
+                }),
                 Lane::Failed(e) => Err(e),
             })
             .collect()
@@ -304,6 +437,98 @@ mod tests {
         // The sole lane died on the first open; the other 2001 events were
         // never pulled from the reader.
         assert_eq!(run.input_events, 1);
+    }
+
+    #[test]
+    fn prefilter_skips_unmatched_subtrees_without_changing_output() {
+        let m = mft_of("<o>{$input/site/people/person/name/text()}</o>");
+        assert!(m.projection().elements, "child-path navigator is eligible");
+        let doc = parse_forest(
+            r#"site(regions(africa(item(name("decoy"))) asia(item()))
+                    people(person(name("Jim") age("33")) person(name("Li"))))"#,
+        )
+        .unwrap();
+        let run = run_multi_on_forest(&[&m], &doc, vec![ForestSink::new()]);
+        let (sink, stats) = run.results.into_iter().next().unwrap().unwrap();
+        let (solo, solo_stats) =
+            foxq_core::stream::run_streaming_on_forest(&m, &doc, ForestSink::new()).unwrap();
+        assert_eq!(
+            forest_to_xml_string(&sink.into_forest()),
+            forest_to_xml_string(&solo.into_forest())
+        );
+        // The regions subtree (and the age leaf) were withheld…
+        assert!(stats.prefiltered_events > 0, "nothing was prefiltered");
+        // …and every input event was either delivered or withheld.
+        assert_eq!(stats.events + stats.prefiltered_events, solo_stats.events);
+        assert_eq!(solo_stats.prefiltered_events, 0);
+    }
+
+    #[test]
+    fn prefilter_never_starts_a_skip_under_a_text_parent() {
+        // The projection exempts x1-of-text-rule callees because text nodes
+        // are leaves in XML; a hand-built forest can violate that, and the
+        // engine must then deliver the text node's children anyway.
+        let m = parse_mft(
+            "s(%ttext(x1) x2) -> %t(qcopy(x1)) s(x2);\
+             s(%t(x1) x2) -> s(x2);\
+             s(eps) -> eps;\
+             qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2);\
+             qcopy(eps) -> eps;",
+        )
+        .unwrap();
+        assert!(m.projection().elements);
+        let text_with_children = Tree {
+            label: foxq_forest::Label::text("T"),
+            children: vec![parse_forest("z(k())").unwrap().remove(0)],
+        };
+        let doc = vec![text_with_children];
+        let run = run_multi_on_forest(&[&m], &doc, vec![ForestSink::new()]);
+        let (sink, stats) = run.results.into_iter().next().unwrap().unwrap();
+        let mut solo = MultiQueryEngine::new(vec![(&m, ForestSink::new())]);
+        solo.disable_prefilter();
+        solo.open(&doc[0].label);
+        solo.open(&doc[0].children[0].label);
+        solo.open(&doc[0].children[0].children[0].label);
+        solo.close();
+        solo.close();
+        solo.close();
+        let (unfiltered, _) = solo.finish().into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            forest_to_xml_string(&sink.into_forest()),
+            forest_to_xml_string(&unfiltered.into_forest()),
+        );
+        // z(k()) sits under the text node: it must have been delivered.
+        assert_eq!(stats.prefiltered_events, 0);
+    }
+
+    #[test]
+    fn agnostic_lanes_pass_through_while_eligible_lanes_skip() {
+        let navigator = mft_of("<o>{$input/site/people/person/name/text()}</o>");
+        let copier =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
+        assert!(!copier.projection().elements);
+        let doc = parse_forest(r#"site(junk(a() b("t")) people(person(name("Li"))))"#).unwrap();
+        let run = run_multi_on_forest(
+            &[&navigator, &copier],
+            &doc,
+            vec![ForestSink::new(), ForestSink::new()],
+        );
+        let mut results = run.results.into_iter();
+        let (nav_sink, nav_stats) = results.next().unwrap().unwrap();
+        let (copy_sink, copy_stats) = results.next().unwrap().unwrap();
+        // The agnostic copier saw everything and reproduced the document.
+        assert_eq!(copy_stats.prefiltered_events, 0);
+        assert_eq!(
+            forest_to_xml_string(&copy_sink.into_forest()),
+            forest_to_xml_string(&doc)
+        );
+        // The navigator skipped the junk subtree, output unchanged.
+        assert!(nav_stats.prefiltered_events > 0);
+        assert_eq!(forest_to_xml_string(&nav_sink.into_forest()), "<o>Li</o>");
+        assert_eq!(
+            nav_stats.events + nav_stats.prefiltered_events,
+            copy_stats.events
+        );
     }
 
     #[test]

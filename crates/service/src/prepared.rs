@@ -244,16 +244,25 @@ struct CacheEntry {
 /// next lookup retries).
 pub struct QueryCache {
     capacity: usize,
+    limits: CompileLimits,
     map: FxHashMap<u64, CacheEntry>,
     tick: u64,
     stats: CacheStats,
 }
 
 impl QueryCache {
-    /// A cache holding at most `capacity` prepared queries (min 1).
+    /// A cache holding at most `capacity` prepared queries (min 1), under
+    /// the default [`CompileLimits`].
     pub fn new(capacity: usize) -> Self {
+        Self::with_limits(capacity, CompileLimits::default())
+    }
+
+    /// [`QueryCache::new`] with explicit compile-time bounds applied to
+    /// every compilation the cache performs.
+    pub fn with_limits(capacity: usize, limits: CompileLimits) -> Self {
         QueryCache {
             capacity: capacity.max(1),
+            limits,
             map: FxHashMap::default(),
             tick: 0,
             stats: CacheStats::default(),
@@ -279,7 +288,7 @@ impl QueryCache {
             // FxHash collision between different texts: recompile in place.
         }
         self.stats.misses += 1;
-        let prepared = Arc::new(PreparedQuery::compile(source)?);
+        let prepared = Arc::new(PreparedQuery::compile_with_limits(source, self.limits)?);
         self.stats.compiles += 1;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             self.evict_lru();
@@ -323,6 +332,68 @@ impl QueryCache {
     /// Hit/miss/compile/eviction counters.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+}
+
+/// A cloneable, thread-safe handle to a process-wide [`QueryCache`].
+///
+/// This is what a multi-worker server shares: every worker compiles through
+/// the same cache (so a hot query compiles once per process, not once per
+/// connection), and an observability endpoint reads [`CacheStats`] from the
+/// same handle without interrupting serving. The mutex is held across the
+/// compilation itself — deliberately: concurrent first requests for the
+/// same hot query then compile it once instead of racing, and compilation
+/// is bounded by [`CompileLimits`] so the hold time is too. Compilation is
+/// pure, so a poisoned lock (a panicking worker) cannot have corrupted
+/// entries and is simply cleared.
+#[derive(Clone)]
+pub struct SharedQueryCache {
+    inner: Arc<std::sync::Mutex<QueryCache>>,
+}
+
+impl SharedQueryCache {
+    /// A shared cache holding at most `capacity` prepared queries.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_limits(capacity, CompileLimits::default())
+    }
+
+    /// [`SharedQueryCache::new`] with explicit compile-time bounds.
+    pub fn with_limits(capacity: usize, limits: CompileLimits) -> Self {
+        SharedQueryCache {
+            inner: Arc::new(std::sync::Mutex::new(QueryCache::with_limits(
+                capacity, limits,
+            ))),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueryCache> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Look up `source`, compiling (and inserting) on a miss.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<PreparedQuery>, PrepareError> {
+        self.lock().get_or_compile(source)
+    }
+
+    /// Hit/miss/compile/eviction counters (a consistent snapshot).
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats()
+    }
+
+    /// Cached entry count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Maximum entry count.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity()
     }
 }
 
@@ -456,5 +527,48 @@ mod tests {
     fn prepared_query_is_send_sync() {
         fn check<T: Send + Sync>() {}
         check::<PreparedQuery>();
+        check::<SharedQueryCache>();
+    }
+
+    #[test]
+    fn shared_cache_serves_concurrent_workers() {
+        let cache = SharedQueryCache::new(4);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for q in [Q1, Q2, Q1, Q3, Q1] {
+                        cache.get_or_compile(q).unwrap();
+                    }
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 20);
+        // Every thread resolves every query; at least the per-thread
+        // repeats hit (two workers may race to compile the same text, so
+        // the compile count is only bounded, not exact).
+        assert!(
+            s.compiles >= 3 && s.compiles <= 12,
+            "compiles {}",
+            s.compiles
+        );
+        assert!(s.hits >= 8, "hits {}", s.hits);
+    }
+
+    #[test]
+    fn cache_compile_limits_are_enforced() {
+        let mut cache = QueryCache::with_limits(
+            2,
+            CompileLimits {
+                max_source_bytes: 64,
+                ..CompileLimits::default()
+            },
+        );
+        let big = format!("<o>{}</o>", " ".repeat(100));
+        assert!(matches!(
+            cache.get_or_compile(&big),
+            Err(PrepareError::TooLarge { .. })
+        ));
     }
 }

@@ -17,8 +17,10 @@ pub enum XmlError {
     },
     /// Input was not valid UTF-8.
     Utf8 { offset: u64 },
-    /// Underlying I/O failure.
-    Io(std::io::Error),
+    /// Underlying I/O failure, tagged with the byte offset the parser had
+    /// reached — a socket that times out or resets mid-document reports
+    /// *where* in the document it died, not just the transport errno.
+    Io { offset: u64, source: std::io::Error },
 }
 
 impl fmt::Display for XmlError {
@@ -43,7 +45,9 @@ impl fmt::Display for XmlError {
                 "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
             ),
             XmlError::Utf8 { offset } => write!(f, "invalid UTF-8 near byte {offset}"),
-            XmlError::Io(e) => write!(f, "I/O error: {e}"),
+            XmlError::Io { offset, source } => {
+                write!(f, "I/O error at byte {offset}: {source}")
+            }
         }
     }
 }
@@ -51,14 +55,15 @@ impl fmt::Display for XmlError {
 impl std::error::Error for XmlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            XmlError::Io(e) => Some(e),
+            XmlError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for XmlError {
-    fn from(e: std::io::Error) -> Self {
-        XmlError::Io(e)
+impl XmlError {
+    /// Wrap an I/O error with the byte offset the reader had reached.
+    pub fn io_at(offset: u64, source: std::io::Error) -> Self {
+        XmlError::Io { offset, source }
     }
 }

@@ -11,13 +11,18 @@
 //! * [`parse_document`] — convenience DOM loader built on the pull parser.
 //! * [`XmlSink`] — the output interface used by the streaming transducer
 //!   engine, with [`CountingSink`] and [`ForestSink`] implementations.
+//! * [`BoundedReader`] — a byte-budget adapter for untrusted transports
+//!   (sockets): reading past its limit fails with a recognizable
+//!   [`ByteLimitExceeded`] instead of buffering without bound.
 
+pub mod bounded;
 pub mod error;
 pub mod event;
 pub mod reader;
 pub mod sink;
 pub mod writer;
 
+pub use bounded::{byte_limit_exceeded, BoundedReader, ByteLimitExceeded};
 pub use error::XmlError;
 pub use event::XmlEvent;
 pub use reader::{WhitespaceMode, XmlReader};

@@ -136,7 +136,11 @@ impl<R: BufRead> XmlReader<R> {
             self.offset += 1;
             return Ok(Some(b));
         }
-        let buf = self.input.fill_buf()?;
+        let offset = self.offset;
+        let buf = self
+            .input
+            .fill_buf()
+            .map_err(|e| XmlError::io_at(offset, e))?;
         if buf.is_empty() {
             return Ok(None);
         }

@@ -6,6 +6,7 @@
 //! foxq compile --no-opt <query.xq>      # print the raw §3 translation
 //! foxq stats <query.xq> [input.xml]     # run and report engine statistics
 //! foxq batch -q a.xq -q b.xq [in.xml …] # N queries, one pass per document
+//! foxq serve --addr 127.0.0.1:8080      # long-running HTTP server
 //! ```
 //!
 //! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
@@ -39,6 +40,7 @@ fn real_main() -> Result<(), String> {
         Some("stats") => cmd_run(&args[1..], true),
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
             Ok(())
@@ -56,6 +58,13 @@ usage:
       answer all queries over each input in a single pass per document;
       with no inputs, one pass over stdin; with several, documents are
       sharded across worker threads. Outputs are labeled '### doc query'.
+
+  foxq serve --addr HOST:PORT [--threads N] [--max-body-bytes N]
+      [--cache-capacity N] [--read-timeout-ms N] [--write-timeout-ms N]
+      long-running HTTP/1.1 server: POST /query?q=<urlencoded query> and
+      POST /batch?q=..&q=.. stream the request body through prepared
+      queries; GET /metrics (Prometheus), GET /healthz, POST /shutdown
+      (graceful drain). Runs until shut down.
 
   run/stats/batch also accept --max-output <events>: abort a run (batch: its
   cell) once its output exceeds that many events (default 1000000000;
@@ -312,6 +321,62 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     if failures > 0 {
         return Err(format!("{failures} query run(s) failed"));
     }
+    Ok(())
+}
+
+/// `foxq serve`: the long-running HTTP front-end.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use foxq::server::{Server, ServerConfig};
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |what: &str| -> Result<&String, String> {
+            i += 1;
+            args.get(i).ok_or(format!("{flag} needs {what}"))
+        };
+        match flag {
+            "--addr" => config.addr = value("HOST:PORT")?.clone(),
+            "--threads" => {
+                config.threads = value("a number")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--max-body-bytes" => {
+                config.max_body_bytes = value("a number")?
+                    .parse()
+                    .map_err(|_| "--max-body-bytes needs a number".to_string())?;
+            }
+            "--cache-capacity" => {
+                config.cache_capacity = value("a number")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity needs a number".to_string())?;
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs a number".to_string())?;
+                config.read_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs a number".to_string())?;
+                config.write_timeout = std::time::Duration::from_millis(ms);
+            }
+            other => return Err(format!("unknown serve flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    let handle = server.start().map_err(|e| format!("cannot start: {e}"))?;
+    eprintln!("foxq-server listening on http://{addr} (POST /shutdown to stop)");
+    handle.join();
+    eprintln!("foxq-server drained and stopped");
     Ok(())
 }
 

@@ -26,7 +26,9 @@
 //! * [`gcx`] — the GCX-substitute streaming baseline used in the evaluation;
 //! * [`gen`] — deterministic XMark/TreeBank/Medline/Protein-like generators;
 //! * [`service`] — the serving layer: prepared-query cache, multi-query
-//!   single-pass engine, parallel batch driver (the `foxq batch` command).
+//!   single-pass engine, parallel batch driver (the `foxq batch` command);
+//! * [`server`] — the network front-end: a hand-rolled HTTP/1.1 server with
+//!   streaming request bodies and Prometheus metrics (`foxq serve`).
 //!
 //! ## Quick start
 //!
@@ -49,6 +51,7 @@ pub use foxq_core as core;
 pub use foxq_forest as forest;
 pub use foxq_gcx as gcx;
 pub use foxq_gen as gen;
+pub use foxq_server as server;
 pub use foxq_service as service;
 pub use foxq_tt as tt;
 pub use foxq_xml as xml;

@@ -1,0 +1,382 @@
+//! Integration suite for `foxq-server`: a real listener on an ephemeral
+//! port, driven by the crate's own minimal HTTP client.
+//!
+//! The acceptance properties of the subsystem:
+//!
+//! 1. **Correct under concurrency** — ≥ 100 concurrent connections, each
+//!    with its own document, all answered, none mixed up.
+//! 2. **Streaming, bounded input** — a request body is never buffered
+//!    whole: an over-limit chunked upload is answered 413 after the server
+//!    has consumed roughly `max_body_bytes`, not the full upload (observed
+//!    through `foxq_bytes_in_total`).
+//! 3. **Observable** — /metrics reflects cache hits for repeated query
+//!    texts and its counters are monotone.
+//! 4. **Graceful shutdown** — a drain signalled mid-request lets the
+//!    in-flight request finish before the server exits.
+
+use foxq::server::client::{self, Client};
+use foxq::server::{Server, ServerConfig};
+use std::time::Duration;
+
+const PERSON_NAMES: &str = "<o>{$input/site/people/person/name/text()}</o>";
+
+fn doc(names: &[&str]) -> Vec<u8> {
+    let mut xml = String::from("<site><regions><africa><item/></africa></regions><people>");
+    for n in names {
+        xml.push_str(&format!("<person><name>{n}</name></person>"));
+    }
+    xml.push_str("</people></site>");
+    xml.into_bytes()
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 8,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    }
+}
+
+fn start(config: ServerConfig) -> foxq::server::ServerHandle {
+    Server::bind(config).unwrap().start().unwrap()
+}
+
+/// Scrape one counter value out of a Prometheus rendering.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
+}
+
+#[test]
+fn health_metrics_and_unknown_routes() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+
+    let ok = client::get(addr, "/healthz").unwrap();
+    assert_eq!((ok.status, ok.text().as_str()), (200, "ok\n"));
+
+    let metrics = client::get(addr, "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .text()
+        .contains("foxq_requests_total{endpoint=\"healthz\"} 1"));
+
+    assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+    // Known path, wrong method.
+    assert_eq!(client::get(addr, "/query").unwrap().status, 405);
+    assert_eq!(client::post(addr, "/healthz", b"x").unwrap().status, 405);
+
+    handle.shutdown();
+}
+
+#[test]
+fn query_round_trip_cache_hits_and_keep_alive() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = client::query_target(PERSON_NAMES);
+
+    // One keep-alive connection, several exchanges.
+    let mut c = Client::connect(addr).unwrap();
+    let r1 = c
+        .request("POST", &target, &[], &doc(&["Jim", "Li"]))
+        .unwrap();
+    assert_eq!((r1.status, r1.text().as_str()), (200, "<o>JimLi</o>"));
+    // The regions decoy subtree was withheld by the label prefilter.
+    let prefiltered: u64 = r1
+        .header("x-foxq-prefiltered-events")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(prefiltered > 0, "prefilter did not engage");
+
+    let r2 = c.request("POST", &target, &[], &doc(&["Ada"])).unwrap();
+    assert_eq!((r2.status, r2.text().as_str()), (200, "<o>Ada</o>"));
+    let r3 = c.request("GET", "/healthz", &[], &[]).unwrap();
+    assert_eq!(r3.status, 200);
+
+    // Same query text compiled once; the second run was a cache hit.
+    let metrics = c.request("GET", "/metrics", &[], &[]).unwrap().text();
+    assert_eq!(metric(&metrics, "foxq_query_cache_compiles_total"), 1);
+    assert!(metric(&metrics, "foxq_query_cache_hits_total") >= 1);
+    assert!(metric(&metrics, "foxq_prefilter_skipped_events_total") >= prefiltered);
+
+    handle.shutdown();
+}
+
+#[test]
+fn batch_answers_n_queries_in_one_pass() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = client::batch_target([PERSON_NAMES, "<n>{$input//item}</n>"]);
+
+    let r = client::post(addr, &target, &doc(&["Jim"])).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(
+        r.text(),
+        "### query 0\n<o>Jim</o>\n### query 1\n<n><item></item></n>\n"
+    );
+    assert_eq!(r.header("x-foxq-failed-lanes"), Some("0"));
+    // Two lanes, one parse: the input-events header counts the shared pass.
+    let events: u64 = r.header("x-foxq-input-events").unwrap().parse().unwrap();
+    let solo = client::post(addr, &client::query_target(PERSON_NAMES), &doc(&["Jim"])).unwrap();
+    let solo_events: u64 = solo.header("x-foxq-input-events").unwrap().parse().unwrap();
+    assert_eq!(events, solo_events);
+
+    handle.shutdown();
+}
+
+#[test]
+fn bad_requests_are_rejected_cleanly() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+
+    // Malformed XML body.
+    let r = client::post(addr, &client::query_target(PERSON_NAMES), b"<a><b>").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("malformed XML"), "{}", r.text());
+
+    // Unparsable query text.
+    let r = client::post(addr, "/query?q=for+%24x+return", b"<a/>").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.text().contains("query rejected"), "{}", r.text());
+
+    // Missing q parameter / missing body.
+    assert_eq!(client::post(addr, "/query", b"<a/>").unwrap().status, 400);
+    let r = Client::connect(addr)
+        .unwrap()
+        .request("POST", &client::query_target(PERSON_NAMES), &[], &[])
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // A query that cannot stream within its fuel: per-run failure is 422.
+    let bomb = "<o>{$input//a//a//a//a//a//a//a//a}</o>";
+    let deep = format!("<a>{}</a>", "<a>".repeat(60) + &"</a>".repeat(60));
+    let r = client::post(addr, &client::query_target(bomb), deep.as_bytes()).unwrap();
+    // Either it completes (200) or trips a serving limit (422) — never 5xx,
+    // never a hung connection.
+    assert!(r.status == 200 || r.status == 422, "status {}", r.status);
+
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_get_413_without_being_buffered() {
+    let config = ServerConfig {
+        max_body_bytes: 4 * 1024,
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.local_addr();
+    let metrics0 = client::get(addr, "/metrics").unwrap().text();
+    let bytes_before = metric(&metrics0, "foxq_bytes_in_total");
+
+    // Content-Length framing: rejected as soon as the budget is exhausted.
+    let big = doc(&vec!["x"; 2000]); // ~60 KiB
+    assert!(big.len() > 32 * 1024);
+    let r = client::post(addr, &client::query_target(PERSON_NAMES), &big).unwrap();
+    assert_eq!(r.status, 413);
+    assert!(r.text().contains("4096 bytes"), "{}", r.text());
+
+    // Chunked framing: the server answers mid-upload; the client may not
+    // even manage to send the whole body.
+    let chunks: Vec<&[u8]> = big.chunks(1024).collect();
+    let mut c = Client::connect(addr).unwrap();
+    let (r, _sent) = c
+        .request_chunked_expecting_early_reply(
+            "POST",
+            &client::query_target(PERSON_NAMES),
+            chunks.iter().copied(),
+        )
+        .unwrap();
+    assert_eq!(r.status, 413);
+
+    // The server consumed ~max_body_bytes per attempt, not the ~120 KiB the
+    // two uploads totalled: the body was streamed against the budget, never
+    // buffered whole.
+    let metrics1 = client::get(addr, "/metrics").unwrap().text();
+    let consumed = metric(&metrics1, "foxq_bytes_in_total") - bytes_before;
+    assert!(
+        consumed < 2 * 16 * 1024,
+        "server consumed {consumed} bytes of two over-limit uploads"
+    );
+    assert_eq!(metric(&metrics1, "foxq_responses_total{code=\"413\"}"), 2);
+
+    handle.shutdown();
+}
+
+#[test]
+fn a_document_larger_than_the_connection_buffer_streams_through() {
+    // The inverse direction: a large *legitimate* document under the limit
+    // streams through chunk by chunk and produces the right answer.
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let names: Vec<String> = (0..3000).map(|i| format!("p{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let big = doc(&refs); // ~100 KiB
+    let chunks: Vec<&[u8]> = big.chunks(1500).collect();
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request_chunked("POST", &client::query_target(PERSON_NAMES), chunks)
+        .unwrap();
+    assert_eq!(r.status, 200);
+    let expected = format!("<o>{}</o>", names.join(""));
+    assert_eq!(r.text(), expected);
+    handle.shutdown();
+}
+
+#[test]
+fn sustains_100_concurrent_connections_with_zero_errors() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    const CLIENTS: usize = 100;
+
+    let results: Vec<Result<(), String>> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(CLIENTS);
+        for i in 0..CLIENTS {
+            joins.push(scope.spawn(move || -> Result<(), String> {
+                let name = format!("client{i}");
+                let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+                // Two requests per connection: exercises keep-alive under load.
+                for _ in 0..2 {
+                    let r = c
+                        .request(
+                            "POST",
+                            &client::query_target(PERSON_NAMES),
+                            &[],
+                            &doc(&[&name]),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    if r.status != 200 {
+                        return Err(format!("status {}", r.status));
+                    }
+                    let expected = format!("<o>{name}</o>");
+                    if r.text() != expected {
+                        return Err(format!("mixed-up response: {}", r.text()));
+                    }
+                }
+                Ok(())
+            }));
+        }
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let failures: Vec<&String> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    assert!(
+        failures.is_empty(),
+        "{} failures: {:?}",
+        failures.len(),
+        &failures[..failures.len().min(5)]
+    );
+
+    let metrics = client::get(addr, "/metrics").unwrap().text();
+    assert!(metric(&metrics, "foxq_connections_total") >= CLIENTS as u64);
+    assert_eq!(metric(&metrics, "foxq_query_cache_compiles_total"), 1);
+    assert!(metric(&metrics, "foxq_query_cache_hits_total") >= (2 * CLIENTS - 1) as u64);
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_counters_are_monotone() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let watched = [
+        "foxq_connections_total",
+        "foxq_bytes_in_total",
+        "foxq_bytes_out_total",
+        "foxq_input_events_total",
+        "foxq_output_events_total",
+        "foxq_lane_runs_total",
+        "foxq_query_cache_hits_total",
+        "foxq_query_cache_misses_total",
+    ];
+    let mut last = vec![0u64; watched.len()];
+    for round in 0..4 {
+        let r = client::post(addr, &client::query_target(PERSON_NAMES), &doc(&["n"])).unwrap();
+        assert_eq!(r.status, 200);
+        let text = client::get(addr, "/metrics").unwrap().text();
+        for (name, prev) in watched.iter().zip(&mut last) {
+            let now = metric(&text, name);
+            assert!(now >= *prev, "{name} went backwards in round {round}");
+            *prev = now;
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_the_in_flight_request() {
+    let config = ServerConfig {
+        threads: 1, // the in-flight request owns the only worker
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.local_addr();
+    let metrics = handle.metrics();
+
+    // Start a chunked /query upload but do not finish the body yet.
+    let mut c = Client::connect(addr).unwrap();
+    use std::io::Write;
+    let target = client::query_target(PERSON_NAMES);
+    let head =
+        format!("POST {target} HTTP/1.1\r\nhost: foxq\r\ntransfer-encoding: chunked\r\n\r\n");
+    let part1 = b"<site><people><person><name>Drain</name></person>";
+    c.raw_writer()
+        .write_all(format!("{head}{:x}\r\n", part1.len()).as_bytes())
+        .unwrap();
+    c.raw_writer().write_all(part1).unwrap();
+    c.raw_writer().write_all(b"\r\n").unwrap();
+    c.raw_writer().flush().unwrap();
+
+    // Wait until the server is demonstrably inside the request…
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while metrics.requests(foxq::server::Endpoint::Query) == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "request never started"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // …then signal shutdown from another thread (it blocks on the drain).
+    let shutdown = std::thread::spawn(move || handle.shutdown());
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Finish the body: the draining server must still answer.
+    let part2 = b"</people></site>";
+    c.raw_writer()
+        .write_all(format!("{:x}\r\n", part2.len()).as_bytes())
+        .unwrap();
+    c.raw_writer().write_all(part2).unwrap();
+    c.raw_writer().write_all(b"\r\n0\r\n\r\n").unwrap();
+    c.raw_writer().flush().unwrap();
+    let r = c.read_response().unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "<o>Drain</o>"));
+
+    shutdown.join().unwrap();
+
+    // The listener is gone: new connections are refused (or reset).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut c) => {
+            assert!(c.request("GET", "/healthz", &[], &[]).is_err());
+        }
+    }
+}
+
+#[test]
+fn shutdown_endpoint_drains_remotely() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let r = client::post(addr, "/shutdown", &[]).unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "draining\n"));
+    // join() returns because the endpoint signalled the drain.
+    handle.join();
+    assert!(Client::connect(addr)
+        .map(|mut c| c.request("GET", "/healthz", &[], &[]).is_err())
+        .unwrap_or(true));
+}

@@ -109,14 +109,24 @@ fn engine_event_counters_match_the_reader() {
         }
     }
     assert_eq!(engine.input_events(), reader.events_read());
+    let mut prefiltered_lanes = 0;
     for r in engine.finish() {
         let (_, stats) = r.unwrap();
-        // Each lane consumed every reader event exactly once, split evenly
-        // between opens and closes (plus the eof tick).
-        assert_eq!(stats.open_events + stats.close_events, reader.events_read());
+        // Each lane accounts for every reader event exactly once: either
+        // delivered (split evenly between opens and closes) or withheld by
+        // the shared label prefilter — never both, never neither.
+        assert_eq!(
+            stats.open_events + stats.close_events + stats.prefiltered_events,
+            reader.events_read()
+        );
         assert_eq!(stats.open_events, stats.close_events);
-        assert_eq!(stats.events, reader.events_read() + 1);
+        assert_eq!(stats.events, stats.open_events + stats.close_events + 1);
+        prefiltered_lanes += usize::from(stats.prefiltered_events > 0);
     }
+    // The pool mixes shapes on purpose: child-path lanes are prefiltered,
+    // while descendant/copying lanes pass through.
+    assert!(prefiltered_lanes > 0, "no lane used the prefilter");
+    assert!(prefiltered_lanes < POOL.len(), "every lane was prefiltered");
 }
 
 #[test]
@@ -156,6 +166,278 @@ fn cache_hit_avoids_retranslation() {
     assert_eq!(cache.stats().evictions, 1);
     cache.get_or_compile(POOL[0]).unwrap();
     assert_eq!(cache.stats().compiles, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Prefilter soundness: randomized on-vs-off agreement
+// ---------------------------------------------------------------------------
+//
+// `Mft::projection()` is a conservative static analysis; its one obligation
+// is that withholding unmatched events from an "eligible" lane never changes
+// that lane's output. These proptests generate transducers *biased toward
+// the eligible shapes* (pure-skip defaults, acyclic stay states, optional
+// text rules) plus general ones, run every document twice — prefilter on
+// and off — and require identical per-lane outcomes.
+
+mod prefilter_agreement {
+    use super::*;
+    use foxq::core::mft::{rhs, Mft, StateId, XVar};
+    use foxq::core::stream::StreamLimits;
+    use foxq::forest::{Forest, Label, SymId, Tree};
+    use foxq::xml::{forest_to_xml_string, ForestSink};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Symbols the transducer knows (interned) …
+    const KNOWN: [&str; 3] = ["a", "b", "c"];
+    /// … and extra document labels it has never heard of (prefilter bait).
+    const UNKNOWN: [&str; 3] = ["d", "e", "f"];
+
+    fn general_rhs(rng: &mut SmallRng, params: &[usize], own: usize, depth: usize) -> Vec<RhsNode> {
+        let len = if depth >= 3 {
+            rng.gen_range(0..=1)
+        } else {
+            rng.gen_range(0..=3)
+        };
+        (0..len)
+            .map(|_| match rng.gen_range(0..6) {
+                0 | 1 => rhs::out(
+                    SymId(rng.gen_range(0..KNOWN.len()) as u32),
+                    general_rhs(rng, params, own, depth + 1),
+                ),
+                2 => rhs::out_current(general_rhs(rng, params, own, depth + 1)),
+                3 if own > 0 => rhs::param(rng.gen_range(0..own)),
+                4 | 5 => {
+                    let callee = rng.gen_range(0..params.len());
+                    let x = if rng.gen_bool(0.5) {
+                        XVar::X1
+                    } else {
+                        XVar::X2
+                    };
+                    let args = (0..params[callee])
+                        .map(|_| general_rhs(rng, params, own, depth + 1))
+                        .collect();
+                    rhs::call(StateId(callee as u32), x, args)
+                }
+                _ => rhs::out(SymId(0), vec![]),
+            })
+            .collect()
+    }
+
+    use foxq::core::RhsNode;
+
+    /// `q(%t(x1)x2, ȳ) → q(x2, ȳ)` — the shape the projection rewards.
+    fn pure_skip(q: usize, own: usize) -> Vec<RhsNode> {
+        vec![rhs::call(
+            StateId(q as u32),
+            XVar::X2,
+            (0..own).map(|i| vec![rhs::param(i)]).collect(),
+        )]
+    }
+
+    /// A stay-state rhs: output nodes, params, and `x0` calls restricted to
+    /// *lower-numbered* states (acyclic, so no stay loops).
+    fn stay_rhs(
+        rng: &mut SmallRng,
+        params: &[usize],
+        own: usize,
+        q: usize,
+        depth: usize,
+    ) -> Vec<RhsNode> {
+        let len = rng.gen_range(0..=2);
+        (0..len)
+            .map(|_| match rng.gen_range(0..4) {
+                0 | 1 => rhs::out(
+                    SymId(rng.gen_range(0..KNOWN.len()) as u32),
+                    if depth < 2 {
+                        stay_rhs(rng, params, own, q, depth + 1)
+                    } else {
+                        vec![]
+                    },
+                ),
+                2 if own > 0 => rhs::param(rng.gen_range(0..own)),
+                3 if q > 0 => {
+                    let callee = rng.gen_range(0..q);
+                    let args = (0..params[callee])
+                        .map(|_| {
+                            if depth < 2 {
+                                stay_rhs(rng, params, own, q, depth + 1)
+                            } else {
+                                vec![]
+                            }
+                        })
+                        .collect();
+                    rhs::call(StateId(callee as u32), XVar::X0, args)
+                }
+                _ => rhs::out(SymId(0), vec![]),
+            })
+            .collect()
+    }
+
+    /// A random MFT biased so that a good fraction is prefilter-eligible.
+    fn random_mft(rng: &mut SmallRng) -> Mft {
+        let mut m = Mft::new();
+        for s in KNOWN {
+            m.alphabet.intern_elem(s);
+        }
+        let nstates = rng.gen_range(1..=3);
+        let params: Vec<usize> = (0..nstates)
+            .map(|i| if i == 0 { 0 } else { rng.gen_range(0..=2) })
+            .collect();
+        for (i, &p) in params.iter().enumerate() {
+            m.add_state(format!("q{i}"), p);
+        }
+        m.initial = StateId(0);
+        for q in 0..nstates {
+            let own = params[q];
+            let sid = StateId(q as u32);
+            for s in 0..rng.gen_range(0..=KNOWN.len()) {
+                m.set_sym_rule(sid, SymId(s as u32), general_rhs(rng, &params, own, 0));
+            }
+            match rng.gen_range(0..4) {
+                // Half the states: the skippable child-path shape.
+                0 | 1 => m.set_default_rule(sid, pure_skip(q, own)),
+                // A quarter: `%`-shorthand stay states (no symbol rules).
+                2 => {
+                    let body = stay_rhs(rng, &params, own, q, 0);
+                    m.rules[q].by_sym.clear();
+                    m.rules[q].text_default = None;
+                    m.set_stay_rule(sid, body);
+                }
+                // The rest: arbitrary (these lanes go pass-through).
+                _ => m.set_default_rule(sid, general_rhs(rng, &params, own, 0)),
+            }
+            if !m.is_stay_state(sid) {
+                if rng.gen_bool(0.4) {
+                    let body = if rng.gen_bool(0.5) {
+                        pure_skip(q, own)
+                    } else {
+                        general_rhs(rng, &params, own, 0)
+                    };
+                    m.set_text_rule(sid, body);
+                }
+                if m.rules[q].default != m.rules[q].eps {
+                    m.set_eps_rule(sid, general_rhs_eps(rng, own));
+                }
+            }
+        }
+        m.validate().unwrap();
+        m
+    }
+
+    /// A call-free ε-rhs (ε-rules may only use x0; keep them ground).
+    fn general_rhs_eps(rng: &mut SmallRng, own: usize) -> Vec<RhsNode> {
+        (0..rng.gen_range(0..=2))
+            .map(|_| {
+                if own > 0 && rng.gen_bool(0.3) {
+                    rhs::param(rng.gen_range(0..own))
+                } else {
+                    rhs::out(SymId(rng.gen_range(0..KNOWN.len()) as u32), vec![])
+                }
+            })
+            .collect()
+    }
+
+    /// Random forest mixing known labels, unknown labels, and text leaves.
+    fn random_input(rng: &mut SmallRng) -> Forest {
+        fn forest(rng: &mut SmallRng, budget: &mut usize, depth: usize) -> Forest {
+            let mut out = Vec::new();
+            while *budget > 0 && out.len() < 3 && rng.gen_bool(0.7) {
+                *budget -= 1;
+                let label = match rng.gen_range(0..5) {
+                    0 => Label::text("t"),
+                    1 | 2 => Label::elem(UNKNOWN[rng.gen_range(0..UNKNOWN.len())]),
+                    _ => Label::elem(KNOWN[rng.gen_range(0..KNOWN.len())]),
+                };
+                let children = if depth < 4 && !label.is_text() {
+                    forest(rng, budget, depth + 1)
+                } else {
+                    vec![]
+                };
+                out.push(Tree { label, children });
+            }
+            out
+        }
+        let mut budget = rng.gen_range(1..16usize);
+        forest(rng, &mut budget, 0)
+    }
+
+    /// Run `mfts` over `doc` through a `MultiQueryEngine`, with or without
+    /// the prefilter; per-lane serialized output or error string.
+    fn run(mfts: &[&Mft], doc: &Forest, prefilter: bool) -> (Vec<Result<String, String>>, u64) {
+        let limits = StreamLimits {
+            max_output_events: 200_000,
+            ..StreamLimits::default()
+        };
+        let mut engine =
+            MultiQueryEngine::with_limits(mfts.iter().map(|m| (*m, ForestSink::new())), limits);
+        if !prefilter {
+            engine.disable_prefilter();
+        }
+        fn feed<S: foxq::xml::XmlSink>(e: &mut MultiQueryEngine<'_, S>, t: &Tree) {
+            e.open(&t.label);
+            for c in &t.children {
+                feed(e, c);
+            }
+            e.close();
+        }
+        for t in doc {
+            feed(&mut engine, t);
+        }
+        let skipped = engine.prefiltered_events();
+        let results = engine
+            .finish()
+            .into_iter()
+            .map(|r| {
+                r.map(|(sink, _)| forest_to_xml_string(&sink.into_forest()))
+                    .map_err(|e| e.to_string())
+            })
+            .collect();
+        (results, skipped)
+    }
+
+    pub fn check_agreement(seed: u64) -> u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mfts: Vec<Mft> = (0..rng.gen_range(1..=3))
+            .map(|_| random_mft(&mut rng))
+            .collect();
+        let refs: Vec<&Mft> = mfts.iter().collect();
+        let mut skipped_total = 0;
+        for _ in 0..3 {
+            let doc = random_input(&mut rng);
+            let (filtered, skipped) = run(&refs, &doc, true);
+            let (unfiltered, zero) = run(&refs, &doc, false);
+            assert_eq!(zero, 0);
+            for (lane, (f, u)) in filtered.iter().zip(&unfiltered).enumerate() {
+                assert_eq!(
+                    f,
+                    u,
+                    "seed {seed}: lane {lane} diverged under the prefilter\n\
+                     mft:\n{:?}\ndoc: {}",
+                    mfts[lane],
+                    forest_to_xml_string(&doc)
+                );
+            }
+            skipped_total += skipped;
+        }
+        skipped_total
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn prefilter_on_and_off_agree_on_random_transducers(seed in any::<u64>()) {
+        prefilter_agreement::check_agreement(seed);
+    }
+}
+
+#[test]
+fn prefilter_agreement_seeds_actually_exercise_skipping() {
+    // Guard against the generator drifting into never-eligible shapes: over
+    // a fixed seed range, a healthy share of runs must skip something.
+    let skipped: u64 = (0..64).map(prefilter_agreement::check_agreement).sum();
+    assert!(skipped > 0, "no random case ever engaged the prefilter");
 }
 
 proptest! {
