@@ -20,9 +20,10 @@
 //! times; `ns` is then the median and the trailing columns carry the robust
 //! statistics of the criterion stand-in (mean ± stddev over the samples
 //! surviving a 3.5·MAD outlier cut). Rows cover the sections that run
-//! engines over inputs — the figure panels and the ablation; `--table 1`
-//! (dataset shapes) and `--compose` (composition construction timings)
-//! print to stdout only.
+//! engines over inputs — the figure panels, the ablation, and the
+//! `--store` tape comparison (engines `reparse`, `replay`, `replay-seek`);
+//! `--table 1` (dataset shapes) and `--compose` (composition construction
+//! timings) print to stdout only.
 
 use criterion::Summary;
 use foxq_bench::{
@@ -64,6 +65,10 @@ fn main() {
                 ablation(&sizes, samples, &mut csv);
                 did_something = true;
             }
+            "--store" => {
+                store_replay(&sizes, samples, &mut csv);
+                did_something = true;
+            }
             "--compose" => {
                 compose_table();
                 did_something = true;
@@ -81,6 +86,7 @@ fn main() {
             figure(f, &sizes, samples, &mut csv);
         }
         ablation(&sizes, samples, &mut csv);
+        store_replay(&sizes, samples, &mut csv);
         compose_table();
     }
 }
@@ -119,7 +125,7 @@ impl CsvLog {
         &mut self,
         section: &str,
         query: &str,
-        engine: Engine,
+        engine: &str,
         input: &str,
         input_bytes: usize,
         cell: Option<&(RunResult, Summary)>,
@@ -130,8 +136,7 @@ impl CsvLog {
         match cell {
             Some((r, s)) => writeln!(
                 out,
-                "{section},{query},{},{input},{input_bytes},{},{},{},{},{},{},{},{}",
-                engine.name(),
+                "{section},{query},{engine},{input},{input_bytes},{},{},{},{},{},{},{},{}",
                 s.median.as_nanos(),
                 r.peak_nodes,
                 r.output_nodes,
@@ -143,8 +148,7 @@ impl CsvLog {
             ),
             None => writeln!(
                 out,
-                "{section},{query},{},{input},{input_bytes},NA,NA,NA,NA,NA,NA,NA,NA",
-                engine.name()
+                "{section},{query},{engine},{input},{input_bytes},NA,NA,NA,NA,NA,NA,NA,NA",
             ),
         }
         .expect("csv write");
@@ -233,7 +237,7 @@ fn figure(fig: &str, sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         let bytes = input_bytes(csv, &input);
         let mut cell = |e| {
             let r = run_cell(e, &c, &input, samples);
-            csv.row(fig, qname, e, &label, bytes, r.as_ref());
+            csv.row(fig, qname, e.name(), &label, bytes, r.as_ref());
             match r {
                 Some((r, s)) => (
                     format!("{:.1}", s.median.as_secs_f64() * 1e3),
@@ -298,7 +302,7 @@ fn ablation(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         csv.row(
             "ablation",
             name,
-            Engine::MftNoOpt,
+            Engine::MftNoOpt.name(),
             "xmark",
             in_bytes,
             Some(&un),
@@ -306,7 +310,7 @@ fn ablation(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         csv.row(
             "ablation",
             name,
-            Engine::MftOpt,
+            Engine::MftOpt.name(),
             "xmark",
             in_bytes,
             Some(&op),
@@ -325,6 +329,109 @@ fn ablation(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         );
     }
     println!("(st = states, pm = max parameters; the paper reports ~1 order of magnitude)");
+}
+
+/// foxq-store: reparse vs tape replay vs tape replay with seek skipping,
+/// on a prefilter-eligible XMark navigator.
+fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
+    use foxq_core::stream::StreamLimits;
+    use foxq_service::{run_multi, run_multi_on_tape, PreparedQuery, QuerySetPlan};
+    use foxq_store::{ingest_xml_to_tape, TapeReader};
+    use std::io::Cursor;
+
+    const QNAME: &str = "people-names";
+    const QUERY: &str = "<o>{$input/site/people/person/name/text()}</o>";
+    let prepared = PreparedQuery::compile(QUERY).expect("store query compiles");
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+
+    println!("\n== foxq-store: XML reparse vs FET1 tape replay (query {QNAME}) ==");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14} {:>10} {:>12}",
+        "input", "reparse.ms", "replay.ms", "replay+seek.ms", "speedup", "seek.bytes"
+    );
+    for &size in sizes {
+        let forest = foxq_gen::generate(Dataset::Xmark, size, 0xF0E5);
+        let xml = foxq_xml::forest_to_xml_string(&forest).into_bytes();
+        let (out, _, _) =
+            ingest_xml_to_tape(&xml[..], Cursor::new(Vec::new())).expect("tape write");
+        let tape = out.into_inner();
+        let label = format!("{:.1}MiB", size as f64 / (1 << 20) as f64);
+
+        // Each engine returns (elapsed, peak_nodes, output_events, seek_bytes).
+        let measure = |f: &mut dyn FnMut() -> (usize, u64, u64)| {
+            let mut durations = Vec::with_capacity(samples.max(1));
+            let mut rep = (0usize, 0u64, 0u64);
+            for _ in 0..samples.max(1) {
+                let start = Instant::now();
+                rep = f();
+                durations.push(start.elapsed());
+            }
+            let summary = criterion::summarize(&durations).expect("at least one sample");
+            (summary, rep)
+        };
+        let lane_stats = |run: &foxq_service::MultiRun<foxq_xml::NullSink>| {
+            let (_, stats) = run.results[0].as_ref().expect("lane succeeded");
+            (
+                stats.peak_live_nodes,
+                stats.output_events,
+                run.seek_skipped_bytes,
+            )
+        };
+
+        let (reparse_s, reparse_r) = measure(&mut || {
+            let run = run_multi(
+                &[mft],
+                foxq_xml::XmlReader::new(&xml[..]),
+                vec![foxq_xml::NullSink],
+            )
+            .expect("reparse run");
+            lane_stats(&run)
+        });
+        let (replay_s, replay_r) = measure(&mut || {
+            let reader = TapeReader::new(Cursor::new(&tape[..])).expect("tape open");
+            let run = run_multi(&[mft], reader, vec![foxq_xml::NullSink]).expect("replay run");
+            lane_stats(&run)
+        });
+        let (seek_s, seek_r) = measure(&mut || {
+            let reader = TapeReader::new(Cursor::new(&tape[..])).expect("tape open");
+            let run = run_multi_on_tape(
+                &[mft],
+                reader,
+                vec![foxq_xml::NullSink],
+                StreamLimits::default(),
+                &plan,
+            )
+            .expect("seek run");
+            lane_stats(&run)
+        });
+        assert_eq!(reparse_r.1, seek_r.1, "outputs must agree");
+
+        for (engine, s, r) in [
+            ("reparse", &reparse_s, &reparse_r),
+            ("replay", &replay_s, &replay_r),
+            ("replay-seek", &seek_s, &seek_r),
+        ] {
+            let cell = (
+                RunResult {
+                    elapsed: s.median,
+                    peak_nodes: r.0,
+                    output_nodes: r.1,
+                },
+                *s,
+            );
+            csv.row("store", QNAME, engine, &label, xml.len(), Some(&cell));
+        }
+        println!(
+            "{label:<22} {:>12.1} {:>12.1} {:>14.1} {:>9.1}x {:>12}",
+            reparse_s.median.as_secs_f64() * 1e3,
+            replay_s.median.as_secs_f64() * 1e3,
+            seek_s.median.as_secs_f64() * 1e3,
+            reparse_s.median.as_secs_f64() / seek_s.median.as_secs_f64().max(1e-9),
+            seek_r.2,
+        );
+    }
+    println!("(tape replay skips XML tokenization; +seek never decodes prefiltered subtrees)");
 }
 
 /// §4.2 / Lemma 2: stay-move composition is quadratic, the classical

@@ -31,10 +31,9 @@
 
 use crate::mft::{Mft, OutLabel, Rhs, RhsNode, StateId, XVar};
 use foxq_forest::{Label, Tree};
-use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
+use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader, XmlSink};
 use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::io::BufRead;
 use std::rc::Rc;
 
 /// The output-event budget [`PreparedQuery`](../../foxq_service) serving and
@@ -134,6 +133,12 @@ pub struct StreamStats {
     /// behalf (they were never fed, so they appear in no other counter).
     /// Always 0 for solo runs; set by `foxq_service::MultiQueryEngine`.
     pub prefiltered_events: u64,
+    /// Tape bytes an upstream seekable event source (`foxq_store`) jumped
+    /// over instead of scanning, on this engine's behalf. The events inside
+    /// those bytes are counted in [`StreamStats::prefiltered_events`];
+    /// this records how much input never even had to be decoded. Always 0
+    /// when the input is parsed XML.
+    pub seek_skipped_bytes: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -676,25 +681,26 @@ impl<'m, S: XmlSink> Engine<'m, S> {
 // Drivers
 // ---------------------------------------------------------------------------
 
-/// Run an MFT over an XML byte stream, pushing output into `sink`.
-pub fn run_streaming<R: BufRead, S: XmlSink>(
+/// Run an MFT over any [`EventSource`] (an [`XmlReader`], a
+/// `foxq_store::TapeReader`, …), pushing output into `sink`.
+pub fn run_streaming<E: EventSource, S: XmlSink>(
     mft: &Mft,
-    reader: XmlReader<R>,
+    events: E,
     sink: S,
 ) -> Result<(S, StreamStats), StreamError> {
-    run_streaming_with_limits(mft, reader, sink, StreamLimits::default())
+    run_streaming_with_limits(mft, events, sink, StreamLimits::default())
 }
 
 /// [`run_streaming`] under explicit resource limits.
-pub fn run_streaming_with_limits<R: BufRead, S: XmlSink>(
+pub fn run_streaming_with_limits<E: EventSource, S: XmlSink>(
     mft: &Mft,
-    mut reader: XmlReader<R>,
+    mut events: E,
     sink: S,
     limits: StreamLimits,
 ) -> Result<(S, StreamStats), StreamError> {
     let mut engine = Engine::with_limits(mft, sink, limits);
     loop {
-        match reader.next_event()? {
+        match events.next_event()? {
             XmlEvent::Open(label) => engine.open(&label)?,
             XmlEvent::Close(_) => engine.close()?,
             XmlEvent::Eof => return engine.finish(),

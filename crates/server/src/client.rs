@@ -201,6 +201,11 @@ pub fn query_target(query: &str) -> String {
     format!("/query?q={}", urlencode(query))
 }
 
+/// Build a `/query` target that runs over a stored corpus document.
+pub fn query_doc_target(query: &str, doc: &str) -> String {
+    format!("/query?q={}&doc={}", urlencode(query), urlencode(doc))
+}
+
 /// Build a `/batch` target for a set of query texts.
 pub fn batch_target<'a>(queries: impl IntoIterator<Item = &'a str>) -> String {
     let params: Vec<String> = queries

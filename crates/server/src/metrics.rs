@@ -16,16 +16,19 @@ pub enum Endpoint {
     Metrics,
     Query,
     Batch,
+    /// `GET /corpus` (manifest) and `POST /corpus/{id}` (ingest).
+    Corpus,
     Shutdown,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Query,
         Endpoint::Batch,
+        Endpoint::Corpus,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -36,6 +39,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Query => "query",
             Endpoint::Batch => "batch",
+            Endpoint::Corpus => "corpus",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
@@ -57,7 +61,7 @@ pub struct Metrics {
     /// Connections currently being served (gauge).
     pub connections_active: AtomicU64,
     /// Requests received, by endpoint.
-    requests: [AtomicU64; 6],
+    requests: [AtomicU64; 7],
     /// Responses sent, by status code.
     responses: [AtomicU64; 9],
     /// Request bytes delivered to request processing (heads and bodies; a
@@ -75,6 +79,12 @@ pub struct Metrics {
     pub lane_failures_total: AtomicU64,
     /// Input events the shared label prefilter withheld from eligible lanes.
     pub prefilter_skipped_total: AtomicU64,
+    /// Tape bytes seeked over (never decoded) on corpus query runs.
+    pub seek_skipped_bytes_total: AtomicU64,
+    /// Queries answered from a stored tape (`/query?doc=` hits).
+    pub corpus_hits_total: AtomicU64,
+    /// Documents ingested into the corpus (`POST /corpus/{id}`).
+    pub corpus_ingests_total: AtomicU64,
     /// Requests whose head failed to parse (no endpoint attributable).
     pub http_errors_total: AtomicU64,
 }
@@ -118,8 +128,9 @@ impl Metrics {
     }
 
     /// Render the Prometheus text exposition, splicing in the query cache's
-    /// live counters.
-    pub fn render(&self, cache: CacheStats) -> String {
+    /// live counters and (when a corpus is configured) the stored-document
+    /// count.
+    pub fn render(&self, cache: CacheStats, corpus_docs: Option<u64>) -> String {
         let mut out = String::with_capacity(2048);
         let mut counter = |name: &str, help: &str, value: u64| {
             scalar(&mut out, name, help, "counter", value);
@@ -170,6 +181,21 @@ impl Metrics {
             get(&self.prefilter_skipped_total),
         );
         counter(
+            "foxq_seek_skipped_bytes_total",
+            "Tape bytes seeked over (never decoded) on corpus query runs.",
+            get(&self.seek_skipped_bytes_total),
+        );
+        counter(
+            "foxq_corpus_hits_total",
+            "Queries answered from a stored tape (/query?doc=).",
+            get(&self.corpus_hits_total),
+        );
+        counter(
+            "foxq_corpus_ingests_total",
+            "Documents ingested into the corpus.",
+            get(&self.corpus_ingests_total),
+        );
+        counter(
             "foxq_query_cache_hits_total",
             "Query cache lookups answered without compiling.",
             cache.hits,
@@ -196,6 +222,15 @@ impl Metrics {
             "gauge",
             get(&self.connections_active),
         );
+        if let Some(docs) = corpus_docs {
+            scalar(
+                &mut out,
+                "foxq_corpus_docs",
+                "Documents currently stored in the corpus.",
+                "gauge",
+                docs,
+            );
+        }
 
         out.push_str("# HELP foxq_requests_total Requests received, by endpoint.\n");
         out.push_str("# TYPE foxq_requests_total counter\n");
@@ -234,16 +269,24 @@ mod tests {
         m.record_request(Endpoint::Query);
         m.record_response(200);
         add(&m.bytes_in_total, 42);
-        let text = m.render(CacheStats {
+        let cache = CacheStats {
             hits: 7,
             misses: 2,
             compiles: 2,
             evictions: 0,
-        });
+        };
+        let text = m.render(cache, Some(3));
         assert!(text.contains("foxq_requests_total{endpoint=\"query\"} 1"));
         assert!(text.contains("foxq_responses_total{code=\"200\"} 1"));
         assert!(text.contains("foxq_bytes_in_total 42"));
         assert!(text.contains("foxq_query_cache_hits_total 7"));
         assert!(text.contains("# TYPE foxq_connections_active gauge"));
+        assert!(text.contains("foxq_seek_skipped_bytes_total 0"));
+        assert!(text.contains("foxq_corpus_hits_total 0"));
+        assert!(text.contains("foxq_corpus_docs 3"));
+        // Without a corpus the gauge is absent but the counters remain.
+        let text = m.render(cache, None);
+        assert!(!text.contains("foxq_corpus_docs"));
+        assert!(text.contains("foxq_corpus_ingests_total 0"));
     }
 }

@@ -23,14 +23,17 @@ use crate::metrics::{add, sub, Endpoint, Metrics};
 use foxq_core::stream::{StreamError, StreamLimits};
 use foxq_core::Mft;
 use foxq_service::{
-    run_multi_with_limits, CompileLimits, MultiRun, PrepareError, SharedQueryCache,
+    run_multi_on_tape, run_multi_with_limits, CompileLimits, MultiRun, PrepareError, PreparedQuery,
+    SharedQueryCache,
 };
+use foxq_store::corpus::valid_doc_id;
+use foxq_store::{ingest_xml_to_tmp, Corpus, StoreError, TapeReader};
 use foxq_xml::{byte_limit_exceeded, BoundedReader, WriterSink, XmlError, XmlReader};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Configuration of a [`Server`].
@@ -55,6 +58,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Maximum `q` parameters accepted by `POST /batch`.
     pub max_queries_per_batch: usize,
+    /// Corpus directory for the document-store endpoints
+    /// (`POST /corpus/{id}`, `GET /corpus`, `POST /query?doc=`). `None`
+    /// disables them (503).
+    pub corpus_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +78,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_queries_per_batch: 64,
+            corpus_dir: None,
         }
     }
 }
@@ -79,8 +87,27 @@ impl Default for ServerConfig {
 struct Shared {
     config: ServerConfig,
     cache: SharedQueryCache,
+    /// The document store, when `--corpus` is configured. The lock is held
+    /// only for manifest operations (resolve/commit/list), never across an
+    /// ingest parse or a tape replay.
+    corpus: Option<Mutex<Corpus>>,
+    /// Uniquifies concurrent ingest temp files.
+    ingest_seq: AtomicU64,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Lock the corpus (compile-pure state: a poisoned lock is recovered).
+    fn corpus(&self) -> Option<MutexGuard<'_, Corpus>> {
+        self.corpus
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+
+    fn corpus_docs(&self) -> Option<u64> {
+        self.corpus().map(|c| c.len() as u64)
+    }
 }
 
 /// A bound, not-yet-serving server (useful to learn the ephemeral port
@@ -99,11 +126,19 @@ impl Server {
             })?;
         let listener = TcpListener::bind(addr)?;
         let cache = SharedQueryCache::with_limits(config.cache_capacity, config.compile_limits);
+        let corpus = match &config.corpus_dir {
+            Some(dir) => Some(Mutex::new(Corpus::open(dir).map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidInput, format!("corpus {dir}: {e}"))
+            })?)),
+            None => None,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 config,
                 cache,
+                corpus,
+                ingest_seq: AtomicU64::new(0),
                 metrics: Arc::new(Metrics::default()),
                 shutdown: AtomicBool::new(false),
             }),
@@ -430,6 +465,10 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
         ("GET", "/metrics") => Endpoint::Metrics,
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/batch") => Endpoint::Batch,
+        ("GET", "/corpus") => Endpoint::Corpus,
+        ("POST", p) if p.strip_prefix("/corpus/").is_some_and(|id| !id.is_empty()) => {
+            Endpoint::Corpus
+        }
         ("POST", "/shutdown") => Endpoint::Shutdown,
         _ => Endpoint::Other,
     };
@@ -449,7 +488,10 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
             Reply::new(
                 200,
                 "text/plain; version=0.0.4; charset=utf-8",
-                shared.metrics.render(shared.cache.stats()).into_bytes(),
+                shared
+                    .metrics
+                    .render(shared.cache.stats(), shared.corpus_docs())
+                    .into_bytes(),
             ),
             request,
         ),
@@ -459,11 +501,21 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
         }
         Endpoint::Query => handle_query(request, conn, shared),
         Endpoint::Batch => handle_batch(request, conn, shared),
+        Endpoint::Corpus => {
+            if request.method == "GET" {
+                bodyless(handle_corpus_list(shared), request)
+            } else {
+                let id = request.path["/corpus/".len()..].to_string();
+                handle_corpus_ingest(request, conn, shared, &id)
+            }
+        }
         Endpoint::Other => {
-            let known = matches!(
-                request.path.as_str(),
-                "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown"
-            );
+            let known = request.path == "/corpus"
+                || request.path.starts_with("/corpus/")
+                || matches!(
+                    request.path.as_str(),
+                    "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown"
+                );
             let status = if known { 405 } else { 404 };
             bodyless(
                 Reply::text(
@@ -545,9 +597,17 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
         Ok(p) => p,
         Err(e) => return prepare_error_reply(&e),
     };
-    let run = match run_lanes(request, conn, shared, &[prepared.mft()]) {
-        Ok(run) => run,
-        Err(reply) => return reply,
+    let doc = request.params("doc").next().map(String::from);
+    let run = match &doc {
+        // `?doc=<id>`: replay the stored tape — no request body, no parse.
+        Some(id) => match run_on_tape(request, shared, &prepared, id) {
+            Ok(run) => run,
+            Err(reply) => return reply,
+        },
+        None => match run_lanes(request, conn, shared, &[prepared.mft()]) {
+            Ok(run) => run,
+            Err(reply) => return reply,
+        },
     };
     add(&shared.metrics.input_events_total, run.input_events);
     match run.results.into_iter().next().expect("one lane") {
@@ -557,6 +617,13 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
                 &shared.metrics.prefilter_skipped_total,
                 stats.prefiltered_events,
             );
+            if doc.is_some() {
+                add(&shared.metrics.corpus_hits_total, 1);
+                add(
+                    &shared.metrics.seek_skipped_bytes_total,
+                    run.seek_skipped_bytes,
+                );
+            }
             let body = sink.finish().expect("writing to Vec cannot fail");
             let mut reply = Reply::new(200, "application/xml", body);
             reply.headers = vec![
@@ -568,14 +635,163 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
                 ),
                 ("x-foxq-peak-live-nodes", stats.peak_live_nodes.to_string()),
             ];
+            if doc.is_some() {
+                reply.headers.push((
+                    "x-foxq-seek-skipped-bytes",
+                    run.seek_skipped_bytes.to_string(),
+                ));
+            }
             reply
         }
         Err(e) => {
             add(&shared.metrics.lane_failures_total, 1);
-            // The lane died before end-of-input: the body was not drained.
-            reply_unconsumed(stream_error_reply(&e))
+            if doc.is_some() {
+                // No request body was involved: the connection is clean.
+                stream_error_reply(&e)
+            } else {
+                // The lane died before end-of-input: the body was not
+                // drained.
+                reply_unconsumed(stream_error_reply(&e))
+            }
         }
     }
+}
+
+/// `POST /query?doc=<id>`: run one prepared query over a stored tape,
+/// seeking over prefilter-withheld subtrees. The request must carry no
+/// body (the document is already in the store).
+fn run_on_tape(
+    request: &Request,
+    shared: &Shared,
+    prepared: &PreparedQuery,
+    id: &str,
+) -> Result<MultiRun<WriterSink<Vec<u8>>>, Reply> {
+    if shared.corpus.is_none() {
+        return Err(no_corpus_reply(request));
+    }
+    match request.body_kind() {
+        Ok(BodyKind::Empty) => {}
+        Ok(_) => {
+            return Err(reply_unconsumed(Reply::text(
+                400,
+                "no request body allowed with doc= (the document is stored)\n",
+            )))
+        }
+        Err(e) => return Err(reply_unconsumed(Reply::text(400, format!("{e}\n")))),
+    }
+    let path = match shared.corpus().expect("checked above").tape_path(id) {
+        Ok(path) => path,
+        Err(StoreError::UnknownDoc { id }) => {
+            return Err(Reply::text(
+                404,
+                format!("no document {id:?} in the corpus\n"),
+            ))
+        }
+        Err(e) => return Err(Reply::text(500, format!("corpus error: {e}\n"))),
+    };
+    let tape = match TapeReader::open_file(&path) {
+        Ok(tape) => tape,
+        Err(e) => return Err(store_error_reply(&e)),
+    };
+    add(&shared.metrics.lane_runs_total, 1);
+    // The plan is cached inside the prepared query: repeat corpus hits do
+    // not re-run the projection analysis.
+    run_multi_on_tape(
+        &[prepared.mft()],
+        tape,
+        vec![WriterSink::new(Vec::new())],
+        shared.config.stream_limits,
+        prepared.solo_plan(),
+    )
+    .map_err(|e| store_error_reply(&e))
+}
+
+/// `GET /corpus`: the manifest as tab-separated text.
+fn handle_corpus_list(shared: &Shared) -> Reply {
+    let Some(corpus) = shared.corpus() else {
+        return Reply::text(503, "no corpus configured (start with --corpus DIR)\n");
+    };
+    let mut body = String::from("# id\tevents\tsource_bytes\ttape_bytes\tchecksum\n");
+    for meta in corpus.docs() {
+        body.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{:016x}\n",
+            meta.id, meta.events, meta.source_bytes, meta.tape_bytes, meta.checksum
+        ));
+    }
+    Reply::text(200, body)
+}
+
+/// `POST /corpus/{id}`: stream the request body through the XML parser
+/// onto a tape, then commit it to the corpus under the lock. The parse and
+/// tape write happen **outside** the corpus lock, so a slow ingest never
+/// blocks `/query?doc=` resolution.
+fn handle_corpus_ingest<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    id: &str,
+) -> Reply {
+    if shared.corpus.is_none() {
+        return no_corpus_reply(request);
+    }
+    if !valid_doc_id(id) {
+        return reply_unconsumed(Reply::text(
+            400,
+            format!("invalid document id {id:?} (use [A-Za-z0-9._-], not starting with '.')\n"),
+        ));
+    }
+    let kind = match request.body_kind() {
+        Ok(BodyKind::Empty) => {
+            return Reply::text(400, "missing request body (the XML document)\n")
+        }
+        Ok(kind) => kind,
+        Err(e) => return reply_unconsumed(Reply::text(400, format!("{e}\n"))),
+    };
+    let dir = shared.corpus().expect("checked above").dir().to_path_buf();
+    let seq = shared.ingest_seq.fetch_add(1, Ordering::Relaxed);
+    let tmp = dir.join(format!(".ingest-{seq}-{id}.tmp"));
+    let body = BodyReader::new(conn, kind);
+    let bounded = BoundedReader::new(body, shared.config.max_body_bytes);
+    match ingest_xml_to_tmp(&tmp, bounded) {
+        Ok((info, source_bytes)) => {
+            let installed =
+                shared
+                    .corpus()
+                    .expect("checked above")
+                    .install_tape(id, &tmp, &info, source_bytes);
+            match installed {
+                Ok(meta) => {
+                    add(&shared.metrics.corpus_ingests_total, 1);
+                    add(&shared.metrics.input_events_total, info.events + 1);
+                    Reply::text(
+                        200,
+                        format!(
+                            "stored {}: {} events, {} tape bytes (from {} XML bytes)\n",
+                            meta.id, meta.events, meta.tape_bytes, meta.source_bytes
+                        ),
+                    )
+                }
+                Err(e) => Reply::text(500, format!("corpus commit failed: {e}\n")),
+            }
+        }
+        // The helper already removed the tmp file.
+        Err(StoreError::Xml(xml)) => {
+            reply_unconsumed(xml_error_reply(&xml, shared.config.max_body_bytes))
+        }
+        Err(other) => reply_unconsumed(Reply::text(500, format!("ingest failed: {other}\n"))),
+    }
+}
+
+/// A store-side failure of a corpus query: the tape is server state, so
+/// corruption is a 500, never the client's fault.
+fn store_error_reply(e: &StoreError) -> Reply {
+    Reply::text(500, format!("tape replay failed: {e}\n"))
+}
+
+fn no_corpus_reply(request: &Request) -> Reply {
+    let mut reply = Reply::text(503, "no corpus configured (start with --corpus DIR)\n");
+    reply.reusable = matches!(request.body_kind(), Ok(BodyKind::Empty));
+    reply
 }
 
 fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {

@@ -8,9 +8,11 @@
 //! report is **deterministic**: byte-for-byte identical whatever the thread
 //! count or scheduling (proven by `tests/service.rs`).
 
-use crate::multi::run_multi_with_limits;
+use crate::multi::{run_multi_on_tape, run_multi_with_plan, QuerySetPlan};
 use crate::prepared::PreparedQuery;
 use foxq_core::stream::{StreamLimits, StreamStats};
+use foxq_core::Mft;
+use foxq_store::Corpus;
 use foxq_xml::{WriterSink, XmlReader};
 use std::io::BufRead;
 use std::path::Path;
@@ -39,6 +41,10 @@ pub struct BatchReport {
     pub input_events: u64,
     /// Output events pushed, summed over all successful cells.
     pub output_events: u64,
+    /// Tape bytes seeked over instead of decoded, summed over documents.
+    /// Nonzero only for [`BatchDriver::run_corpus`] (XML text cannot be
+    /// skipped without being scanned).
+    pub seek_skipped_bytes: u64,
     /// Cells that ended in an error.
     pub failures: usize,
 }
@@ -81,10 +87,12 @@ impl BatchDriver {
     }
 
     /// Run every query over every in-memory document; one parse per
-    /// document.
+    /// document. The prefilter plan is computed once for the query set and
+    /// shared by every document and worker thread.
     pub fn run(&self, docs: &[Vec<u8>], queries: &[Arc<PreparedQuery>]) -> BatchReport {
+        let plan = plan_of(queries);
         self.run_with(docs.len(), |d| {
-            run_one_doc(&docs[d][..], queries, self.limits)
+            run_one_doc(&docs[d][..], queries, self.limits, &plan)
         })
     }
 
@@ -96,18 +104,42 @@ impl BatchDriver {
         paths: &[impl AsRef<Path> + Sync],
         queries: &[Arc<PreparedQuery>],
     ) -> BatchReport {
+        let plan = plan_of(queries);
         self.run_with(paths.len(), |d| {
             match std::fs::File::open(paths[d].as_ref()) {
-                Ok(file) => run_one_doc(std::io::BufReader::new(file), queries, self.limits),
-                Err(e) => DocRow {
-                    cells: all_cells_failed(
-                        &format!("cannot open {}: {e}", paths[d].as_ref().display()),
-                        queries,
-                    ),
-                    input_events: 0,
-                },
+                Ok(file) => run_one_doc(std::io::BufReader::new(file), queries, self.limits, &plan),
+                Err(e) => DocRow::failed(
+                    &format!("cannot open {}: {e}", paths[d].as_ref().display()),
+                    queries,
+                ),
             }
         })
+    }
+
+    /// Run one compiled query set over **every stored document** of a
+    /// [`Corpus`] (or the ids in `subset`, in the given order), replaying
+    /// tapes instead of re-parsing XML and seeking over prefilter-withheld
+    /// subtrees. Rows are keyed by position in the returned
+    /// [`CorpusReport::doc_ids`]; the report is deterministic whatever the
+    /// thread count.
+    pub fn run_corpus(&self, corpus: &Corpus, queries: &[Arc<PreparedQuery>]) -> CorpusReport {
+        let ids: Vec<String> = corpus.ids().map(String::from).collect();
+        self.run_corpus_subset(corpus, ids, queries)
+    }
+
+    /// [`BatchDriver::run_corpus`] over an explicit id list.
+    pub fn run_corpus_subset(
+        &self,
+        corpus: &Corpus,
+        doc_ids: Vec<String>,
+        queries: &[Arc<PreparedQuery>],
+    ) -> CorpusReport {
+        let plan = plan_of(queries);
+        let report = self.run_with(doc_ids.len(), |d| match corpus.open_tape(&doc_ids[d]) {
+            Ok(tape) => run_one_tape(tape, queries, self.limits, &plan),
+            Err(e) => DocRow::failed(&e.to_string(), queries),
+        });
+        CorpusReport { doc_ids, report }
     }
 
     /// Shared scheduling core: shard `count` document indices across the
@@ -150,11 +182,13 @@ impl BatchDriver {
             cells: Vec::with_capacity(count),
             input_events: 0,
             output_events: 0,
+            seek_skipped_bytes: 0,
             failures: 0,
         };
         for row in rows {
             let row = row.expect("every document processed");
             report.input_events += row.input_events;
+            report.seek_skipped_bytes += row.seek_skipped_bytes;
             for cell in &row.cells {
                 match (&cell.output, cell.stats) {
                     (Ok(_), Some(stats)) => report.output_events += stats.output_events,
@@ -167,25 +201,41 @@ impl BatchDriver {
     }
 }
 
+/// A corpus batch: [`BatchReport`] rows aligned with the stored ids.
+#[derive(Debug)]
+pub struct CorpusReport {
+    /// Document ids, in row order (`report.cells[d]` is `doc_ids[d]`).
+    pub doc_ids: Vec<String>,
+    /// The per-cell outcomes.
+    pub report: BatchReport,
+}
+
 /// One document's worth of results plus its shared parse cost.
 struct DocRow {
     cells: Vec<BatchCell>,
     input_events: u64,
+    seek_skipped_bytes: u64,
 }
 
-/// All queries over one readable document, single pass.
-fn run_one_doc<R: BufRead>(
-    reader: R,
-    queries: &[Arc<PreparedQuery>],
-    limits: StreamLimits,
-) -> DocRow {
-    let mfts: Vec<_> = queries.iter().map(|q| q.mft()).collect();
-    let sinks: Vec<_> = queries
-        .iter()
-        .map(|_| WriterSink::new(Vec::new()))
-        .collect();
-    match run_multi_with_limits(&mfts, XmlReader::new(reader), sinks, limits) {
-        Ok(run) => DocRow {
+impl DocRow {
+    /// Every cell of this document failed with `msg` (unreadable file,
+    /// malformed XML, corrupt tape).
+    fn failed(msg: &str, queries: &[Arc<PreparedQuery>]) -> DocRow {
+        DocRow {
+            cells: queries
+                .iter()
+                .map(|_| BatchCell {
+                    output: Err(msg.to_string()),
+                    stats: None,
+                })
+                .collect(),
+            input_events: 0,
+            seek_skipped_bytes: 0,
+        }
+    }
+
+    fn from_run(run: crate::multi::MultiRun<WriterSink<Vec<u8>>>) -> DocRow {
+        DocRow {
             cells: run
                 .results
                 .into_iter()
@@ -207,23 +257,57 @@ fn run_one_doc<R: BufRead>(
                 })
                 .collect(),
             input_events: run.input_events,
-        },
-        // Malformed input fails every cell of this document.
-        Err(e) => DocRow {
-            cells: all_cells_failed(&e.to_string(), queries),
-            input_events: 0,
-        },
+            seek_skipped_bytes: run.seek_skipped_bytes,
+        }
     }
 }
 
-fn all_cells_failed(msg: &str, queries: &[Arc<PreparedQuery>]) -> Vec<BatchCell> {
+/// Compute the shared prefilter plan of a query set once per batch.
+fn plan_of(queries: &[Arc<PreparedQuery>]) -> QuerySetPlan {
+    QuerySetPlan::new(queries.iter().map(|q| q.mft()))
+}
+
+fn sinks_for(queries: &[Arc<PreparedQuery>]) -> Vec<WriterSink<Vec<u8>>> {
     queries
         .iter()
-        .map(|_| BatchCell {
-            output: Err(msg.to_string()),
-            stats: None,
-        })
+        .map(|_| WriterSink::new(Vec::new()))
         .collect()
+}
+
+/// All queries over one readable document, single pass.
+fn run_one_doc<R: BufRead>(
+    reader: R,
+    queries: &[Arc<PreparedQuery>],
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> DocRow {
+    let mfts: Vec<&Mft> = queries.iter().map(|q| q.mft()).collect();
+    match run_multi_with_plan(
+        &mfts,
+        XmlReader::new(reader),
+        sinks_for(queries),
+        limits,
+        plan,
+    ) {
+        Ok(run) => DocRow::from_run(run),
+        // Malformed input fails every cell of this document.
+        Err(e) => DocRow::failed(&e.to_string(), queries),
+    }
+}
+
+/// All queries over one stored tape, single replay with seek skipping.
+fn run_one_tape<R: BufRead + std::io::Seek>(
+    tape: foxq_store::TapeReader<R>,
+    queries: &[Arc<PreparedQuery>],
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> DocRow {
+    let mfts: Vec<&Mft> = queries.iter().map(|q| q.mft()).collect();
+    match run_multi_on_tape(&mfts, tape, sinks_for(queries), limits, plan) {
+        Ok(run) => DocRow::from_run(run),
+        // A corrupt or unreadable tape fails every cell of this document.
+        Err(e) => DocRow::failed(&e.to_string(), queries),
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +374,58 @@ mod tests {
         for (d, row) in in_memory.cells.iter().enumerate() {
             assert_eq!(&row[0].output, report.output(d, 0));
         }
+    }
+
+    #[test]
+    fn run_corpus_replays_tapes_and_seeks() {
+        let dir = std::env::temp_dir().join(format!("foxq-batch-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut corpus = foxq_store::Corpus::open(&dir).unwrap();
+        for i in 0..5 {
+            let xml = format!(
+                "<site><junk><big><blob>padding {i}</blob></big></junk>\
+                 <people><person><name>p{i}</name></person></people></site>"
+            );
+            corpus.add_xml(&format!("doc{i}"), xml.as_bytes()).unwrap();
+        }
+        let queries = vec![prepared("<o>{$input/site/people/person/name/text()}</o>")];
+        let serial = BatchDriver::new(1).run_corpus(&corpus, &queries);
+        let parallel = BatchDriver::new(3).run_corpus(&corpus, &queries);
+        assert_eq!(serial.doc_ids, parallel.doc_ids);
+        assert_eq!(serial.report.failures, 0);
+        assert!(
+            serial.report.seek_skipped_bytes > 0,
+            "no subtree was seeked"
+        );
+        assert_eq!(
+            serial.report.seek_skipped_bytes,
+            parallel.report.seek_skipped_bytes
+        );
+        for (d, id) in serial.doc_ids.iter().enumerate() {
+            let i = id.strip_prefix("doc").unwrap();
+            assert_eq!(
+                serial.report.output(d, 0).as_ref().unwrap(),
+                &format!("<o>p{i}</o>")
+            );
+            assert_eq!(serial.report.output(d, 0), parallel.report.output(d, 0));
+        }
+        // Subset runs honor the given order.
+        let subset = BatchDriver::new(2).run_corpus_subset(
+            &corpus,
+            vec!["doc3".into(), "doc1".into()],
+            &queries,
+        );
+        assert_eq!(subset.doc_ids, vec!["doc3", "doc1"]);
+        assert_eq!(subset.report.output(0, 0).as_ref().unwrap(), "<o>p3</o>");
+        // Unknown ids fail their row only.
+        let missing = BatchDriver::new(1).run_corpus_subset(
+            &corpus,
+            vec!["doc0".into(), "nope".into()],
+            &queries,
+        );
+        assert_eq!(missing.report.failures, 1);
+        assert!(missing.report.output(1, 0).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 use foxq_core::mft::Mft;
 use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamStats};
 use foxq_forest::{FxHashSet, Label, Tree};
-use foxq_xml::{XmlError, XmlEvent, XmlReader, XmlSink};
-use std::io::BufRead;
+use foxq_store::{StoreError, TapeReader};
+use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader, XmlSink};
+use std::io::{BufRead, Seek};
+use std::sync::Arc;
 
 /// One query's lane inside the fan-out.
 enum Lane<'m, S> {
@@ -38,17 +40,70 @@ enum Lane<'m, S> {
     Failed(StreamError),
 }
 
+/// The shared-prefilter plan of one query set, computed **once** from the
+/// lanes' static projections and reusable across any number of documents
+/// and worker threads (the label set is behind an [`Arc`], so handing it
+/// to another engine is a pointer copy, not a recomputation).
+///
+/// [`crate::BatchDriver`] builds one plan per batch instead of re-running
+/// [`Mft::projection`] per document — the first bite of cross-document
+/// query-set sharing.
+#[derive(Debug, Clone)]
+pub struct QuerySetPlan {
+    /// Lane index → participates in the shared prefilter.
+    eligible: Vec<bool>,
+    /// Union of every eligible lane's matched labels.
+    matched: Arc<FxHashSet<Label>>,
+    /// Every eligible lane may skip unmatched *text* events too.
+    texts: bool,
+}
+
+impl QuerySetPlan {
+    /// Run the projection analysis once per lane, in lane order.
+    pub fn new<'a>(mfts: impl IntoIterator<Item = &'a Mft>) -> QuerySetPlan {
+        let mut eligible = Vec::new();
+        let mut matched: FxHashSet<Label> = FxHashSet::default();
+        let mut texts = true;
+        for mft in mfts {
+            let projection = mft.projection();
+            eligible.push(projection.elements);
+            if projection.elements {
+                matched.extend(projection.matched);
+                texts &= projection.texts;
+            }
+        }
+        QuerySetPlan {
+            eligible,
+            matched: Arc::new(matched),
+            texts,
+        }
+    }
+
+    /// Number of lanes the plan covers.
+    pub fn lane_count(&self) -> usize {
+        self.eligible.len()
+    }
+
+    /// Lanes participating in the shared prefilter.
+    pub fn eligible_lanes(&self) -> usize {
+        self.eligible.iter().filter(|&&e| e).count()
+    }
+}
+
 /// Shared start-tag prefilter state over the eligible lanes.
 struct Prefilter {
     /// Union of every eligible lane's matched labels: events carrying any
     /// other label are withheld from the eligible lanes.
-    matched: FxHashSet<Label>,
+    matched: Arc<FxHashSet<Label>>,
     /// Every eligible lane may skip unmatched *text* events too.
     texts: bool,
     /// Open-depth inside a currently skipped subtree (0 = delivering).
     skip_depth: u64,
     /// Events withheld so far (opens + closes).
     skipped: u64,
+    /// Tape bytes a seeking driver jumped over on the eligible lanes'
+    /// behalf (see [`MultiQueryEngine::note_skipped_subtree`]).
+    seek_bytes: u64,
     /// One entry per *delivered* open event: was it a text label?
     text_parents: Vec<bool>,
     /// Currently open delivered text nodes. A skip must never start inside
@@ -75,29 +130,43 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
         Self::with_limits(queries, StreamLimits::default())
     }
 
-    /// One lane per `(mft, sink)` pair, sharing `limits`.
+    /// One lane per `(mft, sink)` pair, sharing `limits`. The prefilter
+    /// plan is computed here; callers evaluating the same query set over
+    /// many documents should compute a [`QuerySetPlan`] once and use
+    /// [`MultiQueryEngine::with_plan`] instead.
     pub fn with_limits(
         queries: impl IntoIterator<Item = (&'m Mft, S)>,
         limits: StreamLimits,
     ) -> Self {
-        let mut lanes = Vec::new();
-        let mut eligible = Vec::new();
-        let mut matched: FxHashSet<Label> = FxHashSet::default();
-        let mut texts = true;
-        for (mft, sink) in queries {
-            let projection = mft.projection();
-            eligible.push(projection.elements);
-            if projection.elements {
-                matched.extend(projection.matched);
-                texts &= projection.texts;
-            }
-            lanes.push(Lane::Running(Engine::with_limits(mft, sink, limits)));
-        }
+        let queries: Vec<(&'m Mft, S)> = queries.into_iter().collect();
+        let plan = QuerySetPlan::new(queries.iter().map(|(m, _)| *m));
+        Self::with_plan(queries, limits, &plan)
+    }
+
+    /// One lane per `(mft, sink)` pair under a precomputed
+    /// [`QuerySetPlan`] (which must have been built from the same MFTs, in
+    /// the same order).
+    pub fn with_plan(
+        queries: impl IntoIterator<Item = (&'m Mft, S)>,
+        limits: StreamLimits,
+        plan: &QuerySetPlan,
+    ) -> Self {
+        let lanes: Vec<Lane<'m, S>> = queries
+            .into_iter()
+            .map(|(mft, sink)| Lane::Running(Engine::with_limits(mft, sink, limits)))
+            .collect();
+        assert_eq!(
+            lanes.len(),
+            plan.eligible.len(),
+            "plan built for a different lane count"
+        );
+        let eligible = plan.eligible.clone();
         let filter = eligible.iter().any(|&e| e).then_some(Prefilter {
-            matched,
-            texts,
+            matched: plan.matched.clone(),
+            texts: plan.texts,
             skip_depth: 0,
             skipped: 0,
+            seek_bytes: 0,
             text_parents: Vec::new(),
             open_texts: 0,
         });
@@ -138,6 +207,59 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     /// Events the prefilter withheld from the eligible lanes so far.
     pub fn prefiltered_events(&self) -> u64 {
         self.filter.as_ref().map_or(0, |f| f.skipped)
+    }
+
+    /// Bytes a seeking driver reported via
+    /// [`MultiQueryEngine::note_skipped_subtree`].
+    pub fn seek_skipped_bytes(&self) -> u64 {
+        self.filter.as_ref().map_or(0, |f| f.seek_bytes)
+    }
+
+    /// Would feeding `open(label)` at this point deliver the event to *no*
+    /// lane? True exactly when every running lane is prefilter-eligible and
+    /// the event would start (or extend) a skip — the caller may then skip
+    /// the **entire subtree** externally (a seekable tape jumps straight to
+    /// the close frame) and report it with
+    /// [`MultiQueryEngine::note_skipped_subtree`] instead of feeding it.
+    pub fn can_skip_subtree(&self, label: &Label) -> bool {
+        let Some(f) = &self.filter else {
+            return false;
+        };
+        // A pass-through (non-eligible) lane still needs every event.
+        let all_eligible = self
+            .lanes
+            .iter()
+            .zip(&self.eligible)
+            .all(|(lane, &e)| e || !matches!(lane, Lane::Running(_)));
+        if !all_eligible {
+            return false;
+        }
+        if f.skip_depth > 0 {
+            // Already inside a scan-mode skip: the subtree is withheld
+            // either way, and it is internally balanced, so jumping over
+            // it leaves the skip depth correct.
+            return true;
+        }
+        if f.open_texts > 0 {
+            return false;
+        }
+        let kind_ok = !label.is_text() || f.texts;
+        kind_ok && !f.matched.contains(label)
+    }
+
+    /// Record a subtree that an external driver skipped without feeding:
+    /// `events` opens + closes (the subtree's own open and close included)
+    /// and `bytes` of undecoded input. Only valid right after
+    /// [`MultiQueryEngine::can_skip_subtree`] returned true for the
+    /// subtree's open event.
+    pub fn note_skipped_subtree(&mut self, events: u64, bytes: u64) {
+        self.input_events += events;
+        let f = self
+            .filter
+            .as_mut()
+            .expect("note_skipped_subtree without a prefilter");
+        f.skipped += events;
+        f.seek_bytes += bytes;
     }
 
     /// Turn the shared prefilter off (every lane then receives every
@@ -222,6 +344,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     /// [`StreamStats::prefiltered_events`].
     pub fn finish(mut self) -> Vec<Result<(S, StreamStats), StreamError>> {
         let skipped = self.prefiltered_events();
+        let seek_bytes = self.seek_skipped_bytes();
         let eligible = std::mem::take(&mut self.eligible);
         self.lanes
             .drain(..)
@@ -230,6 +353,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
                 Lane::Running(engine) => engine.finish().map(|(sink, mut stats)| {
                     if eligible {
                         stats.prefiltered_events = skipped;
+                        stats.seek_skipped_bytes = seek_bytes;
                     }
                     (sink, stats)
                 }),
@@ -247,32 +371,51 @@ pub struct MultiRun<S> {
     /// Events consumed from the (single) reader pass, including the
     /// end-of-input tick — equals each successful lane's `stats.events`.
     pub input_events: u64,
+    /// Input bytes the pass *seeked over* instead of decoding. Nonzero only
+    /// for [`run_multi_on_tape`] (XML text cannot be skipped without being
+    /// scanned).
+    pub seek_skipped_bytes: u64,
 }
 
-/// Run N transducers over one pass of an XML byte stream.
+/// Run N transducers over one pass of any event source (an
+/// [`foxq_xml::XmlReader`], a replayed tape, …).
 ///
-/// Input-side XML errors fail the whole run (every lane reads the same
+/// Input-side errors fail the whole run (every lane reads the same
 /// stream); engine-side errors are isolated per query. Once *every* lane
 /// has failed the rest of the input is not read (so the tail is no longer
 /// checked for well-formedness) — `input_events` then reflects the events
 /// consumed up to the abort.
-pub fn run_multi<R: BufRead, S: XmlSink>(
+pub fn run_multi<E: EventSource, S: XmlSink>(
     mfts: &[&Mft],
-    reader: XmlReader<R>,
+    events: E,
     sinks: Vec<S>,
 ) -> Result<MultiRun<S>, XmlError> {
-    run_multi_with_limits(mfts, reader, sinks, StreamLimits::default())
+    run_multi_with_limits(mfts, events, sinks, StreamLimits::default())
 }
 
 /// [`run_multi`] with explicit per-lane [`StreamLimits`].
-pub fn run_multi_with_limits<R: BufRead, S: XmlSink>(
+pub fn run_multi_with_limits<E: EventSource, S: XmlSink>(
     mfts: &[&Mft],
-    mut reader: XmlReader<R>,
+    events: E,
     sinks: Vec<S>,
     limits: StreamLimits,
 ) -> Result<MultiRun<S>, XmlError> {
+    let plan = QuerySetPlan::new(mfts.iter().copied());
+    run_multi_with_plan(mfts, events, sinks, limits, &plan)
+}
+
+/// [`run_multi_with_limits`] under a precomputed [`QuerySetPlan`] —
+/// evaluating the same query set over many documents computes the
+/// projections once, not once per document.
+pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
+    mfts: &[&Mft],
+    mut events: E,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, XmlError> {
     assert_eq!(mfts.len(), sinks.len(), "one sink per query");
-    let mut engine = MultiQueryEngine::with_limits(mfts.iter().copied().zip(sinks), limits);
+    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
     loop {
         if engine.running() == 0 {
             // Every lane failed: nothing can produce output any more, so
@@ -281,9 +424,10 @@ pub fn run_multi_with_limits<R: BufRead, S: XmlSink>(
             return Ok(MultiRun {
                 results: engine.finish(),
                 input_events,
+                seek_skipped_bytes: 0,
             });
         }
-        match reader.next_event()? {
+        match events.next_event()? {
             XmlEvent::Open(label) => engine.open(&label),
             XmlEvent::Close(_) => engine.close(),
             XmlEvent::Eof => {
@@ -291,8 +435,56 @@ pub fn run_multi_with_limits<R: BufRead, S: XmlSink>(
                 return Ok(MultiRun {
                     results: engine.finish(),
                     input_events,
+                    seek_skipped_bytes: 0,
                 });
             }
+        }
+    }
+}
+
+/// Run N transducers over one replay of a [`TapeReader`], **seeking** over
+/// subtrees the shared prefilter withholds instead of scanning them.
+///
+/// This is the payoff of the FET1 close-offset invariant: when
+/// [`MultiQueryEngine::can_skip_subtree`] says an open event would reach no
+/// lane, the tape jumps straight to the matching close frame — the subtree
+/// is never decoded, and the jump distance is reported in
+/// [`MultiRun::seek_skipped_bytes`] (and per eligible lane in
+/// [`StreamStats::seek_skipped_bytes`]). Output is identical to a full
+/// replay (`tests/store.rs` proves it against the prefilter-off path).
+pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
+    mfts: &[&Mft],
+    mut tape: TapeReader<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, StoreError> {
+    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
+    let done = |engine: MultiQueryEngine<'_, S>, eof: bool| {
+        let input_events = engine.input_events() + u64::from(eof);
+        let seek_skipped_bytes = engine.seek_skipped_bytes();
+        MultiRun {
+            results: engine.finish(),
+            input_events,
+            seek_skipped_bytes,
+        }
+    };
+    loop {
+        if engine.running() == 0 {
+            return Ok(done(engine, false));
+        }
+        match tape.next_event()? {
+            XmlEvent::Open(label) => {
+                if tape.skippable() && engine.can_skip_subtree(&label) {
+                    let skipped = tape.skip_subtree()?;
+                    engine.note_skipped_subtree(skipped.events, skipped.bytes);
+                } else {
+                    engine.open(&label);
+                }
+            }
+            XmlEvent::Close(_) => engine.close(),
+            XmlEvent::Eof => return Ok(done(engine, true)),
         }
     }
 }
@@ -319,6 +511,7 @@ pub fn run_multi_on_forest<S: XmlSink>(
     MultiRun {
         results: engine.finish(),
         input_events,
+        seek_skipped_bytes: 0,
     }
 }
 
@@ -346,6 +539,7 @@ pub fn run_multi_to_strings(
             })
             .collect(),
         input_events: run.input_events,
+        seek_skipped_bytes: run.seek_skipped_bytes,
     })
 }
 
@@ -529,6 +723,116 @@ mod tests {
             nav_stats.events + nav_stats.prefiltered_events,
             copy_stats.events
         );
+    }
+
+    fn tape_of(xml: &str) -> foxq_store::TapeReader<std::io::Cursor<Vec<u8>>> {
+        let (out, _, _) =
+            foxq_store::ingest_xml_to_tape(xml.as_bytes(), std::io::Cursor::new(Vec::new()))
+                .unwrap();
+        foxq_store::TapeReader::new(std::io::Cursor::new(out.into_inner())).unwrap()
+    }
+
+    #[test]
+    fn tape_replay_with_seek_matches_the_parse_path() {
+        let m = mft_of("<o>{$input/site/people/person/name/text()}</o>");
+        let xml = "<site><regions><africa><item><name>decoy</name></item></africa>\
+                   <asia><item/></asia></regions>\
+                   <people><person><name>Jim</name><age>33</age></person>\
+                   <person><name>Li</name></person></people></site>";
+        let parsed = run_multi(
+            &[&m],
+            XmlReader::new(xml.as_bytes()),
+            vec![ForestSink::new()],
+        )
+        .unwrap();
+        let plan = QuerySetPlan::new([&m]);
+        let taped = run_multi_on_tape(
+            &[&m],
+            tape_of(xml),
+            vec![ForestSink::new()],
+            StreamLimits::default(),
+            &plan,
+        )
+        .unwrap();
+        let (psink, pstats) = parsed.results.into_iter().next().unwrap().unwrap();
+        let (tsink, tstats) = taped.results.into_iter().next().unwrap().unwrap();
+        assert_eq!(
+            forest_to_xml_string(&tsink.into_forest()),
+            forest_to_xml_string(&psink.into_forest())
+        );
+        // Both passes withheld the same events; the tape pass additionally
+        // never decoded the bytes under <regions>.
+        assert_eq!(tstats.prefiltered_events, pstats.prefiltered_events);
+        assert!(tstats.prefiltered_events > 0);
+        assert!(taped.seek_skipped_bytes > 0);
+        assert_eq!(tstats.seek_skipped_bytes, taped.seek_skipped_bytes);
+        assert_eq!(pstats.seek_skipped_bytes, 0);
+        assert_eq!(taped.input_events, parsed.input_events);
+    }
+
+    #[test]
+    fn tape_seek_is_disabled_while_an_agnostic_lane_runs() {
+        let navigator = mft_of("<o>{$input/site/people/person/name/text()}</o>");
+        let copier =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
+        let xml = "<site><junk><a/><b>t</b></junk><people><person><name>Li</name></person></people></site>";
+        let plan = QuerySetPlan::new([&navigator, &copier]);
+        assert_eq!(plan.eligible_lanes(), 1);
+        let run = run_multi_on_tape(
+            &[&navigator, &copier],
+            tape_of(xml),
+            vec![ForestSink::new(), ForestSink::new()],
+            StreamLimits::default(),
+            &plan,
+        )
+        .unwrap();
+        // The copier needs every event, so nothing could be seeked over…
+        assert_eq!(run.seek_skipped_bytes, 0);
+        let mut results = run.results.into_iter();
+        let (nav, nav_stats) = results.next().unwrap().unwrap();
+        let (copy, _) = results.next().unwrap().unwrap();
+        // …but the scan-mode prefilter still withheld events from the
+        // navigator, and both outputs are correct.
+        assert!(nav_stats.prefiltered_events > 0);
+        assert_eq!(forest_to_xml_string(&nav.into_forest()), "<o>Li</o>");
+        assert_eq!(
+            forest_to_xml_string(&copy.into_forest()),
+            "<site><junk><a></a><b>t</b></junk><people><person><name>Li</name></person></people></site>"
+        );
+    }
+
+    #[test]
+    fn plan_reuse_matches_per_engine_computation() {
+        let a = mft_of("<o>{$input/x/y}</o>");
+        let b = mft_of("<o>{$input//z}</o>");
+        let plan = QuerySetPlan::new([&a, &b]);
+        assert_eq!(plan.lane_count(), 2);
+        let doc = parse_forest(r#"x(y("1") q()) w(z("2"))"#).unwrap();
+        let mut planned = MultiQueryEngine::with_plan(
+            vec![(&a, ForestSink::new()), (&b, ForestSink::new())],
+            StreamLimits::default(),
+            &plan,
+        );
+        let mut fresh =
+            MultiQueryEngine::new(vec![(&a, ForestSink::new()), (&b, ForestSink::new())]);
+        fn feed<S: XmlSink>(e: &mut MultiQueryEngine<'_, S>, t: &Tree) {
+            e.open(&t.label);
+            for c in &t.children {
+                feed(e, c);
+            }
+            e.close();
+        }
+        for t in &doc {
+            feed(&mut planned, t);
+            feed(&mut fresh, t);
+        }
+        assert_eq!(planned.prefiltered_events(), fresh.prefiltered_events());
+        for (p, f) in planned.finish().into_iter().zip(fresh.finish()) {
+            assert_eq!(
+                forest_to_xml_string(&p.unwrap().0.into_forest()),
+                forest_to_xml_string(&f.unwrap().0.into_forest())
+            );
+        }
     }
 
     #[test]

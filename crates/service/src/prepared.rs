@@ -117,6 +117,9 @@ pub struct PreparedQuery {
     meta: QueryMeta,
     /// Lazily computed: GCX compilation is not needed on the serving path.
     gcx_supported: OnceLock<bool>,
+    /// Lazily computed single-lane prefilter plan (projection fixpoint +
+    /// matched-label set), shared by every run of this query alone.
+    solo_plan: OnceLock<crate::multi::QuerySetPlan>,
 }
 
 impl PreparedQuery {
@@ -162,6 +165,7 @@ impl PreparedQuery {
             opt,
             meta,
             gcx_supported: OnceLock::new(),
+            solo_plan: OnceLock::new(),
         })
     }
 
@@ -188,6 +192,14 @@ impl PreparedQuery {
     /// Compile-time metadata.
     pub fn meta(&self) -> &QueryMeta {
         &self.meta
+    }
+
+    /// The single-lane [`crate::QuerySetPlan`] of this query, computed on
+    /// first use and cached — a hot serving path (e.g. `/query?doc=` tape
+    /// replays) must not re-run the projection fixpoint per request.
+    pub fn solo_plan(&self) -> &crate::multi::QuerySetPlan {
+        self.solo_plan
+            .get_or_init(|| crate::multi::QuerySetPlan::new([self.mft()]))
     }
 
     /// Whether the GCX-substitute baseline accepts this query. Computed on

@@ -1,0 +1,359 @@
+//! A directory of tapes with a durable manifest.
+//!
+//! A corpus is a plain directory: one `<id>.fet` tape per document plus a
+//! `manifest.tsv` index. The manifest is line-oriented, tab-separated —
+//! `id`, `file`, `source_bytes`, `tape_bytes`, `events`, `checksum` (hex) —
+//! with `#`-comment lines ignored, and is rewritten atomically (temp file +
+//! rename) on every mutation, so a crash can lose at most the in-flight
+//! operation, never the index. Ingest is likewise tmp-file + rename: a
+//! half-written tape is never visible under its final name.
+
+use crate::tape::{ingest_xml_to_tape, StoreError, TapeInfo, TapeReader};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the corpus directory.
+pub const MANIFEST: &str = "manifest.tsv";
+
+/// One stored document's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocMeta {
+    /// Caller-chosen id (`[A-Za-z0-9._-]+`, not starting with `.`).
+    pub id: String,
+    /// Tape file name, relative to the corpus directory.
+    pub file: String,
+    /// XML bytes consumed when the document was ingested.
+    pub source_bytes: u64,
+    /// Tape file size in bytes.
+    pub tape_bytes: u64,
+    /// Open + close events on the tape.
+    pub events: u64,
+    /// The tape's event-stream checksum (FNV-1a 64).
+    pub checksum: u64,
+}
+
+/// A corpus: a directory of `.fet` tapes plus its manifest, held in memory
+/// as a sorted map (iteration order is deterministic).
+#[derive(Debug)]
+pub struct Corpus {
+    dir: PathBuf,
+    docs: BTreeMap<String, DocMeta>,
+}
+
+/// Is `id` safe to embed in a file name?
+pub fn valid_doc_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && !id.starts_with('.')
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+impl Corpus {
+    /// Open (or create) the corpus at `dir`, loading the manifest if one
+    /// exists.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Corpus, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut corpus = Corpus {
+            dir,
+            docs: BTreeMap::new(),
+        };
+        let manifest = corpus.dir.join(MANIFEST);
+        if manifest.exists() {
+            let text = std::fs::read_to_string(&manifest)?;
+            for (i, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let meta = parse_manifest_line(line)
+                    .map_err(|msg| StoreError::Manifest { line: i + 1, msg })?;
+                corpus.docs.insert(meta.id.clone(), meta);
+            }
+        }
+        Ok(corpus)
+    }
+
+    /// The corpus directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Document ids in sorted order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.docs.keys().map(String::as_str)
+    }
+
+    /// Manifest entries in id order.
+    pub fn docs(&self) -> impl Iterator<Item = &DocMeta> {
+        self.docs.values()
+    }
+
+    /// Look up one document.
+    pub fn get(&self, id: &str) -> Option<&DocMeta> {
+        self.docs.get(id)
+    }
+
+    /// Absolute path of a stored document's tape.
+    pub fn tape_path(&self, id: &str) -> Result<PathBuf, StoreError> {
+        let meta = self
+            .docs
+            .get(id)
+            .ok_or_else(|| StoreError::UnknownDoc { id: id.to_string() })?;
+        Ok(self.dir.join(&meta.file))
+    }
+
+    /// Open a stored document's tape for replay.
+    pub fn open_tape(
+        &self,
+        id: &str,
+    ) -> Result<TapeReader<std::io::BufReader<std::fs::File>>, StoreError> {
+        TapeReader::open_file(&self.tape_path(id)?)
+    }
+
+    /// Parse `xml` and store it under `id` (an upsert: re-ingesting an id
+    /// replaces its tape). One streaming pass, constant memory.
+    pub fn add_xml(&mut self, id: &str, xml: impl BufRead) -> Result<DocMeta, StoreError> {
+        if !valid_doc_id(id) {
+            return Err(StoreError::BadDocId { id: id.to_string() });
+        }
+        let tmp = self.dir.join(format!(".{id}.ingest.tmp"));
+        let (info, source_bytes) = ingest_xml_to_tmp(&tmp, xml)?;
+        self.install_tape(id, &tmp, &info, source_bytes)
+    }
+
+    /// Move a finished tape file into the corpus under `id` and record it
+    /// in the manifest. Used by [`Corpus::add_xml`] and by servers that
+    /// ingest outside the corpus lock and only commit under it.
+    pub fn install_tape(
+        &mut self,
+        id: &str,
+        tmp: &Path,
+        info: &TapeInfo,
+        source_bytes: u64,
+    ) -> Result<DocMeta, StoreError> {
+        if !valid_doc_id(id) {
+            let _ = std::fs::remove_file(tmp);
+            return Err(StoreError::BadDocId { id: id.to_string() });
+        }
+        let file = format!("{id}.fet");
+        if let Err(e) = std::fs::rename(tmp, self.dir.join(&file)) {
+            let _ = std::fs::remove_file(tmp);
+            return Err(StoreError::Io(e));
+        }
+        let meta = DocMeta {
+            id: id.to_string(),
+            file,
+            source_bytes,
+            tape_bytes: info.file_bytes,
+            events: info.events,
+            checksum: info.checksum,
+        };
+        self.docs.insert(id.to_string(), meta.clone());
+        self.save_manifest()?;
+        Ok(meta)
+    }
+
+    /// Remove a stored document (tape file and manifest entry).
+    pub fn remove(&mut self, id: &str) -> Result<DocMeta, StoreError> {
+        let meta = self
+            .docs
+            .remove(id)
+            .ok_or_else(|| StoreError::UnknownDoc { id: id.to_string() })?;
+        let _ = std::fs::remove_file(self.dir.join(&meta.file));
+        self.save_manifest()?;
+        Ok(meta)
+    }
+
+    /// Sum of stored event counts (a capacity/metrics signal).
+    pub fn total_events(&self) -> u64 {
+        self.docs.values().map(|d| d.events).sum()
+    }
+
+    /// Sum of stored tape sizes in bytes.
+    pub fn total_tape_bytes(&self) -> u64 {
+        self.docs.values().map(|d| d.tape_bytes).sum()
+    }
+
+    fn save_manifest(&self) -> Result<(), StoreError> {
+        let tmp = self.dir.join(".manifest.tmp");
+        {
+            let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(
+                out,
+                "# foxq-store manifest v1: id\tfile\tsource_bytes\ttape_bytes\tevents\tchecksum"
+            )
+            .map_err(StoreError::Io)?;
+            for meta in self.docs.values() {
+                writeln!(
+                    out,
+                    "{}\t{}\t{}\t{}\t{}\t{:016x}",
+                    meta.id,
+                    meta.file,
+                    meta.source_bytes,
+                    meta.tape_bytes,
+                    meta.events,
+                    meta.checksum
+                )
+                .map_err(StoreError::Io)?;
+            }
+            out.flush()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        Ok(())
+    }
+}
+
+/// Stream `xml` onto a freshly created, fsynced tape file at `tmp`; on any
+/// failure the tmp file is removed. The durable half of an ingest — shared
+/// by [`Corpus::add_xml`] and servers that parse outside the corpus lock
+/// and commit with [`Corpus::install_tape`].
+pub fn ingest_xml_to_tmp(
+    tmp: &Path,
+    xml: impl BufRead,
+) -> Result<(crate::tape::TapeInfo, u64), StoreError> {
+    let result = (|| {
+        let out = std::fs::File::create(tmp)?;
+        let (out, info, source_bytes) = ingest_xml_to_tape(xml, out)?;
+        out.sync_all()?;
+        Ok((info, source_bytes))
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(tmp);
+    }
+    result
+}
+
+fn parse_manifest_line(line: &str) -> Result<DocMeta, String> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let [id, file, source_bytes, tape_bytes, events, checksum] = fields.as_slice() else {
+        return Err(format!(
+            "expected 6 tab-separated fields, got {}",
+            fields.len()
+        ));
+    };
+    if !valid_doc_id(id) {
+        return Err(format!("invalid document id {id:?}"));
+    }
+    let num = |what: &str, v: &str| -> Result<u64, String> {
+        v.parse::<u64>().map_err(|_| format!("bad {what} {v:?}"))
+    };
+    Ok(DocMeta {
+        id: id.to_string(),
+        file: file.to_string(),
+        source_bytes: num("source_bytes", source_bytes)?,
+        tape_bytes: num("tape_bytes", tape_bytes)?,
+        events: num("events", events)?,
+        checksum: u64::from_str_radix(checksum, 16)
+            .map_err(|_| format!("bad checksum {checksum:?}"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foxq_xml::XmlEvent;
+
+    fn scratch(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("foxq-corpus-{test}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn add_query_remove_roundtrip() {
+        let dir = scratch("roundtrip");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        let meta = corpus.add_xml("doc-1", &b"<a><b>hi</b></a>"[..]).unwrap();
+        assert_eq!(meta.events, 6);
+        assert_eq!(meta.source_bytes, 16);
+        assert!(corpus.get("doc-1").is_some());
+
+        // The tape replays.
+        let mut tape = corpus.open_tape("doc-1").unwrap();
+        let mut n = 0;
+        while tape.next_event().unwrap() != XmlEvent::Eof {
+            n += 1;
+        }
+        assert_eq!(n, 6);
+
+        // A fresh handle sees the same manifest.
+        let reloaded = Corpus::open(&dir).unwrap();
+        assert_eq!(reloaded.get("doc-1"), Some(&meta));
+
+        corpus.remove("doc-1").unwrap();
+        assert!(corpus.is_empty());
+        assert!(!dir.join("doc-1.fet").exists());
+        assert!(Corpus::open(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_xml_leaves_no_residue() {
+        let dir = scratch("badxml");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        assert!(matches!(
+            corpus.add_xml("bad", &b"<a><oops>"[..]),
+            Err(StoreError::Xml(_))
+        ));
+        assert!(corpus.is_empty());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("bad"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+    }
+
+    #[test]
+    fn hostile_doc_ids_are_rejected() {
+        let dir = scratch("ids");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        for id in ["", "../evil", "a/b", ".hidden", "sp ace", &"x".repeat(200)] {
+            assert!(
+                matches!(
+                    corpus.add_xml(id, &b"<a/>"[..]),
+                    Err(StoreError::BadDocId { .. })
+                ),
+                "id {id:?} accepted"
+            );
+        }
+        assert!(valid_doc_id("xmark-1.0_B"));
+    }
+
+    #[test]
+    fn upsert_replaces_the_tape() {
+        let dir = scratch("upsert");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        corpus.add_xml("d", &b"<a/>"[..]).unwrap();
+        let second = corpus.add_xml("d", &b"<a><b/></a>"[..]).unwrap();
+        assert_eq!(corpus.len(), 1);
+        assert_eq!(corpus.get("d"), Some(&second));
+        assert_eq!(second.events, 4);
+    }
+
+    #[test]
+    fn unknown_doc_errors() {
+        let dir = scratch("unknown");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        assert!(matches!(
+            corpus.open_tape("nope"),
+            Err(StoreError::UnknownDoc { .. })
+        ));
+        assert!(matches!(
+            corpus.remove("nope"),
+            Err(StoreError::UnknownDoc { .. })
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! # foxq-store — a persistent corpus of seekable event tapes
+//!
+//! Every engine in this workspace consumes a *parse-event stream*
+//! (Definition 1's `Open`/`Close`/`Eof`), yet a hot corpus pays the XML
+//! tokenizer again on every query. This crate materializes the event stream
+//! **once** into an indexed binary tape (the **FET1** format) so repeat
+//! queries replay events instead of re-parsing text — and, because every
+//! open frame knows where its matching close frame lives, a label prefilter
+//! can *seek* over a pruned subtree in O(1) instead of scanning it
+//! event-by-event.
+//!
+//! * [`TapeWriter`] streams events to disk in one pass with constant memory
+//!   (O(depth) bookkeeping plus a fixed-size write buffer).
+//! * [`TapeReader`] implements the engine's event-source interface
+//!   ([`foxq_xml::EventSource`]) and exposes [`TapeReader::skip_subtree`]
+//!   for seek-based subtree pruning.
+//! * [`Corpus`] manages a directory of tapes with a durable manifest
+//!   (doc id → file, byte/event counts, checksum).
+//!
+//! ## The FET1 byte layout
+//!
+//! All multi-byte integers are **little-endian**; `varint` is unsigned
+//! LEB128 (7 data bits per byte, high bit = continuation, at most 10
+//! bytes). The file has three regions:
+//!
+//! ```text
+//! header (13 bytes):
+//!   offset 0   magic  "FET1"                          (4 bytes)
+//!   offset 4   version u8 = 1
+//!   offset 5   footer_offset u64  — absolute offset of the footer
+//!              (backpatched when the tape is finished)
+//!   offset 13  first tape frame
+//!
+//! frames (tag byte first):
+//!   0x01 OpenElem   varint label_id · close_delta u32
+//!   0x02 OpenText   varint byte_len · byte_len UTF-8 bytes · close_delta u32
+//!   0x03 Close      varint subtree_events
+//!   0x00 Eof        (end of tape; the footer starts at the next byte)
+//!
+//! footer (at footer_offset):
+//!   varint label_count
+//!   label_count × ( varint name_len · name_len UTF-8 bytes )
+//!       — element names; label_id is the position in this table
+//!   varint event_count    — opens + closes on the tape (Eof excluded)
+//!   varint max_depth
+//!   checksum u64          — FNV-1a 64 of the logical event stream
+//! ```
+//!
+//! **The close-offset invariant.** `close_delta` is the number of tape
+//! bytes from the end of the open frame (the byte after its `close_delta`
+//! field) to the *tag byte* of the matching `Close` frame. A reader
+//! positioned just past an open frame reaches the close frame by seeking
+//! forward exactly `close_delta` bytes; everything in between is the
+//! subtree, skipped without decoding. The sentinel `0xFFFF_FFFF` means the
+//! subtree spans ≥ 4 GiB and must be scanned instead. The writer cannot
+//! know the delta when it emits the open frame, so it writes a placeholder
+//! and backpatches on close — in memory when the open frame is still in
+//! the write buffer (the overwhelmingly common case: most subtrees are
+//! small), by a file seek otherwise.
+//!
+//! `subtree_events` on a `Close` frame is the number of open + close
+//! events of the subtree it terminates, *its own open and close
+//! included* (a leaf carries 2). A seeking reader learns the event count
+//! of what it skipped from the close frame alone, keeping downstream event
+//! accounting exact.
+//!
+//! **Varint rules.** Values are encoded in the minimal number of LEB128
+//! bytes; decoders reject encodings longer than 10 bytes. `close_delta` is
+//! deliberately *not* a varint: it is backpatched after the fact, so its
+//! width must not depend on its value.
+//!
+//! **Checksum.** FNV-1a 64 (offset basis `0xcbf29ce484222325`, prime
+//! `0x100000001b3`) folded over the logical event stream, independent of
+//! the physical encoding: for an element open, the byte `0x01`, the name
+//! bytes, then `0xFF`; for a text open, `0x02`, the content bytes, `0xFF`;
+//! for a close, `0x03`; for end of input, `0x00`. A full replay recomputes
+//! it and fails with [`StoreError::Checksum`] at `Eof` on mismatch; a
+//! replay that seeked cannot (and does not) verify.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use foxq_store::{Corpus, TapeReader, TapeWriter};
+//! use foxq_xml::{EventSource, XmlEvent, XmlReader};
+//!
+//! // Write: stream parse events onto a tape (here: an in-memory one).
+//! let xml = b"<site><people><person><name>Jim</name></person></people></site>";
+//! let mut writer = TapeWriter::new(std::io::Cursor::new(Vec::new())).unwrap();
+//! let mut parser = XmlReader::new(&xml[..]);
+//! loop {
+//!     match parser.next_event().unwrap() {
+//!         XmlEvent::Open(l) => writer.open(&l).unwrap(),
+//!         XmlEvent::Close(_) => writer.close().unwrap(),
+//!         XmlEvent::Eof => break,
+//!     }
+//! }
+//! let (cursor, info) = writer.finish().unwrap();
+//! assert_eq!(info.events, 10); // 5 opens + 5 closes (site…name + the text)
+//!
+//! // Read: replay the same events without re-tokenizing any XML.
+//! let mut tape = TapeReader::new(std::io::Cursor::new(cursor.into_inner())).unwrap();
+//! let mut replayed = 0;
+//! while tape.next_event().unwrap() != XmlEvent::Eof {
+//!     replayed += 1;
+//! }
+//! assert_eq!(replayed, 10);
+//! ```
+
+pub mod corpus;
+pub mod tape;
+
+pub use corpus::{ingest_xml_to_tmp, Corpus, DocMeta};
+pub use tape::{
+    ingest_xml_to_tape, inspect, SkippedSubtree, StoreError, TapeInfo, TapeReader, TapeWriter,
+};

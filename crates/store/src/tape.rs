@@ -1,0 +1,985 @@
+//! The FET1 tape: writer, reader, inspection.
+//!
+//! See the crate-level docs for the byte layout. Everything here is plain
+//! `std` I/O: the writer needs `Write + Seek` (close offsets are
+//! backpatched), the reader needs `BufRead + Seek` (the label table lives
+//! in the footer, and skipping is a forward seek).
+
+use foxq_forest::{FxHashMap, Label};
+use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader};
+use std::io::{BufRead, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic, offset 0.
+pub const MAGIC: [u8; 4] = *b"FET1";
+/// Format version this crate writes and accepts.
+pub const VERSION: u8 = 1;
+/// Offset of the first frame (magic + version + footer_offset).
+pub const TAPE_START: u64 = 13;
+/// Offset of the backpatched `footer_offset` field.
+const FOOTER_OFFSET_AT: u64 = 5;
+
+const TAG_EOF: u8 = 0x00;
+const TAG_OPEN_ELEM: u8 = 0x01;
+const TAG_OPEN_TEXT: u8 = 0x02;
+const TAG_CLOSE: u8 = 0x03;
+
+/// `close_delta` sentinel: subtree spans ≥ 4 GiB, scan instead of seeking.
+const DELTA_OVERFLOW: u32 = u32::MAX;
+
+/// Writer buffer size; backpatches inside it cost a memcpy, not a seek.
+const WRITE_BUF_CAP: usize = 256 * 1024;
+
+/// Sanity bounds against corrupt footers (not format limits).
+const MAX_LABELS: u64 = 1 << 22;
+const MAX_NAME_LEN: u64 = 1 << 16;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failure reading or writing a tape or corpus.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The XML being ingested was malformed.
+    Xml(XmlError),
+    /// The tape bytes violate the FET1 grammar (bad magic, unknown frame
+    /// tag, truncated frame, out-of-range label id, …).
+    Corrupt { offset: u64, msg: String },
+    /// A full replay's recomputed checksum did not match the footer's.
+    Checksum { expected: u64, found: u64 },
+    /// A corpus lookup for an id that is not in the manifest.
+    UnknownDoc { id: String },
+    /// A document id outside `[A-Za-z0-9._-]` (or starting with `.`).
+    BadDocId { id: String },
+    /// The corpus manifest file did not parse.
+    Manifest { line: usize, msg: String },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "{e}"),
+            StoreError::Xml(e) => write!(f, "{e}"),
+            StoreError::Corrupt { offset, msg } => {
+                write!(f, "corrupt FET1 tape at byte {offset}: {msg}")
+            }
+            StoreError::Checksum { expected, found } => write!(
+                f,
+                "tape checksum mismatch: footer says {expected:#018x}, replay computed {found:#018x}"
+            ),
+            StoreError::UnknownDoc { id } => write!(f, "no document {id:?} in the corpus"),
+            StoreError::BadDocId { id } => write!(
+                f,
+                "invalid document id {id:?} (use [A-Za-z0-9._-], not starting with '.')"
+            ),
+            StoreError::Manifest { line, msg } => {
+                write!(f, "corrupt corpus manifest at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<XmlError> for StoreError {
+    fn from(e: XmlError) -> Self {
+        StoreError::Xml(e)
+    }
+}
+
+impl StoreError {
+    /// Render as an [`XmlError`] so a tape can stand in wherever an XML
+    /// event source is expected (the [`EventSource`] impl).
+    pub fn into_xml(self) -> XmlError {
+        match self {
+            StoreError::Io(e) => XmlError::Io {
+                offset: 0,
+                source: e,
+            },
+            StoreError::Xml(e) => e,
+            StoreError::Corrupt { offset, msg } => XmlError::Syntax {
+                offset,
+                msg: format!("FET1 tape: {msg}"),
+            },
+            other => XmlError::Syntax {
+                offset: 0,
+                msg: format!("FET1 tape: {other}"),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checksum
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64 over the logical event stream (see the crate docs).
+#[derive(Debug, Clone, Copy)]
+struct EventHash(u64);
+
+impl EventHash {
+    fn new() -> Self {
+        EventHash(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn open(&mut self, label: &Label) {
+        self.byte(if label.is_text() {
+            TAG_OPEN_TEXT
+        } else {
+            TAG_OPEN_ELEM
+        });
+        self.bytes(label.name.as_bytes());
+        self.byte(0xFF);
+    }
+
+    fn close(&mut self) {
+        self.byte(TAG_CLOSE);
+    }
+
+    fn eof(&mut self) {
+        self.byte(TAG_EOF);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varints
+// ---------------------------------------------------------------------------
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(b);
+            return;
+        }
+        buf.push(b | 0x80);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+/// Footer-level facts about one tape, available without replaying it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapeInfo {
+    /// Format version.
+    pub version: u8,
+    /// Open + close events on the tape (`Eof` excluded).
+    pub events: u64,
+    /// Distinct element names in the label table.
+    pub label_count: usize,
+    /// Maximum nesting depth of the document.
+    pub max_depth: usize,
+    /// Bytes of the frame region (header and footer excluded).
+    pub tape_bytes: u64,
+    /// Total file size.
+    pub file_bytes: u64,
+    /// FNV-1a 64 of the logical event stream.
+    pub checksum: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// One not-yet-closed node: where its `close_delta` placeholder sits and
+/// the event counter when it opened.
+struct PendingOpen {
+    patch_at: u64,
+    events_at_open: u64,
+}
+
+/// Streams events onto a FET1 tape in one pass.
+///
+/// Memory is O(depth) for the backpatch stack plus a fixed write buffer;
+/// the label table grows with the *vocabulary*, not the document. Feed
+/// events with [`TapeWriter::open`] / [`TapeWriter::close`] (the usual
+/// sink shape), then call [`TapeWriter::finish`].
+pub struct TapeWriter<W: Write + Seek> {
+    out: W,
+    /// Bytes already written to `out`; `out`'s cursor sits there between
+    /// calls.
+    flushed: u64,
+    /// Unwritten tail of the tape. Backpatches landing here are applied in
+    /// memory.
+    buf: Vec<u8>,
+    stack: Vec<PendingOpen>,
+    label_ids: FxHashMap<Arc<str>, u64>,
+    label_names: Vec<Arc<str>>,
+    events: u64,
+    max_depth: usize,
+    hash: EventHash,
+    /// Backpatches that had to seek (telemetry for tests/benches).
+    seek_patches: u64,
+}
+
+impl<W: Write + Seek> TapeWriter<W> {
+    /// Start a tape on `out` (the header is written immediately).
+    pub fn new(mut out: W) -> Result<Self, StoreError> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&[VERSION])?;
+        out.write_all(&0u64.to_le_bytes())?; // footer_offset placeholder
+        Ok(TapeWriter {
+            out,
+            flushed: TAPE_START,
+            buf: Vec::with_capacity(WRITE_BUF_CAP + 4096),
+            stack: Vec::new(),
+            label_ids: FxHashMap::default(),
+            label_names: Vec::new(),
+            events: 0,
+            max_depth: 0,
+            hash: EventHash::new(),
+            seek_patches: 0,
+        })
+    }
+
+    /// Current absolute write position.
+    fn pos(&self) -> u64 {
+        self.flushed + self.buf.len() as u64
+    }
+
+    fn flush_buf(&mut self) -> Result<(), StoreError> {
+        if !self.buf.is_empty() {
+            self.out.write_all(&self.buf)?;
+            self.flushed += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Overwrite the 4 placeholder bytes at `at` — in memory when they are
+    /// still buffered, by a seek round-trip otherwise. A frame is appended
+    /// atomically before any flush, so the field never straddles the
+    /// flushed boundary.
+    fn patch(&mut self, at: u64, bytes: [u8; 4]) -> Result<(), StoreError> {
+        if at >= self.flushed {
+            let i = (at - self.flushed) as usize;
+            self.buf[i..i + 4].copy_from_slice(&bytes);
+        } else {
+            self.seek_patches += 1;
+            self.out.seek(SeekFrom::Start(at))?;
+            self.out.write_all(&bytes)?;
+            self.out.seek(SeekFrom::Start(self.flushed))?;
+        }
+        Ok(())
+    }
+
+    fn intern(&mut self, name: &Arc<str>) -> u64 {
+        if let Some(&id) = self.label_ids.get(name) {
+            return id;
+        }
+        let id = self.label_names.len() as u64;
+        self.label_ids.insert(name.clone(), id);
+        self.label_names.push(name.clone());
+        id
+    }
+
+    /// Record an opening event (element or text node).
+    pub fn open(&mut self, label: &Label) -> Result<(), StoreError> {
+        self.events += 1;
+        self.hash.open(label);
+        if label.is_text() {
+            self.buf.push(TAG_OPEN_TEXT);
+            push_varint(&mut self.buf, label.name.len() as u64);
+            self.buf.extend_from_slice(label.name.as_bytes());
+        } else {
+            let id = self.intern(&label.name);
+            self.buf.push(TAG_OPEN_ELEM);
+            push_varint(&mut self.buf, id);
+        }
+        let patch_at = self.pos();
+        self.buf.extend_from_slice(&[0u8; 4]); // close_delta placeholder
+        self.stack.push(PendingOpen {
+            patch_at,
+            events_at_open: self.events,
+        });
+        self.max_depth = self.max_depth.max(self.stack.len());
+        if self.buf.len() >= WRITE_BUF_CAP {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Record the closing event of the most recently opened node.
+    pub fn close(&mut self) -> Result<(), StoreError> {
+        let open = self.stack.pop().expect("close without matching open");
+        self.events += 1;
+        self.hash.close();
+        let close_tag_at = self.pos();
+        let delta64 = close_tag_at - (open.patch_at + 4);
+        let delta = u32::try_from(delta64).unwrap_or(DELTA_OVERFLOW);
+        self.patch(open.patch_at, delta.to_le_bytes())?;
+        let subtree_events = self.events - open.events_at_open + 1;
+        self.buf.push(TAG_CLOSE);
+        push_varint(&mut self.buf, subtree_events);
+        if self.buf.len() >= WRITE_BUF_CAP {
+            self.flush_buf()?;
+        }
+        Ok(())
+    }
+
+    /// Open/close events recorded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Backpatches that fell outside the write buffer and cost a seek.
+    pub fn seek_patches(&self) -> u64 {
+        self.seek_patches
+    }
+
+    /// Write the `Eof` frame and the footer, backpatch the header, and
+    /// return the underlying writer (cursor at end of file) plus the tape
+    /// facts.
+    pub fn finish(mut self) -> Result<(W, TapeInfo), StoreError> {
+        assert!(self.stack.is_empty(), "finish with unclosed nodes");
+        self.buf.push(TAG_EOF);
+        self.hash.eof();
+        let footer_offset = self.pos();
+        push_varint(&mut self.buf, self.label_names.len() as u64);
+        for name in &self.label_names {
+            push_varint(&mut self.buf, name.len() as u64);
+            self.buf.extend_from_slice(name.as_bytes());
+        }
+        push_varint(&mut self.buf, self.events);
+        push_varint(&mut self.buf, self.max_depth as u64);
+        self.buf.extend_from_slice(&self.hash.0.to_le_bytes());
+        self.flush_buf()?;
+        self.out.seek(SeekFrom::Start(FOOTER_OFFSET_AT))?;
+        self.out.write_all(&footer_offset.to_le_bytes())?;
+        self.out.seek(SeekFrom::Start(self.flushed))?;
+        self.out.flush()?;
+        Ok((
+            self.out,
+            TapeInfo {
+                version: VERSION,
+                events: self.events,
+                label_count: self.label_names.len(),
+                max_depth: self.max_depth,
+                tape_bytes: footer_offset - TAPE_START,
+                file_bytes: self.flushed,
+                checksum: self.hash.0,
+            },
+        ))
+    }
+}
+
+/// Parse XML and write it to a tape in one streaming pass. Returns the
+/// tape facts and the number of XML source bytes consumed.
+pub fn ingest_xml_to_tape<R: BufRead, W: Write + Seek>(
+    xml: R,
+    out: W,
+) -> Result<(W, TapeInfo, u64), StoreError> {
+    let mut counted = CountingRead { inner: xml, n: 0 };
+    let mut parser = XmlReader::new(&mut counted);
+    let mut writer = TapeWriter::new(out)?;
+    loop {
+        match parser.next_event()? {
+            XmlEvent::Open(label) => writer.open(&label)?,
+            XmlEvent::Close(_) => writer.close()?,
+            XmlEvent::Eof => break,
+        }
+    }
+    let (out, info) = writer.finish()?;
+    Ok((out, info, counted.n))
+}
+
+/// Counts consumed bytes of a `BufRead` (the XML source size of an ingest).
+struct CountingRead<R> {
+    inner: R,
+    n: u64,
+}
+
+impl<R: BufRead> Read for CountingRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let got = self.inner.read(buf)?;
+        self.n += got as u64;
+        Ok(got)
+    }
+}
+
+impl<R: BufRead> BufRead for CountingRead<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.n += amt as u64;
+        self.inner.consume(amt);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// What [`TapeReader::skip_subtree`] jumped over.
+#[derive(Debug, Clone, Copy)]
+pub struct SkippedSubtree {
+    /// Open + close events of the subtree, its own open and close included.
+    pub events: u64,
+    /// Tape bytes that were never decoded.
+    pub bytes: u64,
+}
+
+/// Seek target of the most recently returned open event.
+#[derive(Debug, Clone, Copy)]
+struct SkipHandle {
+    close_at: u64,
+}
+
+/// Replays a FET1 tape as parse events, without re-tokenizing any XML.
+///
+/// After an `Open` event, [`TapeReader::skippable`] tells whether the
+/// subtree can be seeked over ([`TapeReader::skip_subtree`]); drivers use
+/// that to honor a label prefilter in O(1) per pruned subtree. A replay
+/// that never seeks verifies the footer checksum at `Eof`.
+pub struct TapeReader<R> {
+    input: R,
+    /// Absolute offset of the next unread byte.
+    offset: u64,
+    footer_offset: u64,
+    labels: Vec<Label>,
+    info: TapeInfo,
+    open_stack: Vec<Label>,
+    last_open: Option<SkipHandle>,
+    events_read: u64,
+    seek_skipped_events: u64,
+    seek_skipped_bytes: u64,
+    hash: EventHash,
+    /// Cleared on the first seek: a partial replay cannot checksum.
+    verify: bool,
+    finished: bool,
+}
+
+impl TapeReader<std::io::BufReader<std::fs::File>> {
+    /// Open a tape file.
+    pub fn open_file(path: &Path) -> Result<Self, StoreError> {
+        TapeReader::new(std::io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: BufRead + Seek> TapeReader<R> {
+    /// Validate the header, load the footer (label table, counts,
+    /// checksum), and position the reader at the first frame.
+    pub fn new(mut input: R) -> Result<Self, StoreError> {
+        let file_bytes = input.seek(SeekFrom::End(0))?;
+        input.seek(SeekFrom::Start(0))?;
+        let mut head = [0u8; 13];
+        read_exact_at(&mut input, &mut head, 0)?;
+        if head[..4] != MAGIC {
+            return Err(StoreError::Corrupt {
+                offset: 0,
+                msg: "bad magic (not a FET1 tape)".into(),
+            });
+        }
+        let version = head[4];
+        if version != VERSION {
+            return Err(StoreError::Corrupt {
+                offset: 4,
+                msg: format!("unsupported FET1 version {version}"),
+            });
+        }
+        let footer_offset = u64::from_le_bytes(head[5..13].try_into().unwrap());
+        if footer_offset < TAPE_START || footer_offset >= file_bytes {
+            return Err(StoreError::Corrupt {
+                offset: FOOTER_OFFSET_AT,
+                msg: format!("footer offset {footer_offset} outside the file ({file_bytes} bytes)"),
+            });
+        }
+        input.seek(SeekFrom::Start(footer_offset))?;
+        let mut at = footer_offset;
+        let label_count = read_varint(&mut input, &mut at)?;
+        if label_count > MAX_LABELS {
+            return Err(StoreError::Corrupt {
+                offset: at,
+                msg: format!("implausible label count {label_count}"),
+            });
+        }
+        let mut labels = Vec::with_capacity(label_count as usize);
+        for _ in 0..label_count {
+            let len = read_varint(&mut input, &mut at)?;
+            if len > MAX_NAME_LEN {
+                return Err(StoreError::Corrupt {
+                    offset: at,
+                    msg: format!("implausible label length {len}"),
+                });
+            }
+            let mut name = vec![0u8; len as usize];
+            read_exact_at(&mut input, &mut name, at)?;
+            at += len;
+            let name = String::from_utf8(name).map_err(|_| StoreError::Corrupt {
+                offset: at,
+                msg: "label table entry is not UTF-8".into(),
+            })?;
+            labels.push(Label::elem(name));
+        }
+        let events = read_varint(&mut input, &mut at)?;
+        let max_depth = read_varint(&mut input, &mut at)?;
+        let mut sum = [0u8; 8];
+        read_exact_at(&mut input, &mut sum, at)?;
+        let checksum = u64::from_le_bytes(sum);
+        input.seek(SeekFrom::Start(TAPE_START))?;
+        let label_count = labels.len();
+        Ok(TapeReader {
+            input,
+            offset: TAPE_START,
+            footer_offset,
+            labels,
+            info: TapeInfo {
+                version,
+                events,
+                label_count,
+                max_depth: max_depth as usize,
+                tape_bytes: footer_offset - TAPE_START,
+                file_bytes,
+                checksum,
+            },
+            open_stack: Vec::new(),
+            last_open: None,
+            events_read: 0,
+            seek_skipped_events: 0,
+            seek_skipped_bytes: 0,
+            hash: EventHash::new(),
+            verify: true,
+            finished: false,
+        })
+    }
+
+    /// Footer-level facts (no replay needed).
+    pub fn info(&self) -> &TapeInfo {
+        &self.info
+    }
+
+    /// The interned element names, in label-id order.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Open/close events returned so far (skipped subtrees excluded, except
+    /// for their already-returned open event).
+    pub fn events_read(&self) -> u64 {
+        self.events_read
+    }
+
+    /// Events jumped over by [`TapeReader::skip_subtree`] so far.
+    pub fn seek_skipped_events(&self) -> u64 {
+        self.seek_skipped_events
+    }
+
+    /// Tape bytes jumped over (never decoded) so far.
+    pub fn seek_skipped_bytes(&self) -> u64 {
+        self.seek_skipped_bytes
+    }
+
+    fn corrupt<T>(&self, msg: impl Into<String>) -> Result<T, StoreError> {
+        Err(StoreError::Corrupt {
+            offset: self.offset,
+            msg: msg.into(),
+        })
+    }
+
+    fn read_u8(&mut self) -> Result<u8, StoreError> {
+        let mut b = [0u8];
+        read_exact_at(&mut self.input, &mut b, self.offset)?;
+        self.offset += 1;
+        Ok(b[0])
+    }
+
+    fn read_varint_here(&mut self) -> Result<u64, StoreError> {
+        read_varint(&mut self.input, &mut self.offset)
+    }
+
+    /// Pull the next event. After `Eof`, keeps returning `Eof`.
+    pub fn next_event(&mut self) -> Result<XmlEvent, StoreError> {
+        self.last_open = None;
+        if self.finished {
+            return Ok(XmlEvent::Eof);
+        }
+        match self.read_u8()? {
+            TAG_OPEN_ELEM => {
+                let id = self.read_varint_here()?;
+                let Some(label) = self.labels.get(id as usize).cloned() else {
+                    return self.corrupt(format!(
+                        "label id {id} out of range ({} in table)",
+                        self.labels.len()
+                    ));
+                };
+                self.finish_open(label.clone())?;
+                Ok(XmlEvent::Open(label))
+            }
+            TAG_OPEN_TEXT => {
+                let len = self.read_varint_here()?;
+                // Guard the allocation below against corrupt lengths; the
+                // saturating form stays correct even for a length varint
+                // near u64::MAX (the plain add would wrap past the check).
+                if len > self.footer_offset.saturating_sub(self.offset) {
+                    return self.corrupt(format!("text length {len} runs past the tape"));
+                }
+                let mut content = vec![0u8; len as usize];
+                read_exact_at(&mut self.input, &mut content, self.offset)?;
+                self.offset += len;
+                let Ok(content) = String::from_utf8(content) else {
+                    return self.corrupt("text payload is not UTF-8");
+                };
+                let label = Label::text(content);
+                self.finish_open(label.clone())?;
+                Ok(XmlEvent::Open(label))
+            }
+            TAG_CLOSE => {
+                let _subtree_events = self.read_varint_here()?;
+                let Some(label) = self.open_stack.pop() else {
+                    return self.corrupt("close frame without an open node");
+                };
+                self.hash.close();
+                self.events_read += 1;
+                Ok(XmlEvent::Close(label))
+            }
+            TAG_EOF => {
+                if !self.open_stack.is_empty() {
+                    return self.corrupt(format!(
+                        "tape ended with {} unclosed node(s)",
+                        self.open_stack.len()
+                    ));
+                }
+                if self.offset != self.footer_offset {
+                    return self.corrupt("Eof frame does not sit at the footer boundary");
+                }
+                self.hash.eof();
+                self.finished = true;
+                if self.verify && self.hash.0 != self.info.checksum {
+                    return Err(StoreError::Checksum {
+                        expected: self.info.checksum,
+                        found: self.hash.0,
+                    });
+                }
+                Ok(XmlEvent::Eof)
+            }
+            tag => self.corrupt(format!("unknown frame tag {tag:#04x}")),
+        }
+    }
+
+    /// Shared tail of both open frames: read the `close_delta`, arm the
+    /// skip handle, account the event.
+    fn finish_open(&mut self, label: Label) -> Result<(), StoreError> {
+        let mut delta = [0u8; 4];
+        read_exact_at(&mut self.input, &mut delta, self.offset)?;
+        self.offset += 4;
+        let delta = u32::from_le_bytes(delta);
+        if delta != DELTA_OVERFLOW {
+            let close_at = self.offset + u64::from(delta);
+            if close_at >= self.footer_offset {
+                return self.corrupt(format!("close offset {close_at} runs past the tape"));
+            }
+            self.last_open = Some(SkipHandle { close_at });
+        }
+        self.hash.open(&label);
+        self.open_stack.push(label);
+        self.events_read += 1;
+        Ok(())
+    }
+
+    /// Whether the event just returned was an `Open` whose subtree can be
+    /// seeked over (its close offset is recorded and did not overflow).
+    pub fn skippable(&self) -> bool {
+        self.last_open.is_some()
+    }
+
+    /// Seek over the subtree of the most recently returned `Open` event,
+    /// consuming its close frame. The opens and closes in between are never
+    /// decoded. Panics if [`TapeReader::skippable`] is false.
+    pub fn skip_subtree(&mut self) -> Result<SkippedSubtree, StoreError> {
+        let handle = self
+            .last_open
+            .take()
+            .expect("skip_subtree without a skippable open event");
+        let bytes = handle.close_at - self.offset;
+        self.input.seek(SeekFrom::Start(handle.close_at))?;
+        self.offset = handle.close_at;
+        match self.read_u8()? {
+            TAG_CLOSE => {}
+            tag => {
+                return self.corrupt(format!(
+                    "close offset does not point at a close frame (tag {tag:#04x})"
+                ))
+            }
+        }
+        let events = self.read_varint_here()?;
+        self.open_stack.pop().expect("skip with empty open stack");
+        self.verify = false;
+        self.seek_skipped_events += events;
+        self.seek_skipped_bytes += bytes;
+        Ok(SkippedSubtree { events, bytes })
+    }
+}
+
+impl<R: BufRead + Seek> EventSource for TapeReader<R> {
+    fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        TapeReader::next_event(self).map_err(StoreError::into_xml)
+    }
+
+    fn events_read(&self) -> u64 {
+        self.events_read
+    }
+}
+
+/// Read a tape file's footer facts without replaying it.
+pub fn inspect(path: &Path) -> Result<TapeInfo, StoreError> {
+    Ok(*TapeReader::open_file(path)?.info())
+}
+
+// ---------------------------------------------------------------------------
+// Low-level read helpers
+// ---------------------------------------------------------------------------
+
+/// `read_exact` that reports truncation as [`StoreError::Corrupt`] at the
+/// given offset (a tape that ends mid-frame is corrupt, not "EOF").
+fn read_exact_at<R: Read>(input: &mut R, buf: &mut [u8], at: u64) -> Result<(), StoreError> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Corrupt {
+                offset: at,
+                msg: "tape truncated mid-frame".into(),
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+/// LEB128 decode, advancing `at` by the bytes consumed.
+fn read_varint<R: Read>(input: &mut R, at: &mut u64) -> Result<u64, StoreError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8];
+        read_exact_at(input, &mut b, *at)?;
+        *at += 1;
+        let b = b[0];
+        if shift >= 63 && b > 1 {
+            return Err(StoreError::Corrupt {
+                offset: *at,
+                msg: "varint overflows u64".into(),
+            });
+        }
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(StoreError::Corrupt {
+                offset: *at,
+                msg: "varint longer than 10 bytes".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn tape_of(xml: &str) -> (Vec<u8>, TapeInfo) {
+        let (out, info, _src) =
+            ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+        (out.into_inner(), info)
+    }
+
+    fn replay(bytes: Vec<u8>) -> Vec<XmlEvent> {
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        let mut out = Vec::new();
+        loop {
+            let ev = r.next_event().unwrap();
+            let done = ev == XmlEvent::Eof;
+            out.push(ev);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    fn parse_events(xml: &str) -> Vec<XmlEvent> {
+        let mut r = XmlReader::new(xml.as_bytes());
+        let mut out = Vec::new();
+        loop {
+            let ev = r.next_event().unwrap();
+            let done = ev == XmlEvent::Eof;
+            out.push(ev);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_equals_direct_parse() {
+        let xml = r#"<site><a x="1">hi &amp; ho</a><b/><c><d>deep</d></c></site>"#;
+        assert_eq!(replay(tape_of(xml).0), parse_events(xml));
+    }
+
+    #[test]
+    fn info_reports_footer_facts() {
+        let (bytes, info) = tape_of("<a><b>t</b><b>u</b></a>");
+        assert_eq!(info.events, 10); // a, b, "t", b, "u": 5 opens + 5 closes
+        let r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.info(), &info);
+        assert_eq!(info.label_count, 2); // a, b interned once each
+        assert_eq!(info.max_depth, 3); // a > b > text
+        assert!(info.tape_bytes > 0);
+    }
+
+    #[test]
+    fn skip_subtree_jumps_to_the_close() {
+        let xml = "<r><junk><x>1</x><y>2</y></junk><keep>3</keep></r>";
+        let (bytes, _) = tape_of(xml);
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("r")));
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("junk")));
+        assert!(r.skippable());
+        let skipped = r.skip_subtree().unwrap();
+        // junk + x + "1" + y + "2": 5 opens + 5 closes.
+        assert_eq!(skipped.events, 10);
+        assert!(skipped.bytes > 0);
+        assert_eq!(r.seek_skipped_bytes(), skipped.bytes);
+        // The replay resumes exactly after </junk>.
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("keep")));
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::text("3")));
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::text("3")));
+        assert_eq!(
+            r.next_event().unwrap(),
+            XmlEvent::Close(Label::elem("keep"))
+        );
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::elem("r")));
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof); // sticky
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let (mut bytes, _) = tape_of("<a/>");
+        bytes[0] = b'X';
+        assert!(matches!(
+            TapeReader::new(Cursor::new(bytes)),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_text_byte_fails_the_checksum() {
+        let xml = "<a>checksum-me</a>";
+        let (mut bytes, info) = tape_of(xml);
+        // Find the text payload on the tape and flip one byte.
+        let pos = bytes
+            .windows(b"checksum-me".len())
+            .position(|w| w == b"checksum-me")
+            .unwrap();
+        bytes[pos] ^= 0x20;
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        let err = loop {
+            match r.next_event() {
+                Ok(XmlEvent::Eof) => panic!("corruption not detected"),
+                Ok(_) => continue,
+                Err(e) => break e,
+            }
+        };
+        match err {
+            StoreError::Checksum { expected, .. } => assert_eq!(expected, info.checksum),
+            other => panic!("expected Checksum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_tape_is_corrupt() {
+        let (bytes, _) = tape_of("<a><b>some text here</b></a>");
+        let cut = bytes.len() / 2;
+        match TapeReader::new(Cursor::new(bytes[..cut].to_vec())) {
+            // Either the footer offset now points outside the file (header
+            // check) or the footer read hits EOF — both are Corrupt.
+            Err(StoreError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| "reader")),
+        }
+    }
+
+    #[test]
+    fn writer_backpatches_across_the_flush_boundary() {
+        // A root holding enough children to overflow the write buffer: its
+        // close_delta must be patched with a seek, and the replay must
+        // still be exact.
+        let n = 40_000; // ~ (tag+id+4)·2·n bytes ≫ WRITE_BUF_CAP
+        let mut xml = String::from("<r>");
+        for i in 0..n {
+            xml.push_str(&format!("<c>{i}</c>"));
+        }
+        xml.push_str("</r>");
+        let (out, info, _) = ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+        assert_eq!(info.events, (2 * n as u64 + 1) * 2);
+        let bytes = out.into_inner();
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("r")));
+        assert!(r.skippable(), "root close offset not backpatched");
+        let skipped = r.skip_subtree().unwrap();
+        assert_eq!(skipped.events, info.events);
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+    }
+
+    #[test]
+    fn huge_text_length_varint_is_corrupt_not_a_panic() {
+        // A hand-crafted tape whose single frame claims a text payload of
+        // u64::MAX bytes: the bounds check must not wrap into accepting it
+        // (release builds would then die on a capacity-overflow alloc).
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.extend_from_slice(&24u64.to_le_bytes()); // footer right after
+        bytes.push(TAG_OPEN_TEXT);
+        bytes.extend_from_slice(&[0xFF; 9]); // LEB128 u64::MAX …
+        bytes.push(0x01); // … final byte
+        bytes.extend_from_slice(&[0x00, 0x00, 0x00]); // footer: 0 labels/events/depth
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert!(matches!(r.next_event(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            let mut at = 0u64;
+            assert_eq!(read_varint(&mut &buf[..], &mut at).unwrap(), v);
+            assert_eq!(at, buf.len() as u64);
+        }
+    }
+}

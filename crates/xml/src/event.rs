@@ -5,6 +5,7 @@
 //! `Close(l)` ends it, and `Eof` is the ε closing the top-level forest. Text
 //! nodes appear as an `Open`/`Close` pair with a text label.
 
+use crate::error::XmlError;
 use foxq_forest::Label;
 
 /// One parse event.
@@ -16,4 +17,33 @@ pub enum XmlEvent {
     Close(Label),
     /// End of the document.
     Eof,
+}
+
+/// A producer of [`XmlEvent`]s — the engine-facing event-source interface.
+///
+/// The streaming engines (`foxq_core::stream`, the multi-query fan-out)
+/// consume parse events, not XML text, so anything that can replay
+/// Definition 1's `Open`/`Close`/`Eof` stream can drive them: the pull
+/// parser [`crate::XmlReader`], or a pre-parsed binary tape
+/// (`foxq_store::TapeReader`) that skips tokenization entirely.
+///
+/// Contract: after `Eof` has been returned once, further calls keep
+/// returning `Eof`; `events_read` counts open/close events returned so far
+/// (`Eof` excluded).
+pub trait EventSource {
+    /// Pull the next event.
+    fn next_event(&mut self) -> Result<XmlEvent, XmlError>;
+
+    /// Open/close events returned so far (`Eof` excluded).
+    fn events_read(&self) -> u64;
+}
+
+impl<E: EventSource + ?Sized> EventSource for &mut E {
+    fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        (**self).next_event()
+    }
+
+    fn events_read(&self) -> u64 {
+        (**self).events_read()
+    }
 }

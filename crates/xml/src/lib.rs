@@ -11,6 +11,10 @@
 //! * [`parse_document`] — convenience DOM loader built on the pull parser.
 //! * [`XmlSink`] — the output interface used by the streaming transducer
 //!   engine, with [`CountingSink`] and [`ForestSink`] implementations.
+//! * [`EventSource`] — the engine-facing input interface: anything that can
+//!   replay the `Open`/`Close`/`Eof` stream drives the engines
+//!   ([`XmlReader`] here; `foxq_store::TapeReader` replays pre-parsed
+//!   tapes without tokenizing).
 //! * [`BoundedReader`] — a byte-budget adapter for untrusted transports
 //!   (sockets): reading past its limit fails with a recognizable
 //!   [`ByteLimitExceeded`] instead of buffering without bound.
@@ -24,7 +28,7 @@ pub mod writer;
 
 pub use bounded::{byte_limit_exceeded, BoundedReader, ByteLimitExceeded};
 pub use error::XmlError;
-pub use event::XmlEvent;
+pub use event::{EventSource, XmlEvent};
 pub use reader::{WhitespaceMode, XmlReader};
 pub use sink::{CountingSink, ForestSink, NullSink, WriterSink, XmlSink};
 pub use writer::{forest_to_xml_string, write_forest, XmlWriter};

@@ -10,7 +10,7 @@
 //! downstream transducers see the paper's attribute-free encoding.
 
 use crate::error::XmlError;
-use crate::event::XmlEvent;
+use crate::event::{EventSource, XmlEvent};
 use foxq_forest::Label;
 use std::collections::VecDeque;
 use std::io::BufRead;
@@ -489,6 +489,16 @@ impl<R: BufRead> XmlReader<R> {
             _ => return self.syntax("unknown entity reference"),
         }
         Ok(())
+    }
+}
+
+impl<R: BufRead> EventSource for XmlReader<R> {
+    fn next_event(&mut self) -> Result<XmlEvent, XmlError> {
+        XmlReader::next_event(self)
+    }
+
+    fn events_read(&self) -> u64 {
+        XmlReader::events_read(self)
     }
 }
 

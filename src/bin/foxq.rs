@@ -1,12 +1,14 @@
 //! `foxq` — command-line XQuery streaming by forest transducers.
 //!
 //! ```text
-//! foxq run   <query.xq> [input.xml]     # stream input (or stdin) through the query
-//! foxq compile <query.xq>               # print the optimized MFT rules
-//! foxq compile --no-opt <query.xq>      # print the raw §3 translation
-//! foxq stats <query.xq> [input.xml]     # run and report engine statistics
-//! foxq batch -q a.xq -q b.xq [in.xml …] # N queries, one pass per document
-//! foxq serve --addr 127.0.0.1:8080      # long-running HTTP server
+//! foxq run   <query.xq> [input.xml|.fet]  # stream input (or stdin) through the query
+//! foxq compile <query.xq>                 # print the optimized MFT rules
+//! foxq compile --no-opt <query.xq>        # print the raw §3 translation
+//! foxq stats <query.xq> [input.xml|.fet]  # run and report engine statistics
+//! foxq stats <tape.fet>                   # inspect a tape without running a query
+//! foxq batch -q a.xq -q b.xq [in.xml …]   # N queries, one pass per document
+//! foxq store add|ls|rm|query --dir DIR …  # the persistent tape corpus
+//! foxq serve --addr 127.0.0.1:8080        # long-running HTTP server
 //! ```
 //!
 //! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
@@ -17,7 +19,10 @@ use foxq::core::stream::{
 };
 use foxq::core::translate::translate;
 use foxq::core::{print_mft, Mft};
-use foxq::service::{run_multi_with_limits, BatchDriver, QueryCache};
+use foxq::service::{
+    run_multi_on_tape, run_multi_with_limits, BatchDriver, QueryCache, QuerySetPlan,
+};
+use foxq::store::{Corpus, TapeReader};
 use foxq::xml::{WriterSink, XmlReader};
 use foxq::xquery::parse_query;
 use std::io::{BufReader, Read, Write};
@@ -40,6 +45,7 @@ fn real_main() -> Result<(), String> {
         Some("stats") => cmd_run(&args[1..], true),
         Some("compile") => cmd_compile(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{}", USAGE);
@@ -51,25 +57,43 @@ fn real_main() -> Result<(), String> {
 
 const USAGE: &str = "\
 usage:
-  foxq run <query.xq> [input.xml]       stream input (default stdin) through the query
-  foxq stats <query.xq> [input.xml]     run and report engine statistics to stderr
+  foxq run <query.xq> [input.xml|input.fet]
+      stream input (default stdin) through the query; a .fet input replays
+      the pre-parsed event tape (no XML tokenization) and seeks over
+      subtrees the query's label prefilter withholds
+  foxq stats <query.xq> [input.xml|input.fet]
+      run and report engine statistics to stderr
+  foxq stats <tape.fet>                 inspect a tape (events, labels, depth)
   foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
   foxq batch [-q <query.xq>]... [--threads N] [--stats] [input.xml ...]
       answer all queries over each input in a single pass per document;
       with no inputs, one pass over stdin; with several, documents are
       sharded across worker threads. Outputs are labeled '### doc query'.
 
+  foxq store add --dir DIR [--id ID] <input.xml>...
+      parse each document once into the corpus at DIR (FET1 tapes + manifest);
+      ids default to the file stem (--id only with a single input)
+  foxq store ls --dir DIR               list the corpus manifest
+  foxq store rm --dir DIR <id>...       remove stored documents
+  foxq store query --dir DIR [-q <query.xq>]... [--threads N] [--stats]
+      [--max-output N] [id ...]
+      run the query set over every stored document (or just the given ids),
+      replaying tapes with seek-based subtree skipping — no XML re-parsing
+
   foxq serve --addr HOST:PORT [--threads N] [--max-body-bytes N]
       [--cache-capacity N] [--read-timeout-ms N] [--write-timeout-ms N]
+      [--corpus DIR]
       long-running HTTP/1.1 server: POST /query?q=<urlencoded query> and
       POST /batch?q=..&q=.. stream the request body through prepared
-      queries; GET /metrics (Prometheus), GET /healthz, POST /shutdown
-      (graceful drain). Runs until shut down.
+      queries; with --corpus, POST /corpus/{id} ingests documents,
+      GET /corpus lists them, and POST /query?q=..&doc=<id> answers from
+      the stored tape; GET /metrics (Prometheus), GET /healthz,
+      POST /shutdown (graceful drain). Runs until shut down.
 
-  run/stats/batch also accept --max-output <events>: abort a run (batch: its
-  cell) once its output exceeds that many events (default 1000000000;
-  0 = unlimited) — a transducer can emit output exponential in its input,
-  this bounds a run on hostile pairs.
+  run/stats/batch/store-query also accept --max-output <events>: abort a run
+  (batch: its cell) once its output exceeds that many events (default
+  1000000000; 0 = unlimited) — a transducer can emit output exponential in
+  its input, this bounds a run on hostile pairs.
 ";
 
 fn load_query(path: &str) -> Result<Mft, String> {
@@ -103,8 +127,25 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
         }
         i += 1;
     }
+    // `foxq stats <tape.fet>`: inspect the tape, no query involved.
+    if report && positional.len() == 1 && positional[0].ends_with(".fet") {
+        return cmd_tape_stats(positional[0]);
+    }
     let query_path = positional.first().ok_or("missing query file")?;
     let mft = load_query(query_path)?;
+    let limits = StreamLimits {
+        max_output_events: max_output,
+        ..StreamLimits::default()
+    };
+    // A `.fet` input replays the pre-parsed tape, seeking over prefiltered
+    // subtrees, instead of re-tokenizing XML.
+    if let Some(path) = positional.get(1).filter(|p| p.ends_with(".fet")) {
+        let stats = run_query_on_tape(&mft, path, limits)?;
+        if report {
+            report_stats(&stats);
+        }
+        return Ok(());
+    }
     let stdin;
     let input: Box<dyn Read> = match positional.get(1) {
         Some(path) => {
@@ -114,10 +155,6 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
             stdin = std::io::stdin();
             Box::new(stdin.lock())
         }
-    };
-    let limits = StreamLimits {
-        max_output_events: max_output,
-        ..StreamLimits::default()
     };
     let reader = XmlReader::new(BufReader::new(input));
     let stdout = std::io::stdout();
@@ -134,6 +171,49 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// One query over one tape file, with seek-based subtree skipping.
+fn run_query_on_tape(mft: &Mft, path: &str, limits: StreamLimits) -> Result<StreamStats, String> {
+    let tape = TapeReader::open_file(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open tape {path}: {e}"))?;
+    let plan = QuerySetPlan::new([mft]);
+    let stdout = std::io::stdout();
+    let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
+    let run = run_multi_on_tape(&[mft], tape, vec![sink], limits, &plan)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let (sink, stats) = run
+        .results
+        .into_iter()
+        .next()
+        .expect("one lane")
+        .map_err(|e| e.to_string())?;
+    let mut out = sink.finish().map_err(|e| e.to_string())?;
+    out.write_all(b"\n")
+        .and_then(|_| out.flush())
+        .map_err(|e| e.to_string())?;
+    Ok(stats)
+}
+
+/// `foxq stats <tape.fet>`: footer facts, no replay.
+fn cmd_tape_stats(path: &str) -> Result<(), String> {
+    let info = foxq::store::inspect(std::path::Path::new(path))
+        .map_err(|e| format!("cannot inspect {path}: {e}"))?;
+    println!("format:            FET1 v{}", info.version);
+    println!("events:            {}", info.events);
+    println!(
+        "  open / close:    {} / {}",
+        info.events / 2,
+        info.events / 2
+    );
+    println!("label table:       {} element name(s)", info.label_count);
+    println!("max depth:         {}", info.max_depth);
+    println!(
+        "tape bytes:        {} (file: {})",
+        info.tape_bytes, info.file_bytes
+    );
+    println!("checksum:          {:016x}", info.checksum);
+    Ok(())
+}
+
 fn report_stats(stats: &StreamStats) {
     eprintln!("events:            {}", stats.events);
     eprintln!(
@@ -145,6 +225,10 @@ fn report_stats(stats: &StreamStats) {
     eprintln!("peak live bytes:   {}", stats.peak_live_bytes);
     eprintln!("max input depth:   {}", stats.max_depth);
     eprintln!("output events:     {}", stats.output_events);
+    if stats.prefiltered_events > 0 || stats.seek_skipped_bytes > 0 {
+        eprintln!("prefiltered:       {} events", stats.prefiltered_events);
+        eprintln!("seek-skipped:      {} bytes", stats.seek_skipped_bytes);
+    }
 }
 
 /// `foxq batch`: N prepared queries, one pass over each input document.
@@ -324,6 +408,216 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `foxq store`: manage and query the persistent tape corpus.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    let sub = args.first().map(String::as_str);
+    let rest = &args[1..];
+    match sub {
+        Some("add") => store_add(rest),
+        Some("ls") => store_ls(rest),
+        Some("rm") => store_rm(rest),
+        Some("query") => store_query(rest),
+        _ => Err(format!("store needs add|ls|rm|query\n{USAGE}")),
+    }
+}
+
+/// Parse `--dir DIR` plus flags out of a store subcommand's arguments;
+/// returns (dir, flag values in declaration order, positionals).
+struct StoreArgs {
+    dir: String,
+    positional: Vec<String>,
+    id: Option<String>,
+    query_files: Vec<String>,
+    threads: usize,
+    report_stats: bool,
+    max_output: u64,
+}
+
+fn parse_store_args(args: &[String]) -> Result<StoreArgs, String> {
+    let mut parsed = StoreArgs {
+        dir: String::new(),
+        positional: Vec::new(),
+        id: None,
+        query_files: Vec::new(),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        report_stats: false,
+        max_output: DEFAULT_MAX_OUTPUT_EVENTS,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |what: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i).cloned().ok_or(format!("{flag} needs {what}"))
+        };
+        match flag {
+            "--dir" => parsed.dir = value("a directory")?,
+            "--id" => parsed.id = Some(value("an id")?),
+            "-q" | "--query-file" => {
+                let v = value("a file argument")?;
+                parsed.query_files.push(v);
+            }
+            "--threads" => {
+                parsed.threads = value("a number")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number".to_string())?;
+            }
+            "--stats" => parsed.report_stats = true,
+            "--max-output" => {
+                let n: u64 = value("a number")?
+                    .parse()
+                    .map_err(|_| "--max-output needs a number".to_string())?;
+                parsed.max_output = if n == 0 { u64::MAX } else { n };
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown store flag {other:?}\n{USAGE}"));
+            }
+            other => parsed.positional.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if parsed.dir.is_empty() {
+        return Err(format!("store needs --dir DIR\n{USAGE}"));
+    }
+    Ok(parsed)
+}
+
+fn open_corpus(dir: &str) -> Result<Corpus, String> {
+    Corpus::open(dir).map_err(|e| format!("corpus {dir}: {e}"))
+}
+
+fn store_add(args: &[String]) -> Result<(), String> {
+    let parsed = parse_store_args(args)?;
+    if parsed.positional.is_empty() {
+        return Err("store add needs at least one input file".to_string());
+    }
+    if parsed.id.is_some() && parsed.positional.len() > 1 {
+        return Err("--id only works with a single input file".to_string());
+    }
+    let mut corpus = open_corpus(&parsed.dir)?;
+    for path in &parsed.positional {
+        let id = match &parsed.id {
+            Some(id) => id.clone(),
+            None => std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("cannot derive an id from {path:?}; use --id"))?
+                .to_string(),
+        };
+        let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        let meta = corpus
+            .add_xml(&id, BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "stored {}: {} events, {} tape bytes (from {} XML bytes)",
+            meta.id, meta.events, meta.tape_bytes, meta.source_bytes
+        );
+    }
+    Ok(())
+}
+
+fn store_ls(args: &[String]) -> Result<(), String> {
+    let parsed = parse_store_args(args)?;
+    let corpus = open_corpus(&parsed.dir)?;
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}  checksum",
+        "id", "events", "xml.bytes", "tape.bytes"
+    );
+    for meta in corpus.docs() {
+        println!(
+            "{:<24} {:>12} {:>12} {:>12}  {:016x}",
+            meta.id, meta.events, meta.source_bytes, meta.tape_bytes, meta.checksum
+        );
+    }
+    println!(
+        "({} document(s), {} events, {} tape bytes)",
+        corpus.len(),
+        corpus.total_events(),
+        corpus.total_tape_bytes()
+    );
+    Ok(())
+}
+
+fn store_rm(args: &[String]) -> Result<(), String> {
+    let parsed = parse_store_args(args)?;
+    if parsed.positional.is_empty() {
+        return Err("store rm needs at least one document id".to_string());
+    }
+    let mut corpus = open_corpus(&parsed.dir)?;
+    for id in &parsed.positional {
+        let meta = corpus.remove(id).map_err(|e| e.to_string())?;
+        println!("removed {} ({} events)", meta.id, meta.events);
+    }
+    Ok(())
+}
+
+fn store_query(args: &[String]) -> Result<(), String> {
+    let parsed = parse_store_args(args)?;
+    if parsed.query_files.is_empty() {
+        return Err(format!(
+            "store query needs at least one -q <query.xq>\n{USAGE}"
+        ));
+    }
+    let corpus = open_corpus(&parsed.dir)?;
+    let mut cache = QueryCache::new(parsed.query_files.len().max(1));
+    let mut queries = Vec::with_capacity(parsed.query_files.len());
+    for path in &parsed.query_files {
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read query {path}: {e}"))?;
+        queries.push(
+            cache
+                .get_or_compile(&src)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    let limits = StreamLimits {
+        max_output_events: parsed.max_output,
+        ..StreamLimits::default()
+    };
+    let driver = BatchDriver::new(parsed.threads).with_limits(limits);
+    let report = if parsed.positional.is_empty() {
+        driver.run_corpus(&corpus, &queries)
+    } else {
+        driver.run_corpus_subset(&corpus, parsed.positional.clone(), &queries)
+    };
+    if parsed.report_stats {
+        eprintln!(
+            "documents:         {} over {} threads (tape replay, no re-parse)",
+            report.doc_ids.len(),
+            parsed.threads.max(1)
+        );
+        eprintln!("input events:      {}", report.report.input_events);
+        eprintln!("output events:     {}", report.report.output_events);
+        eprintln!(
+            "seek-skipped:      {} bytes",
+            report.report.seek_skipped_bytes
+        );
+    }
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    let mut failures = 0usize;
+    for (doc_id, row) in report.doc_ids.iter().zip(&report.report.cells) {
+        for (qfile, cell) in parsed.query_files.iter().zip(row) {
+            writeln!(out, "### {doc_id} {qfile}").map_err(|e| e.to_string())?;
+            match &cell.output {
+                Ok(text) => writeln!(out, "{text}").map_err(|e| e.to_string())?,
+                Err(e) => {
+                    failures += 1;
+                    writeln!(out, "error: {e}").map_err(|e| e.to_string())?;
+                    eprintln!("foxq: {qfile} on {doc_id}: {e}");
+                }
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    if failures > 0 {
+        return Err(format!("{failures} query run(s) failed"));
+    }
+    Ok(())
+}
+
 /// `foxq serve`: the long-running HTTP front-end.
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     use foxq::server::{Server, ServerConfig};
@@ -340,6 +634,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         };
         match flag {
             "--addr" => config.addr = value("HOST:PORT")?.clone(),
+            "--corpus" => config.corpus_dir = Some(value("a directory")?.clone()),
             "--threads" => {
                 config.threads = value("a number")?
                     .parse()

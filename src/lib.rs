@@ -27,6 +27,8 @@
 //! * [`gen`] — deterministic XMark/TreeBank/Medline/Protein-like generators;
 //! * [`service`] — the serving layer: prepared-query cache, multi-query
 //!   single-pass engine, parallel batch driver (the `foxq batch` command);
+//! * [`store`] — the document store: FET1 event tapes with O(1) subtree
+//!   seeks, plus the corpus manifest (the `foxq store` commands);
 //! * [`server`] — the network front-end: a hand-rolled HTTP/1.1 server with
 //!   streaming request bodies and Prometheus metrics (`foxq serve`).
 //!
@@ -53,6 +55,7 @@ pub use foxq_gcx as gcx;
 pub use foxq_gen as gen;
 pub use foxq_server as server;
 pub use foxq_service as service;
+pub use foxq_store as store;
 pub use foxq_tt as tt;
 pub use foxq_xml as xml;
 pub use foxq_xquery as xquery;

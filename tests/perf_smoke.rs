@@ -7,6 +7,10 @@
 //! * `opt::optimize` on 20 nested value-doubling lets was ~5.8 s before the
 //!   inlining growth budget (~15 ms after) — guarded at 50 ms.
 //!
+//! Plus the foxq-store acceptance bar: replaying a stored FET1 tape with
+//! seek-based subtree skipping must stay ≥ 3× faster than re-parsing the
+//! XML for a prefilter-eligible query (measured ~6×).
+//!
 //! The bounds are the PR's acceptance criteria; they sit orders of
 //! magnitude below the pre-fix numbers (a regression cannot sneak under
 //! them) while leaving 3–25× headroom over the measured post-fix times for
@@ -65,6 +69,62 @@ fn optimizer_is_polynomial_on_nested_doubling_lets() {
         elapsed < Duration::from_millis(50),
         "optimize on the 20-nested-let adversary took {elapsed:?} (was ~5.8 s \
          before the inlining growth budget; must stay under 50 ms)"
+    );
+}
+
+#[test]
+fn tape_seek_replay_beats_reparse_by_3x() {
+    if debug_build() {
+        return;
+    }
+    use foxq::core::stream::StreamLimits;
+    use foxq::gen::Dataset;
+    use foxq::service::{run_multi, run_multi_on_tape, PreparedQuery, QuerySetPlan};
+    use foxq::store::{ingest_xml_to_tape, TapeReader};
+    use foxq::xml::{forest_to_xml_string, NullSink, XmlReader};
+    use std::io::Cursor;
+
+    // The store_replay acceptance bar: a prefilter-eligible query over a
+    // stored XMark tape must run ≥ 3× faster via the seek path than by
+    // re-parsing the XML (measured ~6× at 2 MiB; 3× leaves 2× headroom
+    // for scheduler noise).
+    let forest = foxq::gen::generate(Dataset::Xmark, 2 << 20, 0xF0E5);
+    let xml = forest_to_xml_string(&forest).into_bytes();
+    let (out, _, _) = ingest_xml_to_tape(&xml[..], Cursor::new(Vec::new())).unwrap();
+    let tape = out.into_inner();
+    let prepared =
+        PreparedQuery::compile("<o>{$input/site/people/person/name/text()}</o>").unwrap();
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+
+    // Best of 3 per engine: robust to one-off scheduler hiccups.
+    let best = |f: &mut dyn FnMut()| {
+        (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let reparse = best(&mut || {
+        run_multi(&[mft], XmlReader::new(&xml[..]), vec![NullSink]).unwrap();
+    });
+    let seek = best(&mut || {
+        let reader = TapeReader::new(Cursor::new(&tape[..])).unwrap();
+        run_multi_on_tape(
+            &[mft],
+            reader,
+            vec![NullSink],
+            StreamLimits::default(),
+            &plan,
+        )
+        .unwrap();
+    });
+    assert!(
+        seek * 3 <= reparse,
+        "tape seek replay must be ≥ 3× faster than reparse: reparse {reparse:?}, seek {seek:?}"
     );
 }
 

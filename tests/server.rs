@@ -380,3 +380,114 @@ fn shutdown_endpoint_drains_remotely() {
         .map(|mut c| c.request("GET", "/healthz", &[], &[]).is_err())
         .unwrap_or(true));
 }
+
+#[test]
+fn corpus_ingest_list_query_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("foxq-server-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig {
+        corpus_dir: Some(dir.to_string_lossy().into_owned()),
+        ..test_config()
+    });
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // Ingest two documents; the second replaces nothing (distinct ids).
+    let r = c
+        .request("POST", "/corpus/alpha", &[], &doc(&["Jim", "Li"]))
+        .unwrap();
+    assert_eq!(r.status, 200, "{}", r.text());
+    assert!(r.text().contains("stored alpha"), "{}", r.text());
+    let r = c
+        .request("POST", "/corpus/beta", &[], &doc(&["Ada"]))
+        .unwrap();
+    assert_eq!(r.status, 200);
+
+    // Hostile ids and missing bodies are rejected.
+    let r = c.request("POST", "/corpus/.sneaky", &[], b"<a/>").unwrap();
+    assert_eq!(r.status, 400);
+    // (that reply closed the connection: the body was left on the wire)
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.request("POST", "/corpus/nobody", &[], &[]).unwrap();
+    assert_eq!(r.status, 400);
+
+    // The manifest lists both docs.
+    let r = c.request("GET", "/corpus", &[], &[]).unwrap();
+    assert_eq!(r.status, 200);
+    let listing = r.text();
+    assert!(
+        listing.contains("alpha\t") && listing.contains("beta\t"),
+        "{listing}"
+    );
+
+    // Query from the stored tape: no request body at all.
+    let r = c
+        .request(
+            "POST",
+            &client::query_doc_target(PERSON_NAMES, "alpha"),
+            &[],
+            &[],
+        )
+        .unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "<o>JimLi</o>"));
+    let seek: u64 = r
+        .header("x-foxq-seek-skipped-bytes")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(seek > 0, "regions subtree was not seeked over");
+
+    // Unknown doc → 404; malformed ingest XML → 400.
+    let r = c
+        .request(
+            "POST",
+            &client::query_doc_target(PERSON_NAMES, "nope"),
+            &[],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.status, 404);
+    let mut c2 = Client::connect(addr).unwrap();
+    let r = c2
+        .request("POST", "/corpus/broken", &[], b"<a><unclosed>")
+        .unwrap();
+    assert_eq!(r.status, 400);
+
+    // Metrics carry the corpus counters.
+    let text = client::get(addr, "/metrics").unwrap().text();
+    assert_eq!(metric(&text, "foxq_corpus_ingests_total"), 2);
+    assert_eq!(metric(&text, "foxq_corpus_hits_total"), 1);
+    assert_eq!(metric(&text, "foxq_corpus_docs"), 2);
+    assert!(metric(&text, "foxq_seek_skipped_bytes_total") > 0);
+
+    // The store is durable: a fresh server over the same directory serves
+    // the same documents.
+    handle.shutdown();
+    let handle = start(ServerConfig {
+        corpus_dir: Some(dir.to_string_lossy().into_owned()),
+        ..test_config()
+    });
+    let r = client::post(
+        handle.local_addr(),
+        &client::query_doc_target(PERSON_NAMES, "beta"),
+        &[],
+    )
+    .unwrap();
+    assert_eq!((r.status, r.text().as_str()), (200, "<o>Ada</o>"));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_endpoints_without_a_corpus_are_503() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let r = client::get(addr, "/corpus").unwrap();
+    assert_eq!(r.status, 503);
+    let r = client::post(addr, &client::query_doc_target(PERSON_NAMES, "x"), &[]).unwrap();
+    assert_eq!(r.status, 503);
+    // /metrics omits the corpus gauge entirely.
+    let text = client::get(addr, "/metrics").unwrap().text();
+    assert!(!text.contains("foxq_corpus_docs"));
+    handle.shutdown();
+}

@@ -293,6 +293,91 @@ fn cli_help_succeeds() {
     }
 }
 
+#[test]
+fn cli_store_roundtrip_and_tape_stats() {
+    let dir = scratch("store");
+    let corpus = dir.join("corpus");
+    let q = write(&dir, "q.xq", QUERY);
+    let x = write(&dir, "person.xml", DOC);
+
+    // add → ls → query from the tape.
+    let out = foxq()
+        .args(["store", "add", "--dir"])
+        .arg(&corpus)
+        .arg(&x)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout_of(&out).contains("stored person"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    let out = foxq()
+        .args(["store", "ls", "--dir"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("person"), "{}", stdout_of(&out));
+
+    let out = foxq()
+        .args(["store", "query", "--dir"])
+        .arg(&corpus)
+        .arg("-q")
+        .arg(&q)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout_of(&out).contains("<out>JimLi</out>"),
+        "{}",
+        stdout_of(&out)
+    );
+
+    // `foxq stats <tape.fet>` inspects the footer without a query…
+    let tape = corpus.join("person.fet");
+    let out = foxq().arg("stats").arg(&tape).output().unwrap();
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    for line in [
+        "format:            FET1 v1",
+        "events:",
+        "label table:",
+        "max depth:",
+    ] {
+        assert!(text.contains(line), "missing {line:?} in:\n{text}");
+    }
+
+    // …and `foxq run query tape.fet` replays it with identical output.
+    let out = foxq().arg("run").arg(&q).arg(&tape).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(stdout_of(&out), "<out>JimLi</out>\n");
+
+    // rm empties the corpus.
+    let out = foxq()
+        .args(["store", "rm", "--dir"])
+        .arg(&corpus)
+        .arg("person")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!tape.exists());
+}
+
 // ---------------------------------------------------------------------------
 // Examples
 // ---------------------------------------------------------------------------

@@ -1,0 +1,237 @@
+//! Integration tests for the foxq-store tape subsystem: event-stream
+//! round-trips against the XML parser on every generated dataset, seek-path
+//! vs scan-path vs prefilter-off agreement, and corrupt-tape error paths
+//! surfaced through the serving layer.
+
+use foxq::core::stream::StreamLimits;
+use foxq::gen::Dataset;
+use foxq::service::{
+    run_multi, run_multi_on_tape, BatchDriver, MultiQueryEngine, PreparedQuery, QuerySetPlan,
+};
+use foxq::store::{ingest_xml_to_tape, Corpus, TapeReader};
+use foxq::xml::{forest_to_xml_string, ForestSink, XmlEvent, XmlReader};
+use proptest::prelude::*;
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("foxq-store-it-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Parse `xml` directly, collecting the event stream.
+fn parse_events(xml: &[u8]) -> Vec<XmlEvent> {
+    let mut reader = XmlReader::new(xml);
+    let mut events = Vec::new();
+    loop {
+        let ev = reader.next_event().unwrap();
+        let done = ev == XmlEvent::Eof;
+        events.push(ev);
+        if done {
+            return events;
+        }
+    }
+}
+
+/// Write `xml` to an in-memory tape, then replay it.
+fn tape_events(xml: &[u8]) -> Vec<XmlEvent> {
+    let (out, info, source_bytes) = ingest_xml_to_tape(xml, Cursor::new(Vec::new())).unwrap();
+    assert_eq!(source_bytes, xml.len() as u64);
+    let mut tape = TapeReader::new(Cursor::new(out.into_inner())).unwrap();
+    assert_eq!(tape.info(), &info);
+    let mut events = Vec::new();
+    loop {
+        let ev = tape.next_event().unwrap();
+        let done = ev == XmlEvent::Eof;
+        events.push(ev);
+        if done {
+            return events;
+        }
+    }
+}
+
+#[test]
+fn tape_roundtrips_every_generated_dataset() {
+    for dataset in Dataset::ALL {
+        let forest = foxq::gen::generate(dataset, 60_000, 0xBEEF);
+        let xml = forest_to_xml_string(&forest);
+        let direct = parse_events(xml.as_bytes());
+        let replayed = tape_events(xml.as_bytes());
+        assert_eq!(
+            replayed.len(),
+            direct.len(),
+            "{}: event count mismatch",
+            dataset.name()
+        );
+        assert_eq!(replayed, direct, "{}: event stream drifted", dataset.name());
+    }
+}
+
+proptest! {
+    /// parse → TapeWriter → TapeReader equals direct XmlReader parsing on
+    /// seeded random documents from all four generators at random sizes.
+    #[test]
+    fn tape_roundtrip_randomized(seed in any::<u64>()) {
+        let dataset = Dataset::ALL[(seed % 4) as usize];
+        let size = 2_000 + (seed >> 3) as usize % 38_000;
+        let xml = forest_to_xml_string(&foxq::gen::generate(dataset, size, seed));
+        prop_assert_eq!(tape_events(xml.as_bytes()), parse_events(xml.as_bytes()));
+    }
+}
+
+/// A prefilter-eligible XMark navigator.
+const NAMES_QUERY: &str = "<o>{$input/site/people/person/name/text()}</o>";
+
+#[test]
+fn prefilter_on_and_off_agree_on_the_tape_path() {
+    let prepared = PreparedQuery::compile(NAMES_QUERY).unwrap();
+    let mft = prepared.mft();
+    let xml = forest_to_xml_string(&foxq::gen::generate(Dataset::Xmark, 120_000, 7));
+    let (out, _, _) = ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+    let tape_bytes = out.into_inner();
+
+    // (a) reparse the XML text.
+    let reparse = run_multi(
+        &[mft],
+        XmlReader::new(xml.as_bytes()),
+        vec![ForestSink::new()],
+    )
+    .unwrap();
+    // (b) full tape replay through the generic event-source driver (the
+    // scan-mode prefilter still runs, but nothing is seeked).
+    let replay = run_multi(
+        &[mft],
+        TapeReader::new(Cursor::new(tape_bytes.clone())).unwrap(),
+        vec![ForestSink::new()],
+    )
+    .unwrap();
+    // (c) tape replay with seek-based skipping.
+    let plan = QuerySetPlan::new([mft]);
+    let seek = run_multi_on_tape(
+        &[mft],
+        TapeReader::new(Cursor::new(tape_bytes.clone())).unwrap(),
+        vec![ForestSink::new()],
+        StreamLimits::default(),
+        &plan,
+    )
+    .unwrap();
+    // (d) tape replay with the prefilter disabled entirely.
+    let mut off_engine = MultiQueryEngine::new(vec![(mft, ForestSink::new())]);
+    off_engine.disable_prefilter();
+    let mut tape = TapeReader::new(Cursor::new(tape_bytes)).unwrap();
+    loop {
+        match tape.next_event().unwrap() {
+            XmlEvent::Open(label) => off_engine.open(&label),
+            XmlEvent::Close(_) => off_engine.close(),
+            XmlEvent::Eof => break,
+        }
+    }
+    let off = off_engine.finish();
+
+    let output = |sink: ForestSink| forest_to_xml_string(&sink.into_forest());
+    let (a, a_stats) = reparse.results.into_iter().next().unwrap().unwrap();
+    let (b, b_stats) = replay.results.into_iter().next().unwrap().unwrap();
+    let (c, c_stats) = seek.results.into_iter().next().unwrap().unwrap();
+    let (d, d_stats) = off.into_iter().next().unwrap().unwrap();
+    let expected = output(a);
+    assert!(expected.contains("<o>"), "query produced no output");
+    assert_eq!(output(b), expected, "full replay drifted from reparse");
+    assert_eq!(output(c), expected, "seek replay drifted from reparse");
+    assert_eq!(output(d), expected, "prefilter-off replay drifted");
+
+    // Accounting: the same events are withheld on every prefiltered path;
+    // the seek path additionally jumps bytes; the off path sees everything.
+    assert!(a_stats.prefiltered_events > 0, "query was not prefiltered");
+    assert_eq!(b_stats.prefiltered_events, a_stats.prefiltered_events);
+    assert_eq!(c_stats.prefiltered_events, a_stats.prefiltered_events);
+    assert_eq!(
+        d_stats.events,
+        a_stats.events + a_stats.prefiltered_events,
+        "off path must see every event"
+    );
+    assert!(c_stats.seek_skipped_bytes > 0, "seek path never seeked");
+    assert_eq!(seek.seek_skipped_bytes, c_stats.seek_skipped_bytes);
+    assert_eq!(a_stats.seek_skipped_bytes, 0);
+    assert_eq!(b_stats.seek_skipped_bytes, 0);
+}
+
+#[test]
+fn corrupt_tapes_fail_cleanly_through_the_batch_driver() {
+    let dir = scratch("corrupt");
+    let mut corpus = Corpus::open(&dir).unwrap();
+    corpus
+        .add_xml(
+            "good",
+            &b"<site><people><person><name>ok</name></person></people></site>"[..],
+        )
+        .unwrap();
+    corpus
+        .add_xml(
+            "bad",
+            &b"<site><people><person><name>tampered</name></person></people></site>"[..],
+        )
+        .unwrap();
+
+    // Flip one payload byte of the "bad" tape on disk (checksum breaks).
+    let path = corpus.tape_path("bad").unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let pos = bytes
+        .windows(b"tampered".len())
+        .position(|w| w == b"tampered")
+        .expect("payload not found on tape");
+    bytes[pos] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Truncate a third tape mid-frame.
+    corpus
+        .add_xml("cut", &b"<site><a>some longer content here</a></site>"[..])
+        .unwrap();
+    let cut_path = corpus.tape_path("cut").unwrap();
+    let full = std::fs::read(&cut_path).unwrap();
+    std::fs::write(&cut_path, &full[..full.len() / 2]).unwrap();
+
+    let queries = vec![Arc::new(
+        PreparedQuery::compile("<o>{$input//name}</o>").unwrap(),
+    )];
+    let run = BatchDriver::new(2).run_corpus(&corpus, &queries);
+    assert_eq!(run.doc_ids, vec!["bad", "cut", "good"]);
+    assert_eq!(run.report.failures, 2);
+    let err = run.report.output(0, 0).as_ref().unwrap_err();
+    assert!(err.contains("checksum"), "unexpected error: {err}");
+    let err = run.report.output(1, 0).as_ref().unwrap_err();
+    assert!(
+        err.contains("corrupt") || err.contains("FET1"),
+        "unexpected error: {err}"
+    );
+    assert_eq!(
+        run.report.output(2, 0).as_ref().unwrap(),
+        "<o><name>ok</name></o>"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corpus_round_trip_over_all_datasets() {
+    let dir = scratch("datasets");
+    let mut corpus = Corpus::open(&dir).unwrap();
+    for (i, dataset) in Dataset::ALL.iter().enumerate() {
+        let xml = forest_to_xml_string(&foxq::gen::generate(*dataset, 30_000, i as u64));
+        let id = format!("ds{i}");
+        let meta = corpus.add_xml(&id, xml.as_bytes()).unwrap();
+        assert_eq!(meta.source_bytes, xml.len() as u64);
+        // The stored event count equals what a direct parse yields.
+        assert_eq!(meta.events, (parse_events(xml.as_bytes()).len() - 1) as u64);
+    }
+    // An identity-ish query over every stored doc succeeds on all four.
+    let queries = vec![Arc::new(
+        PreparedQuery::compile("<all>{$input/*}</all>").unwrap(),
+    )];
+    let run = BatchDriver::new(2).run_corpus(&corpus, &queries);
+    assert_eq!(run.report.failures, 0);
+    for row in &run.report.cells {
+        assert!(row[0].output.as_ref().unwrap().starts_with("<all>"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
