@@ -70,6 +70,14 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
+    /// All values of a header, by lowercase name, in order.
+    pub fn header_values<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
+        self.headers
+            .iter()
+            .filter(move |(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// All values of the query parameter `name`, in order.
     pub fn params<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> {
         self.query
@@ -78,20 +86,43 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The request's body framing, per RFC 9112 §6 (chunked wins over a
-    /// Content-Length; anything else unframed is an empty body).
+    /// The request's body framing, per RFC 9112 §6.3. Ambiguous framing is
+    /// rejected outright — these are the request-smuggling shapes:
+    ///
+    /// * `Transfer-Encoding` alongside any `Content-Length` (a front proxy
+    ///   honoring one and this server the other would desynchronize);
+    /// * more than one `Content-Length` header, even with equal values;
+    /// * a `Content-Length` list value (`"5, 5"`) or any non-digit byte.
+    ///
+    /// Callers must treat `Err` as 400 *and* close the connection: the body
+    /// length is unknowable, so the next request's start is too.
     pub fn body_kind(&self) -> Result<BodyKind, Error> {
-        if let Some(te) = self.header("transfer-encoding") {
-            if te.eq_ignore_ascii_case("chunked") {
-                return Ok(BodyKind::Chunked);
+        let te: Vec<&str> = self.header_values("transfer-encoding").collect();
+        let cl: Vec<&str> = self.header_values("content-length").collect();
+        if !te.is_empty() {
+            if !cl.is_empty() {
+                return Err(bad(
+                    "both transfer-encoding and content-length present (ambiguous framing)",
+                ));
+            }
+            if let [one] = te.as_slice() {
+                if one.eq_ignore_ascii_case("chunked") {
+                    return Ok(BodyKind::Chunked);
+                }
             }
             return Err(bad(format!("unsupported transfer-encoding {te:?}")));
         }
-        match self.header("content-length") {
-            None => Ok(BodyKind::Empty),
-            Some(v) => {
+        match cl.as_slice() {
+            [] => Ok(BodyKind::Empty),
+            [v] => {
+                let v = v.trim();
+                // Strict digits only: no sign, no list value ("5, 5"), no
+                // leading-'+' — anything a lenient front proxy might read
+                // differently than we do.
+                if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                    return Err(bad(format!("bad content-length {v:?}")));
+                }
                 let n: u64 = v
-                    .trim()
                     .parse()
                     .map_err(|_| bad(format!("bad content-length {v:?}")))?;
                 Ok(if n == 0 {
@@ -100,6 +131,10 @@ impl Request {
                     BodyKind::Sized(n)
                 })
             }
+            many => Err(bad(format!(
+                "{} content-length headers (ambiguous framing)",
+                many.len()
+            ))),
         }
     }
 
@@ -441,6 +476,39 @@ mod tests {
         assert_eq!(r.header("host"), Some("x"));
         assert_eq!(r.body_kind().unwrap(), BodyKind::Sized(5));
         assert!(r.keep_alive());
+    }
+
+    #[test]
+    fn ambiguous_body_framing_is_rejected() {
+        // Two Content-Length headers, conflicting values.
+        let r = parse("POST /q HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 0\r\n\r\n");
+        assert!(r.body_kind().unwrap_err().to_string().contains("ambiguous"));
+        // Two Content-Length headers, *equal* values: still rejected (a
+        // front proxy may merge or drop one).
+        let r = parse("POST /q HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\n");
+        assert!(r.body_kind().is_err());
+        // A list value smuggled in one header line.
+        let r = parse("POST /q HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\n");
+        assert!(r.body_kind().is_err());
+        // Signs and garbage.
+        for v in ["+5", "-1", "5x", ""] {
+            let r = parse(&format!("POST /q HTTP/1.1\r\nContent-Length: {v}\r\n\r\n"));
+            assert!(r.body_kind().is_err(), "content-length {v:?} accepted");
+        }
+        // Transfer-Encoding together with Content-Length.
+        let r =
+            parse("POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\nContent-Length: 4\r\n\r\n");
+        assert!(r.body_kind().unwrap_err().to_string().contains("ambiguous"));
+        // Doubled Transfer-Encoding headers.
+        let r = parse(
+            "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\nTransfer-Encoding: chunked\r\n\r\n",
+        );
+        assert!(r.body_kind().is_err());
+        // The well-formed shapes still parse.
+        let r = parse("POST /q HTTP/1.1\r\nContent-Length: 7\r\n\r\n");
+        assert_eq!(r.body_kind().unwrap(), BodyKind::Sized(7));
+        let r = parse("POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert_eq!(r.body_kind().unwrap(), BodyKind::Chunked);
     }
 
     #[test]

@@ -24,6 +24,12 @@
 //! [`foxq_core::stream::StreamLimits::serving`]; connections carry
 //! read/write timeouts so no peer can wedge a worker.
 //!
+//! Connection I/O is readiness-driven: an epoll reactor thread
+//! ([`reactor`]) owns every socket and its per-connection state machine
+//! ([`conn`]), and the worker pool runs only the CPU-bound engine half —
+//! a slow or idle peer costs a small buffer, never a parked thread (see
+//! [`serve`] for the full architecture).
+//!
 //! ```no_run
 //! use foxq_server::{client, Server, ServerConfig};
 //!
@@ -40,8 +46,10 @@
 //! ```
 
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod serve;
 
 pub use metrics::{Endpoint, Metrics};

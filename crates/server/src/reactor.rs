@@ -1,0 +1,239 @@
+//! Readiness notification over raw `epoll`, with no `libc` crate.
+//!
+//! The build environment has no registry access, so the three syscalls the
+//! reactor needs — `epoll_create1`, `epoll_ctl`, `epoll_wait` — are bound
+//! here directly with `extern "C"` declarations against the libc that std
+//! already links, plus `eventfd` for the cross-thread waker the workers use
+//! to hand finished connections back to the reactor. This is the whole
+//! platform layer: everything above it ([`crate::serve`]) speaks
+//! [`Poller`]/[`Waker`] and `std::net`.
+//!
+//! Linux-only by construction (`epoll` is a Linux API); the crate targets
+//! the Linux containers this system deploys into.
+
+use std::io::{Error, ErrorKind};
+use std::os::fd::{AsRawFd, RawFd};
+
+// ---------------------------------------------------------------------------
+// Syscall bindings
+// ---------------------------------------------------------------------------
+
+/// `struct epoll_event`. The kernel ABI packs it on x86-64 (12 bytes);
+/// other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (half-close shows up as readable EOF).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o0004000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout_ms: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+fn cvt(ret: i32) -> std::io::Result<i32> {
+    if ret < 0 {
+        Err(Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller
+// ---------------------------------------------------------------------------
+
+/// An `epoll` instance plus the event buffer for [`Poller::wait`].
+pub struct Poller {
+    epfd: RawFd,
+    events: Vec<EpollEvent>,
+}
+
+impl Poller {
+    pub fn new() -> std::io::Result<Poller> {
+        let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller {
+            epfd,
+            events: vec![EpollEvent { events: 0, data: 0 }; 256],
+        })
+    }
+
+    /// Register `fd` under `token` for `interest` (level-triggered).
+    pub fn add(&self, fd: RawFd, token: u64, interest: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: u32) -> std::io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Deregister an fd. Safe to call on an fd the kernel already dropped
+    /// (closing a socket deregisters it implicitly).
+    pub fn delete(&self, fd: RawFd) -> std::io::Result<()> {
+        match self.ctl(EPOLL_CTL_DEL, fd, 0, 0) {
+            Err(e) if e.kind() == ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: u32) -> std::io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    /// Block until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`-1` = forever). Returns `(token, events)` pairs; `EINTR`
+    /// is retried internally.
+    pub fn wait(&mut self, timeout_ms: i32) -> std::io::Result<Vec<(u64, u32)>> {
+        loop {
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.events.as_mut_ptr(),
+                    self.events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if n >= 0 {
+                return Ok(self.events[..n as usize]
+                    .iter()
+                    .map(|ev| ({ ev.data }, { ev.events }))
+                    .collect());
+            }
+            let err = Error::last_os_error();
+            if err.kind() != ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Waker
+// ---------------------------------------------------------------------------
+
+/// A cross-thread wakeup channel: an `eventfd` registered in the [`Poller`].
+/// Worker threads [`Waker::wake`] after queueing a finished connection; the
+/// reactor drains it with [`Waker::drain`] and checks its return queue.
+/// Clone-free sharing: wrap in `Arc`.
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    pub fn new() -> std::io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// Make the next (or current) [`Poller::wait`] return. Async-safe,
+    /// never blocks: an eventfd write only fails if the counter would
+    /// overflow, which still leaves it readable.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    /// Reset the wakeup counter (reactor side).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poller_reports_readiness_and_waker_wakes() {
+        let mut poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.as_raw_fd(), 7, EPOLLIN).unwrap();
+
+        // Nothing ready: a zero-timeout wait returns empty.
+        assert!(poller.wait(0).unwrap().is_empty());
+
+        waker.wake();
+        let ready = poller.wait(1000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].0, 7);
+        assert!(ready[0].1 & EPOLLIN != 0);
+        waker.drain();
+        assert!(poller.wait(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn poller_sees_a_connected_socket_become_readable() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 1, EPOLLIN).unwrap();
+
+        let mut client = std::net::TcpStream::connect(addr).unwrap();
+        let ready = poller.wait(2000).unwrap();
+        assert!(ready.iter().any(|&(t, e)| t == 1 && e & EPOLLIN != 0));
+
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        poller
+            .add(server_side.as_raw_fd(), 2, EPOLLIN | EPOLLRDHUP)
+            .unwrap();
+        assert!(poller.wait(0).unwrap().iter().all(|&(t, _)| t != 2));
+
+        client.write_all(b"x").unwrap();
+        let ready = poller.wait(2000).unwrap();
+        assert!(ready.iter().any(|&(t, e)| t == 2 && e & EPOLLIN != 0));
+
+        // Deleting stops reports even though data is still pending.
+        poller.delete(server_side.as_raw_fd()).unwrap();
+        assert!(poller.wait(0).unwrap().is_empty());
+    }
+}

@@ -1,25 +1,35 @@
-//! The long-running server: accept loop, worker pool, request routing.
+//! The long-running server: epoll reactor, worker pool, request routing.
 //!
-//! Runtime architecture (all `std`, no async runtime):
+//! Runtime architecture (all `std` plus three raw syscalls, no async
+//! runtime):
 //!
-//! * the **acceptor** thread polls a non-blocking `TcpListener` and pushes
-//!   accepted connections onto an `mpsc` queue (polling instead of blocking
-//!   so a shutdown signal is noticed without a wake-up connection);
-//! * a fixed pool of **worker** threads pops connections and serves
-//!   HTTP/1.1 keep-alive request loops off them; per-connection read/write
-//!   timeouts bound how long a slow or dead peer can hold a worker;
-//! * request bodies stream straight off the socket through a
+//! * one **reactor** thread owns an epoll instance ([`crate::reactor`]) and
+//!   every socket: it accepts (non-blocking listener), accumulates request
+//!   heads, flushes responses, and enforces idle/head/write deadlines —
+//!   all readiness-driven, so a thousand slow or idle connections cost a
+//!   thousand small buffers, **not** a thousand parked threads;
+//! * a fixed pool of **worker** threads runs the CPU-bound half only: a
+//!   connection whose request head is complete is handed over, the worker
+//!   streams the body straight off the socket through a
 //!   [`foxq_xml::BoundedReader`] into the XML parser and the transducer
-//!   lanes — a request body is **never buffered whole**, and reading stops
-//!   at `max_body_bytes` (413) rather than at the peer's mercy;
+//!   lanes (a request body is **never buffered whole**; reading stops at
+//!   `max_body_bytes` → 413), serializes the response, and hands the
+//!   connection back to the reactor for the write;
+//! * per-connection state is an explicit machine ([`crate::conn`]):
+//!   `Idle → ReadHead → RouteBody → WriteResponse → Idle/Close`, with head
+//!   reads and response writes resumable across `WouldBlock`;
+//! * **backpressure**: past `max_connections` open connections the reactor
+//!   stops accepting (the kernel backlog, then the peers, absorb the
+//!   pushback) until load drops;
 //! * **graceful shutdown**: a flag flips (via [`ServerHandle::shutdown`] or
-//!   `POST /shutdown`), the acceptor stops accepting and drops the queue,
-//!   workers finish the requests they are serving — answering with
-//!   `connection: close` — and exit; [`ServerHandle::join`] returns once
-//!   every in-flight request has been answered.
+//!   `POST /shutdown`), the listener closes, idle connections are dropped,
+//!   in-flight requests finish — answering with `connection: close` — and
+//!   [`ServerHandle::join`] returns once the last response is flushed.
 
+use crate::conn::{After, Conn, Phase};
 use crate::http::{read_request, write_response, BodyKind, BodyReader, Request};
 use crate::metrics::{add, sub, Endpoint, Metrics};
+use crate::reactor::{Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use foxq_core::stream::{StreamError, StreamLimits};
 use foxq_core::Mft;
 use foxq_service::{
@@ -29,19 +39,22 @@ use foxq_service::{
 use foxq_store::corpus::valid_doc_id;
 use foxq_store::{ingest_xml_to_tmp, Corpus, StoreError, TapeReader};
 use foxq_xml::{byte_limit_exceeded, BoundedReader, WriterSink, XmlError, XmlReader};
-use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `"127.0.0.1:8080"` (`:0` = ephemeral port).
     pub addr: String,
-    /// Worker threads (each serves one connection at a time).
+    /// Worker threads (CPU-bound request execution; connection I/O is the
+    /// reactor's and costs no worker).
     pub threads: usize,
     /// Maximum *decoded* request-body bytes before a 413.
     pub max_body_bytes: u64,
@@ -51,13 +64,19 @@ pub struct ServerConfig {
     pub compile_limits: CompileLimits,
     /// Per-lane streaming bounds (defaults to [`StreamLimits::serving`]).
     pub stream_limits: StreamLimits,
-    /// Socket read timeout (also bounds how long an idle keep-alive
-    /// connection can occupy a worker).
+    /// Deadline for an idle keep-alive connection's next request head to
+    /// arrive *completely* (slow-loris bound: the clock starts at accept or
+    /// reuse and is *not* reset by trickled bytes), and the worker-side
+    /// socket read timeout while a request body streams.
     pub read_timeout: Duration,
-    /// Socket write timeout.
+    /// Deadline for the peer to drain a response (reactor-side), and the
+    /// worker-side socket write timeout.
     pub write_timeout: Duration,
     /// Maximum `q` parameters accepted by `POST /batch`.
     pub max_queries_per_batch: usize,
+    /// Open-connection cap; past it the reactor stops accepting until load
+    /// drops (kernel backlog backpressure) instead of queueing unboundedly.
+    pub max_connections: usize,
     /// Corpus directory for the document-store endpoints
     /// (`POST /corpus/{id}`, `GET /corpus`, `POST /query?doc=`). `None`
     /// disables them (503).
@@ -78,12 +97,13 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_queries_per_batch: 64,
+            max_connections: 4096,
             corpus_dir: None,
         }
     }
 }
 
-/// State shared by the acceptor, every worker, and the handle.
+/// State shared by the reactor, every worker, and the handle.
 struct Shared {
     config: ServerConfig,
     cache: SharedQueryCache,
@@ -150,35 +170,60 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawn the acceptor and the worker pool; returns immediately.
+    /// Spawn the reactor and the worker pool; returns immediately.
     pub fn start(self) -> std::io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         self.listener.set_nonblocking(true)?;
         let threads = self.shared.config.threads.max(1);
-        let (tx, rx) = mpsc::channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
+
+        let poller = Poller::new()?;
+        let waker = Arc::new(Waker::new()?);
+        poller.add(self.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+        poller.add(waker.as_raw_fd(), TOKEN_WAKER, EPOLLIN)?;
+
+        let (job_tx, job_rx) = mpsc::channel::<Conn>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (done_tx, done_rx) = mpsc::channel::<Finished>();
 
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
-            let rx = rx.clone();
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            let waker = waker.clone();
             let shared = self.shared.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("foxq-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &shared))?,
+                    .spawn(move || worker_loop(&job_rx, &done_tx, &waker, &shared))?,
             );
         }
 
-        let shared = self.shared.clone();
-        let listener = self.listener;
-        let acceptor = std::thread::Builder::new()
-            .name("foxq-acceptor".to_string())
-            .spawn(move || accept_loop(&listener, &tx, &shared))?;
+        let mut reactor = Reactor {
+            poller,
+            listener: Some(self.listener),
+            accepting: true,
+            waker: waker.clone(),
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            in_worker: 0,
+            job_tx: Some(job_tx),
+            done_rx,
+            drain_started: false,
+            shared: self.shared.clone(),
+        };
+        let reactor_thread = std::thread::Builder::new()
+            .name("foxq-reactor".to_string())
+            .spawn(move || {
+                if let Err(e) = reactor.run() {
+                    eprintln!("foxq-server: reactor failed: {e}");
+                }
+            })?;
 
         Ok(ServerHandle {
             addr,
             shared: self.shared,
-            acceptor,
+            waker,
+            reactor: reactor_thread,
             workers,
         })
     }
@@ -188,7 +233,8 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: std::thread::JoinHandle<()>,
+    waker: Arc<Waker>,
+    reactor: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -216,59 +262,625 @@ impl ServerHandle {
     /// Signal shutdown and wait for every in-flight request to drain.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
         self.join();
     }
 
     /// Wait until the server exits (a shutdown is signalled and all
     /// in-flight work has drained).
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        let _ = self.reactor.join();
         for w in self.workers {
             let _ = w.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                add(&shared.metrics.connections_total, 1);
-                if tx.send(stream).is_err() {
-                    break; // every worker is gone
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-    // Dropping `tx` unblocks every idle worker's recv with an error.
+// ---------------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------------
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Upper bound on one epoll cycle, so the shutdown flag and deadline sweep
+/// run at least this often even on a silent server.
+const MAX_POLL: Duration = Duration::from_millis(100);
+
+/// How long a lingering close keeps discarding the peer's unsent tail.
+const LINGER_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A served request on its way back from a worker to the reactor.
+struct Finished {
+    conn: Conn,
+    /// The serialized response (empty for a silent close).
+    response: Vec<u8>,
+    after: After,
 }
 
-fn worker_loop(rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, shared: &Shared) {
+struct Reactor {
+    poller: Poller,
+    /// Dropped (closing the socket) when a drain starts.
+    listener: Option<TcpListener>,
+    /// Whether the listener is currently registered for readiness (false
+    /// while the `max_connections` backpressure gate is closed).
+    accepting: bool,
+    waker: Arc<Waker>,
+    /// Connections currently owned by the reactor, by token. Connections in
+    /// `RouteBody` live in the worker channel / worker stacks instead.
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Connections currently on the worker side (dispatched, not yet
+    /// returned). Drain waits for this to reach zero.
+    in_worker: usize,
+    /// `None` once a drain begins: dropping the sender stops the workers
+    /// after they finish what is queued.
+    job_tx: Option<mpsc::Sender<Conn>>,
+    done_rx: mpsc::Receiver<Finished>,
+    drain_started: bool,
+    shared: Arc<Shared>,
+}
+
+impl Reactor {
+    fn run(&mut self) -> std::io::Result<()> {
+        loop {
+            if self.shared.shutdown.load(Ordering::SeqCst) && !self.drain_started {
+                self.begin_drain();
+            }
+            self.drain_finished();
+            if self.drain_started && self.conns.is_empty() && self.in_worker == 0 {
+                // Dropping the job sender (already None) has stopped the
+                // workers; every response is flushed.
+                return Ok(());
+            }
+
+            let timeout = self.next_timeout();
+            let ready = self.poller.wait(timeout.as_millis() as i32)?;
+            for (token, _events) in ready {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        if let Some(conn) = self.conns.remove(&token) {
+                            self.advance(conn);
+                        }
+                    }
+                }
+            }
+            self.drain_finished();
+            self.sweep_deadlines();
+            self.update_accept_gate();
+        }
+    }
+
+    /// Milliseconds until the nearest connection deadline, capped at
+    /// [`MAX_POLL`].
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        self.conns
+            .values()
+            .map(|c| c.deadline.saturating_duration_since(now))
+            .min()
+            .unwrap_or(MAX_POLL)
+            .min(MAX_POLL)
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stream.set_nodelay(true).ok();
+                    add(&self.shared.metrics.connections_total, 1);
+                    add(&self.shared.metrics.connections_active, 1);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let deadline = Instant::now() + self.shared.config.read_timeout;
+                    let mut conn = Conn::new(stream, token, deadline);
+                    if self.arm(&mut conn, EPOLLIN) {
+                        self.conns.insert(token, conn);
+                    } else {
+                        self.close(conn);
+                    }
+                    if self.open_connections() >= self.shared.config.max_connections {
+                        break; // gate check below will pause accepting
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // Transient per-connection failures (ECONNABORTED and
+                // friends): skip this one, keep accepting.
+                Err(_) => break,
+            }
+        }
+        self.update_accept_gate();
+    }
+
+    fn open_connections(&self) -> usize {
+        self.conns.len() + self.in_worker
+    }
+
+    /// Pause accepting above `max_connections` open connections; resume
+    /// below. The listener stays bound — waiting peers queue in the kernel
+    /// backlog instead of each costing this process a connection.
+    fn update_accept_gate(&mut self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        let want = self.open_connections() < self.shared.config.max_connections;
+        if want && !self.accepting {
+            if self
+                .poller
+                .add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+                .is_ok()
+            {
+                self.accepting = true;
+            }
+        } else if !want && self.accepting {
+            let _ = self.poller.delete(listener.as_raw_fd());
+            self.accepting = false;
+        }
+    }
+
+    /// Drive one connection as far as readiness allows.
+    fn advance(&mut self, conn: Conn) {
+        match conn.phase {
+            Phase::Idle | Phase::ReadHead => self.read_head(conn),
+            Phase::WriteResponse { .. } => self.continue_write(conn),
+            Phase::Linger { .. } => self.continue_linger(conn),
+            // RouteBody connections are not in the map.
+            Phase::RouteBody => self.close(conn),
+        }
+    }
+
+    /// Accumulate head bytes until a complete request head is buffered,
+    /// then hand the connection to a worker.
+    fn read_head(&mut self, mut conn: Conn) {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed. Mid-head that deserves a parting 400
+                    // (the peer may still read: only its write half is
+                    // necessarily done); between requests it is just the
+                    // keep-alive end.
+                    if conn.buf.is_empty() {
+                        self.close(conn);
+                    } else {
+                        add(&self.shared.metrics.http_errors_total, 1);
+                        self.shared.metrics.record_response(400);
+                        let response = simple_response(400, "connection closed mid-head\n");
+                        self.start_write(conn, response, After::Close);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    add(&self.shared.metrics.bytes_in_total, n as u64);
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    conn.phase = Phase::ReadHead;
+                    if conn.head_end().is_some() {
+                        self.dispatch(conn);
+                        return;
+                    }
+                    if conn.buf.len() > Conn::HEAD_BUF_CAP {
+                        add(&self.shared.metrics.http_errors_total, 1);
+                        self.shared.metrics.record_response(400);
+                        let response = simple_response(400, "request head too large\n");
+                        self.start_write(conn, response, After::Close);
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if self.arm(&mut conn, EPOLLIN) {
+                        self.conns.insert(conn.token, conn);
+                    } else {
+                        self.close(conn);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.close(conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Hand a connection with a complete buffered head to the worker pool.
+    fn dispatch(&mut self, mut conn: Conn) {
+        if let Some(interest) = conn.interest.take() {
+            let _ = interest;
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        conn.phase = Phase::RouteBody;
+        match &self.job_tx {
+            Some(tx) => match tx.send(conn) {
+                Ok(()) => self.in_worker += 1,
+                Err(mpsc::SendError(conn)) => self.close(conn),
+            },
+            // Draining: no new requests.
+            None => self.close(conn),
+        }
+    }
+
+    /// Collect connections coming back from workers and start their
+    /// response writes.
+    fn drain_finished(&mut self) {
+        while let Ok(Finished {
+            mut conn,
+            response,
+            after,
+        }) = self.done_rx.try_recv()
+        {
+            self.in_worker -= 1;
+            conn.scanned = 0;
+            self.start_write(conn, response, after);
+        }
+    }
+
+    fn start_write(&mut self, mut conn: Conn, out: Vec<u8>, after: After) {
+        conn.deadline = Instant::now() + self.shared.config.write_timeout;
+        conn.phase = Phase::WriteResponse {
+            out,
+            written: 0,
+            after,
+        };
+        self.continue_write(conn);
+    }
+
+    /// Flush as much of the pending response as the socket accepts;
+    /// resumes on `EPOLLOUT` when the peer applies backpressure.
+    fn continue_write(&mut self, mut conn: Conn) {
+        let Phase::WriteResponse {
+            ref out,
+            mut written,
+            after,
+        } = conn.phase
+        else {
+            return self.close(conn);
+        };
+        while written < out.len() {
+            match (&conn.stream).write(&out[written..]) {
+                Ok(0) => return self.close(conn),
+                Ok(n) => {
+                    written += n;
+                    add(&self.shared.metrics.bytes_out_total, n as u64);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if let Phase::WriteResponse {
+                        written: ref mut w, ..
+                    } = conn.phase
+                    {
+                        *w = written;
+                    }
+                    if self.arm(&mut conn, EPOLLOUT) {
+                        self.conns.insert(conn.token, conn);
+                    } else {
+                        self.close(conn);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.close(conn),
+            }
+        }
+        self.finish_write(conn, after);
+    }
+
+    /// The response is fully flushed: reuse, close, or linger.
+    fn finish_write(&mut self, mut conn: Conn, after: After) {
+        match after {
+            After::Reuse if !self.drain_started => {
+                conn.deadline = Instant::now() + self.shared.config.read_timeout;
+                if conn.head_end().is_some() {
+                    // The next request was pipelined into an earlier
+                    // segment: no readiness event will announce it.
+                    conn.phase = Phase::ReadHead;
+                    self.dispatch(conn);
+                    return;
+                }
+                conn.phase = if conn.buf.is_empty() {
+                    Phase::Idle
+                } else {
+                    Phase::ReadHead
+                };
+                if self.arm(&mut conn, EPOLLIN) {
+                    self.conns.insert(conn.token, conn);
+                } else {
+                    self.close(conn);
+                }
+            }
+            After::Reuse | After::Close => self.close(conn),
+            After::Linger => {
+                // Send FIN, then keep discarding the peer's in-flight body
+                // for a bounded time: an immediate close would RST away the
+                // buffered response (the classic early-413 problem).
+                let _ = conn.stream.shutdown(std::net::Shutdown::Write);
+                conn.phase = Phase::Linger { drained: 0 };
+                conn.deadline = Instant::now() + LINGER_TIMEOUT;
+                if self.arm(&mut conn, EPOLLIN) {
+                    self.conns.insert(conn.token, conn);
+                } else {
+                    self.close(conn);
+                }
+            }
+        }
+    }
+
+    /// Discard the peer's unsent tail (bounded) after a FIN, then close.
+    /// These reads bypass the `bytes_in` counter by design: the metric
+    /// means "bytes delivered to request processing".
+    fn continue_linger(&mut self, mut conn: Conn) {
+        let Phase::Linger { mut drained } = conn.phase else {
+            return self.close(conn);
+        };
+        let mut chunk = [0u8; 8192];
+        loop {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => return self.close(conn),
+                Ok(n) => {
+                    drained += n;
+                    if drained > Conn::LINGER_CAP {
+                        return self.close(conn);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    conn.phase = Phase::Linger { drained };
+                    if self.arm(&mut conn, EPOLLIN) {
+                        self.conns.insert(conn.token, conn);
+                    } else {
+                        self.close(conn);
+                    }
+                    return;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.close(conn),
+            }
+        }
+    }
+
+    /// Close every connection whose phase deadline has passed: idle
+    /// keep-alive timeouts, slow-loris heads, peers not draining their
+    /// response, linger expiry.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.deadline <= now)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in expired {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.close(conn);
+            }
+        }
+    }
+
+    /// Register or re-register a connection's readiness interest. Returns
+    /// false when the kernel refuses (the connection is then unusable).
+    fn arm(&mut self, conn: &mut Conn, want: u32) -> bool {
+        let interest = want | EPOLLRDHUP;
+        let ok = match conn.interest {
+            Some(current) if current == interest => true,
+            Some(_) => self
+                .poller
+                .modify(conn.stream.as_raw_fd(), conn.token, interest)
+                .is_ok(),
+            None => self
+                .poller
+                .add(conn.stream.as_raw_fd(), conn.token, interest)
+                .is_ok(),
+        };
+        conn.interest = if ok { Some(interest) } else { None };
+        ok
+    }
+
+    fn close(&mut self, mut conn: Conn) {
+        if conn.interest.take().is_some() {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        sub(&self.shared.metrics.connections_active, 1);
+        // Dropping the stream closes the fd.
+    }
+
+    /// A drain begins: stop accepting (closing the listener so new
+    /// connects are refused), cut idle and mid-head connections, and stop
+    /// feeding workers. In-flight requests (worker side) and pending
+    /// response writes complete normally.
+    fn begin_drain(&mut self) {
+        self.drain_started = true;
+        if let Some(listener) = self.listener.take() {
+            if self.accepting {
+                let _ = self.poller.delete(listener.as_raw_fd());
+            }
+            self.accepting = false;
+        }
+        self.job_tx = None;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| matches!(c.phase, Phase::Idle | Phase::ReadHead))
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            if let Some(conn) = self.conns.remove(&token) {
+                self.close(conn);
+            }
+        }
+    }
+}
+
+/// Serialize a minimal framing-level error response (no `Reply` routing
+/// involved; used by the reactor for head-level failures).
+fn simple_response(status: u16, body: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write_response(
+        &mut out,
+        status,
+        "text/plain; charset=utf-8",
+        &[],
+        body.as_bytes(),
+        false,
+    )
+    .expect("writing to Vec cannot fail");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workers: the blocking, CPU-bound half
+// ---------------------------------------------------------------------------
+
+fn worker_loop(
+    job_rx: &Arc<Mutex<mpsc::Receiver<Conn>>>,
+    done_tx: &mpsc::Sender<Finished>,
+    waker: &Waker,
+    shared: &Shared,
+) {
     loop {
         // Hold the lock only for the pop, never while serving.
-        let next = match rx.lock() {
+        let next = match job_rx.lock() {
             Ok(guard) => guard.recv(),
             Err(_) => return,
         };
-        let Ok(stream) = next else {
-            return; // queue closed: shutdown drained
+        let Ok(mut conn) = next else {
+            return; // queue closed: drain started
         };
-        add(&shared.metrics.connections_active, 1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = serve_connection(stream, shared);
+            serve_one(&mut conn, shared)
         }));
-        sub(&shared.metrics.connections_active, 1);
-        if outcome.is_err() {
+        let (response, after) = outcome.unwrap_or_else(|_| {
             // A panicking request must not shrink the pool; the connection
             // is torn down, everything shared is panic-safe (atomics and a
             // self-healing cache lock).
             eprintln!("foxq-server: worker recovered from a panicking request");
+            (Vec::new(), After::Close)
+        });
+        let finished = Finished {
+            conn,
+            response,
+            after,
+        };
+        if done_tx.send(finished).is_err() {
+            return; // reactor gone
         }
+        waker.wake();
     }
+}
+
+/// Counts request bytes into the shared metrics as they stream in. Wraps
+/// only the *socket* half of a worker's reader: bytes the reactor already
+/// buffered were counted when they were first read.
+struct CountingReader<R> {
+    inner: R,
+    metrics: Arc<Metrics>,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        add(&self.metrics.bytes_in_total, n as u64);
+        Ok(n)
+    }
+}
+
+/// Serve exactly one request on a connection whose head is fully buffered:
+/// parse it, stream the body through the engines, serialize the response.
+/// Runs on a worker with the socket temporarily in blocking mode; all
+/// response I/O is left to the reactor.
+fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
+    let cfg = &shared.config;
+    if conn.stream.set_nonblocking(false).is_err() {
+        return (Vec::new(), After::Close);
+    }
+    let _ = conn.stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = conn.stream.set_write_timeout(Some(cfg.write_timeout));
+
+    let buffered = std::mem::take(&mut conn.buf);
+    let mut reader = BufReader::with_capacity(
+        16 * 1024,
+        Cursor::new(buffered).chain(CountingReader {
+            inner: &conn.stream,
+            metrics: shared.metrics.clone(),
+        }),
+    );
+    let served = serve_request(&mut reader, shared);
+
+    // Bytes read past this request's framed end (a pipelined next request)
+    // travel back to the reactor with the connection. Wire order: the
+    // BufReader's unconsumed buffer precedes anything still in the cursor.
+    let mut rest = reader.buffer().to_vec();
+    let (cursor, _socket) = reader.into_inner().into_inner();
+    let pos = cursor.position() as usize;
+    let inner = cursor.into_inner();
+    rest.extend_from_slice(&inner[pos..]);
+    conn.buf = rest;
+
+    if conn.stream.set_nonblocking(true).is_err() {
+        return (Vec::new(), After::Close);
+    }
+
+    let Some((reply, keep_requested)) = served else {
+        return (Vec::new(), After::Close); // transport-level failure
+    };
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    let keep = keep_requested && reply.reusable && !draining;
+    shared.metrics.record_response(reply.status);
+    let mut out = Vec::with_capacity(256 + reply.body.len());
+    write_response(
+        &mut out,
+        reply.status,
+        reply.content_type,
+        &reply.headers,
+        &reply.body,
+        keep,
+    )
+    .expect("writing to Vec cannot fail");
+    let after = if keep {
+        After::Reuse
+    } else if !reply.reusable {
+        // Unread request bytes are (or may be) on the wire.
+        After::Linger
+    } else {
+        After::Close
+    };
+    (out, after)
+}
+
+/// Parse and route one request. `None` = close silently (transport error).
+fn serve_request<R: BufRead>(reader: &mut R, shared: &Shared) -> Option<(Reply, bool)> {
+    let request = match read_request(reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return None, // raced peer close
+        Err(e) => {
+            // Head-level garbage: answer 400 when the error is a parse
+            // failure, close silently on transport errors.
+            if e.kind() == ErrorKind::InvalidData {
+                add(&shared.metrics.http_errors_total, 1);
+                return Some((reply_unconsumed(Reply::text(400, format!("{e}\n"))), false));
+            }
+            return None;
+        }
+    };
+    let keep_requested = request.keep_alive();
+    // Ambiguous body framing (duplicate/conflicting Content-Length,
+    // Transfer-Encoding + Content-Length, list values) is rejected up
+    // front for *every* endpoint, and the connection is closed: where the
+    // next request starts is unknowable (RFC 9112 §6.3 — the
+    // request-smuggling shapes).
+    let reply = match request.body_kind() {
+        Err(e) => reply_unconsumed(Reply::text(400, format!("{e}\n"))),
+        Ok(_) => route(&request, reader, shared),
+    };
+    Some((reply, keep_requested))
 }
 
 /// One response, ready to write: status, content type, extra headers, body.
@@ -302,160 +914,6 @@ impl Reply {
             "text/plain; charset=utf-8",
             body.into().into_bytes(),
         )
-    }
-}
-
-/// Counts request bytes into the shared metrics as they stream in.
-struct CountingReader<R> {
-    inner: R,
-    metrics: Arc<Metrics>,
-}
-
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        add(&self.metrics.bytes_in_total, n as u64);
-        Ok(n)
-    }
-}
-
-fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    let cfg = &shared.config;
-    stream.set_read_timeout(Some(cfg.read_timeout))?;
-    stream.set_write_timeout(Some(cfg.write_timeout))?;
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(CountingReader {
-        inner: stream,
-        metrics: shared.metrics.clone(),
-    });
-
-    loop {
-        if !wait_for_head(&mut reader, &writer, shared)? {
-            return Ok(()); // peer gone, idle timeout, or draining
-        }
-        let request = match read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return Ok(()), // clean close between requests
-            Err(e) => {
-                // Head-level garbage: answer 400 when the error is a parse
-                // failure, close silently on transport errors (timeouts on
-                // idle keep-alive connections land here by design).
-                if e.kind() == ErrorKind::InvalidData {
-                    add(&shared.metrics.http_errors_total, 1);
-                    shared.metrics.record_response(400);
-                    let _ = respond(
-                        &mut writer,
-                        shared,
-                        Reply::text(400, format!("{e}\n")),
-                        false,
-                    );
-                }
-                return Ok(());
-            }
-        };
-        let keep_alive_requested = request.keep_alive();
-        let reply = route(&request, &mut reader, shared);
-        let draining = shared.shutdown.load(Ordering::SeqCst);
-        let keep = keep_alive_requested && reply.reusable && !draining;
-        shared.metrics.record_response(reply.status);
-        let unread_body = !reply.reusable;
-        respond(&mut writer, shared, reply, keep)?;
-        if !keep {
-            if unread_body {
-                lingering_close(&writer);
-            }
-            return Ok(());
-        }
-    }
-}
-
-/// Wait until the next request's first byte is available, polling in short
-/// slices so an *idle* keep-alive connection notices a shutdown within
-/// ~100 ms instead of holding the drain for a full `read_timeout` (an idle
-/// connection has no in-flight request to finish). Restores the configured
-/// read timeout before returning, so mid-request stalls keep their normal
-/// bound. `Ok(false)` means close: peer gone, idle too long, or draining.
-fn wait_for_head(
-    reader: &mut impl BufRead,
-    stream: &TcpStream,
-    shared: &Shared,
-) -> std::io::Result<bool> {
-    const POLL: Duration = Duration::from_millis(100);
-    let deadline = std::time::Instant::now() + shared.config.read_timeout;
-    stream.set_read_timeout(Some(POLL))?;
-    let ready = loop {
-        match reader.fill_buf() {
-            Ok([]) => break false, // clean close between requests
-            Ok(_) => break true,
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shared.shutdown.load(Ordering::SeqCst) || std::time::Instant::now() >= deadline {
-                    break false;
-                }
-            }
-            Err(_) => break false,
-        }
-    };
-    stream.set_read_timeout(Some(shared.config.read_timeout))?;
-    Ok(ready)
-}
-
-/// Close a connection that still has unread request bytes on the wire
-/// without losing the response: an immediate close would make the kernel
-/// answer the peer's in-flight body with an RST, which may destroy the
-/// buffered response before the peer reads it (the classic early-413
-/// problem). Send FIN, then discard a bounded amount of the remaining body.
-/// Reading here goes through the raw stream, *not* the metrics counter:
-/// `foxq_bytes_in_total` keeps meaning "bytes delivered to request
-/// processing", which is what the never-buffers-the-body tests assert on.
-fn lingering_close(stream: &TcpStream) {
-    const DRAIN_CAP: usize = 1 << 20;
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let mut discard = [0u8; 8192];
-    let mut drained = 0usize;
-    while drained < DRAIN_CAP {
-        match (&mut (&*stream)).read(&mut discard) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => drained += n,
-        }
-    }
-}
-
-fn respond(
-    writer: &mut TcpStream,
-    shared: &Shared,
-    reply: Reply,
-    keep_alive: bool,
-) -> std::io::Result<()> {
-    let mut counting = CountingWriter {
-        inner: writer,
-        metrics: &shared.metrics,
-    };
-    write_response(
-        &mut counting,
-        reply.status,
-        reply.content_type,
-        &reply.headers,
-        &reply.body,
-        keep_alive,
-    )
-}
-
-struct CountingWriter<'a> {
-    inner: &'a mut TcpStream,
-    metrics: &'a Arc<Metrics>,
-}
-
-impl Write for CountingWriter<'_> {
-    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        let n = self.inner.write(buf)?;
-        add(&self.metrics.bytes_out_total, n as u64);
-        Ok(n)
-    }
-
-    fn flush(&mut self) -> std::io::Result<()> {
-        self.inner.flush()
     }
 }
 
@@ -554,15 +1012,23 @@ fn xml_error_reply(e: &XmlError, limit: u64) -> Reply {
     Reply::text(400, format!("malformed XML input: {e}\n"))
 }
 
+/// A completed multi-lane run plus whether the request body was consumed
+/// to its framed end (false ⇒ unread bytes remain on the wire and the
+/// reply must not reuse the connection).
+type LanesOutcome = (MultiRun<WriterSink<Vec<u8>>>, bool);
+
 /// Stream the request body through `mfts` in one pass; shared by /query
 /// (N = 1) and /batch. The body is read *while* the engines run — it is
-/// never accumulated anywhere.
+/// never accumulated anywhere. The second value of a success is whether
+/// the body was consumed to its framed end: when false, unread bytes
+/// remain on the wire and the reply **must not** reuse the connection
+/// (the next keep-alive request would start mid-body).
 fn run_lanes<R: BufRead>(
     request: &Request,
     conn: &mut R,
     shared: &Shared,
     mfts: &[&Mft],
-) -> Result<MultiRun<WriterSink<Vec<u8>>>, Reply> {
+) -> Result<LanesOutcome, Reply> {
     let kind = request
         .body_kind()
         .map_err(|e| reply_unconsumed(Reply::text(400, format!("{e}\n"))))?;
@@ -573,13 +1039,14 @@ fn run_lanes<R: BufRead>(
             "missing request body (the XML document)\n",
         ));
     }
-    let body = BodyReader::new(conn, kind);
-    let bounded = BoundedReader::new(body, shared.config.max_body_bytes);
+    let mut body = BodyReader::new(conn, kind);
+    let bounded = BoundedReader::new(&mut body, shared.config.max_body_bytes);
     let reader = XmlReader::new(bounded);
     let sinks: Vec<_> = mfts.iter().map(|_| WriterSink::new(Vec::new())).collect();
     add(&shared.metrics.lane_runs_total, mfts.len() as u64);
-    run_multi_with_limits(mfts, reader, sinks, shared.config.stream_limits)
-        .map_err(|e| reply_unconsumed(xml_error_reply(&e, shared.config.max_body_bytes)))
+    let run = run_multi_with_limits(mfts, reader, sinks, shared.config.stream_limits)
+        .map_err(|e| reply_unconsumed(xml_error_reply(&e, shared.config.max_body_bytes)))?;
+    Ok((run, body.exhausted()))
 }
 
 fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
@@ -598,14 +1065,14 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
         Err(e) => return prepare_error_reply(&e),
     };
     let doc = request.params("doc").next().map(String::from);
-    let run = match &doc {
+    let (run, body_exhausted) = match &doc {
         // `?doc=<id>`: replay the stored tape — no request body, no parse.
         Some(id) => match run_on_tape(request, shared, &prepared, id) {
-            Ok(run) => run,
+            Ok(run) => (run, true),
             Err(reply) => return reply,
         },
         None => match run_lanes(request, conn, shared, &[prepared.mft()]) {
-            Ok(run) => run,
+            Ok(ok) => ok,
             Err(reply) => return reply,
         },
     };
@@ -640,6 +1107,12 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
                     "x-foxq-seek-skipped-bytes",
                     run.seek_skipped_bytes.to_string(),
                 ));
+            }
+            if !body_exhausted {
+                // The run succeeded but the framed body was not fully
+                // consumed (trailing bytes after the document): reusing the
+                // connection would desynchronize the next request.
+                return reply_unconsumed(reply);
             }
             reply
         }
@@ -750,8 +1223,8 @@ fn handle_corpus_ingest<R: BufRead>(
     let dir = shared.corpus().expect("checked above").dir().to_path_buf();
     let seq = shared.ingest_seq.fetch_add(1, Ordering::Relaxed);
     let tmp = dir.join(format!(".ingest-{seq}-{id}.tmp"));
-    let body = BodyReader::new(conn, kind);
-    let bounded = BoundedReader::new(body, shared.config.max_body_bytes);
+    let mut body = BodyReader::new(conn, kind);
+    let bounded = BoundedReader::new(&mut body, shared.config.max_body_bytes);
     match ingest_xml_to_tmp(&tmp, bounded) {
         Ok((info, source_bytes)) => {
             let installed =
@@ -763,13 +1236,18 @@ fn handle_corpus_ingest<R: BufRead>(
                 Ok(meta) => {
                     add(&shared.metrics.corpus_ingests_total, 1);
                     add(&shared.metrics.input_events_total, info.events + 1);
-                    Reply::text(
+                    let reply = Reply::text(
                         200,
                         format!(
                             "stored {}: {} events, {} tape bytes (from {} XML bytes)\n",
                             meta.id, meta.events, meta.tape_bytes, meta.source_bytes
                         ),
-                    )
+                    );
+                    if body.exhausted() {
+                        reply
+                    } else {
+                        reply_unconsumed(reply)
+                    }
                 }
                 Err(e) => Reply::text(500, format!("corpus commit failed: {e}\n")),
             }
@@ -821,8 +1299,8 @@ fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
         }
     }
     let mfts: Vec<&Mft> = prepared.iter().map(|p| p.mft()).collect();
-    let run = match run_lanes(request, conn, shared, &mfts) {
-        Ok(run) => run,
+    let (run, body_exhausted) = match run_lanes(request, conn, shared, &mfts) {
+        Ok(ok) => ok,
         Err(reply) => return reply,
     };
     add(&shared.metrics.input_events_total, run.input_events);
@@ -855,9 +1333,10 @@ fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
         ("x-foxq-input-events", run.input_events.to_string()),
         ("x-foxq-failed-lanes", failures.to_string()),
     ];
-    // If every lane failed, the pass aborted early and the body was not
-    // fully read; the connection cannot be reused.
-    reply.reusable = any_ok;
+    // If every lane failed the pass aborted early; and even a successful
+    // pass can leave trailing framed bytes unread. Either way the
+    // connection cannot be reused.
+    reply.reusable = any_ok && body_exhausted;
     reply
 }
 

@@ -57,6 +57,7 @@ impl Corpus {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Corpus, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        sweep_orphaned_tmp(&dir)?;
         let mut corpus = Corpus {
             dir,
             docs: BTreeMap::new(),
@@ -236,6 +237,33 @@ pub fn ingest_xml_to_tmp(
     result
 }
 
+/// Delete crash-orphaned ingest temp files (`.ingest-*.tmp`,
+/// `.<id>.ingest.tmp`, `.manifest.tmp`) left behind by a process that died
+/// mid-ingest. Only ever runs at open time, when no ingest is in flight;
+/// committed tapes and the manifest are never dot-prefixed, so they are
+/// never candidates. Returns how many files were removed.
+fn sweep_orphaned_tmp(dir: &Path) -> Result<usize, StoreError> {
+    let mut swept = 0;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !name.starts_with('.') || !name.ends_with(".tmp") {
+            continue;
+        }
+        if !entry.file_type()?.is_file() {
+            continue;
+        }
+        // A file racing with its own deletion is already what we wanted.
+        match std::fs::remove_file(entry.path()) {
+            Ok(()) => swept += 1,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::Io(e)),
+        }
+    }
+    Ok(swept)
+}
+
 fn parse_manifest_line(line: &str) -> Result<DocMeta, String> {
     let fields: Vec<&str> = line.split('\t').collect();
     let [id, file, source_bytes, tape_bytes, events, checksum] = fields.as_slice() else {
@@ -270,6 +298,47 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("foxq-corpus-{test}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn open_sweeps_crash_orphaned_tmp_files_but_keeps_documents() {
+        let dir = scratch("sweep");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        corpus.add_xml("kept", &b"<a>ok</a>"[..]).unwrap();
+        drop(corpus);
+
+        // What a crash mid-ingest leaves behind: the server's uniquified
+        // temp name, the corpus's own, and a manifest rewrite in flight.
+        for orphan in [".ingest-7-kept.tmp", ".kept.ingest.tmp", ".manifest.tmp"] {
+            std::fs::write(dir.join(orphan), b"half-written").unwrap();
+        }
+
+        let corpus = Corpus::open(&dir).unwrap();
+        for orphan in [".ingest-7-kept.tmp", ".kept.ingest.tmp", ".manifest.tmp"] {
+            assert!(!dir.join(orphan).exists(), "{orphan} should be swept");
+        }
+        // The committed tape and manifest survived the sweep.
+        assert_eq!(corpus.len(), 1);
+        let mut tape = corpus.open_tape("kept").unwrap();
+        let mut events = 0;
+        while tape.next_event().unwrap() != XmlEvent::Eof {
+            events += 1;
+        }
+        assert_eq!(events, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_on_a_file_is_a_store_io_error() {
+        // The sweep (and everything after it) propagates I/O failures as
+        // `StoreError::Io` instead of panicking or half-opening.
+        let path = scratch("notadir");
+        std::fs::write(&path, b"i am a file").unwrap();
+        match Corpus::open(&path) {
+            Err(StoreError::Io(_)) => {}
+            other => panic!("expected StoreError::Io, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -478,6 +478,227 @@ fn corpus_ingest_list_query_and_metrics() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------------
+// Keep-alive framing: pipelining, smuggling shapes, trailing bytes
+// ---------------------------------------------------------------------------
+
+/// Two complete requests written in one TCP segment: both must be answered,
+/// in order, off the bytes the server buffered past the first request.
+#[test]
+fn pipelined_requests_in_one_segment_are_both_answered() {
+    use std::io::Write;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    let target = client::query_target(PERSON_NAMES);
+    let body = doc(&["Pipe"]);
+    let mut segment = Vec::new();
+    segment.extend_from_slice(
+        format!(
+            "POST {target} HTTP/1.1\r\nhost: foxq\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    segment.extend_from_slice(&body);
+    segment.extend_from_slice(b"GET /healthz HTTP/1.1\r\nhost: foxq\r\n\r\n");
+    c.raw_writer().write_all(&segment).unwrap();
+    c.raw_writer().flush().unwrap();
+
+    let r1 = c.read_response().unwrap();
+    assert_eq!((r1.status, r1.text().as_str()), (200, "<o>Pipe</o>"));
+    let r2 = c.read_response().unwrap();
+    assert_eq!((r2.status, r2.text().as_str()), (200, "ok\n"));
+    handle.shutdown();
+}
+
+/// Duplicate, conflicting, and list-valued `Content-Length` headers are the
+/// request-smuggling shapes of RFC 9112 §6.3: each must be answered 400 and
+/// the connection closed, and the bytes a desynchronized parser would have
+/// treated as a second request must never be answered.
+#[test]
+fn conflicting_content_lengths_are_rejected_and_the_connection_closed() {
+    use std::io::Write;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    // The trailer is what a front proxy honoring the *other* CL value
+    // would forward as a separate request; answering it means smuggling.
+    let smuggle = "GET /smuggled HTTP/1.1\r\nhost: foxq\r\n\r\n";
+    for cl_headers in [
+        "content-length: 0\r\ncontent-length: 38\r\n",
+        "content-length: 38\r\ncontent-length: 38\r\n",
+        "content-length: 0, 38\r\n",
+    ] {
+        let mut c = Client::connect(addr).unwrap();
+        let wire = format!("GET /healthz HTTP/1.1\r\nhost: foxq\r\n{cl_headers}\r\n{smuggle}");
+        c.raw_writer().write_all(wire.as_bytes()).unwrap();
+        c.raw_writer().flush().unwrap();
+        let r = c.read_response().unwrap();
+        assert_eq!(r.status, 400, "headers {cl_headers:?}: {}", r.text());
+        assert!(
+            c.read_response().is_err(),
+            "connection stayed open after ambiguous framing {cl_headers:?}"
+        );
+    }
+    // The smuggled target never reached routing.
+    let text = client::get(addr, "/metrics").unwrap().text();
+    assert_eq!(metric(&text, "foxq_responses_total{code=\"400\"}"), 3);
+    handle.shutdown();
+}
+
+/// `Transfer-Encoding` together with `Content-Length` is ambiguous framing
+/// (RFC 9112 §6.3): 400, connection closed — today's silent TE-wins
+/// behavior is exactly how smuggling pairs disagree.
+#[test]
+fn transfer_encoding_with_content_length_is_rejected() {
+    use std::io::Write;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = client::query_target(PERSON_NAMES);
+    let mut c = Client::connect(addr).unwrap();
+    let wire = format!(
+        "POST {target} HTTP/1.1\r\nhost: foxq\r\n\
+         transfer-encoding: chunked\r\ncontent-length: 4\r\n\r\n\
+         4\r\n<a/>\r\n0\r\n\r\n"
+    );
+    c.raw_writer().write_all(wire.as_bytes()).unwrap();
+    c.raw_writer().flush().unwrap();
+    let r = c.read_response().unwrap();
+    assert_eq!(r.status, 400, "{}", r.text());
+    assert!(r.text().contains("transfer-encoding"), "{}", r.text());
+    assert!(c.read_response().is_err(), "connection stayed open");
+    handle.shutdown();
+}
+
+/// Bytes after the XML root inside a sized body must never desynchronize
+/// the next keep-alive request: either the parser consumes them (top-level
+/// text) and the pipelined request is answered normally, or the request
+/// fails and the connection closes. A response to a *mis-framed* second
+/// request is the bug.
+#[test]
+fn trailing_bytes_after_the_root_never_misframe_the_next_request() {
+    use std::io::Write;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = client::query_target(PERSON_NAMES);
+
+    // Trailing top-level text: consumed to the framed end, connection
+    // reusable, pipelined request answered.
+    let mut c = Client::connect(addr).unwrap();
+    let body = b"<site><people/></site> trailing words";
+    let wire = format!(
+        "POST {target} HTTP/1.1\r\nhost: foxq\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    c.raw_writer().write_all(wire.as_bytes()).unwrap();
+    c.raw_writer().write_all(body).unwrap();
+    c.raw_writer()
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: foxq\r\n\r\n")
+        .unwrap();
+    c.raw_writer().flush().unwrap();
+    let r1 = c.read_response().unwrap();
+    // If the server kept the connection, the second response must be the
+    // health check — not a parse of mid-body bytes. A closed connection
+    // (read error) is also sound.
+    if let Ok(r2) = c.read_response() {
+        assert_eq!(r1.status, 200, "{}", r1.text());
+        assert_eq!((r2.status, r2.text().as_str()), (200, "ok\n"));
+    }
+
+    // Trailing garbage that kills the parse mid-body: the 400 must close
+    // the connection (unread bytes remain), never answer the next head.
+    let mut c = Client::connect(addr).unwrap();
+    let body = b"<site><people/></site></oops>";
+    let wire = format!(
+        "POST {target} HTTP/1.1\r\nhost: foxq\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    c.raw_writer().write_all(wire.as_bytes()).unwrap();
+    c.raw_writer().write_all(body).unwrap();
+    c.raw_writer()
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: foxq\r\n\r\n")
+        .unwrap();
+    c.raw_writer().flush().unwrap();
+    let r1 = c.read_response().unwrap();
+    assert_eq!(r1.status, 400, "{}", r1.text());
+    assert!(
+        c.read_response().is_err(),
+        "connection reused after an unconsumed body"
+    );
+    handle.shutdown();
+}
+
+/// A chunked body whose terminating `0\r\n\r\n` is followed *in the same
+/// segment* by the next request head: the chunk decoder must stop exactly
+/// at the framed end and the next head must be answered.
+#[test]
+fn chunked_body_followed_immediately_by_the_next_head() {
+    use std::io::Write;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = client::query_target(PERSON_NAMES);
+    let body = doc(&["Chunky"]);
+
+    let mut segment = Vec::new();
+    segment.extend_from_slice(
+        format!("POST {target} HTTP/1.1\r\nhost: foxq\r\ntransfer-encoding: chunked\r\n\r\n")
+            .as_bytes(),
+    );
+    for chunk in body.chunks(7) {
+        segment.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        segment.extend_from_slice(chunk);
+        segment.extend_from_slice(b"\r\n");
+    }
+    segment.extend_from_slice(b"0\r\n\r\n");
+    segment.extend_from_slice(b"GET /healthz HTTP/1.1\r\nhost: foxq\r\n\r\n");
+
+    let mut c = Client::connect(addr).unwrap();
+    c.raw_writer().write_all(&segment).unwrap();
+    c.raw_writer().flush().unwrap();
+    let r1 = c.read_response().unwrap();
+    assert_eq!((r1.status, r1.text().as_str()), (200, "<o>Chunky</o>"));
+    let r2 = c.read_response().unwrap();
+    assert_eq!((r2.status, r2.text().as_str()), (200, "ok\n"));
+    handle.shutdown();
+}
+
+/// The reactor property itself: connections trickling partial heads park in
+/// the reactor, not on workers — with a single worker thread and eight
+/// stalled peers, a healthy client is still answered immediately. (The
+/// worker-pool server wedged here: each stalled head held the worker for a
+/// full read timeout.)
+#[test]
+fn stalled_head_connections_do_not_wedge_healthy_clients() {
+    use std::io::Write;
+    let config = ServerConfig {
+        threads: 1,
+        ..test_config()
+    };
+    let handle = start(config);
+    let addr = handle.local_addr();
+
+    let mut stalled = Vec::new();
+    for _ in 0..8 {
+        let mut c = Client::connect(addr).unwrap();
+        c.raw_writer()
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: loris\r\n")
+            .unwrap();
+        c.raw_writer().flush().unwrap();
+        stalled.push(c); // keep open, never finish the head
+    }
+
+    let t0 = std::time::Instant::now();
+    let r = client::get(addr, "/healthz").unwrap();
+    assert_eq!(r.status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "healthy request took {:?} behind stalled connections",
+        t0.elapsed()
+    );
+    drop(stalled);
+    handle.shutdown();
+}
+
 #[test]
 fn corpus_endpoints_without_a_corpus_are_503() {
     let handle = start(test_config());
