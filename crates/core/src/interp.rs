@@ -104,12 +104,37 @@ pub fn run_mft_with_limits(
     input: &[Tree],
     limits: RunLimits,
 ) -> Result<Forest, RunError> {
+    run_mft_with_stats(mft, input, limits).map(|(out, _)| out)
+}
+
+/// Counters from one in-memory interpreter run: the value-core memo
+/// gauges (hit/miss/size) plus the step count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Memo probes that found an existing value.
+    pub memo_hits: u64,
+    /// Memo probes that missed (the configuration had to be evaluated).
+    pub memo_misses: u64,
+    /// Entries resident in the memo table at end of run.
+    pub memo_entries: usize,
+    /// Evaluation steps consumed (vs. [`RunLimits::max_steps`]).
+    pub steps: u64,
+}
+
+/// [`run_mft_with_limits`], additionally reporting memo-table counters.
+pub fn run_mft_with_stats(
+    mft: &Mft,
+    input: &[Tree],
+    limits: RunLimits,
+) -> Result<(Forest, InterpStats), RunError> {
     let mut ctx = Ctx {
         mft,
         steps: 0,
         limits,
         interner: ValueInterner::new(),
         memo: FxHashMap::default(),
+        memo_hits: 0,
+        memo_misses: 0,
     };
     let value = ctx.eval_state(mft.initial, input, Vec::new())?;
     let mut out = Vec::new();
@@ -118,7 +143,13 @@ pub fn run_mft_with_limits(
         .map_err(|e| RunError::OutputLimit {
             max_output_nodes: e.max_nodes,
         })?;
-    Ok(out)
+    let stats = InterpStats {
+        memo_hits: ctx.memo_hits,
+        memo_misses: ctx.memo_misses,
+        memo_entries: ctx.memo.len(),
+        steps: ctx.steps,
+    };
+    Ok((out, stats))
 }
 
 /// Memo key of one state evaluation.
@@ -144,6 +175,8 @@ struct Ctx<'a> {
     limits: RunLimits,
     interner: ValueInterner,
     memo: FxHashMap<MemoKey, Value>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 /// Variable bindings while evaluating one rhs. `'a` is the input forest's
@@ -186,12 +219,14 @@ impl<'a> Ctx<'a> {
                 params: params.iter().map(Value::fingerprint).collect(),
             };
             if let Some(v) = self.memo.get(&key) {
+                self.memo_hits += 1;
                 let v = v.clone();
                 for k in pending {
                     self.memo.insert(k, v.clone());
                 }
                 return Ok(v);
             }
+            self.memo_misses += 1;
             let rules = &self.mft.rules[q.idx()];
             let (rhs, node) = match g0.split_first() {
                 None => (&rules.eps, None),
@@ -658,6 +693,34 @@ mod tests {
             Err(RunError::OutputLimit {
                 max_output_nodes: 100
             })
+        );
+    }
+
+    #[test]
+    fn interp_stats_report_memo_behavior() {
+        // Same doubling FT as above, shallow enough to materialize: each
+        // suffix is evaluated once (a miss) and hit once by the second
+        // branch of the rule that revisits it.
+        let mut m = Mft::new();
+        let a = m.alphabet.intern_elem("a");
+        let q = m.add_state("q", 0);
+        m.initial = q;
+        m.set_sym_rule(
+            q,
+            a,
+            vec![call(q, XVar::X2, vec![]), call(q, XVar::X2, vec![])],
+        );
+        m.set_eps_rule(q, vec![out(a, vec![])]);
+        m.validate().unwrap();
+        let f = parse_forest(&"a ".repeat(8)).unwrap();
+        let (_, stats) = run_mft_with_stats(&m, &f, RunLimits::default()).unwrap();
+        assert!(stats.memo_hits >= 8, "{stats:?}");
+        assert!(stats.memo_misses >= stats.memo_entries as u64, "{stats:?}");
+        assert!(stats.memo_entries >= 8, "{stats:?}");
+        assert_eq!(
+            stats.steps,
+            stats.memo_hits + stats.memo_misses,
+            "{stats:?}"
         );
     }
 

@@ -125,6 +125,12 @@ pub struct StreamStats {
     pub peak_live_nodes: usize,
     /// Peak approximate bytes of live expression nodes.
     pub peak_live_bytes: usize,
+    /// Peak number of simultaneously *pending* state calls — output
+    /// positions whose value is still unresolved. This is the part of
+    /// the buffer that blocks earliest emission: everything to the left
+    /// of the first pending call could in principle be flushed. The
+    /// streamability planner (ROADMAP item 4) predicts this quantity.
+    pub peak_pending_calls: usize,
     /// Maximum element nesting depth seen.
     pub max_depth: usize,
     /// Output events pushed to the sink.
@@ -179,11 +185,14 @@ struct Arena {
     live_bytes: usize,
     peak_live: usize,
     peak_bytes: usize,
+    pending: usize,
+    peak_pending: usize,
 }
 
 impl Arena {
     fn alloc(&mut self, expr: Expr) -> ExprId {
         let bytes = approx_bytes(&expr);
+        let is_pending = matches!(expr, Expr::Pending { .. });
         let idx = match self.free.pop() {
             Some(i) => {
                 let slot = &mut self.slots[i as usize];
@@ -209,6 +218,12 @@ impl Arena {
         }
         if self.live_bytes > self.peak_bytes {
             self.peak_bytes = self.live_bytes;
+        }
+        if is_pending {
+            self.pending += 1;
+            if self.pending > self.peak_pending {
+                self.peak_pending = self.pending;
+            }
         }
         ExprId {
             idx,
@@ -262,9 +277,23 @@ impl Arena {
                 Expr::Forest(children) | Expr::Node { children, .. } => {
                     stack.extend(children);
                 }
-                Expr::Pending { args, .. } => stack.extend(args),
+                Expr::Pending { args, .. } => {
+                    self.pending -= 1;
+                    stack.extend(args);
+                }
             }
         }
+    }
+
+    /// Replace a pending call's expression in place (the expansion
+    /// rewrite), keeping the pending count and byte estimate honest.
+    fn resolve(&mut self, id: ExprId, expr: Expr) {
+        debug_assert!(matches!(self.get(id), Expr::Pending { .. }));
+        if !matches!(expr, Expr::Pending { .. }) {
+            self.pending -= 1;
+        }
+        *self.get_mut(id) = expr;
+        self.rebytes(id);
     }
 
     /// Refresh the slot's byte estimate after an in-place rewrite.
@@ -400,6 +429,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     fn sync_peaks(&mut self) {
         self.stats.peak_live_nodes = self.arena.peak_live;
         self.stats.peak_live_bytes = self.arena.peak_bytes;
+        self.stats.peak_pending_calls = self.arena.peak_pending;
     }
 
     /// Feed the closing event of the most recently opened node.
@@ -494,8 +524,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
                 self.arena.release(*arg);
             }
         }
-        *self.arena.get_mut(id) = Expr::Forest(children);
-        self.arena.rebytes(id);
+        self.arena.resolve(id, Expr::Forest(children));
     }
 
     /// Instantiate a rhs forest: allocate output nodes, share parameters,
@@ -792,6 +821,36 @@ mod tests {
             // Identity is fully incremental: nothing accumulates.
             assert!(stats.peak_live_nodes < 32, "{}", stats.peak_live_nodes);
         }
+    }
+
+    #[test]
+    fn pending_calls_high_water_mark_is_tracked() {
+        // Identity holds at most a handful of unresolved calls at once
+        // (the frontier of the copy), regardless of document size.
+        let m =
+            parse_mft("qcopy(%t(x1) x2) -> %t(qcopy(x1)) qcopy(x2); qcopy(eps) -> eps;").unwrap();
+        let stats = check_stream(&m, r#"a(b("t") c) d(e(f))"#);
+        assert!(
+            stats.peak_pending_calls >= 1,
+            "{}",
+            stats.peak_pending_calls
+        );
+        assert!(
+            stats.peak_pending_calls <= stats.peak_live_nodes,
+            "pending {} > live {}",
+            stats.peak_pending_calls,
+            stats.peak_live_nodes
+        );
+        // Deeper nesting opens more simultaneously-unresolved calls than a
+        // flat document: the HWM responds to buffering pressure.
+        let flat = check_stream(&m, "a b c d");
+        let deep = check_stream(&m, "a(b(c(d(e(f(g))))))");
+        assert!(
+            deep.peak_pending_calls > flat.peak_pending_calls,
+            "deep {} <= flat {}",
+            deep.peak_pending_calls,
+            flat.peak_pending_calls
+        );
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Observability core for foxq: histograms, spans, and trace sinks.
+//!
+//! Zero-dependency (std only), mirroring the house style of
+//! `foxq_server::reactor`. Three pieces, layered so the engine crates
+//! stay free of any global state:
+//!
+//! - [`Histogram`]: fixed-bucket latency histogram with atomic buckets,
+//!   lock-free recording, and Prometheus text exposition
+//!   (`_bucket`/`_sum`/`_count` with cumulative `le` buckets).
+//! - [`TraceContext`] / [`Span`]: a per-request accumulator of
+//!   per-[`Stage`] wall time, driven by RAII guards over monotonic
+//!   clocks. Snapshots out to a [`StageTimes`] value that renders as a
+//!   `Server-Timing` header or a CLI stage table.
+//! - [`TraceSink`] implementations: [`RingSink`] (bounded in-memory
+//!   ring for `/debug/requests`) and [`JsonlSink`] (append-only JSONL
+//!   file for `foxq serve --trace-log`).
+//!
+//! The stage taxonomy ([`Stage`]) is shared across the stack: the
+//! compile pipeline (`foxq_service`), the engines (`foxq_core`), the
+//! tape store (`foxq_store`), and the HTTP layer (`foxq_server`) all
+//! report through the same eight names.
+
+mod histogram;
+mod sink;
+mod span;
+
+pub use histogram::Histogram;
+pub use sink::{JsonlSink, RingSink, TraceRecord, TraceSink};
+pub use span::{Span, StageTimes, TraceContext};
+
+/// Pipeline stages shared across the stack.
+///
+/// Every timed region in foxq is attributed to exactly one of these.
+/// The order is the order stages run in for a typical request; renderers
+/// preserve it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Query text to AST (`foxq_xquery::parse_query`).
+    Parse,
+    /// AST to macro forest transducer (`foxq_tt::translate`).
+    Translate,
+    /// MFT rewriting: inlining, dead-state elimination (`foxq_tt::optimize`).
+    Optimize,
+    /// Prepared-query cache probe, including waiting on the cache lock.
+    CacheLookup,
+    /// Engine event loop over a parsed XML stream.
+    Execute,
+    /// Engine event loop over a FET1 tape (corpus path).
+    TapeReplay,
+    /// Forward seeks over prefiltered subtrees within a tape.
+    TapeSeek,
+    /// Output forest to response bytes.
+    Serialize,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Parse,
+        Stage::Translate,
+        Stage::Optimize,
+        Stage::CacheLookup,
+        Stage::Execute,
+        Stage::TapeReplay,
+        Stage::TapeSeek,
+        Stage::Serialize,
+    ];
+
+    /// Number of stages (array dimension for per-stage storage).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable lowercase name used in metric labels, Server-Timing
+    /// entries, and the CLI stage table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Translate => "translate",
+            Stage::Optimize => "optimize",
+            Stage::CacheLookup => "cache_lookup",
+            Stage::Execute => "execute",
+            Stage::TapeReplay => "tape_replay",
+            Stage::TapeSeek => "tape_seek",
+            Stage::Serialize => "serialize",
+        }
+    }
+
+    /// Index into per-stage arrays; inverse of `ALL[idx]`.
+    pub fn idx(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Translate => 1,
+            Stage::Optimize => 2,
+            Stage::CacheLookup => 3,
+            Stage::Execute => 4,
+            Stage::TapeReplay => 5,
+            Stage::TapeSeek => 6,
+            Stage::Serialize => 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_roundtrip() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.idx(), i);
+        }
+        assert_eq!(Stage::COUNT, Stage::ALL.len());
+    }
+
+    #[test]
+    fn stage_names_unique() {
+        let mut names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::COUNT);
+    }
+}

@@ -1,0 +1,280 @@
+//! Trace sinks: where finished request traces go.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::span::StageTimes;
+
+/// One finished request (or CLI run), with its stage breakdown.
+#[derive(Debug, Clone)]
+pub struct TraceRecord {
+    /// Request id (matches the `X-Foxq-Request-Id` response header).
+    pub id: u64,
+    /// What was served: endpoint name or CLI command.
+    pub target: String,
+    /// Free-form detail — request path, query hash; may be empty.
+    pub detail: String,
+    /// HTTP status (0 for CLI runs).
+    pub status: u16,
+    /// End-to-end wall time in microseconds.
+    pub total_micros: u64,
+    /// Per-stage breakdown.
+    pub stages: StageTimes,
+    /// Wall-clock completion time, milliseconds since the Unix epoch.
+    pub unix_millis: u64,
+}
+
+impl TraceRecord {
+    /// Milliseconds since the Unix epoch, for stamping records.
+    pub fn now_unix_millis() -> u64 {
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Destination for finished traces. Implementations must tolerate
+/// concurrent calls; recording must never fail the request being
+/// traced.
+pub trait TraceSink: Send + Sync {
+    fn record(&self, rec: &TraceRecord);
+}
+
+/// Bounded in-memory ring of the most recent records — the slow-query
+/// log behind `GET /debug/requests`. Oldest records are evicted first.
+pub struct RingSink {
+    cap: usize,
+    buf: Mutex<VecDeque<TraceRecord>>,
+}
+
+impl RingSink {
+    /// Ring holding at most `cap` records (`cap` 0 keeps none).
+    pub fn new(cap: usize) -> RingSink {
+        RingSink {
+            cap,
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceRecord>> {
+        // A panic while holding the lock poisons it; the data is a
+        // plain ring of records, still safe to use.
+        self.buf.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Render the ring as a human-readable text table (oldest first),
+    /// one line per record plus a header.
+    pub fn dump(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::new();
+        let _ = writeln!(out, "# slow requests: {} (most recent last)", records.len());
+        for r in &records {
+            let _ = write!(
+                out,
+                "id={:016x} target={} status={} total_ms={}",
+                r.id,
+                r.target,
+                r.status,
+                millis_display(r.total_micros)
+            );
+            for (stage, micros) in r.stages.iter() {
+                let _ = write!(out, " {}_ms={}", stage.name(), millis_display(micros));
+            }
+            if !r.detail.is_empty() {
+                let _ = write!(out, " detail={:?}", r.detail);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, rec: &TraceRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut buf = self.lock();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(rec.clone());
+    }
+}
+
+/// Append-only JSONL trace log (`foxq serve --trace-log <path>`): one
+/// JSON object per record. Write errors are swallowed — tracing must
+/// never take down serving.
+pub struct JsonlSink {
+    out: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Open (create or append to) the log at `path`.
+    pub fn open(path: &Path) -> std::io::Result<JsonlSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(file),
+        })
+    }
+
+    /// Serialize one record as a single JSON line.
+    fn to_json(rec: &TraceRecord) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"id\":\"{:016x}\",\"target\":{},\"status\":{},\"unix_ms\":{},\"total_us\":{}",
+            rec.id,
+            json_string(&rec.target),
+            rec.status,
+            rec.unix_millis,
+            rec.total_micros
+        );
+        if !rec.detail.is_empty() {
+            let _ = write!(out, ",\"detail\":{}", json_string(&rec.detail));
+        }
+        let _ = write!(out, ",\"stages_us\":{{");
+        let mut first = true;
+        for (stage, micros) in rec.stages.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{micros}", stage.name());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, rec: &TraceRecord) {
+        let line = Self::to_json(rec);
+        let mut file = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(&mut *file, "{line}");
+    }
+}
+
+/// Minimal JSON string encoder (control chars, quotes, backslashes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Micros rendered as decimal millis for the text dump.
+fn millis_display(micros: u64) -> String {
+    crate::histogram::micros_as_seconds(micros.saturating_mul(1_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+
+    fn rec(id: u64, total: u64) -> TraceRecord {
+        let mut stages = StageTimes::default();
+        stages.add(Stage::Parse, 100);
+        stages.add(Stage::Execute, total.saturating_sub(100));
+        TraceRecord {
+            id,
+            target: "query".to_string(),
+            detail: String::new(),
+            status: 200,
+            total_micros: total,
+            stages,
+            unix_millis: 1_700_000_000_000,
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = RingSink::new(2);
+        assert!(ring.is_empty());
+        ring.record(&rec(1, 1_000));
+        ring.record(&rec(2, 2_000));
+        ring.record(&rec(3, 3_000));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, 2);
+        assert_eq!(snap[1].id, 3);
+        let dump = ring.dump();
+        assert!(dump.contains("# slow requests: 2"));
+        assert!(dump.contains("id=0000000000000003 target=query status=200 total_ms=3"));
+        assert!(dump.contains("parse_ms=0.1"));
+    }
+
+    #[test]
+    fn zero_capacity_ring_keeps_nothing() {
+        let ring = RingSink::new(0);
+        ring.record(&rec(1, 1_000));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let line = JsonlSink::to_json(&TraceRecord {
+            detail: "a\"b\\c\nd".to_string(),
+            ..rec(0xabc, 5_000)
+        });
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"id\":\"0000000000000abc\""));
+        assert!(line.contains("\"target\":\"query\""));
+        assert!(line.contains("\"detail\":\"a\\\"b\\\\c\\nd\""));
+        assert!(line.contains("\"parse\":100"));
+        assert!(line.contains("\"execute\":4900"));
+        // Balanced braces (no raw newline inside).
+        assert_eq!(line.matches('\n').count(), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_appends_to_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("foxq_obs_test_{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = JsonlSink::open(&path).unwrap();
+            sink.record(&rec(1, 1_000));
+            sink.record(&rec(2, 2_000));
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -29,6 +29,7 @@
 //! along in [`Conn::buf`] across phase changes and worker handoffs.
 
 use crate::http::MAX_HEAD_BYTES;
+use crate::metrics::Endpoint;
 use std::net::TcpStream;
 use std::time::Instant;
 
@@ -86,6 +87,16 @@ pub struct Conn {
     /// Whether the fd is currently registered in the poller, and with what
     /// interest (`EPOLLIN`/`EPOLLOUT`); `None` while in a worker.
     pub interest: Option<u32>,
+    /// When the current request's head completed (set at dispatch); the
+    /// anchor for the TTFB and request-latency histograms. Taken when the
+    /// response is fully flushed.
+    pub req_start: Option<Instant>,
+    /// Whether time-to-first-byte was already observed for the current
+    /// response (only the first written chunk counts).
+    pub ttfb_recorded: bool,
+    /// Endpoint that served the current request (stamped by the worker),
+    /// attributing the flush-complete latency to the right histogram.
+    pub endpoint: Option<Endpoint>,
 }
 
 impl Conn {
@@ -106,6 +117,9 @@ impl Conn {
             phase: Phase::Idle,
             deadline,
             interest: None,
+            req_start: None,
+            ttfb_recorded: false,
+            endpoint: None,
         }
     }
 

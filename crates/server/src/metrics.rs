@@ -1,11 +1,13 @@
 //! Process-wide serving metrics, rendered in the Prometheus text format.
 //!
-//! Plain `AtomicU64` counters behind an `Arc`: workers increment with
-//! `Relaxed` ordering (monotone counters need no synchronization beyond
-//! atomicity), `GET /metrics` renders a snapshot. Cache statistics are not
-//! duplicated here — the render pulls them live from the shared
-//! [`foxq_service::SharedQueryCache`] so the two views can never drift.
+//! Plain `AtomicU64` counters and [`foxq_obs::Histogram`]s behind an
+//! `Arc`: workers record with `Relaxed` ordering (monotone counters need
+//! no synchronization beyond atomicity), `GET /metrics` renders a
+//! snapshot. Cache statistics are not duplicated here — the render pulls
+//! them live from the shared [`foxq_service::SharedQueryCache`] so the
+//! two views can never drift.
 
+use foxq_obs::{Histogram, Stage};
 use foxq_service::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,21 +21,24 @@ pub enum Endpoint {
     /// `GET /corpus` (manifest) and `POST /corpus/{id}` (ingest).
     Corpus,
     Shutdown,
+    /// `GET /debug/requests` (the slow-query ring).
+    Debug,
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 7] = [
+    const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Query,
         Endpoint::Batch,
         Endpoint::Corpus,
         Endpoint::Shutdown,
+        Endpoint::Debug,
         Endpoint::Other,
     ];
 
-    fn name(self) -> &'static str {
+    pub(crate) fn name(self) -> &'static str {
         match self {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
@@ -41,6 +46,7 @@ impl Endpoint {
             Endpoint::Batch => "batch",
             Endpoint::Corpus => "corpus",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Debug => "debug",
             Endpoint::Other => "other",
         }
     }
@@ -54,16 +60,24 @@ impl Endpoint {
 const CODES: [u16; 9] = [200, 400, 404, 405, 408, 413, 422, 500, 503];
 
 /// Counter registry shared by every worker.
-#[derive(Default)]
 pub struct Metrics {
     /// Connections accepted over the process lifetime.
     pub connections_total: AtomicU64,
     /// Connections currently being served (gauge).
     pub connections_active: AtomicU64,
+    /// Connections draining in the Linger phase (gauge).
+    pub connections_lingering: AtomicU64,
+    /// Requests dispatched to workers but not yet picked up (gauge).
+    pub worker_queue_depth: AtomicU64,
+    /// Times the accept gate closed because `max_connections` was reached.
+    pub accept_gate_rejections_total: AtomicU64,
     /// Requests received, by endpoint.
-    requests: [AtomicU64; 7],
+    requests: [AtomicU64; 8],
     /// Responses sent, by status code.
     responses: [AtomicU64; 9],
+    /// Error responses sent, by status class (4xx / 5xx).
+    http_errors_4xx: AtomicU64,
+    http_errors_5xx: AtomicU64,
     /// Request bytes delivered to request processing (heads and bodies; a
     /// lingering close's discarded tail is excluded by design).
     pub bytes_in_total: AtomicU64,
@@ -85,8 +99,47 @@ pub struct Metrics {
     pub corpus_hits_total: AtomicU64,
     /// Documents ingested into the corpus (`POST /corpus/{id}`).
     pub corpus_ingests_total: AtomicU64,
-    /// Requests whose head failed to parse (no endpoint attributable).
-    pub http_errors_total: AtomicU64,
+    /// Head-completion to full-flush latency, by endpoint.
+    request_latency: [Histogram; 8],
+    /// Head-completion to first response byte on the socket.
+    pub ttfb: Histogram,
+    /// Per-request engine time, by pipeline stage.
+    engine_stage: [Histogram; Stage::COUNT],
+    /// Reactor busy time per wakeup (everything between two epoll waits).
+    pub loop_lag: Histogram,
+    /// Time blocked inside `epoll_wait` per reactor cycle.
+    pub epoll_wait: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            connections_total: AtomicU64::new(0),
+            connections_active: AtomicU64::new(0),
+            connections_lingering: AtomicU64::new(0),
+            worker_queue_depth: AtomicU64::new(0),
+            accept_gate_rejections_total: AtomicU64::new(0),
+            requests: Default::default(),
+            responses: Default::default(),
+            http_errors_4xx: AtomicU64::new(0),
+            http_errors_5xx: AtomicU64::new(0),
+            bytes_in_total: AtomicU64::new(0),
+            bytes_out_total: AtomicU64::new(0),
+            input_events_total: AtomicU64::new(0),
+            output_events_total: AtomicU64::new(0),
+            lane_runs_total: AtomicU64::new(0),
+            lane_failures_total: AtomicU64::new(0),
+            prefilter_skipped_total: AtomicU64::new(0),
+            seek_skipped_bytes_total: AtomicU64::new(0),
+            corpus_hits_total: AtomicU64::new(0),
+            corpus_ingests_total: AtomicU64::new(0),
+            request_latency: std::array::from_fn(|_| Histogram::latency()),
+            ttfb: Histogram::latency(),
+            engine_stage: std::array::from_fn(|_| Histogram::latency()),
+            loop_lag: Histogram::reactor(),
+            epoll_wait: Histogram::reactor(),
+        }
+    }
 }
 
 /// Add to a counter (relaxed; all metrics are monotone or gauge-like).
@@ -112,6 +165,11 @@ impl Metrics {
         if let Some(i) = CODES.iter().position(|&c| c == status) {
             add(&self.responses[i], 1);
         }
+        match status {
+            400..=499 => add(&self.http_errors_4xx, 1),
+            500..=599 => add(&self.http_errors_5xx, 1),
+            _ => {}
+        }
     }
 
     /// Requests seen on one endpoint (used by tests).
@@ -127,11 +185,21 @@ impl Metrics {
             .map_or(0, |i| get(&self.responses[i]))
     }
 
+    /// The request-latency histogram of one endpoint.
+    pub fn request_latency(&self, endpoint: Endpoint) -> &Histogram {
+        &self.request_latency[endpoint.idx()]
+    }
+
+    /// The engine-time histogram of one pipeline stage.
+    pub fn engine_stage(&self, stage: Stage) -> &Histogram {
+        &self.engine_stage[stage.idx()]
+    }
+
     /// Render the Prometheus text exposition, splicing in the query cache's
     /// live counters and (when a corpus is configured) the stored-document
     /// count.
     pub fn render(&self, cache: CacheStats, corpus_docs: Option<u64>) -> String {
-        let mut out = String::with_capacity(2048);
+        let mut out = String::with_capacity(8192);
         let mut counter = |name: &str, help: &str, value: u64| {
             scalar(&mut out, name, help, "counter", value);
         };
@@ -151,9 +219,9 @@ impl Metrics {
             get(&self.bytes_out_total),
         );
         counter(
-            "foxq_http_errors_total",
-            "Requests whose head failed to parse.",
-            get(&self.http_errors_total),
+            "foxq_accept_gate_rejections_total",
+            "Times the accept gate closed at max_connections.",
+            get(&self.accept_gate_rejections_total),
         );
         counter(
             "foxq_input_events_total",
@@ -222,6 +290,20 @@ impl Metrics {
             "gauge",
             get(&self.connections_active),
         );
+        scalar(
+            &mut out,
+            "foxq_connections_lingering",
+            "Connections draining in the Linger phase.",
+            "gauge",
+            get(&self.connections_lingering),
+        );
+        scalar(
+            &mut out,
+            "foxq_worker_queue_depth",
+            "Requests dispatched to workers but not yet picked up.",
+            "gauge",
+            get(&self.worker_queue_depth),
+        );
         if let Some(docs) = corpus_docs {
             scalar(
                 &mut out,
@@ -232,6 +314,16 @@ impl Metrics {
             );
         }
 
+        out.push_str("# HELP foxq_http_errors_total Error responses sent, by status class.\n");
+        out.push_str("# TYPE foxq_http_errors_total counter\n");
+        out.push_str(&format!(
+            "foxq_http_errors_total{{class=\"4xx\"}} {}\n",
+            get(&self.http_errors_4xx)
+        ));
+        out.push_str(&format!(
+            "foxq_http_errors_total{{class=\"5xx\"}} {}\n",
+            get(&self.http_errors_5xx)
+        ));
         out.push_str("# HELP foxq_requests_total Requests received, by endpoint.\n");
         out.push_str("# TYPE foxq_requests_total counter\n");
         for e in Endpoint::ALL {
@@ -249,6 +341,38 @@ impl Metrics {
                 get(&self.responses[i])
             ));
         }
+
+        out.push_str(
+            "# HELP foxq_request_latency_seconds Head-completion to full response flush.\n",
+        );
+        out.push_str("# TYPE foxq_request_latency_seconds histogram\n");
+        for e in Endpoint::ALL {
+            self.request_latency[e.idx()].render_into(
+                &mut out,
+                "foxq_request_latency_seconds",
+                &format!("endpoint=\"{}\"", e.name()),
+            );
+        }
+        out.push_str("# HELP foxq_ttfb_seconds Head-completion to first response byte.\n");
+        out.push_str("# TYPE foxq_ttfb_seconds histogram\n");
+        self.ttfb.render_into(&mut out, "foxq_ttfb_seconds", "");
+        out.push_str("# HELP foxq_engine_stage_seconds Per-request engine time, by stage.\n");
+        out.push_str("# TYPE foxq_engine_stage_seconds histogram\n");
+        for s in Stage::ALL {
+            self.engine_stage[s.idx()].render_into(
+                &mut out,
+                "foxq_engine_stage_seconds",
+                &format!("stage=\"{}\"", s.name()),
+            );
+        }
+        out.push_str("# HELP foxq_reactor_loop_lag_seconds Reactor busy time per wakeup.\n");
+        out.push_str("# TYPE foxq_reactor_loop_lag_seconds histogram\n");
+        self.loop_lag
+            .render_into(&mut out, "foxq_reactor_loop_lag_seconds", "");
+        out.push_str("# HELP foxq_reactor_epoll_wait_seconds Time blocked in epoll_wait.\n");
+        out.push_str("# TYPE foxq_reactor_epoll_wait_seconds histogram\n");
+        self.epoll_wait
+            .render_into(&mut out, "foxq_reactor_epoll_wait_seconds", "");
         out
     }
 }
@@ -277,16 +401,50 @@ mod tests {
         };
         let text = m.render(cache, Some(3));
         assert!(text.contains("foxq_requests_total{endpoint=\"query\"} 1"));
+        assert!(text.contains("foxq_requests_total{endpoint=\"debug\"} 0"));
         assert!(text.contains("foxq_responses_total{code=\"200\"} 1"));
         assert!(text.contains("foxq_bytes_in_total 42"));
         assert!(text.contains("foxq_query_cache_hits_total 7"));
         assert!(text.contains("# TYPE foxq_connections_active gauge"));
+        assert!(text.contains("# TYPE foxq_connections_lingering gauge"));
+        assert!(text.contains("# TYPE foxq_worker_queue_depth gauge"));
+        assert!(text.contains("foxq_accept_gate_rejections_total 0"));
         assert!(text.contains("foxq_seek_skipped_bytes_total 0"));
         assert!(text.contains("foxq_corpus_hits_total 0"));
         assert!(text.contains("foxq_corpus_docs 3"));
+        assert!(text.contains("# TYPE foxq_request_latency_seconds histogram"));
+        assert!(text.contains("# TYPE foxq_engine_stage_seconds histogram"));
+        assert!(text.contains("# TYPE foxq_reactor_loop_lag_seconds histogram"));
+        assert!(text.contains("foxq_ttfb_seconds_count 0"));
         // Without a corpus the gauge is absent but the counters remain.
         let text = m.render(cache, None);
         assert!(!text.contains("foxq_corpus_docs"));
         assert!(text.contains("foxq_corpus_ingests_total 0"));
+    }
+
+    #[test]
+    fn error_classes_split_in_rendering() {
+        let m = Metrics::default();
+        m.record_response(400);
+        m.record_response(413);
+        m.record_response(503);
+        m.record_response(200);
+        let text = m.render(CacheStats::default(), None);
+        assert!(text.contains("foxq_http_errors_total{class=\"4xx\"} 2"));
+        assert!(text.contains("foxq_http_errors_total{class=\"5xx\"} 1"));
+    }
+
+    #[test]
+    fn latency_observations_land_in_the_right_family() {
+        let m = Metrics::default();
+        m.request_latency(Endpoint::Query).observe_micros(1_500);
+        m.engine_stage(Stage::Execute).observe_micros(900);
+        let text = m.render(CacheStats::default(), None);
+        assert!(text.contains("foxq_request_latency_seconds_count{endpoint=\"query\"} 1"));
+        assert!(text.contains("foxq_request_latency_seconds_count{endpoint=\"batch\"} 0"));
+        assert!(text
+            .contains("foxq_request_latency_seconds_bucket{endpoint=\"query\",le=\"0.0025\"} 1"));
+        assert!(text.contains("foxq_engine_stage_seconds_count{stage=\"execute\"} 1"));
+        assert!(text.contains("foxq_engine_stage_seconds_sum{stage=\"execute\"} 0.0009"));
     }
 }

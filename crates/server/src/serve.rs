@@ -32,6 +32,7 @@ use crate::metrics::{add, sub, Endpoint, Metrics};
 use crate::reactor::{Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use foxq_core::stream::{StreamError, StreamLimits};
 use foxq_core::Mft;
+use foxq_obs::{JsonlSink, RingSink, Stage, TraceContext, TraceRecord, TraceSink};
 use foxq_service::{
     run_multi_on_tape, run_multi_with_limits, CompileLimits, MultiRun, PrepareError, PreparedQuery,
     SharedQueryCache,
@@ -81,6 +82,14 @@ pub struct ServerConfig {
     /// (`POST /corpus/{id}`, `GET /corpus`, `POST /query?doc=`). `None`
     /// disables them (503).
     pub corpus_dir: Option<String>,
+    /// Slow-query threshold: requests whose end-to-end time reaches this
+    /// many milliseconds land in the `GET /debug/requests` ring with
+    /// their full stage breakdown. `0` traces every request.
+    pub slow_ms: u64,
+    /// Append every request's trace as one JSON line to this file
+    /// (`foxq serve --trace-log <path>`). `None` disables the file sink;
+    /// the in-memory slow-query ring is always on.
+    pub trace_log: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +108,8 @@ impl Default for ServerConfig {
             max_queries_per_batch: 64,
             max_connections: 4096,
             corpus_dir: None,
+            slow_ms: 500,
+            trace_log: None,
         }
     }
 }
@@ -115,6 +126,12 @@ struct Shared {
     ingest_seq: AtomicU64,
     metrics: Arc<Metrics>,
     shutdown: AtomicBool,
+    /// Uniquifies request ids (`X-Foxq-Request-Id`).
+    request_seq: AtomicU64,
+    /// Slow requests, newest last (`GET /debug/requests`).
+    trace_ring: RingSink,
+    /// Optional JSONL file sink tracing *every* request.
+    trace_log: Option<JsonlSink>,
 }
 
 impl Shared {
@@ -152,6 +169,12 @@ impl Server {
             })?)),
             None => None,
         };
+        let trace_log = match &config.trace_log {
+            Some(path) => Some(JsonlSink::open(std::path::Path::new(path)).map_err(|e| {
+                std::io::Error::new(ErrorKind::InvalidInput, format!("trace log {path}: {e}"))
+            })?),
+            None => None,
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -161,6 +184,9 @@ impl Server {
                 ingest_seq: AtomicU64::new(0),
                 metrics: Arc::new(Metrics::default()),
                 shutdown: AtomicBool::new(false),
+                request_seq: AtomicU64::new(0),
+                trace_ring: RingSink::new(TRACE_RING_CAP),
+                trace_log,
             }),
         })
     }
@@ -291,6 +317,9 @@ const MAX_POLL: Duration = Duration::from_millis(100);
 /// How long a lingering close keeps discarding the peer's unsent tail.
 const LINGER_TIMEOUT: Duration = Duration::from_millis(500);
 
+/// Capacity of the slow-request ring served by `GET /debug/requests`.
+const TRACE_RING_CAP: usize = 128;
+
 /// A served request on its way back from a worker to the reactor.
 struct Finished {
     conn: Conn,
@@ -336,7 +365,17 @@ impl Reactor {
             }
 
             let timeout = self.next_timeout();
+            let wait_start = Instant::now();
             let ready = self.poller.wait(timeout.as_millis() as i32)?;
+            // Two clocks per cycle: how long the reactor slept in
+            // epoll_wait, and how long it then stayed busy before the next
+            // wait (the loop lag every other connection's readiness rides
+            // behind).
+            let busy_start = Instant::now();
+            self.shared
+                .metrics
+                .epoll_wait
+                .observe(busy_start.duration_since(wait_start));
             for (token, _events) in ready {
                 match token {
                     TOKEN_LISTENER => self.accept_ready(),
@@ -351,6 +390,7 @@ impl Reactor {
             self.drain_finished();
             self.sweep_deadlines();
             self.update_accept_gate();
+            self.shared.metrics.loop_lag.observe(busy_start.elapsed());
         }
     }
 
@@ -426,6 +466,7 @@ impl Reactor {
         } else if !want && self.accepting {
             let _ = self.poller.delete(listener.as_raw_fd());
             self.accepting = false;
+            add(&self.shared.metrics.accept_gate_rejections_total, 1);
         }
     }
 
@@ -454,7 +495,6 @@ impl Reactor {
                     if conn.buf.is_empty() {
                         self.close(conn);
                     } else {
-                        add(&self.shared.metrics.http_errors_total, 1);
                         self.shared.metrics.record_response(400);
                         let response = simple_response(400, "connection closed mid-head\n");
                         self.start_write(conn, response, After::Close);
@@ -470,7 +510,6 @@ impl Reactor {
                         return;
                     }
                     if conn.buf.len() > Conn::HEAD_BUF_CAP {
-                        add(&self.shared.metrics.http_errors_total, 1);
                         self.shared.metrics.record_response(400);
                         let response = simple_response(400, "request head too large\n");
                         self.start_write(conn, response, After::Close);
@@ -501,9 +540,17 @@ impl Reactor {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
         }
         conn.phase = Phase::RouteBody;
+        // The request clock starts when the head is complete; first
+        // response byte (TTFB) and full flush (request latency) are
+        // measured against it back on the reactor side.
+        conn.req_start = Some(Instant::now());
+        conn.ttfb_recorded = false;
         match &self.job_tx {
             Some(tx) => match tx.send(conn) {
-                Ok(()) => self.in_worker += 1,
+                Ok(()) => {
+                    self.in_worker += 1;
+                    add(&self.shared.metrics.worker_queue_depth, 1);
+                }
                 Err(mpsc::SendError(conn)) => self.close(conn),
             },
             // Draining: no new requests.
@@ -551,6 +598,12 @@ impl Reactor {
             match (&conn.stream).write(&out[written..]) {
                 Ok(0) => return self.close(conn),
                 Ok(n) => {
+                    if !conn.ttfb_recorded {
+                        conn.ttfb_recorded = true;
+                        if let Some(start) = conn.req_start {
+                            self.shared.metrics.ttfb.observe(start.elapsed());
+                        }
+                    }
                     written += n;
                     add(&self.shared.metrics.bytes_out_total, n as u64);
                 }
@@ -577,6 +630,14 @@ impl Reactor {
 
     /// The response is fully flushed: reuse, close, or linger.
     fn finish_write(&mut self, mut conn: Conn, after: After) {
+        let started = conn.req_start.take();
+        let endpoint = conn.endpoint.take();
+        if let (Some(start), Some(endpoint)) = (started, endpoint) {
+            self.shared
+                .metrics
+                .request_latency(endpoint)
+                .observe(start.elapsed());
+        }
         match after {
             After::Reuse if !self.drain_started => {
                 conn.deadline = Instant::now() + self.shared.config.read_timeout;
@@ -605,6 +666,9 @@ impl Reactor {
                 // buffered response (the classic early-413 problem).
                 let _ = conn.stream.shutdown(std::net::Shutdown::Write);
                 conn.phase = Phase::Linger { drained: 0 };
+                // `close` decrements by matching on the phase, so the
+                // gauge stays balanced on every exit path.
+                add(&self.shared.metrics.connections_lingering, 1);
                 conn.deadline = Instant::now() + LINGER_TIMEOUT;
                 if self.arm(&mut conn, EPOLLIN) {
                     self.conns.insert(conn.token, conn);
@@ -688,6 +752,9 @@ impl Reactor {
         if conn.interest.take().is_some() {
             let _ = self.poller.delete(conn.stream.as_raw_fd());
         }
+        if matches!(conn.phase, Phase::Linger { .. }) {
+            sub(&self.shared.metrics.connections_lingering, 1);
+        }
         sub(&self.shared.metrics.connections_active, 1);
         // Dropping the stream closes the fd.
     }
@@ -754,6 +821,7 @@ fn worker_loop(
         let Ok(mut conn) = next else {
             return; // queue closed: drain started
         };
+        sub(&shared.metrics.worker_queue_depth, 1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             serve_one(&mut conn, shared)
         }));
@@ -812,7 +880,9 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
             metrics: shared.metrics.clone(),
         }),
     );
-    let served = serve_request(&mut reader, shared);
+    let req_id = shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let ctx = TraceContext::new(req_id);
+    let served = serve_request(&mut reader, shared, &ctx);
 
     // Bytes read past this request's framed end (a pipelined next request)
     // travel back to the reactor with the connection. Wire order: the
@@ -828,9 +898,52 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
         return (Vec::new(), After::Close);
     }
 
-    let Some((reply, keep_requested)) = served else {
+    let Some((mut reply, keep_requested)) = served else {
         return (Vec::new(), After::Close); // transport-level failure
     };
+    conn.endpoint = Some(reply.endpoint);
+    // Histograms and the Server-Timing header are fed from the same
+    // snapshot, so the two views can never disagree about a request.
+    let times = ctx.times();
+    for (stage, micros) in times.iter() {
+        shared.metrics.engine_stage(stage).observe_micros(micros);
+    }
+    reply
+        .headers
+        .push(("x-foxq-request-id", format!("{req_id:016x}")));
+    let total_micros = ctx.total_micros();
+    let mut timing = times.server_timing_value();
+    if !timing.is_empty() {
+        timing.push_str(", ");
+    }
+    let _ = {
+        use std::fmt::Write as _;
+        write!(
+            timing,
+            "total;dur={}.{:03}",
+            total_micros / 1_000,
+            total_micros % 1_000
+        )
+    };
+    reply.headers.push(("server-timing", timing));
+    let slow = total_micros >= shared.config.slow_ms.saturating_mul(1_000);
+    if slow || shared.trace_log.is_some() {
+        let record = TraceRecord {
+            id: req_id,
+            target: reply.endpoint.name().to_string(),
+            detail: std::mem::take(&mut reply.detail),
+            status: reply.status,
+            total_micros,
+            stages: times,
+            unix_millis: TraceRecord::now_unix_millis(),
+        };
+        if slow {
+            shared.trace_ring.record(&record);
+        }
+        if let Some(log) = &shared.trace_log {
+            log.record(&record);
+        }
+    }
     let draining = shared.shutdown.load(Ordering::SeqCst);
     let keep = keep_requested && reply.reusable && !draining;
     shared.metrics.record_response(reply.status);
@@ -856,7 +969,11 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
 }
 
 /// Parse and route one request. `None` = close silently (transport error).
-fn serve_request<R: BufRead>(reader: &mut R, shared: &Shared) -> Option<(Reply, bool)> {
+fn serve_request<R: BufRead>(
+    reader: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+) -> Option<(Reply, bool)> {
     let request = match read_request(reader) {
         Ok(Some(req)) => req,
         Ok(None) => return None, // raced peer close
@@ -864,7 +981,6 @@ fn serve_request<R: BufRead>(reader: &mut R, shared: &Shared) -> Option<(Reply, 
             // Head-level garbage: answer 400 when the error is a parse
             // failure, close silently on transport errors.
             if e.kind() == ErrorKind::InvalidData {
-                add(&shared.metrics.http_errors_total, 1);
                 return Some((reply_unconsumed(Reply::text(400, format!("{e}\n"))), false));
             }
             return None;
@@ -878,7 +994,7 @@ fn serve_request<R: BufRead>(reader: &mut R, shared: &Shared) -> Option<(Reply, 
     // request-smuggling shapes).
     let reply = match request.body_kind() {
         Err(e) => reply_unconsumed(Reply::text(400, format!("{e}\n"))),
-        Ok(_) => route(&request, reader, shared),
+        Ok(_) => route(&request, reader, shared, ctx),
     };
     Some((reply, keep_requested))
 }
@@ -895,6 +1011,11 @@ struct Reply {
     /// Tracks actual body consumption, *not* the status: an error answer
     /// to a body-free request keeps its keep-alive connection.
     reusable: bool,
+    /// Which endpoint produced this reply (drives the per-endpoint
+    /// request-latency histogram; stamped by `route`).
+    endpoint: Endpoint,
+    /// `"METHOD /path"`, for the slow-query log (stamped by `route`).
+    detail: String,
 }
 
 impl Reply {
@@ -905,6 +1026,8 @@ impl Reply {
             headers: Vec::new(),
             body: body.into(),
             reusable: true,
+            endpoint: Endpoint::Other,
+            detail: String::new(),
         }
     }
 
@@ -917,10 +1040,16 @@ impl Reply {
     }
 }
 
-fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+fn route<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+) -> Reply {
     let endpoint = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Endpoint::Healthz,
         ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", "/debug/requests") => Endpoint::Debug,
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/batch") => Endpoint::Batch,
         ("GET", "/corpus") => Endpoint::Corpus,
@@ -940,8 +1069,9 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
         reply
     };
 
-    match endpoint {
+    let mut reply = match endpoint {
         Endpoint::Healthz => bodyless(Reply::text(200, "ok\n"), request),
+        Endpoint::Debug => bodyless(Reply::text(200, shared.trace_ring.dump()), request),
         Endpoint::Metrics => bodyless(
             Reply::new(
                 200,
@@ -957,14 +1087,14 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
             shared.shutdown.store(true, Ordering::SeqCst);
             bodyless(Reply::text(200, "draining\n"), request)
         }
-        Endpoint::Query => handle_query(request, conn, shared),
-        Endpoint::Batch => handle_batch(request, conn, shared),
+        Endpoint::Query => handle_query(request, conn, shared, ctx),
+        Endpoint::Batch => handle_batch(request, conn, shared, ctx),
         Endpoint::Corpus => {
             if request.method == "GET" {
                 bodyless(handle_corpus_list(shared), request)
             } else {
                 let id = request.path["/corpus/".len()..].to_string();
-                handle_corpus_ingest(request, conn, shared, &id)
+                handle_corpus_ingest(request, conn, shared, ctx, &id)
             }
         }
         Endpoint::Other => {
@@ -972,7 +1102,7 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
                 || request.path.starts_with("/corpus/")
                 || matches!(
                     request.path.as_str(),
-                    "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown"
+                    "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown" | "/debug/requests"
                 );
             let status = if known { 405 } else { 404 };
             bodyless(
@@ -983,7 +1113,10 @@ fn route<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply 
                 request,
             )
         }
-    }
+    };
+    reply.endpoint = endpoint;
+    reply.detail = format!("{} {}", request.method, request.path);
+    reply
 }
 
 /// Classify a compile failure. The request body was not touched yet, so
@@ -1049,7 +1182,12 @@ fn run_lanes<R: BufRead>(
     Ok((run, body.exhausted()))
 }
 
-fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+fn handle_query<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+) -> Reply {
     let mut params = request.params("q");
     let Some(q) = params.next() else {
         return reply_unconsumed(Reply::text(400, "missing query parameter q\n"));
@@ -1060,21 +1198,43 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
             "one q per /query request; use /batch for sets\n",
         ));
     }
-    let prepared = match shared.cache.get_or_compile(q) {
+    let prepared = match lookup_traced(shared, ctx, q) {
         Ok(p) => p,
         Err(e) => return prepare_error_reply(&e),
     };
     let doc = request.params("doc").next().map(String::from);
     let (run, body_exhausted) = match &doc {
         // `?doc=<id>`: replay the stored tape — no request body, no parse.
-        Some(id) => match run_on_tape(request, shared, &prepared, id) {
-            Ok(run) => (run, true),
-            Err(reply) => return reply,
-        },
-        None => match run_lanes(request, conn, shared, &[prepared.mft()]) {
-            Ok(ok) => ok,
-            Err(reply) => return reply,
-        },
+        // Seek time (skipping prefilter-withheld subtrees) is carved out
+        // of the replay total so the two stages partition the wall time.
+        Some(id) => {
+            let start = Instant::now();
+            let outcome = run_on_tape(request, shared, &prepared, id);
+            let micros = micros_since(start);
+            match outcome {
+                Ok(run) => {
+                    ctx.add_micros(Stage::TapeSeek, run.tape_seek_micros);
+                    ctx.add_micros(
+                        Stage::TapeReplay,
+                        micros.saturating_sub(run.tape_seek_micros),
+                    );
+                    (run, true)
+                }
+                Err(reply) => {
+                    ctx.add_micros(Stage::TapeReplay, micros);
+                    return reply;
+                }
+            }
+        }
+        None => {
+            let span = ctx.enter(Stage::Execute);
+            let outcome = run_lanes(request, conn, shared, &[prepared.mft()]);
+            drop(span);
+            match outcome {
+                Ok(ok) => ok,
+                Err(reply) => return reply,
+            }
+        }
     };
     add(&shared.metrics.input_events_total, run.input_events);
     match run.results.into_iter().next().expect("one lane") {
@@ -1091,7 +1251,9 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
                     run.seek_skipped_bytes,
                 );
             }
+            let span = ctx.enter(Stage::Serialize);
             let body = sink.finish().expect("writing to Vec cannot fail");
+            drop(span);
             let mut reply = Reply::new(200, "application/xml", body);
             reply.headers = vec![
                 ("x-foxq-input-events", run.input_events.to_string()),
@@ -1101,6 +1263,10 @@ fn handle_query<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
                     stats.prefiltered_events.to_string(),
                 ),
                 ("x-foxq-peak-live-nodes", stats.peak_live_nodes.to_string()),
+                (
+                    "x-foxq-peak-pending-calls",
+                    stats.peak_pending_calls.to_string(),
+                ),
             ];
             if doc.is_some() {
                 reply.headers.push((
@@ -1202,6 +1368,7 @@ fn handle_corpus_ingest<R: BufRead>(
     request: &Request,
     conn: &mut R,
     shared: &Shared,
+    ctx: &TraceContext,
     id: &str,
 ) -> Reply {
     if shared.corpus.is_none() {
@@ -1225,7 +1392,10 @@ fn handle_corpus_ingest<R: BufRead>(
     let tmp = dir.join(format!(".ingest-{seq}-{id}.tmp"));
     let mut body = BodyReader::new(conn, kind);
     let bounded = BoundedReader::new(&mut body, shared.config.max_body_bytes);
-    match ingest_xml_to_tmp(&tmp, bounded) {
+    let span = ctx.enter(Stage::Execute);
+    let ingested = ingest_xml_to_tmp(&tmp, bounded);
+    drop(span);
+    match ingested {
         Ok((info, source_bytes)) => {
             let installed =
                 shared
@@ -1272,7 +1442,12 @@ fn no_corpus_reply(request: &Request) -> Reply {
     reply
 }
 
-fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) -> Reply {
+fn handle_batch<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+) -> Reply {
     let queries: Vec<&str> = request.params("q").collect();
     if queries.is_empty() {
         return reply_unconsumed(Reply::text(400, "missing query parameters q\n"));
@@ -1289,7 +1464,7 @@ fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
     }
     let mut prepared = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
-        match shared.cache.get_or_compile(q) {
+        match lookup_traced(shared, ctx, q) {
             Ok(p) => prepared.push(p),
             Err(e) => {
                 let mut reply = prepare_error_reply(&e);
@@ -1299,12 +1474,16 @@ fn handle_batch<R: BufRead>(request: &Request, conn: &mut R, shared: &Shared) ->
         }
     }
     let mfts: Vec<&Mft> = prepared.iter().map(|p| p.mft()).collect();
-    let (run, body_exhausted) = match run_lanes(request, conn, shared, &mfts) {
+    let span = ctx.enter(Stage::Execute);
+    let outcome = run_lanes(request, conn, shared, &mfts);
+    drop(span);
+    let (run, body_exhausted) = match outcome {
         Ok(ok) => ok,
         Err(reply) => return reply,
     };
     add(&shared.metrics.input_events_total, run.input_events);
 
+    let _serialize = ctx.enter(Stage::Serialize);
     let mut body = Vec::new();
     let mut failures = 0u64;
     let mut any_ok = false;
@@ -1351,4 +1530,35 @@ fn stream_error_reply(e: &StreamError) -> Reply {
 fn reply_unconsumed(mut reply: Reply) -> Reply {
     reply.reusable = false;
     reply
+}
+
+/// Elapsed whole microseconds since `start`.
+fn micros_since(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Cache probe plus (on a miss) compile. Lock and probe overhead is
+/// credited to `CacheLookup`; a miss's compile cost is unfolded into its
+/// parse/translate/optimize stages from the per-query breakdown cached
+/// with the prepared query, so the paying request's trace shows *why*
+/// the lookup was slow while a warm hit stays a pure probe.
+fn lookup_traced(
+    shared: &Shared,
+    ctx: &TraceContext,
+    q: &str,
+) -> Result<Arc<PreparedQuery>, PrepareError> {
+    let start = Instant::now();
+    let looked_up = shared.cache.lookup_or_compile(q);
+    let mut micros = micros_since(start);
+    if let Ok((prepared, hit)) = &looked_up {
+        if !*hit {
+            let compile = prepared.meta().compile_times;
+            for (stage, stage_micros) in compile.iter() {
+                ctx.add_micros(stage, stage_micros);
+            }
+            micros = micros.saturating_sub(compile.total_micros());
+        }
+    }
+    ctx.add_micros(Stage::CacheLookup, micros);
+    looked_up.map(|(prepared, _)| prepared)
 }

@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 /// One query's lane inside the fan-out.
 enum Lane<'m, S> {
-    Running(Engine<'m, S>),
+    // Boxed: an Engine is ~an order of magnitude larger than a
+    // StreamError, and lanes are touched per delivered event anyway.
+    Running(Box<Engine<'m, S>>),
     Failed(StreamError),
 }
 
@@ -122,6 +124,8 @@ pub struct MultiQueryEngine<'m, S> {
     filter: Option<Prefilter>,
     running: usize,
     input_events: u64,
+    /// Per-lane wall time (nanoseconds), when lane timing is enabled.
+    lane_nanos: Option<Vec<u64>>,
 }
 
 impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
@@ -153,7 +157,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     ) -> Self {
         let lanes: Vec<Lane<'m, S>> = queries
             .into_iter()
-            .map(|(mft, sink)| Lane::Running(Engine::with_limits(mft, sink, limits)))
+            .map(|(mft, sink)| Lane::Running(Box::new(Engine::with_limits(mft, sink, limits))))
             .collect();
         assert_eq!(
             lanes.len(),
@@ -176,7 +180,24 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
             eligible,
             filter,
             input_events: 0,
+            lane_nanos: None,
         }
+    }
+
+    /// Measure per-lane run time: every event delivery is clocked and
+    /// charged to the lane that consumed it. Off by default — two
+    /// monotonic-clock reads per event per lane is real overhead — so
+    /// drivers opt in for diagnostics/ablation, not on the serving hot
+    /// path. Must be called before the first event is fed.
+    pub fn enable_lane_timing(&mut self) {
+        assert_eq!(self.input_events, 0, "enable_lane_timing after events fed");
+        self.lane_nanos = Some(vec![0; self.lanes.len()]);
+    }
+
+    /// Per-lane accumulated run time in nanoseconds; `None` unless
+    /// [`MultiQueryEngine::enable_lane_timing`] was called.
+    pub fn lane_nanos(&self) -> Option<&[u64]> {
+        self.lane_nanos.as_deref()
     }
 
     /// Number of lanes (queries).
@@ -278,12 +299,17 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
         eligible_too: bool,
         mut f: impl FnMut(&mut Engine<'m, S>) -> Result<(), StreamError>,
     ) {
-        for (lane, &eligible) in self.lanes.iter_mut().zip(&self.eligible) {
+        for (i, (lane, &eligible)) in self.lanes.iter_mut().zip(&self.eligible).enumerate() {
             if !eligible_too && eligible {
                 continue;
             }
             if let Lane::Running(engine) = lane {
-                if let Err(e) = f(engine) {
+                let start = self.lane_nanos.is_some().then(std::time::Instant::now);
+                let result = f(engine);
+                if let (Some(start), Some(nanos)) = (start, self.lane_nanos.as_mut()) {
+                    nanos[i] += start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                }
+                if let Err(e) = result {
                     *lane = Lane::Failed(e);
                     self.running -= 1;
                 }
@@ -375,6 +401,11 @@ pub struct MultiRun<S> {
     /// for [`run_multi_on_tape`] (XML text cannot be skipped without being
     /// scanned).
     pub seek_skipped_bytes: u64,
+    /// Wall time spent seeking (inside [`TapeReader::skip_subtree`]), in
+    /// microseconds — splits tape cost into replay vs. seek for the
+    /// request-level stage breakdown. Nonzero only for
+    /// [`run_multi_on_tape`].
+    pub tape_seek_micros: u64,
 }
 
 /// Run N transducers over one pass of any event source (an
@@ -425,6 +456,7 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
                 results: engine.finish(),
                 input_events,
                 seek_skipped_bytes: 0,
+                tape_seek_micros: 0,
             });
         }
         match events.next_event()? {
@@ -436,6 +468,7 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
                     results: engine.finish(),
                     input_events,
                     seek_skipped_bytes: 0,
+                    tape_seek_micros: 0,
                 });
             }
         }
@@ -461,18 +494,19 @@ pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
 ) -> Result<MultiRun<S>, StoreError> {
     assert_eq!(mfts.len(), sinks.len(), "one sink per query");
     let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
-    let done = |engine: MultiQueryEngine<'_, S>, eof: bool| {
+    let done = |engine: MultiQueryEngine<'_, S>, tape_seek_micros: u64, eof: bool| {
         let input_events = engine.input_events() + u64::from(eof);
         let seek_skipped_bytes = engine.seek_skipped_bytes();
         MultiRun {
             results: engine.finish(),
             input_events,
             seek_skipped_bytes,
+            tape_seek_micros,
         }
     };
     loop {
         if engine.running() == 0 {
-            return Ok(done(engine, false));
+            return Ok(done(engine, tape.seek_micros(), false));
         }
         match tape.next_event()? {
             XmlEvent::Open(label) => {
@@ -484,7 +518,10 @@ pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
                 }
             }
             XmlEvent::Close(_) => engine.close(),
-            XmlEvent::Eof => return Ok(done(engine, true)),
+            XmlEvent::Eof => {
+                let seek_micros = tape.seek_micros();
+                return Ok(done(engine, seek_micros, true));
+            }
         }
     }
 }
@@ -512,6 +549,7 @@ pub fn run_multi_on_forest<S: XmlSink>(
         results: engine.finish(),
         input_events,
         seek_skipped_bytes: 0,
+        tape_seek_micros: 0,
     }
 }
 
@@ -540,6 +578,7 @@ pub fn run_multi_to_strings(
             .collect(),
         input_events: run.input_events,
         seek_skipped_bytes: run.seek_skipped_bytes,
+        tape_seek_micros: run.tape_seek_micros,
     })
 }
 
@@ -574,6 +613,34 @@ mod tests {
                 forest_to_xml_string(&solo.into_forest())
             );
         }
+    }
+
+    #[test]
+    fn lane_timing_attributes_run_time_per_lane() {
+        let queries = ["<a>{$input/x}</a>", "<b>{$input//y}</b>"];
+        let mfts: Vec<Mft> = queries.iter().map(|q| mft_of(q)).collect();
+        let doc = parse_forest(&r#"x("1") y(x() y("2")) "#.repeat(200)).unwrap();
+        let mut engine = MultiQueryEngine::new(
+            mfts.iter()
+                .map(|m| (m, foxq_xml::NullSink))
+                .collect::<Vec<_>>(),
+        );
+        assert!(engine.lane_nanos().is_none(), "timing must be opt-in");
+        engine.enable_lane_timing();
+        fn feed<S: XmlSink>(e: &mut MultiQueryEngine<'_, S>, t: &Tree) {
+            e.open(&t.label);
+            for c in &t.children {
+                feed(e, c);
+            }
+            e.close();
+        }
+        for t in &doc {
+            feed(&mut engine, t);
+        }
+        let nanos = engine.lane_nanos().unwrap();
+        assert_eq!(nanos.len(), 2);
+        // ~2,000 delivered events per lane: every lane has measurable time.
+        assert!(nanos.iter().all(|&n| n > 0), "{nanos:?}");
     }
 
     #[test]

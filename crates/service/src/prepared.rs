@@ -18,9 +18,11 @@ use foxq_core::translate::{translate, TranslateError};
 use foxq_core::Mft;
 use foxq_forest::fxhash::FxHasher;
 use foxq_forest::FxHashMap;
+use foxq_obs::{Stage, StageTimes};
 use foxq_xquery::{parse_query, Query, XqSyntaxError};
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
+use std::time::Instant;
 
 /// Compile-time resource bounds for [`PreparedQuery::compile_with_limits`].
 ///
@@ -102,6 +104,10 @@ pub struct QueryMeta {
     pub is_ft: bool,
     /// What the §4.1 optimizer removed.
     pub opt_stats: OptStats,
+    /// Wall time of each compile stage (parse / translate / optimize).
+    /// Cached with the query so a cache miss can attribute its one-time
+    /// compile cost to the request that paid it.
+    pub compile_times: StageTimes,
 }
 
 /// A query compiled once: parse → translate → optimize.
@@ -141,8 +147,19 @@ impl PreparedQuery {
                 limit: limits.max_source_bytes,
             });
         }
+        let mut compile_times = StageTimes::default();
+        let mut timed = |stage: Stage, start: Instant| {
+            compile_times.add(
+                stage,
+                start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            );
+        };
+        let t = Instant::now();
         let query = parse_query(source)?;
+        timed(Stage::Parse, t);
+        let t = Instant::now();
         let unopt = translate(&query)?;
+        timed(Stage::Translate, t);
         if unopt.size() > limits.max_translated_size {
             return Err(PrepareError::TooLarge {
                 what: "translated MFT",
@@ -150,13 +167,16 @@ impl PreparedQuery {
                 limit: limits.max_translated_size,
             });
         }
+        let t = Instant::now();
         let (opt, opt_stats) = optimize_with_stats(unopt.clone());
+        timed(Stage::Optimize, t);
         let meta = QueryMeta {
             states: opt.state_count(),
             size: opt.size(),
             max_params: opt.max_params(),
             is_ft: opt.is_ft(),
             opt_stats,
+            compile_times,
         };
         Ok(PreparedQuery {
             source: source.to_string(),
@@ -289,13 +309,23 @@ impl QueryCache {
 
     /// Look up `source`, compiling (and inserting) on a miss.
     pub fn get_or_compile(&mut self, source: &str) -> Result<Arc<PreparedQuery>, PrepareError> {
+        self.lookup_or_compile(source).map(|(prepared, _)| prepared)
+    }
+
+    /// [`QueryCache::get_or_compile`], also reporting whether the lookup
+    /// was a hit (`true`) or had to compile (`false`) — so a tracing
+    /// caller can attribute compile time to the request that paid it.
+    pub fn lookup_or_compile(
+        &mut self,
+        source: &str,
+    ) -> Result<(Arc<PreparedQuery>, bool), PrepareError> {
         let key = Self::key(source);
         self.tick += 1;
         if let Some(entry) = self.map.get_mut(&key) {
             if entry.prepared.source().trim() == source.trim() {
                 entry.stamp = self.tick;
                 self.stats.hits += 1;
-                return Ok(entry.prepared.clone());
+                return Ok((entry.prepared.clone(), true));
             }
             // FxHash collision between different texts: recompile in place.
         }
@@ -317,7 +347,7 @@ impl QueryCache {
             // so the observable stats stay honest.
             self.stats.evictions += 1;
         }
-        Ok(prepared)
+        Ok((prepared, false))
     }
 
     fn evict_lru(&mut self) {
@@ -387,6 +417,15 @@ impl SharedQueryCache {
     /// Look up `source`, compiling (and inserting) on a miss.
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<PreparedQuery>, PrepareError> {
         self.lock().get_or_compile(source)
+    }
+
+    /// [`SharedQueryCache::get_or_compile`], also reporting whether the
+    /// lookup was a hit (see [`QueryCache::lookup_or_compile`]).
+    pub fn lookup_or_compile(
+        &self,
+        source: &str,
+    ) -> Result<(Arc<PreparedQuery>, bool), PrepareError> {
+        self.lock().lookup_or_compile(source)
     }
 
     /// Hit/miss/compile/eviction counters (a consistent snapshot).

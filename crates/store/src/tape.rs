@@ -476,6 +476,7 @@ pub struct TapeReader<R> {
     events_read: u64,
     seek_skipped_events: u64,
     seek_skipped_bytes: u64,
+    seek_micros: u64,
     hash: EventHash,
     /// Cleared on the first seek: a partial replay cannot checksum.
     verify: bool,
@@ -570,6 +571,7 @@ impl<R: BufRead + Seek> TapeReader<R> {
             events_read: 0,
             seek_skipped_events: 0,
             seek_skipped_bytes: 0,
+            seek_micros: 0,
             hash: EventHash::new(),
             verify: true,
             finished: false,
@@ -600,6 +602,13 @@ impl<R: BufRead + Seek> TapeReader<R> {
     /// Tape bytes jumped over (never decoded) so far.
     pub fn seek_skipped_bytes(&self) -> u64 {
         self.seek_skipped_bytes
+    }
+
+    /// Wall time spent inside [`TapeReader::skip_subtree`] so far, in
+    /// microseconds. Together with the replay time measured by the
+    /// driver, this splits tape cost into "decoding" vs. "seeking".
+    pub fn seek_micros(&self) -> u64 {
+        self.seek_micros
     }
 
     fn corrupt<T>(&self, msg: impl Into<String>) -> Result<T, StoreError> {
@@ -719,6 +728,7 @@ impl<R: BufRead + Seek> TapeReader<R> {
     /// consuming its close frame. The opens and closes in between are never
     /// decoded. Panics if [`TapeReader::skippable`] is false.
     pub fn skip_subtree(&mut self) -> Result<SkippedSubtree, StoreError> {
+        let start = std::time::Instant::now();
         let handle = self
             .last_open
             .take()
@@ -739,6 +749,7 @@ impl<R: BufRead + Seek> TapeReader<R> {
         self.verify = false;
         self.seek_skipped_events += events;
         self.seek_skipped_bytes += bytes;
+        self.seek_micros += start.elapsed().as_micros().min(u64::MAX as u128) as u64;
         Ok(SkippedSubtree { events, bytes })
     }
 }

@@ -19,6 +19,7 @@ use foxq::core::stream::{
 };
 use foxq::core::translate::translate;
 use foxq::core::{print_mft, Mft};
+use foxq::obs::{Stage, StageTimes};
 use foxq::service::{
     run_multi_on_tape, run_multi_with_limits, BatchDriver, QueryCache, QuerySetPlan,
 };
@@ -27,6 +28,7 @@ use foxq::xml::{WriterSink, XmlReader};
 use foxq::xquery::parse_query;
 use std::io::{BufReader, Read, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     match real_main() {
@@ -61,8 +63,9 @@ usage:
       stream input (default stdin) through the query; a .fet input replays
       the pre-parsed event tape (no XML tokenization) and seeks over
       subtrees the query's label prefilter withholds
-  foxq stats <query.xq> [input.xml|input.fet]
-      run and report engine statistics to stderr
+  foxq stats [--timing] <query.xq> [input.xml|input.fet]
+      run and report engine statistics to stderr; --timing adds a
+      per-stage wall-time table (parse/translate/optimize/execute/...)
   foxq stats <tape.fet>                 inspect a tape (events, labels, depth)
   foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
   foxq batch [-q <query.xq>]... [--threads N] [--stats] [input.xml ...]
@@ -82,13 +85,17 @@ usage:
 
   foxq serve --addr HOST:PORT [--threads N] [--max-body-bytes N]
       [--cache-capacity N] [--read-timeout-ms N] [--write-timeout-ms N]
-      [--corpus DIR]
+      [--max-connections N] [--corpus DIR] [--slow-ms N] [--trace-log FILE]
       long-running HTTP/1.1 server: POST /query?q=<urlencoded query> and
       POST /batch?q=..&q=.. stream the request body through prepared
       queries; with --corpus, POST /corpus/{id} ingests documents,
       GET /corpus lists them, and POST /query?q=..&doc=<id> answers from
       the stored tape; GET /metrics (Prometheus), GET /healthz,
       POST /shutdown (graceful drain). Runs until shut down.
+      Observability: every response carries X-Foxq-Request-Id and
+      Server-Timing headers; requests at or over --slow-ms (default 500;
+      0 = all) land in GET /debug/requests; --trace-log appends every
+      request as one JSON line to FILE.
 
   run/stats/batch/store-query also accept --max-output <events>: abort a run
   (batch: its cell) once its output exceeds that many events (default
@@ -96,18 +103,32 @@ usage:
   its input, this bounds a run on hostile pairs.
 ";
 
-fn load_query(path: &str) -> Result<Mft, String> {
+/// Compile a query file, timing each stage (for `foxq stats --timing`).
+fn load_query_timed(path: &str) -> Result<(Mft, StageTimes), String> {
     let src =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read query {path}: {e}"))?;
+    let mut times = StageTimes::default();
+    let t = Instant::now();
     let query = parse_query(&src).map_err(|e| e.to_string())?;
+    times.add(Stage::Parse, micros_since(t));
+    let t = Instant::now();
     let unopt = translate(&query).map_err(|e| e.to_string())?;
+    times.add(Stage::Translate, micros_since(t));
+    let t = Instant::now();
     let (opt, _) = optimize_with_stats(unopt);
-    Ok(opt)
+    times.add(Stage::Optimize, micros_since(t));
+    Ok((opt, times))
+}
+
+/// Elapsed whole microseconds since `start`.
+fn micros_since(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut max_output = DEFAULT_MAX_OUTPUT_EVENTS;
+    let mut timing = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -119,6 +140,12 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--max-output needs a number".to_string())?;
                 max_output = if n == 0 { u64::MAX } else { n };
+            }
+            "--timing" => {
+                if !report {
+                    return Err("--timing only applies to foxq stats".to_string());
+                }
+                timing = true;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
@@ -132,7 +159,7 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
         return cmd_tape_stats(positional[0]);
     }
     let query_path = positional.first().ok_or("missing query file")?;
-    let mft = load_query(query_path)?;
+    let (mft, mut times) = load_query_timed(query_path)?;
     let limits = StreamLimits {
         max_output_events: max_output,
         ..StreamLimits::default()
@@ -140,9 +167,16 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     // A `.fet` input replays the pre-parsed tape, seeking over prefiltered
     // subtrees, instead of re-tokenizing XML.
     if let Some(path) = positional.get(1).filter(|p| p.ends_with(".fet")) {
-        let stats = run_query_on_tape(&mft, path, limits)?;
+        let t = Instant::now();
+        let (stats, seek_micros) = run_query_on_tape(&mft, path, limits)?;
+        let replay = micros_since(t);
+        times.add(Stage::TapeSeek, seek_micros);
+        times.add(Stage::TapeReplay, replay.saturating_sub(seek_micros));
         if report {
             report_stats(&stats);
+            if timing {
+                report_timing(&times);
+            }
         }
         return Ok(());
     }
@@ -159,20 +193,32 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let reader = XmlReader::new(BufReader::new(input));
     let stdout = std::io::stdout();
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
+    let t = Instant::now();
     let (sink, stats) =
         run_streaming_with_limits(&mft, reader, sink, limits).map_err(|e| e.to_string())?;
+    times.add(Stage::Execute, micros_since(t));
+    let t = Instant::now();
     let mut out = sink.finish().map_err(|e| e.to_string())?;
     out.write_all(b"\n")
         .and_then(|_| out.flush())
         .map_err(|e| e.to_string())?;
+    times.add(Stage::Serialize, micros_since(t));
     if report {
         report_stats(&stats);
+        if timing {
+            report_timing(&times);
+        }
     }
     Ok(())
 }
 
 /// One query over one tape file, with seek-based subtree skipping.
-fn run_query_on_tape(mft: &Mft, path: &str, limits: StreamLimits) -> Result<StreamStats, String> {
+/// Returns the lane stats plus the microseconds spent seeking.
+fn run_query_on_tape(
+    mft: &Mft,
+    path: &str,
+    limits: StreamLimits,
+) -> Result<(StreamStats, u64), String> {
     let tape = TapeReader::open_file(std::path::Path::new(path))
         .map_err(|e| format!("cannot open tape {path}: {e}"))?;
     let plan = QuerySetPlan::new([mft]);
@@ -180,6 +226,7 @@ fn run_query_on_tape(mft: &Mft, path: &str, limits: StreamLimits) -> Result<Stre
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
     let run = run_multi_on_tape(&[mft], tape, vec![sink], limits, &plan)
         .map_err(|e| format!("{path}: {e}"))?;
+    let seek_micros = run.tape_seek_micros;
     let (sink, stats) = run
         .results
         .into_iter()
@@ -190,7 +237,7 @@ fn run_query_on_tape(mft: &Mft, path: &str, limits: StreamLimits) -> Result<Stre
     out.write_all(b"\n")
         .and_then(|_| out.flush())
         .map_err(|e| e.to_string())?;
-    Ok(stats)
+    Ok((stats, seek_micros))
 }
 
 /// `foxq stats <tape.fet>`: footer facts, no replay.
@@ -223,12 +270,26 @@ fn report_stats(stats: &StreamStats) {
     eprintln!("rule expansions:   {}", stats.expansions);
     eprintln!("peak live nodes:   {}", stats.peak_live_nodes);
     eprintln!("peak live bytes:   {}", stats.peak_live_bytes);
+    eprintln!("peak pending:      {} calls", stats.peak_pending_calls);
     eprintln!("max input depth:   {}", stats.max_depth);
     eprintln!("output events:     {}", stats.output_events);
     if stats.prefiltered_events > 0 || stats.seek_skipped_bytes > 0 {
         eprintln!("prefiltered:       {} events", stats.prefiltered_events);
         eprintln!("seek-skipped:      {} bytes", stats.seek_skipped_bytes);
     }
+}
+
+/// `foxq stats --timing`: the per-stage wall-time table.
+fn report_timing(times: &StageTimes) {
+    eprintln!("stage timing:");
+    for (stage, micros) in times.iter() {
+        eprintln!("  {:<12} {:>12.3} ms", stage.name(), micros as f64 / 1000.0);
+    }
+    eprintln!(
+        "  {:<12} {:>12.3} ms",
+        "total",
+        times.total_micros() as f64 / 1000.0
+    );
 }
 
 /// `foxq batch`: N prepared queries, one pass over each input document.
@@ -662,6 +723,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--write-timeout-ms needs a number".to_string())?;
                 config.write_timeout = std::time::Duration::from_millis(ms);
             }
+            "--max-connections" => {
+                config.max_connections = value("a number")?
+                    .parse()
+                    .map_err(|_| "--max-connections needs a number".to_string())?;
+            }
+            "--slow-ms" => {
+                config.slow_ms = value("milliseconds")?
+                    .parse()
+                    .map_err(|_| "--slow-ms needs a number".to_string())?;
+            }
+            "--trace-log" => config.trace_log = Some(value("a file path")?.clone()),
             other => return Err(format!("unknown serve flag {other:?}\n{USAGE}")),
         }
         i += 1;

@@ -30,7 +30,9 @@
 //! * [`store`] — the document store: FET1 event tapes with O(1) subtree
 //!   seeks, plus the corpus manifest (the `foxq store` commands);
 //! * [`server`] — the network front-end: a hand-rolled HTTP/1.1 server with
-//!   streaming request bodies and Prometheus metrics (`foxq serve`).
+//!   streaming request bodies and Prometheus metrics (`foxq serve`);
+//! * [`obs`] — the observability core shared by the CLI and the server:
+//!   latency histograms, per-stage spans, trace sinks.
 //!
 //! ## Quick start
 //!
@@ -53,6 +55,7 @@ pub use foxq_core as core;
 pub use foxq_forest as forest;
 pub use foxq_gcx as gcx;
 pub use foxq_gen as gen;
+pub use foxq_obs as obs;
 pub use foxq_server as server;
 pub use foxq_service as service;
 pub use foxq_store as store;
