@@ -1,22 +1,30 @@
-//! The foxq-store claim: serving a hot corpus from pre-parsed FET1 tapes
-//! beats re-tokenizing the XML on every query, and the close-offset seek
-//! path beats even that by never decoding prefilter-withheld subtrees.
+//! The foxq-store claim: serving a hot corpus from pre-parsed FET tapes
+//! beats re-tokenizing the XML on every query, the close-offset seek path
+//! beats even that by never decoding prefilter-withheld subtrees, and the
+//! FET2 label skip index beats the seek path by never *visiting* frames
+//! the query set cannot match.
 //!
-//! Three engines over the same XMark document and the same prefilter-
+//! Five engines over the same XMark document and the same prefilter-
 //! eligible query:
 //!
-//! * `reparse`      — XML bytes → `XmlReader` → engine (today's default);
-//! * `replay`       — tape → `TapeReader` → engine (no tokenization);
-//! * `replay_seek`  — tape → `TapeReader` with seek-based subtree skipping.
+//! * `reparse`           — XML bytes → `XmlReader` → engine;
+//! * `replay`            — tape → `TapeReader` → engine (no tokenization);
+//! * `replay_seek`       — linear scan with seek-based subtree skipping
+//!   (the FET1 read path, forced on a FET2 tape);
+//! * `replay_index`      — FET2 merged posting-list cursor, in-memory;
+//! * `replay_index_mmap` — the same cursor over an mmapped tape file.
 //!
-//! The PR's acceptance bar (enforced in `tests/perf_smoke.rs`): the seek
-//! replay is ≥ 3× faster than the reparse for this query.
+//! The PR's acceptance bars (enforced in `tests/perf_smoke.rs`): the seek
+//! replay is ≥ 3× faster than the reparse, and the index cursor is ≥ 2×
+//! faster than the seek replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use foxq_core::stream::StreamLimits;
 use foxq_forest::ForestStats;
 use foxq_gen::Dataset;
-use foxq_service::{run_multi, run_multi_on_tape, PreparedQuery, QuerySetPlan};
+use foxq_service::{
+    run_multi, run_multi_on_tape, run_multi_on_tape_scan, PreparedQuery, QuerySetPlan,
+};
 use foxq_store::{ingest_xml_to_tape, TapeReader};
 use foxq_xml::{forest_to_xml_string, NullSink, XmlReader};
 use std::io::Cursor;
@@ -33,13 +41,17 @@ fn bench_store_replay(criterion: &mut Criterion) {
     let xml = forest_to_xml_string(&forest).into_bytes();
     let (out, info, _) = ingest_xml_to_tape(&xml[..], Cursor::new(Vec::new())).unwrap();
     let tape = out.into_inner();
+    let tape_file =
+        std::env::temp_dir().join(format!("foxq-bench-replay-{}.fet", std::process::id()));
+    std::fs::write(&tape_file, &tape).unwrap();
     let prepared = PreparedQuery::compile(QUERY).unwrap();
     let mft = prepared.mft();
     let plan = QuerySetPlan::new([mft]);
     eprintln!(
-        "store_replay: {} XML bytes, {} tape bytes, {} events (XMark {:?} nodes)",
+        "store_replay: {} XML bytes, {} tape bytes ({} index), {} events (XMark {:?} nodes)",
         xml.len(),
         tape.len(),
+        info.index_bytes,
         info.events,
         ForestStats::of_forest(&forest).nodes,
     );
@@ -58,7 +70,7 @@ fn bench_store_replay(criterion: &mut Criterion) {
     group.bench_function("replay_seek", |b| {
         b.iter(|| {
             let reader = TapeReader::new(Cursor::new(&tape[..])).unwrap();
-            run_multi_on_tape(
+            run_multi_on_tape_scan(
                 &[mft],
                 reader,
                 vec![NullSink],
@@ -68,7 +80,38 @@ fn bench_store_replay(criterion: &mut Criterion) {
             .unwrap()
         })
     });
+    group.bench_function("replay_index", |b| {
+        b.iter(|| {
+            let reader = TapeReader::new(Cursor::new(&tape[..])).unwrap();
+            let run = run_multi_on_tape(
+                &[mft],
+                reader,
+                vec![NullSink],
+                StreamLimits::default(),
+                &plan,
+            )
+            .unwrap();
+            assert!(run.index_skipped_bytes > 0, "index path not taken");
+            run
+        })
+    });
+    group.bench_function("replay_index_mmap", |b| {
+        b.iter(|| {
+            let reader = TapeReader::open_file(&tape_file).unwrap();
+            let run = run_multi_on_tape(
+                &[mft],
+                reader,
+                vec![NullSink],
+                StreamLimits::default(),
+                &plan,
+            )
+            .unwrap();
+            assert!(run.index_skipped_bytes > 0, "index path not taken");
+            run
+        })
+    });
     group.finish();
+    let _ = std::fs::remove_file(&tape_file);
 }
 
 criterion_group!(benches, bench_store_replay);

@@ -21,7 +21,8 @@
 //! statistics of the criterion stand-in (mean ± stddev over the samples
 //! surviving a 3.5·MAD outlier cut). Rows cover the sections that run
 //! engines over inputs — the figure panels, the ablation, and the
-//! `--store` tape comparison (engines `reparse`, `replay`, `replay-seek`);
+//! `--store` tape comparison (engines `reparse`, `replay`, `replay-seek`,
+//! `replay-index`, `replay-index-mmap`);
 //! `--table 1` (dataset shapes) and `--compose` (composition construction
 //! timings) print to stdout only.
 
@@ -331,11 +332,14 @@ fn ablation(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
     println!("(st = states, pm = max parameters; the paper reports ~1 order of magnitude)");
 }
 
-/// foxq-store: reparse vs tape replay vs tape replay with seek skipping,
-/// on a prefilter-eligible XMark navigator.
+/// foxq-store: reparse vs tape replay vs seek-skipping scan vs the FET2
+/// merged index cursor (in-memory and mmapped), on a prefilter-eligible
+/// XMark navigator.
 fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
     use foxq_core::stream::StreamLimits;
-    use foxq_service::{run_multi, run_multi_on_tape, PreparedQuery, QuerySetPlan};
+    use foxq_service::{
+        run_multi, run_multi_on_tape, run_multi_on_tape_scan, PreparedQuery, QuerySetPlan,
+    };
     use foxq_store::{ingest_xml_to_tape, TapeReader};
     use std::io::Cursor;
 
@@ -345,10 +349,17 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
     let mft = prepared.mft();
     let plan = QuerySetPlan::new([mft]);
 
-    println!("\n== foxq-store: XML reparse vs FET1 tape replay (query {QNAME}) ==");
+    println!("\n== foxq-store: XML reparse vs FET2 tape replay (query {QNAME}) ==");
     println!(
-        "{:<22} {:>12} {:>12} {:>14} {:>10} {:>12}",
-        "input", "reparse.ms", "replay.ms", "replay+seek.ms", "speedup", "seek.bytes"
+        "{:<22} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "input",
+        "reparse.ms",
+        "replay.ms",
+        "seek.ms",
+        "index.ms",
+        "mmap.ms",
+        "speedup",
+        "skip.bytes"
     );
     for &size in sizes {
         let forest = foxq_gen::generate(Dataset::Xmark, size, 0xF0E5);
@@ -356,9 +367,12 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         let (out, _, _) =
             ingest_xml_to_tape(&xml[..], Cursor::new(Vec::new())).expect("tape write");
         let tape = out.into_inner();
+        let tape_file =
+            std::env::temp_dir().join(format!("foxq-figures-store-{}.fet", std::process::id()));
+        std::fs::write(&tape_file, &tape).expect("tape file write");
         let label = format!("{:.1}MiB", size as f64 / (1 << 20) as f64);
 
-        // Each engine returns (elapsed, peak_nodes, output_events, seek_bytes).
+        // Each engine returns (elapsed, peak_nodes, output_events, skipped_bytes).
         let measure = |f: &mut dyn FnMut() -> (usize, u64, u64)| {
             let mut durations = Vec::with_capacity(samples.max(1));
             let mut rep = (0usize, 0u64, 0u64);
@@ -370,12 +384,14 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
             let summary = criterion::summarize(&durations).expect("at least one sample");
             (summary, rep)
         };
+        // Skipped bytes: seek-jumped on the scan path, index-jumped on the
+        // cursor path — never both nonzero in one run.
         let lane_stats = |run: &foxq_service::MultiRun<foxq_xml::NullSink>| {
             let (_, stats) = run.results[0].as_ref().expect("lane succeeded");
             (
                 stats.peak_live_nodes,
                 stats.output_events,
-                run.seek_skipped_bytes,
+                run.seek_skipped_bytes + run.index_skipped_bytes,
             )
         };
 
@@ -395,7 +411,7 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
         });
         let (seek_s, seek_r) = measure(&mut || {
             let reader = TapeReader::new(Cursor::new(&tape[..])).expect("tape open");
-            let run = run_multi_on_tape(
+            let run = run_multi_on_tape_scan(
                 &[mft],
                 reader,
                 vec![foxq_xml::NullSink],
@@ -405,12 +421,41 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
             .expect("seek run");
             lane_stats(&run)
         });
+        let (index_s, index_r) = measure(&mut || {
+            let reader = TapeReader::new(Cursor::new(&tape[..])).expect("tape open");
+            let run = run_multi_on_tape(
+                &[mft],
+                reader,
+                vec![foxq_xml::NullSink],
+                StreamLimits::default(),
+                &plan,
+            )
+            .expect("index run");
+            assert!(run.index_skipped_bytes > 0, "index path not taken");
+            lane_stats(&run)
+        });
+        let (mmap_s, mmap_r) = measure(&mut || {
+            let reader = TapeReader::open_file(&tape_file).expect("tape mmap");
+            let run = run_multi_on_tape(
+                &[mft],
+                reader,
+                vec![foxq_xml::NullSink],
+                StreamLimits::default(),
+                &plan,
+            )
+            .expect("mmap run");
+            lane_stats(&run)
+        });
         assert_eq!(reparse_r.1, seek_r.1, "outputs must agree");
+        assert_eq!(reparse_r.1, index_r.1, "outputs must agree");
+        assert_eq!(reparse_r.1, mmap_r.1, "outputs must agree");
 
         for (engine, s, r) in [
             ("reparse", &reparse_s, &reparse_r),
             ("replay", &replay_s, &replay_r),
             ("replay-seek", &seek_s, &seek_r),
+            ("replay-index", &index_s, &index_r),
+            ("replay-index-mmap", &mmap_s, &mmap_r),
         ] {
             let cell = (
                 RunResult {
@@ -423,15 +468,21 @@ fn store_replay(sizes: &[usize], samples: usize, csv: &mut CsvLog) {
             csv.row("store", QNAME, engine, &label, xml.len(), Some(&cell));
         }
         println!(
-            "{label:<22} {:>12.1} {:>12.1} {:>14.1} {:>9.1}x {:>12}",
+            "{label:<22} {:>12.1} {:>12.1} {:>10.1} {:>10.1} {:>10.1} {:>9.1}x {:>12}",
             reparse_s.median.as_secs_f64() * 1e3,
             replay_s.median.as_secs_f64() * 1e3,
             seek_s.median.as_secs_f64() * 1e3,
-            reparse_s.median.as_secs_f64() / seek_s.median.as_secs_f64().max(1e-9),
-            seek_r.2,
+            index_s.median.as_secs_f64() * 1e3,
+            mmap_s.median.as_secs_f64() * 1e3,
+            reparse_s.median.as_secs_f64() / index_s.median.as_secs_f64().max(1e-9),
+            index_r.2,
         );
+        let _ = std::fs::remove_file(&tape_file);
     }
-    println!("(tape replay skips XML tokenization; +seek never decodes prefiltered subtrees)");
+    println!(
+        "(replay skips tokenization; seek never decodes prefiltered subtrees; \
+         index never visits unmatched frames; mmap reads the tape zero-copy)"
+    );
 }
 
 /// §4.2 / Lemma 2: stay-move composition is quadratic, the classical

@@ -145,6 +145,12 @@ pub struct StreamStats {
     /// this records how much input never even had to be decoded. Always 0
     /// when the input is parsed XML.
     pub seek_skipped_bytes: u64,
+    /// Tape bytes the label skip index proved irrelevant, so the merged
+    /// posting-list cursor never visited them at all (no open frame was
+    /// decoded, unlike [`StreamStats::seek_skipped_bytes`] where each
+    /// skip starts from a decoded open). The events inside are counted in
+    /// [`StreamStats::prefiltered_events`]. Always 0 off the index path.
+    pub index_skipped_bytes: u64,
 }
 
 // ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@
 //! The stage taxonomy ([`Stage`]) is shared across the stack: the
 //! compile pipeline (`foxq_service`), the engines (`foxq_core`), the
 //! tape store (`foxq_store`), and the HTTP layer (`foxq_server`) all
-//! report through the same eight names.
+//! report through the same nine names.
 
 mod histogram;
 mod sink;
@@ -49,13 +49,15 @@ pub enum Stage {
     TapeReplay,
     /// Forward seeks over prefiltered subtrees within a tape.
     TapeSeek,
+    /// Merging and advancing FET2 posting lists on the index read path.
+    IndexProbe,
     /// Output forest to response bytes.
     Serialize,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::Parse,
         Stage::Translate,
         Stage::Optimize,
@@ -63,6 +65,7 @@ impl Stage {
         Stage::Execute,
         Stage::TapeReplay,
         Stage::TapeSeek,
+        Stage::IndexProbe,
         Stage::Serialize,
     ];
 
@@ -80,6 +83,7 @@ impl Stage {
             Stage::Execute => "execute",
             Stage::TapeReplay => "tape_replay",
             Stage::TapeSeek => "tape_seek",
+            Stage::IndexProbe => "index_probe",
             Stage::Serialize => "serialize",
         }
     }
@@ -94,7 +98,8 @@ impl Stage {
             Stage::Execute => 4,
             Stage::TapeReplay => 5,
             Stage::TapeSeek => 6,
-            Stage::Serialize => 7,
+            Stage::IndexProbe => 7,
+            Stage::Serialize => 8,
         }
     }
 }

@@ -59,6 +59,17 @@ impl Endpoint {
 /// Status codes the server can emit (see [`crate::http::reason`]).
 const CODES: [u16; 9] = [200, 400, 404, 405, 408, 413, 422, 500, 503];
 
+/// Live corpus gauges spliced into a render (see [`Metrics::render`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CorpusGauges {
+    /// Stored documents.
+    pub docs: u64,
+    /// Stored tapes still on the legacy FET1 format.
+    pub fet1_tapes: u64,
+    /// Stored tapes on the current FET2 format.
+    pub fet2_tapes: u64,
+}
+
 /// Counter registry shared by every worker.
 pub struct Metrics {
     /// Connections accepted over the process lifetime.
@@ -95,6 +106,9 @@ pub struct Metrics {
     pub prefilter_skipped_total: AtomicU64,
     /// Tape bytes seeked over (never decoded) on corpus query runs.
     pub seek_skipped_bytes_total: AtomicU64,
+    /// Tape bytes the FET2 label skip index jumped over on corpus query
+    /// runs (no frame inside was decoded).
+    pub index_skipped_bytes_total: AtomicU64,
     /// Queries answered from a stored tape (`/query?doc=` hits).
     pub corpus_hits_total: AtomicU64,
     /// Documents ingested into the corpus (`POST /corpus/{id}`).
@@ -131,6 +145,7 @@ impl Default for Metrics {
             lane_failures_total: AtomicU64::new(0),
             prefilter_skipped_total: AtomicU64::new(0),
             seek_skipped_bytes_total: AtomicU64::new(0),
+            index_skipped_bytes_total: AtomicU64::new(0),
             corpus_hits_total: AtomicU64::new(0),
             corpus_ingests_total: AtomicU64::new(0),
             request_latency: std::array::from_fn(|_| Histogram::latency()),
@@ -197,8 +212,8 @@ impl Metrics {
 
     /// Render the Prometheus text exposition, splicing in the query cache's
     /// live counters and (when a corpus is configured) the stored-document
-    /// count.
-    pub fn render(&self, cache: CacheStats, corpus_docs: Option<u64>) -> String {
+    /// and per-tape-version gauges.
+    pub fn render(&self, cache: CacheStats, corpus: Option<CorpusGauges>) -> String {
         let mut out = String::with_capacity(8192);
         let mut counter = |name: &str, help: &str, value: u64| {
             scalar(&mut out, name, help, "counter", value);
@@ -254,6 +269,11 @@ impl Metrics {
             get(&self.seek_skipped_bytes_total),
         );
         counter(
+            "foxq_index_skipped_bytes_total",
+            "Tape bytes the label skip index jumped over on corpus query runs.",
+            get(&self.index_skipped_bytes_total),
+        );
+        counter(
             "foxq_corpus_hits_total",
             "Queries answered from a stored tape (/query?doc=).",
             get(&self.corpus_hits_total),
@@ -304,14 +324,26 @@ impl Metrics {
             "gauge",
             get(&self.worker_queue_depth),
         );
-        if let Some(docs) = corpus_docs {
+        if let Some(corpus) = corpus {
             scalar(
                 &mut out,
                 "foxq_corpus_docs",
                 "Documents currently stored in the corpus.",
                 "gauge",
-                docs,
+                corpus.docs,
             );
+            out.push_str(
+                "# HELP foxq_corpus_tapes Stored tapes, by format version.\n\
+                 # TYPE foxq_corpus_tapes gauge\n",
+            );
+            out.push_str(&format!(
+                "foxq_corpus_tapes{{version=\"1\"}} {}\n",
+                corpus.fet1_tapes
+            ));
+            out.push_str(&format!(
+                "foxq_corpus_tapes{{version=\"2\"}} {}\n",
+                corpus.fet2_tapes
+            ));
         }
 
         out.push_str("# HELP foxq_http_errors_total Error responses sent, by status class.\n");
@@ -399,7 +431,14 @@ mod tests {
             compiles: 2,
             evictions: 0,
         };
-        let text = m.render(cache, Some(3));
+        let text = m.render(
+            cache,
+            Some(CorpusGauges {
+                docs: 3,
+                fet1_tapes: 1,
+                fet2_tapes: 2,
+            }),
+        );
         assert!(text.contains("foxq_requests_total{endpoint=\"query\"} 1"));
         assert!(text.contains("foxq_requests_total{endpoint=\"debug\"} 0"));
         assert!(text.contains("foxq_responses_total{code=\"200\"} 1"));
@@ -410,8 +449,11 @@ mod tests {
         assert!(text.contains("# TYPE foxq_worker_queue_depth gauge"));
         assert!(text.contains("foxq_accept_gate_rejections_total 0"));
         assert!(text.contains("foxq_seek_skipped_bytes_total 0"));
+        assert!(text.contains("foxq_index_skipped_bytes_total 0"));
         assert!(text.contains("foxq_corpus_hits_total 0"));
         assert!(text.contains("foxq_corpus_docs 3"));
+        assert!(text.contains("foxq_corpus_tapes{version=\"1\"} 1"));
+        assert!(text.contains("foxq_corpus_tapes{version=\"2\"} 2"));
         assert!(text.contains("# TYPE foxq_request_latency_seconds histogram"));
         assert!(text.contains("# TYPE foxq_engine_stage_seconds histogram"));
         assert!(text.contains("# TYPE foxq_reactor_loop_lag_seconds histogram"));
@@ -419,6 +461,7 @@ mod tests {
         // Without a corpus the gauge is absent but the counters remain.
         let text = m.render(cache, None);
         assert!(!text.contains("foxq_corpus_docs"));
+        assert!(!text.contains("foxq_corpus_tapes"));
         assert!(text.contains("foxq_corpus_ingests_total 0"));
     }
 

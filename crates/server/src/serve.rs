@@ -142,8 +142,15 @@ impl Shared {
             .map(|m| m.lock().unwrap_or_else(|poisoned| poisoned.into_inner()))
     }
 
-    fn corpus_docs(&self) -> Option<u64> {
-        self.corpus().map(|c| c.len() as u64)
+    fn corpus_gauges(&self) -> Option<crate::metrics::CorpusGauges> {
+        self.corpus().map(|c| {
+            let fet1 = c.docs().filter(|d| d.version == 1).count() as u64;
+            crate::metrics::CorpusGauges {
+                docs: c.len() as u64,
+                fet1_tapes: fet1,
+                fet2_tapes: c.len() as u64 - fet1,
+            }
+        })
     }
 }
 
@@ -1078,7 +1085,7 @@ fn route<R: BufRead>(
                 "text/plain; version=0.0.4; charset=utf-8",
                 shared
                     .metrics
-                    .render(shared.cache.stats(), shared.corpus_docs())
+                    .render(shared.cache.stats(), shared.corpus_gauges())
                     .into_bytes(),
             ),
             request,
@@ -1214,9 +1221,10 @@ fn handle_query<R: BufRead>(
             match outcome {
                 Ok(run) => {
                     ctx.add_micros(Stage::TapeSeek, run.tape_seek_micros);
+                    ctx.add_micros(Stage::IndexProbe, run.index_probe_micros);
                     ctx.add_micros(
                         Stage::TapeReplay,
-                        micros.saturating_sub(run.tape_seek_micros),
+                        micros.saturating_sub(run.tape_seek_micros + run.index_probe_micros),
                     );
                     (run, true)
                 }
@@ -1250,6 +1258,10 @@ fn handle_query<R: BufRead>(
                     &shared.metrics.seek_skipped_bytes_total,
                     run.seek_skipped_bytes,
                 );
+                add(
+                    &shared.metrics.index_skipped_bytes_total,
+                    run.index_skipped_bytes,
+                );
             }
             let span = ctx.enter(Stage::Serialize);
             let body = sink.finish().expect("writing to Vec cannot fail");
@@ -1272,6 +1284,10 @@ fn handle_query<R: BufRead>(
                 reply.headers.push((
                     "x-foxq-seek-skipped-bytes",
                     run.seek_skipped_bytes.to_string(),
+                ));
+                reply.headers.push((
+                    "x-foxq-index-skipped-bytes",
+                    run.index_skipped_bytes.to_string(),
                 ));
             }
             if !body_exhausted {

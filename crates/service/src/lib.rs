@@ -60,8 +60,9 @@ pub mod prepared;
 
 pub use batch::{BatchCell, BatchDriver, BatchReport, CorpusReport};
 pub use multi::{
-    run_multi, run_multi_on_forest, run_multi_on_tape, run_multi_to_strings, run_multi_with_limits,
-    run_multi_with_plan, MultiQueryEngine, MultiRun, QuerySetPlan,
+    run_multi, run_multi_on_forest, run_multi_on_tape, run_multi_on_tape_scan,
+    run_multi_to_strings, run_multi_with_limits, run_multi_with_plan, MultiQueryEngine, MultiRun,
+    QuerySetPlan,
 };
 pub use prepared::{
     CacheStats, CompileLimits, PrepareError, PreparedQuery, QueryCache, QueryMeta, SharedQueryCache,

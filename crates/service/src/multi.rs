@@ -29,7 +29,7 @@
 use foxq_core::mft::Mft;
 use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamStats};
 use foxq_forest::{FxHashSet, Label, Tree};
-use foxq_store::{StoreError, TapeReader};
+use foxq_store::{index_drive, IndexedReplay, StoreError, TapeDrive, TapeReader};
 use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader, XmlSink};
 use std::io::{BufRead, Seek};
 use std::sync::Arc;
@@ -90,6 +90,24 @@ impl QuerySetPlan {
     pub fn eligible_lanes(&self) -> usize {
         self.eligible.iter().filter(|&&e| e).count()
     }
+
+    /// Union of the eligible lanes' matched labels (a pointer copy — the
+    /// set is behind an [`Arc`]).
+    pub fn matched_labels(&self) -> Arc<FxHashSet<Label>> {
+        self.matched.clone()
+    }
+
+    /// Whether every eligible lane may skip unmatched *text* events too.
+    pub fn skips_texts(&self) -> bool {
+        self.texts
+    }
+
+    /// Every lane participates in the prefilter (and there is at least
+    /// one) — the precondition for driving the input from a tape's label
+    /// skip index, where withheld events are never even decoded.
+    pub fn prefilters_whole_set(&self) -> bool {
+        !self.eligible.is_empty() && self.eligible.iter().all(|&e| e)
+    }
 }
 
 /// Shared start-tag prefilter state over the eligible lanes.
@@ -106,6 +124,9 @@ struct Prefilter {
     /// Tape bytes a seeking driver jumped over on the eligible lanes'
     /// behalf (see [`MultiQueryEngine::note_skipped_subtree`]).
     seek_bytes: u64,
+    /// Tape bytes a label skip index proved irrelevant on the eligible
+    /// lanes' behalf (see [`MultiQueryEngine::note_index_skipped`]).
+    index_bytes: u64,
     /// One entry per *delivered* open event: was it a text label?
     text_parents: Vec<bool>,
     /// Currently open delivered text nodes. A skip must never start inside
@@ -171,6 +192,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
             skip_depth: 0,
             skipped: 0,
             seek_bytes: 0,
+            index_bytes: 0,
             text_parents: Vec::new(),
             open_texts: 0,
         });
@@ -234,6 +256,28 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     /// [`MultiQueryEngine::note_skipped_subtree`].
     pub fn seek_skipped_bytes(&self) -> u64 {
         self.filter.as_ref().map_or(0, |f| f.seek_bytes)
+    }
+
+    /// Bytes an index-driven replay reported via
+    /// [`MultiQueryEngine::note_index_skipped`].
+    pub fn index_skipped_bytes(&self) -> u64 {
+        self.filter.as_ref().map_or(0, |f| f.index_bytes)
+    }
+
+    /// Record what an index-driven tape replay withheld wholesale:
+    /// `events` opens + closes that were never decoded and `bytes` of tape
+    /// the merged cursor jumped over. The index equivalent of
+    /// [`MultiQueryEngine::note_skipped_subtree`], reported once at end of
+    /// input (the index knows the exact remainder from the footer's event
+    /// count, not per skipped subtree).
+    pub fn note_index_skipped(&mut self, events: u64, bytes: u64) {
+        self.input_events += events;
+        let f = self
+            .filter
+            .as_mut()
+            .expect("note_index_skipped without a prefilter");
+        f.skipped += events;
+        f.index_bytes += bytes;
     }
 
     /// Would feeding `open(label)` at this point deliver the event to *no*
@@ -371,6 +415,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     pub fn finish(mut self) -> Vec<Result<(S, StreamStats), StreamError>> {
         let skipped = self.prefiltered_events();
         let seek_bytes = self.seek_skipped_bytes();
+        let index_bytes = self.index_skipped_bytes();
         let eligible = std::mem::take(&mut self.eligible);
         self.lanes
             .drain(..)
@@ -380,6 +425,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
                     if eligible {
                         stats.prefiltered_events = skipped;
                         stats.seek_skipped_bytes = seek_bytes;
+                        stats.index_skipped_bytes = index_bytes;
                     }
                     (sink, stats)
                 }),
@@ -406,6 +452,14 @@ pub struct MultiRun<S> {
     /// request-level stage breakdown. Nonzero only for
     /// [`run_multi_on_tape`].
     pub tape_seek_micros: u64,
+    /// Input bytes a FET2 label skip index proved irrelevant, so the
+    /// merged cursor jumped over them without decoding a single frame.
+    /// Nonzero only when [`run_multi_on_tape`] takes the index path.
+    pub index_skipped_bytes: u64,
+    /// Wall time spent merging and advancing posting lists, in
+    /// microseconds — the index path's analogue of
+    /// [`MultiRun::tape_seek_micros`].
+    pub index_probe_micros: u64,
 }
 
 /// Run N transducers over one pass of any event source (an
@@ -457,6 +511,8 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
                 input_events,
                 seek_skipped_bytes: 0,
                 tape_seek_micros: 0,
+                index_skipped_bytes: 0,
+                index_probe_micros: 0,
             });
         }
         match events.next_event()? {
@@ -469,23 +525,93 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
                     input_events,
                     seek_skipped_bytes: 0,
                     tape_seek_micros: 0,
+                    index_skipped_bytes: 0,
+                    index_probe_micros: 0,
                 });
             }
         }
     }
 }
 
-/// Run N transducers over one replay of a [`TapeReader`], **seeking** over
-/// subtrees the shared prefilter withholds instead of scanning them.
+/// Run N transducers over one replay of a [`TapeReader`], reading as
+/// little of the tape as the query set permits.
 ///
-/// This is the payoff of the FET1 close-offset invariant: when
-/// [`MultiQueryEngine::can_skip_subtree`] says an open event would reach no
-/// lane, the tape jumps straight to the matching close frame — the subtree
-/// is never decoded, and the jump distance is reported in
-/// [`MultiRun::seek_skipped_bytes`] (and per eligible lane in
-/// [`StreamStats::seek_skipped_bytes`]). Output is identical to a full
-/// replay (`tests/store.rs` proves it against the prefilter-off path).
+/// Two escalating read paths, picked automatically:
+///
+/// * **Index** — when the tape is FET2 with a usable skip index and
+///   *every* lane participates in the prefilter, the matched labels'
+///   posting lists drive a merged cursor ([`foxq_store::index_drive`])
+///   that decodes only candidate frames; everything between them is
+///   jumped over without so much as a tag-byte read, reported in
+///   [`MultiRun::index_skipped_bytes`].
+/// * **Scan with seek** — otherwise (FET1 tapes, flagged tapes, a
+///   pass-through lane in the set), every frame is decoded and, when
+///   [`MultiQueryEngine::can_skip_subtree`] says an open event would reach
+///   no lane, the tape jumps straight to the matching close frame
+///   ([`MultiRun::seek_skipped_bytes`]).
+///
+/// Output and event accounting are identical across both paths and a full
+/// replay (`tests/store.rs` proves it); [`run_multi_on_tape_scan`] forces
+/// the scan path for A/B measurement.
 pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
+    mfts: &[&Mft],
+    tape: TapeReader<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, StoreError> {
+    if plan.prefilters_whole_set() {
+        return match index_drive(tape, plan.matched_labels(), plan.skips_texts())? {
+            TapeDrive::Indexed(drive) => run_multi_on_index(mfts, drive, sinks, limits, plan),
+            TapeDrive::Linear(tape) => run_multi_on_tape_scan(mfts, tape, sinks, limits, plan),
+        };
+    }
+    run_multi_on_tape_scan(mfts, tape, sinks, limits, plan)
+}
+
+/// The index path of [`run_multi_on_tape`]: deliver the merged cursor's
+/// events, then account everything it withheld in one step at end of
+/// input (the footer's event count makes the remainder exact).
+fn run_multi_on_index<R: BufRead + Seek, S: XmlSink>(
+    mfts: &[&Mft],
+    mut drive: IndexedReplay<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, StoreError> {
+    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
+    let done = |engine: MultiQueryEngine<'_, S>, drive: &IndexedReplay<R>, eof: bool| {
+        let input_events = engine.input_events() + u64::from(eof);
+        let index_skipped_bytes = engine.index_skipped_bytes();
+        MultiRun {
+            results: engine.finish(),
+            input_events,
+            seek_skipped_bytes: 0,
+            tape_seek_micros: 0,
+            index_skipped_bytes,
+            index_probe_micros: drive.probe_micros(),
+        }
+    };
+    loop {
+        if engine.running() == 0 {
+            return Ok(done(engine, &drive, false));
+        }
+        match drive.next_event()? {
+            XmlEvent::Open(label) => engine.open(&label),
+            XmlEvent::Close(_) => engine.close(),
+            XmlEvent::Eof => {
+                engine.note_index_skipped(drive.undelivered_events(), drive.index_skipped_bytes());
+                return Ok(done(engine, &drive, true));
+            }
+        }
+    }
+}
+
+/// [`run_multi_on_tape`] restricted to the scan-with-seek path — what
+/// every tape got before the FET2 skip index, kept callable for FET1
+/// tapes and A/B measurement.
+pub fn run_multi_on_tape_scan<R: BufRead + Seek, S: XmlSink>(
     mfts: &[&Mft],
     mut tape: TapeReader<R>,
     sinks: Vec<S>,
@@ -502,6 +628,8 @@ pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
             input_events,
             seek_skipped_bytes,
             tape_seek_micros,
+            index_skipped_bytes: 0,
+            index_probe_micros: 0,
         }
     };
     loop {
@@ -550,6 +678,8 @@ pub fn run_multi_on_forest<S: XmlSink>(
         input_events,
         seek_skipped_bytes: 0,
         tape_seek_micros: 0,
+        index_skipped_bytes: 0,
+        index_probe_micros: 0,
     }
 }
 
@@ -579,6 +709,8 @@ pub fn run_multi_to_strings(
         input_events: run.input_events,
         seek_skipped_bytes: run.seek_skipped_bytes,
         tape_seek_micros: run.tape_seek_micros,
+        index_skipped_bytes: run.index_skipped_bytes,
+        index_probe_micros: run.index_probe_micros,
     })
 }
 
@@ -821,20 +953,38 @@ mod tests {
             &plan,
         )
         .unwrap();
+        let scanned = run_multi_on_tape_scan(
+            &[&m],
+            tape_of(xml),
+            vec![ForestSink::new()],
+            StreamLimits::default(),
+            &plan,
+        )
+        .unwrap();
         let (psink, pstats) = parsed.results.into_iter().next().unwrap().unwrap();
         let (tsink, tstats) = taped.results.into_iter().next().unwrap().unwrap();
-        assert_eq!(
-            forest_to_xml_string(&tsink.into_forest()),
-            forest_to_xml_string(&psink.into_forest())
-        );
-        // Both passes withheld the same events; the tape pass additionally
-        // never decoded the bytes under <regions>.
+        let (ssink, sstats) = scanned.results.into_iter().next().unwrap().unwrap();
+        let expected = forest_to_xml_string(&psink.into_forest());
+        assert_eq!(forest_to_xml_string(&tsink.into_forest()), expected);
+        assert_eq!(forest_to_xml_string(&ssink.into_forest()), expected);
+        // All passes withheld the same events. The auto tape pass took the
+        // index path (everything under <regions> was jumped over without a
+        // decode); the forced scan pass decoded every open and seeked.
         assert_eq!(tstats.prefiltered_events, pstats.prefiltered_events);
+        assert_eq!(sstats.prefiltered_events, pstats.prefiltered_events);
         assert!(tstats.prefiltered_events > 0);
-        assert!(taped.seek_skipped_bytes > 0);
-        assert_eq!(tstats.seek_skipped_bytes, taped.seek_skipped_bytes);
+        assert!(taped.index_skipped_bytes > 0);
+        assert_eq!(taped.seek_skipped_bytes, 0);
+        assert_eq!(tstats.index_skipped_bytes, taped.index_skipped_bytes);
+        assert!(scanned.seek_skipped_bytes > 0);
+        assert_eq!(scanned.index_skipped_bytes, 0);
+        assert_eq!(sstats.seek_skipped_bytes, scanned.seek_skipped_bytes);
         assert_eq!(pstats.seek_skipped_bytes, 0);
         assert_eq!(taped.input_events, parsed.input_events);
+        assert_eq!(scanned.input_events, parsed.input_events);
+        // The index never visits more than the scan path delivers, so it
+        // always skips at least what seeking did.
+        assert!(taped.index_skipped_bytes >= scanned.seek_skipped_bytes);
     }
 
     #[test]

@@ -2,13 +2,18 @@
 //!
 //! A corpus is a plain directory: one `<id>.fet` tape per document plus a
 //! `manifest.tsv` index. The manifest is line-oriented, tab-separated —
-//! `id`, `file`, `source_bytes`, `tape_bytes`, `events`, `checksum` (hex) —
-//! with `#`-comment lines ignored, and is rewritten atomically (temp file +
-//! rename) on every mutation, so a crash can lose at most the in-flight
-//! operation, never the index. Ingest is likewise tmp-file + rename: a
-//! half-written tape is never visible under its final name.
+//! `id`, `file`, `version`, `source_bytes`, `tape_bytes`, `events`,
+//! `checksum` (hex) — with `#`-comment lines ignored (six-field lines from
+//! pre-FET2 manifests parse with an implied version 1). The manifest is
+//! rewritten atomically (temp file fsynced, renamed, directory fsynced) on
+//! every mutation, so a crash can lose at most the in-flight operation,
+//! never the index. Ingest is likewise tmp-file + rename: a half-written
+//! tape is never visible under its final name, and both the tape bytes and
+//! the rename reach disk before the manifest commits.
 
-use crate::tape::{ingest_xml_to_tape, StoreError, TapeInfo, TapeReader};
+use crate::mmap::TapeInput;
+use crate::tape::{ingest_xml_to_tape, StoreError, TapeInfo, TapeReader, TapeWriter, VERSION};
+use foxq_xml::XmlEvent;
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -23,6 +28,8 @@ pub struct DocMeta {
     pub id: String,
     /// Tape file name, relative to the corpus directory.
     pub file: String,
+    /// Tape format version (1 = FET1, 2 = FET2).
+    pub version: u8,
     /// XML bytes consumed when the document was ingested.
     pub source_bytes: u64,
     /// Tape file size in bytes.
@@ -116,11 +123,9 @@ impl Corpus {
         Ok(self.dir.join(&meta.file))
     }
 
-    /// Open a stored document's tape for replay.
-    pub fn open_tape(
-        &self,
-        id: &str,
-    ) -> Result<TapeReader<std::io::BufReader<std::fs::File>>, StoreError> {
+    /// Open a stored document's tape for replay (memory-mapped when the
+    /// platform grants it, buffered file I/O otherwise).
+    pub fn open_tape(&self, id: &str) -> Result<TapeReader<TapeInput>, StoreError> {
         TapeReader::open_file(&self.tape_path(id)?)
     }
 
@@ -157,6 +162,7 @@ impl Corpus {
         let meta = DocMeta {
             id: id.to_string(),
             file,
+            version: info.version,
             source_bytes,
             tape_bytes: info.file_bytes,
             events: info.events,
@@ -165,6 +171,58 @@ impl Corpus {
         self.docs.insert(id.to_string(), meta.clone());
         self.save_manifest()?;
         Ok(meta)
+    }
+
+    /// Rewrite a stored FET1 tape as FET2 in place (tmp file + rename, like
+    /// ingest) and update its manifest entry. A no-op for tapes already on
+    /// the current version.
+    pub fn migrate(&mut self, id: &str) -> Result<DocMeta, StoreError> {
+        let meta = self
+            .docs
+            .get(id)
+            .ok_or_else(|| StoreError::UnknownDoc { id: id.to_string() })?
+            .clone();
+        if meta.version == VERSION {
+            return Ok(meta);
+        }
+        let tmp = self.dir.join(format!(".{id}.migrate.tmp"));
+        let result = (|| {
+            let mut old = TapeReader::open_file(&self.dir.join(&meta.file))?;
+            let mut writer = TapeWriter::new(std::fs::File::create(&tmp)?)?;
+            loop {
+                match old.next_event()? {
+                    XmlEvent::Open(label) => writer.open(&label)?,
+                    XmlEvent::Close(_) => writer.close()?,
+                    XmlEvent::Eof => break,
+                }
+            }
+            let (out, info) = writer.finish()?;
+            out.sync_all()?;
+            Ok(info)
+        })();
+        let info = match result {
+            Ok(info) => info,
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        self.install_tape(id, &tmp, &info, meta.source_bytes)
+    }
+
+    /// Migrate every stored document to the current tape version. Returns
+    /// how many tapes were rewritten.
+    pub fn migrate_all(&mut self) -> Result<usize, StoreError> {
+        let stale: Vec<String> = self
+            .docs
+            .values()
+            .filter(|d| d.version != VERSION)
+            .map(|d| d.id.clone())
+            .collect();
+        for id in &stale {
+            self.migrate(id)?;
+        }
+        Ok(stale.len())
     }
 
     /// Remove a stored document (tape file and manifest entry).
@@ -194,15 +252,17 @@ impl Corpus {
             let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
             writeln!(
                 out,
-                "# foxq-store manifest v1: id\tfile\tsource_bytes\ttape_bytes\tevents\tchecksum"
+                "# foxq-store manifest v2: \
+                 id\tfile\tversion\tsource_bytes\ttape_bytes\tevents\tchecksum"
             )
             .map_err(StoreError::Io)?;
             for meta in self.docs.values() {
                 writeln!(
                     out,
-                    "{}\t{}\t{}\t{}\t{}\t{:016x}",
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{:016x}",
                     meta.id,
                     meta.file,
+                    meta.version,
                     meta.source_bytes,
                     meta.tape_bytes,
                     meta.events,
@@ -211,10 +271,24 @@ impl Corpus {
                 .map_err(StoreError::Io)?;
             }
             out.flush()?;
+            out.get_ref().sync_all()?;
         }
         std::fs::rename(&tmp, self.dir.join(MANIFEST))?;
+        // One directory fsync commits both renames of this mutation: the
+        // tape's (install_tape, same directory) and the manifest's.
+        fsync_dir(&self.dir)?;
         Ok(())
     }
+}
+
+/// Flush directory metadata (rename durability). A no-op off unix, where
+/// opening a directory read-only is not portable.
+fn fsync_dir(dir: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    std::fs::File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
 }
 
 /// Stream `xml` onto a freshly created, fsynced tape file at `tmp`; on any
@@ -266,11 +340,32 @@ fn sweep_orphaned_tmp(dir: &Path) -> Result<usize, StoreError> {
 
 fn parse_manifest_line(line: &str) -> Result<DocMeta, String> {
     let fields: Vec<&str> = line.split('\t').collect();
-    let [id, file, source_bytes, tape_bytes, events, checksum] = fields.as_slice() else {
-        return Err(format!(
-            "expected 6 tab-separated fields, got {}",
-            fields.len()
-        ));
+    // Seven fields since FET2; six-field lines predate the version column
+    // and can only describe FET1 tapes.
+    let (id, file, version, source_bytes, tape_bytes, events, checksum) = match fields.as_slice() {
+        [id, file, version, source_bytes, tape_bytes, events, checksum] => {
+            let version = version
+                .parse::<u8>()
+                .map_err(|_| format!("bad version {version:?}"))?;
+            (
+                id,
+                file,
+                version,
+                source_bytes,
+                tape_bytes,
+                events,
+                checksum,
+            )
+        }
+        [id, file, source_bytes, tape_bytes, events, checksum] => {
+            (id, file, 1, source_bytes, tape_bytes, events, checksum)
+        }
+        _ => {
+            return Err(format!(
+                "expected 6 or 7 tab-separated fields, got {}",
+                fields.len()
+            ));
+        }
     };
     if !valid_doc_id(id) {
         return Err(format!("invalid document id {id:?}"));
@@ -281,6 +376,7 @@ fn parse_manifest_line(line: &str) -> Result<DocMeta, String> {
     Ok(DocMeta {
         id: id.to_string(),
         file: file.to_string(),
+        version,
         source_bytes: num("source_bytes", source_bytes)?,
         tape_bytes: num("tape_bytes", tape_bytes)?,
         events: num("events", events)?,
@@ -410,6 +506,72 @@ mod tests {
         assert_eq!(corpus.len(), 1);
         assert_eq!(corpus.get("d"), Some(&second));
         assert_eq!(second.events, 4);
+    }
+
+    #[test]
+    fn new_ingests_are_fet2_and_survive_reload() {
+        let dir = scratch("version");
+        let mut corpus = Corpus::open(&dir).unwrap();
+        let meta = corpus.add_xml("d", &b"<a><b>hi</b></a>"[..]).unwrap();
+        assert_eq!(meta.version, VERSION);
+        let reloaded = Corpus::open(&dir).unwrap();
+        assert_eq!(reloaded.get("d").unwrap().version, VERSION);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn six_field_manifest_lines_parse_as_fet1() {
+        let meta = parse_manifest_line("old\told.fet\t10\t20\t4\t00000000deadbeef").unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.checksum, 0xdead_beef);
+        // And the seven-field form round-trips the version.
+        let meta = parse_manifest_line("new\tnew.fet\t2\t10\t20\t4\t00000000deadbeef").unwrap();
+        assert_eq!(meta.version, 2);
+        assert!(parse_manifest_line("x\tx.fet\tnine\t10\t20\t4\t0").is_err());
+    }
+
+    #[test]
+    fn migrate_rewrites_fet1_tapes_and_preserves_events() {
+        use crate::tape::ingest_xml_to_tape_v1;
+
+        let xml = b"<site><person><name>Jim Blake</name></person><x/></site>";
+        let dir = scratch("migrate");
+        let mut corpus = Corpus::open(&dir).unwrap();
+
+        // Plant a FET1 tape the way an old binary would have: ingest to a
+        // tmp file with the v1 writer, then commit it.
+        let tmp = dir.join(".old.ingest.tmp");
+        let (out, info, source_bytes) = {
+            let out = std::fs::File::create(&tmp).unwrap();
+            ingest_xml_to_tape_v1(&xml[..], out).unwrap()
+        };
+        out.sync_all().unwrap();
+        let planted = corpus
+            .install_tape("old", &tmp, &info, source_bytes)
+            .unwrap();
+        assert_eq!(planted.version, 1);
+
+        let migrated = corpus.migrate("old").unwrap();
+        assert_eq!(migrated.version, VERSION);
+        assert_eq!(migrated.source_bytes, planted.source_bytes);
+        assert_eq!(migrated.events, planted.events);
+
+        // The rewritten tape replays the same logical events as a parse.
+        let mut tape = corpus.open_tape("old").unwrap();
+        assert_eq!(tape.info().version, VERSION);
+        let mut parser = foxq_xml::XmlReader::new(&xml[..]);
+        loop {
+            let want = parser.next_event().unwrap();
+            assert_eq!(tape.next_event().unwrap(), want);
+            if want == XmlEvent::Eof {
+                break;
+            }
+        }
+
+        // Idempotent, and migrate_all finds nothing left to do.
+        assert_eq!(corpus.migrate("old").unwrap(), migrated);
+        assert_eq!(corpus.migrate_all().unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

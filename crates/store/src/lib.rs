@@ -1,23 +1,32 @@
-//! # foxq-store — a persistent corpus of seekable event tapes
+//! # foxq-store — a persistent corpus of seekable, indexed event tapes
 //!
 //! Every engine in this workspace consumes a *parse-event stream*
 //! (Definition 1's `Open`/`Close`/`Eof`), yet a hot corpus pays the XML
 //! tokenizer again on every query. This crate materializes the event stream
-//! **once** into an indexed binary tape (the **FET1** format) so repeat
-//! queries replay events instead of re-parsing text — and, because every
-//! open frame knows where its matching close frame lives, a label prefilter
-//! can *seek* over a pruned subtree in O(1) instead of scanning it
-//! event-by-event.
+//! **once** into an indexed binary tape (the **FET2** format; the FET1
+//! predecessor stays readable) so repeat queries replay events instead of
+//! re-parsing text — and, because the footer carries a *per-label skip
+//! index*, a query set's matched-label union can drive a merged cursor
+//! that decodes only the matched subtrees, seeking over everything else.
 //!
 //! * [`TapeWriter`] streams events to disk in one pass with constant memory
-//!   (O(depth) bookkeeping plus a fixed-size write buffer).
+//!   (O(depth) bookkeeping plus a fixed-size write buffer); text payloads
+//!   are LZ-compressed per frame, posting lists accumulate per label.
 //! * [`TapeReader`] implements the engine's event-source interface
 //!   ([`foxq_xml::EventSource`]) and exposes [`TapeReader::skip_subtree`]
-//!   for seek-based subtree pruning.
+//!   for seek-based subtree pruning. File-opened readers sit on a
+//!   [`TapeInput`] — a raw memory map when the platform grants one
+//!   (zero-copy, page-cache-friendly), buffered file I/O otherwise
+//!   (`FOXQ_STORE_NO_MMAP=1` forces the fallback).
+//! * [`IndexedReplay`] (built by [`index_drive`]) merges the matched
+//!   labels' posting lists and delivers exactly the events the shared
+//!   label prefilter would — cost proportional to the answer, not the
+//!   document.
 //! * [`Corpus`] manages a directory of tapes with a durable manifest
-//!   (doc id → file, byte/event counts, checksum).
+//!   (doc id → file, version, byte/event counts, checksum) and can
+//!   [`Corpus::migrate`] FET1 tapes to FET2 in place.
 //!
-//! ## The FET1 byte layout
+//! ## The FET2 byte layout
 //!
 //! All multi-byte integers are **little-endian**; `varint` is unsigned
 //! LEB128 (7 data bits per byte, high bit = continuation, at most 10
@@ -25,16 +34,17 @@
 //!
 //! ```text
 //! header (13 bytes):
-//!   offset 0   magic  "FET1"                          (4 bytes)
-//!   offset 4   version u8 = 1
+//!   offset 0   magic  "FET2"                          (4 bytes)
+//!   offset 4   version u8 = 2
 //!   offset 5   footer_offset u64  — absolute offset of the footer
 //!              (backpatched when the tape is finished)
 //!   offset 13  first tape frame
 //!
 //! frames (tag byte first):
 //!   0x01 OpenElem   varint label_id · close_delta u32
-//!   0x02 OpenText   varint byte_len · byte_len UTF-8 bytes · close_delta u32
-//!   0x03 Close      varint subtree_events
+//!   0x02 OpenText   varint raw_len · varint enc_len · enc_len bytes
+//!                   · close_delta u32
+//!   0x03 Close      varint subtree_events · subtree_hash u32
 //!   0x00 Eof        (end of tape; the footer starts at the next byte)
 //!
 //! footer (at footer_offset):
@@ -43,39 +53,70 @@
 //!       — element names; label_id is the position in this table
 //!   varint event_count    — opens + closes on the tape (Eof excluded)
 //!   varint max_depth
-//!   checksum u64          — FNV-1a 64 of the logical event stream
+//!   flags u8              — FLAG_TEXT_CHILDREN (0x01), FLAG_DELTA_OVERFLOW
+//!                           (0x02); either disables the index read path
+//!   (2 × label_count + 1) × posting list — one per element label in
+//!       label-id order, then the text-node buckets partitioned by
+//!       parent: first texts at the forest root, then texts under each
+//!       element label in id order. Partitioning texts by parent makes
+//!       projection exact: a query loads only the buckets under matched
+//!       parents instead of scanning one global text list. Each list:
+//!           varint posting_count · varint byte_len · byte_len bytes
+//!       each posting:  varint offset_delta — frame-tag offset minus the
+//!                          previous posting's in the same list
+//!                          (first: minus 13)
+//!                      varint depth        — root = 1
+//!                      varint parent_plus1 — parent element's label id
+//!                          + 1; 0 = document root
+//!   varint raw_text_bytes — total text payload before compression
+//!   varint enc_text_bytes — total text payload as stored
+//!   checksum u64          — document hash (see below)
 //! ```
 //!
-//! **The close-offset invariant.** `close_delta` is the number of tape
-//! bytes from the end of the open frame (the byte after its `close_delta`
-//! field) to the *tag byte* of the matching `Close` frame. A reader
-//! positioned just past an open frame reaches the close frame by seeking
-//! forward exactly `close_delta` bytes; everything in between is the
-//! subtree, skipped without decoding. The sentinel `0xFFFF_FFFF` means the
-//! subtree spans ≥ 4 GiB and must be scanned instead. The writer cannot
-//! know the delta when it emits the open frame, so it writes a placeholder
-//! and backpatches on close — in memory when the open frame is still in
-//! the write buffer (the overwhelmingly common case: most subtrees are
-//! small), by a file seek otherwise.
+//! **Text compression.** Each text payload is compressed independently
+//! with a byte-oriented LZ scheme (64 KiB window, 2-byte offsets — see
+//! `lz.rs`), so any frame can be decoded or skipped mid-stream without
+//! upstream state. `enc_len == raw_len` means the payload is stored raw
+//! (always the case under 16 bytes, or when compression does not shrink);
+//! `enc_len > raw_len` is corrupt, and `raw_len > 255 × enc_len` is
+//! rejected before any allocation (255 is the codec's maximum expansion).
+//!
+//! **The close-offset invariant** (unchanged from FET1). `close_delta` is
+//! the number of tape bytes from the end of the open frame (the byte after
+//! its `close_delta` field) to the *tag byte* of the matching `Close`
+//! frame. A reader positioned just past an open frame reaches the close
+//! frame by seeking forward exactly `close_delta` bytes; everything in
+//! between is the subtree, skipped without decoding. The sentinel
+//! `0xFFFF_FFFF` means the subtree spans ≥ 4 GiB and must be scanned
+//! instead (and sets `FLAG_DELTA_OVERFLOW`). The writer backpatches the
+//! placeholder on close — in memory when the open frame is still in the
+//! write buffer (the overwhelmingly common case), by a file seek otherwise.
 //!
 //! `subtree_events` on a `Close` frame is the number of open + close
-//! events of the subtree it terminates, *its own open and close
-//! included* (a leaf carries 2). A seeking reader learns the event count
-//! of what it skipped from the close frame alone, keeping downstream event
-//! accounting exact.
+//! events of the subtree it terminates, *its own open and close included*
+//! (a leaf carries 2). A seeking reader learns the event count of what it
+//! skipped from the close frame alone, keeping downstream event accounting
+//! exact.
 //!
-//! **Varint rules.** Values are encoded in the minimal number of LEB128
-//! bytes; decoders reject encodings longer than 10 bytes. `close_delta` is
-//! deliberately *not* a varint: it is backpatched after the fact, so its
-//! width must not depend on its value.
+//! **Compositional checksums.** FET2 hashes each node independently with
+//! FNV-1a 64 (offset basis `0xcbf29ce484222325`, prime `0x100000001b3`):
+//! fold the open tag byte (`0x01`/`0x02`), the name or raw text bytes,
+//! `0xFF`; then, per direct child in document order, the 4 little-endian
+//! bytes of the child's **stored** 32-bit hash; then `0x03`. The low 32
+//! bits are stored in the node's `Close` frame (`subtree_hash`). The
+//! footer `checksum` folds each root's stored hash the same way, then
+//! `0x00`. Consequences: a reader verifies **exactly the subtrees it
+//! decodes** ([`StoreError::Checksum`] fires at the corrupted node's close,
+//! not at `Eof`); seeking over a subtree folds its stored hash into the
+//! parent, so every enclosing check — including the document hash at
+//! `Eof` — survives partial replays. Corruption inside a fully-skipped
+//! subtree is undetectable by construction (its bytes are never read).
 //!
-//! **Checksum.** FNV-1a 64 (offset basis `0xcbf29ce484222325`, prime
-//! `0x100000001b3`) folded over the logical event stream, independent of
-//! the physical encoding: for an element open, the byte `0x01`, the name
-//! bytes, then `0xFF`; for a text open, `0x02`, the content bytes, `0xFF`;
-//! for a close, `0x03`; for end of input, `0x00`. A full replay recomputes
-//! it and fails with [`StoreError::Checksum`] at `Eof` on mismatch; a
-//! replay that seeked cannot (and does not) verify.
+//! **FET1.** Version-1 tapes (magic `"FET1"`) remain fully readable:
+//! `OpenText` is `varint byte_len · bytes` (uncompressed), `Close` carries
+//! no hash, the footer has no flags/index/text-size sections, and the
+//! checksum is a single FNV-1a 64 over the whole logical event stream —
+//! verified only by full replays (the first seek disables it).
 //!
 //! ## Quick start
 //!
@@ -96,6 +137,7 @@
 //! }
 //! let (cursor, info) = writer.finish().unwrap();
 //! assert_eq!(info.events, 10); // 5 opens + 5 closes (site…name + the text)
+//! assert_eq!(info.postings, 5); // one skip-index posting per open frame
 //!
 //! // Read: replay the same events without re-tokenizing any XML.
 //! let mut tape = TapeReader::new(std::io::Cursor::new(cursor.into_inner())).unwrap();
@@ -107,9 +149,15 @@
 //! ```
 
 pub mod corpus;
+pub mod cursor;
+mod lz;
+pub mod mmap;
 pub mod tape;
 
 pub use corpus::{ingest_xml_to_tmp, Corpus, DocMeta};
+pub use cursor::{index_drive, IndexedReplay, TapeDrive};
+pub use mmap::{Mmap, TapeInput};
 pub use tape::{
-    ingest_xml_to_tape, inspect, SkippedSubtree, StoreError, TapeInfo, TapeReader, TapeWriter,
+    ingest_xml_to_tape, ingest_xml_to_tape_v1, inspect, PostingDirEntry, SkippedSubtree,
+    StoreError, TapeInfo, TapeReader, TapeWriter, FLAG_DELTA_OVERFLOW, FLAG_TEXT_CHILDREN,
 };

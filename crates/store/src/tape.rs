@@ -1,29 +1,37 @@
-//! The FET1 tape: writer, reader, inspection.
+//! The FET tape: writer, reader, inspection.
 //!
-//! See the crate-level docs for the byte layout. Everything here is plain
-//! `std` I/O: the writer needs `Write + Seek` (close offsets are
-//! backpatched), the reader needs `BufRead + Seek` (the label table lives
-//! in the footer, and skipping is a forward seek).
+//! See the crate-level docs for the byte layouts (FET2, and the legacy
+//! FET1 this crate still reads). Everything here is plain `std` I/O: the
+//! writer needs `Write + Seek` (close offsets are backpatched), the reader
+//! needs `BufRead + Seek` (the label table lives in the footer, and
+//! skipping is a forward seek). File-opened readers sit on a
+//! [`crate::TapeInput`] — a memory map when the platform grants one.
 
+use crate::lz;
+use crate::mmap::TapeInput;
 use foxq_forest::{FxHashMap, Label};
 use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader};
 use std::io::{BufRead, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-/// File magic, offset 0.
-pub const MAGIC: [u8; 4] = *b"FET1";
-/// Format version this crate writes and accepts.
-pub const VERSION: u8 = 1;
+/// File magic of the legacy format, offset 0.
+pub const MAGIC_V1: [u8; 4] = *b"FET1";
+/// File magic of the current format, offset 0.
+pub const MAGIC: [u8; 4] = *b"FET2";
+/// Legacy format version (readable, writable via [`TapeWriter::new_v1`]).
+pub const VERSION_V1: u8 = 1;
+/// Format version this crate writes by default.
+pub const VERSION: u8 = 2;
 /// Offset of the first frame (magic + version + footer_offset).
 pub const TAPE_START: u64 = 13;
 /// Offset of the backpatched `footer_offset` field.
 const FOOTER_OFFSET_AT: u64 = 5;
 
-const TAG_EOF: u8 = 0x00;
-const TAG_OPEN_ELEM: u8 = 0x01;
-const TAG_OPEN_TEXT: u8 = 0x02;
-const TAG_CLOSE: u8 = 0x03;
+pub(crate) const TAG_EOF: u8 = 0x00;
+pub(crate) const TAG_OPEN_ELEM: u8 = 0x01;
+pub(crate) const TAG_OPEN_TEXT: u8 = 0x02;
+pub(crate) const TAG_CLOSE: u8 = 0x03;
 
 /// `close_delta` sentinel: subtree spans ≥ 4 GiB, scan instead of seeking.
 const DELTA_OVERFLOW: u32 = u32::MAX;
@@ -34,6 +42,27 @@ const WRITE_BUF_CAP: usize = 256 * 1024;
 /// Sanity bounds against corrupt footers (not format limits).
 const MAX_LABELS: u64 = 1 << 22;
 const MAX_NAME_LEN: u64 = 1 << 16;
+
+/// FET2 footer flag: some node's parent is a text node (hand-built
+/// forests only; XML cannot produce this). The skip index assumes element
+/// parents, so the index-driven read path is disabled.
+pub const FLAG_TEXT_CHILDREN: u8 = 0x01;
+/// FET2 footer flag: some `close_delta` overflowed the u32 sentinel, so
+/// not every open frame can be seeked over; the index path is disabled.
+pub const FLAG_DELTA_OVERFLOW: u8 = 0x02;
+const KNOWN_FLAGS: u8 = FLAG_TEXT_CHILDREN | FLAG_DELTA_OVERFLOW;
+
+/// Text payloads shorter than this are stored raw; compression overhead
+/// (token + offset bytes) cannot win on them.
+const MIN_COMPRESS_LEN: usize = 16;
+/// Worst-case LZ expansion per encoded byte (a 255-run length extension
+/// byte yields at most 255 output bytes). Bounds `raw_len` against
+/// adversarial frames before any allocation.
+const MAX_EXPANSION: u64 = 255;
+
+/// Text nodes have no interned label id; this sentinel marks them on the
+/// writer's open stack.
+const TEXT_NODE: u64 = u64::MAX;
 
 // ---------------------------------------------------------------------------
 // Errors
@@ -46,10 +75,12 @@ pub enum StoreError {
     Io(std::io::Error),
     /// The XML being ingested was malformed.
     Xml(XmlError),
-    /// The tape bytes violate the FET1 grammar (bad magic, unknown frame
+    /// The tape bytes violate the FET grammar (bad magic, unknown frame
     /// tag, truncated frame, out-of-range label id, …).
     Corrupt { offset: u64, msg: String },
-    /// A full replay's recomputed checksum did not match the footer's.
+    /// A recomputed checksum did not match the stored one — the footer's
+    /// document hash on a v1 full replay, a close frame's subtree hash on
+    /// a v2 read.
     Checksum { expected: u64, found: u64 },
     /// A corpus lookup for an id that is not in the manifest.
     UnknownDoc { id: String },
@@ -65,11 +96,11 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "{e}"),
             StoreError::Xml(e) => write!(f, "{e}"),
             StoreError::Corrupt { offset, msg } => {
-                write!(f, "corrupt FET1 tape at byte {offset}: {msg}")
+                write!(f, "corrupt FET tape at byte {offset}: {msg}")
             }
             StoreError::Checksum { expected, found } => write!(
                 f,
-                "tape checksum mismatch: footer says {expected:#018x}, replay computed {found:#018x}"
+                "tape checksum mismatch: stored {expected:#x}, replay computed {found:#x}"
             ),
             StoreError::UnknownDoc { id } => write!(f, "no document {id:?} in the corpus"),
             StoreError::BadDocId { id } => write!(
@@ -117,11 +148,11 @@ impl StoreError {
             StoreError::Xml(e) => e,
             StoreError::Corrupt { offset, msg } => XmlError::Syntax {
                 offset,
-                msg: format!("FET1 tape: {msg}"),
+                msg: format!("FET tape: {msg}"),
             },
             other => XmlError::Syntax {
                 offset: 0,
-                msg: format!("FET1 tape: {other}"),
+                msg: format!("FET tape: {other}"),
             },
         }
     }
@@ -131,12 +162,18 @@ impl StoreError {
 // Checksum
 // ---------------------------------------------------------------------------
 
-/// FNV-1a 64 over the logical event stream (see the crate docs).
+/// FNV-1a 64 over event bytes (see the crate docs).
+///
+/// FET1 folds the whole logical event stream into one running hash. FET2
+/// hashes *compositionally*: each node gets a fresh hash seeded with its
+/// open event, children fold their truncated hash into the parent as they
+/// close, and the footer checksum folds the roots — so a seeking reader
+/// can verify exactly the subtrees it decoded.
 #[derive(Debug, Clone, Copy)]
-struct EventHash(u64);
+pub(crate) struct EventHash(pub(crate) u64);
 
 impl EventHash {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         EventHash(0xcbf2_9ce4_8422_2325)
     }
 
@@ -150,7 +187,7 @@ impl EventHash {
         }
     }
 
-    fn open(&mut self, label: &Label) {
+    pub(crate) fn open(&mut self, label: &Label) {
         self.byte(if label.is_text() {
             TAG_OPEN_TEXT
         } else {
@@ -160,12 +197,22 @@ impl EventHash {
         self.byte(0xFF);
     }
 
-    fn close(&mut self) {
+    pub(crate) fn close(&mut self) {
         self.byte(TAG_CLOSE);
     }
 
-    fn eof(&mut self) {
+    pub(crate) fn eof(&mut self) {
         self.byte(TAG_EOF);
+    }
+
+    /// The low 32 bits — what a v2 close frame stores for its subtree.
+    pub(crate) fn trunc32(&self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Fold a child subtree's stored hash (v2 compositional step).
+    pub(crate) fn child(&mut self, trunc: u32) {
+        self.bytes(&trunc.to_le_bytes());
     }
 }
 
@@ -173,7 +220,7 @@ impl EventHash {
 // Varints
 // ---------------------------------------------------------------------------
 
-fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7F) as u8;
         v >>= 7;
@@ -192,7 +239,7 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
 /// Footer-level facts about one tape, available without replaying it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TapeInfo {
-    /// Format version.
+    /// Format version (1 or 2).
     pub version: u8,
     /// Open + close events on the tape (`Eof` excluded).
     pub events: u64,
@@ -204,29 +251,74 @@ pub struct TapeInfo {
     pub tape_bytes: u64,
     /// Total file size.
     pub file_bytes: u64,
-    /// FNV-1a 64 of the logical event stream.
+    /// Document checksum (v1: FNV-1a 64 of the event stream; v2: FNV-1a 64
+    /// folding the roots' subtree hashes).
     pub checksum: u64,
+    /// FET2 footer flags ([`FLAG_TEXT_CHILDREN`], [`FLAG_DELTA_OVERFLOW`]);
+    /// 0 on v1 tapes.
+    pub flags: u8,
+    /// Total text payload bytes before compression (v2; 0 on v1).
+    pub raw_text_bytes: u64,
+    /// Total text payload bytes as stored (v2; 0 on v1).
+    pub enc_text_bytes: u64,
+    /// Bytes of the footer's skip-index section (v2; 0 on v1).
+    pub index_bytes: u64,
+    /// Total posting entries across all skip-index lists (v2; 0 on v1).
+    pub postings: u64,
 }
 
 // ---------------------------------------------------------------------------
 // Writer
 // ---------------------------------------------------------------------------
 
-/// One not-yet-closed node: where its `close_delta` placeholder sits and
-/// the event counter when it opened.
+/// One not-yet-closed node: where its `close_delta` placeholder sits, the
+/// event counter when it opened, and (v2) its compositional hash and
+/// label id ([`TEXT_NODE`] for texts).
 struct PendingOpen {
     patch_at: u64,
     events_at_open: u64,
+    hash: EventHash,
+    label_id: u64,
 }
 
-/// Streams events onto a FET1 tape in one pass.
+/// One label's skip-index list under construction: delta-varint postings
+/// of `(open-frame offset, depth, parent label + 1)`.
+struct PostingList {
+    count: u64,
+    last: u64,
+    bytes: Vec<u8>,
+}
+
+impl PostingList {
+    fn new() -> Self {
+        PostingList {
+            count: 0,
+            last: TAPE_START,
+            bytes: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: u64, depth: u64, parent_plus1: u64) {
+        push_varint(&mut self.bytes, at - self.last);
+        push_varint(&mut self.bytes, depth);
+        push_varint(&mut self.bytes, parent_plus1);
+        self.last = at;
+        self.count += 1;
+    }
+}
+
+/// Streams events onto a FET tape in one pass.
 ///
 /// Memory is O(depth) for the backpatch stack plus a fixed write buffer;
-/// the label table grows with the *vocabulary*, not the document. Feed
-/// events with [`TapeWriter::open`] / [`TapeWriter::close`] (the usual
-/// sink shape), then call [`TapeWriter::finish`].
+/// the label table and the skip index grow with the *vocabulary* and the
+/// *node count*, not the text volume. Feed events with
+/// [`TapeWriter::open`] / [`TapeWriter::close`] (the usual sink shape),
+/// then call [`TapeWriter::finish`]. [`TapeWriter::new`] writes FET2;
+/// [`TapeWriter::new_v1`] writes the legacy format (migration tests,
+/// baseline benches).
 pub struct TapeWriter<W: Write + Seek> {
     out: W,
+    version: u8,
     /// Bytes already written to `out`; `out`'s cursor sits there between
     /// calls.
     flushed: u64,
@@ -236,29 +328,62 @@ pub struct TapeWriter<W: Write + Seek> {
     stack: Vec<PendingOpen>,
     label_ids: FxHashMap<Arc<str>, u64>,
     label_names: Vec<Arc<str>>,
+    /// Per-element-label posting lists, parallel to `label_names` (v2).
+    elem_postings: Vec<PostingList>,
+    /// Text open frames, partitioned by parent: bucket `p` holds the
+    /// texts whose `parent_plus1` is `p` (bucket 0 = forest-root texts).
+    /// Partitioning by parent makes the reader's projection exact — a
+    /// query selects only the buckets under matched parents instead of
+    /// decode-and-discarding every text posting in the document (v2).
+    text_postings: Vec<PostingList>,
     events: u64,
     max_depth: usize,
+    /// v1: running stream hash. v2: document hash folding root subtrees.
     hash: EventHash,
+    flags: u8,
+    raw_text_bytes: u64,
+    enc_text_bytes: u64,
+    enc_scratch: Vec<u8>,
     /// Backpatches that had to seek (telemetry for tests/benches).
     seek_patches: u64,
 }
 
 impl<W: Write + Seek> TapeWriter<W> {
-    /// Start a tape on `out` (the header is written immediately).
-    pub fn new(mut out: W) -> Result<Self, StoreError> {
-        out.write_all(&MAGIC)?;
-        out.write_all(&[VERSION])?;
+    /// Start a FET2 tape on `out` (the header is written immediately).
+    pub fn new(out: W) -> Result<Self, StoreError> {
+        Self::with_version(out, VERSION)
+    }
+
+    /// Start a legacy FET1 tape on `out`.
+    pub fn new_v1(out: W) -> Result<Self, StoreError> {
+        Self::with_version(out, VERSION_V1)
+    }
+
+    fn with_version(mut out: W, version: u8) -> Result<Self, StoreError> {
+        out.write_all(if version == VERSION_V1 {
+            &MAGIC_V1
+        } else {
+            &MAGIC
+        })?;
+        out.write_all(&[version])?;
         out.write_all(&0u64.to_le_bytes())?; // footer_offset placeholder
         Ok(TapeWriter {
             out,
+            version,
             flushed: TAPE_START,
             buf: Vec::with_capacity(WRITE_BUF_CAP + 4096),
             stack: Vec::new(),
             label_ids: FxHashMap::default(),
             label_names: Vec::new(),
+            elem_postings: Vec::new(),
+            text_postings: Vec::new(),
             events: 0,
             max_depth: 0,
             hash: EventHash::new(),
+            flags: 0,
+            raw_text_bytes: 0,
+            enc_text_bytes: 0,
+            enc_scratch: Vec::new(),
             seek_patches: 0,
         })
     }
@@ -301,27 +426,77 @@ impl<W: Write + Seek> TapeWriter<W> {
         let id = self.label_names.len() as u64;
         self.label_ids.insert(name.clone(), id);
         self.label_names.push(name.clone());
+        if self.version != VERSION_V1 {
+            self.elem_postings.push(PostingList::new());
+        }
         id
     }
 
     /// Record an opening event (element or text node).
     pub fn open(&mut self, label: &Label) -> Result<(), StoreError> {
         self.events += 1;
-        self.hash.open(label);
-        if label.is_text() {
+        let frame_at = self.pos();
+        let depth = self.stack.len() as u64 + 1;
+        let parent_plus1 = match self.stack.last() {
+            None => 0,
+            Some(p) if p.label_id == TEXT_NODE => {
+                // A node under a text node: the index's element-parent
+                // pruning would misfire, so flag the tape out of it.
+                self.flags |= FLAG_TEXT_CHILDREN;
+                0
+            }
+            Some(p) => p.label_id + 1,
+        };
+        let mut node_hash = EventHash::new();
+        if self.version == VERSION_V1 {
+            self.hash.open(label);
+        } else {
+            node_hash.open(label);
+        }
+        let label_id = if label.is_text() {
+            let raw = label.name.as_bytes();
             self.buf.push(TAG_OPEN_TEXT);
-            push_varint(&mut self.buf, label.name.len() as u64);
-            self.buf.extend_from_slice(label.name.as_bytes());
+            push_varint(&mut self.buf, raw.len() as u64);
+            if self.version == VERSION_V1 {
+                self.buf.extend_from_slice(raw);
+            } else {
+                let bucket = parent_plus1 as usize;
+                if self.text_postings.len() <= bucket {
+                    self.text_postings.resize_with(bucket + 1, PostingList::new);
+                }
+                self.text_postings[bucket].push(frame_at, depth, parent_plus1);
+                self.raw_text_bytes += raw.len() as u64;
+                self.enc_scratch.clear();
+                if raw.len() >= MIN_COMPRESS_LEN {
+                    lz::compress(raw, &mut self.enc_scratch);
+                }
+                if !self.enc_scratch.is_empty() && self.enc_scratch.len() < raw.len() {
+                    push_varint(&mut self.buf, self.enc_scratch.len() as u64);
+                    self.buf.extend_from_slice(&self.enc_scratch);
+                    self.enc_text_bytes += self.enc_scratch.len() as u64;
+                } else {
+                    push_varint(&mut self.buf, raw.len() as u64);
+                    self.buf.extend_from_slice(raw);
+                    self.enc_text_bytes += raw.len() as u64;
+                }
+            }
+            TEXT_NODE
         } else {
             let id = self.intern(&label.name);
+            if self.version != VERSION_V1 {
+                self.elem_postings[id as usize].push(frame_at, depth, parent_plus1);
+            }
             self.buf.push(TAG_OPEN_ELEM);
             push_varint(&mut self.buf, id);
-        }
+            id
+        };
         let patch_at = self.pos();
         self.buf.extend_from_slice(&[0u8; 4]); // close_delta placeholder
         self.stack.push(PendingOpen {
             patch_at,
             events_at_open: self.events,
+            hash: node_hash,
+            label_id,
         });
         self.max_depth = self.max_depth.max(self.stack.len());
         if self.buf.len() >= WRITE_BUF_CAP {
@@ -334,14 +509,28 @@ impl<W: Write + Seek> TapeWriter<W> {
     pub fn close(&mut self) -> Result<(), StoreError> {
         let open = self.stack.pop().expect("close without matching open");
         self.events += 1;
-        self.hash.close();
         let close_tag_at = self.pos();
         let delta64 = close_tag_at - (open.patch_at + 4);
         let delta = u32::try_from(delta64).unwrap_or(DELTA_OVERFLOW);
+        if delta == DELTA_OVERFLOW {
+            self.flags |= FLAG_DELTA_OVERFLOW;
+        }
         self.patch(open.patch_at, delta.to_le_bytes())?;
         let subtree_events = self.events - open.events_at_open + 1;
         self.buf.push(TAG_CLOSE);
         push_varint(&mut self.buf, subtree_events);
+        if self.version == VERSION_V1 {
+            self.hash.close();
+        } else {
+            let mut h = open.hash;
+            h.close();
+            let trunc = h.trunc32();
+            self.buf.extend_from_slice(&trunc.to_le_bytes());
+            match self.stack.last_mut() {
+                Some(parent) => parent.hash.child(trunc),
+                None => self.hash.child(trunc),
+            }
+        }
         if self.buf.len() >= WRITE_BUF_CAP {
             self.flush_buf()?;
         }
@@ -373,6 +562,27 @@ impl<W: Write + Seek> TapeWriter<W> {
         }
         push_varint(&mut self.buf, self.events);
         push_varint(&mut self.buf, self.max_depth as u64);
+        let mut index_bytes = 0u64;
+        let mut postings = 0u64;
+        if self.version != VERSION_V1 {
+            self.buf.push(self.flags);
+            let index_start = self.pos();
+            let lists = std::mem::take(&mut self.elem_postings);
+            // Text buckets cover every possible parent_plus1 (0 = forest
+            // root, then one per element label), empty or not, so the
+            // reader's directory is position-addressable.
+            let mut texts = std::mem::take(&mut self.text_postings);
+            texts.resize_with(self.label_names.len() + 1, PostingList::new);
+            for list in lists.iter().chain(texts.iter()) {
+                push_varint(&mut self.buf, list.count);
+                push_varint(&mut self.buf, list.bytes.len() as u64);
+                self.buf.extend_from_slice(&list.bytes);
+                postings += list.count;
+            }
+            index_bytes = self.pos() - index_start;
+            push_varint(&mut self.buf, self.raw_text_bytes);
+            push_varint(&mut self.buf, self.enc_text_bytes);
+        }
         self.buf.extend_from_slice(&self.hash.0.to_le_bytes());
         self.flush_buf()?;
         self.out.seek(SeekFrom::Start(FOOTER_OFFSET_AT))?;
@@ -382,27 +592,47 @@ impl<W: Write + Seek> TapeWriter<W> {
         Ok((
             self.out,
             TapeInfo {
-                version: VERSION,
+                version: self.version,
                 events: self.events,
                 label_count: self.label_names.len(),
                 max_depth: self.max_depth,
                 tape_bytes: footer_offset - TAPE_START,
                 file_bytes: self.flushed,
                 checksum: self.hash.0,
+                flags: self.flags,
+                raw_text_bytes: self.raw_text_bytes,
+                enc_text_bytes: self.enc_text_bytes,
+                index_bytes,
+                postings,
             },
         ))
     }
 }
 
-/// Parse XML and write it to a tape in one streaming pass. Returns the
-/// tape facts and the number of XML source bytes consumed.
+/// Parse XML and write it to a FET2 tape in one streaming pass. Returns
+/// the tape facts and the number of XML source bytes consumed.
 pub fn ingest_xml_to_tape<R: BufRead, W: Write + Seek>(
     xml: R,
     out: W,
 ) -> Result<(W, TapeInfo, u64), StoreError> {
+    ingest_with(xml, TapeWriter::new(out)?)
+}
+
+/// Like [`ingest_xml_to_tape`] but writing the legacy FET1 format — the
+/// migration-equivalence and perf-baseline counterpart.
+pub fn ingest_xml_to_tape_v1<R: BufRead, W: Write + Seek>(
+    xml: R,
+    out: W,
+) -> Result<(W, TapeInfo, u64), StoreError> {
+    ingest_with(xml, TapeWriter::new_v1(out)?)
+}
+
+fn ingest_with<R: BufRead, W: Write + Seek>(
+    xml: R,
+    mut writer: TapeWriter<W>,
+) -> Result<(W, TapeInfo, u64), StoreError> {
     let mut counted = CountingRead { inner: xml, n: 0 };
     let mut parser = XmlReader::new(&mut counted);
-    let mut writer = TapeWriter::new(out)?;
     loop {
         match parser.next_event()? {
             XmlEvent::Open(label) => writer.open(&label)?,
@@ -458,57 +688,103 @@ struct SkipHandle {
     close_at: u64,
 }
 
-/// Replays a FET1 tape as parse events, without re-tokenizing any XML.
+/// One open node on the reader's stack: its label and (v2) the
+/// compositional hash accumulated so far.
+struct OpenNode {
+    label: Label,
+    hash: EventHash,
+}
+
+/// Location of one posting list inside a FET2 footer.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingDirEntry {
+    /// Number of posting entries in the list.
+    pub count: u64,
+    /// Absolute file offset of the list's first posting byte.
+    pub offset: u64,
+    /// Encoded length of the list in bytes.
+    pub bytes: u64,
+}
+
+/// Replays a FET tape as parse events, without re-tokenizing any XML.
 ///
 /// After an `Open` event, [`TapeReader::skippable`] tells whether the
 /// subtree can be seeked over ([`TapeReader::skip_subtree`]); drivers use
-/// that to honor a label prefilter in O(1) per pruned subtree. A replay
-/// that never seeks verifies the footer checksum at `Eof`.
+/// that to honor a label prefilter in O(1) per pruned subtree. On v1
+/// tapes, a replay that never seeks verifies the footer checksum at
+/// `Eof`; on v2 tapes every decoded subtree is verified against its close
+/// frame's stored hash — seeks included, because a skipped child's stored
+/// hash is folded into its parent.
 pub struct TapeReader<R> {
-    input: R,
+    pub(crate) input: R,
     /// Absolute offset of the next unread byte.
-    offset: u64,
-    footer_offset: u64,
-    labels: Vec<Label>,
-    info: TapeInfo,
-    open_stack: Vec<Label>,
+    pub(crate) offset: u64,
+    pub(crate) footer_offset: u64,
+    pub(crate) labels: Vec<Label>,
+    pub(crate) info: TapeInfo,
+    /// FET2 skip index: one entry per element label (label-id order), then
+    /// the text-node list. Empty on v1 tapes.
+    pub(crate) postings_dir: Vec<PostingDirEntry>,
+    open_stack: Vec<OpenNode>,
     last_open: Option<SkipHandle>,
     events_read: u64,
     seek_skipped_events: u64,
     seek_skipped_bytes: u64,
     seek_micros: u64,
     hash: EventHash,
-    /// Cleared on the first seek: a partial replay cannot checksum.
+    /// v1 only: cleared on the first seek (a partial v1 replay cannot
+    /// checksum). v2 replays always verify.
     verify: bool,
     finished: bool,
 }
 
-impl TapeReader<std::io::BufReader<std::fs::File>> {
-    /// Open a tape file.
+impl TapeReader<TapeInput> {
+    /// Open a tape file, memory-mapping it when possible (see
+    /// [`TapeInput::open`]).
     pub fn open_file(path: &Path) -> Result<Self, StoreError> {
+        TapeReader::new(TapeInput::open(std::fs::File::open(path)?))
+    }
+}
+
+impl TapeReader<std::io::BufReader<std::fs::File>> {
+    /// Open a tape file through plain buffered I/O, bypassing the memory
+    /// map (baseline benches; callers that must not map).
+    pub fn open_file_buffered(path: &Path) -> Result<Self, StoreError> {
         TapeReader::new(std::io::BufReader::new(std::fs::File::open(path)?))
     }
 }
 
 impl<R: BufRead + Seek> TapeReader<R> {
-    /// Validate the header, load the footer (label table, counts,
-    /// checksum), and position the reader at the first frame.
+    /// Validate the header, load the footer (label table, counts, skip
+    /// index directory, checksum), and position the reader at the first
+    /// frame.
     pub fn new(mut input: R) -> Result<Self, StoreError> {
         let file_bytes = input.seek(SeekFrom::End(0))?;
         input.seek(SeekFrom::Start(0))?;
         let mut head = [0u8; 13];
         read_exact_at(&mut input, &mut head, 0)?;
-        if head[..4] != MAGIC {
+        let version = if head[..4] == MAGIC_V1 {
+            VERSION_V1
+        } else if head[..4] == MAGIC {
+            VERSION
+        } else {
             return Err(StoreError::Corrupt {
                 offset: 0,
-                msg: "bad magic (not a FET1 tape)".into(),
+                msg: "bad magic (not a FET tape)".into(),
             });
-        }
-        let version = head[4];
-        if version != VERSION {
+        };
+        if head[4] != version {
             return Err(StoreError::Corrupt {
                 offset: 4,
-                msg: format!("unsupported FET1 version {version}"),
+                msg: format!(
+                    "version byte {} contradicts the {} magic",
+                    head[4],
+                    if version == VERSION_V1 {
+                        "FET1"
+                    } else {
+                        "FET2"
+                    }
+                ),
             });
         }
         let footer_offset = u64::from_le_bytes(head[5..13].try_into().unwrap());
@@ -547,6 +823,49 @@ impl<R: BufRead + Seek> TapeReader<R> {
         }
         let events = read_varint(&mut input, &mut at)?;
         let max_depth = read_varint(&mut input, &mut at)?;
+        let mut flags = 0u8;
+        let mut postings_dir = Vec::new();
+        let mut raw_text_bytes = 0;
+        let mut enc_text_bytes = 0;
+        let mut index_bytes = 0;
+        let mut postings = 0;
+        if version != VERSION_V1 {
+            let mut b = [0u8];
+            read_exact_at(&mut input, &mut b, at)?;
+            at += 1;
+            flags = b[0];
+            if flags & !KNOWN_FLAGS != 0 {
+                return Err(StoreError::Corrupt {
+                    offset: at - 1,
+                    msg: format!("unknown footer flags {flags:#04x}"),
+                });
+            }
+            let index_start = at;
+            // One list per element label, then one text bucket per
+            // possible parent: the forest root, then each element label.
+            postings_dir.reserve(2 * labels.len() + 1);
+            for _ in 0..2 * labels.len() + 1 {
+                let count = read_varint(&mut input, &mut at)?;
+                let len = read_varint(&mut input, &mut at)?;
+                if count > events || len > file_bytes.saturating_sub(at) {
+                    return Err(StoreError::Corrupt {
+                        offset: at,
+                        msg: format!("implausible posting list ({count} entries, {len} bytes)"),
+                    });
+                }
+                postings_dir.push(PostingDirEntry {
+                    count,
+                    offset: at,
+                    bytes: len,
+                });
+                postings += count;
+                input.seek(SeekFrom::Start(at + len))?;
+                at += len;
+            }
+            index_bytes = at - index_start;
+            raw_text_bytes = read_varint(&mut input, &mut at)?;
+            enc_text_bytes = read_varint(&mut input, &mut at)?;
+        }
         let mut sum = [0u8; 8];
         read_exact_at(&mut input, &mut sum, at)?;
         let checksum = u64::from_le_bytes(sum);
@@ -565,7 +884,13 @@ impl<R: BufRead + Seek> TapeReader<R> {
                 tape_bytes: footer_offset - TAPE_START,
                 file_bytes,
                 checksum,
+                flags,
+                raw_text_bytes,
+                enc_text_bytes,
+                index_bytes,
+                postings,
             },
+            postings_dir,
             open_stack: Vec::new(),
             last_open: None,
             events_read: 0,
@@ -586,6 +911,21 @@ impl<R: BufRead + Seek> TapeReader<R> {
     /// The interned element names, in label-id order.
     pub fn labels(&self) -> &[Label] {
         &self.labels
+    }
+
+    /// The FET2 skip-index directory: one list per element label in
+    /// label-id order, then the text-node buckets — one per possible
+    /// parent, forest root first, then each element label in id order
+    /// (entry `labels.len() + 1 + id` holds the texts under label `id`).
+    /// Empty on v1 tapes.
+    pub fn posting_dir(&self) -> &[PostingDirEntry] {
+        &self.postings_dir
+    }
+
+    /// Whether this tape supports the index-driven read path: a FET2 tape
+    /// with no disabling flags.
+    pub fn index_usable(&self) -> bool {
+        self.info.version != VERSION_V1 && self.info.flags & KNOWN_FLAGS == 0
     }
 
     /// Open/close events returned so far (skipped subtrees excluded, except
@@ -629,6 +969,49 @@ impl<R: BufRead + Seek> TapeReader<R> {
         read_varint(&mut self.input, &mut self.offset)
     }
 
+    /// Read a v2 text frame's payload (after the two length varints),
+    /// decompressing when stored compressed.
+    pub(crate) fn read_text_payload(
+        &mut self,
+        raw_len: u64,
+        enc_len: u64,
+    ) -> Result<Vec<u8>, StoreError> {
+        if enc_len > self.footer_offset.saturating_sub(self.offset) {
+            return self.corrupt(format!(
+                "text encoding ({enc_len} bytes) runs past the tape"
+            ));
+        }
+        if raw_len > enc_len.saturating_mul(MAX_EXPANSION) {
+            return self.corrupt(format!(
+                "implausible text expansion ({enc_len} encoded bytes claim {raw_len} raw)"
+            ));
+        }
+        if raw_len < enc_len {
+            return self.corrupt(format!(
+                "text encoding ({enc_len} bytes) longer than its payload ({raw_len})"
+            ));
+        }
+        let mut enc = vec![0u8; enc_len as usize];
+        read_exact_at(&mut self.input, &mut enc, self.offset)?;
+        self.offset += enc_len;
+        if enc_len == raw_len {
+            return Ok(enc); // stored raw
+        }
+        match lz::decompress(&enc, raw_len as usize) {
+            Some(raw) => Ok(raw),
+            None => self.corrupt("text payload fails to decompress"),
+        }
+    }
+
+    /// Fold a closed (or skipped) child subtree's stored hash into its
+    /// parent — or into the document hash for a root (v2).
+    fn fold_child(&mut self, trunc: u32) {
+        match self.open_stack.last_mut() {
+            Some(parent) => parent.hash.child(trunc),
+            None => self.hash.child(trunc),
+        }
+    }
+
     /// Pull the next event. After `Eof`, keeps returning `Eof`.
     pub fn next_event(&mut self) -> Result<XmlEvent, StoreError> {
         self.last_open = None;
@@ -649,15 +1032,22 @@ impl<R: BufRead + Seek> TapeReader<R> {
             }
             TAG_OPEN_TEXT => {
                 let len = self.read_varint_here()?;
-                // Guard the allocation below against corrupt lengths; the
-                // saturating form stays correct even for a length varint
-                // near u64::MAX (the plain add would wrap past the check).
-                if len > self.footer_offset.saturating_sub(self.offset) {
-                    return self.corrupt(format!("text length {len} runs past the tape"));
-                }
-                let mut content = vec![0u8; len as usize];
-                read_exact_at(&mut self.input, &mut content, self.offset)?;
-                self.offset += len;
+                let content = if self.info.version == VERSION_V1 {
+                    // Guard the allocation below against corrupt lengths;
+                    // the saturating form stays correct even for a length
+                    // varint near u64::MAX (the plain add would wrap past
+                    // the check).
+                    if len > self.footer_offset.saturating_sub(self.offset) {
+                        return self.corrupt(format!("text length {len} runs past the tape"));
+                    }
+                    let mut content = vec![0u8; len as usize];
+                    read_exact_at(&mut self.input, &mut content, self.offset)?;
+                    self.offset += len;
+                    content
+                } else {
+                    let enc_len = self.read_varint_here()?;
+                    self.read_text_payload(len, enc_len)?
+                };
                 let Ok(content) = String::from_utf8(content) else {
                     return self.corrupt("text payload is not UTF-8");
                 };
@@ -667,12 +1057,33 @@ impl<R: BufRead + Seek> TapeReader<R> {
             }
             TAG_CLOSE => {
                 let _subtree_events = self.read_varint_here()?;
-                let Some(label) = self.open_stack.pop() else {
+                let stored = if self.info.version == VERSION_V1 {
+                    0
+                } else {
+                    let mut b = [0u8; 4];
+                    read_exact_at(&mut self.input, &mut b, self.offset)?;
+                    self.offset += 4;
+                    u32::from_le_bytes(b)
+                };
+                let Some(node) = self.open_stack.pop() else {
                     return self.corrupt("close frame without an open node");
                 };
-                self.hash.close();
+                if self.info.version == VERSION_V1 {
+                    self.hash.close();
+                } else {
+                    let mut h = node.hash;
+                    h.close();
+                    let computed = h.trunc32();
+                    if self.verify && computed != stored {
+                        return Err(StoreError::Checksum {
+                            expected: u64::from(stored),
+                            found: u64::from(computed),
+                        });
+                    }
+                    self.fold_child(stored);
+                }
                 self.events_read += 1;
-                Ok(XmlEvent::Close(label))
+                Ok(XmlEvent::Close(node.label))
             }
             TAG_EOF => {
                 if !self.open_stack.is_empty() {
@@ -712,8 +1123,16 @@ impl<R: BufRead + Seek> TapeReader<R> {
             }
             self.last_open = Some(SkipHandle { close_at });
         }
-        self.hash.open(&label);
-        self.open_stack.push(label);
+        let mut node_hash = EventHash::new();
+        if self.info.version == VERSION_V1 {
+            self.hash.open(&label);
+        } else {
+            node_hash.open(&label);
+        }
+        self.open_stack.push(OpenNode {
+            label,
+            hash: node_hash,
+        });
         self.events_read += 1;
         Ok(())
     }
@@ -727,6 +1146,11 @@ impl<R: BufRead + Seek> TapeReader<R> {
     /// Seek over the subtree of the most recently returned `Open` event,
     /// consuming its close frame. The opens and closes in between are never
     /// decoded. Panics if [`TapeReader::skippable`] is false.
+    ///
+    /// On v2 tapes the skipped subtree's stored hash is folded into its
+    /// parent, so verification of everything *around* the skip — including
+    /// the footer's document hash at `Eof` — survives. On v1 tapes the
+    /// first skip disables verification.
     pub fn skip_subtree(&mut self) -> Result<SkippedSubtree, StoreError> {
         let start = std::time::Instant::now();
         let handle = self
@@ -745,8 +1169,19 @@ impl<R: BufRead + Seek> TapeReader<R> {
             }
         }
         let events = self.read_varint_here()?;
-        self.open_stack.pop().expect("skip with empty open stack");
-        self.verify = false;
+        if self.info.version == VERSION_V1 {
+            self.verify = false;
+        } else {
+            let mut b = [0u8; 4];
+            read_exact_at(&mut self.input, &mut b, self.offset)?;
+            self.offset += 4;
+            let stored = u32::from_le_bytes(b);
+            self.open_stack.pop().expect("skip with empty open stack");
+            self.fold_child(stored);
+        }
+        if self.info.version == VERSION_V1 {
+            self.open_stack.pop().expect("skip with empty open stack");
+        }
         self.seek_skipped_events += events;
         self.seek_skipped_bytes += bytes;
         self.seek_micros += start.elapsed().as_micros().min(u64::MAX as u128) as u64;
@@ -775,7 +1210,11 @@ pub fn inspect(path: &Path) -> Result<TapeInfo, StoreError> {
 
 /// `read_exact` that reports truncation as [`StoreError::Corrupt`] at the
 /// given offset (a tape that ends mid-frame is corrupt, not "EOF").
-fn read_exact_at<R: Read>(input: &mut R, buf: &mut [u8], at: u64) -> Result<(), StoreError> {
+pub(crate) fn read_exact_at<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    at: u64,
+) -> Result<(), StoreError> {
     input.read_exact(buf).map_err(|e| {
         if e.kind() == std::io::ErrorKind::UnexpectedEof {
             StoreError::Corrupt {
@@ -789,7 +1228,7 @@ fn read_exact_at<R: Read>(input: &mut R, buf: &mut [u8], at: u64) -> Result<(), 
 }
 
 /// LEB128 decode, advancing `at` by the bytes consumed.
-fn read_varint<R: Read>(input: &mut R, at: &mut u64) -> Result<u64, StoreError> {
+pub(crate) fn read_varint<R: Read>(input: &mut R, at: &mut u64) -> Result<u64, StoreError> {
     let mut value = 0u64;
     let mut shift = 0u32;
     loop {
@@ -817,6 +1256,28 @@ fn read_varint<R: Read>(input: &mut R, at: &mut u64) -> Result<u64, StoreError> 
     }
 }
 
+/// Decode one varint from a byte slice at `i`, advancing it. The slice
+/// counterpart of [`read_varint`] for posting-list decoding.
+pub(crate) fn slice_varint(bytes: &[u8], i: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*i)?;
+        *i += 1;
+        if shift >= 63 && b > 1 {
+            return None;
+        }
+        value |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -825,6 +1286,12 @@ mod tests {
     fn tape_of(xml: &str) -> (Vec<u8>, TapeInfo) {
         let (out, info, _src) =
             ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+        (out.into_inner(), info)
+    }
+
+    fn tape_of_v1(xml: &str) -> (Vec<u8>, TapeInfo) {
+        let (out, info, _src) =
+            ingest_xml_to_tape_v1(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
         (out.into_inner(), info)
     }
 
@@ -858,6 +1325,22 @@ mod tests {
     fn roundtrip_equals_direct_parse() {
         let xml = r#"<site><a x="1">hi &amp; ho</a><b/><c><d>deep</d></c></site>"#;
         assert_eq!(replay(tape_of(xml).0), parse_events(xml));
+        assert_eq!(replay(tape_of_v1(xml).0), parse_events(xml));
+    }
+
+    #[test]
+    fn long_repetitive_text_is_stored_compressed_and_replays_exactly() {
+        let text = "north north-east east south-east south ".repeat(60);
+        let xml = format!("<a><b>{text}</b><c>{text}</c></a>");
+        let (bytes, info) = tape_of(&xml);
+        assert_eq!(info.raw_text_bytes, 2 * text.len() as u64);
+        assert!(
+            info.enc_text_bytes * 3 < info.raw_text_bytes,
+            "repetitive text should compress ≥3×: raw {} enc {}",
+            info.raw_text_bytes,
+            info.enc_text_bytes
+        );
+        assert_eq!(replay(bytes), parse_events(&xml));
     }
 
     #[test]
@@ -869,32 +1352,59 @@ mod tests {
         assert_eq!(info.label_count, 2); // a, b interned once each
         assert_eq!(info.max_depth, 3); // a > b > text
         assert!(info.tape_bytes > 0);
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.flags, 0);
+        assert_eq!(info.postings, 5); // one posting per open frame
+        assert!(info.index_bytes > 0);
+        // Directory: element lists for a (1 posting) and b (2), then text
+        // buckets by parent — root (0), under a (0), under b (2).
+        let dir = r.posting_dir();
+        assert_eq!(dir.len(), 5);
+        assert_eq!(dir[0].count, 1);
+        assert_eq!(dir[1].count, 2);
+        assert_eq!(dir[2].count, 0);
+        assert_eq!(dir[3].count, 0);
+        assert_eq!(dir[4].count, 2);
+        assert!(r.index_usable());
+    }
+
+    #[test]
+    fn v1_tapes_still_read_and_report_their_version() {
+        let (bytes, info) = tape_of_v1("<a><b>t</b><b>u</b></a>");
+        assert_eq!(info.version, VERSION_V1);
+        assert_eq!(info.postings, 0);
+        assert_eq!(info.index_bytes, 0);
+        let r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.info(), &info);
+        assert!(r.posting_dir().is_empty());
+        assert!(!r.index_usable());
     }
 
     #[test]
     fn skip_subtree_jumps_to_the_close() {
         let xml = "<r><junk><x>1</x><y>2</y></junk><keep>3</keep></r>";
-        let (bytes, _) = tape_of(xml);
-        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("r")));
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("junk")));
-        assert!(r.skippable());
-        let skipped = r.skip_subtree().unwrap();
-        // junk + x + "1" + y + "2": 5 opens + 5 closes.
-        assert_eq!(skipped.events, 10);
-        assert!(skipped.bytes > 0);
-        assert_eq!(r.seek_skipped_bytes(), skipped.bytes);
-        // The replay resumes exactly after </junk>.
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("keep")));
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::text("3")));
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::text("3")));
-        assert_eq!(
-            r.next_event().unwrap(),
-            XmlEvent::Close(Label::elem("keep"))
-        );
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::elem("r")));
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
-        assert_eq!(r.next_event().unwrap(), XmlEvent::Eof); // sticky
+        for (bytes, _) in [tape_of(xml), tape_of_v1(xml)] {
+            let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("r")));
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("junk")));
+            assert!(r.skippable());
+            let skipped = r.skip_subtree().unwrap();
+            // junk + x + "1" + y + "2": 5 opens + 5 closes.
+            assert_eq!(skipped.events, 10);
+            assert!(skipped.bytes > 0);
+            assert_eq!(r.seek_skipped_bytes(), skipped.bytes);
+            // The replay resumes exactly after </junk>.
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("keep")));
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::text("3")));
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::text("3")));
+            assert_eq!(
+                r.next_event().unwrap(),
+                XmlEvent::Close(Label::elem("keep"))
+            );
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Close(Label::elem("r")));
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
+            assert_eq!(r.next_event().unwrap(), XmlEvent::Eof); // sticky
+        }
     }
 
     #[test]
@@ -909,9 +1419,9 @@ mod tests {
 
     #[test]
     fn flipped_text_byte_fails_the_checksum() {
+        // v1: detected at Eof against the footer's stream hash.
         let xml = "<a>checksum-me</a>";
-        let (mut bytes, info) = tape_of(xml);
-        // Find the text payload on the tape and flip one byte.
+        let (mut bytes, info) = tape_of_v1(xml);
         let pos = bytes
             .windows(b"checksum-me".len())
             .position(|w| w == b"checksum-me")
@@ -929,6 +1439,27 @@ mod tests {
             StoreError::Checksum { expected, .. } => assert_eq!(expected, info.checksum),
             other => panic!("expected Checksum, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v2_flipped_text_byte_fails_at_the_nodes_close() {
+        // v2: detected locally, at the corrupted node's close frame — long
+        // before Eof. ("checksum-me" is < 16 bytes, so it is stored raw and
+        // the flip corrupts content, not the compression framing.)
+        let (mut bytes, _) = tape_of("<a>checksum-me<b>fine</b></a>");
+        let pos = bytes
+            .windows(b"checksum-me".len())
+            .position(|w| w == b"checksum-me")
+            .unwrap();
+        bytes[pos] ^= 0x20;
+        let mut r = TapeReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.next_event().unwrap(), XmlEvent::Open(Label::elem("a")));
+        assert!(matches!(
+            r.next_event(),
+            Ok(XmlEvent::Open(l)) if l.is_text()
+        ));
+        // The very next event is the text node's close: mismatch here.
+        assert!(matches!(r.next_event(), Err(StoreError::Checksum { .. })));
     }
 
     #[test]
@@ -962,17 +1493,34 @@ mod tests {
         assert!(r.skippable(), "root close offset not backpatched");
         let skipped = r.skip_subtree().unwrap();
         assert_eq!(skipped.events, info.events);
+        // v2: the skip folded the root's stored hash, so Eof still
+        // verifies the document hash.
         assert_eq!(r.next_event().unwrap(), XmlEvent::Eof);
     }
 
     #[test]
+    fn text_children_set_the_index_disabling_flag() {
+        // XML cannot nest under a text node, but hand-built forests can;
+        // such tapes must opt out of the index path.
+        let mut w = TapeWriter::new(Cursor::new(Vec::new())).unwrap();
+        w.open(&Label::text("parent")).unwrap();
+        w.open(&Label::elem("child")).unwrap();
+        w.close().unwrap();
+        w.close().unwrap();
+        let (out, info) = w.finish().unwrap();
+        assert_eq!(info.flags & FLAG_TEXT_CHILDREN, FLAG_TEXT_CHILDREN);
+        let r = TapeReader::new(Cursor::new(out.into_inner())).unwrap();
+        assert!(!r.index_usable());
+    }
+
+    #[test]
     fn huge_text_length_varint_is_corrupt_not_a_panic() {
-        // A hand-crafted tape whose single frame claims a text payload of
-        // u64::MAX bytes: the bounds check must not wrap into accepting it
-        // (release builds would then die on a capacity-overflow alloc).
+        // A hand-crafted v1 tape whose single frame claims a text payload
+        // of u64::MAX bytes: the bounds check must not wrap into accepting
+        // it (release builds would then die on a capacity-overflow alloc).
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAGIC);
-        bytes.push(VERSION);
+        bytes.extend_from_slice(&MAGIC_V1);
+        bytes.push(VERSION_V1);
         bytes.extend_from_slice(&24u64.to_le_bytes()); // footer right after
         bytes.push(TAG_OPEN_TEXT);
         bytes.extend_from_slice(&[0xFF; 9]); // LEB128 u64::MAX …
@@ -984,6 +1532,42 @@ mod tests {
     }
 
     #[test]
+    fn huge_raw_len_on_a_tiny_encoding_is_corrupt_not_an_alloc() {
+        // A hand-built v2 text frame claiming a terabyte raw length for a
+        // few encoded bytes must be rejected by the expansion bound before
+        // allocating anything.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&MAGIC);
+        evil.push(VERSION);
+        evil.extend_from_slice(&0u64.to_le_bytes());
+        evil.push(TAG_OPEN_TEXT);
+        push_varint(&mut evil, 1 << 40); // raw_len: a terabyte
+        push_varint(&mut evil, 4); // enc_len: four bytes
+        evil.extend_from_slice(b"abcd");
+        evil.extend_from_slice(&[0u8; 4]); // close_delta
+        evil.push(TAG_EOF);
+        let footer_offset = evil.len() as u64; // footer starts after Eof
+        evil[5..13].copy_from_slice(&footer_offset.to_le_bytes());
+        push_varint(&mut evil, 0); // labels
+        push_varint(&mut evil, 2); // events
+        push_varint(&mut evil, 1); // max_depth
+        evil.push(0); // flags
+        push_varint(&mut evil, 1); // root text bucket (the only list): 1 posting …
+        push_varint(&mut evil, 3);
+        evil.extend_from_slice(&[0, 1, 0]); // … delta 0, depth 1, root
+        push_varint(&mut evil, 1 << 40); // raw_text_bytes
+        push_varint(&mut evil, 4); // enc_text_bytes
+        evil.extend_from_slice(&0u64.to_le_bytes()); // checksum
+        let mut r = TapeReader::new(Cursor::new(evil)).unwrap();
+        match r.next_event() {
+            Err(StoreError::Corrupt { msg, .. }) => {
+                assert!(msg.contains("expansion"), "wrong rejection: {msg}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn varint_roundtrip() {
         for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
             let mut buf = Vec::new();
@@ -991,6 +1575,10 @@ mod tests {
             let mut at = 0u64;
             assert_eq!(read_varint(&mut &buf[..], &mut at).unwrap(), v);
             assert_eq!(at, buf.len() as u64);
+            let mut i = 0usize;
+            assert_eq!(slice_varint(&buf, &mut i), Some(v));
+            assert_eq!(i, buf.len());
         }
+        assert_eq!(slice_varint(&[0x80], &mut 0), None); // truncated
     }
 }

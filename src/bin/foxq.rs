@@ -66,7 +66,8 @@ usage:
   foxq stats [--timing] <query.xq> [input.xml|input.fet]
       run and report engine statistics to stderr; --timing adds a
       per-stage wall-time table (parse/translate/optimize/execute/...)
-  foxq stats <tape.fet>                 inspect a tape (events, labels, depth)
+  foxq stats <tape.fet>                 inspect a tape: events, labels, depth;
+      FET2 tapes also report text compression and per-label skip-index sizes
   foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
   foxq batch [-q <query.xq>]... [--threads N] [--stats] [input.xml ...]
       answer all queries over each input in a single pass per document;
@@ -74,14 +75,17 @@ usage:
       sharded across worker threads. Outputs are labeled '### doc query'.
 
   foxq store add --dir DIR [--id ID] <input.xml>...
-      parse each document once into the corpus at DIR (FET1 tapes + manifest);
+      parse each document once into the corpus at DIR (FET2 tapes + manifest);
       ids default to the file stem (--id only with a single input)
   foxq store ls --dir DIR               list the corpus manifest
   foxq store rm --dir DIR <id>...       remove stored documents
+  foxq store migrate --dir DIR [id ...] rewrite FET1 tapes as FET2 in place
+      (all documents, or just the given ids); FET2 tapes are left untouched
   foxq store query --dir DIR [-q <query.xq>]... [--threads N] [--stats]
       [--max-output N] [id ...]
       run the query set over every stored document (or just the given ids),
-      replaying tapes with seek-based subtree skipping — no XML re-parsing
+      replaying tapes via the label skip index (FET2) or seek-based subtree
+      skipping (FET1) — no XML re-parsing either way
 
   foxq serve --addr HOST:PORT [--threads N] [--max-body-bytes N]
       [--cache-capacity N] [--read-timeout-ms N] [--write-timeout-ms N]
@@ -240,11 +244,17 @@ fn run_query_on_tape(
     Ok((stats, seek_micros))
 }
 
-/// `foxq stats <tape.fet>`: footer facts, no replay.
+/// `foxq stats <tape.fet>`: footer facts, no replay. FET2 tapes get the
+/// index and compression sections on top of the shared counters.
 fn cmd_tape_stats(path: &str) -> Result<(), String> {
-    let info = foxq::store::inspect(std::path::Path::new(path))
+    let tape = TapeReader::open_file(std::path::Path::new(path))
         .map_err(|e| format!("cannot inspect {path}: {e}"))?;
-    println!("format:            FET1 v{}", info.version);
+    let info = *tape.info();
+    println!(
+        "format:            {} v{}",
+        if info.version == 1 { "FET1" } else { "FET2" },
+        info.version
+    );
     println!("events:            {}", info.events);
     println!(
         "  open / close:    {} / {}",
@@ -258,6 +268,51 @@ fn cmd_tape_stats(path: &str) -> Result<(), String> {
         info.tape_bytes, info.file_bytes
     );
     println!("checksum:          {:016x}", info.checksum);
+    if info.version >= 2 {
+        let pct = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 * 100.0 / whole as f64
+            }
+        };
+        println!(
+            "text bytes:        {} raw, {} stored ({:.1}% of raw)",
+            info.raw_text_bytes,
+            info.enc_text_bytes,
+            pct(info.enc_text_bytes, info.raw_text_bytes.max(1))
+        );
+        println!(
+            "skip index:        {} posting(s), {} bytes ({:.1}% of tape)",
+            info.postings,
+            info.index_bytes,
+            pct(info.index_bytes, info.tape_bytes)
+        );
+        if !tape.index_usable() {
+            println!("  (index disabled: flags {:#04x})", info.flags);
+        }
+        // Per-label posting-list sizes: element lists in label-id order,
+        // then the per-parent text buckets. Empty text buckets (most
+        // parents never hold a text) are elided.
+        let labels = tape.labels();
+        for (i, dir) in tape.posting_dir().iter().enumerate() {
+            let name = if let Some(label) = labels.get(i) {
+                format!("<{}>", label.name)
+            } else if i == labels.len() {
+                "#text (root)".to_string()
+            } else {
+                let parent = &labels[i - labels.len() - 1];
+                format!("#text in <{}>", parent.name)
+            };
+            if labels.get(i).is_none() && dir.count == 0 {
+                continue;
+            }
+            println!(
+                "  {:<16} {:>8} posting(s) {:>10} bytes",
+                name, dir.count, dir.bytes
+            );
+        }
+    }
     Ok(())
 }
 
@@ -276,6 +331,9 @@ fn report_stats(stats: &StreamStats) {
     if stats.prefiltered_events > 0 || stats.seek_skipped_bytes > 0 {
         eprintln!("prefiltered:       {} events", stats.prefiltered_events);
         eprintln!("seek-skipped:      {} bytes", stats.seek_skipped_bytes);
+    }
+    if stats.index_skipped_bytes > 0 {
+        eprintln!("index-skipped:     {} bytes", stats.index_skipped_bytes);
     }
 }
 
@@ -478,7 +536,8 @@ fn cmd_store(args: &[String]) -> Result<(), String> {
         Some("ls") => store_ls(rest),
         Some("rm") => store_rm(rest),
         Some("query") => store_query(rest),
-        _ => Err(format!("store needs add|ls|rm|query\n{USAGE}")),
+        Some("migrate") => store_migrate(rest),
+        _ => Err(format!("store needs add|ls|rm|query|migrate\n{USAGE}")),
     }
 }
 
@@ -583,13 +642,18 @@ fn store_ls(args: &[String]) -> Result<(), String> {
     let parsed = parse_store_args(args)?;
     let corpus = open_corpus(&parsed.dir)?;
     println!(
-        "{:<24} {:>12} {:>12} {:>12}  checksum",
-        "id", "events", "xml.bytes", "tape.bytes"
+        "{:<24} {:>4} {:>12} {:>12} {:>12}  checksum",
+        "id", "fmt", "events", "xml.bytes", "tape.bytes"
     );
     for meta in corpus.docs() {
         println!(
-            "{:<24} {:>12} {:>12} {:>12}  {:016x}",
-            meta.id, meta.events, meta.source_bytes, meta.tape_bytes, meta.checksum
+            "{:<24} {:>4} {:>12} {:>12} {:>12}  {:016x}",
+            meta.id,
+            format!("FET{}", meta.version),
+            meta.events,
+            meta.source_bytes,
+            meta.tape_bytes,
+            meta.checksum
         );
     }
     println!(
@@ -610,6 +674,28 @@ fn store_rm(args: &[String]) -> Result<(), String> {
     for id in &parsed.positional {
         let meta = corpus.remove(id).map_err(|e| e.to_string())?;
         println!("removed {} ({} events)", meta.id, meta.events);
+    }
+    Ok(())
+}
+
+fn store_migrate(args: &[String]) -> Result<(), String> {
+    let parsed = parse_store_args(args)?;
+    let mut corpus = open_corpus(&parsed.dir)?;
+    if parsed.positional.is_empty() {
+        let rewritten = corpus.migrate_all().map_err(|e| e.to_string())?;
+        println!(
+            "migrated {} tape(s) to FET2 ({} document(s) total)",
+            rewritten,
+            corpus.len()
+        );
+    } else {
+        for id in &parsed.positional {
+            let meta = corpus.migrate(id).map_err(|e| format!("{id}: {e}"))?;
+            println!(
+                "{}: FET{} — {} events, {} tape bytes",
+                meta.id, meta.version, meta.events, meta.tape_bytes
+            );
+        }
     }
     Ok(())
 }
@@ -654,6 +740,10 @@ fn store_query(args: &[String]) -> Result<(), String> {
         eprintln!(
             "seek-skipped:      {} bytes",
             report.report.seek_skipped_bytes
+        );
+        eprintln!(
+            "index-skipped:     {} bytes",
+            report.report.index_skipped_bytes
         );
     }
     let stdout = std::io::stdout();

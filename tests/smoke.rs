@@ -325,6 +325,24 @@ fn cli_store_roundtrip_and_tape_stats() {
         .unwrap();
     assert!(out.status.success());
     assert!(stdout_of(&out).contains("person"), "{}", stdout_of(&out));
+    assert!(stdout_of(&out).contains("FET2"), "{}", stdout_of(&out));
+
+    // migrate is a no-op on an already-FET2 corpus.
+    let out = foxq()
+        .args(["store", "migrate", "--dir"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout_of(&out).contains("migrated 0 tape(s)"),
+        "{}",
+        stdout_of(&out)
+    );
 
     let out = foxq()
         .args(["store", "query", "--dir"])
@@ -350,10 +368,13 @@ fn cli_store_roundtrip_and_tape_stats() {
     assert!(out.status.success());
     let text = stdout_of(&out);
     for line in [
-        "format:            FET1 v1",
+        "format:            FET2 v2",
         "events:",
         "label table:",
         "max depth:",
+        "text bytes:",
+        "skip index:",
+        "#text",
     ] {
         assert!(text.contains(line), "missing {line:?} in:\n{text}");
     }

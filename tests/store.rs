@@ -4,11 +4,13 @@
 //! surfaced through the serving layer.
 
 use foxq::core::stream::StreamLimits;
+use foxq::forest::Label;
 use foxq::gen::Dataset;
 use foxq::service::{
-    run_multi, run_multi_on_tape, BatchDriver, MultiQueryEngine, PreparedQuery, QuerySetPlan,
+    run_multi, run_multi_on_tape, run_multi_on_tape_scan, BatchDriver, MultiQueryEngine,
+    PreparedQuery, QuerySetPlan,
 };
-use foxq::store::{ingest_xml_to_tape, Corpus, TapeReader};
+use foxq::store::{ingest_xml_to_tape, ingest_xml_to_tape_v1, Corpus, TapeReader};
 use foxq::xml::{forest_to_xml_string, ForestSink, XmlEvent, XmlReader};
 use proptest::prelude::*;
 use std::io::Cursor;
@@ -107,9 +109,21 @@ fn prefilter_on_and_off_agree_on_the_tape_path() {
         vec![ForestSink::new()],
     )
     .unwrap();
-    // (c) tape replay with seek-based skipping.
+    // (c) tape replay through the auto-dispatched path: the plan prefilters
+    // the whole set and the tape is FET2, so this takes the merged index
+    // cursor.
     let plan = QuerySetPlan::new([mft]);
-    let seek = run_multi_on_tape(
+    let indexed = run_multi_on_tape(
+        &[mft],
+        TapeReader::new(Cursor::new(tape_bytes.clone())).unwrap(),
+        vec![ForestSink::new()],
+        StreamLimits::default(),
+        &plan,
+    )
+    .unwrap();
+    // (c') the same replay with the index path forced off: linear scan with
+    // seek-based subtree skipping.
+    let seek = run_multi_on_tape_scan(
         &[mft],
         TapeReader::new(Cursor::new(tape_bytes.clone())).unwrap(),
         vec![ForestSink::new()],
@@ -133,26 +147,41 @@ fn prefilter_on_and_off_agree_on_the_tape_path() {
     let output = |sink: ForestSink| forest_to_xml_string(&sink.into_forest());
     let (a, a_stats) = reparse.results.into_iter().next().unwrap().unwrap();
     let (b, b_stats) = replay.results.into_iter().next().unwrap().unwrap();
-    let (c, c_stats) = seek.results.into_iter().next().unwrap().unwrap();
+    let (c, c_stats) = indexed.results.into_iter().next().unwrap().unwrap();
+    let (c2, c2_stats) = seek.results.into_iter().next().unwrap().unwrap();
     let (d, d_stats) = off.into_iter().next().unwrap().unwrap();
     let expected = output(a);
     assert!(expected.contains("<o>"), "query produced no output");
     assert_eq!(output(b), expected, "full replay drifted from reparse");
-    assert_eq!(output(c), expected, "seek replay drifted from reparse");
+    assert_eq!(output(c), expected, "index replay drifted from reparse");
+    assert_eq!(output(c2), expected, "seek replay drifted from reparse");
     assert_eq!(output(d), expected, "prefilter-off replay drifted");
 
-    // Accounting: the same events are withheld on every prefiltered path;
-    // the seek path additionally jumps bytes; the off path sees everything.
+    // Accounting: the same events are withheld on every prefiltered path —
+    // the merged cursor must agree with the scan prefilter exactly; the off
+    // path sees everything.
     assert!(a_stats.prefiltered_events > 0, "query was not prefiltered");
     assert_eq!(b_stats.prefiltered_events, a_stats.prefiltered_events);
     assert_eq!(c_stats.prefiltered_events, a_stats.prefiltered_events);
+    assert_eq!(c2_stats.prefiltered_events, a_stats.prefiltered_events);
+    assert_eq!(c_stats.events, c2_stats.events, "delivered events differ");
     assert_eq!(
         d_stats.events,
         a_stats.events + a_stats.prefiltered_events,
         "off path must see every event"
     );
-    assert!(c_stats.seek_skipped_bytes > 0, "seek path never seeked");
-    assert_eq!(seek.seek_skipped_bytes, c_stats.seek_skipped_bytes);
+    // The index path jumps bytes without decoding and never seeks; the scan
+    // path seeks over skipped subtrees and never consults the index. The
+    // index skips at least as much as the scan path seeks (it also jumps
+    // over frames the scan has to decode just to test the label).
+    assert!(c_stats.index_skipped_bytes > 0, "index path never skipped");
+    assert_eq!(c_stats.seek_skipped_bytes, 0);
+    assert_eq!(indexed.index_skipped_bytes, c_stats.index_skipped_bytes);
+    assert_eq!(indexed.seek_skipped_bytes, 0);
+    assert!(c2_stats.seek_skipped_bytes > 0, "seek path never seeked");
+    assert_eq!(c2_stats.index_skipped_bytes, 0);
+    assert_eq!(seek.seek_skipped_bytes, c2_stats.seek_skipped_bytes);
+    assert!(c_stats.index_skipped_bytes >= c2_stats.seek_skipped_bytes);
     assert_eq!(a_stats.seek_skipped_bytes, 0);
     assert_eq!(b_stats.seek_skipped_bytes, 0);
 }
@@ -208,6 +237,197 @@ fn corrupt_tapes_fail_cleanly_through_the_batch_driver() {
     assert_eq!(
         run.report.output(2, 0).as_ref().unwrap(),
         "<o><name>ok</name></o>"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replay every event of `tape` (any version, any input).
+fn drain<R: std::io::BufRead + std::io::Seek>(mut tape: TapeReader<R>) -> Vec<XmlEvent> {
+    let mut events = Vec::new();
+    loop {
+        let ev = tape.next_event().unwrap();
+        let done = ev == XmlEvent::Eof;
+        events.push(ev);
+        if done {
+            return events;
+        }
+    }
+}
+
+#[test]
+fn fet1_and_fet2_tapes_agree_and_index_only_runs_on_fet2() {
+    let xml = forest_to_xml_string(&foxq::gen::generate(Dataset::Xmark, 80_000, 3));
+    let (v1, v1_info, _) = ingest_xml_to_tape_v1(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+    let (v2, v2_info, _) = ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+    assert_eq!(v1_info.version, 1);
+    assert_eq!(v2_info.version, 2);
+    assert_eq!(v1_info.events, v2_info.events);
+    let (v1, v2) = (v1.into_inner(), v2.into_inner());
+
+    // Identical event streams from both formats.
+    assert_eq!(
+        drain(TapeReader::new(Cursor::new(v1.clone())).unwrap()),
+        drain(TapeReader::new(Cursor::new(v2.clone())).unwrap()),
+        "FET1 and FET2 replays drifted"
+    );
+
+    // The same query answered from both: FET1 falls back to seek-based
+    // scanning, FET2 goes through the index — same output either way.
+    let prepared = PreparedQuery::compile(NAMES_QUERY).unwrap();
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+    let run = |bytes: Vec<u8>| {
+        run_multi_on_tape(
+            &[mft],
+            TapeReader::new(Cursor::new(bytes)).unwrap(),
+            vec![ForestSink::new()],
+            StreamLimits::default(),
+            &plan,
+        )
+        .unwrap()
+    };
+    let r1 = run(v1);
+    let r2 = run(v2);
+    assert!(r1.seek_skipped_bytes > 0, "FET1 run must scan and seek");
+    assert_eq!(r1.index_skipped_bytes, 0);
+    assert!(r2.index_skipped_bytes > 0, "FET2 run must use the index");
+    assert_eq!(r2.seek_skipped_bytes, 0);
+    let out = |run: foxq::service::MultiRun<ForestSink>| {
+        let (sink, _) = run.results.into_iter().next().unwrap().unwrap();
+        forest_to_xml_string(&sink.into_forest())
+    };
+    let (o1, o2) = (out(r1), out(r2));
+    assert!(o1.contains("<o>"), "query produced no output");
+    assert_eq!(o1, o2, "FET1 and FET2 answers drifted");
+}
+
+#[test]
+fn corrupt_posting_list_fails_cleanly_on_the_index_path() {
+    let dir = scratch("postings");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.fet");
+    let xml = forest_to_xml_string(&foxq::gen::generate(Dataset::Xmark, 60_000, 11));
+    ingest_xml_to_tape(xml.as_bytes(), std::fs::File::create(&path).unwrap()).unwrap();
+
+    // Locate <name>'s posting list via the footer directory and overwrite
+    // its first offset delta with a varint pointing far past the frames.
+    let tape = TapeReader::open_file(&path).unwrap();
+    let name_id = tape
+        .labels()
+        .iter()
+        .position(|l| *l == Label::elem("name"))
+        .expect("XMark has <name> elements");
+    let entry = tape.posting_dir()[name_id];
+    assert!(
+        entry.count > 0 && entry.bytes >= 5,
+        "list too small to smash"
+    );
+    drop(tape);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let at = entry.offset as usize;
+    bytes[at..at + 5].copy_from_slice(&[0xFF, 0xFF, 0xFF, 0xFF, 0x7F]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let prepared = PreparedQuery::compile(NAMES_QUERY).unwrap();
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+    let tape = TapeReader::open_file(&path).unwrap();
+    let err = run_multi_on_tape(
+        &[mft],
+        tape,
+        vec![ForestSink::new()],
+        StreamLimits::default(),
+        &plan,
+    )
+    .map(|_| ())
+    .expect_err("smashed posting list must not answer queries")
+    .to_string();
+    assert!(
+        err.contains("posting") || err.contains("corrupt"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn index_path_catches_a_flipped_text_byte_at_the_subtree_close() {
+    let dir = scratch("subtree-sum");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.fet");
+    let xml = "<site><people><person><name>somename</name></person></people></site>";
+    ingest_xml_to_tape(xml.as_bytes(), std::fs::File::create(&path).unwrap()).unwrap();
+
+    // Short texts are stored raw, so the payload is findable on disk.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let pos = bytes
+        .windows(b"somename".len())
+        .position(|w| w == b"somename")
+        .expect("payload not found on tape");
+    bytes[pos] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let prepared = PreparedQuery::compile(NAMES_QUERY).unwrap();
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+    let err = run_multi_on_tape(
+        &[mft],
+        TapeReader::open_file(&path).unwrap(),
+        vec![ForestSink::new()],
+        StreamLimits::default(),
+        &plan,
+    )
+    .map(|_| ())
+    .expect_err("the delivered subtree's checksum must catch the flip")
+    .to_string();
+    assert!(err.contains("checksum"), "unexpected error: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_compressed_text_fails_cleanly() {
+    let dir = scratch("lz");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("doc.fet");
+    // Long repetitive text: stored LZ-compressed (asserted below).
+    let text = "the quick brown fox jumps over the lazy dog; ".repeat(128);
+    let xml = format!("<site><doc>{text}</doc></site>");
+    let (_, info, _) =
+        ingest_xml_to_tape(xml.as_bytes(), std::fs::File::create(&path).unwrap()).unwrap();
+    assert!(
+        info.enc_text_bytes < info.raw_text_bytes,
+        "text did not compress ({} stored vs {} raw)",
+        info.enc_text_bytes,
+        info.raw_text_bytes
+    );
+
+    // Zero a run of bytes inside the compressed payload. The frame layout
+    // puts the text payload within a few bytes of the two open frames, and
+    // the encoding is far longer than the smashed range, so offsets 40..56
+    // land inside it.
+    let mut bytes = std::fs::read(&path).unwrap();
+    for b in &mut bytes[40..56] {
+        *b = 0;
+    }
+    std::fs::write(&path, &bytes).unwrap();
+
+    // The decoder either fails to reconstruct raw_len bytes (corrupt) or
+    // reconstructs the wrong bytes (subtree checksum) — both are errors.
+    let prepared = PreparedQuery::compile("<o>{$input/site/doc/text()}</o>").unwrap();
+    let mft = prepared.mft();
+    let plan = QuerySetPlan::new([mft]);
+    let err = run_multi_on_tape(
+        &[mft],
+        TapeReader::open_file(&path).unwrap(),
+        vec![ForestSink::new()],
+        StreamLimits::default(),
+        &plan,
+    )
+    .map(|_| ())
+    .expect_err("corrupted compressed text must not decode silently")
+    .to_string();
+    assert!(
+        err.contains("corrupt") || err.contains("checksum") || err.contains("text"),
+        "unexpected error: {err}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
