@@ -10,11 +10,15 @@
 //!   in the style of Nakano & Mu's pushdown machine);
 //! * [`translate`] — the MinXQuery → MFT compilation of §3 (Theorem 1);
 //! * [`opt`] — the optimizations of §4.1: unused/constant parameter
-//!   reduction, stay-move removal, unreachable state removal (Theorem 2).
+//!   reduction, stay-move removal, unreachable state removal (Theorem 2);
+//! * [`profile`] — the per-run resource profiler: hot-state
+//!   attribution and downsampled buffer timelines over the engine's
+//!   [`stream::StreamObserver`] hooks.
 
 pub mod interp;
 pub mod mft;
 pub mod opt;
+pub mod profile;
 pub mod stream;
 pub mod text;
 pub mod translate;

@@ -1,0 +1,468 @@
+//! Per-run engine resource profiler.
+//!
+//! [`StreamProfiler`] is a [`StreamObserver`] that attributes
+//! expansions, output events, and arena deltas to individual MFT states
+//! (the "hot state" table) and records a bounded, adaptively
+//! downsampled **buffer timeline** of
+//! `(input_event_index, live_nodes, live_bytes, pending_calls)` — the
+//! buffer-occupancy-over-time signal the paper's Fig. 4 plots and the
+//! streamability planner (ROADMAP item 4) calibrates against.
+//!
+//! The timeline starts at one point per input event; when the point
+//! buffer fills, adjacent points are pair-merged and the stride doubles,
+//! so any run fits in a fixed budget while every window keeps its
+//! within-window maxima. Mid-event transient peaks (an expansion can
+//! allocate then release inside one event) are folded into the current
+//! window by watching the arena's monotone run-global peaks, so
+//! `max(hi_*)` over the timeline equals the run's final
+//! `peak_live_nodes` / `peak_live_bytes` / `peak_pending_calls`
+//! **exactly** (asserted in tests).
+
+use crate::mft::{Mft, StateId};
+use crate::stream::{BufferSample, StreamObserver};
+use std::fmt::Write as _;
+
+/// Default timeline budget (points kept before downsampling doubles
+/// the stride). Must be even.
+pub const DEFAULT_TIMELINE_POINTS: usize = 256;
+
+/// Per-state accumulators (dense by `StateId` index).
+#[derive(Debug, Clone, Copy, Default)]
+struct StateCell {
+    expansions: u64,
+    output_events: u64,
+    net_nodes: i64,
+    net_bytes: i64,
+    net_pending: i64,
+}
+
+/// One downsampled window of the buffer timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Input event index at which this window starts (1-based).
+    pub start_event: u64,
+    /// Live expression nodes at the window's end.
+    pub live_nodes: u64,
+    /// Approximate live bytes at the window's end.
+    pub live_bytes: u64,
+    /// Pending state calls at the window's end.
+    pub pending_calls: u64,
+    /// Maximum live nodes observed within the window.
+    pub hi_live_nodes: u64,
+    /// Maximum live bytes observed within the window.
+    pub hi_live_bytes: u64,
+    /// Maximum pending calls observed within the window.
+    pub hi_pending_calls: u64,
+}
+
+impl TimelinePoint {
+    fn observe(&mut self, s: &BufferSample) {
+        self.live_nodes = s.live_nodes as u64;
+        self.live_bytes = s.live_bytes as u64;
+        self.pending_calls = s.pending_calls as u64;
+        self.hi_live_nodes = self.hi_live_nodes.max(s.live_nodes as u64);
+        self.hi_live_bytes = self.hi_live_bytes.max(s.live_bytes as u64);
+        self.hi_pending_calls = self.hi_pending_calls.max(s.pending_calls as u64);
+    }
+
+    fn merge_next(&mut self, next: &TimelinePoint) {
+        self.live_nodes = next.live_nodes;
+        self.live_bytes = next.live_bytes;
+        self.pending_calls = next.pending_calls;
+        self.hi_live_nodes = self.hi_live_nodes.max(next.hi_live_nodes);
+        self.hi_live_bytes = self.hi_live_bytes.max(next.hi_live_bytes);
+        self.hi_pending_calls = self.hi_pending_calls.max(next.hi_pending_calls);
+    }
+}
+
+/// The profiling [`StreamObserver`]: hot-state attribution plus the
+/// bounded buffer timeline. Build one per run, pass it to
+/// `Engine::with_observer` (or an `*_observed` driver), then turn the
+/// returned observer into a [`StreamProfile`] with
+/// [`StreamProfiler::into_profile`].
+#[derive(Debug, Clone)]
+pub struct StreamProfiler {
+    states: Vec<StateCell>,
+    /// Most recently expanded state — output events are credited here
+    /// (the emitter has no state in hand when it flushes).
+    last_state: Option<StateId>,
+    points: Vec<TimelinePoint>,
+    capacity: usize,
+    /// Input events per timeline point (doubles on compaction).
+    stride: u64,
+    /// Events recorded into the current (last) point.
+    window_events: u64,
+    seen_peak_nodes: u64,
+    seen_peak_bytes: u64,
+    seen_peak_pending: u64,
+}
+
+impl StreamProfiler {
+    /// A profiler sized for `mft` with the default timeline budget.
+    pub fn for_mft(mft: &Mft) -> StreamProfiler {
+        Self::with_capacity(mft.state_count(), DEFAULT_TIMELINE_POINTS)
+    }
+
+    /// A profiler for `state_count` states keeping at most
+    /// `timeline_points` timeline windows (rounded up to even, min 2).
+    pub fn with_capacity(state_count: usize, timeline_points: usize) -> StreamProfiler {
+        let capacity = timeline_points.max(2).next_multiple_of(2);
+        StreamProfiler {
+            states: vec![StateCell::default(); state_count],
+            last_state: None,
+            points: Vec::new(),
+            capacity,
+            stride: 1,
+            window_events: 0,
+            seen_peak_nodes: 0,
+            seen_peak_bytes: 0,
+            seen_peak_pending: 0,
+        }
+    }
+
+    /// Pair-merge adjacent points and double the stride.
+    fn compact(&mut self) {
+        let mut merged = Vec::with_capacity(self.capacity / 2);
+        for pair in self.points.chunks(2) {
+            let mut m = pair[0];
+            if let Some(next) = pair.get(1) {
+                m.merge_next(next);
+            }
+            merged.push(m);
+        }
+        self.points = merged;
+        self.stride *= 2;
+    }
+
+    fn cell(&mut self, state: StateId) -> &mut StateCell {
+        let idx = state.idx();
+        if idx >= self.states.len() {
+            self.states.resize(idx + 1, StateCell::default());
+        }
+        &mut self.states[idx]
+    }
+
+    /// Resolve state names against `mft` and produce the final,
+    /// render-ready profile.
+    pub fn into_profile(self, mft: &Mft) -> StreamProfile {
+        let mut states: Vec<StateProfile> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.expansions > 0 || c.output_events > 0)
+            .map(|(idx, c)| StateProfile {
+                state: mft.name_of(StateId(idx as u32)).to_string(),
+                expansions: c.expansions,
+                output_events: c.output_events,
+                net_nodes: c.net_nodes,
+                net_bytes: c.net_bytes,
+                net_pending: c.net_pending,
+            })
+            .collect();
+        states.sort_by(|a, b| {
+            b.expansions
+                .cmp(&a.expansions)
+                .then_with(|| a.state.cmp(&b.state))
+        });
+        StreamProfile {
+            states,
+            peak_live_nodes: self.seen_peak_nodes,
+            peak_live_bytes: self.seen_peak_bytes,
+            peak_pending_calls: self.seen_peak_pending,
+            events_per_point: self.stride,
+            timeline: self.points,
+        }
+    }
+}
+
+impl StreamObserver for StreamProfiler {
+    const ENABLED: bool = true;
+
+    fn on_expansion(&mut self, state: StateId, d_nodes: i64, d_bytes: i64, d_pending: i64) {
+        let cell = self.cell(state);
+        cell.expansions += 1;
+        cell.net_nodes += d_nodes;
+        cell.net_bytes += d_bytes;
+        cell.net_pending += d_pending;
+        self.last_state = Some(state);
+    }
+
+    fn on_output_event(&mut self) {
+        if let Some(state) = self.last_state {
+            self.cell(state).output_events += 1;
+        }
+    }
+
+    fn on_event(&mut self, sample: BufferSample) {
+        if self.points.is_empty() || self.window_events == self.stride {
+            if self.points.len() == self.capacity {
+                self.compact();
+            }
+            self.points.push(TimelinePoint {
+                start_event: sample.input_event_index,
+                ..TimelinePoint::default()
+            });
+            self.window_events = 0;
+        }
+        self.window_events += 1;
+        let point = self.points.last_mut().expect("point pushed above");
+        point.observe(&sample);
+        // Fold mid-event transient peaks (visible only through the
+        // arena's monotone run-global peaks) into the current window,
+        // so the timeline's maximum equals the run peak exactly.
+        if sample.peak_live_nodes as u64 > self.seen_peak_nodes {
+            self.seen_peak_nodes = sample.peak_live_nodes as u64;
+            point.hi_live_nodes = point.hi_live_nodes.max(self.seen_peak_nodes);
+        }
+        if sample.peak_live_bytes as u64 > self.seen_peak_bytes {
+            self.seen_peak_bytes = sample.peak_live_bytes as u64;
+            point.hi_live_bytes = point.hi_live_bytes.max(self.seen_peak_bytes);
+        }
+        if sample.peak_pending_calls as u64 > self.seen_peak_pending {
+            self.seen_peak_pending = sample.peak_pending_calls as u64;
+            point.hi_pending_calls = point.hi_pending_calls.max(self.seen_peak_pending);
+        }
+    }
+}
+
+/// Per-state row of the hot-state table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateProfile {
+    /// State name (from [`Mft::name_of`]).
+    pub state: String,
+    /// Rule expansions attributed to this state.
+    pub expansions: u64,
+    /// Output events credited to this state (most-recently-expanded
+    /// attribution).
+    pub output_events: u64,
+    /// Net live-node delta this state's expansions caused (allocated
+    /// minus released); positive means the state grows the buffer.
+    pub net_nodes: i64,
+    /// Net live-byte delta (ditto).
+    pub net_bytes: i64,
+    /// Net pending-call delta (ditto).
+    pub net_pending: i64,
+}
+
+/// Finished per-run profile: hot-state table + buffer timeline.
+#[derive(Debug, Clone, Default)]
+pub struct StreamProfile {
+    /// Per-state rows, most expansions first.
+    pub states: Vec<StateProfile>,
+    /// Run peak of live nodes (equals `StreamStats::peak_live_nodes`).
+    pub peak_live_nodes: u64,
+    /// Run peak of live bytes (equals `StreamStats::peak_live_bytes`).
+    pub peak_live_bytes: u64,
+    /// Run peak of pending calls (equals
+    /// `StreamStats::peak_pending_calls`).
+    pub peak_pending_calls: u64,
+    /// Input events each timeline point covers.
+    pub events_per_point: u64,
+    /// The downsampled buffer timeline, in input order.
+    pub timeline: Vec<TimelinePoint>,
+}
+
+/// The sparkline ramp, lowest to highest occupancy.
+const SPARK_RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render `values` as a sparkline scaled to the slice's maximum.
+pub fn sparkline(values: impl Iterator<Item = u64>) -> String {
+    let values: Vec<u64> = values.collect();
+    let max = values.iter().copied().max().unwrap_or(0);
+    values
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK_RAMP[0]
+            } else {
+                // Scale so only the true maximum hits the top glyph.
+                let idx = (v * (SPARK_RAMP.len() as u64 - 1)).div_ceil(max);
+                SPARK_RAMP[idx as usize]
+            }
+        })
+        .collect()
+}
+
+impl StreamProfile {
+    /// The hot-state table as aligned text (header + one row per
+    /// state, most expansions first).
+    pub fn hot_state_table(&self) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .states
+            .iter()
+            .map(|s| s.state.len())
+            .max()
+            .unwrap_or(5)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+            "state", "expansions", "out_events", "net_nodes", "net_bytes", "net_pending"
+        );
+        for s in &self.states {
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+                s.state, s.expansions, s.output_events, s.net_nodes, s.net_bytes, s.net_pending
+            );
+        }
+        out
+    }
+
+    /// Render the full profile: peaks, hot-state table, and buffer
+    /// timelines as sparklines (bytes and pending calls).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "peaks: live nodes {}, live bytes {}, pending calls {}",
+            self.peak_live_nodes, self.peak_live_bytes, self.peak_pending_calls
+        );
+        out.push_str(&self.hot_state_table());
+        if !self.timeline.is_empty() {
+            let _ = writeln!(
+                out,
+                "buffer timeline ({} input events/point, max bytes {}):",
+                self.events_per_point, self.peak_live_bytes
+            );
+            let _ = writeln!(
+                out,
+                "  bytes   {}",
+                sparkline(self.timeline.iter().map(|p| p.hi_live_bytes))
+            );
+            let _ = writeln!(
+                out,
+                "  pending {}",
+                sparkline(self.timeline.iter().map(|p| p.hi_pending_calls))
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::optimize;
+    use crate::stream::{
+        run_streaming_with_limits, run_streaming_with_observer, StreamLimits, StreamStats,
+    };
+    use crate::translate::translate;
+    use foxq_xml::{WriterSink, XmlReader};
+    use foxq_xquery::parse_query;
+
+    fn mft_for(query: &str) -> Mft {
+        optimize(translate(&parse_query(query).unwrap()).unwrap())
+    }
+
+    fn doc(n: usize) -> String {
+        let mut s = String::from("<people>");
+        for i in 0..n {
+            s.push_str(&format!("<person><name>p{i}</name><junk>x</junk></person>"));
+        }
+        s.push_str("</people>");
+        s
+    }
+
+    fn run_plain(mft: &Mft, input: &[u8]) -> (String, StreamStats) {
+        let (sink, stats) = run_streaming_with_limits(
+            mft,
+            XmlReader::new(input),
+            WriterSink::new(Vec::new()),
+            StreamLimits::default(),
+        )
+        .unwrap();
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        (out, stats)
+    }
+
+    fn run_profiled(
+        mft: &Mft,
+        input: &[u8],
+        timeline_points: usize,
+    ) -> (String, StreamStats, StreamProfile) {
+        let profiler = StreamProfiler::with_capacity(mft.state_count(), timeline_points);
+        let (sink, stats, profiler) = run_streaming_with_observer(
+            mft,
+            XmlReader::new(input),
+            WriterSink::new(Vec::new()),
+            StreamLimits::default(),
+            profiler,
+        )
+        .unwrap();
+        let out = String::from_utf8(sink.finish().unwrap()).unwrap();
+        (out, stats, profiler.into_profile(mft))
+    }
+
+    #[test]
+    fn observer_on_is_stats_and_output_identical_to_off() {
+        let mft =
+            mft_for("<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>");
+        let input = doc(50);
+        let (out_off, stats_off) = run_plain(&mft, input.as_bytes());
+        let (out_on, stats_on, _) = run_profiled(&mft, input.as_bytes(), 256);
+        assert_eq!(out_off, out_on, "observer changed the output");
+        assert_eq!(stats_off, stats_on, "observer changed the stats");
+    }
+
+    #[test]
+    fn timeline_max_equals_run_peaks_exactly() {
+        // Small point budget forces several compaction rounds; the
+        // folded maxima must still reproduce the run peaks exactly.
+        for points in [2, 4, 8, 256] {
+            let mft = mft_for("<double><r1>{$input/*}</r1>{$input/*}</double>");
+            let input = doc(80);
+            let (_, stats, profile) = run_profiled(&mft, input.as_bytes(), points);
+            assert!(profile.timeline.len() <= points.max(2));
+            let max_bytes = profile.timeline.iter().map(|p| p.hi_live_bytes).max();
+            let max_nodes = profile.timeline.iter().map(|p| p.hi_live_nodes).max();
+            let max_pending = profile.timeline.iter().map(|p| p.hi_pending_calls).max();
+            assert_eq!(
+                max_bytes,
+                Some(stats.peak_live_bytes as u64),
+                "{points} pts"
+            );
+            assert_eq!(
+                max_nodes,
+                Some(stats.peak_live_nodes as u64),
+                "{points} pts"
+            );
+            assert_eq!(
+                max_pending,
+                Some(stats.peak_pending_calls as u64),
+                "{points} pts"
+            );
+            assert_eq!(profile.peak_live_bytes, stats.peak_live_bytes as u64);
+            assert_eq!(profile.peak_live_nodes, stats.peak_live_nodes as u64);
+            assert_eq!(profile.peak_pending_calls, stats.peak_pending_calls as u64);
+        }
+    }
+
+    #[test]
+    fn hot_states_account_for_every_expansion_and_output_event() {
+        let mft =
+            mft_for("<o>{ for $p in $input/people/person return <n>{$p/name/text()}</n> }</o>");
+        let input = doc(20);
+        let (_, stats, profile) = run_profiled(&mft, input.as_bytes(), 64);
+        let expansions: u64 = profile.states.iter().map(|s| s.expansions).sum();
+        let outputs: u64 = profile.states.iter().map(|s| s.output_events).sum();
+        assert_eq!(expansions, stats.expansions);
+        assert_eq!(outputs, stats.output_events);
+        assert!(profile.states[0].expansions >= profile.states.last().unwrap().expansions);
+        // Rendering carries the table and a sparkline per timeline row.
+        let rendered = profile.render();
+        assert!(rendered.contains("state"));
+        assert!(rendered.contains("buffer timeline"));
+        assert!(rendered.contains('█'), "no full-height glyph in {rendered}");
+    }
+
+    #[test]
+    fn sparkline_tops_out_only_at_the_maximum() {
+        assert_eq!(sparkline([0u64, 0].into_iter()), "▁▁");
+        let line = sparkline([1u64, 5, 10].into_iter());
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+        assert!(!line.starts_with('█'));
+    }
+}

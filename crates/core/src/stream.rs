@@ -111,7 +111,7 @@ impl From<XmlError> for StreamError {
 }
 
 /// Statistics of one streaming run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamStats {
     /// Input events processed (open + close pairs + eof).
     pub events: u64,
@@ -151,6 +151,68 @@ pub struct StreamStats {
     /// skip starts from a decoded open). The events inside are counted in
     /// [`StreamStats::prefiltered_events`]. Always 0 off the index path.
     pub index_skipped_bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Observer
+// ---------------------------------------------------------------------------
+
+/// Buffer occupancy at one input-event boundary, handed to
+/// [`StreamObserver::on_event`] after each `open`/`close`/eof is fully
+/// processed (expansion + flush done).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSample {
+    /// 1-based index of the input event just processed.
+    pub input_event_index: u64,
+    /// Live expression nodes right now.
+    pub live_nodes: usize,
+    /// Approximate bytes of live expression nodes right now.
+    pub live_bytes: usize,
+    /// Unresolved pending state calls right now.
+    pub pending_calls: usize,
+    /// Run-global high-water mark of `live_nodes`, including transient
+    /// mid-event peaks the end-of-event values never show.
+    pub peak_live_nodes: usize,
+    /// Run-global high-water mark of `live_bytes` (ditto).
+    pub peak_live_bytes: usize,
+    /// Run-global high-water mark of `pending_calls` (ditto).
+    pub peak_pending_calls: usize,
+}
+
+/// Hook for per-run engine profiling. The engine is generic over the
+/// observer and the no-op impl for `()` has `ENABLED = false`, so every
+/// hook site monomorphizes to nothing in the default configuration —
+/// observer-off runs pay zero cost (guarded by a stats-parity test and
+/// the release A/B throughput guard).
+pub trait StreamObserver {
+    /// Whether hooks fire at all; `false` compiles them out.
+    const ENABLED: bool;
+
+    /// One rule expansion finished: `state` was rewritten in place, and
+    /// the arena's live-node/byte/pending counts moved by the deltas
+    /// (instantiation minus dropped-argument releases).
+    fn on_expansion(&mut self, state: StateId, d_nodes: i64, d_bytes: i64, d_pending: i64);
+
+    /// One output event (open or close) was pushed to the sink.
+    fn on_output_event(&mut self);
+
+    /// One input event was fully processed; `sample` is the buffer
+    /// occupancy at the boundary.
+    fn on_event(&mut self, sample: BufferSample);
+}
+
+/// The default, disabled observer.
+impl StreamObserver for () {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn on_expansion(&mut self, _: StateId, _: i64, _: i64, _: i64) {}
+
+    #[inline(always)]
+    fn on_output_event(&mut self) {}
+
+    #[inline(always)]
+    fn on_event(&mut self, _: BufferSample) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -364,7 +426,10 @@ struct Frame {
 
 /// Incremental streaming executor. Feed events with [`Engine::open`] /
 /// [`Engine::close`], then call [`Engine::finish`].
-pub struct Engine<'m, S> {
+///
+/// Generic over a [`StreamObserver`]; the default `()` observer
+/// compiles every hook out.
+pub struct Engine<'m, S, O: StreamObserver = ()> {
     mft: &'m Mft,
     sink: S,
     arena: Arena,
@@ -375,6 +440,7 @@ pub struct Engine<'m, S> {
     frames: Vec<Frame>,
     limits: StreamLimits,
     stats: StreamStats,
+    obs: O,
     finished: bool,
 }
 
@@ -384,6 +450,13 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     }
 
     pub fn with_limits(mft: &'m Mft, sink: S, limits: StreamLimits) -> Self {
+        Engine::with_observer(mft, sink, limits, ())
+    }
+}
+
+impl<'m, S: XmlSink, O: StreamObserver> Engine<'m, S, O> {
+    /// An engine whose hook sites report to `obs`.
+    pub fn with_observer(mft: &'m Mft, sink: S, limits: StreamLimits, obs: O) -> Self {
         let mut arena = Arena::default();
         let current = new_loc();
         let root = arena.alloc(Expr::Pending {
@@ -406,6 +479,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
             frames,
             limits,
             stats: StreamStats::default(),
+            obs,
             finished: false,
         }
     }
@@ -429,6 +503,7 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.current = child;
         self.flush()?;
         self.sync_peaks();
+        self.note_event();
         Ok(())
     }
 
@@ -436,6 +511,22 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.stats.peak_live_nodes = self.arena.peak_live;
         self.stats.peak_live_bytes = self.arena.peak_bytes;
         self.stats.peak_pending_calls = self.arena.peak_pending;
+    }
+
+    /// Report the post-event buffer occupancy to the observer.
+    #[inline]
+    fn note_event(&mut self) {
+        if O::ENABLED {
+            self.obs.on_event(BufferSample {
+                input_event_index: self.stats.events,
+                live_nodes: self.arena.live,
+                live_bytes: self.arena.live_bytes,
+                pending_calls: self.arena.pending,
+                peak_live_nodes: self.arena.peak_live,
+                peak_live_bytes: self.arena.peak_bytes,
+                peak_pending_calls: self.arena.peak_pending,
+            });
+        }
     }
 
     /// Feed the closing event of the most recently opened node.
@@ -448,23 +539,30 @@ impl<'m, S: XmlSink> Engine<'m, S> {
         self.current = self.stack.pop().expect("close without matching open");
         self.flush()?;
         self.sync_peaks();
+        self.note_event();
         Ok(())
     }
 
     /// Signal end of input and retrieve the sink and run statistics.
-    pub fn finish(mut self) -> Result<(S, StreamStats), StreamError> {
+    pub fn finish(self) -> Result<(S, StreamStats), StreamError> {
+        self.finish_observed().map(|(sink, stats, _)| (sink, stats))
+    }
+
+    /// [`Engine::finish`], also handing back the observer.
+    pub fn finish_observed(mut self) -> Result<(S, StreamStats, O), StreamError> {
         debug_assert!(self.stack.is_empty(), "unclosed elements at finish");
         self.stats.events += 1;
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &Ctx::Eps)?;
         self.flush()?;
         self.sync_peaks();
+        self.note_event();
         debug_assert!(
             self.frames.is_empty(),
             "output frontier not ground after end of input"
         );
         self.finished = true;
-        Ok((self.sink, self.stats))
+        Ok((self.sink, self.stats, self.obs))
     }
 
     /// Access the sink mid-run (e.g. to inspect counters).
@@ -507,6 +605,11 @@ impl<'m, S: XmlSink> Engine<'m, S> {
     /// Rewrite one pending call in place using the rule selected by `ctx`.
     fn expand_one(&mut self, id: ExprId, ctx: &Ctx, work: &mut VecDeque<ExprId>) {
         self.stats.expansions += 1;
+        let before = if O::ENABLED {
+            (self.arena.live, self.arena.live_bytes, self.arena.pending)
+        } else {
+            (0, 0, 0)
+        };
         let (state, args) = match self.arena.get_mut(id) {
             Expr::Pending { state, args } => (*state, std::mem::take(args)),
             _ => unreachable!("expand target must be pending"),
@@ -531,6 +634,14 @@ impl<'m, S: XmlSink> Engine<'m, S> {
             }
         }
         self.arena.resolve(id, Expr::Forest(children));
+        if O::ENABLED {
+            self.obs.on_expansion(
+                state,
+                self.arena.live as i64 - before.0 as i64,
+                self.arena.live_bytes as i64 - before.1 as i64,
+                self.arena.pending as i64 - before.2 as i64,
+            );
+        }
     }
 
     /// Instantiate a rhs forest: allocate output nodes, share parameters,
@@ -606,6 +717,9 @@ impl<'m, S: XmlSink> Engine<'m, S> {
 
     /// Record one output event against the budget.
     fn count_output_event(&mut self) -> Result<(), StreamError> {
+        if O::ENABLED {
+            self.obs.on_output_event();
+        }
         self.stats.output_events += 1;
         if self.stats.output_events > self.limits.max_output_events {
             return Err(StreamError::OutputLimit {
@@ -729,16 +843,29 @@ pub fn run_streaming<E: EventSource, S: XmlSink>(
 /// [`run_streaming`] under explicit resource limits.
 pub fn run_streaming_with_limits<E: EventSource, S: XmlSink>(
     mft: &Mft,
-    mut events: E,
+    events: E,
     sink: S,
     limits: StreamLimits,
 ) -> Result<(S, StreamStats), StreamError> {
-    let mut engine = Engine::with_limits(mft, sink, limits);
+    run_streaming_with_observer(mft, events, sink, limits, ())
+        .map(|(sink, stats, ())| (sink, stats))
+}
+
+/// [`run_streaming_with_limits`] with a live [`StreamObserver`] (e.g. a
+/// `StreamProfiler`), handed back alongside the sink and stats.
+pub fn run_streaming_with_observer<E: EventSource, S: XmlSink, O: StreamObserver>(
+    mft: &Mft,
+    mut events: E,
+    sink: S,
+    limits: StreamLimits,
+    obs: O,
+) -> Result<(S, StreamStats, O), StreamError> {
+    let mut engine = Engine::with_observer(mft, sink, limits, obs);
     loop {
         match events.next_event()? {
             XmlEvent::Open(label) => engine.open(&label)?,
             XmlEvent::Close(_) => engine.close()?,
-            XmlEvent::Eof => return engine.finish(),
+            XmlEvent::Eof => return engine.finish_observed(),
         }
     }
 }

@@ -37,6 +37,29 @@ impl Histogram {
         1_000_000,
     ];
 
+    /// Ladder for node-count observations (live nodes, pending calls):
+    /// powers of four, 1 .. 4M.
+    pub const NODE_BOUNDS: &'static [u64] = &[
+        1, 4, 16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+    ];
+
+    /// Ladder for byte-count observations (live bytes, allocator bytes
+    /// per request): powers of four, 256 B .. 1 GiB.
+    pub const BYTE_BOUNDS: &'static [u64] = &[
+        256,
+        1_024,
+        4_096,
+        16_384,
+        65_536,
+        262_144,
+        1_048_576,
+        4_194_304,
+        16_777_216,
+        67_108_864,
+        268_435_456,
+        1_073_741_824,
+    ];
+
     /// Build a histogram over the given (strictly increasing) bounds.
     pub fn new(bounds: &'static [u64]) -> Histogram {
         debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
@@ -57,6 +80,23 @@ impl Histogram {
     /// A histogram on the fine-grained reactor ladder.
     pub fn reactor() -> Histogram {
         Histogram::new(Self::REACTOR_BOUNDS_MICROS)
+    }
+
+    /// A histogram on the node-count ladder.
+    pub fn nodes() -> Histogram {
+        Histogram::new(Self::NODE_BOUNDS)
+    }
+
+    /// A histogram on the byte-count ladder.
+    pub fn bytes() -> Histogram {
+        Histogram::new(Self::BYTE_BOUNDS)
+    }
+
+    /// Record one observation of a dimensionless value (node/byte
+    /// ladders). Same storage as `observe_micros`; only rendering
+    /// differs (`render_values_into` vs. `render_into`).
+    pub fn observe_value(&self, value: u64) {
+        self.observe_micros(value);
     }
 
     /// Record one observation of `micros` microseconds.
@@ -113,6 +153,32 @@ impl Histogram {
             "{name}_sum{braces} {}",
             micros_as_seconds(self.sum_micros())
         );
+        let _ = writeln!(out, "{name}_count{braces} {}", self.count());
+    }
+
+    /// Like [`Histogram::render_into`] but for dimensionless value
+    /// ladders: `le` labels and `_sum` are raw integers, not seconds.
+    pub fn render_values_into(&self, out: &mut String, name: &str, labels: &str) {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cumulative = 0u64;
+        for (i, &bound) in self.bounds.iter().enumerate() {
+            cumulative += self.buckets[i].load(Relaxed);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        cumulative += self.buckets[self.bounds.len()].load(Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}"
+        );
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{braces} {}", self.sum_micros());
         let _ = writeln!(out, "{name}_count{braces} {}", self.count());
     }
 }
@@ -175,6 +241,20 @@ mod tests {
         assert_eq!(bucket_counts[bucket_counts.len() - 2], 3);
         assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 4"));
         assert!(out.contains("t_seconds_count 4"));
+    }
+
+    #[test]
+    fn value_ladders_render_integer_bounds() {
+        let h = Histogram::bytes();
+        h.observe_value(300); // <= 1024
+        h.observe_value(5_000_000_000); // overflow -> +Inf only
+        let mut out = String::new();
+        h.render_values_into(&mut out, "b_bytes", "");
+        assert!(out.contains("b_bytes_bucket{le=\"256\"} 0"));
+        assert!(out.contains("b_bytes_bucket{le=\"1024\"} 1"));
+        assert!(out.contains("b_bytes_bucket{le=\"+Inf\"} 2"));
+        assert!(out.contains("b_bytes_sum 5000000300"));
+        assert!(out.contains("b_bytes_count 2"));
     }
 
     #[test]

@@ -12,20 +12,26 @@
 //!   clocks. Snapshots out to a [`StageTimes`] value that renders as a
 //!   `Server-Timing` header or a CLI stage table.
 //! - [`TraceSink`] implementations: [`RingSink`] (bounded in-memory
-//!   ring for `/debug/requests`) and [`JsonlSink`] (append-only JSONL
-//!   file for `foxq serve --trace-log`).
+//!   ring for `/debug/requests`) and [`JsonlSink`] (size-capped,
+//!   rotating JSONL file for `foxq serve --trace-log`).
+//! - A counting `#[global_allocator]` wrapper (`alloc`): process-wide
+//!   allocation/free/live/peak counters ([`alloc_snapshot`]),
+//!   per-thread scoped deltas ([`AllocScope`]) so a worker can bill a
+//!   single run, and RSS sampling ([`read_rss_bytes`]).
 //!
 //! The stage taxonomy ([`Stage`]) is shared across the stack: the
 //! compile pipeline (`foxq_service`), the engines (`foxq_core`), the
 //! tape store (`foxq_store`), and the HTTP layer (`foxq_server`) all
 //! report through the same nine names.
 
+mod alloc;
 mod histogram;
 mod sink;
 mod span;
 
+pub use alloc::{alloc_snapshot, read_rss_bytes, AllocDelta, AllocScope, AllocSnapshot};
 pub use histogram::Histogram;
-pub use sink::{JsonlSink, RingSink, TraceRecord, TraceSink};
+pub use sink::{JsonlSink, RingSink, TraceRecord, TraceSink, DEFAULT_TRACE_LOG_MAX_BYTES};
 pub use span::{Span, StageTimes, TraceContext};
 
 /// Pipeline stages shared across the stack.

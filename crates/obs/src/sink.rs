@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -36,6 +36,36 @@ impl TraceRecord {
             .duration_since(UNIX_EPOCH)
             .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
             .unwrap_or(0)
+    }
+
+    /// Serialize this record as a single JSON line (no trailing
+    /// newline) — the shape both the [`JsonlSink`] and the ring's JSON
+    /// dump emit.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(160);
+        let _ = write!(
+            out,
+            "{{\"id\":\"{:016x}\",\"target\":{},\"status\":{},\"unix_ms\":{},\"total_us\":{}",
+            self.id,
+            json_string(&self.target),
+            self.status,
+            self.unix_millis,
+            self.total_micros
+        );
+        if !self.detail.is_empty() {
+            let _ = write!(out, ",\"detail\":{}", json_string(&self.detail));
+        }
+        let _ = write!(out, ",\"stages_us\":{{");
+        let mut first = true;
+        for (stage, micros) in self.stages.iter() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{micros}", stage.name());
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -83,6 +113,18 @@ impl RingSink {
         self.lock().iter().cloned().collect()
     }
 
+    /// Render the ring as JSONL (oldest first): one object per record,
+    /// the same shape the [`JsonlSink`] writes.
+    pub fn dump_json(&self) -> String {
+        let records = self.snapshot();
+        let mut out = String::new();
+        for r in &records {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Render the ring as a human-readable text table (oldest first),
     /// one line per record plus a header.
     pub fn dump(&self) -> String {
@@ -124,55 +166,69 @@ impl TraceSink for RingSink {
 }
 
 /// Append-only JSONL trace log (`foxq serve --trace-log <path>`): one
-/// JSON object per record. Write errors are swallowed — tracing must
-/// never take down serving.
+/// JSON object per record, with size-capped rotation so an always-on
+/// log can't fill the disk. When the file would exceed `max_bytes` it
+/// is renamed to `<path>.1` (replacing any previous rotation) and a
+/// fresh file is started — at most `2 × max_bytes` ever on disk.
+/// Write errors are swallowed: tracing must never take down serving.
 pub struct JsonlSink {
-    out: Mutex<File>,
+    path: PathBuf,
+    max_bytes: u64,
+    out: Mutex<(File, u64)>,
 }
 
+/// Default rotation threshold for [`JsonlSink`]: 64 MiB.
+pub const DEFAULT_TRACE_LOG_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
 impl JsonlSink {
-    /// Open (create or append to) the log at `path`.
+    /// Open (create or append to) the log at `path` with the default
+    /// 64 MiB rotation threshold.
     pub fn open(path: &Path) -> std::io::Result<JsonlSink> {
+        Self::open_with_max(path, DEFAULT_TRACE_LOG_MAX_BYTES)
+    }
+
+    /// Open the log at `path`, rotating once it would exceed
+    /// `max_bytes` (0 means never rotate).
+    pub fn open_with_max(path: &Path, max_bytes: u64) -> std::io::Result<JsonlSink> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
         Ok(JsonlSink {
-            out: Mutex::new(file),
+            path: path.to_path_buf(),
+            max_bytes,
+            out: Mutex::new((file, written)),
         })
     }
 
-    /// Serialize one record as a single JSON line.
-    fn to_json(rec: &TraceRecord) -> String {
-        let mut out = String::with_capacity(160);
-        let _ = write!(
-            out,
-            "{{\"id\":\"{:016x}\",\"target\":{},\"status\":{},\"unix_ms\":{},\"total_us\":{}",
-            rec.id,
-            json_string(&rec.target),
-            rec.status,
-            rec.unix_millis,
-            rec.total_micros
-        );
-        if !rec.detail.is_empty() {
-            let _ = write!(out, ",\"detail\":{}", json_string(&rec.detail));
-        }
-        let _ = write!(out, ",\"stages_us\":{{");
-        let mut first = true;
-        for (stage, micros) in rec.stages.iter() {
-            if !first {
-                out.push(',');
+    /// Append one pre-serialized JSON object as a line. Used for
+    /// auxiliary records (per-run profiles) that share the trace log.
+    pub fn append_json(&self, line: &str) {
+        let mut guard = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let needed = line.len() as u64 + 1;
+        if self.max_bytes > 0 && guard.1 + needed > self.max_bytes && guard.1 > 0 {
+            // Rotate: current file becomes `<path>.1`, start fresh.
+            // On failure keep writing to the old handle — never drop
+            // records over a rotation error.
+            let mut rotated = self.path.clone().into_os_string();
+            rotated.push(".1");
+            if std::fs::rename(&self.path, PathBuf::from(rotated)).is_ok() {
+                if let Ok(fresh) = OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&self.path)
+                {
+                    *guard = (fresh, 0);
+                }
             }
-            first = false;
-            let _ = write!(out, "\"{}\":{micros}", stage.name());
         }
-        out.push_str("}}");
-        out
+        if writeln!(&mut guard.0, "{line}").is_ok() {
+            guard.1 += needed;
+        }
     }
 }
 
 impl TraceSink for JsonlSink {
     fn record(&self, rec: &TraceRecord) {
-        let line = Self::to_json(rec);
-        let mut file = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(&mut *file, "{line}");
+        self.append_json(&rec.to_json());
     }
 }
 
@@ -248,10 +304,11 @@ mod tests {
 
     #[test]
     fn jsonl_lines_are_wellformed() {
-        let line = JsonlSink::to_json(&TraceRecord {
+        let line = TraceRecord {
             detail: "a\"b\\c\nd".to_string(),
             ..rec(0xabc, 5_000)
-        });
+        }
+        .to_json();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"id\":\"0000000000000abc\""));
         assert!(line.contains("\"target\":\"query\""));
@@ -276,5 +333,45 @@ mod tests {
         assert_eq!(body.lines().count(), 2);
         assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ring_dumps_json_in_sink_shape() {
+        let ring = RingSink::new(4);
+        ring.record(&rec(1, 1_000));
+        ring.record(&rec(2, 2_000));
+        let json = ring.dump_json();
+        assert_eq!(json.lines().count(), 2);
+        assert_eq!(json.lines().next().unwrap(), rec(1, 1_000).to_json());
+        assert!(json.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn jsonl_sink_rotates_at_the_size_cap() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("foxq_obs_rotate_{}.jsonl", std::process::id()));
+        let rotated = dir.join(format!("foxq_obs_rotate_{}.jsonl.1", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        // Totals chosen so every serialized record has the same length.
+        let line_len = rec(1, 1_100).to_json().len() as u64 + 1;
+        // Cap fits exactly two records; the third must rotate first.
+        let sink = JsonlSink::open_with_max(&path, 2 * line_len).unwrap();
+        sink.record(&rec(1, 1_100));
+        sink.record(&rec(2, 2_100));
+        sink.record(&rec(3, 3_100));
+        let fresh = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert_eq!(fresh.lines().count(), 1, "fresh file holds the overflow");
+        assert_eq!(old.lines().count(), 2, "rotated file holds the cap-full");
+        assert!(fresh.contains("\"id\":\"0000000000000003\""));
+        // A second overflow replaces the previous rotation.
+        sink.record(&rec(4, 4_100));
+        sink.record(&rec(5, 5_100));
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert!(old.contains("\"id\":\"0000000000000003\""));
+        assert!(!old.contains("\"id\":\"0000000000000001\""));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
     }
 }

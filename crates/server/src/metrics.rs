@@ -119,6 +119,12 @@ pub struct Metrics {
     pub ttfb: Histogram,
     /// Per-request engine time, by pipeline stage.
     engine_stage: [Histogram; Stage::COUNT],
+    /// Per-request peak of live expression nodes (query runs).
+    pub live_nodes_peak: Histogram,
+    /// Per-request peak of approximate live expression bytes.
+    pub live_bytes_peak: Histogram,
+    /// Allocator bytes billed to the worker thread per /query request.
+    pub alloc_bytes_per_request: Histogram,
     /// Reactor busy time per wakeup (everything between two epoll waits).
     pub loop_lag: Histogram,
     /// Time blocked inside `epoll_wait` per reactor cycle.
@@ -151,6 +157,9 @@ impl Default for Metrics {
             request_latency: std::array::from_fn(|_| Histogram::latency()),
             ttfb: Histogram::latency(),
             engine_stage: std::array::from_fn(|_| Histogram::latency()),
+            live_nodes_peak: Histogram::nodes(),
+            live_bytes_peak: Histogram::bytes(),
+            alloc_bytes_per_request: Histogram::bytes(),
             loop_lag: Histogram::reactor(),
             epoll_wait: Histogram::reactor(),
         }
@@ -397,6 +406,66 @@ impl Metrics {
                 &format!("stage=\"{}\"", s.name()),
             );
         }
+        out.push_str(
+            "# HELP foxq_live_nodes_peak Per-request peak of live expression nodes.\n\
+             # TYPE foxq_live_nodes_peak histogram\n",
+        );
+        self.live_nodes_peak
+            .render_values_into(&mut out, "foxq_live_nodes_peak", "");
+        out.push_str(
+            "# HELP foxq_live_bytes_peak Per-request peak of approximate live bytes.\n\
+             # TYPE foxq_live_bytes_peak histogram\n",
+        );
+        self.live_bytes_peak
+            .render_values_into(&mut out, "foxq_live_bytes_peak", "");
+        out.push_str(
+            "# HELP foxq_alloc_bytes_per_request Allocator bytes billed to the \
+             worker thread per query request.\n\
+             # TYPE foxq_alloc_bytes_per_request histogram\n",
+        );
+        self.alloc_bytes_per_request.render_values_into(
+            &mut out,
+            "foxq_alloc_bytes_per_request",
+            "",
+        );
+
+        let alloc = foxq_obs::alloc_snapshot();
+        counter2(
+            &mut out,
+            "foxq_alloc_allocations_total",
+            "Heap allocations observed by the counting allocator.",
+            alloc.allocations,
+        );
+        counter2(
+            &mut out,
+            "foxq_alloc_frees_total",
+            "Heap frees observed by the counting allocator.",
+            alloc.deallocations,
+        );
+        scalar(
+            &mut out,
+            "foxq_alloc_live_bytes",
+            "Heap bytes currently live per the counting allocator.",
+            "gauge",
+            alloc.live_bytes,
+        );
+        scalar(
+            &mut out,
+            "foxq_alloc_peak_bytes",
+            "High-water mark of live heap bytes.",
+            "gauge",
+            alloc.peak_live_bytes,
+        );
+        if let Some(rss) = foxq_obs::read_rss_bytes() {
+            scalar(
+                &mut out,
+                "foxq_process_rss_bytes",
+                "Resident set size from /proc/self/statm.",
+                "gauge",
+                rss,
+            );
+        }
+
         out.push_str("# HELP foxq_reactor_loop_lag_seconds Reactor busy time per wakeup.\n");
         out.push_str("# TYPE foxq_reactor_loop_lag_seconds histogram\n");
         self.loop_lag
@@ -407,6 +476,10 @@ impl Metrics {
             .render_into(&mut out, "foxq_reactor_epoll_wait_seconds", "");
         out
     }
+}
+
+fn counter2(out: &mut String, name: &str, help: &str, value: u64) {
+    scalar(out, name, help, "counter", value);
 }
 
 fn scalar(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
@@ -458,6 +531,14 @@ mod tests {
         assert!(text.contains("# TYPE foxq_engine_stage_seconds histogram"));
         assert!(text.contains("# TYPE foxq_reactor_loop_lag_seconds histogram"));
         assert!(text.contains("foxq_ttfb_seconds_count 0"));
+        assert!(text.contains("# TYPE foxq_live_nodes_peak histogram"));
+        assert!(text.contains("# TYPE foxq_live_bytes_peak histogram"));
+        assert!(text.contains("foxq_alloc_bytes_per_request_count 0"));
+        assert!(text.contains("# TYPE foxq_alloc_live_bytes gauge"));
+        assert!(text.contains("# TYPE foxq_alloc_peak_bytes gauge"));
+        assert!(text.contains("foxq_alloc_allocations_total"));
+        #[cfg(target_os = "linux")]
+        assert!(text.contains("foxq_process_rss_bytes"));
         // Without a corpus the gauge is absent but the counters remain.
         let text = m.render(cache, None);
         assert!(!text.contains("foxq_corpus_docs"));

@@ -30,12 +30,17 @@ use crate::conn::{After, Conn, Phase};
 use crate::http::{read_request, write_response, BodyKind, BodyReader, Request};
 use crate::metrics::{add, sub, Endpoint, Metrics};
 use crate::reactor::{Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use foxq_core::stream::{StreamError, StreamLimits};
+use foxq_core::profile::{StreamProfile, StreamProfiler};
+use foxq_core::stream::{StreamError, StreamLimits, StreamObserver};
 use foxq_core::Mft;
-use foxq_obs::{JsonlSink, RingSink, Stage, TraceContext, TraceRecord, TraceSink};
+use foxq_obs::{
+    AllocScope, JsonlSink, RingSink, Stage, TraceContext, TraceRecord, TraceSink,
+    DEFAULT_TRACE_LOG_MAX_BYTES,
+};
 use foxq_service::{
-    run_multi_on_tape, run_multi_with_limits, CompileLimits, MultiRun, PrepareError, PreparedQuery,
-    SharedQueryCache,
+    run_multi_on_tape_observed, run_multi_with_limits, run_multi_with_plan_observed, source_key,
+    CompileLimits, MultiRun, ObservedMultiRun, PrepareError, PreparedQuery, ProfileRegistry,
+    RunSample, SharedQueryCache,
 };
 use foxq_store::corpus::valid_doc_id;
 use foxq_store::{ingest_xml_to_tmp, Corpus, StoreError, TapeReader};
@@ -90,6 +95,14 @@ pub struct ServerConfig {
     /// (`foxq serve --trace-log <path>`). `None` disables the file sink;
     /// the in-memory slow-query ring is always on.
     pub trace_log: Option<String>,
+    /// Rotate the trace log once it would exceed this many bytes (the
+    /// current file moves to `<path>.1`, keeping at most one rotated
+    /// generation). `0` never rotates.
+    pub trace_log_max_bytes: u64,
+    /// Attach a [`StreamProfiler`] to every `/query` lane and keep
+    /// per-query resource profiles (`GET /debug/profile`). Off by
+    /// default: the observer hooks then compile to nothing.
+    pub profile: bool,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +123,8 @@ impl Default for ServerConfig {
             corpus_dir: None,
             slow_ms: 500,
             trace_log: None,
+            trace_log_max_bytes: DEFAULT_TRACE_LOG_MAX_BYTES,
+            profile: false,
         }
     }
 }
@@ -132,6 +147,8 @@ struct Shared {
     trace_ring: RingSink,
     /// Optional JSONL file sink tracing *every* request.
     trace_log: Option<JsonlSink>,
+    /// Per-query resource profiles (`--profile`; `GET /debug/profile`).
+    profiles: Option<ProfileRegistry>,
 }
 
 impl Shared {
@@ -177,11 +194,20 @@ impl Server {
             None => None,
         };
         let trace_log = match &config.trace_log {
-            Some(path) => Some(JsonlSink::open(std::path::Path::new(path)).map_err(|e| {
-                std::io::Error::new(ErrorKind::InvalidInput, format!("trace log {path}: {e}"))
-            })?),
+            Some(path) => Some(
+                JsonlSink::open_with_max(std::path::Path::new(path), config.trace_log_max_bytes)
+                    .map_err(|e| {
+                        std::io::Error::new(
+                            ErrorKind::InvalidInput,
+                            format!("trace log {path}: {e}"),
+                        )
+                    })?,
+            ),
             None => None,
         };
+        let profiles = config
+            .profile
+            .then(|| ProfileRegistry::new(config.cache_capacity));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -194,6 +220,7 @@ impl Server {
                 request_seq: AtomicU64::new(0),
                 trace_ring: RingSink::new(TRACE_RING_CAP),
                 trace_log,
+                profiles,
             }),
         })
     }
@@ -1056,7 +1083,7 @@ fn route<R: BufRead>(
     let endpoint = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Endpoint::Healthz,
         ("GET", "/metrics") => Endpoint::Metrics,
-        ("GET", "/debug/requests") => Endpoint::Debug,
+        ("GET", "/debug/requests") | ("GET", "/debug/profile") => Endpoint::Debug,
         ("POST", "/query") => Endpoint::Query,
         ("POST", "/batch") => Endpoint::Batch,
         ("GET", "/corpus") => Endpoint::Corpus,
@@ -1078,7 +1105,23 @@ fn route<R: BufRead>(
 
     let mut reply = match endpoint {
         Endpoint::Healthz => bodyless(Reply::text(200, "ok\n"), request),
-        Endpoint::Debug => bodyless(Reply::text(200, shared.trace_ring.dump()), request),
+        Endpoint::Debug => {
+            let reply = if request.path == "/debug/profile" {
+                match &shared.profiles {
+                    Some(registry) => Reply::text(200, registry.render()),
+                    None => Reply::text(503, "profiling disabled (start with --profile)\n"),
+                }
+            } else if request.params("format").next() == Some("json") {
+                Reply::new(
+                    200,
+                    "application/x-ndjson",
+                    shared.trace_ring.dump_json().into_bytes(),
+                )
+            } else {
+                Reply::text(200, shared.trace_ring.dump())
+            };
+            bodyless(reply, request)
+        }
         Endpoint::Metrics => bodyless(
             Reply::new(
                 200,
@@ -1109,7 +1152,13 @@ fn route<R: BufRead>(
                 || request.path.starts_with("/corpus/")
                 || matches!(
                     request.path.as_str(),
-                    "/healthz" | "/metrics" | "/query" | "/batch" | "/shutdown" | "/debug/requests"
+                    "/healthz"
+                        | "/metrics"
+                        | "/query"
+                        | "/batch"
+                        | "/shutdown"
+                        | "/debug/requests"
+                        | "/debug/profile"
                 );
             let status = if known { 405 } else { 404 };
             bodyless(
@@ -1210,38 +1259,42 @@ fn handle_query<R: BufRead>(
         Err(e) => return prepare_error_reply(&e),
     };
     let doc = request.params("doc").next().map(String::from);
-    let (run, body_exhausted) = match &doc {
-        // `?doc=<id>`: replay the stored tape — no request body, no parse.
-        // Seek time (skipping prefilter-withheld subtrees) is carved out
-        // of the replay total so the two stages partition the wall time.
-        Some(id) => {
-            let start = Instant::now();
-            let outcome = run_on_tape(request, shared, &prepared, id);
-            let micros = micros_since(start);
-            match outcome {
-                Ok(run) => {
-                    ctx.add_micros(Stage::TapeSeek, run.tape_seek_micros);
-                    ctx.add_micros(Stage::IndexProbe, run.index_probe_micros);
-                    ctx.add_micros(
-                        Stage::TapeReplay,
-                        micros.saturating_sub(run.tape_seek_micros + run.index_probe_micros),
-                    );
-                    (run, true)
+    // The profiled and plain paths monomorphize separately: with `()` as
+    // the observer every hook is an empty `#[inline(always)]` body, so
+    // `--profile` off costs the engine nothing.
+    let mut profiled: Option<(StreamProfile, u64, u64)> = None;
+    let (run, body_exhausted) = if shared.profiles.is_some() {
+        let scope = AllocScope::begin();
+        let start = Instant::now();
+        let profiler = StreamProfiler::for_mft(prepared.mft());
+        match query_run(
+            request,
+            conn,
+            shared,
+            ctx,
+            &prepared,
+            doc.as_deref(),
+            profiler,
+        ) {
+            Ok((orun, exhausted)) => {
+                let execute_micros = micros_since(start);
+                let alloc_bytes = scope.delta().allocated_bytes;
+                let (run, mut observers) = orun.split();
+                if let Some(profiler) = observers.pop().flatten() {
+                    profiled = Some((
+                        profiler.into_profile(prepared.mft()),
+                        alloc_bytes,
+                        execute_micros,
+                    ));
                 }
-                Err(reply) => {
-                    ctx.add_micros(Stage::TapeReplay, micros);
-                    return reply;
-                }
+                (run, exhausted)
             }
+            Err(reply) => return reply,
         }
-        None => {
-            let span = ctx.enter(Stage::Execute);
-            let outcome = run_lanes(request, conn, shared, &[prepared.mft()]);
-            drop(span);
-            match outcome {
-                Ok(ok) => ok,
-                Err(reply) => return reply,
-            }
+    } else {
+        match query_run(request, conn, shared, ctx, &prepared, doc.as_deref(), ()) {
+            Ok((orun, exhausted)) => (orun.split().0, exhausted),
+            Err(reply) => return reply,
         }
     };
     add(&shared.metrics.input_events_total, run.input_events);
@@ -1252,6 +1305,36 @@ fn handle_query<R: BufRead>(
                 &shared.metrics.prefilter_skipped_total,
                 stats.prefiltered_events,
             );
+            shared
+                .metrics
+                .live_nodes_peak
+                .observe_value(stats.peak_live_nodes as u64);
+            shared
+                .metrics
+                .live_bytes_peak
+                .observe_value(stats.peak_live_bytes as u64);
+            if let (Some(registry), Some((profile, alloc_bytes, execute_micros))) =
+                (&shared.profiles, profiled.take())
+            {
+                shared
+                    .metrics
+                    .alloc_bytes_per_request
+                    .observe_value(alloc_bytes);
+                let key = source_key(prepared.source());
+                let sample = RunSample {
+                    input_events: run.input_events,
+                    output_events: stats.output_events,
+                    peak_live_nodes: stats.peak_live_nodes as u64,
+                    peak_live_bytes: stats.peak_live_bytes as u64,
+                    peak_pending_calls: stats.peak_pending_calls as u64,
+                    alloc_bytes,
+                    execute_micros,
+                };
+                registry.record(key, prepared.source(), &sample, Some(&profile));
+                if let Some(log) = &shared.trace_log {
+                    log.append_json(&profile_json(key, &sample, &profile));
+                }
+            }
             if doc.is_some() {
                 add(&shared.metrics.corpus_hits_total, 1);
                 add(
@@ -1275,6 +1358,7 @@ fn handle_query<R: BufRead>(
                     stats.prefiltered_events.to_string(),
                 ),
                 ("x-foxq-peak-live-nodes", stats.peak_live_nodes.to_string()),
+                ("x-foxq-peak-live-bytes", stats.peak_live_bytes.to_string()),
                 (
                     "x-foxq-peak-pending-calls",
                     stats.peak_pending_calls.to_string(),
@@ -1312,15 +1396,131 @@ fn handle_query<R: BufRead>(
     }
 }
 
+/// A `/query` lane's outcome: the observed run plus whether the request
+/// body was fully consumed (tape-backed runs have no body and count as
+/// consumed).
+type QueryRunResult<O> = Result<(ObservedMultiRun<WriterSink<Vec<u8>>, O>, bool), Reply>;
+
+/// Run one `/query` request's single lane, XML body or stored tape, with
+/// an arbitrary [`StreamObserver`] attached. Stage attribution (tape
+/// seek/index/replay vs. execute) lands on `ctx` either way.
+fn query_run<R: BufRead, O: StreamObserver>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+    prepared: &PreparedQuery,
+    doc: Option<&str>,
+    obs: O,
+) -> QueryRunResult<O> {
+    match doc {
+        // `?doc=<id>`: replay the stored tape — no request body, no parse.
+        // Seek time (skipping prefilter-withheld subtrees) is carved out
+        // of the replay total so the two stages partition the wall time.
+        Some(id) => {
+            let start = Instant::now();
+            let outcome = run_on_tape(request, shared, prepared, id, obs);
+            let micros = micros_since(start);
+            match outcome {
+                Ok(run) => {
+                    ctx.add_micros(Stage::TapeSeek, run.tape_seek_micros);
+                    ctx.add_micros(Stage::IndexProbe, run.index_probe_micros);
+                    ctx.add_micros(
+                        Stage::TapeReplay,
+                        micros.saturating_sub(run.tape_seek_micros + run.index_probe_micros),
+                    );
+                    Ok((run, true))
+                }
+                Err(reply) => {
+                    ctx.add_micros(Stage::TapeReplay, micros);
+                    Err(reply)
+                }
+            }
+        }
+        None => {
+            let span = ctx.enter(Stage::Execute);
+            let outcome = run_lane_observed(request, conn, shared, prepared, obs);
+            drop(span);
+            outcome
+        }
+    }
+}
+
+/// The single-lane analog of [`run_lanes`]: stream the request body
+/// through one prepared query under its cached solo plan, observer
+/// attached.
+fn run_lane_observed<R: BufRead, O: StreamObserver>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    prepared: &PreparedQuery,
+    obs: O,
+) -> QueryRunResult<O> {
+    let kind = request
+        .body_kind()
+        .map_err(|e| reply_unconsumed(Reply::text(400, format!("{e}\n"))))?;
+    if kind == BodyKind::Empty {
+        // Nothing is on the wire: this error keeps its connection.
+        return Err(Reply::text(
+            400,
+            "missing request body (the XML document)\n",
+        ));
+    }
+    let mut body = BodyReader::new(conn, kind);
+    let bounded = BoundedReader::new(&mut body, shared.config.max_body_bytes);
+    let reader = XmlReader::new(bounded);
+    add(&shared.metrics.lane_runs_total, 1);
+    let run = run_multi_with_plan_observed(
+        &[prepared.mft()],
+        reader,
+        vec![(WriterSink::new(Vec::new()), obs)],
+        shared.config.stream_limits,
+        prepared.solo_plan(),
+    )
+    .map_err(|e| reply_unconsumed(xml_error_reply(&e, shared.config.max_body_bytes)))?;
+    Ok((run, body.exhausted()))
+}
+
+/// One profiled run as a trace-log JSON line (rides in the same JSONL
+/// stream as the request traces, distinguished by the `"profile"` key).
+fn profile_json(key: u64, sample: &RunSample, profile: &StreamProfile) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"profile\":{{\"query\":\"{key:016x}\",\"input_events\":{},\"output_events\":{},\
+         \"peak_live_nodes\":{},\"peak_live_bytes\":{},\"peak_pending_calls\":{},\
+         \"alloc_bytes\":{},\"execute_us\":{},\"hot_states\":[",
+        sample.input_events,
+        sample.output_events,
+        sample.peak_live_nodes,
+        sample.peak_live_bytes,
+        sample.peak_pending_calls,
+        sample.alloc_bytes,
+        sample.execute_micros
+    );
+    for (i, s) in profile.states.iter().take(8).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"state\":{:?},\"expansions\":{},\"output_events\":{}}}",
+            s.state, s.expansions, s.output_events
+        );
+    }
+    out.push_str("]}}");
+    out
+}
+
 /// `POST /query?doc=<id>`: run one prepared query over a stored tape,
 /// seeking over prefilter-withheld subtrees. The request must carry no
 /// body (the document is already in the store).
-fn run_on_tape(
+fn run_on_tape<O: StreamObserver>(
     request: &Request,
     shared: &Shared,
     prepared: &PreparedQuery,
     id: &str,
-) -> Result<MultiRun<WriterSink<Vec<u8>>>, Reply> {
+    obs: O,
+) -> Result<ObservedMultiRun<WriterSink<Vec<u8>>, O>, Reply> {
     if shared.corpus.is_none() {
         return Err(no_corpus_reply(request));
     }
@@ -1351,10 +1551,10 @@ fn run_on_tape(
     add(&shared.metrics.lane_runs_total, 1);
     // The plan is cached inside the prepared query: repeat corpus hits do
     // not re-run the projection analysis.
-    run_multi_on_tape(
+    run_multi_on_tape_observed(
         &[prepared.mft()],
         tape,
-        vec![WriterSink::new(Vec::new())],
+        vec![(WriterSink::new(Vec::new()), obs)],
         shared.config.stream_limits,
         prepared.solo_plan(),
     )

@@ -27,7 +27,7 @@
 //! is reported per lane in [`StreamStats::prefiltered_events`].
 
 use foxq_core::mft::Mft;
-use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamStats};
+use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamObserver, StreamStats};
 use foxq_forest::{FxHashSet, Label, Tree};
 use foxq_store::{index_drive, IndexedReplay, StoreError, TapeDrive, TapeReader};
 use foxq_xml::{EventSource, XmlError, XmlEvent, XmlReader, XmlSink};
@@ -35,10 +35,10 @@ use std::io::{BufRead, Seek};
 use std::sync::Arc;
 
 /// One query's lane inside the fan-out.
-enum Lane<'m, S> {
+enum Lane<'m, S, O: StreamObserver = ()> {
     // Boxed: an Engine is ~an order of magnitude larger than a
     // StreamError, and lanes are touched per delivered event anyway.
-    Running(Box<Engine<'m, S>>),
+    Running(Box<Engine<'m, S, O>>),
     Failed(StreamError),
 }
 
@@ -138,8 +138,8 @@ struct Prefilter {
 }
 
 /// Fan one event stream out to N streaming engines.
-pub struct MultiQueryEngine<'m, S> {
-    lanes: Vec<Lane<'m, S>>,
+pub struct MultiQueryEngine<'m, S, O: StreamObserver = ()> {
+    lanes: Vec<Lane<'m, S, O>>,
     /// Lane index → participates in the shared prefilter.
     eligible: Vec<bool>,
     filter: Option<Prefilter>,
@@ -176,9 +176,28 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
         limits: StreamLimits,
         plan: &QuerySetPlan,
     ) -> Self {
-        let lanes: Vec<Lane<'m, S>> = queries
+        MultiQueryEngine::with_observers(
+            queries.into_iter().map(|(mft, sink)| (mft, sink, ())),
+            limits,
+            plan,
+        )
+    }
+}
+
+impl<'m, S: XmlSink, O: StreamObserver> MultiQueryEngine<'m, S, O> {
+    /// One lane per `(mft, sink, observer)` triple under a precomputed
+    /// [`QuerySetPlan`] — the profiling variant of
+    /// [`MultiQueryEngine::with_plan`].
+    pub fn with_observers(
+        queries: impl IntoIterator<Item = (&'m Mft, S, O)>,
+        limits: StreamLimits,
+        plan: &QuerySetPlan,
+    ) -> Self {
+        let lanes: Vec<Lane<'m, S, O>> = queries
             .into_iter()
-            .map(|(mft, sink)| Lane::Running(Box::new(Engine::with_limits(mft, sink, limits))))
+            .map(|(mft, sink, obs)| {
+                Lane::Running(Box::new(Engine::with_observer(mft, sink, limits, obs)))
+            })
             .collect();
         assert_eq!(
             lanes.len(),
@@ -341,7 +360,7 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     fn each_running(
         &mut self,
         eligible_too: bool,
-        mut f: impl FnMut(&mut Engine<'m, S>) -> Result<(), StreamError>,
+        mut f: impl FnMut(&mut Engine<'m, S, O>) -> Result<(), StreamError>,
     ) {
         for (i, (lane, &eligible)) in self.lanes.iter_mut().zip(&self.eligible).enumerate() {
             if !eligible_too && eligible {
@@ -412,7 +431,16 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
     /// Signal end of input; collect each lane's sink and statistics. Lanes
     /// the prefilter served report the withheld-event count in
     /// [`StreamStats::prefiltered_events`].
-    pub fn finish(mut self) -> Vec<Result<(S, StreamStats), StreamError>> {
+    pub fn finish(self) -> Vec<Result<(S, StreamStats), StreamError>> {
+        self.finish_observed()
+            .into_iter()
+            .map(|r| r.map(|(sink, stats, _)| (sink, stats)))
+            .collect()
+    }
+
+    /// [`MultiQueryEngine::finish`], also handing back each lane's
+    /// observer.
+    pub fn finish_observed(mut self) -> Vec<Result<(S, StreamStats, O), StreamError>> {
         let skipped = self.prefiltered_events();
         let seek_bytes = self.seek_skipped_bytes();
         let index_bytes = self.index_skipped_bytes();
@@ -421,13 +449,13 @@ impl<'m, S: XmlSink> MultiQueryEngine<'m, S> {
             .drain(..)
             .zip(eligible)
             .map(|(lane, eligible)| match lane {
-                Lane::Running(engine) => engine.finish().map(|(sink, mut stats)| {
+                Lane::Running(engine) => engine.finish_observed().map(|(sink, mut stats, obs)| {
                     if eligible {
                         stats.prefiltered_events = skipped;
                         stats.seek_skipped_bytes = seek_bytes;
                         stats.index_skipped_bytes = index_bytes;
                     }
-                    (sink, stats)
+                    (sink, stats, obs)
                 }),
                 Lane::Failed(e) => Err(e),
             })
@@ -462,6 +490,67 @@ pub struct MultiRun<S> {
     pub index_probe_micros: u64,
 }
 
+/// Result of an `*_observed` driver: [`MultiRun`] whose per-lane
+/// payloads also carry the lane's [`StreamObserver`] (e.g. a
+/// `StreamProfiler` ready to be turned into a profile).
+pub struct ObservedMultiRun<S, O> {
+    /// One result per query, in input order, observer included.
+    pub results: Vec<Result<(S, StreamStats, O), StreamError>>,
+    /// See [`MultiRun::input_events`].
+    pub input_events: u64,
+    /// See [`MultiRun::seek_skipped_bytes`].
+    pub seek_skipped_bytes: u64,
+    /// See [`MultiRun::tape_seek_micros`].
+    pub tape_seek_micros: u64,
+    /// See [`MultiRun::index_skipped_bytes`].
+    pub index_skipped_bytes: u64,
+    /// See [`MultiRun::index_probe_micros`].
+    pub index_probe_micros: u64,
+}
+
+impl<S, O> ObservedMultiRun<S, O> {
+    /// Separate the run from the per-lane observers (`None` for failed
+    /// lanes).
+    pub fn split(self) -> (MultiRun<S>, Vec<Option<O>>) {
+        let mut observers = Vec::with_capacity(self.results.len());
+        let results = self
+            .results
+            .into_iter()
+            .map(|r| match r {
+                Ok((sink, stats, obs)) => {
+                    observers.push(Some(obs));
+                    Ok((sink, stats))
+                }
+                Err(e) => {
+                    observers.push(None);
+                    Err(e)
+                }
+            })
+            .collect();
+        (
+            MultiRun {
+                results,
+                input_events: self.input_events,
+                seek_skipped_bytes: self.seek_skipped_bytes,
+                tape_seek_micros: self.tape_seek_micros,
+                index_skipped_bytes: self.index_skipped_bytes,
+                index_probe_micros: self.index_probe_micros,
+            },
+            observers,
+        )
+    }
+
+    /// Drop the observers, keeping only the plain run.
+    pub fn discard_observers(self) -> MultiRun<S> {
+        self.split().0
+    }
+}
+
+/// Pair each sink with the disabled `()` observer.
+fn plain_lanes<S>(sinks: Vec<S>) -> Vec<(S, ())> {
+    sinks.into_iter().map(|s| (s, ())).collect()
+}
+
 /// Run N transducers over one pass of any event source (an
 /// [`foxq_xml::XmlReader`], a replayed tape, …).
 ///
@@ -494,20 +583,36 @@ pub fn run_multi_with_limits<E: EventSource, S: XmlSink>(
 /// projections once, not once per document.
 pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
     mfts: &[&Mft],
-    mut events: E,
+    events: E,
     sinks: Vec<S>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
 ) -> Result<MultiRun<S>, XmlError> {
-    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
-    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
+    run_multi_with_plan_observed(mfts, events, plain_lanes(sinks), limits, plan)
+        .map(ObservedMultiRun::discard_observers)
+}
+
+/// [`run_multi_with_plan`] with a [`StreamObserver`] per lane.
+pub fn run_multi_with_plan_observed<E: EventSource, S: XmlSink, O: StreamObserver>(
+    mfts: &[&Mft],
+    mut events: E,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, XmlError> {
+    assert_eq!(mfts.len(), lanes.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_observers(
+        mfts.iter().copied().zip(lanes).map(|(m, (s, o))| (m, s, o)),
+        limits,
+        plan,
+    );
     loop {
         if engine.running() == 0 {
             // Every lane failed: nothing can produce output any more, so
             // don't pay for parsing the rest of the stream.
             let input_events = engine.input_events();
-            return Ok(MultiRun {
-                results: engine.finish(),
+            return Ok(ObservedMultiRun {
+                results: engine.finish_observed(),
                 input_events,
                 seek_skipped_bytes: 0,
                 tape_seek_micros: 0,
@@ -520,8 +625,8 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
             XmlEvent::Close(_) => engine.close(),
             XmlEvent::Eof => {
                 let input_events = engine.input_events() + 1;
-                return Ok(MultiRun {
-                    results: engine.finish(),
+                return Ok(ObservedMultiRun {
+                    results: engine.finish_observed(),
                     input_events,
                     seek_skipped_bytes: 0,
                     tape_seek_micros: 0,
@@ -560,32 +665,50 @@ pub fn run_multi_on_tape<R: BufRead + Seek, S: XmlSink>(
     limits: StreamLimits,
     plan: &QuerySetPlan,
 ) -> Result<MultiRun<S>, StoreError> {
+    run_multi_on_tape_observed(mfts, tape, plain_lanes(sinks), limits, plan)
+        .map(ObservedMultiRun::discard_observers)
+}
+
+/// [`run_multi_on_tape`] with a [`StreamObserver`] per lane.
+pub fn run_multi_on_tape_observed<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
+    mfts: &[&Mft],
+    tape: TapeReader<R>,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
     if plan.prefilters_whole_set() {
         return match index_drive(tape, plan.matched_labels(), plan.skips_texts())? {
-            TapeDrive::Indexed(drive) => run_multi_on_index(mfts, drive, sinks, limits, plan),
-            TapeDrive::Linear(tape) => run_multi_on_tape_scan(mfts, tape, sinks, limits, plan),
+            TapeDrive::Indexed(drive) => run_multi_on_index(mfts, drive, lanes, limits, plan),
+            TapeDrive::Linear(tape) => {
+                run_multi_on_tape_scan_observed(mfts, tape, lanes, limits, plan)
+            }
         };
     }
-    run_multi_on_tape_scan(mfts, tape, sinks, limits, plan)
+    run_multi_on_tape_scan_observed(mfts, tape, lanes, limits, plan)
 }
 
 /// The index path of [`run_multi_on_tape`]: deliver the merged cursor's
 /// events, then account everything it withheld in one step at end of
 /// input (the footer's event count makes the remainder exact).
-fn run_multi_on_index<R: BufRead + Seek, S: XmlSink>(
+fn run_multi_on_index<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
     mfts: &[&Mft],
     mut drive: IndexedReplay<R>,
-    sinks: Vec<S>,
+    lanes: Vec<(S, O)>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
-) -> Result<MultiRun<S>, StoreError> {
-    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
-    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
-    let done = |engine: MultiQueryEngine<'_, S>, drive: &IndexedReplay<R>, eof: bool| {
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
+    assert_eq!(mfts.len(), lanes.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_observers(
+        mfts.iter().copied().zip(lanes).map(|(m, (s, o))| (m, s, o)),
+        limits,
+        plan,
+    );
+    let done = |engine: MultiQueryEngine<'_, S, O>, drive: &IndexedReplay<R>, eof: bool| {
         let input_events = engine.input_events() + u64::from(eof);
         let index_skipped_bytes = engine.index_skipped_bytes();
-        MultiRun {
-            results: engine.finish(),
+        ObservedMultiRun {
+            results: engine.finish_observed(),
             input_events,
             seek_skipped_bytes: 0,
             tape_seek_micros: 0,
@@ -613,18 +736,34 @@ fn run_multi_on_index<R: BufRead + Seek, S: XmlSink>(
 /// tapes and A/B measurement.
 pub fn run_multi_on_tape_scan<R: BufRead + Seek, S: XmlSink>(
     mfts: &[&Mft],
-    mut tape: TapeReader<R>,
+    tape: TapeReader<R>,
     sinks: Vec<S>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
 ) -> Result<MultiRun<S>, StoreError> {
-    assert_eq!(mfts.len(), sinks.len(), "one sink per query");
-    let mut engine = MultiQueryEngine::with_plan(mfts.iter().copied().zip(sinks), limits, plan);
-    let done = |engine: MultiQueryEngine<'_, S>, tape_seek_micros: u64, eof: bool| {
+    run_multi_on_tape_scan_observed(mfts, tape, plain_lanes(sinks), limits, plan)
+        .map(ObservedMultiRun::discard_observers)
+}
+
+/// [`run_multi_on_tape_scan`] with a [`StreamObserver`] per lane.
+pub fn run_multi_on_tape_scan_observed<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
+    mfts: &[&Mft],
+    mut tape: TapeReader<R>,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
+    assert_eq!(mfts.len(), lanes.len(), "one sink per query");
+    let mut engine = MultiQueryEngine::with_observers(
+        mfts.iter().copied().zip(lanes).map(|(m, (s, o))| (m, s, o)),
+        limits,
+        plan,
+    );
+    let done = |engine: MultiQueryEngine<'_, S, O>, tape_seek_micros: u64, eof: bool| {
         let input_events = engine.input_events() + u64::from(eof);
         let seek_skipped_bytes = engine.seek_skipped_bytes();
-        MultiRun {
-            results: engine.finish(),
+        ObservedMultiRun {
+            results: engine.finish_observed(),
             input_events,
             seek_skipped_bytes,
             tape_seek_micros,

@@ -24,6 +24,16 @@ use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
+/// The stable hash of a query's (trimmed) source text — the key
+/// [`QueryCache`] stores prepared queries under, shared by the profile
+/// registry ([`crate::ProfileRegistry`]) so cache entries and profiles
+/// line up.
+pub fn source_key(source: &str) -> u64 {
+    let mut h = FxHasher::default();
+    source.trim().hash(&mut h);
+    h.finish()
+}
+
 /// Compile-time resource bounds for [`PreparedQuery::compile_with_limits`].
 ///
 /// `PreparedQuery::compile` serves *untrusted* query text, so every
@@ -302,9 +312,7 @@ impl QueryCache {
     }
 
     fn key(source: &str) -> u64 {
-        let mut h = FxHasher::default();
-        source.trim().hash(&mut h);
-        h.finish()
+        source_key(source)
     }
 
     /// Look up `source`, compiling (and inserting) on a miss.

@@ -14,14 +14,17 @@
 //! Output goes to stdout; diagnostics to stderr. Exit code 1 on any error.
 
 use foxq::core::opt::optimize_with_stats;
+use foxq::core::profile::{StreamProfile, StreamProfiler};
 use foxq::core::stream::{
-    run_streaming_with_limits, StreamLimits, StreamStats, DEFAULT_MAX_OUTPUT_EVENTS,
+    run_streaming_with_limits, run_streaming_with_observer, StreamLimits, StreamStats,
+    DEFAULT_MAX_OUTPUT_EVENTS,
 };
 use foxq::core::translate::translate;
 use foxq::core::{print_mft, Mft};
 use foxq::obs::{Stage, StageTimes};
 use foxq::service::{
-    run_multi_on_tape, run_multi_with_limits, BatchDriver, QueryCache, QuerySetPlan,
+    run_multi_on_tape, run_multi_on_tape_observed, run_multi_with_limits, BatchDriver, QueryCache,
+    QuerySetPlan,
 };
 use foxq::store::{Corpus, TapeReader};
 use foxq::xml::{WriterSink, XmlReader};
@@ -63,9 +66,11 @@ usage:
       stream input (default stdin) through the query; a .fet input replays
       the pre-parsed event tape (no XML tokenization) and seeks over
       subtrees the query's label prefilter withholds
-  foxq stats [--timing] <query.xq> [input.xml|input.fet]
+  foxq stats [--timing] [--profile] <query.xq> [input.xml|input.fet]
       run and report engine statistics to stderr; --timing adds a
-      per-stage wall-time table (parse/translate/optimize/execute/...)
+      per-stage wall-time table (parse/translate/optimize/execute/...);
+      --profile adds the per-state hot-state table and a sparkline
+      buffer timeline (live bytes / pending calls over the input)
   foxq stats <tape.fet>                 inspect a tape: events, labels, depth;
       FET2 tapes also report text compression and per-label skip-index sizes
   foxq compile [--no-opt] <query.xq>    print the (optimized) MFT in rule notation
@@ -90,6 +95,7 @@ usage:
   foxq serve --addr HOST:PORT [--threads N] [--max-body-bytes N]
       [--cache-capacity N] [--read-timeout-ms N] [--write-timeout-ms N]
       [--max-connections N] [--corpus DIR] [--slow-ms N] [--trace-log FILE]
+      [--trace-log-max-bytes N] [--profile]
       long-running HTTP/1.1 server: POST /query?q=<urlencoded query> and
       POST /batch?q=..&q=.. stream the request body through prepared
       queries; with --corpus, POST /corpus/{id} ingests documents,
@@ -98,8 +104,12 @@ usage:
       POST /shutdown (graceful drain). Runs until shut down.
       Observability: every response carries X-Foxq-Request-Id and
       Server-Timing headers; requests at or over --slow-ms (default 500;
-      0 = all) land in GET /debug/requests; --trace-log appends every
-      request as one JSON line to FILE.
+      0 = all) land in GET /debug/requests (append ?format=json for
+      JSONL); --trace-log appends every request as one JSON line to
+      FILE, rotating it to FILE.1 past --trace-log-max-bytes (default
+      64 MiB; 0 = never); --profile attaches the engine resource
+      profiler to every /query lane and serves per-query aggregates at
+      GET /debug/profile.
 
   run/stats/batch/store-query also accept --max-output <events>: abort a run
   (batch: its cell) once its output exceeds that many events (default
@@ -133,6 +143,7 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let mut positional: Vec<&String> = Vec::new();
     let mut max_output = DEFAULT_MAX_OUTPUT_EVENTS;
     let mut timing = false;
+    let mut profile = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -150,6 +161,12 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
                     return Err("--timing only applies to foxq stats".to_string());
                 }
                 timing = true;
+            }
+            "--profile" => {
+                if !report {
+                    return Err("--profile only applies to foxq stats".to_string());
+                }
+                profile = true;
             }
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag {other:?}\n{USAGE}"));
@@ -172,7 +189,7 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     // subtrees, instead of re-tokenizing XML.
     if let Some(path) = positional.get(1).filter(|p| p.ends_with(".fet")) {
         let t = Instant::now();
-        let (stats, seek_micros) = run_query_on_tape(&mft, path, limits)?;
+        let (stats, seek_micros, profiled) = run_query_on_tape(&mft, path, limits, profile)?;
         let replay = micros_since(t);
         times.add(Stage::TapeSeek, seek_micros);
         times.add(Stage::TapeReplay, replay.saturating_sub(seek_micros));
@@ -180,6 +197,9 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
             report_stats(&stats);
             if timing {
                 report_timing(&times);
+            }
+            if let Some(p) = profiled {
+                eprint!("{}", p.render());
             }
         }
         return Ok(());
@@ -198,8 +218,16 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let stdout = std::io::stdout();
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
     let t = Instant::now();
-    let (sink, stats) =
-        run_streaming_with_limits(&mft, reader, sink, limits).map_err(|e| e.to_string())?;
+    let (sink, stats, profiled) = if profile {
+        let obs = StreamProfiler::for_mft(&mft);
+        let (sink, stats, obs) = run_streaming_with_observer(&mft, reader, sink, limits, obs)
+            .map_err(|e| e.to_string())?;
+        (sink, stats, Some(obs.into_profile(&mft)))
+    } else {
+        let (sink, stats) =
+            run_streaming_with_limits(&mft, reader, sink, limits).map_err(|e| e.to_string())?;
+        (sink, stats, None)
+    };
     times.add(Stage::Execute, micros_since(t));
     let t = Instant::now();
     let mut out = sink.finish().map_err(|e| e.to_string())?;
@@ -212,36 +240,59 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
         if timing {
             report_timing(&times);
         }
+        if let Some(p) = profiled {
+            eprint!("{}", p.render());
+        }
     }
     Ok(())
 }
 
 /// One query over one tape file, with seek-based subtree skipping.
-/// Returns the lane stats plus the microseconds spent seeking.
+/// Returns the lane stats, the microseconds spent seeking, and (with
+/// `--profile`) the finished resource profile.
 fn run_query_on_tape(
     mft: &Mft,
     path: &str,
     limits: StreamLimits,
-) -> Result<(StreamStats, u64), String> {
+    profile: bool,
+) -> Result<(StreamStats, u64, Option<StreamProfile>), String> {
     let tape = TapeReader::open_file(std::path::Path::new(path))
         .map_err(|e| format!("cannot open tape {path}: {e}"))?;
     let plan = QuerySetPlan::new([mft]);
     let stdout = std::io::stdout();
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
-    let run = run_multi_on_tape(&[mft], tape, vec![sink], limits, &plan)
-        .map_err(|e| format!("{path}: {e}"))?;
-    let seek_micros = run.tape_seek_micros;
-    let (sink, stats) = run
-        .results
-        .into_iter()
-        .next()
-        .expect("one lane")
-        .map_err(|e| e.to_string())?;
-    let mut out = sink.finish().map_err(|e| e.to_string())?;
-    out.write_all(b"\n")
-        .and_then(|_| out.flush())
-        .map_err(|e| e.to_string())?;
-    Ok((stats, seek_micros))
+    let finish = |sink: WriterSink<std::io::BufWriter<std::io::StdoutLock<'_>>>| {
+        let mut out = sink.finish().map_err(|e| e.to_string())?;
+        out.write_all(b"\n")
+            .and_then(|_| out.flush())
+            .map_err(|e| e.to_string())
+    };
+    if profile {
+        let lane = vec![(sink, StreamProfiler::for_mft(mft))];
+        let run = run_multi_on_tape_observed(&[mft], tape, lane, limits, &plan)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let seek_micros = run.tape_seek_micros;
+        let (sink, stats, obs) = run
+            .results
+            .into_iter()
+            .next()
+            .expect("one lane")
+            .map_err(|e| e.to_string())?;
+        finish(sink)?;
+        Ok((stats, seek_micros, Some(obs.into_profile(mft))))
+    } else {
+        let run = run_multi_on_tape(&[mft], tape, vec![sink], limits, &plan)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let seek_micros = run.tape_seek_micros;
+        let (sink, stats) = run
+            .results
+            .into_iter()
+            .next()
+            .expect("one lane")
+            .map_err(|e| e.to_string())?;
+        finish(sink)?;
+        Ok((stats, seek_micros, None))
+    }
 }
 
 /// `foxq stats <tape.fet>`: footer facts, no replay. FET2 tapes get the
@@ -462,8 +513,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
                                 .map_err(|e| e.to_string())?;
                             if report_stats {
                                 eprintln!(
-                                    "{qfile}: {} output events, peak {} nodes",
-                                    stats.output_events, stats.peak_live_nodes
+                                    "{qfile}: {} output events, peak {} nodes / {} bytes",
+                                    stats.output_events,
+                                    stats.peak_live_nodes,
+                                    stats.peak_live_bytes
                                 );
                             }
                         }
@@ -510,6 +563,14 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         for (doc_name, row) in inputs.iter().zip(&report.cells) {
             for (qfile, cell) in query_files.iter().zip(row) {
                 writeln!(out, "### {doc_name} {qfile}").map_err(|e| e.to_string())?;
+                if report_stats {
+                    if let Some(stats) = &cell.stats {
+                        eprintln!(
+                            "{doc_name} {qfile}: {} output events, peak {} nodes / {} bytes",
+                            stats.output_events, stats.peak_live_nodes, stats.peak_live_bytes
+                        );
+                    }
+                }
                 match &cell.output {
                     Ok(text) => writeln!(out, "{text}").map_err(|e| e.to_string())?,
                     Err(e) => {
@@ -752,6 +813,14 @@ fn store_query(args: &[String]) -> Result<(), String> {
     for (doc_id, row) in report.doc_ids.iter().zip(&report.report.cells) {
         for (qfile, cell) in parsed.query_files.iter().zip(row) {
             writeln!(out, "### {doc_id} {qfile}").map_err(|e| e.to_string())?;
+            if parsed.report_stats {
+                if let Some(stats) = &cell.stats {
+                    eprintln!(
+                        "{doc_id} {qfile}: {} output events, peak {} nodes / {} bytes",
+                        stats.output_events, stats.peak_live_nodes, stats.peak_live_bytes
+                    );
+                }
+            }
             match &cell.output {
                 Ok(text) => writeln!(out, "{text}").map_err(|e| e.to_string())?,
                 Err(e) => {
@@ -824,6 +893,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--slow-ms needs a number".to_string())?;
             }
             "--trace-log" => config.trace_log = Some(value("a file path")?.clone()),
+            "--trace-log-max-bytes" => {
+                config.trace_log_max_bytes = value("a number")?
+                    .parse()
+                    .map_err(|_| "--trace-log-max-bytes needs a number".to_string())?;
+            }
+            "--profile" => config.profile = true,
             other => return Err(format!("unknown serve flag {other:?}\n{USAGE}")),
         }
         i += 1;

@@ -340,6 +340,90 @@ fn slow_query_ring_and_trace_log_capture_requests() {
 }
 
 #[test]
+fn profiler_endpoint_headers_and_json_ring() {
+    let log_path = std::env::temp_dir().join(format!("foxq_prof_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let handle = start(ServerConfig {
+        profile: true,
+        slow_ms: 0, // every request through the ring
+        trace_log: Some(log_path.to_str().unwrap().to_string()),
+        ..test_config()
+    });
+    let addr = handle.local_addr();
+    let target = client::query_target(PERSON_NAMES);
+
+    let mut c = Client::connect(addr).unwrap();
+    let r = c.request("POST", &target, &[], &doc(50)).unwrap();
+    assert_eq!(r.status, 200);
+    let peak_bytes: u64 = r
+        .header("x-foxq-peak-live-bytes")
+        .expect("x-foxq-peak-live-bytes header")
+        .parse()
+        .unwrap();
+    assert!(peak_bytes > 0, "peak live bytes must be nonzero");
+
+    // The registry renders the run: aggregates, hot-state rows, timeline.
+    let p = c.request("GET", "/debug/profile", &[], &[]).unwrap();
+    assert_eq!(p.status, 200);
+    let text = p.text();
+    assert!(text.contains("runs=1"), "no run recorded:\n{text}");
+    assert!(text.contains("peak_live_bytes"), "no aggregates:\n{text}");
+    assert!(text.contains("hot states"), "no hot-state table:\n{text}");
+    assert!(text.contains("buffer timeline"), "no timeline:\n{text}");
+
+    // A second identical query folds into the same profile entry.
+    assert_eq!(
+        c.request("POST", &target, &[], &doc(50)).unwrap().status,
+        200
+    );
+    let text = c.request("GET", "/debug/profile", &[], &[]).unwrap().text();
+    assert!(text.contains("runs=2"), "runs did not fold:\n{text}");
+
+    // The slow-query ring serves JSON when asked.
+    let json = c
+        .request("GET", "/debug/requests?format=json", &[], &[])
+        .unwrap();
+    assert_eq!(json.status, 200);
+    let body = json.text();
+    assert!(body.lines().count() >= 2, "ring json too short:\n{body}");
+    assert!(body.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(body.contains("\"target\":\"query\""), "{body}");
+
+    // The new metric families collected the runs, and the process-level
+    // memory gauges report.
+    let metrics = scrape(&mut c);
+    let sample = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && l[name.len()..].starts_with(' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} not found"))
+    };
+    assert!(sample("foxq_live_nodes_peak_count") >= 2.0);
+    assert!(sample("foxq_live_bytes_peak_count") >= 2.0);
+    assert!(sample("foxq_alloc_bytes_per_request_count") >= 2.0);
+    assert!(sample("foxq_alloc_allocations_total") > 0.0);
+    assert!(sample("foxq_process_rss_bytes") > 0.0);
+
+    handle.shutdown();
+    // Profile records ride in the same JSONL stream as the traces.
+    let log = std::fs::read_to_string(&log_path).unwrap();
+    assert!(log.contains("\"profile\""), "no profile record:\n{log}");
+    assert!(log.contains("\"hot_states\""), "no hot states:\n{log}");
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn debug_profile_is_disabled_without_the_flag() {
+    let handle = start(test_config());
+    let r = client::get(handle.local_addr(), "/debug/profile").unwrap();
+    assert_eq!(r.status, 503);
+    assert!(r.text().contains("--profile"));
+    handle.shutdown();
+}
+
+#[test]
 fn liveness_gauges_and_accept_gate_counter() {
     let handle = start(ServerConfig {
         max_connections: 1,

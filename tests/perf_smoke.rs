@@ -334,6 +334,84 @@ fn instrumented_keep_alive_throughput_within_5_percent() {
 }
 
 #[test]
+fn profiled_keep_alive_throughput_within_5_percent() {
+    if debug_build() {
+        return;
+    }
+    use foxq::server::client::{self, Client};
+    use foxq::server::{Server, ServerConfig};
+
+    // A/B over the same binary: observer-off vs. `--profile` (a
+    // StreamProfiler on every /query lane plus allocator scope billing
+    // and registry folds). The off side monomorphizes the engine with the
+    // `()` observer — the hooks compile away entirely — so this guard
+    // bounds the *on* cost: ≥ 95% of baseline in production terms, ≥ 80%
+    // in-test to absorb loopback req/s noise between multi-second runs.
+    let base_config = || ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    let query = "<o>{$input/site/people/person/name/text()}</o>";
+    let mut doc = String::from("<site><people>");
+    for i in 0..50 {
+        doc.push_str(&format!("<person><name>p{i}</name></person>"));
+    }
+    doc.push_str("</people></site>");
+
+    let requests = 2_000u32;
+    let mut measure = |config: ServerConfig| {
+        let handle = Server::bind(config).unwrap().start().unwrap();
+        let addr = handle.local_addr();
+        let target = client::query_target(query);
+        let mut c = Client::connect(addr).unwrap();
+        for _ in 0..100 {
+            assert_eq!(
+                c.request("POST", &target, &[], doc.as_bytes())
+                    .unwrap()
+                    .status,
+                200
+            );
+        }
+        let start = Instant::now();
+        for _ in 0..requests {
+            assert_eq!(
+                c.request("POST", &target, &[], doc.as_bytes())
+                    .unwrap()
+                    .status,
+                200
+            );
+        }
+        let elapsed = start.elapsed();
+        drop(c);
+        handle.shutdown();
+        f64::from(requests) / elapsed.as_secs_f64()
+    };
+
+    let best = |mk: &dyn Fn() -> ServerConfig, measure: &mut dyn FnMut(ServerConfig) -> f64| {
+        (0..3).map(|_| measure(mk())).fold(0.0f64, f64::max)
+    };
+    let baseline = best(&base_config, &mut measure);
+    let profiled = best(
+        &|| ServerConfig {
+            profile: true,
+            ..base_config()
+        },
+        &mut measure,
+    );
+    eprintln!(
+        "keep-alive throughput: observer-off {baseline:.0} req/s, profiled {profiled:.0} req/s"
+    );
+    assert!(
+        profiled >= 0.80 * baseline,
+        "profiler overhead too high: observer-off {baseline:.0} req/s, \
+         profiled {profiled:.0} req/s"
+    );
+}
+
+#[test]
 fn compose_example_completes_under_wall_clock_guard() {
     if debug_build() {
         return;
