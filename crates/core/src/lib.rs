@@ -13,8 +13,12 @@
 //!   reduction, stay-move removal, unreachable state removal (Theorem 2);
 //! * [`profile`] — the per-run resource profiler: hot-state
 //!   attribution and downsampled buffer timelines over the engine's
-//!   [`stream::StreamObserver`] hooks.
+//!   [`stream::StreamObserver`] hooks;
+//! * [`emit`] — earliest emission: the static which-states-can-emit-early
+//!   analysis plus the [`emit::EmitSink`] boundary that releases
+//!   irrevocable output prefixes downstream before end-of-input.
 
+pub mod emit;
 pub mod interp;
 pub mod mft;
 pub mod opt;
@@ -23,6 +27,7 @@ pub mod stream;
 pub mod text;
 pub mod translate;
 
+pub use emit::{EmissionAnalysis, EmitSink, EmitWriter};
 pub use interp::{
     run_mft, run_mft_naive, run_mft_naive_with_limits, run_mft_with_limits, RunError, RunLimits,
 };

@@ -83,6 +83,11 @@ pub enum StreamError {
     Fuel { state: String },
     /// The output-event budget was exhausted.
     OutputLimit { max_output_events: u64 },
+    /// An [`EmitSink`](crate::emit::EmitSink) failed to release an
+    /// irrevocable prefix downstream (e.g. the client hung up mid-stream).
+    /// Aborts the run — there is no point transducing input nobody will
+    /// read.
+    Emit(std::io::Error),
 }
 
 impl std::fmt::Display for StreamError {
@@ -98,6 +103,7 @@ impl std::fmt::Display for StreamError {
             StreamError::OutputLimit { max_output_events } => {
                 write!(f, "output limit of {max_output_events} events exceeded")
             }
+            StreamError::Emit(e) => write!(f, "emit sink failed: {e}"),
         }
     }
 }
@@ -107,6 +113,12 @@ impl std::error::Error for StreamError {}
 impl From<XmlError> for StreamError {
     fn from(e: XmlError) -> Self {
         StreamError::Xml(e)
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Emit(e)
     }
 }
 
@@ -151,6 +163,34 @@ pub struct StreamStats {
     /// skip starts from a decoded open). The events inside are counted in
     /// [`StreamStats::prefiltered_events`]. Always 0 off the index path.
     pub index_skipped_bytes: u64,
+    /// Flushes that emitted at least one output event — i.e. input events
+    /// after which the irrevocable output prefix actually grew. An
+    /// [`EmitSink`](crate::emit::EmitSink) sees at most this many non-empty
+    /// emission boundaries.
+    pub emit_flushes: u64,
+    /// 1-based index of the input event whose flush produced the *first*
+    /// output event (0 if the run produced no output). This is the
+    /// events-to-first-emit measure: how much input had to be consumed
+    /// before any prefix became irrevocable.
+    pub first_emit_events: u64,
+    /// Output events that were already emitted when end-of-input arrived —
+    /// i.e. output that streamed out *before* the document ended. The
+    /// remainder (`output_events - streamed_output_events`) only became
+    /// irrevocable at eof. `streamed / output` is the emittable-prefix
+    /// fraction.
+    pub streamed_output_events: u64,
+}
+
+impl StreamStats {
+    /// Fraction of output events that were emitted before end-of-input
+    /// (the emittable-prefix fraction); 0.0 for runs with no output.
+    pub fn streamed_fraction(&self) -> f64 {
+        if self.output_events == 0 {
+            0.0
+        } else {
+            self.streamed_output_events as f64 / self.output_events as f64
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -551,6 +591,9 @@ impl<'m, S: XmlSink, O: StreamObserver> Engine<'m, S, O> {
     /// [`Engine::finish`], also handing back the observer.
     pub fn finish_observed(mut self) -> Result<(S, StreamStats, O), StreamError> {
         debug_assert!(self.stack.is_empty(), "unclosed elements at finish");
+        // Everything emitted so far streamed out before the document
+        // ended; whatever the eof tick below adds was end-buffered.
+        self.stats.streamed_output_events = self.stats.output_events;
         self.stats.events += 1;
         let subs = std::mem::take(&mut *self.current.borrow_mut());
         self.expand_all(subs, &Ctx::Eps)?;
@@ -568,6 +611,12 @@ impl<'m, S: XmlSink, O: StreamObserver> Engine<'m, S, O> {
     /// Access the sink mid-run (e.g. to inspect counters).
     pub fn sink(&self) -> &S {
         &self.sink
+    }
+
+    /// Mutable access to the sink mid-run — used by emission drivers to
+    /// hand irrevocable prefixes downstream between input events.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
     }
 
     /// Statistics so far.
@@ -720,6 +769,9 @@ impl<'m, S: XmlSink, O: StreamObserver> Engine<'m, S, O> {
         if O::ENABLED {
             self.obs.on_output_event();
         }
+        if self.stats.output_events == 0 {
+            self.stats.first_emit_events = self.stats.events;
+        }
         self.stats.output_events += 1;
         if self.stats.output_events > self.limits.max_output_events {
             return Err(StreamError::OutputLimit {
@@ -729,8 +781,23 @@ impl<'m, S: XmlSink, O: StreamObserver> Engine<'m, S, O> {
         Ok(())
     }
 
-    /// Emit everything ground on the leftmost frontier.
+    /// Emit everything ground on the leftmost frontier, counting the
+    /// flush in [`StreamStats::emit_flushes`] when it produced output.
     fn flush(&mut self) -> Result<(), StreamError> {
+        let before = self.stats.output_events;
+        let r = self.flush_frontier();
+        if self.stats.output_events > before {
+            self.stats.emit_flushes += 1;
+        }
+        r
+    }
+
+    /// Walk the leftmost output frontier, pushing every ground event to
+    /// the sink and stalling at the first pending state call. Flushed
+    /// nodes whose reference moved into the frame (`holds_ref`, rc == 1)
+    /// are released from the arena on the spot, so live memory tracks
+    /// the pending frontier rather than the emitted output.
+    fn flush_frontier(&mut self) -> Result<(), StreamError> {
         while let Some(top) = self.frames.last_mut() {
             let node = top.node;
             let destructive = top.holds_ref && self.arena.rc(node) == 1;
@@ -867,6 +934,46 @@ pub fn run_streaming_with_observer<E: EventSource, S: XmlSink, O: StreamObserver
             XmlEvent::Close(_) => engine.close()?,
             XmlEvent::Eof => return engine.finish_observed(),
         }
+    }
+}
+
+/// [`run_streaming_with_limits`] over an [`EmitSink`](crate::emit::EmitSink):
+/// after every delivered input event the sink's `emit` boundary fires, so
+/// whatever the flush just made irrevocable is released downstream before
+/// the next event is consumed. A final `emit` after end-of-input releases
+/// the end-buffered remainder. The flushed prefix has already been freed
+/// from the expression arena by that point, so live memory tracks the
+/// pending frontier, not the output.
+pub fn run_streaming_emit<E: EventSource, S: crate::emit::EmitSink>(
+    mft: &Mft,
+    events: E,
+    sink: S,
+    limits: StreamLimits,
+) -> Result<(S, StreamStats), StreamError> {
+    run_streaming_emit_observed(mft, events, sink, limits, ())
+        .map(|(sink, stats, ())| (sink, stats))
+}
+
+/// [`run_streaming_emit`] with a live [`StreamObserver`].
+pub fn run_streaming_emit_observed<E: EventSource, S: crate::emit::EmitSink, O: StreamObserver>(
+    mft: &Mft,
+    mut events: E,
+    sink: S,
+    limits: StreamLimits,
+    obs: O,
+) -> Result<(S, StreamStats, O), StreamError> {
+    let mut engine = Engine::with_observer(mft, sink, limits, obs);
+    loop {
+        match events.next_event()? {
+            XmlEvent::Open(label) => engine.open(&label)?,
+            XmlEvent::Close(_) => engine.close()?,
+            XmlEvent::Eof => {
+                let (mut sink, stats, obs) = engine.finish_observed()?;
+                sink.emit()?;
+                return Ok((sink, stats, obs));
+            }
+        }
+        engine.sink_mut().emit()?;
     }
 }
 

@@ -22,7 +22,7 @@
 //! The stage taxonomy ([`Stage`]) is shared across the stack: the
 //! compile pipeline (`foxq_service`), the engines (`foxq_core`), the
 //! tape store (`foxq_store`), and the HTTP layer (`foxq_server`) all
-//! report through the same nine names.
+//! report through the same stage names.
 
 mod alloc;
 mod histogram;
@@ -59,11 +59,14 @@ pub enum Stage {
     IndexProbe,
     /// Output forest to response bytes.
     Serialize,
+    /// Request start to the first irrevocable emission flush on a
+    /// streamed response — the engine-side half of TTFB.
+    FirstFlush,
 }
 
 impl Stage {
     /// Every stage, in pipeline order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Parse,
         Stage::Translate,
         Stage::Optimize,
@@ -73,6 +76,7 @@ impl Stage {
         Stage::TapeSeek,
         Stage::IndexProbe,
         Stage::Serialize,
+        Stage::FirstFlush,
     ];
 
     /// Number of stages (array dimension for per-stage storage).
@@ -91,6 +95,7 @@ impl Stage {
             Stage::TapeSeek => "tape_seek",
             Stage::IndexProbe => "index_probe",
             Stage::Serialize => "serialize",
+            Stage::FirstFlush => "first_flush",
         }
     }
 
@@ -106,6 +111,7 @@ impl Stage {
             Stage::TapeSeek => 6,
             Stage::IndexProbe => 7,
             Stage::Serialize => 8,
+            Stage::FirstFlush => 9,
         }
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Deliberately minimal — enough for integration tests, benchmarks, and CI
 //! round-trips: `Content-Length` and chunked request bodies, keep-alive
-//! reuse, and response parsing of the server's own wire format (responses
-//! are always `Content-Length`-framed). Not a general-purpose client.
+//! reuse, and response parsing of the server's own wire format — both
+//! `Content-Length`-framed and chunked streamed responses (chunk
+//! boundaries and trailer fields captured). Not a general-purpose client.
 
 use crate::http::urlencode;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -17,12 +18,26 @@ pub struct Response {
     /// Header `(name, value)` pairs, names lowercased.
     pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Trailer `(name, value)` pairs of a chunked response, names
+    /// lowercased (empty for `Content-Length`-framed responses).
+    pub trailers: Vec<(String, String)>,
+    /// Number of body chunks a chunked response arrived in (0 for
+    /// `Content-Length`-framed responses).
+    pub chunks: usize,
 }
 
 impl Response {
     /// First value of a header, by lowercase name.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a trailer field, by lowercase name.
+    pub fn trailer(&self, name: &str) -> Option<&str> {
+        self.trailers
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
@@ -171,6 +186,19 @@ impl Client {
                 headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             }
         }
+        let chunked = headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        if chunked {
+            let (body, trailers, chunks) = self.read_chunked_body()?;
+            return Ok(Response {
+                status,
+                headers,
+                body,
+                trailers,
+                chunks,
+            });
+        }
         let length: usize = headers
             .iter()
             .find(|(n, _)| n == "content-length")
@@ -182,7 +210,47 @@ impl Client {
             status,
             headers,
             body,
+            trailers: Vec::new(),
+            chunks: 0,
         })
+    }
+
+    /// Decode a chunked response body: concatenated chunk payloads, the
+    /// trailer fields after the zero-size last chunk, and how many chunks
+    /// the body arrived in.
+    #[allow(clippy::type_complexity)]
+    fn read_chunked_body(&mut self) -> std::io::Result<(Vec<u8>, Vec<(String, String)>, usize)> {
+        let mut body = Vec::new();
+        let mut chunks = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let size = usize::from_str_radix(line.trim(), 16).map_err(|_| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad chunk size")
+            })?;
+            if size == 0 {
+                break;
+            }
+            chunks += 1;
+            let start = body.len();
+            body.resize(start + size, 0);
+            self.reader.read_exact(&mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            self.reader.read_exact(&mut crlf)?;
+        }
+        let mut trailers = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                trailers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        Ok((body, trailers, chunks))
     }
 }
 

@@ -456,6 +456,64 @@ pub fn write_response(
     w.flush()
 }
 
+/// Write a chunked-response head: status line, `transfer-encoding:
+/// chunked`, and a `trailer:` declaration naming the fields that will
+/// follow the final chunk. No `content-length` — the body's extent is
+/// framed per chunk, which is what lets the server start answering
+/// before the engine has finished (earliest emission).
+pub fn write_chunked_head(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    trailer_names: &[&str],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\nconnection: {}\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    if !trailer_names.is_empty() {
+        write!(w, "trailer: {}\r\n", trailer_names.join(", "))?;
+    }
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Write one body chunk and flush it to the wire. Empty data is a no-op:
+/// a zero-size chunk would terminate the body.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> std::io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// The bytes that terminate a chunked body: the zero-size last chunk, the
+/// trailer fields (computed only after the run — e.g. peak-memory marks),
+/// and the final empty line. Returned as a buffer rather than written so
+/// the reactor's resumable `WriteResponse` phase can flush it under
+/// backpressure.
+pub fn chunked_tail(trailers: &[(&str, String)]) -> Vec<u8> {
+    let mut out = b"0\r\n".to_vec();
+    for (name, value) in trailers {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -568,6 +626,41 @@ mod tests {
         let mut body = BodyReader::new(&mut conn, BodyKind::Chunked);
         let mut out = Vec::new();
         assert!(body.read_to_end(&mut out).is_err());
+    }
+
+    #[test]
+    fn chunked_response_wire_format() {
+        let mut out = Vec::new();
+        write_chunked_head(
+            &mut out,
+            200,
+            "application/xml",
+            &[("x-req", "abc".to_string())],
+            &["x-peak"],
+            true,
+        )
+        .unwrap();
+        write_chunk(&mut out, b"<o>").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // must not terminate the body
+        write_chunk(&mut out, b"hello</o>").unwrap();
+        out.extend_from_slice(&chunked_tail(&[("x-peak", "7".to_string())]));
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("transfer-encoding: chunked\r\n"));
+        assert!(!text.contains("content-length"));
+        assert!(text.contains("trailer: x-peak\r\n"));
+        let body_at = text.find("\r\n\r\n").unwrap() + 4;
+        assert_eq!(
+            &text[body_at..],
+            "3\r\n<o>\r\n9\r\nhello</o>\r\n0\r\nx-peak: 7\r\n\r\n"
+        );
+        // Our own BodyReader decodes it (trailers consumed and dropped).
+        let mut conn = BufReader::new(&text.as_bytes()[body_at..]);
+        let mut body = BodyReader::new(&mut conn, BodyKind::Chunked);
+        let mut decoded = String::new();
+        body.read_to_string(&mut decoded).unwrap();
+        assert_eq!(decoded, "<o>hello</o>");
+        assert!(body.exhausted());
     }
 
     #[test]

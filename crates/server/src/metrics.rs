@@ -109,6 +109,8 @@ pub struct Metrics {
     /// Tape bytes the FET2 label skip index jumped over on corpus query
     /// runs (no frame inside was decoded).
     pub index_skipped_bytes_total: AtomicU64,
+    /// Responses streamed with chunked transfer-encoding (`?stream=1`).
+    pub streamed_responses_total: AtomicU64,
     /// Queries answered from a stored tape (`/query?doc=` hits).
     pub corpus_hits_total: AtomicU64,
     /// Documents ingested into the corpus (`POST /corpus/{id}`).
@@ -119,6 +121,12 @@ pub struct Metrics {
     pub ttfb: Histogram,
     /// Per-request engine time, by pipeline stage.
     engine_stage: [Histogram; Stage::COUNT],
+    /// Input events delivered before the first irrevocable emission flush
+    /// (streamed query runs) — how much document a client waits through
+    /// before the first byte can exist.
+    pub first_emit_events: Histogram,
+    /// Irrevocable emission flushes per streamed query run.
+    pub emit_flushes_per_request: Histogram,
     /// Per-request peak of live expression nodes (query runs).
     pub live_nodes_peak: Histogram,
     /// Per-request peak of approximate live expression bytes.
@@ -152,11 +160,14 @@ impl Default for Metrics {
             prefilter_skipped_total: AtomicU64::new(0),
             seek_skipped_bytes_total: AtomicU64::new(0),
             index_skipped_bytes_total: AtomicU64::new(0),
+            streamed_responses_total: AtomicU64::new(0),
             corpus_hits_total: AtomicU64::new(0),
             corpus_ingests_total: AtomicU64::new(0),
             request_latency: std::array::from_fn(|_| Histogram::latency()),
             ttfb: Histogram::latency(),
             engine_stage: std::array::from_fn(|_| Histogram::latency()),
+            first_emit_events: Histogram::nodes(),
+            emit_flushes_per_request: Histogram::nodes(),
             live_nodes_peak: Histogram::nodes(),
             live_bytes_peak: Histogram::bytes(),
             alloc_bytes_per_request: Histogram::bytes(),
@@ -283,6 +294,11 @@ impl Metrics {
             get(&self.index_skipped_bytes_total),
         );
         counter(
+            "foxq_streamed_responses_total",
+            "Responses streamed with chunked transfer-encoding.",
+            get(&self.streamed_responses_total),
+        );
+        counter(
             "foxq_corpus_hits_total",
             "Queries answered from a stored tape (/query?doc=).",
             get(&self.corpus_hits_total),
@@ -406,6 +422,23 @@ impl Metrics {
                 &format!("stage=\"{}\"", s.name()),
             );
         }
+        out.push_str(
+            "# HELP foxq_first_emit_events Input events before the first \
+             irrevocable emission flush on streamed query runs.\n\
+             # TYPE foxq_first_emit_events histogram\n",
+        );
+        self.first_emit_events
+            .render_values_into(&mut out, "foxq_first_emit_events", "");
+        out.push_str(
+            "# HELP foxq_emit_flushes_per_request Irrevocable emission flushes \
+             per streamed query run.\n\
+             # TYPE foxq_emit_flushes_per_request histogram\n",
+        );
+        self.emit_flushes_per_request.render_values_into(
+            &mut out,
+            "foxq_emit_flushes_per_request",
+            "",
+        );
         out.push_str(
             "# HELP foxq_live_nodes_peak Per-request peak of live expression nodes.\n\
              # TYPE foxq_live_nodes_peak histogram\n",
@@ -531,6 +564,10 @@ mod tests {
         assert!(text.contains("# TYPE foxq_engine_stage_seconds histogram"));
         assert!(text.contains("# TYPE foxq_reactor_loop_lag_seconds histogram"));
         assert!(text.contains("foxq_ttfb_seconds_count 0"));
+        assert!(text.contains("foxq_streamed_responses_total 0"));
+        assert!(text.contains("# TYPE foxq_first_emit_events histogram"));
+        assert!(text.contains("foxq_first_emit_events_count 0"));
+        assert!(text.contains("# TYPE foxq_emit_flushes_per_request histogram"));
         assert!(text.contains("# TYPE foxq_live_nodes_peak histogram"));
         assert!(text.contains("# TYPE foxq_live_bytes_peak histogram"));
         assert!(text.contains("foxq_alloc_bytes_per_request_count 0"));

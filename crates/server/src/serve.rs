@@ -27,27 +27,31 @@
 //!   [`ServerHandle::join`] returns once the last response is flushed.
 
 use crate::conn::{After, Conn, Phase};
-use crate::http::{read_request, write_response, BodyKind, BodyReader, Request};
+use crate::http::{
+    chunked_tail, read_request, write_chunk, write_chunked_head, write_response, BodyKind,
+    BodyReader, Request,
+};
 use crate::metrics::{add, sub, Endpoint, Metrics};
 use crate::reactor::{Poller, Waker, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use foxq_core::emit::EmitWriter;
 use foxq_core::profile::{StreamProfile, StreamProfiler};
-use foxq_core::stream::{StreamError, StreamLimits, StreamObserver};
+use foxq_core::stream::{StreamError, StreamLimits, StreamObserver, StreamStats};
 use foxq_core::Mft;
 use foxq_obs::{
     AllocScope, JsonlSink, RingSink, Stage, TraceContext, TraceRecord, TraceSink,
     DEFAULT_TRACE_LOG_MAX_BYTES,
 };
 use foxq_service::{
-    run_multi_on_tape_observed, run_multi_with_limits, run_multi_with_plan_observed, source_key,
-    CompileLimits, MultiRun, ObservedMultiRun, PrepareError, PreparedQuery, ProfileRegistry,
-    RunSample, SharedQueryCache,
+    run_multi_emit, run_multi_on_tape_emit, run_multi_on_tape_observed, run_multi_with_limits,
+    run_multi_with_plan_observed, source_key, CompileLimits, MultiRun, ObservedMultiRun,
+    PrepareError, PreparedQuery, ProfileRegistry, RunSample, SharedQueryCache,
 };
 use foxq_store::corpus::valid_doc_id;
 use foxq_store::{ingest_xml_to_tmp, Corpus, StoreError, TapeReader};
 use foxq_xml::{byte_limit_exceeded, BoundedReader, WriterSink, XmlError, XmlReader};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Cursor, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
@@ -916,7 +920,21 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
     );
     let req_id = shared.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
     let ctx = TraceContext::new(req_id);
-    let served = serve_request(&mut reader, shared, &ctx);
+    let served = {
+        // Streamed `/query` responses are written by the worker itself,
+        // straight to the (blocking, write-timeout-bounded) socket — a
+        // slow client backpressures only its own lane.
+        let mut stream_out = StreamOut {
+            stream: &conn.stream,
+            metrics: &shared.metrics,
+            ctx: &ctx,
+            req_start: conn.req_start.unwrap_or_else(Instant::now),
+            req_id,
+            keep: false,
+            head_written: false,
+        };
+        serve_request(&mut reader, shared, &ctx, &mut stream_out)
+    };
 
     // Bytes read past this request's framed end (a pipelined next request)
     // travel back to the reactor with the connection. Wire order: the
@@ -942,24 +960,29 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
     for (stage, micros) in times.iter() {
         shared.metrics.engine_stage(stage).observe_micros(micros);
     }
-    reply
-        .headers
-        .push(("x-foxq-request-id", format!("{req_id:016x}")));
     let total_micros = ctx.total_micros();
-    let mut timing = times.server_timing_value();
-    if !timing.is_empty() {
-        timing.push_str(", ");
+    if !reply.streamed {
+        // On a streamed reply the head (with the request id) is already on
+        // the wire and the timing would have to be a trailer; the stage
+        // breakdown still lands in the histograms and the trace record.
+        reply
+            .headers
+            .push(("x-foxq-request-id", format!("{req_id:016x}")));
+        let mut timing = times.server_timing_value();
+        if !timing.is_empty() {
+            timing.push_str(", ");
+        }
+        let _ = {
+            use std::fmt::Write as _;
+            write!(
+                timing,
+                "total;dur={}.{:03}",
+                total_micros / 1_000,
+                total_micros % 1_000
+            )
+        };
+        reply.headers.push(("server-timing", timing));
     }
-    let _ = {
-        use std::fmt::Write as _;
-        write!(
-            timing,
-            "total;dur={}.{:03}",
-            total_micros / 1_000,
-            total_micros % 1_000
-        )
-    };
-    reply.headers.push(("server-timing", timing));
     let slow = total_micros >= shared.config.slow_ms.saturating_mul(1_000);
     if slow || shared.trace_log.is_some() {
         let record = TraceRecord {
@@ -981,16 +1004,26 @@ fn serve_one(conn: &mut Conn, shared: &Shared) -> (Vec<u8>, After) {
     let draining = shared.shutdown.load(Ordering::SeqCst);
     let keep = keep_requested && reply.reusable && !draining;
     shared.metrics.record_response(reply.status);
-    let mut out = Vec::with_capacity(256 + reply.body.len());
-    write_response(
-        &mut out,
-        reply.status,
-        reply.content_type,
-        &reply.headers,
-        &reply.body,
-        keep,
-    )
-    .expect("writing to Vec cannot fail");
+    let out = if reply.streamed {
+        // Head and chunks are already on the wire; only the tail — last
+        // chunk plus trailers — remains (or nothing, for a mid-stream
+        // failure: the missing terminator is the truncation signal). The
+        // worker observed TTFB when it wrote the head.
+        conn.ttfb_recorded = true;
+        std::mem::take(&mut reply.body)
+    } else {
+        let mut out = Vec::with_capacity(256 + reply.body.len());
+        write_response(
+            &mut out,
+            reply.status,
+            reply.content_type,
+            &reply.headers,
+            &reply.body,
+            keep,
+        )
+        .expect("writing to Vec cannot fail");
+        out
+    };
     let after = if keep {
         After::Reuse
     } else if !reply.reusable {
@@ -1007,6 +1040,7 @@ fn serve_request<R: BufRead>(
     reader: &mut R,
     shared: &Shared,
     ctx: &TraceContext,
+    stream_out: &mut StreamOut<'_>,
 ) -> Option<(Reply, bool)> {
     let request = match read_request(reader) {
         Ok(Some(req)) => req,
@@ -1028,7 +1062,7 @@ fn serve_request<R: BufRead>(
     // request-smuggling shapes).
     let reply = match request.body_kind() {
         Err(e) => reply_unconsumed(Reply::text(400, format!("{e}\n"))),
-        Ok(_) => route(&request, reader, shared, ctx),
+        Ok(_) => route(&request, reader, shared, ctx, stream_out),
     };
     Some((reply, keep_requested))
 }
@@ -1050,6 +1084,11 @@ struct Reply {
     endpoint: Endpoint,
     /// `"METHOD /path"`, for the slow-query log (stamped by `route`).
     detail: String,
+    /// True when the handler already wrote the chunked head and body
+    /// chunks itself (`/query?stream=1`): `body` then holds only the
+    /// chunked tail (or nothing, on a mid-stream failure), and the usual
+    /// header/serialization step is skipped.
+    streamed: bool,
 }
 
 impl Reply {
@@ -1062,6 +1101,7 @@ impl Reply {
             reusable: true,
             endpoint: Endpoint::Other,
             detail: String::new(),
+            streamed: false,
         }
     }
 
@@ -1079,6 +1119,7 @@ fn route<R: BufRead>(
     conn: &mut R,
     shared: &Shared,
     ctx: &TraceContext,
+    stream_out: &mut StreamOut<'_>,
 ) -> Reply {
     let endpoint = match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Endpoint::Healthz,
@@ -1137,7 +1178,7 @@ fn route<R: BufRead>(
             shared.shutdown.store(true, Ordering::SeqCst);
             bodyless(Reply::text(200, "draining\n"), request)
         }
-        Endpoint::Query => handle_query(request, conn, shared, ctx),
+        Endpoint::Query => handle_query(request, conn, shared, ctx, stream_out),
         Endpoint::Batch => handle_batch(request, conn, shared, ctx),
         Endpoint::Corpus => {
             if request.method == "GET" {
@@ -1243,6 +1284,7 @@ fn handle_query<R: BufRead>(
     conn: &mut R,
     shared: &Shared,
     ctx: &TraceContext,
+    stream_out: &mut StreamOut<'_>,
 ) -> Reply {
     let mut params = request.params("q");
     let Some(q) = params.next() else {
@@ -1259,6 +1301,17 @@ fn handle_query<R: BufRead>(
         Err(e) => return prepare_error_reply(&e),
     };
     let doc = request.params("doc").next().map(String::from);
+    if request.params("stream").next().is_some_and(|v| v != "0") {
+        return handle_query_stream(
+            request,
+            conn,
+            shared,
+            ctx,
+            &prepared,
+            doc.as_deref(),
+            stream_out,
+        );
+    }
     // The profiled and plain paths monomorphize separately: with `()` as
     // the observer every hook is an empty `#[inline(always)]` body, so
     // `--profile` off costs the engine nothing.
@@ -1394,6 +1447,347 @@ fn handle_query<R: BufRead>(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Earliest-emission streaming: /query?stream=1
+// ---------------------------------------------------------------------------
+
+/// Trailer names declared on a streamed response head. The values are the
+/// run's statistics — only known once the run finishes, which is exactly
+/// what HTTP trailers are for. On buffered responses the same facts travel
+/// as ordinary headers.
+const STREAM_TRAILERS: &[&str] = &[
+    "x-foxq-input-events",
+    "x-foxq-output-events",
+    "x-foxq-prefiltered-events",
+    "x-foxq-peak-live-nodes",
+    "x-foxq-peak-live-bytes",
+    "x-foxq-peak-pending-calls",
+    "x-foxq-emit-flushes",
+    "x-foxq-first-emit-events",
+];
+
+/// Counts response bytes into the shared metrics as a worker writes them
+/// (the streamed-response analog of [`CountingReader`]).
+struct CountingWriter<'a> {
+    inner: &'a TcpStream,
+    metrics: &'a Metrics,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        add(&self.metrics.bytes_out_total, n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Worker-side writer for a streamed `/query` response: the chunked head
+/// goes out lazily on the first emission flush (so pre-output failures
+/// still get a proper status line), then every irrevocable output prefix
+/// is one HTTP chunk. Writes hit the blocking, write-timeout-bounded
+/// socket directly — a slow client backpressures its own lane and nothing
+/// else.
+struct StreamOut<'a> {
+    stream: &'a TcpStream,
+    metrics: &'a Metrics,
+    ctx: &'a TraceContext,
+    /// The request clock (head-complete instant): TTFB and the
+    /// `first_flush` stage are measured against it.
+    req_start: Instant,
+    req_id: u64,
+    /// Whether the head advertises keep-alive (decided before the first
+    /// chunk; the final connection disposition still honours body
+    /// consumption).
+    keep: bool,
+    /// Set once the chunked head is on the wire — the point of no return:
+    /// later failures can only truncate the body, not change the status.
+    head_written: bool,
+}
+
+impl StreamOut<'_> {
+    /// Commit the response: status 200, chunked framing, declared
+    /// trailers. Records TTFB and the `first_flush` stage — this *is* the
+    /// first response byte.
+    fn write_head(&mut self) -> std::io::Result<()> {
+        let mut w = CountingWriter {
+            inner: self.stream,
+            metrics: self.metrics,
+        };
+        write_chunked_head(
+            &mut w,
+            200,
+            "application/xml",
+            &[("x-foxq-request-id", format!("{:016x}", self.req_id))],
+            STREAM_TRAILERS,
+            self.keep,
+        )?;
+        self.head_written = true;
+        self.ctx
+            .add_micros(Stage::FirstFlush, micros_since(self.req_start));
+        self.metrics.ttfb.observe(self.req_start.elapsed());
+        Ok(())
+    }
+
+    /// Deliver one irrevocable output prefix as an HTTP chunk (head
+    /// first, if this is the first flush).
+    fn deliver(&mut self, chunk: &[u8]) -> std::io::Result<()> {
+        if !self.head_written {
+            self.write_head()?;
+        }
+        let mut w = CountingWriter {
+            inner: self.stream,
+            metrics: self.metrics,
+        };
+        write_chunk(&mut w, chunk)
+    }
+}
+
+/// A failure after the chunked head is on the wire: the status cannot be
+/// changed and no trailer can be trusted, so nothing more is written —
+/// the missing terminating chunk is what tells the client the body is
+/// truncated — and the connection closes.
+fn streamed_failure_reply() -> Reply {
+    let mut reply = Reply::new(500, "application/xml", Vec::new());
+    reply.streamed = true;
+    reply.reusable = false;
+    reply
+}
+
+/// A settled one-lane emit run: the shared-pass costs plus the lane's
+/// outcome, with the sink (and its borrow of the connection writer)
+/// dropped.
+struct EmitRun {
+    input_events: u64,
+    seek_skipped_bytes: u64,
+    index_skipped_bytes: u64,
+    lane: Result<StreamStats, StreamError>,
+}
+
+fn settle_emit_lane<F: FnMut(&[u8]) -> std::io::Result<()>>(
+    run: MultiRun<EmitWriter<F>>,
+) -> EmitRun {
+    let input_events = run.input_events;
+    let seek_skipped_bytes = run.seek_skipped_bytes;
+    let index_skipped_bytes = run.index_skipped_bytes;
+    let lane = run
+        .results
+        .into_iter()
+        .next()
+        .expect("one lane")
+        .and_then(|(sink, stats)| {
+            sink.finish()?;
+            Ok(stats)
+        });
+    EmitRun {
+        input_events,
+        seek_skipped_bytes,
+        index_skipped_bytes,
+        lane,
+    }
+}
+
+/// `POST /query?stream=1`: run the single lane through the earliest
+/// emission drivers, writing each irrevocable output prefix to the client
+/// as it becomes final — the first response byte leaves long before the
+/// document ends. Works for both the XML-body and the `doc=` tape paths.
+/// Run statistics travel as trailers (they do not exist until the run
+/// ends); `--profile` sampling applies only to buffered responses.
+fn handle_query_stream<R: BufRead>(
+    request: &Request,
+    conn: &mut R,
+    shared: &Shared,
+    ctx: &TraceContext,
+    prepared: &PreparedQuery,
+    doc: Option<&str>,
+    out: &mut StreamOut<'_>,
+) -> Reply {
+    out.keep = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+    let (run, body_exhausted) = match doc {
+        None => {
+            let kind = match request.body_kind() {
+                Ok(BodyKind::Empty) => {
+                    return Reply::text(400, "missing request body (the XML document)\n");
+                }
+                Ok(kind) => kind,
+                Err(e) => return reply_unconsumed(Reply::text(400, format!("{e}\n"))),
+            };
+            add(&shared.metrics.lane_runs_total, 1);
+            let mut body = BodyReader::new(conn, kind);
+            let bounded = BoundedReader::new(&mut body, shared.config.max_body_bytes);
+            let reader = XmlReader::new(bounded);
+            let span = ctx.enter(Stage::Execute);
+            let run = run_multi_emit(
+                &[prepared.mft()],
+                reader,
+                vec![EmitWriter::new(|chunk: &[u8]| out.deliver(chunk))],
+                shared.config.stream_limits,
+                prepared.solo_plan(),
+            );
+            drop(span);
+            let exhausted = body.exhausted();
+            match run {
+                Ok(run) => (settle_emit_lane(run), exhausted),
+                Err(e) => {
+                    // The input side killed the whole pass. Before the
+                    // head: a normal error answer. After: truncate.
+                    if out.head_written {
+                        add(&shared.metrics.lane_failures_total, 1);
+                        return streamed_failure_reply();
+                    }
+                    return reply_unconsumed(xml_error_reply(&e, shared.config.max_body_bytes));
+                }
+            }
+        }
+        Some(id) => {
+            if shared.corpus.is_none() {
+                return no_corpus_reply(request);
+            }
+            match request.body_kind() {
+                Ok(BodyKind::Empty) => {}
+                Ok(_) => {
+                    return reply_unconsumed(Reply::text(
+                        400,
+                        "no request body allowed with doc= (the document is stored)\n",
+                    ))
+                }
+                Err(e) => return reply_unconsumed(Reply::text(400, format!("{e}\n"))),
+            }
+            let path = match shared.corpus().expect("checked above").tape_path(id) {
+                Ok(path) => path,
+                Err(StoreError::UnknownDoc { id }) => {
+                    return Reply::text(404, format!("no document {id:?} in the corpus\n"))
+                }
+                Err(e) => return Reply::text(500, format!("corpus error: {e}\n")),
+            };
+            let tape = match TapeReader::open_file(&path) {
+                Ok(tape) => tape,
+                Err(e) => return store_error_reply(&e),
+            };
+            add(&shared.metrics.lane_runs_total, 1);
+            let start = Instant::now();
+            let run = run_multi_on_tape_emit(
+                &[prepared.mft()],
+                tape,
+                vec![EmitWriter::new(|chunk: &[u8]| out.deliver(chunk))],
+                shared.config.stream_limits,
+                prepared.solo_plan(),
+            );
+            let micros = micros_since(start);
+            match run {
+                Ok(run) => {
+                    ctx.add_micros(Stage::TapeSeek, run.tape_seek_micros);
+                    ctx.add_micros(Stage::IndexProbe, run.index_probe_micros);
+                    ctx.add_micros(
+                        Stage::TapeReplay,
+                        micros.saturating_sub(run.tape_seek_micros + run.index_probe_micros),
+                    );
+                    (settle_emit_lane(run), true)
+                }
+                Err(e) => {
+                    ctx.add_micros(Stage::TapeReplay, micros);
+                    if out.head_written {
+                        add(&shared.metrics.lane_failures_total, 1);
+                        return streamed_failure_reply();
+                    }
+                    return store_error_reply(&e);
+                }
+            }
+        }
+    };
+    add(&shared.metrics.input_events_total, run.input_events);
+    let stats = match run.lane {
+        Ok(stats) => stats,
+        Err(e) => {
+            add(&shared.metrics.lane_failures_total, 1);
+            if out.head_written {
+                return streamed_failure_reply();
+            }
+            // The lane died before emitting anything: a normal error
+            // answer (the body was not drained on the XML path).
+            let reply = stream_error_reply(&e);
+            return if doc.is_some() {
+                reply
+            } else {
+                reply_unconsumed(reply)
+            };
+        }
+    };
+    // A query with no output still owes the client a head.
+    if !out.head_written && out.write_head().is_err() {
+        return streamed_failure_reply();
+    }
+    add(&shared.metrics.streamed_responses_total, 1);
+    add(&shared.metrics.output_events_total, stats.output_events);
+    add(
+        &shared.metrics.prefilter_skipped_total,
+        stats.prefiltered_events,
+    );
+    shared
+        .metrics
+        .live_nodes_peak
+        .observe_value(stats.peak_live_nodes as u64);
+    shared
+        .metrics
+        .live_bytes_peak
+        .observe_value(stats.peak_live_bytes as u64);
+    shared
+        .metrics
+        .first_emit_events
+        .observe_value(stats.first_emit_events);
+    shared
+        .metrics
+        .emit_flushes_per_request
+        .observe_value(stats.emit_flushes);
+    if doc.is_some() {
+        add(&shared.metrics.corpus_hits_total, 1);
+        add(
+            &shared.metrics.seek_skipped_bytes_total,
+            run.seek_skipped_bytes,
+        );
+        add(
+            &shared.metrics.index_skipped_bytes_total,
+            run.index_skipped_bytes,
+        );
+    }
+    let mut trailers: Vec<(&str, String)> = vec![
+        ("x-foxq-input-events", run.input_events.to_string()),
+        ("x-foxq-output-events", stats.output_events.to_string()),
+        (
+            "x-foxq-prefiltered-events",
+            stats.prefiltered_events.to_string(),
+        ),
+        ("x-foxq-peak-live-nodes", stats.peak_live_nodes.to_string()),
+        ("x-foxq-peak-live-bytes", stats.peak_live_bytes.to_string()),
+        (
+            "x-foxq-peak-pending-calls",
+            stats.peak_pending_calls.to_string(),
+        ),
+        ("x-foxq-emit-flushes", stats.emit_flushes.to_string()),
+        (
+            "x-foxq-first-emit-events",
+            stats.first_emit_events.to_string(),
+        ),
+    ];
+    if doc.is_some() {
+        trailers.push((
+            "x-foxq-seek-skipped-bytes",
+            run.seek_skipped_bytes.to_string(),
+        ));
+        trailers.push((
+            "x-foxq-index-skipped-bytes",
+            run.index_skipped_bytes.to_string(),
+        ));
+    }
+    let mut reply = Reply::new(200, "application/xml", chunked_tail(&trailers));
+    reply.streamed = true;
+    reply.reusable = body_exhausted;
+    reply
 }
 
 /// A `/query` lane's outcome: the observed run plus whether the request

@@ -61,10 +61,11 @@ pub mod profile;
 
 pub use batch::{BatchCell, BatchDriver, BatchReport, CorpusReport};
 pub use multi::{
-    run_multi, run_multi_on_forest, run_multi_on_tape, run_multi_on_tape_observed,
-    run_multi_on_tape_scan, run_multi_on_tape_scan_observed, run_multi_to_strings,
-    run_multi_with_limits, run_multi_with_plan, run_multi_with_plan_observed, MultiQueryEngine,
-    MultiRun, ObservedMultiRun, QuerySetPlan,
+    run_multi, run_multi_emit, run_multi_emit_observed, run_multi_on_forest, run_multi_on_tape,
+    run_multi_on_tape_emit, run_multi_on_tape_emit_observed, run_multi_on_tape_observed,
+    run_multi_on_tape_scan, run_multi_on_tape_scan_emit, run_multi_on_tape_scan_observed,
+    run_multi_to_strings, run_multi_with_limits, run_multi_with_plan, run_multi_with_plan_observed,
+    MultiQueryEngine, MultiRun, ObservedMultiRun, QuerySetPlan,
 };
 pub use prepared::{
     source_key, CacheStats, CompileLimits, PrepareError, PreparedQuery, QueryCache, QueryMeta,

@@ -26,6 +26,7 @@
 //! passes through and keeps receiving every event; the withheld-event count
 //! is reported per lane in [`StreamStats::prefiltered_events`].
 
+use foxq_core::emit::EmitSink;
 use foxq_core::mft::Mft;
 use foxq_core::stream::{Engine, StreamError, StreamLimits, StreamObserver, StreamStats};
 use foxq_forest::{FxHashSet, Label, Tree};
@@ -107,6 +108,18 @@ impl QuerySetPlan {
     /// skip index, where withheld events are never even decoded.
     pub fn prefilters_whole_set(&self) -> bool {
         !self.eligible.is_empty() && self.eligible.iter().all(|&e| e)
+    }
+
+    /// A plan that prefilters nothing: every lane is ineligible, so each
+    /// receives every event and tape drivers decode every frame. The A/B
+    /// baseline for prefilter measurements and the prefilter-off arm of
+    /// the emission-identity proptests.
+    pub fn pass_through(lane_count: usize) -> QuerySetPlan {
+        QuerySetPlan {
+            eligible: vec![false; lane_count],
+            matched: Arc::new(FxHashSet::default()),
+            texts: false,
+        }
     }
 }
 
@@ -463,6 +476,18 @@ impl<'m, S: XmlSink, O: StreamObserver> MultiQueryEngine<'m, S, O> {
     }
 }
 
+impl<'m, S: EmitSink, O: StreamObserver> MultiQueryEngine<'m, S, O> {
+    /// Fire every running lane's emission boundary: whatever its engine
+    /// flushed since the previous boundary is irrevocable (no pending
+    /// call to its left) and is released downstream. Called by the
+    /// `*_emit` drivers after each delivered event. A delivery failure
+    /// (e.g. the lane's client hung up) fails only that lane, like any
+    /// other engine-side error.
+    pub fn emit_running(&mut self) {
+        self.each_running(true, |e| e.sink_mut().emit().map_err(StreamError::from));
+    }
+}
+
 /// Result of [`run_multi`]: per-query outcomes plus the shared input cost.
 pub struct MultiRun<S> {
     /// One result per query, in input order. Per-query failures (e.g. fuel
@@ -595,10 +620,24 @@ pub fn run_multi_with_plan<E: EventSource, S: XmlSink>(
 /// [`run_multi_with_plan`] with a [`StreamObserver`] per lane.
 pub fn run_multi_with_plan_observed<E: EventSource, S: XmlSink, O: StreamObserver>(
     mfts: &[&Mft],
+    events: E,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, XmlError> {
+    run_multi_hooked(mfts, events, lanes, limits, plan, |_| {})
+}
+
+/// The shared event-source loop: feed each event to the fan-out, then let
+/// `after_event` fire (the `*_emit` drivers release irrevocable prefixes
+/// there; plain drivers pass a no-op that compiles away).
+fn run_multi_hooked<'m, E: EventSource, S: XmlSink, O: StreamObserver>(
+    mfts: &[&'m Mft],
     mut events: E,
     lanes: Vec<(S, O)>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
+    mut after_event: impl FnMut(&mut MultiQueryEngine<'m, S, O>),
 ) -> Result<ObservedMultiRun<S, O>, XmlError> {
     assert_eq!(mfts.len(), lanes.len(), "one sink per query");
     let mut engine = MultiQueryEngine::with_observers(
@@ -635,6 +674,7 @@ pub fn run_multi_with_plan_observed<E: EventSource, S: XmlSink, O: StreamObserve
                 });
             }
         }
+        after_event(&mut engine);
     }
 }
 
@@ -693,10 +733,22 @@ pub fn run_multi_on_tape_observed<R: BufRead + Seek, S: XmlSink, O: StreamObserv
 /// input (the footer's event count makes the remainder exact).
 fn run_multi_on_index<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
     mfts: &[&Mft],
+    drive: IndexedReplay<R>,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
+    run_multi_on_index_hooked(mfts, drive, lanes, limits, plan, |_| {})
+}
+
+/// [`run_multi_on_index`] with the shared `after_event` hook.
+fn run_multi_on_index_hooked<'m, R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
+    mfts: &[&'m Mft],
     mut drive: IndexedReplay<R>,
     lanes: Vec<(S, O)>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
+    mut after_event: impl FnMut(&mut MultiQueryEngine<'m, S, O>),
 ) -> Result<ObservedMultiRun<S, O>, StoreError> {
     assert_eq!(mfts.len(), lanes.len(), "one sink per query");
     let mut engine = MultiQueryEngine::with_observers(
@@ -728,6 +780,7 @@ fn run_multi_on_index<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
                 return Ok(done(engine, &drive, true));
             }
         }
+        after_event(&mut engine);
     }
 }
 
@@ -748,10 +801,22 @@ pub fn run_multi_on_tape_scan<R: BufRead + Seek, S: XmlSink>(
 /// [`run_multi_on_tape_scan`] with a [`StreamObserver`] per lane.
 pub fn run_multi_on_tape_scan_observed<R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
     mfts: &[&Mft],
+    tape: TapeReader<R>,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
+    run_multi_on_tape_scan_hooked(mfts, tape, lanes, limits, plan, |_| {})
+}
+
+/// [`run_multi_on_tape_scan_observed`] with the shared `after_event` hook.
+fn run_multi_on_tape_scan_hooked<'m, R: BufRead + Seek, S: XmlSink, O: StreamObserver>(
+    mfts: &[&'m Mft],
     mut tape: TapeReader<R>,
     lanes: Vec<(S, O)>,
     limits: StreamLimits,
     plan: &QuerySetPlan,
+    mut after_event: impl FnMut(&mut MultiQueryEngine<'m, S, O>),
 ) -> Result<ObservedMultiRun<S, O>, StoreError> {
     assert_eq!(mfts.len(), lanes.len(), "one sink per query");
     let mut engine = MultiQueryEngine::with_observers(
@@ -790,7 +855,110 @@ pub fn run_multi_on_tape_scan_observed<R: BufRead + Seek, S: XmlSink, O: StreamO
                 return Ok(done(engine, seek_micros, true));
             }
         }
+        after_event(&mut engine);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Earliest-emission drivers
+// ---------------------------------------------------------------------------
+
+/// Fire the end-of-input emission boundary on every surviving lane: the
+/// eof tick's flush ground the remainder of each output, so one last
+/// `emit` releases it. A failure here turns that lane's result into
+/// [`StreamError::Emit`].
+fn final_emits<S: EmitSink, O>(mut run: ObservedMultiRun<S, O>) -> ObservedMultiRun<S, O> {
+    run.results = run
+        .results
+        .into_iter()
+        .map(|r| {
+            r.and_then(|(mut sink, stats, obs)| {
+                sink.emit().map_err(StreamError::from)?;
+                Ok((sink, stats, obs))
+            })
+        })
+        .collect();
+    run
+}
+
+/// [`run_multi_with_plan`] over [`EmitSink`] lanes: after every delivered
+/// event each lane's emission boundary fires, releasing whatever its
+/// engine just made irrevocable — output streams out while the input is
+/// still being read.
+pub fn run_multi_emit<E: EventSource, S: EmitSink>(
+    mfts: &[&Mft],
+    events: E,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, XmlError> {
+    run_multi_emit_observed(mfts, events, plain_lanes(sinks), limits, plan)
+        .map(ObservedMultiRun::discard_observers)
+}
+
+/// [`run_multi_emit`] with a [`StreamObserver`] per lane.
+pub fn run_multi_emit_observed<E: EventSource, S: EmitSink, O: StreamObserver>(
+    mfts: &[&Mft],
+    events: E,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, XmlError> {
+    run_multi_hooked(mfts, events, lanes, limits, plan, |e| e.emit_running()).map(final_emits)
+}
+
+/// [`run_multi_on_tape`] over [`EmitSink`] lanes — same automatic
+/// index-vs-scan path choice, with per-event emission boundaries.
+pub fn run_multi_on_tape_emit<R: BufRead + Seek, S: EmitSink>(
+    mfts: &[&Mft],
+    tape: TapeReader<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, StoreError> {
+    run_multi_on_tape_emit_observed(mfts, tape, plain_lanes(sinks), limits, plan)
+        .map(ObservedMultiRun::discard_observers)
+}
+
+/// [`run_multi_on_tape_emit`] with a [`StreamObserver`] per lane.
+pub fn run_multi_on_tape_emit_observed<R: BufRead + Seek, S: EmitSink, O: StreamObserver>(
+    mfts: &[&Mft],
+    tape: TapeReader<R>,
+    lanes: Vec<(S, O)>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<ObservedMultiRun<S, O>, StoreError> {
+    let run = if plan.prefilters_whole_set() {
+        match index_drive(tape, plan.matched_labels(), plan.skips_texts())? {
+            TapeDrive::Indexed(drive) => {
+                run_multi_on_index_hooked(mfts, drive, lanes, limits, plan, |e| e.emit_running())?
+            }
+            TapeDrive::Linear(tape) => {
+                run_multi_on_tape_scan_hooked(mfts, tape, lanes, limits, plan, |e| {
+                    e.emit_running()
+                })?
+            }
+        }
+    } else {
+        run_multi_on_tape_scan_hooked(mfts, tape, lanes, limits, plan, |e| e.emit_running())?
+    };
+    Ok(final_emits(run))
+}
+
+/// [`run_multi_on_tape_scan`] over [`EmitSink`] lanes — forces the
+/// scan-with-seek path (FET1 tapes, A/B measurement).
+pub fn run_multi_on_tape_scan_emit<R: BufRead + Seek, S: EmitSink>(
+    mfts: &[&Mft],
+    tape: TapeReader<R>,
+    sinks: Vec<S>,
+    limits: StreamLimits,
+    plan: &QuerySetPlan,
+) -> Result<MultiRun<S>, StoreError> {
+    run_multi_on_tape_scan_hooked(mfts, tape, plain_lanes(sinks), limits, plan, |e| {
+        e.emit_running()
+    })
+    .map(final_emits)
+    .map(ObservedMultiRun::discard_observers)
 }
 
 /// Drive N transducers from an in-memory forest (tests and benchmarks).

@@ -12,7 +12,7 @@
 
 use foxq_core::opt::{optimize_with_stats, OptStats};
 use foxq_core::stream::{
-    run_streaming_to_string_with_limits, StreamError, StreamLimits, StreamRunOutput,
+    run_streaming_to_string_with_limits, StreamError, StreamLimits, StreamRunOutput, StreamStats,
 };
 use foxq_core::translate::{translate, TranslateError};
 use foxq_core::Mft;
@@ -256,6 +256,38 @@ impl PreparedQuery {
         limits: StreamLimits,
     ) -> Result<StreamRunOutput, StreamError> {
         run_streaming_to_string_with_limits(&self.opt, input, limits)
+    }
+
+    /// Stream one XML document through the optimized MFT, delivering each
+    /// irrevocable output prefix to `deliver` as soon as no pending state
+    /// call remains to its left — the first chunk typically leaves before
+    /// the document has finished arriving. The concatenation of delivered
+    /// prefixes is byte-identical to [`PreparedQuery::run_to_string`]'s
+    /// output (proptest-guarded). Runs under the serving limits, like
+    /// `run_to_string`.
+    ///
+    /// A `deliver` failure aborts the run as
+    /// [`StreamError::Emit`](foxq_core::stream::StreamError::Emit).
+    pub fn run_streaming(
+        &self,
+        input: &[u8],
+        deliver: impl FnMut(&[u8]) -> std::io::Result<()>,
+    ) -> Result<StreamStats, StreamError> {
+        self.run_streaming_with_limits(input, StreamLimits::serving(), deliver)
+    }
+
+    /// [`PreparedQuery::run_streaming`] under explicit stream limits.
+    pub fn run_streaming_with_limits(
+        &self,
+        input: &[u8],
+        limits: StreamLimits,
+        deliver: impl FnMut(&[u8]) -> std::io::Result<()>,
+    ) -> Result<StreamStats, StreamError> {
+        let sink = foxq_core::emit::EmitWriter::new(deliver);
+        let reader = foxq_xml::XmlReader::new(input);
+        let (sink, stats) = foxq_core::stream::run_streaming_emit(&self.opt, reader, sink, limits)?;
+        sink.finish()?;
+        Ok(stats)
     }
 }
 

@@ -63,6 +63,12 @@ impl<W: Write> XmlWriter<W> {
         self.out
     }
 
+    /// Mutable access to the underlying writer (e.g. to drain an in-memory
+    /// buffer between emission boundaries without consuming the writer).
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.out
+    }
+
     pub fn flush(&mut self) -> io::Result<()> {
         self.out.flush()
     }

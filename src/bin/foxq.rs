@@ -16,15 +16,15 @@
 use foxq::core::opt::optimize_with_stats;
 use foxq::core::profile::{StreamProfile, StreamProfiler};
 use foxq::core::stream::{
-    run_streaming_with_limits, run_streaming_with_observer, StreamLimits, StreamStats,
-    DEFAULT_MAX_OUTPUT_EVENTS,
+    run_streaming_emit, run_streaming_with_limits, run_streaming_with_observer, StreamLimits,
+    StreamStats, DEFAULT_MAX_OUTPUT_EVENTS,
 };
 use foxq::core::translate::translate;
-use foxq::core::{print_mft, Mft};
+use foxq::core::{print_mft, EmissionAnalysis, EmitWriter, Mft};
 use foxq::obs::{Stage, StageTimes};
 use foxq::service::{
-    run_multi_on_tape, run_multi_on_tape_observed, run_multi_with_limits, BatchDriver, QueryCache,
-    QuerySetPlan,
+    run_multi_on_tape, run_multi_on_tape_emit, run_multi_on_tape_observed, run_multi_with_limits,
+    BatchDriver, QueryCache, QuerySetPlan,
 };
 use foxq::store::{Corpus, TapeReader};
 use foxq::xml::{WriterSink, XmlReader};
@@ -62,12 +62,17 @@ fn real_main() -> Result<(), String> {
 
 const USAGE: &str = "\
 usage:
-  foxq run <query.xq> [input.xml|input.fet]
+  foxq run [--stream] <query.xq> [input.xml|input.fet]
       stream input (default stdin) through the query; a .fet input replays
       the pre-parsed event tape (no XML tokenization) and seeks over
-      subtrees the query's label prefilter withholds
+      subtrees the query's label prefilter withholds. --stream flushes
+      stdout at every emission boundary: each irrevocable output prefix
+      appears as soon as the engine proves it final, not when the output
+      buffer fills or the input ends
   foxq stats [--timing] [--profile] <query.xq> [input.xml|input.fet]
-      run and report engine statistics to stderr; --timing adds a
+      run and report engine statistics to stderr, including an earliest
+      emission summary (early-emitting states, streamed output fraction,
+      emitting flushes, events to first emit); --timing adds a
       per-stage wall-time table (parse/translate/optimize/execute/...);
       --profile adds the per-state hot-state table and a sparkline
       buffer timeline (live bytes / pending calls over the input)
@@ -98,10 +103,12 @@ usage:
       [--trace-log-max-bytes N] [--profile]
       long-running HTTP/1.1 server: POST /query?q=<urlencoded query> and
       POST /batch?q=..&q=.. stream the request body through prepared
-      queries; with --corpus, POST /corpus/{id} ingests documents,
-      GET /corpus lists them, and POST /query?q=..&doc=<id> answers from
-      the stored tape; GET /metrics (Prometheus), GET /healthz,
-      POST /shutdown (graceful drain). Runs until shut down.
+      queries; add &stream=1 to /query for a chunked response whose
+      chunks are the engine's irrevocable output prefixes (run statistics
+      arrive as HTTP trailers); with --corpus, POST /corpus/{id} ingests
+      documents, GET /corpus lists them, and POST /query?q=..&doc=<id>
+      answers from the stored tape; GET /metrics (Prometheus),
+      GET /healthz, POST /shutdown (graceful drain). Runs until shut down.
       Observability: every response carries X-Foxq-Request-Id and
       Server-Timing headers; requests at or over --slow-ms (default 500;
       0 = all) land in GET /debug/requests (append ?format=json for
@@ -144,9 +151,16 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     let mut max_output = DEFAULT_MAX_OUTPUT_EVENTS;
     let mut timing = false;
     let mut profile = false;
+    let mut stream = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stream" => {
+                if report {
+                    return Err("--stream only applies to foxq run".to_string());
+                }
+                stream = true;
+            }
             "--max-output" => {
                 i += 1;
                 let n: u64 = args
@@ -188,13 +202,16 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     // A `.fet` input replays the pre-parsed tape, seeking over prefiltered
     // subtrees, instead of re-tokenizing XML.
     if let Some(path) = positional.get(1).filter(|p| p.ends_with(".fet")) {
+        if stream {
+            return run_streaming_on_tape(&mft, path, limits);
+        }
         let t = Instant::now();
         let (stats, seek_micros, profiled) = run_query_on_tape(&mft, path, limits, profile)?;
         let replay = micros_since(t);
         times.add(Stage::TapeSeek, seek_micros);
         times.add(Stage::TapeReplay, replay.saturating_sub(seek_micros));
         if report {
-            report_stats(&stats);
+            report_stats(&mft, &stats);
             if timing {
                 report_timing(&times);
             }
@@ -216,6 +233,20 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
     };
     let reader = XmlReader::new(BufReader::new(input));
     let stdout = std::io::stdout();
+    if stream {
+        // Earliest emission to a pipe: every irrevocable prefix is
+        // flushed the moment the engine proves it final, so a consumer
+        // sees results while the document is still arriving.
+        let mut out = stdout.lock();
+        let sink = EmitWriter::new(|chunk: &[u8]| out.write_all(chunk).and_then(|_| out.flush()));
+        let (sink, _stats) =
+            run_streaming_emit(&mft, reader, sink, limits).map_err(|e| e.to_string())?;
+        sink.finish().map_err(|e| e.to_string())?;
+        return out
+            .write_all(b"\n")
+            .and_then(|_| out.flush())
+            .map_err(|e| e.to_string());
+    }
     let sink = WriterSink::new(std::io::BufWriter::new(stdout.lock()));
     let t = Instant::now();
     let (sink, stats, profiled) = if profile {
@@ -236,7 +267,7 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     times.add(Stage::Serialize, micros_since(t));
     if report {
-        report_stats(&stats);
+        report_stats(&mft, &stats);
         if timing {
             report_timing(&times);
         }
@@ -245,6 +276,29 @@ fn cmd_run(args: &[String], report: bool) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `foxq run --stream` over a `.fet` tape: replay with per-event emission
+/// boundaries, flushing each irrevocable prefix to stdout.
+fn run_streaming_on_tape(mft: &Mft, path: &str, limits: StreamLimits) -> Result<(), String> {
+    let tape = TapeReader::open_file(std::path::Path::new(path))
+        .map_err(|e| format!("cannot open tape {path}: {e}"))?;
+    let plan = QuerySetPlan::new([mft]);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let sink = EmitWriter::new(|chunk: &[u8]| out.write_all(chunk).and_then(|_| out.flush()));
+    let run = run_multi_on_tape_emit(&[mft], tape, vec![sink], limits, &plan)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let (sink, _stats) = run
+        .results
+        .into_iter()
+        .next()
+        .expect("one lane")
+        .map_err(|e| e.to_string())?;
+    sink.finish().map_err(|e| e.to_string())?;
+    out.write_all(b"\n")
+        .and_then(|_| out.flush())
+        .map_err(|e| e.to_string())
 }
 
 /// One query over one tape file, with seek-based subtree skipping.
@@ -367,7 +421,7 @@ fn cmd_tape_stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn report_stats(stats: &StreamStats) {
+fn report_stats(mft: &Mft, stats: &StreamStats) {
     eprintln!("events:            {}", stats.events);
     eprintln!(
         "  open / close:    {} / {}",
@@ -379,6 +433,28 @@ fn report_stats(stats: &StreamStats) {
     eprintln!("peak pending:      {} calls", stats.peak_pending_calls);
     eprintln!("max input depth:   {}", stats.max_depth);
     eprintln!("output events:     {}", stats.output_events);
+    let analysis = EmissionAnalysis::analyze(mft);
+    eprintln!("earliest emission:");
+    eprintln!(
+        "  early states:    {} of {}{}",
+        analysis.early_count(),
+        analysis.state_count(),
+        if analysis.streams_early(mft) {
+            ""
+        } else {
+            " (output held until end of input)"
+        }
+    );
+    eprintln!(
+        "  streamed:        {} of {} output events ({:.1}%)",
+        stats.streamed_output_events,
+        stats.output_events,
+        stats.streamed_fraction() * 100.0
+    );
+    eprintln!("  flushes:         {} emitting", stats.emit_flushes);
+    if stats.first_emit_events > 0 {
+        eprintln!("  first emit:      at event {}", stats.first_emit_events);
+    }
     if stats.prefiltered_events > 0 || stats.seek_skipped_bytes > 0 {
         eprintln!("prefiltered:       {} events", stats.prefiltered_events);
         eprintln!("seek-skipped:      {} bytes", stats.seek_skipped_bytes);

@@ -1,0 +1,133 @@
+//! Byte-identity guard for the earliest-emission subsystem: on every
+//! generated dataset, the concatenation of the streamed prefixes equals the
+//! materialized output — for the XML text source and for FET1 and FET2
+//! tapes, with the label prefilter both on and off.
+//!
+//! This is the contract [`PreparedQuery::run_streaming`] documents: emission
+//! boundaries change *when* bytes leave, never *which* bytes leave.
+
+use foxq::core::emit::EmitWriter;
+use foxq::core::stream::StreamLimits;
+use foxq::core::Mft;
+use foxq::gen::Dataset;
+use foxq::service::{run_multi_emit, run_multi_on_tape_emit, PreparedQuery, QuerySetPlan};
+use foxq::store::{ingest_xml_to_tape, ingest_xml_to_tape_v1, TapeReader};
+use foxq::xml::{forest_to_xml_string, XmlReader};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// A navigator per dataset that matches part of the document, so the
+/// prefilter has subtrees to withhold and the stream has output to emit.
+fn query_for(dataset: Dataset) -> &'static str {
+    match dataset {
+        Dataset::Xmark => "<o>{$input/site/people/person/name/text()}</o>",
+        Dataset::Treebank => "<o>{$input//NP/NN/text()}</o>",
+        Dataset::Medline => {
+            "<o>{$input/MedlineCitationSet/MedlineCitation/Article/AuthorList/Author/LastName/text()}</o>"
+        }
+        Dataset::Protein => "<o>{$input/ProteinDatabase/ProteinEntry/protein/name/text()}</o>",
+    }
+}
+
+/// Stream `xml` through the emit driver, concatenating delivered prefixes.
+fn stream_xml(mft: &Mft, xml: &[u8], plan: &QuerySetPlan) -> (Vec<u8>, usize) {
+    let mut out = Vec::new();
+    let mut chunks = 0usize;
+    let sink = EmitWriter::new(|c: &[u8]| {
+        out.extend_from_slice(c);
+        chunks += 1;
+        Ok(())
+    });
+    let run = run_multi_emit(
+        &[mft],
+        XmlReader::new(xml),
+        vec![sink],
+        StreamLimits::default(),
+        plan,
+    )
+    .unwrap();
+    let (sink, _stats) = run.results.into_iter().next().unwrap().unwrap();
+    sink.finish().unwrap();
+    (out, chunks)
+}
+
+/// Stream a tape through the emit driver (index, seek-scan, or plain replay
+/// is the driver's choice), concatenating delivered prefixes.
+fn stream_tape(mft: &Mft, tape_bytes: &[u8], plan: &QuerySetPlan) -> Vec<u8> {
+    let mut out = Vec::new();
+    let sink = EmitWriter::new(|c: &[u8]| {
+        out.extend_from_slice(c);
+        Ok(())
+    });
+    let run = run_multi_on_tape_emit(
+        &[mft],
+        TapeReader::new(Cursor::new(tape_bytes.to_vec())).unwrap(),
+        vec![sink],
+        StreamLimits::default(),
+        plan,
+    )
+    .unwrap();
+    let (sink, _stats) = run.results.into_iter().next().unwrap().unwrap();
+    sink.finish().unwrap();
+    out
+}
+
+/// Run the whole source × prefilter matrix for one document and compare
+/// every cell against the materialized reference output.
+fn assert_streamed_identity(dataset: Dataset, xml: &str) {
+    let prepared = PreparedQuery::compile(query_for(dataset)).unwrap();
+    let mft = prepared.mft();
+    let expected = prepared
+        .run_to_string_with_limits(xml.as_bytes(), StreamLimits::default())
+        .unwrap()
+        .output;
+
+    let (fet2, _, _) = ingest_xml_to_tape(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+    let fet2 = fet2.into_inner();
+    let (fet1, _, _) = ingest_xml_to_tape_v1(xml.as_bytes(), Cursor::new(Vec::new())).unwrap();
+    let fet1 = fet1.into_inner();
+
+    let on = QuerySetPlan::new([mft]);
+    let off = QuerySetPlan::pass_through(1);
+    for (plan, mode) in [(&on, "prefilter on"), (&off, "prefilter off")] {
+        let (bytes, chunks) = stream_xml(mft, xml.as_bytes(), plan);
+        assert_eq!(
+            String::from_utf8(bytes).unwrap(),
+            expected,
+            "{}: xml source, {mode}",
+            dataset.name()
+        );
+        if !expected.is_empty() {
+            assert!(chunks >= 1, "{}: output never streamed", dataset.name());
+        }
+        for (tape, fmt) in [(&fet1, "FET1"), (&fet2, "FET2")] {
+            let bytes = stream_tape(mft, tape, plan);
+            assert_eq!(
+                String::from_utf8(bytes).unwrap(),
+                expected,
+                "{}: {fmt} tape, {mode}",
+                dataset.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn streamed_prefixes_concatenate_to_materialized_output() {
+    for dataset in Dataset::ALL {
+        let forest = foxq::gen::generate(dataset, 60_000, 0xF0C5);
+        assert_streamed_identity(dataset, &forest_to_xml_string(&forest));
+    }
+}
+
+proptest! {
+    /// The same identity on seeded random documents from all four
+    /// generators at random sizes.
+    #[test]
+    fn streamed_prefixes_match_materialized_randomized(seed in any::<u64>()) {
+        let dataset = Dataset::ALL[(seed % 4) as usize];
+        let size = 2_000 + (seed >> 3) as usize % 28_000;
+        let xml = forest_to_xml_string(&foxq::gen::generate(dataset, size, seed));
+        assert_streamed_identity(dataset, &xml);
+    }
+}

@@ -412,6 +412,141 @@ fn profiled_keep_alive_throughput_within_5_percent() {
 }
 
 #[test]
+fn streamed_query_ttfb_and_peak_output_buffer() {
+    if debug_build() {
+        return;
+    }
+    use foxq::core::stream::StreamLimits;
+    use foxq::gen::Dataset;
+    use foxq::server::client::{self, Client};
+    use foxq::server::{Server, ServerConfig};
+    use foxq::service::PreparedQuery;
+    use foxq::xml::forest_to_xml_string;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    // The earliest-emission acceptance bar, on an output-heavy query whose
+    // matches start near the front of the document (africa is the first
+    // region): the streamed path must put first bytes on the wire while the
+    // rest of the document is still uploading — TTFB ≤ 25% of total request
+    // latency — and must never buffer more than a sliver of the output,
+    // where the materializing path holds all of it at once.
+    let query = "<o>{$input/site/regions/africa/item}</o>";
+    let forest = foxq::gen::generate(Dataset::Xmark, 4 << 20, 0xE817);
+    let xml = forest_to_xml_string(&forest).into_bytes();
+
+    // (a) Service level: largest single flush vs. materialized output size.
+    let prepared = PreparedQuery::compile(query).unwrap();
+    let materialized = prepared
+        .run_to_string_with_limits(&xml, StreamLimits::default())
+        .unwrap()
+        .output;
+    let mut max_chunk = 0usize;
+    let mut total = 0usize;
+    prepared
+        .run_streaming_with_limits(&xml, StreamLimits::default(), |c| {
+            max_chunk = max_chunk.max(c.len());
+            total += c.len();
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(total, materialized.len(), "streamed bytes diverge");
+    assert!(total > 100_000, "query not output-heavy enough: {total} B");
+    eprintln!(
+        "streamed output: {total} B total, largest single flush {max_chunk} B \
+         (materializing path buffers all {total} B)"
+    );
+    assert!(
+        max_chunk * 4 <= total,
+        "streaming must hold at most a quarter of the output at once: \
+         largest flush {max_chunk} B of {total} B"
+    );
+
+    // (b) Server level: first response byte vs. last, streamed and buffered.
+    let handle = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        ..ServerConfig::default()
+    })
+    .unwrap()
+    .start()
+    .unwrap();
+    let addr = handle.local_addr();
+    // Warm the query cache outside the timed window.
+    let mut c = Client::connect(addr).unwrap();
+    let warm = b"<site><regions><africa><item><name>w</name></item></africa></regions></site>";
+    assert_eq!(
+        c.request("POST", &client::query_target(query), &[], warm)
+            .unwrap()
+            .status,
+        200
+    );
+    drop(c);
+
+    // One raw timed exchange: a helper thread uploads the request while
+    // this thread times first and last response byte — the two must overlap
+    // on the streamed path, which is the whole point.
+    let measure = |target: &str| -> (Duration, Duration) {
+        let mut reader = TcpStream::connect(addr).unwrap();
+        reader
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        reader.set_nodelay(true).ok();
+        let mut writer = reader.try_clone().unwrap();
+        let head = format!(
+            "POST {target} HTTP/1.1\r\nhost: foxq\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+            xml.len()
+        );
+        let body = xml.clone();
+        let t0 = Instant::now();
+        let upload = std::thread::spawn(move || {
+            writer.write_all(head.as_bytes()).unwrap();
+            writer.write_all(&body).unwrap();
+            writer.flush().unwrap();
+        });
+        let mut first = [0u8; 1];
+        reader.read_exact(&mut first).unwrap();
+        let ttfb = t0.elapsed();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        let total = t0.elapsed();
+        upload.join().unwrap();
+        assert_eq!(first[0], b'H', "unexpected first byte");
+        assert!(
+            rest.starts_with(b"TTP/1.1 200"),
+            "unexpected response head: {}",
+            String::from_utf8_lossy(&rest[..rest.len().min(80)])
+        );
+        (ttfb, total)
+    };
+
+    // Best of 3 per path: keep the run with the lowest TTFB fraction.
+    let streamed_target = format!("{}&stream=1", client::query_target(query));
+    let buffered_target = client::query_target(query);
+    let mut streamed_frac = f64::MAX;
+    let mut buffered_frac = f64::MAX;
+    for _ in 0..3 {
+        let (ttfb, total) = measure(&streamed_target);
+        streamed_frac = streamed_frac.min(ttfb.as_secs_f64() / total.as_secs_f64());
+        let (ttfb, total) = measure(&buffered_target);
+        buffered_frac = buffered_frac.min(ttfb.as_secs_f64() / total.as_secs_f64());
+    }
+    handle.shutdown();
+    eprintln!(
+        "TTFB as a fraction of request latency: streamed {:.1}%, buffered {:.1}%",
+        streamed_frac * 100.0,
+        buffered_frac * 100.0
+    );
+    assert!(
+        streamed_frac <= 0.25,
+        "streamed TTFB must be ≤ 25% of total request latency, got {:.1}%",
+        streamed_frac * 100.0
+    );
+}
+
+#[test]
 fn compose_example_completes_under_wall_clock_guard() {
     if debug_build() {
         return;

@@ -714,3 +714,203 @@ fn corpus_endpoints_without_a_corpus_are_503() {
     assert!(!text.contains("foxq_corpus_docs"));
     handle.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Earliest-emission streaming: /query?stream=1
+// ---------------------------------------------------------------------------
+
+/// A streamed response carries the same bytes as the buffered one, framed as
+/// chunks, with the run statistics moved from headers into trailers — and the
+/// connection stays reusable afterwards.
+#[test]
+fn streamed_query_matches_buffered_and_moves_stats_to_trailers() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let body = doc(&["Jim", "Li", "Ada", "Mina"]);
+    let target = client::query_target(PERSON_NAMES);
+    let streamed_target = format!("{target}&stream=1");
+
+    let mut c = Client::connect(addr).unwrap();
+    let buffered = c.request("POST", &target, &[], &body).unwrap();
+    let streamed = c.request("POST", &streamed_target, &[], &body).unwrap();
+    assert_eq!(buffered.status, 200);
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+    assert!(streamed.header("content-length").is_none());
+    assert_eq!(streamed.body, buffered.body, "streamed bytes diverge");
+    assert!(streamed.chunks >= 1);
+
+    // Peak stats ride as headers on buffered responses, trailers on streamed
+    // ones. The engine run is deterministic, so the values agree.
+    assert!(buffered.header("x-foxq-peak-pending-calls").is_some());
+    assert!(buffered.trailers.is_empty());
+    assert!(streamed.header("x-foxq-peak-pending-calls").is_none());
+    assert!(streamed.header("x-foxq-peak-live-bytes").is_none());
+    assert_eq!(
+        streamed.trailer("x-foxq-peak-pending-calls"),
+        buffered.header("x-foxq-peak-pending-calls")
+    );
+    assert_eq!(
+        streamed.trailer("x-foxq-peak-live-bytes"),
+        buffered.header("x-foxq-peak-live-bytes")
+    );
+    let flushes: u64 = streamed
+        .trailer("x-foxq-emit-flushes")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(flushes >= 1, "no emitting flushes recorded");
+    let first: u64 = streamed
+        .trailer("x-foxq-first-emit-events")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(first >= 1, "first emit event not recorded");
+
+    // A streamed request without a body is rejected before any chunk is
+    // written: a plain buffered 400.
+    let r = c.request("POST", &streamed_target, &[], &[]).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.header("content-length").is_some());
+
+    // The new metric families move.
+    let metrics = c.request("GET", "/metrics", &[], &[]).unwrap().text();
+    assert_eq!(metric(&metrics, "foxq_streamed_responses_total"), 1);
+    assert!(metric(&metrics, "foxq_first_emit_events_count") >= 1);
+    assert!(metric(&metrics, "foxq_emit_flushes_per_request_count") >= 1);
+    handle.shutdown();
+}
+
+/// The point of the subsystem: the response head and first chunks are on the
+/// wire while the request body is still being uploaded. The client holds the
+/// chunked upload open, reads a 200 status line, and only then finishes the
+/// document.
+#[test]
+fn streamed_head_arrives_before_request_body_ends() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = format!("{}&stream=1", client::query_target(PERSON_NAMES));
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.set_nodelay(true).ok();
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nhost: foxq\r\nconnection: close\r\ntransfer-encoding: chunked\r\n\r\n"
+    )
+    .unwrap();
+    // First request chunk: an unterminated document holding plenty of
+    // already-final output.
+    let mut prefix = String::from("<site><people>");
+    for i in 0..500 {
+        prefix.push_str(&format!("<person><name>p{i}</name></person>"));
+    }
+    write!(stream, "{:x}\r\n{prefix}\r\n", prefix.len()).unwrap();
+    stream.flush().unwrap();
+
+    // Earliest emission in action: the status line must arrive while the
+    // upload is still open.
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut status = String::new();
+    reader.read_line(&mut status).unwrap();
+    assert!(
+        status.starts_with("HTTP/1.1 200"),
+        "bad status line before body end: {status:?}"
+    );
+
+    // Now close the document and the chunked request body, and drain the
+    // rest of the response.
+    let tail = "</people></site>";
+    write!(stream, "{:x}\r\n{tail}\r\n0\r\n\r\n", tail.len()).unwrap();
+    stream.flush().unwrap();
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    let rest = String::from_utf8_lossy(&rest);
+    assert!(rest.contains("transfer-encoding: chunked"), "{rest}");
+    assert!(rest.contains("p0") && rest.contains("p499"), "{rest}");
+    assert!(rest.contains("x-foxq-peak-pending-calls"), "{rest}");
+    assert!(rest.ends_with("\r\n\r\n"), "trailer section unterminated");
+    handle.shutdown();
+}
+
+/// Streaming over a stored corpus tape: same bytes as the buffered doc
+/// query, with the tape skip counters appearing as trailers.
+#[test]
+fn streamed_doc_query_serves_from_corpus_tape() {
+    let dir = std::env::temp_dir().join(format!("foxq-server-stream-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig {
+        corpus_dir: Some(dir.to_string_lossy().into_owned()),
+        ..test_config()
+    });
+    let addr = handle.local_addr();
+    let mut c = Client::connect(addr).unwrap();
+    let r = c
+        .request("POST", "/corpus/alpha", &[], &doc(&["Jim", "Li"]))
+        .unwrap();
+    assert_eq!(r.status, 200);
+
+    let target = client::query_doc_target(PERSON_NAMES, "alpha");
+    let buffered = c.request("POST", &target, &[], &[]).unwrap();
+    let streamed = c
+        .request("POST", &format!("{target}&stream=1"), &[], &[])
+        .unwrap();
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(streamed.body, buffered.body);
+    assert_eq!(streamed.text(), "<o>JimLi</o>");
+    // FET2 tapes ride the label skip index even when streaming.
+    let index: u64 = streamed
+        .trailer("x-foxq-index-skipped-bytes")
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(index > 0, "regions subtree was not index-skipped");
+
+    // Unknown doc on the streamed path: a plain buffered 404.
+    let r = c
+        .request(
+            "POST",
+            &format!(
+                "{}&stream=1",
+                client::query_doc_target(PERSON_NAMES, "nope")
+            ),
+            &[],
+            &[],
+        )
+        .unwrap();
+    assert_eq!(r.status, 404);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A run that fails after the head is on the wire cannot be un-sent: the
+/// server truncates the chunked body (no terminating zero chunk) and closes,
+/// which a conforming client must treat as an incomplete response.
+#[test]
+fn streamed_mid_run_failure_truncates_the_chunked_body() {
+    let handle = start(test_config());
+    let addr = handle.local_addr();
+    let target = format!("{}&stream=1", client::query_target(PERSON_NAMES));
+    let mut c = Client::connect(addr).unwrap();
+    // Well-formed prefix (so the head and first chunks go out), then a
+    // parse error at end of input.
+    let body = b"<site><people><person><name>Jim</name></person><broken".to_vec();
+    let err = c
+        .request("POST", &target, &[], &body)
+        .expect_err("truncated stream decoded as a complete response");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ),
+        "unexpected error: {err}"
+    );
+    let text = client::get(addr, "/metrics").unwrap().text();
+    assert!(metric(&text, "foxq_lane_failures_total") >= 1);
+    handle.shutdown();
+}
